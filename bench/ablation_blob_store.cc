@@ -1,0 +1,202 @@
+// Substrate ablation: BLOB storage layout. The paper (Def. 4) treats
+// BLOB layout — contiguous vs fragmented — as a performance concern
+// hidden from the data model. This bench quantifies that concern:
+// append/read throughput across the three store implementations,
+// fragmentation effects from interleaved writers, checksum overhead,
+// and compact-index build cost.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "bench/bench_util.h"
+#include "blob/file_store.h"
+#include "blob/memory_store.h"
+#include "blob/paged_store.h"
+#include "interp/index.h"
+
+namespace tbm {
+namespace {
+
+using bench::CheckOk;
+using bench::ValueOrDie;
+
+Bytes Payload(size_t n) {
+  Bytes data(n);
+  for (size_t i = 0; i < n; ++i) data[i] = static_cast<uint8_t>(i * 31);
+  return data;
+}
+
+void PrintAblation() {
+  bench::Header(
+      "Ablation: BLOB store layout (paper Def. 4: \"the layout of BLOBs\n"
+      "is a performance issue and not directly relevant to data\n"
+      "modeling\") — same interface, different physics");
+
+  // Fragmentation demonstration: two writers interleaving appends on a
+  // paged store.
+  PagedBlobStore store(std::make_unique<MemoryPageDevice>(4096));
+  BlobId a = ValueOrDie(store.Create(), "a");
+  BlobId b = ValueOrDie(store.Create(), "b");
+  Bytes chunk = Payload(6000);
+  for (int i = 0; i < 100; ++i) {
+    CheckOk(store.Append(a, chunk), "append a");
+    CheckOk(store.Append(b, chunk), "append b");
+  }
+  std::printf("Interleaved writers on 4 KiB pages:\n");
+  std::printf("  blob A fragmentation: %.2f (0 = contiguous pages)\n",
+              ValueOrDie(store.Fragmentation(a), "frag"));
+  BlobStoreStats stats = store.Stats();
+  std::printf("  logical %s, physical %s (page overhead %.1f%%)\n",
+              HumanBytes(stats.logical_bytes).c_str(),
+              HumanBytes(stats.physical_bytes).c_str(),
+              100.0 * (stats.physical_bytes - stats.logical_bytes) /
+                  stats.logical_bytes);
+
+  PagedBlobStore solo(std::make_unique<MemoryPageDevice>(4096));
+  BlobId c = ValueOrDie(solo.Create(), "c");
+  for (int i = 0; i < 100; ++i) CheckOk(solo.Append(c, chunk), "append c");
+  std::printf("  single writer fragmentation: %.2f\n",
+              ValueOrDie(solo.Fragmentation(c), "frag"));
+}
+
+// --- Append throughput ------------------------------------------------------
+
+template <typename MakeStore>
+void AppendBench(benchmark::State& state, MakeStore make_store) {
+  const size_t chunk_size = static_cast<size_t>(state.range(0));
+  Bytes chunk = Payload(chunk_size);
+  for (auto _ : state) {
+    auto store = make_store();
+    BlobId id = ValueOrDie(store->Create(), "create");
+    for (int i = 0; i < 64; ++i) {
+      CheckOk(store->Append(id, chunk), "append");
+    }
+    benchmark::DoNotOptimize(store->Size(id));
+  }
+  state.SetBytesProcessed(state.iterations() * 64 * chunk_size);
+}
+
+void BM_Append_Memory(benchmark::State& state) {
+  AppendBench(state, [] { return std::make_unique<MemoryBlobStore>(); });
+}
+BENCHMARK(BM_Append_Memory)->Arg(4096)->Arg(65536);
+
+void BM_Append_Paged(benchmark::State& state) {
+  AppendBench(state, [] {
+    return std::make_unique<PagedBlobStore>(
+        std::make_unique<MemoryPageDevice>(4096));
+  });
+}
+BENCHMARK(BM_Append_Paged)->Arg(4096)->Arg(65536);
+
+void BM_Append_File(benchmark::State& state) {
+  std::string dir = std::filesystem::temp_directory_path() /
+                    "tbm_bench_filestore";
+  std::filesystem::remove_all(dir);
+  int counter = 0;
+  AppendBench(state, [&] {
+    std::string sub = dir + "/" + std::to_string(counter++);
+    return ValueOrDie(FileBlobStore::Open(sub), "open");
+  });
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_Append_File)->Arg(65536);
+
+// --- Read throughput: contiguous vs fragmented -----------------------------
+
+void BM_Read_Contiguous(benchmark::State& state) {
+  PagedBlobStore store(std::make_unique<MemoryPageDevice>(4096));
+  BlobId id = ValueOrDie(store.Create(), "create");
+  Bytes chunk = Payload(1 << 20);
+  CheckOk(store.Append(id, chunk), "append");
+  for (auto _ : state) {
+    auto data = store.Read(id, ByteRange{0, 1 << 20});
+    CheckOk(data.status(), "read");
+    benchmark::DoNotOptimize(data->data());
+  }
+  state.SetBytesProcessed(state.iterations() * (1 << 20));
+}
+BENCHMARK(BM_Read_Contiguous);
+
+void BM_Read_Fragmented(benchmark::State& state) {
+  // Same logical content, but pages interleaved with a second blob.
+  PagedBlobStore store(std::make_unique<MemoryPageDevice>(4096));
+  BlobId id = ValueOrDie(store.Create(), "create");
+  BlobId other = ValueOrDie(store.Create(), "other");
+  Bytes piece = Payload(4088);  // One page payload.
+  for (int i = 0; i < 257; ++i) {
+    CheckOk(store.Append(id, piece), "append");
+    CheckOk(store.Append(other, piece), "append other");
+  }
+  const uint64_t span = 1 << 20;
+  for (auto _ : state) {
+    auto data = store.Read(id, ByteRange{0, span});
+    CheckOk(data.status(), "read");
+    benchmark::DoNotOptimize(data->data());
+  }
+  state.SetBytesProcessed(state.iterations() * span);
+}
+BENCHMARK(BM_Read_Fragmented);
+
+void BM_Read_MemoryBaseline(benchmark::State& state) {
+  MemoryBlobStore store;
+  BlobId id = ValueOrDie(store.Create(), "create");
+  CheckOk(store.Append(id, Payload(1 << 20)), "append");
+  for (auto _ : state) {
+    auto data = store.Read(id, ByteRange{0, 1 << 20});
+    CheckOk(data.status(), "read");
+    benchmark::DoNotOptimize(data->data());
+  }
+  state.SetBytesProcessed(state.iterations() * (1 << 20));
+}
+BENCHMARK(BM_Read_MemoryBaseline);
+
+// --- Random element-sized reads (media access pattern) ----------------------
+
+void BM_RandomElementReads(benchmark::State& state) {
+  PagedBlobStore store(std::make_unique<MemoryPageDevice>(4096));
+  BlobId id = ValueOrDie(store.Create(), "create");
+  CheckOk(store.Append(id, Payload(4 << 20)), "append");
+  uint64_t offset = 0;
+  const uint64_t element = static_cast<uint64_t>(state.range(0));
+  for (auto _ : state) {
+    auto data = store.Read(id, ByteRange{offset, element});
+    CheckOk(data.status(), "read");
+    benchmark::DoNotOptimize(data->data());
+    offset = (offset + 777 * element) % ((4 << 20) - element);
+  }
+  state.SetBytesProcessed(state.iterations() * element);
+}
+BENCHMARK(BM_RandomElementReads)->Arg(1764 * 4)->Arg(20000);
+
+// --- Index construction -----------------------------------------------------
+
+void BM_BuildCompactIndex(benchmark::State& state) {
+  InterpretedObject object;
+  object.name = "v";
+  object.time_system = TimeSystem(25);
+  const int64_t n = state.range(0);
+  uint64_t offset = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    uint64_t size = 15000 + (i * 97) % 2000;
+    object.elements.push_back({i, i, 1, ByteRange{offset, size}, {}});
+    offset += size;
+  }
+  for (auto _ : state) {
+    CompactElementIndex index = CompactElementIndex::Build(object);
+    benchmark::DoNotOptimize(index.MemoryBytes());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BuildCompactIndex)->Range(256, 16384);
+
+}  // namespace
+}  // namespace tbm
+
+int main(int argc, char** argv) {
+  tbm::PrintAblation();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,190 @@
+// Substrate ablation: derivation evaluation strategy. The paper (§4.2)
+// frames the store-derived vs store-expanded decision around expansion
+// cost; this bench quantifies the knobs the library adds around it —
+// memoized vs cold expansion of shared DAGs, expand-and-store
+// amortization, and activity-flow streaming overhead versus batch
+// materialization.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "codec/pcm.h"
+#include "codec/synthetic.h"
+#include "derive/graph.h"
+#include "playback/activity.h"
+
+namespace tbm {
+namespace {
+
+using bench::CheckOk;
+using bench::ValueOrDie;
+
+VideoValue Clip(int64_t frames, uint32_t scene) {
+  VideoValue video;
+  video.frame_rate = Rational(25);
+  video.frames = videogen::Clip(96, 64, frames, scene);
+  return video;
+}
+
+// A diamond DAG: one source feeding two cuts feeding one concat. The
+// source subtree is shared, so caching pays twice.
+struct Diamond {
+  DerivationGraph graph;
+  NodeId top = 0;
+};
+
+Diamond MakeDiamond() {
+  Diamond d;
+  NodeId source = d.graph.AddLeaf(Clip(40, 9), "source");
+  AttrMap blur;  // A content derivation to make the shared stage cost real.
+  blur.SetString("kind", "fade");
+  AttrMap cut1;
+  cut1.SetInt("start frame", 0);
+  cut1.SetInt("frame count", 20);
+  AttrMap cut2;
+  cut2.SetInt("start frame", 20);
+  cut2.SetInt("frame count", 20);
+  NodeId a = ValueOrDie(d.graph.AddDerived("video edit", {source}, cut1, "a"),
+                        "a");
+  NodeId b = ValueOrDie(d.graph.AddDerived("video edit", {source}, cut2, "b"),
+                        "b");
+  d.top = ValueOrDie(
+      d.graph.AddDerived("video concat", {a, b}, AttrMap{}, "top"), "top");
+  return d;
+}
+
+void PrintAblation() {
+  bench::Header(
+      "Ablation: derivation evaluation — memoized vs cold expansion,\n"
+      "and streaming (activity) vs batch materialization");
+  Diamond d = MakeDiamond();
+  auto feasibility = ValueOrDie(d.graph.MeasureFeasibility(d.top), "feas");
+  std::printf(
+      "diamond DAG (shared source, 2 cuts, concat):\n"
+      "  cold expansion: %.3f ms for %.2f s of video (real-time: %s)\n",
+      feasibility.expansion_seconds * 1e3, feasibility.presentation_seconds,
+      feasibility.real_time ? "yes" : "no");
+}
+
+void BM_EvaluateCold(benchmark::State& state) {
+  Diamond d = MakeDiamond();
+  for (auto _ : state) {
+    d.graph.DropCache();
+    auto value = d.graph.Evaluate(d.top);
+    CheckOk(value.status(), "evaluate");
+    benchmark::DoNotOptimize(*value);
+  }
+}
+BENCHMARK(BM_EvaluateCold)->Unit(benchmark::kMillisecond);
+
+void BM_EvaluateWarm(benchmark::State& state) {
+  Diamond d = MakeDiamond();
+  CheckOk(d.graph.Evaluate(d.top).status(), "warm");
+  for (auto _ : state) {
+    auto value = d.graph.Evaluate(d.top);
+    CheckOk(value.status(), "evaluate");
+    benchmark::DoNotOptimize(*value);
+  }
+}
+BENCHMARK(BM_EvaluateWarm);
+
+void BM_DeepChainEvaluation(benchmark::State& state) {
+  // N chained gain stages over audio: linear cost in chain depth.
+  DerivationGraph graph;
+  NodeId node = graph.AddLeaf(audiogen::Sine(22050, 1, 440, 0.5, 1.0), "src");
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    AttrMap params;
+    params.SetDouble("gain", 0.999);
+    node = ValueOrDie(graph.AddDerived("audio gain", {node}, params), "gain");
+  }
+  for (auto _ : state) {
+    graph.DropCache();
+    auto value = graph.Evaluate(node);
+    CheckOk(value.status(), "evaluate");
+    benchmark::DoNotOptimize(*value);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DeepChainEvaluation)->Arg(1)->Arg(8)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+// --- Activity flows vs batch -------------------------------------------------
+
+MediaDescriptor FlowDescriptor() {
+  MediaDescriptor desc;
+  desc.type_name = "audio/pcm-block";
+  desc.kind = MediaKind::kAudio;
+  return desc;
+}
+
+TimedStream FlowStream(int64_t elements) {
+  TimedStream stream(FlowDescriptor(), TimeSystem(1000));
+  for (int64_t i = 0; i < elements; ++i) {
+    CheckOk(stream.AppendContiguous(Bytes(256, 1), 4), "element");
+  }
+  return stream;
+}
+
+void BM_ActivityPipeline(benchmark::State& state) {
+  TimedStream stream = FlowStream(state.range(0));
+  for (auto _ : state) {
+    TransformActivity pipeline(
+        std::make_unique<TransformActivity>(
+            std::make_unique<StreamSource>(&stream),
+            [](StreamElement element) -> Result<StreamElement> {
+              for (uint8_t& byte : element.data) byte ^= 0x5A;
+              return element;
+            }),
+        [](StreamElement element) -> Result<StreamElement> {
+          element.descriptor.SetInt("stage", 2);
+          return element;
+        });
+    auto stats = Drain(&pipeline);
+    CheckOk(stats.status(), "drain");
+    benchmark::DoNotOptimize(stats->bytes);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ActivityPipeline)->Range(256, 16384);
+
+void BM_BatchEquivalent(benchmark::State& state) {
+  TimedStream stream = FlowStream(state.range(0));
+  for (auto _ : state) {
+    // The batch version of the same two stages.
+    TimedStream out(stream.descriptor(), stream.time_system());
+    for (const StreamElement& element : stream) {
+      StreamElement copy = element;
+      for (uint8_t& byte : copy.data) byte ^= 0x5A;
+      copy.descriptor.SetInt("stage", 2);
+      CheckOk(out.Append(std::move(copy)), "append");
+    }
+    benchmark::DoNotOptimize(out.TotalBytes());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BatchEquivalent)->Range(256, 16384);
+
+void BM_MergeActivity(benchmark::State& state) {
+  TimedStream a = FlowStream(state.range(0));
+  TimedStream b = FlowStream(state.range(0));
+  for (auto _ : state) {
+    MergeActivity merge(std::make_unique<StreamSource>(&a),
+                        std::make_unique<StreamSource>(&b));
+    auto stats = Drain(&merge);
+    CheckOk(stats.status(), "drain");
+    benchmark::DoNotOptimize(stats->elements);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 2);
+}
+BENCHMARK(BM_MergeActivity)->Range(256, 4096);
+
+}  // namespace
+}  // namespace tbm
+
+int main(int argc, char** argv) {
+  tbm::PrintAblation();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,42 @@
+#ifndef TBM_BENCH_BENCH_UTIL_H_
+#define TBM_BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "base/result.h"
+#include "base/status.h"
+
+namespace tbm::bench {
+
+/// Aborts the bench with a message when a setup step fails — bench
+/// binaries have no gtest harness, so failures must be loud.
+inline void CheckOk(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "FATAL during %s: %s\n", what,
+                 status.ToString().c_str());
+    std::abort();
+  }
+}
+
+template <typename T>
+T ValueOrDie(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "FATAL during %s: %s\n", what,
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(result).value();
+}
+
+inline void Header(const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("================================================================\n");
+}
+
+}  // namespace tbm::bench
+
+#endif  // TBM_BENCH_BENCH_UTIL_H_

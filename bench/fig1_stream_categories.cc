@@ -1,0 +1,179 @@
+// Reproduces Figure 1: "Examples of timed streams for different forms
+// of time-based media" — one concrete stream per category, classified
+// by the library, plus classification-throughput sweeps.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "codec/adpcm.h"
+#include "codec/pcm.h"
+#include "midi/midi.h"
+#include "stream/category.h"
+
+namespace tbm {
+namespace {
+
+using bench::CheckOk;
+using bench::ValueOrDie;
+
+MediaDescriptor Descriptor(const char* type, MediaKind kind) {
+  MediaDescriptor desc;
+  desc.type_name = type;
+  desc.kind = kind;
+  return desc;
+}
+
+// --- One real stream per Figure 1 row. -------------------------------------
+
+// CD audio: uniform (constant size, constant duration, continuous).
+TimedStream CdAudioStream(int64_t elements) {
+  TimedStream stream(Descriptor("audio/pcm", MediaKind::kAudio),
+                     TimeSystem(44100));
+  for (int64_t i = 0; i < elements; ++i) {
+    CheckOk(stream.AppendContiguous(Bytes(4, 0), 1), "cd stream");
+  }
+  return stream;
+}
+
+// ADPCM audio: heterogeneous (element descriptors vary), uniform shape.
+TimedStream AdpcmStream(int64_t blocks) {
+  AudioBuffer audio = audiogen::Sine(44100, 1, 440.0, 0.7,
+                                     blocks * 256 / 44100.0 + 0.1);
+  auto encoded = ValueOrDie(AdpcmEncode(audio, 256), "adpcm encode");
+  TimedStream stream(Descriptor("audio/adpcm", MediaKind::kAudio),
+                     TimeSystem(44100));
+  for (int64_t i = 0; i < blocks && i < static_cast<int64_t>(encoded.size());
+       ++i) {
+    ElementDescriptor ed;
+    ed.SetInt("predictor", encoded[i].predictor[0]);
+    ed.SetInt("step index", encoded[i].step_index[0]);
+    CheckOk(stream.AppendContiguous(encoded[i].data, encoded[i].frames,
+                                    std::move(ed)),
+            "adpcm stream");
+  }
+  return stream;
+}
+
+// Compressed video: constant frequency, varying element size.
+TimedStream CompressedVideoStream(int64_t frames) {
+  TimedStream stream(Descriptor("video/tjpeg", MediaKind::kVideo),
+                     TimeSystem(25));
+  for (int64_t i = 0; i < frames; ++i) {
+    CheckOk(stream.AppendContiguous(Bytes(1800 + (i * 97) % 600, 0), 1),
+            "video stream");
+  }
+  return stream;
+}
+
+// Constant-data-rate stream: element size proportional to duration.
+TimedStream CbrStream(int64_t elements) {
+  TimedStream stream(Descriptor("audio/pcm-block", MediaKind::kAudio),
+                     TimeSystem(44100));
+  for (int64_t i = 0; i < elements; ++i) {
+    int64_t duration = 1000 + (i % 3) * 500;
+    CheckOk(stream.AppendContiguous(Bytes(duration * 4, 0), duration),
+            "cbr stream");
+  }
+  return stream;
+}
+
+// Music as notes: non-continuous with overlaps (chords) and gaps.
+TimedStream MusicStream(int64_t chords) {
+  MidiSequence seq(480, 120.0);
+  for (int64_t i = 0; i < chords; ++i) {
+    int64_t at = i * 960;
+    CheckOk(seq.AddNote(at, 720, 60), "note");
+    CheckOk(seq.AddNote(at, 720, 64), "note");
+    CheckOk(seq.AddNote(at, 720, 67), "note");  // Rest for 240 ticks after.
+  }
+  return ValueOrDie(seq.ToNoteStream(), "note stream");
+}
+
+// MIDI events: event-based (duration-less elements).
+TimedStream MidiEventStream(int64_t notes) {
+  MidiSequence seq(480, 120.0);
+  for (int64_t i = 0; i < notes; ++i) {
+    CheckOk(seq.AddNote(i * 480, 240, 60 + i % 12), "note");
+  }
+  return ValueOrDie(seq.ToEventStream(), "event stream");
+}
+
+void PrintFigure1() {
+  bench::Header(
+      "Figure 1 reproduction: timed-stream categories\n"
+      "(paper: homogeneous / heterogeneous / continuous / non-continuous /\n"
+      " event-based / constant frequency / constant data rate / uniform)");
+  struct Row {
+    const char* medium;
+    TimedStream stream;
+  };
+  Row rows[] = {
+      {"CD audio (PCM samples)", CdAudioStream(2000)},
+      {"ADPCM audio (coded blocks)", AdpcmStream(40)},
+      {"compressed video (TJPEG-like)", CompressedVideoStream(100)},
+      {"constant-rate blocks", CbrStream(50)},
+      {"music as notes (chords + rests)", MusicStream(12)},
+      {"MIDI events", MidiEventStream(40)},
+  };
+  std::printf("%-34s %8s  %s\n", "stream", "elements", "classification");
+  for (const Row& row : rows) {
+    StreamCategories cats = Classify(row.stream);
+    std::printf("%-34s %8zu  %s\n", row.medium, row.stream.size(),
+                cats.ToString().c_str());
+  }
+  std::printf(
+      "\nPaper shape check: audio/video classify as continuous media;\n"
+      "music/animation as non-continuous; MIDI as event-based. Uniform\n"
+      "implies constant data rate implies continuous.\n");
+}
+
+// --- Throughput sweeps. -----------------------------------------------------
+
+void BM_ClassifyUniform(benchmark::State& state) {
+  TimedStream stream = CdAudioStream(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Classify(stream));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ClassifyUniform)->Range(1 << 8, 1 << 16);
+
+void BM_ClassifyHeterogeneous(benchmark::State& state) {
+  TimedStream stream = AdpcmStream(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Classify(stream));
+  }
+  state.SetItemsProcessed(state.iterations() * stream.size());
+}
+BENCHMARK(BM_ClassifyHeterogeneous)->Range(64, 4096);
+
+void BM_ElementAtTime(benchmark::State& state) {
+  TimedStream stream = CompressedVideoStream(state.range(0));
+  int64_t t = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stream.ElementAtTime(t));
+    t = (t + 7) % state.range(0);
+  }
+}
+BENCHMARK(BM_ElementAtTime)->Range(1 << 8, 1 << 16);
+
+void BM_ValidateAgainstType(benchmark::State& state) {
+  TimedStream stream = CdAudioStream(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ValidateAgainstType(stream, MediaTypeRegistry::Builtin()));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ValidateAgainstType)->Range(1 << 8, 1 << 14);
+
+}  // namespace
+}  // namespace tbm
+
+int main(int argc, char** argv) {
+  tbm::PrintFigure1();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,117 @@
+#ifndef TBM_ANIM_ANIMATION_H_
+#define TBM_ANIM_ANIMATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/io.h"
+#include "codec/image.h"
+#include "stream/timed_stream.h"
+
+namespace tbm {
+
+/// 2-D animation as *movement events* — the paper's example of a
+/// non-continuous stream (§3.3: "consider animation represented by
+/// sequences of elements specifying movement. At times when the
+/// animated object is at rest there are no associated media
+/// elements").
+///
+/// An AnimationScene holds a cast of shapes and a sparse sequence of
+/// movement events; rendering it to video frames is the
+/// animation → video *type-changing derivation* (§4.2, §6).
+
+enum class ShapeKind : uint8_t {
+  kCircle = 0,
+  kRectangle = 1,
+};
+
+struct SceneObject {
+  int32_t id = 0;
+  ShapeKind shape = ShapeKind::kCircle;
+  uint8_t r = 255, g = 255, b = 255;
+  int32_t size = 20;      ///< Radius or half-side, pixels.
+  double x = 0, y = 0;    ///< Initial position.
+};
+
+/// One movement: object `object_id` travels linearly from its position
+/// at `start` to (to_x, to_y) over `duration` ticks. Gaps between a
+/// movement's end and the next movement's start leave the object at
+/// rest — no elements cover that span.
+struct MovementEvent {
+  int64_t start = 0;
+  int64_t duration = 0;
+  int32_t object_id = 0;
+  double to_x = 0, to_y = 0;
+
+  void Serialize(BinaryWriter* writer) const;
+  static Result<MovementEvent> Deserialize(BinaryReader* reader);
+};
+
+class AnimationScene {
+ public:
+  AnimationScene() = default;
+  AnimationScene(int32_t width, int32_t height, Rational frame_rate)
+      : width_(width), height_(height), frame_rate_(frame_rate) {}
+
+  int32_t width() const { return width_; }
+  int32_t height() const { return height_; }
+  const Rational& frame_rate() const { return frame_rate_; }
+  void SetBackground(uint8_t r, uint8_t g, uint8_t b) {
+    bg_r_ = r;
+    bg_g_ = g;
+    bg_b_ = b;
+  }
+
+  Status AddObject(SceneObject object);
+
+  /// Adds a movement; movements of one object must not overlap in time
+  /// and must be added in start order per object.
+  Status AddMovement(MovementEvent movement);
+
+  const std::vector<SceneObject>& objects() const { return objects_; }
+  const std::vector<MovementEvent>& movements() const { return movements_; }
+
+  /// Last tick covered by any movement.
+  int64_t EndTick() const;
+
+  /// Position of an object at a tick (resolving all movements).
+  Result<std::pair<double, double>> PositionAt(int32_t object_id,
+                                               int64_t tick) const;
+
+  /// Rasterizes the scene at `tick` into an RGB frame — one step of the
+  /// animation → video derivation.
+  Result<Image> RenderFrame(int64_t tick) const;
+
+  /// Renders frames [0, count).
+  Result<std::vector<Image>> RenderClip(int64_t count) const;
+
+  /// The scene as a timed stream of movement elements — non-continuous
+  /// (gaps where everything is at rest; overlaps when multiple objects
+  /// move at once).
+  Result<TimedStream> ToTimedStream() const;
+
+  /// The scene as a single-element storage stream: one element holding
+  /// the fully serialized scene (cast + movements), spanning the
+  /// scene's duration. This is the form the database stores; the
+  /// movement-element stream above is the analytical view.
+  Result<TimedStream> ToSceneStream() const;
+
+  /// Rebuilds a scene from a ToSceneStream() stream.
+  static Result<AnimationScene> FromSceneStream(const TimedStream& stream);
+
+  void Serialize(BinaryWriter* writer) const;
+  static Result<AnimationScene> Deserialize(BinaryReader* reader);
+
+ private:
+  int32_t width_ = 320;
+  int32_t height_ = 240;
+  Rational frame_rate_ = Rational(25);
+  uint8_t bg_r_ = 16, bg_g_ = 24, bg_b_ = 40;
+  std::vector<SceneObject> objects_;
+  std::vector<MovementEvent> movements_;  ///< Sorted by start.
+};
+
+}  // namespace tbm
+
+#endif  // TBM_ANIM_ANIMATION_H_

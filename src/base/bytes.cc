@@ -1,0 +1,38 @@
+#include "base/bytes.h"
+
+#include <cstdio>
+
+namespace tbm {
+
+std::string HumanBytes(uint64_t n) {
+  static const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double value = static_cast<double>(n);
+  int unit = 0;
+  while (value >= 1024.0 && unit < 4) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buf[32];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof(buf), "%llu B",
+                  static_cast<unsigned long long>(n));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f %s", value, kUnits[unit]);
+  }
+  return buf;
+}
+
+std::string HumanRate(double bytes_per_second) {
+  static const char* kUnits[] = {"B/s", "kB/s", "MB/s", "GB/s"};
+  double value = bytes_per_second;
+  int unit = 0;
+  while (value >= 1000.0 && unit < 3) {
+    value /= 1000.0;
+    ++unit;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f %s", value, kUnits[unit]);
+  return buf;
+}
+
+}  // namespace tbm

@@ -1,0 +1,48 @@
+#ifndef TBM_BASE_BYTES_H_
+#define TBM_BASE_BYTES_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace tbm {
+
+/// Owned byte buffer used throughout the library for raw media data.
+using Bytes = std::vector<uint8_t>;
+
+/// Non-owning read-only view over bytes.
+using ByteSpan = std::span<const uint8_t>;
+
+/// A half-open byte range [offset, offset + length) within a BLOB or
+/// buffer. This is the unit of "placement" in interpretations (Def. 5).
+struct ByteRange {
+  uint64_t offset = 0;
+  uint64_t length = 0;
+
+  uint64_t end() const { return offset + length; }
+  bool empty() const { return length == 0; }
+
+  /// True iff `other` lies entirely inside this range.
+  bool Contains(const ByteRange& other) const {
+    return other.offset >= offset && other.end() <= end();
+  }
+
+  /// True iff the two ranges share at least one byte.
+  bool Overlaps(const ByteRange& other) const {
+    return offset < other.end() && other.offset < end();
+  }
+
+  friend bool operator==(const ByteRange&, const ByteRange&) = default;
+};
+
+/// Formats a byte count with binary units, e.g. "1.50 MiB".
+std::string HumanBytes(uint64_t n);
+
+/// Formats a data rate, e.g. "0.52 MB/s" (decimal units, matching the
+/// paper's Mbyte/sec figures).
+std::string HumanRate(double bytes_per_second);
+
+}  // namespace tbm
+
+#endif  // TBM_BASE_BYTES_H_

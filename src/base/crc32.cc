@@ -1,0 +1,36 @@
+#include "base/crc32.h"
+
+#include <array>
+
+namespace tbm {
+
+namespace {
+
+constexpr std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto kTable = MakeTable();
+
+}  // namespace
+
+uint32_t Crc32Extend(uint32_t crc, ByteSpan data) {
+  for (uint8_t b : data) {
+    crc = kTable[(crc ^ b) & 0xFF] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+uint32_t Crc32(ByteSpan data) {
+  return Crc32Finish(Crc32Extend(kCrc32Init, data));
+}
+
+}  // namespace tbm

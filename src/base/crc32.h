@@ -1,0 +1,24 @@
+#ifndef TBM_BASE_CRC32_H_
+#define TBM_BASE_CRC32_H_
+
+#include <cstdint>
+
+#include "base/bytes.h"
+
+namespace tbm {
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected). Used to checksum BLOB
+/// pages and the persisted catalog so corruption is detected on read
+/// rather than silently interpreted.
+uint32_t Crc32(ByteSpan data);
+
+/// Incremental form: pass the previous CRC to extend it over more data.
+/// `Crc32Extend(kCrc32Init, data)` finalized with `Crc32Finish` equals
+/// `Crc32(data)`.
+inline constexpr uint32_t kCrc32Init = 0xFFFFFFFFu;
+uint32_t Crc32Extend(uint32_t crc, ByteSpan data);
+inline uint32_t Crc32Finish(uint32_t crc) { return crc ^ 0xFFFFFFFFu; }
+
+}  // namespace tbm
+
+#endif  // TBM_BASE_CRC32_H_

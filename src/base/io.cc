@@ -1,0 +1,207 @@
+#include "base/io.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace tbm {
+
+void BinaryWriter::WriteU8(uint8_t v) { buffer_.push_back(v); }
+
+void BinaryWriter::WriteU16(uint16_t v) {
+  buffer_.push_back(static_cast<uint8_t>(v));
+  buffer_.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void BinaryWriter::WriteU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buffer_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void BinaryWriter::WriteU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buffer_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void BinaryWriter::WriteI32(int32_t v) { WriteU32(static_cast<uint32_t>(v)); }
+void BinaryWriter::WriteI64(int64_t v) { WriteU64(static_cast<uint64_t>(v)); }
+
+void BinaryWriter::WriteF64(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  WriteU64(bits);
+}
+
+void BinaryWriter::WriteVarU64(uint64_t v) {
+  while (v >= 0x80) {
+    buffer_.push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buffer_.push_back(static_cast<uint8_t>(v));
+}
+
+void BinaryWriter::WriteVarI64(int64_t v) {
+  // Zigzag encoding maps small negative values to small varints.
+  uint64_t zz = (static_cast<uint64_t>(v) << 1) ^
+                static_cast<uint64_t>(v >> 63);
+  WriteVarU64(zz);
+}
+
+void BinaryWriter::WriteString(std::string_view s) {
+  WriteVarU64(s.size());
+  buffer_.insert(buffer_.end(), s.begin(), s.end());
+}
+
+void BinaryWriter::WriteBytes(ByteSpan b) {
+  WriteVarU64(b.size());
+  buffer_.insert(buffer_.end(), b.begin(), b.end());
+}
+
+void BinaryWriter::WriteRaw(ByteSpan b) {
+  buffer_.insert(buffer_.end(), b.begin(), b.end());
+}
+
+Status BinaryReader::Need(size_t n) const {
+  if (pos_ + n > data_.size()) {
+    return Status::Corruption("truncated input: need " + std::to_string(n) +
+                              " bytes at offset " + std::to_string(pos_) +
+                              ", have " + std::to_string(data_.size() - pos_));
+  }
+  return Status::OK();
+}
+
+Result<uint8_t> BinaryReader::ReadU8() {
+  if (auto s = Need(1); !s.ok()) return s;
+  return data_[pos_++];
+}
+
+Result<uint16_t> BinaryReader::ReadU16() {
+  if (auto s = Need(2); !s.ok()) return s;
+  uint16_t v = static_cast<uint16_t>(data_[pos_]) |
+               static_cast<uint16_t>(data_[pos_ + 1]) << 8;
+  pos_ += 2;
+  return v;
+}
+
+Result<uint32_t> BinaryReader::ReadU32() {
+  if (auto s = Need(4); !s.ok()) return s;
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> BinaryReader::ReadU64() {
+  if (auto s = Need(8); !s.ok()) return s;
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+Result<int32_t> BinaryReader::ReadI32() {
+  auto r = ReadU32();
+  if (!r.ok()) return r.status();
+  return static_cast<int32_t>(*r);
+}
+
+Result<int64_t> BinaryReader::ReadI64() {
+  auto r = ReadU64();
+  if (!r.ok()) return r.status();
+  return static_cast<int64_t>(*r);
+}
+
+Result<double> BinaryReader::ReadF64() {
+  auto r = ReadU64();
+  if (!r.ok()) return r.status();
+  double v;
+  uint64_t bits = *r;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Result<uint64_t> BinaryReader::ReadVarU64() {
+  uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    if (auto s = Need(1); !s.ok()) return s;
+    uint8_t byte = data_[pos_++];
+    if (shift >= 64 || (shift == 63 && (byte & 0x7E))) {
+      return Status::Corruption("varint overflow");
+    }
+    v |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if (!(byte & 0x80)) break;
+    shift += 7;
+  }
+  return v;
+}
+
+Result<int64_t> BinaryReader::ReadVarI64() {
+  auto r = ReadVarU64();
+  if (!r.ok()) return r.status();
+  uint64_t zz = *r;
+  return static_cast<int64_t>((zz >> 1) ^ (~(zz & 1) + 1));
+}
+
+Result<std::string> BinaryReader::ReadString() {
+  auto len = ReadVarU64();
+  if (!len.ok()) return len.status();
+  if (auto s = Need(*len); !s.ok()) return s;
+  std::string out(reinterpret_cast<const char*>(data_.data() + pos_), *len);
+  pos_ += *len;
+  return out;
+}
+
+Result<Bytes> BinaryReader::ReadBytes() {
+  auto len = ReadVarU64();
+  if (!len.ok()) return len.status();
+  return ReadRaw(*len);
+}
+
+Result<Bytes> BinaryReader::ReadRaw(size_t n) {
+  if (auto s = Need(n); !s.ok()) return s;
+  Bytes out(data_.begin() + pos_, data_.begin() + pos_ + n);
+  pos_ += n;
+  return out;
+}
+
+Status WriteFile(const std::string& path, ByteSpan data) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open for write: " + path);
+  }
+  size_t written = data.empty() ? 0 : std::fwrite(data.data(), 1, data.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != data.size() || close_rc != 0) {
+    return Status::IOError("short write: " + path);
+  }
+  return Status::OK();
+}
+
+Result<Bytes> ReadFileBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open for read: " + path);
+  }
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  if (size < 0) {
+    std::fclose(f);
+    return Status::IOError("cannot stat: " + path);
+  }
+  std::fseek(f, 0, SEEK_SET);
+  Bytes out(static_cast<size_t>(size));
+  size_t got = size == 0 ? 0 : std::fread(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  if (got != out.size()) {
+    return Status::IOError("short read: " + path);
+  }
+  return out;
+}
+
+}  // namespace tbm

@@ -1,0 +1,87 @@
+#ifndef TBM_BASE_IO_H_
+#define TBM_BASE_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "base/bytes.h"
+#include "base/result.h"
+#include "base/status.h"
+
+namespace tbm {
+
+/// Little-endian binary serializer used for catalog persistence and
+/// on-disk BLOB metadata. All multi-byte integers are written
+/// little-endian; variable-length integers use LEB128.
+class BinaryWriter {
+ public:
+  BinaryWriter() = default;
+
+  void WriteU8(uint8_t v);
+  void WriteU16(uint16_t v);
+  void WriteU32(uint32_t v);
+  void WriteU64(uint64_t v);
+  void WriteI32(int32_t v);
+  void WriteI64(int64_t v);
+  void WriteF64(double v);
+  /// Unsigned LEB128 varint.
+  void WriteVarU64(uint64_t v);
+  /// Zigzag-encoded signed varint.
+  void WriteVarI64(int64_t v);
+  /// Length-prefixed (varint) string.
+  void WriteString(std::string_view s);
+  /// Length-prefixed (varint) byte buffer.
+  void WriteBytes(ByteSpan b);
+  /// Raw bytes, no length prefix.
+  void WriteRaw(ByteSpan b);
+
+  const Bytes& buffer() const { return buffer_; }
+  Bytes TakeBuffer() { return std::move(buffer_); }
+  size_t size() const { return buffer_.size(); }
+
+ private:
+  Bytes buffer_;
+};
+
+/// Little-endian binary deserializer matching BinaryWriter. All reads
+/// are bounds-checked and return Corruption on truncated input.
+class BinaryReader {
+ public:
+  explicit BinaryReader(ByteSpan data) : data_(data) {}
+
+  Result<uint8_t> ReadU8();
+  Result<uint16_t> ReadU16();
+  Result<uint32_t> ReadU32();
+  Result<uint64_t> ReadU64();
+  Result<int32_t> ReadI32();
+  Result<int64_t> ReadI64();
+  Result<double> ReadF64();
+  Result<uint64_t> ReadVarU64();
+  Result<int64_t> ReadVarI64();
+  Result<std::string> ReadString();
+  Result<Bytes> ReadBytes();
+  /// Reads exactly `n` raw bytes.
+  Result<Bytes> ReadRaw(size_t n);
+
+  /// Bytes not yet consumed.
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+  size_t position() const { return pos_; }
+
+ private:
+  Status Need(size_t n) const;
+
+  ByteSpan data_;
+  size_t pos_ = 0;
+};
+
+/// Writes `data` to `path`, replacing any existing file.
+Status WriteFile(const std::string& path, ByteSpan data);
+
+/// Reads the entire file at `path`.
+Result<Bytes> ReadFileBytes(const std::string& path);
+
+}  // namespace tbm
+
+#endif  // TBM_BASE_IO_H_

@@ -1,0 +1,39 @@
+#ifndef TBM_BASE_MACROS_H_
+#define TBM_BASE_MACROS_H_
+
+#include <utility>
+
+#include "base/result.h"
+#include "base/status.h"
+
+/// Evaluates `expr` (a Status expression); on error, returns it from the
+/// enclosing function.
+#define TBM_RETURN_IF_ERROR(expr)                        \
+  do {                                                   \
+    ::tbm::Status tbm_status_macro_tmp_ = (expr);        \
+    if (!tbm_status_macro_tmp_.ok()) {                   \
+      return tbm_status_macro_tmp_;                      \
+    }                                                    \
+  } while (false)
+
+#define TBM_MACRO_CONCAT_INNER(x, y) x##y
+#define TBM_MACRO_CONCAT(x, y) TBM_MACRO_CONCAT_INNER(x, y)
+
+/// Evaluates `rexpr` (a Result<T> expression); on error returns the
+/// status, otherwise assigns the value to `lhs`.
+///
+/// ```
+/// TBM_ASSIGN_OR_RETURN(Blob blob, store.Get(id));
+/// ```
+#define TBM_ASSIGN_OR_RETURN(lhs, rexpr)                              \
+  TBM_ASSIGN_OR_RETURN_IMPL_(                                         \
+      TBM_MACRO_CONCAT(tbm_result_macro_tmp_, __LINE__), lhs, rexpr)
+
+#define TBM_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) {                                  \
+    return tmp.status();                            \
+  }                                                 \
+  lhs = std::move(tmp).value()
+
+#endif  // TBM_BASE_MACROS_H_

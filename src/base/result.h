@@ -1,0 +1,62 @@
+#ifndef TBM_BASE_RESULT_H_
+#define TBM_BASE_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "base/status.h"
+
+namespace tbm {
+
+/// Value-or-error: holds either a `T` or a non-OK `Status`.
+///
+/// Usage:
+/// ```
+/// Result<Blob> r = store.Get(id);
+/// if (!r.ok()) return r.status();
+/// Blob& blob = *r;
+/// ```
+/// With the TBM_ASSIGN_OR_RETURN macro (see base/macros.h) the pattern
+/// collapses to one line.
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit, mirroring absl::StatusOr).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT
+
+  /// Constructs from a non-OK status. Passing an OK status is a bug and
+  /// is converted to an Internal error.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The error status; returns OK when a value is held.
+  const Status& status() const { return status_; }
+
+  /// Accessors; must hold a value.
+  T& value() & { assert(ok()); return *value_; }
+  const T& value() const& { assert(ok()); return *value_; }
+  T&& value() && { assert(ok()); return std::move(*value_); }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Returns the value, or `fallback` on error.
+  T ValueOr(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace tbm
+
+#endif  // TBM_BASE_RESULT_H_

@@ -1,0 +1,115 @@
+#ifndef TBM_BASE_STATUS_H_
+#define TBM_BASE_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace tbm {
+
+/// Error category carried by a Status.
+///
+/// The set of codes follows the conventions of production database
+/// libraries (RocksDB, Arrow): a small, closed enumeration that callers
+/// can dispatch on, with a free-form message for humans.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,   ///< Caller passed a malformed value.
+  kNotFound = 2,          ///< A named object or key does not exist.
+  kAlreadyExists = 3,     ///< Creation conflicts with an existing object.
+  kOutOfRange = 4,        ///< An index, time or span is outside valid bounds.
+  kCorruption = 5,        ///< Stored data failed an integrity check.
+  kIOError = 6,           ///< An operating-system I/O operation failed.
+  kUnsupported = 7,       ///< The operation is not supported for this type.
+  kFailedPrecondition = 8,///< Object state does not permit the operation.
+  kResourceExhausted = 9, ///< A capacity or budget limit was exceeded.
+  kInternal = 10,         ///< An invariant inside the library was violated.
+};
+
+/// Returns a stable human-readable name for a status code ("OK",
+/// "InvalidArgument", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Operation outcome: either OK or an error code plus message.
+///
+/// The library never throws for expected failure modes; every fallible
+/// public API returns `Status` or `Result<T>`. `Status` is cheap to
+/// copy in the OK case (a single null pointer) and allocates only when
+/// carrying an error.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message. `code` must
+  /// not be `kOk` (use the default constructor for success).
+  Status(StatusCode code, std::string message);
+
+  Status(const Status& other);
+  Status& operator=(const Status& other);
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// Named constructors, one per error code.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg);
+  static Status NotFound(std::string msg);
+  static Status AlreadyExists(std::string msg);
+  static Status OutOfRange(std::string msg);
+  static Status Corruption(std::string msg);
+  static Status IOError(std::string msg);
+  static Status Unsupported(std::string msg);
+  static Status FailedPrecondition(std::string msg);
+  static Status ResourceExhausted(std::string msg);
+  static Status Internal(std::string msg);
+
+  /// True iff the status represents success.
+  bool ok() const { return rep_ == nullptr; }
+
+  /// The status code (`kOk` when `ok()`).
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+
+  /// The error message (empty when `ok()`).
+  const std::string& message() const;
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsCorruption() const { return code() == StatusCode::kCorruption; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsUnsupported() const { return code() == StatusCode::kUnsupported; }
+  bool IsFailedPrecondition() const {
+    return code() == StatusCode::kFailedPrecondition;
+  }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  /// Renders as "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  /// Returns a copy of this status with `context` prepended to the
+  /// message, preserving the code. No-op on OK statuses.
+  Status WithContext(std::string_view context) const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code() == b.code();
+  }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  std::unique_ptr<Rep> rep_;  // null == OK
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace tbm
+
+#endif  // TBM_BASE_STATUS_H_

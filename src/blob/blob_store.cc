@@ -1,0 +1,13 @@
+#include "blob/blob_store.h"
+
+#include "base/macros.h"
+
+namespace tbm {
+
+Result<Bytes> BlobStore::ReadAll(BlobId id) const {
+  TBM_ASSIGN_OR_RETURN(uint64_t size, Size(id));
+  if (size == 0) return Bytes{};
+  return Read(id, ByteRange{0, size});
+}
+
+}  // namespace tbm

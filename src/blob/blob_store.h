@@ -1,0 +1,65 @@
+#ifndef TBM_BLOB_BLOB_STORE_H_
+#define TBM_BLOB_BLOB_STORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/bytes.h"
+#include "base/result.h"
+#include "base/status.h"
+
+namespace tbm {
+
+/// Identifier of a BLOB within a store.
+using BlobId = uint64_t;
+inline constexpr BlobId kInvalidBlobId = 0;
+
+/// A BLOB (paper Definition 4): an attribute value that appears to
+/// applications as a sequence of bytes, with read and append access.
+///
+/// Per the paper, insertion/deletion of byte spans is deliberately not
+/// offered: time-based media is edited non-destructively through
+/// derivation objects (Def. 6), never by rewriting BLOB bytes. The
+/// physical layout of a BLOB (contiguous or fragmented) is a
+/// performance concern hidden behind this interface; see
+/// MemoryBlobStore, PagedBlobStore and FileBlobStore.
+class BlobStore {
+ public:
+  virtual ~BlobStore() = default;
+
+  /// Creates a new empty BLOB and returns its id.
+  virtual Result<BlobId> Create() = 0;
+
+  /// Appends `data` to the end of BLOB `id`.
+  virtual Status Append(BlobId id, ByteSpan data) = 0;
+
+  /// Reads the byte range `range` of BLOB `id`. The full range must be
+  /// inside the BLOB; returns OutOfRange otherwise.
+  virtual Result<Bytes> Read(BlobId id, ByteRange range) const = 0;
+
+  /// Current size of BLOB `id` in bytes.
+  virtual Result<uint64_t> Size(BlobId id) const = 0;
+
+  /// Removes BLOB `id`, reclaiming its storage.
+  virtual Status Delete(BlobId id) = 0;
+
+  /// True iff a BLOB with this id exists.
+  virtual bool Exists(BlobId id) const = 0;
+
+  /// Ids of all live BLOBs, ascending.
+  virtual std::vector<BlobId> List() const = 0;
+
+  /// Convenience: reads the whole BLOB.
+  Result<Bytes> ReadAll(BlobId id) const;
+};
+
+/// Occupancy statistics for benchmarking and storage accounting.
+struct BlobStoreStats {
+  uint64_t blob_count = 0;
+  uint64_t logical_bytes = 0;   ///< Sum of BLOB sizes.
+  uint64_t physical_bytes = 0;  ///< Bytes actually occupied (pages, headers).
+};
+
+}  // namespace tbm
+
+#endif  // TBM_BLOB_BLOB_STORE_H_

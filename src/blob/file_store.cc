@@ -1,0 +1,122 @@
+#include "blob/file_store.h"
+
+#include <cstdio>
+#include <filesystem>
+
+namespace tbm {
+
+namespace fs = std::filesystem;
+
+namespace {
+Status NoSuchBlob(BlobId id) {
+  return Status::NotFound("no such BLOB: " + std::to_string(id));
+}
+}  // namespace
+
+Result<std::unique_ptr<FileBlobStore>> FileBlobStore::Open(
+    const std::string& dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create directory " + dir + ": " +
+                           ec.message());
+  }
+  auto store = std::unique_ptr<FileBlobStore>(new FileBlobStore(dir));
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    std::string name = entry.path().filename().string();
+    BlobId id = 0;
+    if (std::sscanf(name.c_str(), "blob_%llu.bin",
+                    reinterpret_cast<unsigned long long*>(&id)) == 1) {
+      store->sizes_[id] = entry.file_size();
+      store->next_id_ = std::max(store->next_id_, id + 1);
+    }
+  }
+  if (ec) {
+    return Status::IOError("cannot scan directory " + dir + ": " +
+                           ec.message());
+  }
+  return store;
+}
+
+std::string FileBlobStore::PathFor(BlobId id) const {
+  return dir_ + "/blob_" + std::to_string(id) + ".bin";
+}
+
+Result<BlobId> FileBlobStore::Create() {
+  BlobId id = next_id_++;
+  std::FILE* f = std::fopen(PathFor(id).c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot create blob file: " + PathFor(id));
+  }
+  std::fclose(f);
+  sizes_[id] = 0;
+  return id;
+}
+
+Status FileBlobStore::Append(BlobId id, ByteSpan data) {
+  auto it = sizes_.find(id);
+  if (it == sizes_.end()) return NoSuchBlob(id);
+  std::FILE* f = std::fopen(PathFor(id).c_str(), "ab");
+  if (f == nullptr) {
+    return Status::IOError("cannot open blob file: " + PathFor(id));
+  }
+  size_t written =
+      data.empty() ? 0 : std::fwrite(data.data(), 1, data.size(), f);
+  int rc = std::fclose(f);
+  if (written != data.size() || rc != 0) {
+    return Status::IOError("short append to " + PathFor(id));
+  }
+  it->second += data.size();
+  return Status::OK();
+}
+
+Result<Bytes> FileBlobStore::Read(BlobId id, ByteRange range) const {
+  auto it = sizes_.find(id);
+  if (it == sizes_.end()) return NoSuchBlob(id);
+  if (range.end() > it->second) {
+    return Status::OutOfRange("read past end of BLOB " + std::to_string(id));
+  }
+  std::FILE* f = std::fopen(PathFor(id).c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open blob file: " + PathFor(id));
+  }
+  Bytes out(range.length);
+  bool ok = std::fseek(f, static_cast<long>(range.offset), SEEK_SET) == 0;
+  if (ok && !out.empty()) {
+    ok = std::fread(out.data(), 1, out.size(), f) == out.size();
+  }
+  std::fclose(f);
+  if (!ok) return Status::IOError("short read from " + PathFor(id));
+  return out;
+}
+
+Result<uint64_t> FileBlobStore::Size(BlobId id) const {
+  auto it = sizes_.find(id);
+  if (it == sizes_.end()) return NoSuchBlob(id);
+  return it->second;
+}
+
+Status FileBlobStore::Delete(BlobId id) {
+  auto it = sizes_.find(id);
+  if (it == sizes_.end()) return NoSuchBlob(id);
+  std::error_code ec;
+  fs::remove(PathFor(id), ec);
+  if (ec) {
+    return Status::IOError("cannot delete " + PathFor(id) + ": " +
+                           ec.message());
+  }
+  sizes_.erase(it);
+  return Status::OK();
+}
+
+bool FileBlobStore::Exists(BlobId id) const { return sizes_.count(id) > 0; }
+
+std::vector<BlobId> FileBlobStore::List() const {
+  std::vector<BlobId> ids;
+  ids.reserve(sizes_.size());
+  for (const auto& [id, size] : sizes_) ids.push_back(id);
+  return ids;
+}
+
+}  // namespace tbm

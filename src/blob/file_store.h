@@ -1,0 +1,46 @@
+#ifndef TBM_BLOB_FILE_STORE_H_
+#define TBM_BLOB_FILE_STORE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "blob/blob_store.h"
+
+namespace tbm {
+
+/// BLOB store keeping each BLOB as one file (`<dir>/blob_<id>.bin`).
+///
+/// This is the persistence-grade store used by the database layer: a
+/// database directory holds one file per BLOB plus the catalog. On
+/// open, existing blob files are rediscovered by scanning the
+/// directory, so a database survives process restarts.
+class FileBlobStore : public BlobStore {
+ public:
+  /// Opens the store rooted at `dir`, creating the directory if needed
+  /// and scanning it for existing BLOB files.
+  static Result<std::unique_ptr<FileBlobStore>> Open(const std::string& dir);
+
+  Result<BlobId> Create() override;
+  Status Append(BlobId id, ByteSpan data) override;
+  Result<Bytes> Read(BlobId id, ByteRange range) const override;
+  Result<uint64_t> Size(BlobId id) const override;
+  Status Delete(BlobId id) override;
+  bool Exists(BlobId id) const override;
+  std::vector<BlobId> List() const override;
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  explicit FileBlobStore(std::string dir) : dir_(std::move(dir)) {}
+
+  std::string PathFor(BlobId id) const;
+
+  std::string dir_;
+  std::map<BlobId, uint64_t> sizes_;  ///< id -> byte length.
+  BlobId next_id_ = 1;
+};
+
+}  // namespace tbm
+
+#endif  // TBM_BLOB_FILE_STORE_H_

@@ -1,0 +1,67 @@
+#include "blob/memory_store.h"
+
+namespace tbm {
+
+namespace {
+Status NoSuchBlob(BlobId id) {
+  return Status::NotFound("no such BLOB: " + std::to_string(id));
+}
+}  // namespace
+
+Result<BlobId> MemoryBlobStore::Create() {
+  BlobId id = next_id_++;
+  blobs_.emplace(id, Bytes{});
+  return id;
+}
+
+Status MemoryBlobStore::Append(BlobId id, ByteSpan data) {
+  auto it = blobs_.find(id);
+  if (it == blobs_.end()) return NoSuchBlob(id);
+  it->second.insert(it->second.end(), data.begin(), data.end());
+  return Status::OK();
+}
+
+Result<Bytes> MemoryBlobStore::Read(BlobId id, ByteRange range) const {
+  auto it = blobs_.find(id);
+  if (it == blobs_.end()) return NoSuchBlob(id);
+  const Bytes& blob = it->second;
+  if (range.end() > blob.size()) {
+    return Status::OutOfRange(
+        "read past end of BLOB " + std::to_string(id) + ": [" +
+        std::to_string(range.offset) + ", " + std::to_string(range.end()) +
+        ") of " + std::to_string(blob.size()));
+  }
+  return Bytes(blob.begin() + range.offset, blob.begin() + range.end());
+}
+
+Result<uint64_t> MemoryBlobStore::Size(BlobId id) const {
+  auto it = blobs_.find(id);
+  if (it == blobs_.end()) return NoSuchBlob(id);
+  return static_cast<uint64_t>(it->second.size());
+}
+
+Status MemoryBlobStore::Delete(BlobId id) {
+  if (blobs_.erase(id) == 0) return NoSuchBlob(id);
+  return Status::OK();
+}
+
+bool MemoryBlobStore::Exists(BlobId id) const { return blobs_.count(id) > 0; }
+
+std::vector<BlobId> MemoryBlobStore::List() const {
+  std::vector<BlobId> ids;
+  ids.reserve(blobs_.size());
+  for (const auto& [id, data] : blobs_) ids.push_back(id);
+  return ids;
+}
+
+BlobStoreStats MemoryBlobStore::Stats() const {
+  BlobStoreStats stats;
+  stats.blob_count = blobs_.size();
+  for (const auto& [id, data] : blobs_) {
+    stats.logical_bytes += data.size();
+    stats.physical_bytes += data.capacity();
+  }
+  return stats;
+}
+
+}  // namespace tbm

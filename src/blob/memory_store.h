@@ -1,0 +1,37 @@
+#ifndef TBM_BLOB_MEMORY_STORE_H_
+#define TBM_BLOB_MEMORY_STORE_H_
+
+#include <map>
+
+#include "blob/blob_store.h"
+
+namespace tbm {
+
+/// BLOB store keeping each BLOB as one contiguous in-memory buffer.
+///
+/// This is the "contiguous layout" end of the layout spectrum: appends
+/// may reallocate and copy, reads are a single memcpy. Used as the
+/// baseline in the storage-layout ablation bench and as the default
+/// store in tests and examples.
+class MemoryBlobStore : public BlobStore {
+ public:
+  MemoryBlobStore() = default;
+
+  Result<BlobId> Create() override;
+  Status Append(BlobId id, ByteSpan data) override;
+  Result<Bytes> Read(BlobId id, ByteRange range) const override;
+  Result<uint64_t> Size(BlobId id) const override;
+  Status Delete(BlobId id) override;
+  bool Exists(BlobId id) const override;
+  std::vector<BlobId> List() const override;
+
+  BlobStoreStats Stats() const;
+
+ private:
+  std::map<BlobId, Bytes> blobs_;
+  BlobId next_id_ = 1;
+};
+
+}  // namespace tbm
+
+#endif  // TBM_BLOB_MEMORY_STORE_H_

@@ -1,0 +1,288 @@
+#include "blob/paged_store.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstring>
+
+#include "base/crc32.h"
+#include "base/macros.h"
+
+namespace tbm {
+
+namespace {
+Status NoSuchBlob(BlobId id) {
+  return Status::NotFound("no such BLOB: " + std::to_string(id));
+}
+
+void PutU32(uint8_t* p, uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+uint32_t GetU32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// MemoryPageDevice
+
+Result<uint64_t> MemoryPageDevice::GrowOnePage() {
+  pages_.emplace_back(page_size_, 0);
+  return static_cast<uint64_t>(pages_.size() - 1);
+}
+
+Status MemoryPageDevice::ReadPage(uint64_t index, uint8_t* out) const {
+  if (index >= pages_.size()) {
+    return Status::OutOfRange("page index " + std::to_string(index));
+  }
+  std::memcpy(out, pages_[index].data(), page_size_);
+  return Status::OK();
+}
+
+Status MemoryPageDevice::WritePage(uint64_t index, const uint8_t* data) {
+  if (index >= pages_.size()) {
+    return Status::OutOfRange("page index " + std::to_string(index));
+  }
+  std::memcpy(pages_[index].data(), data, page_size_);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// FilePageDevice
+
+Result<std::unique_ptr<FilePageDevice>> FilePageDevice::Open(
+    const std::string& path, uint32_t page_size) {
+  if (page_size < PagedBlobStore::kPageHeaderSize + 1) {
+    return Status::InvalidArgument("page size too small");
+  }
+  // "a+" would force appends; use r+ and fall back to w+ to create.
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  if (f == nullptr) f = std::fopen(path.c_str(), "w+b");
+  if (f == nullptr) {
+    return Status::IOError("cannot open page file: " + path);
+  }
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  if (size < 0) {
+    std::fclose(f);
+    return Status::IOError("cannot stat page file: " + path);
+  }
+  uint64_t pages = static_cast<uint64_t>(size) / page_size;
+  return std::unique_ptr<FilePageDevice>(
+      new FilePageDevice(f, page_size, pages));
+}
+
+FilePageDevice::~FilePageDevice() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Result<uint64_t> FilePageDevice::GrowOnePage() {
+  Bytes zeros(page_size_, 0);
+  if (std::fseek(file_, static_cast<long>(page_count_ * page_size_),
+                 SEEK_SET) != 0 ||
+      std::fwrite(zeros.data(), 1, page_size_, file_) != page_size_) {
+    return Status::IOError("cannot grow page file");
+  }
+  return page_count_++;
+}
+
+Status FilePageDevice::ReadPage(uint64_t index, uint8_t* out) const {
+  if (index >= page_count_) {
+    return Status::OutOfRange("page index " + std::to_string(index));
+  }
+  if (std::fseek(file_, static_cast<long>(index * page_size_), SEEK_SET) != 0 ||
+      std::fread(out, 1, page_size_, file_) != page_size_) {
+    return Status::IOError("page read failed");
+  }
+  return Status::OK();
+}
+
+Status FilePageDevice::WritePage(uint64_t index, const uint8_t* data) {
+  if (index >= page_count_) {
+    return Status::OutOfRange("page index " + std::to_string(index));
+  }
+  if (std::fseek(file_, static_cast<long>(index * page_size_), SEEK_SET) != 0 ||
+      std::fwrite(data, 1, page_size_, file_) != page_size_) {
+    return Status::IOError("page write failed");
+  }
+  std::fflush(file_);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// PagedBlobStore
+
+PagedBlobStore::PagedBlobStore(std::unique_ptr<PageDevice> device)
+    : device_(std::move(device)),
+      payload_size_(device_->page_size() - kPageHeaderSize) {
+  assert(device_->page_size() > kPageHeaderSize);
+}
+
+Status PagedBlobStore::WritePagePayload(uint64_t page, ByteSpan payload) {
+  assert(payload.size() <= payload_size_);
+  Bytes buf(device_->page_size(), 0);
+  PutU32(buf.data() + 4, static_cast<uint32_t>(payload.size()));
+  std::memcpy(buf.data() + kPageHeaderSize, payload.data(), payload.size());
+  PutU32(buf.data(),
+         Crc32(ByteSpan(buf.data() + 4, device_->page_size() - 4)));
+  return device_->WritePage(page, buf.data());
+}
+
+Result<Bytes> PagedBlobStore::ReadPagePayload(uint64_t page) const {
+  Bytes buf(device_->page_size());
+  TBM_RETURN_IF_ERROR(device_->ReadPage(page, buf.data()));
+  uint32_t stored_crc = GetU32(buf.data());
+  uint32_t actual_crc =
+      Crc32(ByteSpan(buf.data() + 4, device_->page_size() - 4));
+  if (stored_crc != actual_crc) {
+    return Status::Corruption("page " + std::to_string(page) +
+                              " checksum mismatch");
+  }
+  uint32_t len = GetU32(buf.data() + 4);
+  if (len > payload_size_) {
+    return Status::Corruption("page " + std::to_string(page) +
+                              " length field out of range");
+  }
+  return Bytes(buf.begin() + kPageHeaderSize,
+               buf.begin() + kPageHeaderSize + len);
+}
+
+Result<uint64_t> PagedBlobStore::AcquirePage() {
+  if (!free_pages_.empty()) {
+    uint64_t page = free_pages_.back();
+    free_pages_.pop_back();
+    return page;
+  }
+  return device_->GrowOnePage();
+}
+
+Result<BlobId> PagedBlobStore::Create() {
+  BlobId id = next_id_++;
+  blobs_.emplace(id, BlobMeta{});
+  return id;
+}
+
+Status PagedBlobStore::Append(BlobId id, ByteSpan data) {
+  auto it = blobs_.find(id);
+  if (it == blobs_.end()) return NoSuchBlob(id);
+  BlobMeta& meta = it->second;
+
+  size_t pos = 0;
+  // Fill the trailing partial page first.
+  uint32_t tail_used = static_cast<uint32_t>(meta.size % payload_size_);
+  if (tail_used != 0 && !data.empty()) {
+    uint64_t tail_page = meta.pages.back();
+    TBM_ASSIGN_OR_RETURN(Bytes payload, ReadPagePayload(tail_page));
+    size_t take = std::min<size_t>(payload_size_ - tail_used, data.size());
+    payload.insert(payload.end(), data.begin(), data.begin() + take);
+    TBM_RETURN_IF_ERROR(WritePagePayload(tail_page, payload));
+    pos = take;
+    meta.size += take;
+  }
+  // Then whole new pages.
+  while (pos < data.size()) {
+    size_t take = std::min<size_t>(payload_size_, data.size() - pos);
+    TBM_ASSIGN_OR_RETURN(uint64_t page, AcquirePage());
+    TBM_RETURN_IF_ERROR(
+        WritePagePayload(page, data.subspan(pos, take)));
+    meta.pages.push_back(page);
+    meta.size += take;
+    pos += take;
+  }
+  return Status::OK();
+}
+
+Result<Bytes> PagedBlobStore::Read(BlobId id, ByteRange range) const {
+  auto it = blobs_.find(id);
+  if (it == blobs_.end()) return NoSuchBlob(id);
+  const BlobMeta& meta = it->second;
+  if (range.end() > meta.size) {
+    return Status::OutOfRange(
+        "read past end of BLOB " + std::to_string(id) + ": [" +
+        std::to_string(range.offset) + ", " + std::to_string(range.end()) +
+        ") of " + std::to_string(meta.size));
+  }
+  Bytes out;
+  out.reserve(range.length);
+  uint64_t first_page = range.offset / payload_size_;
+  uint64_t last_page = range.empty() ? first_page
+                                     : (range.end() - 1) / payload_size_;
+  for (uint64_t p = first_page; p <= last_page && !range.empty(); ++p) {
+    TBM_ASSIGN_OR_RETURN(Bytes payload, ReadPagePayload(meta.pages[p]));
+    uint64_t page_start = p * payload_size_;
+    uint64_t from = range.offset > page_start ? range.offset - page_start : 0;
+    uint64_t to = std::min<uint64_t>(payload.size(),
+                                     range.end() - page_start);
+    out.insert(out.end(), payload.begin() + from, payload.begin() + to);
+  }
+  return out;
+}
+
+Result<uint64_t> PagedBlobStore::Size(BlobId id) const {
+  auto it = blobs_.find(id);
+  if (it == blobs_.end()) return NoSuchBlob(id);
+  return it->second.size;
+}
+
+Status PagedBlobStore::Delete(BlobId id) {
+  auto it = blobs_.find(id);
+  if (it == blobs_.end()) return NoSuchBlob(id);
+  free_pages_.insert(free_pages_.end(), it->second.pages.begin(),
+                     it->second.pages.end());
+  blobs_.erase(it);
+  return Status::OK();
+}
+
+bool PagedBlobStore::Exists(BlobId id) const { return blobs_.count(id) > 0; }
+
+std::vector<BlobId> PagedBlobStore::List() const {
+  std::vector<BlobId> ids;
+  ids.reserve(blobs_.size());
+  for (const auto& [id, meta] : blobs_) ids.push_back(id);
+  return ids;
+}
+
+BlobStoreStats PagedBlobStore::Stats() const {
+  BlobStoreStats stats;
+  stats.blob_count = blobs_.size();
+  for (const auto& [id, meta] : blobs_) stats.logical_bytes += meta.size;
+  stats.physical_bytes = device_->page_count() * device_->page_size();
+  return stats;
+}
+
+Status PagedBlobStore::Defragment(BlobId id) {
+  auto it = blobs_.find(id);
+  if (it == blobs_.end()) return NoSuchBlob(id);
+  BlobMeta& meta = it->second;
+  if (meta.pages.size() <= 1) return Status::OK();
+
+  // Copy payloads into freshly grown pages, which are contiguous by
+  // construction (GrowOnePage indexes increase monotonically).
+  std::vector<uint64_t> new_pages;
+  new_pages.reserve(meta.pages.size());
+  for (uint64_t old_page : meta.pages) {
+    TBM_ASSIGN_OR_RETURN(Bytes payload, ReadPagePayload(old_page));
+    TBM_ASSIGN_OR_RETURN(uint64_t fresh, device_->GrowOnePage());
+    TBM_RETURN_IF_ERROR(WritePagePayload(fresh, payload));
+    new_pages.push_back(fresh);
+  }
+  free_pages_.insert(free_pages_.end(), meta.pages.begin(), meta.pages.end());
+  meta.pages = std::move(new_pages);
+  return Status::OK();
+}
+
+Result<double> PagedBlobStore::Fragmentation(BlobId id) const {
+  auto it = blobs_.find(id);
+  if (it == blobs_.end()) return NoSuchBlob(id);
+  const auto& pages = it->second.pages;
+  if (pages.size() <= 1) return 0.0;
+  uint64_t breaks = 0;
+  for (size_t i = 1; i < pages.size(); ++i) {
+    if (pages[i] != pages[i - 1] + 1) ++breaks;
+  }
+  return static_cast<double>(breaks) / static_cast<double>(pages.size() - 1);
+}
+
+}  // namespace tbm

@@ -1,0 +1,183 @@
+#include "codec/adpcm.h"
+
+#include <algorithm>
+
+#include "base/macros.h"
+
+namespace tbm {
+
+namespace {
+
+// Standard IMA ADPCM tables.
+constexpr int kStepTable[89] = {
+    7,     8,     9,     10,    11,    12,    13,    14,    16,    17,
+    19,    21,    23,    25,    28,    31,    34,    37,    41,    45,
+    50,    55,    60,    66,    73,    80,    88,    97,    107,   118,
+    130,   143,   157,   173,   190,   209,   230,   253,   279,   307,
+    337,   371,   408,   449,   494,   544,   598,   658,   724,   796,
+    876,   963,   1060,  1166,  1282,  1411,  1552,  1707,  1878,  2066,
+    2272,  2499,  2749,  3024,  3327,  3660,  4026,  4428,  4871,  5358,
+    5894,  6484,  7132,  7845,  8630,  9493,  10442, 11487, 12635, 13899,
+    15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767};
+
+constexpr int kIndexTable[16] = {-1, -1, -1, -1, 2, 4, 6, 8,
+                                 -1, -1, -1, -1, 2, 4, 6, 8};
+
+struct CoderState {
+  int predictor = 0;   // Current predicted sample.
+  int step_index = 0;  // Index into kStepTable.
+};
+
+uint8_t EncodeSample(CoderState* state, int16_t sample) {
+  int step = kStepTable[state->step_index];
+  int diff = sample - state->predictor;
+  uint8_t code = 0;
+  if (diff < 0) {
+    code = 8;
+    diff = -diff;
+  }
+  // Quantize diff against step/4, step/2, step.
+  int temp = step;
+  if (diff >= temp) {
+    code |= 4;
+    diff -= temp;
+  }
+  temp >>= 1;
+  if (diff >= temp) {
+    code |= 2;
+    diff -= temp;
+  }
+  temp >>= 1;
+  if (diff >= temp) {
+    code |= 1;
+  }
+  // Reconstruct exactly as the decoder will.
+  int diffq = step >> 3;
+  if (code & 4) diffq += step;
+  if (code & 2) diffq += step >> 1;
+  if (code & 1) diffq += step >> 2;
+  if (code & 8) {
+    state->predictor -= diffq;
+  } else {
+    state->predictor += diffq;
+  }
+  state->predictor = std::clamp(state->predictor, -32768, 32767);
+  state->step_index =
+      std::clamp(state->step_index + kIndexTable[code], 0, 88);
+  return code;
+}
+
+int16_t DecodeSample(CoderState* state, uint8_t code) {
+  int step = kStepTable[state->step_index];
+  int diffq = step >> 3;
+  if (code & 4) diffq += step;
+  if (code & 2) diffq += step >> 1;
+  if (code & 1) diffq += step >> 2;
+  if (code & 8) {
+    state->predictor -= diffq;
+  } else {
+    state->predictor += diffq;
+  }
+  state->predictor = std::clamp(state->predictor, -32768, 32767);
+  state->step_index =
+      std::clamp(state->step_index + kIndexTable[code], 0, 88);
+  return static_cast<int16_t>(state->predictor);
+}
+
+}  // namespace
+
+Result<std::vector<AdpcmBlock>> AdpcmEncode(const AudioBuffer& audio,
+                                            int64_t frames_per_block) {
+  TBM_RETURN_IF_ERROR(audio.Validate());
+  if (frames_per_block <= 0) {
+    return Status::InvalidArgument("frames_per_block must be positive");
+  }
+  const int32_t ch = audio.channels;
+  std::vector<CoderState> state(ch);
+  std::vector<AdpcmBlock> blocks;
+  const int64_t total_frames = audio.FrameCount();
+
+  for (int64_t block_start = 0; block_start < total_frames;
+       block_start += frames_per_block) {
+    const int64_t frames =
+        std::min<int64_t>(frames_per_block, total_frames - block_start);
+    AdpcmBlock block;
+    block.frames = frames;
+    for (int32_t c = 0; c < ch; ++c) {
+      block.predictor.push_back(static_cast<int16_t>(
+          std::clamp(state[c].predictor, -32768, 32767)));
+      block.step_index.push_back(static_cast<uint8_t>(state[c].step_index));
+    }
+    // Channel-planar nibble layout: all of channel 0, then channel 1...
+    const int64_t nibbles_per_channel = frames;
+    block.data.assign((nibbles_per_channel * ch + 1) / 2, 0);
+    int64_t nibble_pos = 0;
+    for (int32_t c = 0; c < ch; ++c) {
+      for (int64_t f = 0; f < frames; ++f) {
+        int16_t sample = audio.samples[(block_start + f) * ch + c];
+        uint8_t code = EncodeSample(&state[c], sample);
+        if (nibble_pos % 2 == 0) {
+          block.data[nibble_pos / 2] = code;
+        } else {
+          block.data[nibble_pos / 2] |= static_cast<uint8_t>(code << 4);
+        }
+        ++nibble_pos;
+      }
+    }
+    blocks.push_back(std::move(block));
+  }
+  return blocks;
+}
+
+Result<AudioBuffer> AdpcmDecodeBlock(const AdpcmBlock& block,
+                                     int64_t sample_rate, int32_t channels) {
+  if (channels <= 0) {
+    return Status::InvalidArgument("non-positive channel count");
+  }
+  if (block.predictor.size() != static_cast<size_t>(channels) ||
+      block.step_index.size() != static_cast<size_t>(channels)) {
+    return Status::InvalidArgument("ADPCM block state/channel mismatch");
+  }
+  const int64_t expected_nibbles = block.frames * channels;
+  if (block.data.size() !=
+      static_cast<size_t>((expected_nibbles + 1) / 2)) {
+    return Status::Corruption("ADPCM block size mismatch");
+  }
+  for (uint8_t si : block.step_index) {
+    if (si > 88) return Status::Corruption("ADPCM step index out of range");
+  }
+  AudioBuffer out;
+  out.sample_rate = sample_rate;
+  out.channels = channels;
+  out.samples.resize(block.frames * channels);
+  int64_t nibble_pos = 0;
+  for (int32_t c = 0; c < channels; ++c) {
+    CoderState state;
+    state.predictor = block.predictor[c];
+    state.step_index = block.step_index[c];
+    for (int64_t f = 0; f < block.frames; ++f) {
+      uint8_t byte = block.data[nibble_pos / 2];
+      uint8_t code = (nibble_pos % 2 == 0) ? (byte & 0x0F) : (byte >> 4);
+      out.samples[f * channels + c] = DecodeSample(&state, code);
+      ++nibble_pos;
+    }
+  }
+  return out;
+}
+
+Result<AudioBuffer> AdpcmDecode(const std::vector<AdpcmBlock>& blocks,
+                                int64_t sample_rate, int32_t channels) {
+  AudioBuffer out;
+  out.sample_rate = sample_rate;
+  out.channels = channels;
+  for (const AdpcmBlock& block : blocks) {
+    TBM_ASSIGN_OR_RETURN(AudioBuffer decoded,
+                         AdpcmDecodeBlock(block, sample_rate, channels));
+    out.samples.insert(out.samples.end(), decoded.samples.begin(),
+                       decoded.samples.end());
+  }
+  TBM_RETURN_IF_ERROR(out.Validate());
+  return out;
+}
+
+}  // namespace tbm

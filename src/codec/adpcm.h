@@ -1,0 +1,43 @@
+#ifndef TBM_CODEC_ADPCM_H_
+#define TBM_CODEC_ADPCM_H_
+
+#include <vector>
+
+#include "codec/pcm.h"
+
+namespace tbm {
+
+/// IMA ADPCM: 4-bit adaptive differential PCM, 4:1 compression.
+///
+/// The paper (§3.3) uses ADPCM as its canonical *heterogeneous* stream:
+/// "some versions of this compression technique involve a set of
+/// encoding parameters that vary over an audio sequence. These
+/// parameters would be part of element descriptors." Here each encoded
+/// block carries the coder state (predictor and step index per channel)
+/// it starts from; those two values become the element descriptor of
+/// the block's stream element, so any block can be decoded
+/// independently — the basis of random access into compressed audio.
+struct AdpcmBlock {
+  Bytes data;  ///< 4-bit codes, one nibble per sample, channel-planar.
+  std::vector<int16_t> predictor;   ///< Per-channel predictor at block start.
+  std::vector<uint8_t> step_index;  ///< Per-channel step index (0..88).
+  int64_t frames = 0;               ///< Frames encoded in this block.
+};
+
+/// Encodes `audio` into blocks of `frames_per_block` frames (the last
+/// block may be shorter). 4 bits/sample: a stereo 44.1 kHz stream drops
+/// from 176.4 kB/s to 44.1 kB/s.
+Result<std::vector<AdpcmBlock>> AdpcmEncode(const AudioBuffer& audio,
+                                            int64_t frames_per_block);
+
+/// Decodes one block independently using its carried state.
+Result<AudioBuffer> AdpcmDecodeBlock(const AdpcmBlock& block,
+                                     int64_t sample_rate, int32_t channels);
+
+/// Decodes a block sequence back to PCM.
+Result<AudioBuffer> AdpcmDecode(const std::vector<AdpcmBlock>& blocks,
+                                int64_t sample_rate, int32_t channels);
+
+}  // namespace tbm
+
+#endif  // TBM_CODEC_ADPCM_H_

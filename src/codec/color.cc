@@ -1,0 +1,186 @@
+#include "codec/color.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/macros.h"
+
+namespace tbm {
+
+namespace {
+
+uint8_t ClampByte(double v) {
+  return static_cast<uint8_t>(std::lround(std::clamp(v, 0.0, 255.0)));
+}
+
+// BT.601 full-range luma/chroma.
+void RgbPixelToYuv(uint8_t r, uint8_t g, uint8_t b, double* y, double* u,
+                   double* v) {
+  *y = 0.299 * r + 0.587 * g + 0.114 * b;
+  *u = -0.168736 * r - 0.331264 * g + 0.5 * b + 128.0;
+  *v = 0.5 * r - 0.418688 * g - 0.081312 * b + 128.0;
+}
+
+void YuvPixelToRgb(double y, double u, double v, uint8_t* r, uint8_t* g,
+                   uint8_t* b) {
+  u -= 128.0;
+  v -= 128.0;
+  *r = ClampByte(y + 1.402 * v);
+  *g = ClampByte(y - 0.344136 * u - 0.714136 * v);
+  *b = ClampByte(y + 1.772 * u);
+}
+
+}  // namespace
+
+Result<Image> RgbToYuv(const Image& rgb, ColorModel target) {
+  TBM_RETURN_IF_ERROR(rgb.Validate());
+  if (rgb.model != ColorModel::kRgb24) {
+    return Status::InvalidArgument("RgbToYuv expects an RGB image");
+  }
+  if (target != ColorModel::kYuv444 && target != ColorModel::kYuv422 &&
+      target != ColorModel::kYuv420) {
+    return Status::InvalidArgument("RgbToYuv target must be a YUV model");
+  }
+  const int32_t w = rgb.width;
+  const int32_t h = rgb.height;
+  Image out = Image::Zero(w, h, target);
+  const int32_t cw = out.ChromaWidth();
+  const int32_t ch = out.ChromaHeight();
+  uint8_t* y_plane = out.data.data();
+  uint8_t* u_plane = y_plane + static_cast<size_t>(w) * h;
+  uint8_t* v_plane = u_plane + static_cast<size_t>(cw) * ch;
+
+  // Accumulators for chroma averaging over each subsampling cell.
+  std::vector<double> u_acc(static_cast<size_t>(cw) * ch, 0.0);
+  std::vector<double> v_acc(static_cast<size_t>(cw) * ch, 0.0);
+  std::vector<int> count(static_cast<size_t>(cw) * ch, 0);
+  const int x_shift = (target == ColorModel::kYuv444) ? 0 : 1;
+  const int y_shift = (target == ColorModel::kYuv420) ? 1 : 0;
+
+  for (int32_t row = 0; row < h; ++row) {
+    for (int32_t col = 0; col < w; ++col) {
+      const uint8_t* px = rgb.data.data() + 3 * (static_cast<size_t>(row) * w + col);
+      double y, u, v;
+      RgbPixelToYuv(px[0], px[1], px[2], &y, &u, &v);
+      y_plane[static_cast<size_t>(row) * w + col] = ClampByte(y);
+      size_t ci = static_cast<size_t>(row >> y_shift) * cw + (col >> x_shift);
+      u_acc[ci] += u;
+      v_acc[ci] += v;
+      ++count[ci];
+    }
+  }
+  for (size_t i = 0; i < u_acc.size(); ++i) {
+    u_plane[i] = ClampByte(u_acc[i] / count[i]);
+    v_plane[i] = ClampByte(v_acc[i] / count[i]);
+  }
+  return out;
+}
+
+Result<Image> YuvToRgb(const Image& yuv) {
+  TBM_RETURN_IF_ERROR(yuv.Validate());
+  if (yuv.model != ColorModel::kYuv444 && yuv.model != ColorModel::kYuv422 &&
+      yuv.model != ColorModel::kYuv420) {
+    return Status::InvalidArgument("YuvToRgb expects a YUV image");
+  }
+  const int32_t w = yuv.width;
+  const int32_t h = yuv.height;
+  const int32_t cw = yuv.ChromaWidth();
+  const uint8_t* y_plane = yuv.data.data();
+  const uint8_t* u_plane = y_plane + static_cast<size_t>(w) * h;
+  const uint8_t* v_plane =
+      u_plane + static_cast<size_t>(cw) * yuv.ChromaHeight();
+  const int x_shift = (yuv.model == ColorModel::kYuv444) ? 0 : 1;
+  const int y_shift = (yuv.model == ColorModel::kYuv420) ? 1 : 0;
+
+  Image out = Image::Zero(w, h, ColorModel::kRgb24);
+  for (int32_t row = 0; row < h; ++row) {
+    for (int32_t col = 0; col < w; ++col) {
+      size_t ci = static_cast<size_t>(row >> y_shift) * cw + (col >> x_shift);
+      uint8_t* px = out.data.data() + 3 * (static_cast<size_t>(row) * w + col);
+      YuvPixelToRgb(y_plane[static_cast<size_t>(row) * w + col], u_plane[ci],
+                    v_plane[ci], &px[0], &px[1], &px[2]);
+    }
+  }
+  return out;
+}
+
+Result<Image> RgbToCmyk(const Image& rgb, const SeparationParams& params) {
+  TBM_RETURN_IF_ERROR(rgb.Validate());
+  if (rgb.model != ColorModel::kRgb24) {
+    return Status::InvalidArgument("RgbToCmyk expects an RGB image");
+  }
+  if (params.black_generation < 0.0 || params.black_generation > 1.0 ||
+      params.under_color_removal < 0.0 || params.under_color_removal > 1.0) {
+    return Status::InvalidArgument("separation parameters must be in [0,1]");
+  }
+  Image out = Image::Zero(rgb.width, rgb.height, ColorModel::kCmyk32);
+  const size_t pixels = rgb.PixelCount();
+  for (size_t i = 0; i < pixels; ++i) {
+    double c = 1.0 - rgb.data[3 * i + 0] / 255.0;
+    double m = 1.0 - rgb.data[3 * i + 1] / 255.0;
+    double y = 1.0 - rgb.data[3 * i + 2] / 255.0;
+    double gray = std::min({c, m, y});
+    double k = params.black_generation * gray;
+    double removal = params.under_color_removal * k;
+    c -= removal;
+    m -= removal;
+    y -= removal;
+    out.data[4 * i + 0] = ClampByte(c * 255.0);
+    out.data[4 * i + 1] = ClampByte(m * 255.0);
+    out.data[4 * i + 2] = ClampByte(y * 255.0);
+    out.data[4 * i + 3] = ClampByte(k * 255.0);
+  }
+  return out;
+}
+
+Result<Image> CmykToRgb(const Image& cmyk) {
+  TBM_RETURN_IF_ERROR(cmyk.Validate());
+  if (cmyk.model != ColorModel::kCmyk32) {
+    return Status::InvalidArgument("CmykToRgb expects a CMYK image");
+  }
+  Image out = Image::Zero(cmyk.width, cmyk.height, ColorModel::kRgb24);
+  const size_t pixels = cmyk.PixelCount();
+  for (size_t i = 0; i < pixels; ++i) {
+    double c = cmyk.data[4 * i + 0] / 255.0;
+    double m = cmyk.data[4 * i + 1] / 255.0;
+    double y = cmyk.data[4 * i + 2] / 255.0;
+    double k = cmyk.data[4 * i + 3] / 255.0;
+    out.data[3 * i + 0] = ClampByte((1.0 - std::min(1.0, c + k)) * 255.0);
+    out.data[3 * i + 1] = ClampByte((1.0 - std::min(1.0, m + k)) * 255.0);
+    out.data[3 * i + 2] = ClampByte((1.0 - std::min(1.0, y + k)) * 255.0);
+  }
+  return out;
+}
+
+Result<Image> CmykPlate(const Image& cmyk, int channel) {
+  TBM_RETURN_IF_ERROR(cmyk.Validate());
+  if (cmyk.model != ColorModel::kCmyk32) {
+    return Status::InvalidArgument("CmykPlate expects a CMYK image");
+  }
+  if (channel < 0 || channel > 3) {
+    return Status::InvalidArgument("CMYK channel must be 0..3");
+  }
+  Image out = Image::Zero(cmyk.width, cmyk.height, ColorModel::kGray8);
+  const size_t pixels = cmyk.PixelCount();
+  for (size_t i = 0; i < pixels; ++i) {
+    out.data[i] = cmyk.data[4 * i + channel];
+  }
+  return out;
+}
+
+Result<Image> RgbToGray(const Image& rgb) {
+  TBM_RETURN_IF_ERROR(rgb.Validate());
+  if (rgb.model != ColorModel::kRgb24) {
+    return Status::InvalidArgument("RgbToGray expects an RGB image");
+  }
+  Image out = Image::Zero(rgb.width, rgb.height, ColorModel::kGray8);
+  const size_t pixels = rgb.PixelCount();
+  for (size_t i = 0; i < pixels; ++i) {
+    out.data[i] = ClampByte(0.299 * rgb.data[3 * i] +
+                            0.587 * rgb.data[3 * i + 1] +
+                            0.114 * rgb.data[3 * i + 2]);
+  }
+  return out;
+}
+
+}  // namespace tbm

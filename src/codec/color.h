@@ -1,0 +1,48 @@
+#ifndef TBM_CODEC_COLOR_H_
+#define TBM_CODEC_COLOR_H_
+
+#include "codec/image.h"
+
+namespace tbm {
+
+/// Color-model conversions used by the Figure 2 capture pipeline and
+/// the Table 1 color-separation derivation.
+
+/// RGB → planar YUV (BT.601 full-range) at the requested subsampling
+/// (kYuv444, kYuv422 or kYuv420). Chroma is averaged over the pixels it
+/// covers, matching the paper's "U and V are subsampled (averaged over
+/// neighboring pixels)".
+Result<Image> RgbToYuv(const Image& rgb, ColorModel target);
+
+/// Planar YUV (any subsampling) → RGB. Chroma is replicated.
+Result<Image> YuvToRgb(const Image& yuv);
+
+/// Parameters for RGB → CMYK separation. The mapping is not unique
+/// (paper §4.2): black generation and under-color removal depend on
+/// inks and paper, so they are derivation parameters.
+struct SeparationParams {
+  /// Fraction [0,1] of the gray component moved into the K channel
+  /// (black generation).
+  double black_generation = 1.0;
+  /// Fraction [0,1] of that gray removed from C/M/Y (under-color
+  /// removal).
+  double under_color_removal = 1.0;
+};
+
+/// RGB → CMYK with the given separation table parameters (Table 1:
+/// "color separation", category: change of content).
+Result<Image> RgbToCmyk(const Image& rgb, const SeparationParams& params);
+
+/// CMYK → RGB (for round-trip verification of separations).
+Result<Image> CmykToRgb(const Image& cmyk);
+
+/// Extracts one CMYK channel (0=C,1=M,2=Y,3=K) as a grayscale plate —
+/// the four printing plates of Figure 3a.
+Result<Image> CmykPlate(const Image& cmyk, int channel);
+
+/// RGB → 8-bit grayscale (BT.601 luma).
+Result<Image> RgbToGray(const Image& rgb);
+
+}  // namespace tbm
+
+#endif  // TBM_CODEC_COLOR_H_

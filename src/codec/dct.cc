@@ -1,0 +1,117 @@
+#include "codec/dct.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tbm {
+
+namespace {
+
+// Precomputed cosine basis: kCos[u][x] = c(u) * cos((2x+1)uπ/16) where
+// c(0) = sqrt(1/8), c(u>0) = sqrt(2/8).
+struct Basis {
+  float cos_table[8][8];
+  Basis() {
+    for (int u = 0; u < 8; ++u) {
+      float c = (u == 0) ? std::sqrt(1.0f / 8.0f) : std::sqrt(2.0f / 8.0f);
+      for (int x = 0; x < 8; ++x) {
+        cos_table[u][x] =
+            c * std::cos((2.0f * x + 1.0f) * u * static_cast<float>(M_PI) /
+                         16.0f);
+      }
+    }
+  }
+};
+
+const Basis& GetBasis() {
+  static const Basis kBasis;
+  return kBasis;
+}
+
+}  // namespace
+
+void ForwardDct8x8(const float in[64], float out[64]) {
+  const auto& b = GetBasis().cos_table;
+  float tmp[64];
+  // Rows.
+  for (int y = 0; y < 8; ++y) {
+    for (int u = 0; u < 8; ++u) {
+      float acc = 0.0f;
+      for (int x = 0; x < 8; ++x) acc += in[y * 8 + x] * b[u][x];
+      tmp[y * 8 + u] = acc;
+    }
+  }
+  // Columns.
+  for (int u = 0; u < 8; ++u) {
+    for (int v = 0; v < 8; ++v) {
+      float acc = 0.0f;
+      for (int y = 0; y < 8; ++y) acc += tmp[y * 8 + u] * b[v][y];
+      out[v * 8 + u] = acc;
+    }
+  }
+}
+
+void InverseDct8x8(const float in[64], float out[64]) {
+  const auto& b = GetBasis().cos_table;
+  float tmp[64];
+  // Columns.
+  for (int u = 0; u < 8; ++u) {
+    for (int y = 0; y < 8; ++y) {
+      float acc = 0.0f;
+      for (int v = 0; v < 8; ++v) acc += in[v * 8 + u] * b[v][y];
+      tmp[y * 8 + u] = acc;
+    }
+  }
+  // Rows.
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      float acc = 0.0f;
+      for (int u = 0; u < 8; ++u) acc += tmp[y * 8 + u] * b[u][x];
+      out[y * 8 + x] = acc;
+    }
+  }
+}
+
+const std::array<uint16_t, 64> kLumaQuantBase = {
+    16, 11, 10, 16, 24,  40,  51,  61,   //
+    12, 12, 14, 19, 26,  58,  60,  55,   //
+    14, 13, 16, 24, 40,  57,  69,  56,   //
+    14, 17, 22, 29, 51,  87,  80,  62,   //
+    18, 22, 37, 56, 68,  109, 103, 77,   //
+    24, 35, 55, 64, 81,  104, 113, 92,   //
+    49, 64, 78, 87, 103, 121, 120, 101,  //
+    72, 92, 95, 98, 112, 100, 103, 99};
+
+const std::array<uint16_t, 64> kChromaQuantBase = {
+    17, 18, 24, 47, 99, 99, 99, 99,  //
+    18, 21, 26, 66, 99, 99, 99, 99,  //
+    24, 26, 56, 99, 99, 99, 99, 99,  //
+    47, 66, 99, 99, 99, 99, 99, 99,  //
+    99, 99, 99, 99, 99, 99, 99, 99,  //
+    99, 99, 99, 99, 99, 99, 99, 99,  //
+    99, 99, 99, 99, 99, 99, 99, 99,  //
+    99, 99, 99, 99, 99, 99, 99, 99};
+
+std::array<uint16_t, 64> ScaleQuantTable(const std::array<uint16_t, 64>& base,
+                                         int quality) {
+  quality = std::clamp(quality, 1, 100);
+  int scale = (quality < 50) ? 5000 / quality : 200 - 2 * quality;
+  std::array<uint16_t, 64> out;
+  for (int i = 0; i < 64; ++i) {
+    int q = (base[i] * scale + 50) / 100;
+    out[i] = static_cast<uint16_t>(std::clamp(q, 1, 255));
+  }
+  return out;
+}
+
+const std::array<uint8_t, 64> kZigzag = {
+    0,  1,  8,  16, 9,  2,  3,  10,  //
+    17, 24, 32, 25, 18, 11, 4,  5,   //
+    12, 19, 26, 33, 40, 48, 41, 34,  //
+    27, 20, 13, 6,  7,  14, 21, 28,  //
+    35, 42, 49, 56, 57, 50, 43, 36,  //
+    29, 22, 15, 23, 30, 37, 44, 51,  //
+    58, 59, 52, 45, 38, 31, 39, 46,  //
+    53, 60, 61, 54, 47, 55, 62, 63};
+
+}  // namespace tbm

@@ -1,0 +1,36 @@
+#ifndef TBM_CODEC_DCT_H_
+#define TBM_CODEC_DCT_H_
+
+#include <array>
+#include <cstdint>
+
+namespace tbm {
+
+/// 8×8 type-II DCT and its inverse, the transform core of the TJPEG
+/// codec (the library's stand-in for the JPEG compression the paper's
+/// Figure 2 example applies to PAL frames).
+
+/// Forward 2-D DCT of an 8×8 block (row-major), orthonormal scaling.
+void ForwardDct8x8(const float in[64], float out[64]);
+
+/// Inverse 2-D DCT of an 8×8 block.
+void InverseDct8x8(const float in[64], float out[64]);
+
+/// Standard JPEG Annex K luminance quantization table (row-major).
+extern const std::array<uint16_t, 64> kLumaQuantBase;
+
+/// Standard JPEG Annex K chrominance quantization table.
+extern const std::array<uint16_t, 64> kChromaQuantBase;
+
+/// Scales a base table for a quality setting 1..100 using the libjpeg
+/// convention (50 = base table; higher = finer quantization).
+std::array<uint16_t, 64> ScaleQuantTable(const std::array<uint16_t, 64>& base,
+                                         int quality);
+
+/// Zigzag scan order: kZigzag[i] is the row-major index of the i-th
+/// coefficient in zigzag order.
+extern const std::array<uint8_t, 64> kZigzag;
+
+}  // namespace tbm
+
+#endif  // TBM_CODEC_DCT_H_

@@ -1,0 +1,158 @@
+#include "codec/export.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "base/io.h"
+#include "base/macros.h"
+
+namespace tbm {
+
+Status WritePnm(const Image& image, const std::string& path) {
+  TBM_RETURN_IF_ERROR(image.Validate());
+  const char* magic;
+  if (image.model == ColorModel::kRgb24) {
+    magic = "P6";
+  } else if (image.model == ColorModel::kGray8) {
+    magic = "P5";
+  } else {
+    return Status::Unsupported("PNM export supports RGB and GRAY images");
+  }
+  char header[64];
+  int header_len = std::snprintf(header, sizeof(header), "%s\n%d %d\n255\n",
+                                 magic, image.width, image.height);
+  Bytes file;
+  file.reserve(header_len + image.data.size());
+  file.insert(file.end(), header, header + header_len);
+  file.insert(file.end(), image.data.begin(), image.data.end());
+  return WriteFile(path, file);
+}
+
+Result<Image> ReadPnm(const std::string& path) {
+  TBM_ASSIGN_OR_RETURN(Bytes file, ReadFileBytes(path));
+  // Parse "P6\nW H\n255\n" allowing arbitrary whitespace.
+  size_t pos = 0;
+  auto skip_space = [&] {
+    while (pos < file.size() &&
+           (file[pos] == ' ' || file[pos] == '\n' || file[pos] == '\t' ||
+            file[pos] == '\r')) {
+      ++pos;
+    }
+    // Comments.
+    while (pos < file.size() && file[pos] == '#') {
+      while (pos < file.size() && file[pos] != '\n') ++pos;
+      while (pos < file.size() &&
+             (file[pos] == ' ' || file[pos] == '\n' || file[pos] == '\t' ||
+              file[pos] == '\r')) {
+        ++pos;
+      }
+    }
+  };
+  auto read_int = [&]() -> Result<int> {
+    skip_space();
+    int value = 0;
+    bool any = false;
+    while (pos < file.size() && file[pos] >= '0' && file[pos] <= '9') {
+      value = value * 10 + (file[pos] - '0');
+      ++pos;
+      any = true;
+    }
+    if (!any) return Status::Corruption("PNM: expected integer");
+    return value;
+  };
+
+  if (file.size() < 2 || file[0] != 'P' ||
+      (file[1] != '5' && file[1] != '6')) {
+    return Status::Corruption("not a binary PNM file");
+  }
+  bool gray = file[1] == '5';
+  pos = 2;
+  TBM_ASSIGN_OR_RETURN(int width, read_int());
+  TBM_ASSIGN_OR_RETURN(int height, read_int());
+  TBM_ASSIGN_OR_RETURN(int maxval, read_int());
+  if (maxval != 255) return Status::Unsupported("PNM maxval must be 255");
+  ++pos;  // Single whitespace after maxval.
+  Image image;
+  image.width = width;
+  image.height = height;
+  image.model = gray ? ColorModel::kGray8 : ColorModel::kRgb24;
+  size_t expected = Image::ExpectedBytes(width, height, image.model);
+  if (file.size() - pos < expected) {
+    return Status::Corruption("PNM: truncated pixel data");
+  }
+  image.data.assign(file.begin() + pos, file.begin() + pos + expected);
+  TBM_RETURN_IF_ERROR(image.Validate());
+  return image;
+}
+
+Status WriteWav(const AudioBuffer& audio, const std::string& path) {
+  TBM_RETURN_IF_ERROR(audio.Validate());
+  BinaryWriter writer;
+  const uint32_t data_bytes =
+      static_cast<uint32_t>(audio.samples.size() * 2);
+  const uint32_t byte_rate =
+      static_cast<uint32_t>(audio.sample_rate * audio.channels * 2);
+  writer.WriteRaw(ByteSpan(reinterpret_cast<const uint8_t*>("RIFF"), 4));
+  writer.WriteU32(36 + data_bytes);
+  writer.WriteRaw(ByteSpan(reinterpret_cast<const uint8_t*>("WAVE"), 4));
+  writer.WriteRaw(ByteSpan(reinterpret_cast<const uint8_t*>("fmt "), 4));
+  writer.WriteU32(16);                 // PCM fmt chunk size.
+  writer.WriteU16(1);                  // PCM.
+  writer.WriteU16(static_cast<uint16_t>(audio.channels));
+  writer.WriteU32(static_cast<uint32_t>(audio.sample_rate));
+  writer.WriteU32(byte_rate);
+  writer.WriteU16(static_cast<uint16_t>(audio.channels * 2));  // Block align.
+  writer.WriteU16(16);                 // Bits per sample.
+  writer.WriteRaw(ByteSpan(reinterpret_cast<const uint8_t*>("data"), 4));
+  writer.WriteU32(data_bytes);
+  writer.WriteRaw(audio.ToBytes());
+  return WriteFile(path, writer.buffer());
+}
+
+Result<AudioBuffer> ReadWav(const std::string& path) {
+  TBM_ASSIGN_OR_RETURN(Bytes file, ReadFileBytes(path));
+  BinaryReader reader(file);
+  TBM_ASSIGN_OR_RETURN(Bytes riff, reader.ReadRaw(4));
+  if (std::memcmp(riff.data(), "RIFF", 4) != 0) {
+    return Status::Corruption("not a RIFF file");
+  }
+  TBM_RETURN_IF_ERROR(reader.ReadU32().status());  // Chunk size.
+  TBM_ASSIGN_OR_RETURN(Bytes wave, reader.ReadRaw(4));
+  if (std::memcmp(wave.data(), "WAVE", 4) != 0) {
+    return Status::Corruption("not a WAVE file");
+  }
+  int64_t sample_rate = 0;
+  int32_t channels = 0;
+  uint16_t bits = 0;
+  // Walk chunks until "data".
+  while (reader.remaining() >= 8) {
+    TBM_ASSIGN_OR_RETURN(Bytes tag, reader.ReadRaw(4));
+    TBM_ASSIGN_OR_RETURN(uint32_t size, reader.ReadU32());
+    if (std::memcmp(tag.data(), "fmt ", 4) == 0) {
+      TBM_ASSIGN_OR_RETURN(uint16_t format, reader.ReadU16());
+      if (format != 1) return Status::Unsupported("only PCM WAV supported");
+      TBM_ASSIGN_OR_RETURN(uint16_t ch, reader.ReadU16());
+      channels = ch;
+      TBM_ASSIGN_OR_RETURN(uint32_t rate, reader.ReadU32());
+      sample_rate = rate;
+      TBM_RETURN_IF_ERROR(reader.ReadU32().status());  // Byte rate.
+      TBM_RETURN_IF_ERROR(reader.ReadU16().status());  // Block align.
+      TBM_ASSIGN_OR_RETURN(bits, reader.ReadU16());
+      if (size > 16) {
+        TBM_RETURN_IF_ERROR(reader.ReadRaw(size - 16).status());
+      }
+    } else if (std::memcmp(tag.data(), "data", 4) == 0) {
+      if (sample_rate == 0 || channels == 0) {
+        return Status::Corruption("WAV data before fmt chunk");
+      }
+      if (bits != 16) return Status::Unsupported("only 16-bit WAV supported");
+      TBM_ASSIGN_OR_RETURN(Bytes data, reader.ReadRaw(size));
+      return AudioBuffer::FromBytes(data, sample_rate, channels);
+    } else {
+      TBM_RETURN_IF_ERROR(reader.ReadRaw(size).status());  // Skip chunk.
+    }
+  }
+  return Status::Corruption("WAV file has no data chunk");
+}
+
+}  // namespace tbm

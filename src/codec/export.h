@@ -1,0 +1,29 @@
+#ifndef TBM_CODEC_EXPORT_H_
+#define TBM_CODEC_EXPORT_H_
+
+#include <string>
+
+#include "codec/image.h"
+#include "codec/pcm.h"
+
+namespace tbm {
+
+/// Interchange exporters/importers: standard uncompressed container
+/// formats so media produced by the library can be inspected with any
+/// external viewer/player, and external material can be brought in.
+
+/// Writes an RGB or grayscale image as binary PPM (P6) / PGM (P5).
+Status WritePnm(const Image& image, const std::string& path);
+
+/// Reads a binary PPM (P6) or PGM (P5) file.
+Result<Image> ReadPnm(const std::string& path);
+
+/// Writes PCM audio as a canonical 16-bit little-endian WAV file.
+Status WriteWav(const AudioBuffer& audio, const std::string& path);
+
+/// Reads a 16-bit PCM WAV file.
+Result<AudioBuffer> ReadWav(const std::string& path);
+
+}  // namespace tbm
+
+#endif  // TBM_CODEC_EXPORT_H_

@@ -1,0 +1,115 @@
+#include "codec/image.h"
+
+#include <cmath>
+
+namespace tbm {
+
+std::string_view ColorModelToString(ColorModel model) {
+  switch (model) {
+    case ColorModel::kGray8: return "GRAY";
+    case ColorModel::kRgb24: return "RGB";
+    case ColorModel::kYuv444: return "YUV 4:4:4";
+    case ColorModel::kYuv422: return "YUV 4:2:2";
+    case ColorModel::kYuv420: return "YUV 4:2:0";
+    case ColorModel::kCmyk32: return "CMYK";
+  }
+  return "unknown";
+}
+
+int BitsPerPixel(ColorModel model) {
+  switch (model) {
+    case ColorModel::kGray8: return 8;
+    case ColorModel::kRgb24: return 24;
+    case ColorModel::kYuv444: return 24;
+    case ColorModel::kYuv422: return 16;
+    case ColorModel::kYuv420: return 12;
+    case ColorModel::kCmyk32: return 32;
+  }
+  return 0;
+}
+
+namespace {
+int32_t HalfUp(int32_t v) { return (v + 1) / 2; }
+}  // namespace
+
+uint64_t Image::ExpectedBytes(int32_t width, int32_t height,
+                              ColorModel model) {
+  uint64_t pixels = static_cast<uint64_t>(width) * height;
+  switch (model) {
+    case ColorModel::kGray8:
+      return pixels;
+    case ColorModel::kRgb24:
+    case ColorModel::kYuv444:
+      return pixels * 3;
+    case ColorModel::kYuv422:
+      return pixels + 2ull * HalfUp(width) * height;
+    case ColorModel::kYuv420:
+      return pixels + 2ull * HalfUp(width) * HalfUp(height);
+    case ColorModel::kCmyk32:
+      return pixels * 4;
+  }
+  return 0;
+}
+
+Image Image::Zero(int32_t width, int32_t height, ColorModel model) {
+  Image img;
+  img.width = width;
+  img.height = height;
+  img.model = model;
+  img.data.assign(ExpectedBytes(width, height, model), 0);
+  return img;
+}
+
+Status Image::Validate() const {
+  if (width <= 0 || height <= 0) {
+    return Status::InvalidArgument("non-positive image dimensions");
+  }
+  uint64_t expected = ExpectedBytes(width, height, model);
+  if (data.size() != expected) {
+    return Status::InvalidArgument(
+        "image data size " + std::to_string(data.size()) + " != expected " +
+        std::to_string(expected) + " for " + std::to_string(width) + "x" +
+        std::to_string(height) + " " +
+        std::string(ColorModelToString(model)));
+  }
+  return Status::OK();
+}
+
+int32_t Image::ChromaWidth() const {
+  switch (model) {
+    case ColorModel::kYuv422:
+    case ColorModel::kYuv420:
+      return HalfUp(width);
+    default:
+      return width;
+  }
+}
+
+int32_t Image::ChromaHeight() const {
+  switch (model) {
+    case ColorModel::kYuv420:
+      return HalfUp(height);
+    default:
+      return height;
+  }
+}
+
+Result<double> Psnr(const Image& a, const Image& b) {
+  if (a.width != b.width || a.height != b.height || a.model != b.model) {
+    return Status::InvalidArgument("PSNR requires same-geometry images");
+  }
+  if (a.data.size() != b.data.size()) {
+    return Status::InvalidArgument("PSNR: byte size mismatch");
+  }
+  if (a.data.empty()) return Status::InvalidArgument("PSNR of empty images");
+  double sse = 0.0;
+  for (size_t i = 0; i < a.data.size(); ++i) {
+    double d = static_cast<double>(a.data[i]) - b.data[i];
+    sse += d * d;
+  }
+  if (sse == 0.0) return 99.0;
+  double mse = sse / static_cast<double>(a.data.size());
+  return 10.0 * std::log10(255.0 * 255.0 / mse);
+}
+
+}  // namespace tbm

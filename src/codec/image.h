@@ -1,0 +1,68 @@
+#ifndef TBM_CODEC_IMAGE_H_
+#define TBM_CODEC_IMAGE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "base/bytes.h"
+#include "base/result.h"
+
+namespace tbm {
+
+/// Pixel layouts understood by the codec substrate.
+///
+/// The paper's Figure 2 pipeline is RGB capture → YUV conversion →
+/// chroma subsampling → DCT compression; CMYK appears in the Table 1
+/// color-separation derivation.
+enum class ColorModel : uint8_t {
+  kGray8 = 0,    ///< 1 byte/pixel luminance.
+  kRgb24 = 1,    ///< Interleaved R,G,B, 3 bytes/pixel.
+  kYuv444 = 2,   ///< Planar Y, U, V, full resolution each.
+  kYuv422 = 3,   ///< Planar Y full-res; U,V horizontally halved.
+  kYuv420 = 4,   ///< Planar Y full-res; U,V halved both ways.
+  kCmyk32 = 5,   ///< Interleaved C,M,Y,K, 4 bytes/pixel.
+};
+
+std::string_view ColorModelToString(ColorModel model);
+
+/// Bits per pixel of a color model (e.g. kYuv422 = 16: the paper's
+/// "8:2:2" example arrives at 12 bpp by further subsampling; we use the
+/// standard planar layouts).
+int BitsPerPixel(ColorModel model);
+
+/// A raster image: width × height pixels laid out per `model`.
+///
+/// Planar YUV layouts store the full Y plane first, then U, then V at
+/// their subsampled resolutions (chroma dimensions round up).
+struct Image {
+  int32_t width = 0;
+  int32_t height = 0;
+  ColorModel model = ColorModel::kRgb24;
+  Bytes data;
+
+  /// Expected byte size for the given geometry and model.
+  static uint64_t ExpectedBytes(int32_t width, int32_t height,
+                                ColorModel model);
+
+  /// An all-zero image of the given geometry.
+  static Image Zero(int32_t width, int32_t height, ColorModel model);
+
+  /// Checks data.size() == ExpectedBytes and positive dimensions.
+  Status Validate() const;
+
+  uint64_t PixelCount() const {
+    return static_cast<uint64_t>(width) * height;
+  }
+
+  /// Chroma plane dimensions for planar models (full size otherwise).
+  int32_t ChromaWidth() const;
+  int32_t ChromaHeight() const;
+};
+
+/// Peak signal-to-noise ratio between two same-geometry images, in dB.
+/// Infinity (as a large sentinel, 99.0) for identical images.
+Result<double> Psnr(const Image& a, const Image& b);
+
+}  // namespace tbm
+
+#endif  // TBM_CODEC_IMAGE_H_

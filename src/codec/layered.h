@@ -1,0 +1,53 @@
+#ifndef TBM_CODEC_LAYERED_H_
+#define TBM_CODEC_LAYERED_H_
+
+#include "codec/image.h"
+
+namespace tbm {
+
+/// Layered (scalable) image coding.
+///
+/// The paper's §2.2 scalability point, citing Lippman's "Feature Sets
+/// for Interactive Images" [10]: representations should allow
+/// "presentation at different levels of detail ... bandwidth can be
+/// saved and processing reduced if the video sequence is 'scaled' to a
+/// lower resolution by ignoring parts of the storage unit."
+///
+/// A layered encoding splits an image into:
+///  - a *base layer*: the image downscaled 2× per pyramid level and
+///    TJPEG-coded — small, decodable alone at reduced resolution;
+///  - an *enhancement layer* per level: the residual against the
+///    upscaled lower level, TJPEG-coded at higher quality.
+///
+/// A reader wanting a preview fetches only the base layer's byte
+/// range; full fidelity reads everything. The two byte ranges are what
+/// an interpretation exposes as separately addressable parts of the
+/// element.
+struct LayeredImage {
+  Bytes base;         ///< Self-contained low-resolution layer.
+  Bytes enhancement;  ///< Residual layer (needs `base`).
+  int32_t full_width = 0;
+  int32_t full_height = 0;
+};
+
+struct LayeredConfig {
+  int base_quality = 60;         ///< TJPEG quality of the base layer.
+  int enhancement_quality = 85;  ///< Quality of the residual layer.
+};
+
+/// Encodes an RGB image into base + enhancement layers. The base layer
+/// is the half-resolution image; the enhancement layer carries the
+/// residual to full resolution.
+Result<LayeredImage> LayeredEncode(const Image& image,
+                                   const LayeredConfig& config = {});
+
+/// Decodes only the base layer: a half-resolution preview, upscaled to
+/// full geometry so callers get a drop-in (blurrier) image.
+Result<Image> LayeredDecodeBase(const LayeredImage& layered);
+
+/// Decodes base + enhancement to the full-fidelity image.
+Result<Image> LayeredDecodeFull(const LayeredImage& layered);
+
+}  // namespace tbm
+
+#endif  // TBM_CODEC_LAYERED_H_

@@ -1,0 +1,183 @@
+#include "codec/pcm.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tbm {
+
+Status AudioBuffer::Validate() const {
+  if (sample_rate <= 0) {
+    return Status::InvalidArgument("non-positive sample rate");
+  }
+  if (channels <= 0) {
+    return Status::InvalidArgument("non-positive channel count");
+  }
+  if (samples.size() % channels != 0) {
+    return Status::InvalidArgument(
+        "sample count " + std::to_string(samples.size()) +
+        " not divisible by channel count " + std::to_string(channels));
+  }
+  return Status::OK();
+}
+
+Bytes AudioBuffer::ToBytes() const {
+  Bytes out(samples.size() * 2);
+  for (size_t i = 0; i < samples.size(); ++i) {
+    uint16_t u = static_cast<uint16_t>(samples[i]);
+    out[2 * i] = static_cast<uint8_t>(u);
+    out[2 * i + 1] = static_cast<uint8_t>(u >> 8);
+  }
+  return out;
+}
+
+Result<AudioBuffer> AudioBuffer::FromBytes(ByteSpan bytes,
+                                           int64_t sample_rate,
+                                           int32_t channels) {
+  if (bytes.size() % 2 != 0) {
+    return Status::InvalidArgument("PCM byte length must be even");
+  }
+  AudioBuffer buf;
+  buf.sample_rate = sample_rate;
+  buf.channels = channels;
+  buf.samples.resize(bytes.size() / 2);
+  for (size_t i = 0; i < buf.samples.size(); ++i) {
+    uint16_t u = static_cast<uint16_t>(bytes[2 * i]) |
+                 static_cast<uint16_t>(bytes[2 * i + 1]) << 8;
+    buf.samples[i] = static_cast<int16_t>(u);
+  }
+  if (auto s = buf.Validate(); !s.ok()) return s;
+  return buf;
+}
+
+int16_t PeakAmplitude(const AudioBuffer& audio) {
+  int32_t peak = 0;
+  for (int16_t s : audio.samples) {
+    peak = std::max(peak, std::abs(static_cast<int32_t>(s)));
+  }
+  return static_cast<int16_t>(std::min(peak, 32767));
+}
+
+double RmsAmplitude(const AudioBuffer& audio) {
+  if (audio.samples.empty()) return 0.0;
+  double sum = 0.0;
+  for (int16_t s : audio.samples) {
+    sum += static_cast<double>(s) * s;
+  }
+  return std::sqrt(sum / static_cast<double>(audio.samples.size()));
+}
+
+namespace audiogen {
+
+namespace {
+int16_t ToSample(double v) {
+  return static_cast<int16_t>(
+      std::lround(std::clamp(v, -1.0, 1.0) * 32767.0));
+}
+
+uint64_t XorShift(uint64_t* state) {
+  uint64_t x = *state;
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  *state = x;
+  return x;
+}
+}  // namespace
+
+AudioBuffer Sine(int64_t sample_rate, int32_t channels, double frequency_hz,
+                 double amplitude, double seconds) {
+  AudioBuffer buf;
+  buf.sample_rate = sample_rate;
+  buf.channels = channels;
+  int64_t frames = static_cast<int64_t>(seconds * sample_rate);
+  buf.samples.resize(frames * channels);
+  const double w = 2.0 * M_PI * frequency_hz / sample_rate;
+  for (int64_t f = 0; f < frames; ++f) {
+    int16_t s = ToSample(amplitude * std::sin(w * f));
+    for (int32_t c = 0; c < channels; ++c) {
+      buf.samples[f * channels + c] = s;
+    }
+  }
+  return buf;
+}
+
+AudioBuffer Silence(int64_t sample_rate, int32_t channels, double seconds) {
+  AudioBuffer buf;
+  buf.sample_rate = sample_rate;
+  buf.channels = channels;
+  buf.samples.assign(
+      static_cast<size_t>(seconds * sample_rate) * channels, 0);
+  return buf;
+}
+
+AudioBuffer Noise(int64_t sample_rate, int32_t channels, double amplitude,
+                  double seconds, uint64_t seed) {
+  AudioBuffer buf;
+  buf.sample_rate = sample_rate;
+  buf.channels = channels;
+  int64_t frames = static_cast<int64_t>(seconds * sample_rate);
+  buf.samples.resize(frames * channels);
+  uint64_t state = seed ? seed : 1;
+  for (auto& s : buf.samples) {
+    double r = (static_cast<double>(XorShift(&state) >> 11) /
+                static_cast<double>(1ull << 53)) * 2.0 - 1.0;
+    s = ToSample(amplitude * r);
+  }
+  return buf;
+}
+
+AudioBuffer Narration(int64_t sample_rate, int32_t channels, double seconds,
+                      uint64_t seed) {
+  AudioBuffer buf;
+  buf.sample_rate = sample_rate;
+  buf.channels = channels;
+  int64_t frames = static_cast<int64_t>(seconds * sample_rate);
+  buf.samples.resize(frames * channels);
+  uint64_t state = seed ? seed : 7;
+  // Syllable-like bursts: ~4 Hz envelope, fundamental wandering around
+  // 120-220 Hz, occasional pauses.
+  double fundamental = 150.0;
+  double phase = 0.0;
+  for (int64_t f = 0; f < frames; ++f) {
+    double t = static_cast<double>(f) / sample_rate;
+    if (f % (sample_rate / 4) == 0) {
+      fundamental = 120.0 + static_cast<double>(XorShift(&state) % 100);
+    }
+    double envelope = 0.5 * (1.0 + std::sin(2.0 * M_PI * 4.0 * t));
+    bool pause = (static_cast<int64_t>(t * 2.0) % 5) == 4;
+    phase += 2.0 * M_PI * fundamental / sample_rate;
+    double v = pause ? 0.0
+                     : envelope * 0.4 *
+                           (std::sin(phase) + 0.5 * std::sin(2.0 * phase) +
+                            0.25 * std::sin(3.0 * phase));
+    int16_t s = ToSample(v);
+    for (int32_t c = 0; c < channels; ++c) {
+      buf.samples[f * channels + c] = s;
+    }
+  }
+  return buf;
+}
+
+}  // namespace audiogen
+
+Result<double> AudioSnr(const AudioBuffer& original,
+                        const AudioBuffer& decoded) {
+  if (original.samples.size() != decoded.samples.size()) {
+    return Status::InvalidArgument("SNR requires equal-length buffers");
+  }
+  if (original.samples.empty()) {
+    return Status::InvalidArgument("SNR of empty buffers");
+  }
+  double signal = 0.0, noise = 0.0;
+  for (size_t i = 0; i < original.samples.size(); ++i) {
+    double s = original.samples[i];
+    double d = s - decoded.samples[i];
+    signal += s * s;
+    noise += d * d;
+  }
+  if (noise == 0.0) return 99.0;
+  if (signal == 0.0) return 0.0;
+  return 10.0 * std::log10(signal / noise);
+}
+
+}  // namespace tbm

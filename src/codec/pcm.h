@@ -1,0 +1,80 @@
+#ifndef TBM_CODEC_PCM_H_
+#define TBM_CODEC_PCM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/bytes.h"
+#include "base/result.h"
+
+namespace tbm {
+
+/// In-memory PCM audio: interleaved signed 16-bit samples.
+///
+/// One *frame* is one sample per channel at one instant; a stereo
+/// buffer of n frames has 2n int16 samples. PCM ("a simple encoding
+/// scheme for sample data", paper §3.3) is the working representation
+/// for all audio processing; the 16-bit, interleaved little-endian
+/// byte form matches the paper's CD-audio example (sample size 16,
+/// 2 channels, 1764 sample pairs per PAL frame).
+struct AudioBuffer {
+  int64_t sample_rate = 44100;
+  int32_t channels = 2;
+  std::vector<int16_t> samples;  ///< Interleaved; size = frames * channels.
+
+  int64_t FrameCount() const {
+    return channels == 0 ? 0 : static_cast<int64_t>(samples.size()) / channels;
+  }
+  double DurationSeconds() const {
+    return sample_rate == 0
+               ? 0.0
+               : static_cast<double>(FrameCount()) / sample_rate;
+  }
+
+  /// Sanity: samples.size() divisible by channels, positive rate.
+  Status Validate() const;
+
+  /// Serializes to little-endian interleaved bytes (2 bytes/sample).
+  Bytes ToBytes() const;
+
+  /// Parses little-endian interleaved bytes.
+  static Result<AudioBuffer> FromBytes(ByteSpan bytes, int64_t sample_rate,
+                                       int32_t channels);
+};
+
+/// Peak absolute amplitude, 0..32767.
+int16_t PeakAmplitude(const AudioBuffer& audio);
+
+/// Root-mean-square amplitude.
+double RmsAmplitude(const AudioBuffer& audio);
+
+/// Deterministic test-signal generators (the "capture hardware"
+/// substitute for audio).
+namespace audiogen {
+
+/// A sine tone at `frequency_hz` with amplitude in [0,1].
+AudioBuffer Sine(int64_t sample_rate, int32_t channels, double frequency_hz,
+                 double amplitude, double seconds);
+
+/// Silence.
+AudioBuffer Silence(int64_t sample_rate, int32_t channels, double seconds);
+
+/// Deterministic pseudo-random noise (xorshift) with amplitude [0,1].
+AudioBuffer Noise(int64_t sample_rate, int32_t channels, double amplitude,
+                  double seconds, uint64_t seed);
+
+/// A "speech-like" narration stand-in: amplitude-modulated low tones
+/// with pauses, deterministic per seed.
+AudioBuffer Narration(int64_t sample_rate, int32_t channels, double seconds,
+                      uint64_t seed);
+
+}  // namespace audiogen
+
+/// Signal-to-noise ratio of `decoded` against reference `original`, in
+/// dB — the audio analogue of PSNR, used to validate lossy audio paths.
+Result<double> AudioSnr(const AudioBuffer& original,
+                        const AudioBuffer& decoded);
+
+}  // namespace tbm
+
+#endif  // TBM_CODEC_PCM_H_

@@ -1,0 +1,65 @@
+#include "codec/rle.h"
+
+namespace tbm {
+
+Bytes RleEncode(ByteSpan data) {
+  Bytes out;
+  size_t i = 0;
+  while (i < data.size()) {
+    // Measure the run at i.
+    size_t run = 1;
+    while (i + run < data.size() && data[i + run] == data[i] && run < 130) {
+      ++run;
+    }
+    if (run >= 3) {
+      out.push_back(static_cast<uint8_t>(run + 125));  // 128..255
+      out.push_back(data[i]);
+      i += run;
+      continue;
+    }
+    // Gather literals until the next run of >= 3 or 128 literals.
+    size_t lit_start = i;
+    size_t lit_len = 0;
+    while (i < data.size() && lit_len < 128) {
+      size_t r = 1;
+      while (i + r < data.size() && data[i + r] == data[i] && r < 3) ++r;
+      if (r >= 3) break;
+      i += r;
+      lit_len += r;
+    }
+    // Literal runs may overshoot 128 by one byte pair; clamp.
+    if (lit_len > 128) {
+      i -= lit_len - 128;
+      lit_len = 128;
+    }
+    out.push_back(static_cast<uint8_t>(lit_len - 1));  // 0..127
+    out.insert(out.end(), data.begin() + lit_start,
+               data.begin() + lit_start + lit_len);
+  }
+  return out;
+}
+
+Result<Bytes> RleDecode(ByteSpan data) {
+  Bytes out;
+  size_t i = 0;
+  while (i < data.size()) {
+    uint8_t control = data[i++];
+    if (control < 128) {
+      size_t count = static_cast<size_t>(control) + 1;
+      if (i + count > data.size()) {
+        return Status::Corruption("RLE: truncated literal block");
+      }
+      out.insert(out.end(), data.begin() + i, data.begin() + i + count);
+      i += count;
+    } else {
+      if (i >= data.size()) {
+        return Status::Corruption("RLE: truncated run block");
+      }
+      size_t count = static_cast<size_t>(control) - 125;
+      out.insert(out.end(), count, data[i++]);
+    }
+  }
+  return out;
+}
+
+}  // namespace tbm

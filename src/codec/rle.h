@@ -1,0 +1,23 @@
+#ifndef TBM_CODEC_RLE_H_
+#define TBM_CODEC_RLE_H_
+
+#include "base/bytes.h"
+#include "base/result.h"
+
+namespace tbm {
+
+/// Byte-oriented run-length coding.
+///
+/// Used for lossless compression of synthetic animation cels and as
+/// the simplest member of the codec family in sweeps. Format: pairs of
+/// (count, byte) for runs >= 3 or literals escaped; concretely a
+/// control byte c: c < 128 → copy c+1 literal bytes; c >= 128 → repeat
+/// next byte c-125 times (runs of 3..130).
+Bytes RleEncode(ByteSpan data);
+
+/// Inverse of RleEncode; Corruption on malformed input.
+Result<Bytes> RleDecode(ByteSpan data);
+
+}  // namespace tbm
+
+#endif  // TBM_CODEC_RLE_H_

@@ -1,0 +1,35 @@
+#ifndef TBM_CODEC_SYNTHETIC_H_
+#define TBM_CODEC_SYNTHETIC_H_
+
+#include <vector>
+
+#include "codec/image.h"
+
+namespace tbm {
+
+/// Deterministic synthetic "capture hardware".
+///
+/// The paper's examples digitize PAL tape; we have no tape or capture
+/// card, so scenes are generated procedurally: a smoothly drifting
+/// gradient background with moving discs, palette and motion keyed off
+/// `scene_id`. Frames are temporally coherent (so interframe coding
+/// compresses realistically) and fully reproducible (so tests and
+/// benches are deterministic). See DESIGN.md "Substitutions".
+namespace videogen {
+
+/// Frame `frame_index` of synthetic scene `scene_id` as RGB.
+Image Frame(int32_t width, int32_t height, int64_t frame_index,
+            uint32_t scene_id);
+
+/// A whole clip: `count` consecutive frames.
+std::vector<Image> Clip(int32_t width, int32_t height, int64_t count,
+                        uint32_t scene_id);
+
+/// A deterministic still image (frame 0 of the scene).
+Image Still(int32_t width, int32_t height, uint32_t scene_id);
+
+}  // namespace videogen
+
+}  // namespace tbm
+
+#endif  // TBM_CODEC_SYNTHETIC_H_

@@ -1,0 +1,245 @@
+#include "codec/tjpeg.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/macros.h"
+#include "codec/color.h"
+#include "codec/dct.h"
+
+namespace tbm {
+
+namespace tjpeg_internal {
+
+namespace {
+
+constexpr uint64_t kEobMarker = 64;  // Zero-run value signalling end of block.
+
+// Extracts an 8×8 block at (bx,by) with edge replication.
+void ExtractBlock(const int16_t* plane, int32_t w, int32_t h, int32_t bx,
+                  int32_t by, float out[64]) {
+  for (int y = 0; y < 8; ++y) {
+    int32_t sy = std::min<int32_t>(by + y, h - 1);
+    for (int x = 0; x < 8; ++x) {
+      int32_t sx = std::min<int32_t>(bx + x, w - 1);
+      out[y * 8 + x] = static_cast<float>(plane[sy * w + sx]);
+    }
+  }
+}
+
+void StoreBlock(const float in[64], int32_t w, int32_t h, int32_t bx,
+                int32_t by, int16_t* plane) {
+  for (int y = 0; y < 8 && by + y < h; ++y) {
+    for (int x = 0; x < 8 && bx + x < w; ++x) {
+      plane[(by + y) * w + bx + x] = static_cast<int16_t>(
+          std::lround(std::clamp(in[y * 8 + x], -32768.0f, 32767.0f)));
+    }
+  }
+}
+
+}  // namespace
+
+void EncodePlane(const int16_t* plane, int32_t w, int32_t h,
+                 const std::array<uint16_t, 64>& quant, BinaryWriter* writer) {
+  float block[64], coeffs[64];
+  int32_t prev_dc = 0;
+  for (int32_t by = 0; by < h; by += 8) {
+    for (int32_t bx = 0; bx < w; bx += 8) {
+      ExtractBlock(plane, w, h, bx, by, block);
+      ForwardDct8x8(block, coeffs);
+      int32_t q[64];
+      for (int i = 0; i < 64; ++i) {
+        q[i] = static_cast<int32_t>(std::lround(coeffs[i] / quant[i]));
+      }
+      // DC: delta from previous block.
+      writer->WriteVarI64(q[0] - prev_dc);
+      prev_dc = q[0];
+      // AC: zigzag runs of zeros before each nonzero value.
+      uint64_t run = 0;
+      for (int k = 1; k < 64; ++k) {
+        int32_t v = q[kZigzag[k]];
+        if (v == 0) {
+          ++run;
+        } else {
+          writer->WriteVarU64(run);
+          writer->WriteVarI64(v);
+          run = 0;
+        }
+      }
+      writer->WriteVarU64(kEobMarker);
+    }
+  }
+}
+
+Status DecodePlane(BinaryReader* reader, int32_t w, int32_t h,
+                   const std::array<uint16_t, 64>& quant, int16_t* plane) {
+  float coeffs[64], block[64];
+  int32_t prev_dc = 0;
+  for (int32_t by = 0; by < h; by += 8) {
+    for (int32_t bx = 0; bx < w; bx += 8) {
+      int32_t q[64] = {0};
+      TBM_ASSIGN_OR_RETURN(int64_t dc_delta, reader->ReadVarI64());
+      prev_dc += static_cast<int32_t>(dc_delta);
+      q[0] = prev_dc;
+      int k = 1;
+      while (k < 64) {
+        TBM_ASSIGN_OR_RETURN(uint64_t run, reader->ReadVarU64());
+        if (run == kEobMarker) break;
+        k += static_cast<int>(run);
+        if (k >= 64) return Status::Corruption("TJPEG: AC run overflow");
+        TBM_ASSIGN_OR_RETURN(int64_t v, reader->ReadVarI64());
+        q[kZigzag[k]] = static_cast<int32_t>(v);
+        ++k;
+      }
+      if (k >= 64) {
+        // Block filled exactly; consume its EOB marker.
+        TBM_ASSIGN_OR_RETURN(uint64_t eob, reader->ReadVarU64());
+        if (eob != kEobMarker) {
+          return Status::Corruption("TJPEG: missing end-of-block");
+        }
+      }
+      for (int i = 0; i < 64; ++i) {
+        coeffs[i] = static_cast<float>(q[i]) * quant[i];
+      }
+      InverseDct8x8(coeffs, block);
+      StoreBlock(block, w, h, bx, by, plane);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace tjpeg_internal
+
+namespace {
+
+constexpr uint32_t kTjpegMagic = 0x4745'504Au;  // "JPEG" reversed-ish tag.
+
+std::vector<int16_t> LevelShift(const uint8_t* plane, size_t n) {
+  std::vector<int16_t> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<int16_t>(plane[i]) - 128;
+  }
+  return out;
+}
+
+void LevelUnshift(const std::vector<int16_t>& plane, uint8_t* out) {
+  for (size_t i = 0; i < plane.size(); ++i) {
+    out[i] = static_cast<uint8_t>(
+        std::clamp<int>(plane[i] + 128, 0, 255));
+  }
+}
+
+}  // namespace
+
+Result<Bytes> TjpegEncode(const Image& image, int quality) {
+  TBM_RETURN_IF_ERROR(image.Validate());
+  if (quality < 1 || quality > 100) {
+    return Status::InvalidArgument("TJPEG quality must be 1..100");
+  }
+
+  Image yuv;
+  bool gray = false;
+  if (image.model == ColorModel::kRgb24) {
+    TBM_ASSIGN_OR_RETURN(yuv, RgbToYuv(image, ColorModel::kYuv420));
+  } else if (image.model == ColorModel::kGray8) {
+    yuv = image;
+    gray = true;
+  } else if (image.model == ColorModel::kYuv420) {
+    yuv = image;
+  } else {
+    return Status::Unsupported("TJPEG encodes RGB, GRAY or YUV 4:2:0 input");
+  }
+
+  BinaryWriter writer;
+  writer.WriteU32(kTjpegMagic);
+  writer.WriteU8(gray ? 1 : 0);
+  writer.WriteU8(static_cast<uint8_t>(image.model));
+  writer.WriteU8(static_cast<uint8_t>(quality));
+  writer.WriteVarU64(static_cast<uint64_t>(image.width));
+  writer.WriteVarU64(static_cast<uint64_t>(image.height));
+
+  auto luma_q = ScaleQuantTable(kLumaQuantBase, quality);
+  const int32_t w = yuv.width, h = yuv.height;
+  {
+    auto plane = LevelShift(yuv.data.data(), static_cast<size_t>(w) * h);
+    tjpeg_internal::EncodePlane(plane.data(), w, h, luma_q, &writer);
+  }
+  if (!gray) {
+    auto chroma_q = ScaleQuantTable(kChromaQuantBase, quality);
+    const int32_t cw = yuv.ChromaWidth(), ch = yuv.ChromaHeight();
+    const uint8_t* u = yuv.data.data() + static_cast<size_t>(w) * h;
+    const uint8_t* v = u + static_cast<size_t>(cw) * ch;
+    auto u_plane = LevelShift(u, static_cast<size_t>(cw) * ch);
+    tjpeg_internal::EncodePlane(u_plane.data(), cw, ch, chroma_q, &writer);
+    auto v_plane = LevelShift(v, static_cast<size_t>(cw) * ch);
+    tjpeg_internal::EncodePlane(v_plane.data(), cw, ch, chroma_q, &writer);
+  }
+  return writer.TakeBuffer();
+}
+
+Result<Image> TjpegDecode(ByteSpan bytes) {
+  BinaryReader reader(bytes);
+  TBM_ASSIGN_OR_RETURN(uint32_t magic, reader.ReadU32());
+  if (magic != kTjpegMagic) {
+    return Status::Corruption("not a TJPEG payload");
+  }
+  TBM_ASSIGN_OR_RETURN(uint8_t gray, reader.ReadU8());
+  TBM_ASSIGN_OR_RETURN(uint8_t source_model, reader.ReadU8());
+  TBM_ASSIGN_OR_RETURN(uint8_t quality, reader.ReadU8());
+  TBM_ASSIGN_OR_RETURN(uint64_t w64, reader.ReadVarU64());
+  TBM_ASSIGN_OR_RETURN(uint64_t h64, reader.ReadVarU64());
+  if (w64 == 0 || h64 == 0 || w64 > (1u << 20) || h64 > (1u << 20)) {
+    return Status::Corruption("TJPEG: implausible geometry");
+  }
+  const int32_t w = static_cast<int32_t>(w64);
+  const int32_t h = static_cast<int32_t>(h64);
+  if (quality < 1 || quality > 100) {
+    return Status::Corruption("TJPEG: bad quality byte");
+  }
+
+  auto luma_q = ScaleQuantTable(kLumaQuantBase, quality);
+  if (gray) {
+    Image out = Image::Zero(w, h, ColorModel::kGray8);
+    std::vector<int16_t> plane(static_cast<size_t>(w) * h);
+    TBM_RETURN_IF_ERROR(
+        tjpeg_internal::DecodePlane(&reader, w, h, luma_q, plane.data()));
+    LevelUnshift(plane, out.data.data());
+    return out;
+  }
+
+  Image yuv = Image::Zero(w, h, ColorModel::kYuv420);
+  const int32_t cw = yuv.ChromaWidth(), ch = yuv.ChromaHeight();
+  auto chroma_q = ScaleQuantTable(kChromaQuantBase, quality);
+  {
+    std::vector<int16_t> plane(static_cast<size_t>(w) * h);
+    TBM_RETURN_IF_ERROR(
+        tjpeg_internal::DecodePlane(&reader, w, h, luma_q, plane.data()));
+    LevelUnshift(plane, yuv.data.data());
+  }
+  uint8_t* u = yuv.data.data() + static_cast<size_t>(w) * h;
+  uint8_t* v = u + static_cast<size_t>(cw) * ch;
+  {
+    std::vector<int16_t> plane(static_cast<size_t>(cw) * ch);
+    TBM_RETURN_IF_ERROR(
+        tjpeg_internal::DecodePlane(&reader, cw, ch, chroma_q, plane.data()));
+    LevelUnshift(plane, u);
+  }
+  {
+    std::vector<int16_t> plane(static_cast<size_t>(cw) * ch);
+    TBM_RETURN_IF_ERROR(
+        tjpeg_internal::DecodePlane(&reader, cw, ch, chroma_q, plane.data()));
+    LevelUnshift(plane, v);
+  }
+  if (static_cast<ColorModel>(source_model) == ColorModel::kYuv420) {
+    return yuv;
+  }
+  return YuvToRgb(yuv);
+}
+
+double TjpegBitsPerPixel(const Image& image, size_t encoded_bytes) {
+  if (image.PixelCount() == 0) return 0.0;
+  return 8.0 * static_cast<double>(encoded_bytes) /
+         static_cast<double>(image.PixelCount());
+}
+
+}  // namespace tbm

@@ -1,0 +1,82 @@
+#ifndef TBM_CODEC_TMPEG_H_
+#define TBM_CODEC_TMPEG_H_
+
+#include <vector>
+
+#include "codec/image.h"
+
+namespace tbm {
+
+/// TMPEG — the library's from-scratch interframe video codec, standing
+/// in for MPEG in the paper's examples. It exhibits the stream-shape
+/// properties the data model must handle:
+///
+///  - "key" elements (intra-coded, TJPEG-style) from which
+///    "intermediate" elements are predicted (paper §2.2, interpretation
+///    / out-of-order elements);
+///  - in bidirectional mode, intermediate frames are interpolated from
+///    the two *bracketing* keys, so keys must be stored *before* the
+///    intermediates they support: a four-frame group with keys at both
+///    ends is stored in the order 1,4,2,3 — the paper's exact example;
+///  - variable-size elements whose descriptors carry a per-frame
+///    "frame kind" (heterogeneous stream).
+
+/// Role of an encoded frame.
+enum class FrameKind : uint8_t {
+  kKey = 0,            ///< Intra-coded; decodable alone.
+  kDelta = 1,          ///< Predicted from the previous frame.
+  kBidirectional = 2,  ///< Interpolated from two bracketing keys.
+};
+
+std::string_view FrameKindToString(FrameKind kind);
+
+/// One encoded frame with its presentation position. A sequence of
+/// TmpegFrames is in *storage* order; `presentation_index` recovers
+/// display order.
+struct TmpegFrame {
+  Bytes data;
+  FrameKind kind = FrameKind::kKey;
+  int64_t presentation_index = 0;
+  /// For kBidirectional: presentation indexes of the two reference keys.
+  int64_t ref_before = -1;
+  int64_t ref_after = -1;
+};
+
+struct TmpegConfig {
+  int quality = 50;        ///< TJPEG-style quality knob, 1..100.
+  int key_interval = 12;   ///< Presentation frames per key frame.
+  bool bidirectional = false;  ///< Interpolated group coding (out-of-order
+                               ///< storage) instead of forward deltas.
+  /// Block motion compensation for forward delta frames: 16×16 luma
+  /// blocks, full search in a ±4 pixel window against the previous
+  /// reconstruction. Shrinks residuals on panning/translating content
+  /// at the cost of encoder search time.
+  bool motion_compensation = false;
+};
+
+/// Encodes an RGB frame sequence. The returned vector is in storage
+/// order: identical to presentation order in forward-delta mode;
+/// keys-before-intermediates in bidirectional mode.
+Result<std::vector<TmpegFrame>> TmpegEncodeSequence(
+    const std::vector<Image>& frames, const TmpegConfig& config);
+
+/// Decodes a storage-order frame sequence back to RGB frames in
+/// presentation order.
+Result<std::vector<Image>> TmpegDecodeSequence(
+    const std::vector<TmpegFrame>& frames);
+
+/// Parses one encoded frame's self-describing header, recovering its
+/// kind, presentation index and references. Used when frames are
+/// rehydrated from BLOB storage.
+Result<TmpegFrame> TmpegParseFrame(Bytes data);
+
+/// Decodes only the key frames of a sequence — the cheap low-fidelity
+/// "scaled" read (paper §2.2, scalability): a fraction of the bytes
+/// yields a reduced-rate preview. Returned pairs are (presentation
+/// index, frame).
+Result<std::vector<std::pair<int64_t, Image>>> TmpegDecodeKeysOnly(
+    const std::vector<TmpegFrame>& frames);
+
+}  // namespace tbm
+
+#endif  // TBM_CODEC_TMPEG_H_

@@ -1,0 +1,115 @@
+#ifndef TBM_COMPOSE_MULTIMEDIA_H_
+#define TBM_COMPOSE_MULTIMEDIA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "compose/timeline.h"
+#include "derive/graph.h"
+
+namespace tbm {
+
+/// Spatial placement of a visual component during presentation
+/// (paper Def. 7: composition relationships are temporal and/or
+/// spatial).
+struct SpatialPlacement {
+  int32_t x = 0;
+  int32_t y = 0;
+  int32_t layer = 0;  ///< Higher layers composite over lower ones.
+};
+
+/// One composition relationship c_i: it relates a media object (a node
+/// of a derivation graph) to the multimedia object with a temporal
+/// offset and optional spatial placement.
+struct Component {
+  std::string name;  ///< e.g. "c1".
+  NodeId media = 0;
+  Rational start_seconds;  ///< When the component begins on the timeline.
+  std::optional<SpatialPlacement> spatial;
+};
+
+/// A multimedia object (paper Definition 7): "the specification of
+/// temporal and/or spatial relationships between a group of media
+/// objects. The result of composition is called a multimedia object,
+/// the spatiotemporally related objects are called its components."
+///
+/// Components reference nodes of a DerivationGraph, so a multimedia
+/// object composes derived and non-derived media objects uniformly —
+/// the Figure 5 layering.
+class MultimediaObject {
+ public:
+  MultimediaObject(std::string name, DerivationGraph* graph)
+      : name_(std::move(name)), graph_(graph) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<Component>& components() const { return components_; }
+
+  /// Adds a temporal composition relationship.
+  Status AddComponent(const std::string& relationship_name, NodeId media,
+                      Rational start_seconds,
+                      std::optional<SpatialPlacement> spatial = std::nullopt);
+
+  /// Evaluated timeline entry of one component.
+  struct TimelineEntry {
+    std::string component;  ///< Relationship name.
+    std::string media;      ///< Media object (node) name.
+    MediaKind kind = MediaKind::kAudio;
+    TimeInterval interval;  ///< Seconds on the master timeline.
+  };
+
+  /// Evaluates all components and returns their timeline intervals
+  /// (expansion of derived components happens here, memoized by the
+  /// graph).
+  Result<std::vector<TimelineEntry>> Timeline() const;
+
+  /// Total duration: max component end.
+  Result<Rational> Duration() const;
+
+  /// Allen relation between two components' intervals.
+  Result<IntervalRelation> RelationBetween(const std::string& a,
+                                           const std::string& b) const;
+
+  /// Declares a temporal-correlation constraint (paper §2.2: "temporal
+  /// correlations can occur between media elements ... the data model
+  /// must address the timing"): component `a`'s interval must stand in
+  /// `relation` to component `b`'s. Checked by ValidateRelations().
+  Status RequireRelation(const std::string& a, const std::string& b,
+                         IntervalRelation relation);
+
+  /// Evaluates the timeline and checks every declared constraint;
+  /// FailedPrecondition naming the first violated rule otherwise.
+  Status ValidateRelations() const;
+
+  /// Renders the Figure 4b-style timeline diagram as ASCII art: one row
+  /// per component, time increasing left to right.
+  Result<std::string> RenderTimelineAscii(int columns = 64) const;
+
+  /// Mixes all audio components (at their temporal offsets) into one
+  /// PCM buffer at `sample_rate`/`channels` — the audible presentation
+  /// of the multimedia object.
+  Result<AudioBuffer> MixAudio(int64_t sample_rate, int32_t channels) const;
+
+  /// Composites all visual components at master time `t_seconds` into
+  /// one frame of the given size (spatial composition; layers
+  /// ascending). Components without spatial placement default to (0,0),
+  /// layer 0.
+  Result<Image> RenderFrameAt(double t_seconds, int32_t width,
+                              int32_t height) const;
+
+ private:
+  struct SyncRule {
+    std::string a;
+    std::string b;
+    IntervalRelation relation;
+  };
+
+  std::string name_;
+  DerivationGraph* graph_;
+  std::vector<Component> components_;
+  std::vector<SyncRule> rules_;
+};
+
+}  // namespace tbm
+
+#endif  // TBM_COMPOSE_MULTIMEDIA_H_

@@ -1,0 +1,44 @@
+#include "compose/timeline.h"
+
+namespace tbm {
+
+std::string_view IntervalRelationToString(IntervalRelation relation) {
+  switch (relation) {
+    case IntervalRelation::kBefore: return "before";
+    case IntervalRelation::kMeets: return "meets";
+    case IntervalRelation::kOverlaps: return "overlaps";
+    case IntervalRelation::kStarts: return "starts";
+    case IntervalRelation::kDuring: return "during";
+    case IntervalRelation::kFinishes: return "finishes";
+    case IntervalRelation::kEquals: return "equals";
+    case IntervalRelation::kAfter: return "after";
+    case IntervalRelation::kMetBy: return "met-by";
+    case IntervalRelation::kOverlappedBy: return "overlapped-by";
+    case IntervalRelation::kStartedBy: return "started-by";
+    case IntervalRelation::kContains: return "contains";
+    case IntervalRelation::kFinishedBy: return "finished-by";
+  }
+  return "unknown";
+}
+
+IntervalRelation Classify(const TimeInterval& a, const TimeInterval& b) {
+  if (a.start == b.start && a.end == b.end) return IntervalRelation::kEquals;
+  if (a.end < b.start) return IntervalRelation::kBefore;
+  if (b.end < a.start) return IntervalRelation::kAfter;
+  if (a.end == b.start) return IntervalRelation::kMeets;
+  if (b.end == a.start) return IntervalRelation::kMetBy;
+  if (a.start == b.start) {
+    return a.end < b.end ? IntervalRelation::kStarts
+                         : IntervalRelation::kStartedBy;
+  }
+  if (a.end == b.end) {
+    return a.start > b.start ? IntervalRelation::kFinishes
+                             : IntervalRelation::kFinishedBy;
+  }
+  if (a.start > b.start && a.end < b.end) return IntervalRelation::kDuring;
+  if (b.start > a.start && b.end < a.end) return IntervalRelation::kContains;
+  return a.start < b.start ? IntervalRelation::kOverlaps
+                           : IntervalRelation::kOverlappedBy;
+}
+
+}  // namespace tbm

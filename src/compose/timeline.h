@@ -1,0 +1,50 @@
+#ifndef TBM_COMPOSE_TIMELINE_H_
+#define TBM_COMPOSE_TIMELINE_H_
+
+#include <string>
+
+#include "time/rational.h"
+
+namespace tbm {
+
+/// A half-open interval [start, end) on a continuous timeline, in
+/// seconds (exact rationals).
+struct TimeInterval {
+  Rational start;
+  Rational end;
+
+  Rational Duration() const { return end - start; }
+  bool Valid() const { return start <= end; }
+
+  friend bool operator==(const TimeInterval&, const TimeInterval&) = default;
+};
+
+/// Allen's interval relations — the vocabulary of temporal composition
+/// (cf. Little & Ghafoor's spatio-temporal composition, cited by the
+/// paper as [11]).
+enum class IntervalRelation {
+  kBefore,        ///< a ends strictly before b starts.
+  kMeets,         ///< a ends exactly where b starts.
+  kOverlaps,      ///< a starts first, they overlap, b ends last.
+  kStarts,        ///< same start, a ends first.
+  kDuring,        ///< a strictly inside b.
+  kFinishes,      ///< same end, a starts later.
+  kEquals,        ///< identical intervals.
+  // Inverses:
+  kAfter,
+  kMetBy,
+  kOverlappedBy,
+  kStartedBy,
+  kContains,
+  kFinishedBy,
+};
+
+std::string_view IntervalRelationToString(IntervalRelation relation);
+
+/// Classifies the relation of `a` to `b`. Both intervals must be valid
+/// and non-empty for the classification to be meaningful.
+IntervalRelation Classify(const TimeInterval& a, const TimeInterval& b);
+
+}  // namespace tbm
+
+#endif  // TBM_COMPOSE_TIMELINE_H_

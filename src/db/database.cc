@@ -1,0 +1,712 @@
+#include "db/database.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <set>
+
+#include "base/crc32.h"
+#include "base/macros.h"
+#include "blob/file_store.h"
+#include "blob/memory_store.h"
+
+namespace tbm {
+
+namespace {
+constexpr uint32_t kCatalogMagic = 0x544D'4244u;  // "TBMDB"-ish.
+constexpr uint32_t kCatalogVersion = 2;  // v2 appends the rights table.
+}  // namespace
+
+std::string_view CatalogKindToString(CatalogKind kind) {
+  switch (kind) {
+    case CatalogKind::kEntity: return "entity";
+    case CatalogKind::kInterpretation: return "interpretation";
+    case CatalogKind::kMediaObject: return "media object";
+    case CatalogKind::kDerivedObject: return "derived object";
+    case CatalogKind::kMultimediaObject: return "multimedia object";
+  }
+  return "unknown";
+}
+
+Result<std::unique_ptr<MediaDatabase>> MediaDatabase::Open(
+    const std::string& dir) {
+  TBM_ASSIGN_OR_RETURN(std::unique_ptr<FileBlobStore> store,
+                       FileBlobStore::Open(dir));
+  auto db = std::unique_ptr<MediaDatabase>(
+      new MediaDatabase(std::move(store), dir));
+  TBM_RETURN_IF_ERROR(db->LoadCatalog());
+  return db;
+}
+
+std::unique_ptr<MediaDatabase> MediaDatabase::CreateInMemory() {
+  return std::unique_ptr<MediaDatabase>(
+      new MediaDatabase(std::make_unique<MemoryBlobStore>(), ""));
+}
+
+// ---------------------------------------------------------------------------
+// Catalog writes
+
+Status MediaDatabase::CheckNameFree(const std::string& name) const {
+  if (name.empty()) {
+    return Status::InvalidArgument("object name must not be empty");
+  }
+  if (by_name_.count(name) > 0) {
+    return Status::AlreadyExists("catalog name \"" + name + "\" in use");
+  }
+  return Status::OK();
+}
+
+std::string MediaDatabase::IndexKey(const AttrValue& value) {
+  // Canonical byte form: type tag + serialized payload.
+  BinaryWriter writer;
+  writer.WriteU8(static_cast<uint8_t>(TypeOf(value)));
+  writer.WriteString(AttrValueToString(value));
+  return std::string(reinterpret_cast<const char*>(writer.buffer().data()),
+                     writer.size());
+}
+
+void MediaDatabase::IndexInsert(const CatalogEntry& entry) {
+  for (auto& [attr, index] : attr_indexes_) {
+    auto value = entry.attrs.Get(attr);
+    if (value.ok()) index.emplace(IndexKey(*value), entry.id);
+  }
+}
+
+void MediaDatabase::IndexRemove(const CatalogEntry& entry) {
+  for (auto& [attr, index] : attr_indexes_) {
+    auto value = entry.attrs.Get(attr);
+    if (!value.ok()) continue;
+    auto [begin, end] = index.equal_range(IndexKey(*value));
+    for (auto it = begin; it != end; ++it) {
+      if (it->second == entry.id) {
+        index.erase(it);
+        break;
+      }
+    }
+  }
+}
+
+Result<ObjectId> MediaDatabase::Insert(CatalogEntry entry) {
+  TBM_RETURN_IF_ERROR(CheckNameFree(entry.name));
+  entry.id = next_id_++;
+  ObjectId id = entry.id;
+  by_name_.emplace(entry.name, id);
+  IndexInsert(entry);
+  catalog_.emplace(id, std::move(entry));
+  return id;
+}
+
+Result<ObjectId> MediaDatabase::AddEntity(const std::string& name,
+                                          AttrMap attrs) {
+  CatalogEntry entry;
+  entry.kind = CatalogKind::kEntity;
+  entry.name = name;
+  entry.attrs = std::move(attrs);
+  return Insert(std::move(entry));
+}
+
+Result<ObjectId> MediaDatabase::AddInterpretation(
+    const std::string& name, Interpretation interpretation) {
+  if (!store_->Exists(interpretation.blob())) {
+    return Status::NotFound("interpretation references unknown BLOB " +
+                            std::to_string(interpretation.blob()));
+  }
+  TBM_ASSIGN_OR_RETURN(uint64_t blob_size,
+                       store_->Size(interpretation.blob()));
+  TBM_RETURN_IF_ERROR(interpretation.ValidateAgainstBlobSize(blob_size));
+  CatalogEntry entry;
+  entry.kind = CatalogKind::kInterpretation;
+  entry.name = name;
+  entry.interpretation = std::move(interpretation);
+  return Insert(std::move(entry));
+}
+
+Result<ObjectId> MediaDatabase::AddMediaObject(const std::string& name,
+                                               ObjectId interpretation_id,
+                                               const std::string& stream_name,
+                                               AttrMap attrs) {
+  TBM_ASSIGN_OR_RETURN(const CatalogEntry* interp, Get(interpretation_id));
+  if (interp->kind != CatalogKind::kInterpretation) {
+    return Status::InvalidArgument("object " +
+                                   std::to_string(interpretation_id) +
+                                   " is not an interpretation");
+  }
+  TBM_RETURN_IF_ERROR(
+      interp->interpretation.FindObject(stream_name).status());
+  CatalogEntry entry;
+  entry.kind = CatalogKind::kMediaObject;
+  entry.name = name;
+  entry.attrs = std::move(attrs);
+  entry.interpretation_ref = interpretation_id;
+  entry.stream_name = stream_name;
+  return Insert(std::move(entry));
+}
+
+Result<ObjectId> MediaDatabase::AddDerivedObject(const std::string& name,
+                                                 const std::string& op,
+                                                 std::vector<ObjectId> inputs,
+                                                 AttrMap params,
+                                                 AttrMap attrs) {
+  TBM_RETURN_IF_ERROR(DerivationRegistry::Builtin().Find(op).status());
+  for (ObjectId input : inputs) {
+    TBM_ASSIGN_OR_RETURN(const CatalogEntry* entry, Get(input));
+    if (entry->kind != CatalogKind::kMediaObject &&
+        entry->kind != CatalogKind::kDerivedObject) {
+      return Status::InvalidArgument(
+          "derivation input " + std::to_string(input) +
+          " must be a media or derived object, is " +
+          std::string(CatalogKindToString(entry->kind)));
+    }
+  }
+  CatalogEntry entry;
+  entry.kind = CatalogKind::kDerivedObject;
+  entry.name = name;
+  entry.attrs = std::move(attrs);
+  entry.op = op;
+  entry.inputs = std::move(inputs);
+  entry.params = std::move(params);
+  return Insert(std::move(entry));
+}
+
+Result<ObjectId> MediaDatabase::AddMultimediaObject(
+    const std::string& name, std::vector<StoredComponent> components,
+    AttrMap attrs) {
+  for (const StoredComponent& component : components) {
+    TBM_ASSIGN_OR_RETURN(const CatalogEntry* entry, Get(component.media));
+    if (entry->kind != CatalogKind::kMediaObject &&
+        entry->kind != CatalogKind::kDerivedObject) {
+      return Status::InvalidArgument(
+          "component \"" + component.name +
+          "\" must reference a media or derived object");
+    }
+    if (component.start_seconds.IsNegative()) {
+      return Status::InvalidArgument("component \"" + component.name +
+                                     "\" has negative start");
+    }
+  }
+  CatalogEntry entry;
+  entry.kind = CatalogKind::kMultimediaObject;
+  entry.name = name;
+  entry.attrs = std::move(attrs);
+  entry.components = std::move(components);
+  return Insert(std::move(entry));
+}
+
+Status MediaDatabase::SetAttr(ObjectId id, const std::string& name,
+                              AttrValue value) {
+  auto it = catalog_.find(id);
+  if (it == catalog_.end()) {
+    return Status::NotFound("no catalog object " + std::to_string(id));
+  }
+  IndexRemove(it->second);
+  it->second.attrs.Set(name, std::move(value));
+  IndexInsert(it->second);
+  return Status::OK();
+}
+
+Status MediaDatabase::SetMediaAttr(ObjectId entity, const std::string& attr,
+                                   ObjectId media_object) {
+  TBM_ASSIGN_OR_RETURN(const CatalogEntry* target, Get(media_object));
+  if (target->kind != CatalogKind::kMediaObject &&
+      target->kind != CatalogKind::kDerivedObject &&
+      target->kind != CatalogKind::kMultimediaObject) {
+    return Status::InvalidArgument("media attribute must reference a media, "
+                                   "derived or multimedia object");
+  }
+  return SetAttr(entity, attr, static_cast<int64_t>(media_object));
+}
+
+Result<ObjectId> MediaDatabase::GetMediaAttr(ObjectId entity,
+                                             const std::string& attr) const {
+  TBM_ASSIGN_OR_RETURN(const CatalogEntry* entry, Get(entity));
+  TBM_ASSIGN_OR_RETURN(int64_t ref, entry->attrs.GetInt(attr));
+  if (catalog_.count(static_cast<ObjectId>(ref)) == 0) {
+    return Status::NotFound("media attribute \"" + attr +
+                            "\" references missing object");
+  }
+  return static_cast<ObjectId>(ref);
+}
+
+Status MediaDatabase::Remove(ObjectId id) {
+  auto it = catalog_.find(id);
+  if (it == catalog_.end()) {
+    return Status::NotFound("no catalog object " + std::to_string(id));
+  }
+  // Refuse to remove objects something else references.
+  for (const auto& [other_id, entry] : catalog_) {
+    if (other_id == id) continue;
+    if (entry.interpretation_ref == id) {
+      return Status::FailedPrecondition("object is referenced by \"" +
+                                        entry.name + "\"");
+    }
+    for (ObjectId input : entry.inputs) {
+      if (input == id) {
+        return Status::FailedPrecondition("object is referenced by \"" +
+                                          entry.name + "\"");
+      }
+    }
+    for (const StoredComponent& component : entry.components) {
+      if (component.media == id) {
+        return Status::FailedPrecondition("object is referenced by \"" +
+                                          entry.name + "\"");
+      }
+    }
+  }
+  by_name_.erase(it->second.name);
+  IndexRemove(it->second);
+  catalog_.erase(it);
+  return Status::OK();
+}
+
+Result<size_t> MediaDatabase::VacuumBlobs() {
+  std::set<BlobId> referenced;
+  for (const auto& [id, entry] : catalog_) {
+    if (entry.kind == CatalogKind::kInterpretation) {
+      referenced.insert(entry.interpretation.blob());
+    }
+  }
+  size_t deleted = 0;
+  for (BlobId blob : store_->List()) {
+    if (referenced.count(blob) > 0) continue;
+    TBM_RETURN_IF_ERROR(store_->Delete(blob));
+    ++deleted;
+  }
+  return deleted;
+}
+
+// ---------------------------------------------------------------------------
+// Reads & queries
+
+Result<const CatalogEntry*> MediaDatabase::Get(ObjectId id) const {
+  auto it = catalog_.find(id);
+  if (it == catalog_.end()) {
+    return Status::NotFound("no catalog object " + std::to_string(id));
+  }
+  return &it->second;
+}
+
+Result<ObjectId> MediaDatabase::FindByName(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("no catalog object named \"" + name + "\"");
+  }
+  return it->second;
+}
+
+std::vector<ObjectId> MediaDatabase::List() const {
+  std::vector<ObjectId> ids;
+  ids.reserve(catalog_.size());
+  for (const auto& [id, entry] : catalog_) ids.push_back(id);
+  return ids;
+}
+
+std::vector<ObjectId> MediaDatabase::Filter(
+    const std::function<bool(const CatalogEntry&)>& predicate) const {
+  std::vector<ObjectId> ids;
+  for (const auto& [id, entry] : catalog_) {
+    if (predicate(entry)) ids.push_back(id);
+  }
+  return ids;
+}
+
+std::vector<ObjectId> MediaDatabase::SelectByAttr(
+    const std::string& attr, const AttrValue& value) const {
+  auto index = attr_indexes_.find(attr);
+  if (index != attr_indexes_.end()) {
+    std::vector<ObjectId> ids;
+    auto [begin, end] = index->second.equal_range(IndexKey(value));
+    for (auto it = begin; it != end; ++it) ids.push_back(it->second);
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  }
+  return Filter([&](const CatalogEntry& entry) {
+    auto v = entry.attrs.Get(attr);
+    return v.ok() && *v == value;
+  });
+}
+
+Status MediaDatabase::CreateAttrIndex(const std::string& attr) {
+  if (attr.empty()) {
+    return Status::InvalidArgument("attribute name must not be empty");
+  }
+  std::multimap<std::string, ObjectId>& index = attr_indexes_[attr];
+  index.clear();
+  for (const auto& [id, entry] : catalog_) {
+    auto value = entry.attrs.Get(attr);
+    if (value.ok()) index.emplace(IndexKey(*value), id);
+  }
+  return Status::OK();
+}
+
+Status MediaDatabase::DropAttrIndex(const std::string& attr) {
+  if (attr_indexes_.erase(attr) == 0) {
+    return Status::NotFound("no index on \"" + attr + "\"");
+  }
+  return Status::OK();
+}
+
+std::vector<ObjectId> MediaDatabase::SelectByKind(MediaKind kind) const {
+  return Filter([&](const CatalogEntry& entry) {
+    if (entry.kind == CatalogKind::kMediaObject) {
+      auto interp = Get(entry.interpretation_ref);
+      if (!interp.ok()) return false;
+      auto object = (*interp)->interpretation.FindObject(entry.stream_name);
+      return object.ok() && (*object)->descriptor.kind == kind;
+    }
+    if (entry.kind == CatalogKind::kDerivedObject) {
+      auto op = DerivationRegistry::Builtin().Find(entry.op);
+      return op.ok() && (*op)->result_kind == kind;
+    }
+    return false;
+  });
+}
+
+std::vector<ObjectId> MediaDatabase::SelectByDescriptor(
+    const std::string& attr,
+    const std::function<bool(const AttrValue&)>& predicate) const {
+  return Filter([&](const CatalogEntry& entry) {
+    if (entry.kind != CatalogKind::kMediaObject) return false;
+    auto interp = Get(entry.interpretation_ref);
+    if (!interp.ok()) return false;
+    auto object = (*interp)->interpretation.FindObject(entry.stream_name);
+    if (!object.ok()) return false;
+    auto value = (*object)->descriptor.attrs.Get(attr);
+    return value.ok() && predicate(*value);
+  });
+}
+
+std::vector<ObjectId> MediaDatabase::SelectByDuration(
+    double min_seconds, double max_seconds) const {
+  return Filter([&](const CatalogEntry& entry) {
+    if (entry.kind != CatalogKind::kMediaObject) return false;
+    auto interp = Get(entry.interpretation_ref);
+    if (!interp.ok()) return false;
+    auto object = (*interp)->interpretation.FindObject(entry.stream_name);
+    if (!object.ok()) return false;
+    double seconds =
+        (*object)->time_system.ToSecondsF((*object)->EndTime());
+    return seconds >= min_seconds && seconds <= max_seconds;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Authorization
+
+Status MediaDatabase::CheckReadRecursive(ObjectId id,
+                                         const std::string& principal) const {
+  TBM_RETURN_IF_ERROR(rights_.Check(id, principal, MediaOperation::kRead));
+  TBM_ASSIGN_OR_RETURN(const CatalogEntry* entry, Get(id));
+  for (ObjectId input : entry->inputs) {
+    TBM_RETURN_IF_ERROR(CheckReadRecursive(input, principal));
+  }
+  return Status::OK();
+}
+
+Result<MediaValue> MediaDatabase::MaterializeFor(
+    ObjectId id, const std::string& principal) const {
+  TBM_RETURN_IF_ERROR(CheckReadRecursive(id, principal));
+  return Materialize(id);
+}
+
+Result<ObjectId> MediaDatabase::AddDerivedObjectFor(
+    const std::string& principal, const std::string& name,
+    const std::string& op, std::vector<ObjectId> inputs, AttrMap params,
+    AttrMap attrs) {
+  for (ObjectId input : inputs) {
+    TBM_RETURN_IF_ERROR(
+        rights_.Check(input, principal, MediaOperation::kDerive));
+  }
+  std::string notice = rights_.DeriveCopyrightNotice(inputs);
+  if (!notice.empty()) {
+    attrs.SetString("copyright", notice);
+  }
+  return AddDerivedObject(name, op, std::move(inputs), std::move(params),
+                          std::move(attrs));
+}
+
+// ---------------------------------------------------------------------------
+// Materialization
+
+Result<TimedStream> MediaDatabase::MaterializeStream(
+    ObjectId media_object) const {
+  TBM_ASSIGN_OR_RETURN(const CatalogEntry* entry, Get(media_object));
+  if (entry->kind != CatalogKind::kMediaObject) {
+    return Status::InvalidArgument(
+        "object " + std::to_string(media_object) +
+        " is not a non-derived media object (derived objects must be "
+        "expanded; use Materialize)");
+  }
+  TBM_ASSIGN_OR_RETURN(const CatalogEntry* interp,
+                       Get(entry->interpretation_ref));
+  return interp->interpretation.Materialize(*store_, entry->stream_name);
+}
+
+Result<TimedStream> MediaDatabase::MaterializeStreamSpan(
+    ObjectId media_object, TickSpan span) const {
+  TBM_ASSIGN_OR_RETURN(const CatalogEntry* entry, Get(media_object));
+  if (entry->kind != CatalogKind::kMediaObject) {
+    return Status::InvalidArgument("span materialization requires a "
+                                   "non-derived media object");
+  }
+  TBM_ASSIGN_OR_RETURN(const CatalogEntry* interp,
+                       Get(entry->interpretation_ref));
+  return interp->interpretation.MaterializeSpan(*store_, entry->stream_name,
+                                                span);
+}
+
+Result<NodeId> MediaDatabase::BuildGraphNode(
+    ObjectId id, DerivationGraph* graph,
+    std::map<ObjectId, NodeId>* built) const {
+  auto cached = built->find(id);
+  if (cached != built->end()) return cached->second;
+  TBM_ASSIGN_OR_RETURN(const CatalogEntry* entry, Get(id));
+  NodeId node;
+  if (entry->kind == CatalogKind::kMediaObject) {
+    TBM_ASSIGN_OR_RETURN(TimedStream stream, MaterializeStream(id));
+    TBM_ASSIGN_OR_RETURN(MediaValue value, DecodeStream(stream));
+    node = graph->AddLeaf(std::move(value), entry->name);
+  } else if (entry->kind == CatalogKind::kDerivedObject) {
+    std::vector<NodeId> inputs;
+    for (ObjectId input : entry->inputs) {
+      TBM_ASSIGN_OR_RETURN(NodeId input_node,
+                           BuildGraphNode(input, graph, built));
+      inputs.push_back(input_node);
+    }
+    TBM_ASSIGN_OR_RETURN(node, graph->AddDerived(entry->op, std::move(inputs),
+                                                 entry->params, entry->name));
+  } else {
+    return Status::InvalidArgument(
+        "object " + std::to_string(id) + " (" +
+        std::string(CatalogKindToString(entry->kind)) +
+        ") cannot appear in a derivation graph");
+  }
+  built->emplace(id, node);
+  return node;
+}
+
+Result<MediaValue> MediaDatabase::Materialize(ObjectId id) const {
+  DerivationGraph graph;
+  std::map<ObjectId, NodeId> built;
+  TBM_ASSIGN_OR_RETURN(NodeId node, BuildGraphNode(id, &graph, &built));
+  TBM_ASSIGN_OR_RETURN(const MediaValue* value, graph.Evaluate(node));
+  return *value;  // Copy out; the graph dies with this frame.
+}
+
+Result<std::unique_ptr<ComposedView>> MediaDatabase::Compose(
+    ObjectId multimedia_id) const {
+  TBM_ASSIGN_OR_RETURN(const CatalogEntry* entry, Get(multimedia_id));
+  if (entry->kind != CatalogKind::kMultimediaObject) {
+    return Status::InvalidArgument("object " + std::to_string(multimedia_id) +
+                                   " is not a multimedia object");
+  }
+  auto view = std::make_unique<ComposedView>();
+  view->object = MultimediaObject(entry->name, &view->graph);
+  std::map<ObjectId, NodeId> built;
+  for (const StoredComponent& component : entry->components) {
+    TBM_ASSIGN_OR_RETURN(NodeId node,
+                         BuildGraphNode(component.media, &view->graph, &built));
+    TBM_RETURN_IF_ERROR(view->object.AddComponent(
+        component.name, node, component.start_seconds, component.spatial));
+  }
+  return view;
+}
+
+Result<uint64_t> MediaDatabase::DerivationRecordBytes(ObjectId id) const {
+  TBM_ASSIGN_OR_RETURN(const CatalogEntry* entry, Get(id));
+  if (entry->kind == CatalogKind::kMediaObject) {
+    return static_cast<uint64_t>(sizeof(ObjectId));
+  }
+  if (entry->kind != CatalogKind::kDerivedObject) {
+    return Status::InvalidArgument("not a media or derived object");
+  }
+  BinaryWriter writer;
+  writer.WriteString(entry->op);
+  writer.WriteVarU64(entry->inputs.size());
+  for (ObjectId input : entry->inputs) writer.WriteVarU64(input);
+  entry->params.Serialize(&writer);
+  uint64_t total = writer.size();
+  for (ObjectId input : entry->inputs) {
+    TBM_ASSIGN_OR_RETURN(uint64_t sub, DerivationRecordBytes(input));
+    total += sub;
+  }
+  return total;
+}
+
+Result<ObjectId> MediaDatabase::ExpandAndStore(ObjectId derived_id,
+                                               const std::string& new_name,
+                                               const StoreOptions& options) {
+  TBM_ASSIGN_OR_RETURN(const CatalogEntry* entry, Get(derived_id));
+  if (entry->kind != CatalogKind::kDerivedObject) {
+    return Status::InvalidArgument("ExpandAndStore requires a derived object");
+  }
+  TBM_ASSIGN_OR_RETURN(MediaValue value, Materialize(derived_id));
+  TBM_ASSIGN_OR_RETURN(Interpretation interp,
+                       StoreValue(store_.get(), value, new_name, options));
+  TBM_ASSIGN_OR_RETURN(
+      ObjectId interp_id,
+      AddInterpretation(new_name + " interpretation", std::move(interp)));
+  return AddMediaObject(new_name, interp_id, new_name);
+}
+
+// ---------------------------------------------------------------------------
+// Persistence
+
+std::string MediaDatabase::CatalogPath(const std::string& dir) {
+  return dir + "/catalog.tbm";
+}
+
+namespace {
+
+void SerializeEntry(const CatalogEntry& entry, BinaryWriter* writer) {
+  writer->WriteU64(entry.id);
+  writer->WriteU8(static_cast<uint8_t>(entry.kind));
+  writer->WriteString(entry.name);
+  entry.attrs.Serialize(writer);
+  switch (entry.kind) {
+    case CatalogKind::kEntity:
+      break;
+    case CatalogKind::kInterpretation:
+      entry.interpretation.Serialize(writer);
+      break;
+    case CatalogKind::kMediaObject:
+      writer->WriteU64(entry.interpretation_ref);
+      writer->WriteString(entry.stream_name);
+      break;
+    case CatalogKind::kDerivedObject:
+      writer->WriteString(entry.op);
+      writer->WriteVarU64(entry.inputs.size());
+      for (ObjectId input : entry.inputs) writer->WriteU64(input);
+      entry.params.Serialize(writer);
+      break;
+    case CatalogKind::kMultimediaObject:
+      writer->WriteVarU64(entry.components.size());
+      for (const StoredComponent& component : entry.components) {
+        writer->WriteString(component.name);
+        writer->WriteU64(component.media);
+        writer->WriteVarI64(component.start_seconds.num());
+        writer->WriteVarI64(component.start_seconds.den());
+        writer->WriteU8(component.spatial.has_value() ? 1 : 0);
+        if (component.spatial.has_value()) {
+          writer->WriteI32(component.spatial->x);
+          writer->WriteI32(component.spatial->y);
+          writer->WriteI32(component.spatial->layer);
+        }
+      }
+      break;
+  }
+}
+
+Result<CatalogEntry> DeserializeEntry(BinaryReader* reader) {
+  CatalogEntry entry;
+  TBM_ASSIGN_OR_RETURN(entry.id, reader->ReadU64());
+  TBM_ASSIGN_OR_RETURN(uint8_t kind, reader->ReadU8());
+  if (kind > static_cast<uint8_t>(CatalogKind::kMultimediaObject)) {
+    return Status::Corruption("bad catalog kind");
+  }
+  entry.kind = static_cast<CatalogKind>(kind);
+  TBM_ASSIGN_OR_RETURN(entry.name, reader->ReadString());
+  TBM_ASSIGN_OR_RETURN(entry.attrs, AttrMap::Deserialize(reader));
+  switch (entry.kind) {
+    case CatalogKind::kEntity:
+      break;
+    case CatalogKind::kInterpretation: {
+      TBM_ASSIGN_OR_RETURN(entry.interpretation,
+                           Interpretation::Deserialize(reader));
+      break;
+    }
+    case CatalogKind::kMediaObject: {
+      TBM_ASSIGN_OR_RETURN(entry.interpretation_ref, reader->ReadU64());
+      TBM_ASSIGN_OR_RETURN(entry.stream_name, reader->ReadString());
+      break;
+    }
+    case CatalogKind::kDerivedObject: {
+      TBM_ASSIGN_OR_RETURN(entry.op, reader->ReadString());
+      TBM_ASSIGN_OR_RETURN(uint64_t count, reader->ReadVarU64());
+      for (uint64_t i = 0; i < count; ++i) {
+        TBM_ASSIGN_OR_RETURN(ObjectId input, reader->ReadU64());
+        entry.inputs.push_back(input);
+      }
+      TBM_ASSIGN_OR_RETURN(entry.params, AttrMap::Deserialize(reader));
+      break;
+    }
+    case CatalogKind::kMultimediaObject: {
+      TBM_ASSIGN_OR_RETURN(uint64_t count, reader->ReadVarU64());
+      for (uint64_t i = 0; i < count; ++i) {
+        StoredComponent component;
+        TBM_ASSIGN_OR_RETURN(component.name, reader->ReadString());
+        TBM_ASSIGN_OR_RETURN(component.media, reader->ReadU64());
+        TBM_ASSIGN_OR_RETURN(int64_t num, reader->ReadVarI64());
+        TBM_ASSIGN_OR_RETURN(int64_t den, reader->ReadVarI64());
+        if (den <= 0) return Status::Corruption("bad component start");
+        component.start_seconds = Rational(num, den);
+        TBM_ASSIGN_OR_RETURN(uint8_t has_spatial, reader->ReadU8());
+        if (has_spatial) {
+          SpatialPlacement spatial;
+          TBM_ASSIGN_OR_RETURN(spatial.x, reader->ReadI32());
+          TBM_ASSIGN_OR_RETURN(spatial.y, reader->ReadI32());
+          TBM_ASSIGN_OR_RETURN(spatial.layer, reader->ReadI32());
+          component.spatial = spatial;
+        }
+        entry.components.push_back(std::move(component));
+      }
+      break;
+    }
+  }
+  return entry;
+}
+
+}  // namespace
+
+Status MediaDatabase::Save() const {
+  if (dir_.empty()) {
+    return Status::FailedPrecondition(
+        "in-memory databases cannot be saved; open with a directory");
+  }
+  BinaryWriter body;
+  body.WriteU64(next_id_);
+  body.WriteVarU64(catalog_.size());
+  for (const auto& [id, entry] : catalog_) {
+    SerializeEntry(entry, &body);
+  }
+  rights_.Serialize(&body);
+  BinaryWriter file;
+  file.WriteU32(kCatalogMagic);
+  file.WriteU32(kCatalogVersion);
+  file.WriteU32(Crc32(body.buffer()));
+  file.WriteRaw(body.buffer());
+  return WriteFile(CatalogPath(dir_), file.buffer());
+}
+
+Status MediaDatabase::LoadCatalog() {
+  std::string path = CatalogPath(dir_);
+  if (!std::filesystem::exists(path)) return Status::OK();  // Fresh database.
+  TBM_ASSIGN_OR_RETURN(Bytes bytes, ReadFileBytes(path));
+  BinaryReader header(bytes);
+  TBM_ASSIGN_OR_RETURN(uint32_t magic, header.ReadU32());
+  if (magic != kCatalogMagic) {
+    return Status::Corruption("not a catalog file: " + path);
+  }
+  TBM_ASSIGN_OR_RETURN(uint32_t version, header.ReadU32());
+  if (version == 0 || version > kCatalogVersion) {
+    return Status::Unsupported("catalog version " + std::to_string(version));
+  }
+  TBM_ASSIGN_OR_RETURN(uint32_t crc, header.ReadU32());
+  ByteSpan body(bytes.data() + header.position(),
+                bytes.size() - header.position());
+  if (Crc32(body) != crc) {
+    return Status::Corruption("catalog checksum mismatch: " + path);
+  }
+  BinaryReader reader(body);
+  TBM_ASSIGN_OR_RETURN(next_id_, reader.ReadU64());
+  TBM_ASSIGN_OR_RETURN(uint64_t count, reader.ReadVarU64());
+  for (uint64_t i = 0; i < count; ++i) {
+    TBM_ASSIGN_OR_RETURN(CatalogEntry entry, DeserializeEntry(&reader));
+    by_name_.emplace(entry.name, entry.id);
+    catalog_.emplace(entry.id, std::move(entry));
+  }
+  if (version >= 2) {
+    TBM_ASSIGN_OR_RETURN(rights_, RightsManager::Deserialize(&reader));
+  }
+  return Status::OK();
+}
+
+}  // namespace tbm

@@ -1,0 +1,277 @@
+#ifndef TBM_DB_DATABASE_H_
+#define TBM_DB_DATABASE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "blob/blob_store.h"
+#include "compose/multimedia.h"
+#include "db/codec_bridge.h"
+#include "db/rights.h"
+#include "derive/graph.h"
+#include "interp/interpretation.h"
+
+namespace tbm {
+
+/// Catalog object identifier (1-based; 0 is invalid).
+using ObjectId = uint64_t;
+inline constexpr ObjectId kInvalidObjectId = 0;
+
+/// What a catalog entry is.
+enum class CatalogKind : uint8_t {
+  kEntity = 0,            ///< Domain object (e.g. a VideoClip record).
+  kInterpretation = 1,    ///< A BLOB's permanently associated interpretation.
+  kMediaObject = 2,       ///< Non-derived media object (within an
+                          ///< interpretation).
+  kDerivedObject = 3,     ///< Derivation object (op + inputs + params).
+  kMultimediaObject = 4,  ///< Composition of components.
+};
+
+std::string_view CatalogKindToString(CatalogKind kind);
+
+/// A component record of a stored multimedia object.
+struct StoredComponent {
+  std::string name;  ///< Relationship name, e.g. "c1".
+  ObjectId media = kInvalidObjectId;
+  Rational start_seconds;
+  std::optional<SpatialPlacement> spatial;
+};
+
+/// One row of the catalog. Only the fields for its `kind` are
+/// meaningful.
+struct CatalogEntry {
+  ObjectId id = kInvalidObjectId;
+  CatalogKind kind = CatalogKind::kEntity;
+  std::string name;  ///< Unique across the catalog.
+  AttrMap attrs;     ///< Domain attributes (title, director, language...).
+
+  // kInterpretation:
+  Interpretation interpretation;
+  // kMediaObject:
+  ObjectId interpretation_ref = kInvalidObjectId;
+  std::string stream_name;  ///< Object name inside the interpretation.
+  // kDerivedObject:
+  std::string op;
+  std::vector<ObjectId> inputs;
+  AttrMap params;
+  // kMultimediaObject:
+  std::vector<StoredComponent> components;
+};
+
+/// A materialized multimedia object together with the derivation graph
+/// its components evaluate in. Keep the view alive while using the
+/// object.
+struct ComposedView {
+  ComposedView() : graph(), object("", &graph) {}
+  DerivationGraph graph;
+  MultimediaObject object;
+};
+
+/// The multimedia database: BLOB storage plus a catalog of
+/// interpretations, media objects (derived and non-derived),
+/// multimedia objects and domain entities — the full Figure 5 stack
+/// behind one API.
+///
+/// A database opened with `Open(dir)` persists BLOBs as files and the
+/// catalog as a checksummed snapshot (`catalog.tbm`) in `dir`;
+/// `CreateInMemory()` keeps everything in RAM for tests and scratch
+/// work.
+class MediaDatabase {
+ public:
+  /// Opens (creating if needed) a file-backed database.
+  static Result<std::unique_ptr<MediaDatabase>> Open(const std::string& dir);
+
+  /// Creates a volatile in-memory database.
+  static std::unique_ptr<MediaDatabase> CreateInMemory();
+
+  BlobStore* blob_store() { return store_.get(); }
+  const BlobStore* blob_store() const { return store_.get(); }
+
+  // -------------------------------------------------------------------------
+  // Catalog writes
+
+  /// Adds a domain entity (a VideoClip-style record). Media-valued
+  /// attributes are references to media objects: use SetMediaAttr.
+  Result<ObjectId> AddEntity(const std::string& name, AttrMap attrs);
+
+  /// Registers a BLOB's interpretation (the BLOB must exist in this
+  /// database's store).
+  Result<ObjectId> AddInterpretation(const std::string& name,
+                                     Interpretation interpretation);
+
+  /// Registers the non-derived media object `stream_name` exposed by
+  /// interpretation `interpretation_id`.
+  Result<ObjectId> AddMediaObject(const std::string& name,
+                                  ObjectId interpretation_id,
+                                  const std::string& stream_name,
+                                  AttrMap attrs = {});
+
+  /// Registers a derivation object: op applied to catalog inputs with
+  /// parameters. Inputs may be media objects or other derived objects.
+  Result<ObjectId> AddDerivedObject(const std::string& name,
+                                    const std::string& op,
+                                    std::vector<ObjectId> inputs,
+                                    AttrMap params, AttrMap attrs = {});
+
+  /// Registers a multimedia object from components.
+  Result<ObjectId> AddMultimediaObject(const std::string& name,
+                                       std::vector<StoredComponent> components,
+                                       AttrMap attrs = {});
+
+  Status SetAttr(ObjectId id, const std::string& name, AttrValue value);
+
+  /// Stores a media-valued attribute: a named reference from an entity
+  /// to a media object (the paper's VideoClip with a video-valued
+  /// attribute).
+  Status SetMediaAttr(ObjectId entity, const std::string& attr,
+                      ObjectId media_object);
+  Result<ObjectId> GetMediaAttr(ObjectId entity,
+                                const std::string& attr) const;
+
+  Status Remove(ObjectId id);
+
+  /// Garbage-collects BLOBs no interpretation references (e.g. after
+  /// Remove()ing an interpretation, or for BLOBs captured but never
+  /// registered). Returns the number of BLOBs deleted.
+  Result<size_t> VacuumBlobs();
+
+  // -------------------------------------------------------------------------
+  // Catalog reads & queries
+
+  Result<const CatalogEntry*> Get(ObjectId id) const;
+  Result<ObjectId> FindByName(const std::string& name) const;
+  size_t size() const { return catalog_.size(); }
+  std::vector<ObjectId> List() const;
+
+  /// All entries passing `predicate`.
+  std::vector<ObjectId> Filter(
+      const std::function<bool(const CatalogEntry&)>& predicate) const;
+
+  /// Entries whose attribute `attr` equals `value`. Uses a secondary
+  /// index when one exists (CreateAttrIndex), otherwise scans.
+  std::vector<ObjectId> SelectByAttr(const std::string& attr,
+                                     const AttrValue& value) const;
+
+  /// Builds (or rebuilds) a secondary index over attribute `attr`,
+  /// maintained incrementally by SetAttr and catalog inserts/removals.
+  /// Indexes are in-memory query accelerators; they are rebuilt on
+  /// open, not persisted.
+  Status CreateAttrIndex(const std::string& attr);
+
+  /// Drops the index on `attr`.
+  Status DropAttrIndex(const std::string& attr);
+
+  bool HasAttrIndex(const std::string& attr) const {
+    return attr_indexes_.count(attr) > 0;
+  }
+
+  /// Media objects (derived or not) of the given media kind.
+  std::vector<ObjectId> SelectByKind(MediaKind kind) const;
+
+  /// Non-derived media objects whose *media descriptor* attribute
+  /// `attr` satisfies `predicate` — querying the structural metadata
+  /// interpretation provides (e.g. all video with frame height >= 480).
+  std::vector<ObjectId> SelectByDescriptor(
+      const std::string& attr,
+      const std::function<bool(const AttrValue&)>& predicate) const;
+
+  /// Non-derived media objects whose stream span lasts at least
+  /// `min_seconds` and at most `max_seconds`.
+  std::vector<ObjectId> SelectByDuration(double min_seconds,
+                                         double max_seconds) const;
+
+  // -------------------------------------------------------------------------
+  // Materialization (the Figure 5 upward path)
+
+  /// Materializes a non-derived media object as a timed stream.
+  Result<TimedStream> MaterializeStream(ObjectId media_object) const;
+
+  /// Materializes only the elements intersecting `span` — the paper's
+  /// "select a specific duration" query.
+  Result<TimedStream> MaterializeStreamSpan(ObjectId media_object,
+                                            TickSpan span) const;
+
+  /// Materializes a media or derived object as its typed value,
+  /// expanding derivations as needed (memoized per call graph).
+  Result<MediaValue> Materialize(ObjectId id) const;
+
+  /// Builds an evaluable view of a multimedia object: a derivation
+  /// graph holding all transitive components plus the composed object.
+  Result<std::unique_ptr<ComposedView>> Compose(ObjectId multimedia_id) const;
+
+  /// Serialized size of the derivation records reachable from a
+  /// derived object (op, refs, params) — the storage cost of keeping it
+  /// implicit.
+  Result<uint64_t> DerivationRecordBytes(ObjectId id) const;
+
+  /// Expands a derived object and stores the result as a new
+  /// non-derived media object (new BLOB + interpretation + media
+  /// object entry named `new_name`). Returns the media object id —
+  /// the paper's "expand derived objects to produce actual objects".
+  Result<ObjectId> ExpandAndStore(ObjectId derived_id,
+                                  const std::string& new_name,
+                                  const StoreOptions& options = {});
+
+  // -------------------------------------------------------------------------
+  // Authorization (paper §6 future work)
+
+  /// Rights records for catalog objects; persisted with the catalog.
+  RightsManager& rights() { return rights_; }
+  const RightsManager& rights() const { return rights_; }
+
+  /// Materialize with access control: checks kRead on the object and
+  /// every transitive derivation input for `principal`.
+  Result<MediaValue> MaterializeFor(ObjectId id,
+                                    const std::string& principal) const;
+
+  /// AddDerivedObject with access control: checks kDerive on every
+  /// input; if any input carries a copyright notice, the derived
+  /// object's "copyright" attribute cites them (electronic copyright
+  /// propagation).
+  Result<ObjectId> AddDerivedObjectFor(const std::string& principal,
+                                       const std::string& name,
+                                       const std::string& op,
+                                       std::vector<ObjectId> inputs,
+                                       AttrMap params, AttrMap attrs = {});
+
+  // -------------------------------------------------------------------------
+  // Persistence
+
+  /// Writes the catalog snapshot. No-op requirement: file-backed only.
+  Status Save() const;
+
+  /// Path of the catalog file for a database directory.
+  static std::string CatalogPath(const std::string& dir);
+
+ private:
+  MediaDatabase(std::unique_ptr<BlobStore> store, std::string dir)
+      : store_(std::move(store)), dir_(std::move(dir)) {}
+
+  Result<ObjectId> Insert(CatalogEntry entry);
+  Status CheckNameFree(const std::string& name) const;
+  Result<NodeId> BuildGraphNode(ObjectId id, DerivationGraph* graph,
+                                std::map<ObjectId, NodeId>* built) const;
+  Status LoadCatalog();
+
+  Status CheckReadRecursive(ObjectId id, const std::string& principal) const;
+  void IndexInsert(const CatalogEntry& entry);
+  void IndexRemove(const CatalogEntry& entry);
+  static std::string IndexKey(const AttrValue& value);
+
+  std::unique_ptr<BlobStore> store_;
+  std::string dir_;  ///< Empty for in-memory databases.
+  std::map<ObjectId, CatalogEntry> catalog_;
+  std::map<std::string, ObjectId> by_name_;
+  /// attr name -> (canonical value key -> ids).
+  std::map<std::string, std::multimap<std::string, ObjectId>> attr_indexes_;
+  RightsManager rights_;
+  ObjectId next_id_ = 1;
+};
+
+}  // namespace tbm
+
+#endif  // TBM_DB_DATABASE_H_

@@ -1,0 +1,105 @@
+#include "db/edit_list.h"
+
+#include "base/macros.h"
+#include "db/database.h"
+
+namespace tbm {
+
+Status EditList::AddSelection(ObjectId source, int64_t in_frame,
+                              int64_t out_frame, Join join,
+                              int64_t transition_frames) {
+  if (in_frame < 0 || out_frame <= in_frame) {
+    return Status::InvalidArgument(
+        "selection [" + std::to_string(in_frame) + ", " +
+        std::to_string(out_frame) + ") must be non-empty and non-negative");
+  }
+  if (join != Join::kCut && transition_frames <= 0) {
+    return Status::InvalidArgument(
+        "a transition join needs positive transition_frames");
+  }
+  if (join != Join::kCut && entries_.empty()) {
+    return Status::InvalidArgument(
+        "the first selection cannot carry a transition");
+  }
+  if (join != Join::kCut) {
+    // The transition consumes frames from both neighbours.
+    if (out_frame - in_frame < transition_frames) {
+      return Status::InvalidArgument("selection shorter than its transition");
+    }
+    const Entry& prev = entries_.back();
+    if (prev.out_frame - prev.in_frame < transition_frames) {
+      return Status::InvalidArgument(
+          "previous selection shorter than the transition");
+    }
+  }
+  entries_.push_back(
+      Entry{source, in_frame, out_frame, join, transition_frames});
+  return Status::OK();
+}
+
+Status EditList::AddSelectionTimecode(ObjectId source,
+                                      const std::string& in_tc,
+                                      const std::string& out_tc,
+                                      int nominal_fps, Join join,
+                                      int64_t transition_frames) {
+  TBM_ASSIGN_OR_RETURN(Timecode in_code, ParseTimecode(in_tc, nominal_fps));
+  TBM_ASSIGN_OR_RETURN(Timecode out_code, ParseTimecode(out_tc, nominal_fps));
+  TBM_ASSIGN_OR_RETURN(int64_t in_frame, TimecodeToFrame(in_code));
+  TBM_ASSIGN_OR_RETURN(int64_t out_frame, TimecodeToFrame(out_code));
+  return AddSelection(source, in_frame, out_frame, join, transition_frames);
+}
+
+int64_t EditList::OutputFrames() const {
+  int64_t total = 0;
+  for (const Entry& entry : entries_) {
+    total += entry.out_frame - entry.in_frame;
+    if (entry.join != Join::kCut) total -= entry.transition_frames;
+  }
+  return total;
+}
+
+Result<ObjectId> EditList::Compile(MediaDatabase* db,
+                                   const std::string& name) const {
+  if (entries_.empty()) {
+    return Status::FailedPrecondition("cannot compile an empty edit list");
+  }
+  ObjectId current = kInvalidObjectId;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& entry = entries_[i];
+    AttrMap cut_params;
+    cut_params.SetInt("start frame", entry.in_frame);
+    cut_params.SetInt("frame count", entry.out_frame - entry.in_frame);
+    TBM_ASSIGN_OR_RETURN(
+        ObjectId selection,
+        db->AddDerivedObject(name + "_sel" + std::to_string(i), "video edit",
+                             {entry.source}, cut_params));
+    if (current == kInvalidObjectId) {
+      current = selection;
+      continue;
+    }
+    std::string join_name = name + "_join" + std::to_string(i);
+    if (entry.join == Join::kCut) {
+      TBM_ASSIGN_OR_RETURN(
+          current, db->AddDerivedObject(join_name, "video concat",
+                                        {current, selection}, AttrMap{}));
+    } else {
+      AttrMap transition_params;
+      transition_params.SetString(
+          "kind", entry.join == Join::kFade ? "fade" : "wipe");
+      transition_params.SetInt("duration frames", entry.transition_frames);
+      TBM_ASSIGN_OR_RETURN(
+          current,
+          db->AddDerivedObject(join_name, "video transition",
+                               {current, selection}, transition_params));
+    }
+  }
+  // Alias the chain head under the requested name via an identity edit.
+  TBM_ASSIGN_OR_RETURN(const CatalogEntry* head, db->Get(current));
+  (void)head;
+  AttrMap identity;
+  identity.SetInt("start frame", 0);
+  identity.SetInt("frame count", OutputFrames());
+  return db->AddDerivedObject(name, "video edit", {current}, identity);
+}
+
+}  // namespace tbm

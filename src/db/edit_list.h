@@ -1,0 +1,75 @@
+#ifndef TBM_DB_EDIT_LIST_H_
+#define TBM_DB_EDIT_LIST_H_
+
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "time/timecode.h"
+
+namespace tbm {
+
+class MediaDatabase;
+using ObjectId = uint64_t;
+
+/// An edit decision list (paper §4.2, "Video editing"): "Editing video
+/// involves the selection and ordering of sequences that are combined
+/// to produce a new video object. The list of start and stop times of
+/// these selections is called an edit list. Edit lists are derivation
+/// objects, while edited video sequences are derived objects."
+///
+/// An EditList is authored as (source, in, out) selections — by frame
+/// number or SMPTE timecode — optionally with transitions between
+/// consecutive selections, then *compiled* into the database as a
+/// chain of `video edit` / `video concat` / `video transition`
+/// derivation objects. Nothing is copied; the result is a derived
+/// object whose record size is the edit list itself.
+class EditList {
+ public:
+  /// How one selection joins the previous one.
+  enum class Join : uint8_t {
+    kCut = 0,   ///< Plain concatenation.
+    kFade = 1,  ///< Cross-fade over `transition_frames`.
+    kWipe = 2,  ///< Left-to-right wipe over `transition_frames`.
+  };
+
+  struct Entry {
+    ObjectId source = 0;     ///< A video media or derived object.
+    int64_t in_frame = 0;    ///< First frame (inclusive).
+    int64_t out_frame = 0;   ///< Past-the-end frame (exclusive).
+    Join join = Join::kCut;  ///< Transition *into* this entry.
+    int64_t transition_frames = 0;
+  };
+
+  EditList() = default;
+
+  /// Appends a selection by frame numbers; [in, out) must be non-empty.
+  Status AddSelection(ObjectId source, int64_t in_frame, int64_t out_frame,
+                      Join join = Join::kCut, int64_t transition_frames = 0);
+
+  /// Appends a selection addressed by SMPTE timecode at the given
+  /// nominal fps (e.g. "00:00:01:12".."00:00:03:00" at 25).
+  Status AddSelectionTimecode(ObjectId source, const std::string& in_tc,
+                              const std::string& out_tc, int nominal_fps,
+                              Join join = Join::kCut,
+                              int64_t transition_frames = 0);
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  bool empty() const { return entries_.empty(); }
+
+  /// Total output length in frames (transitions overlap their
+  /// neighbours, shortening the program accordingly).
+  int64_t OutputFrames() const;
+
+  /// Compiles the list into derivation objects in `db` and returns the
+  /// final derived object (named `name`). Intermediate objects are
+  /// named `<name>_selN` / `<name>_joinN`.
+  Result<ObjectId> Compile(MediaDatabase* db, const std::string& name) const;
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace tbm
+
+#endif  // TBM_DB_EDIT_LIST_H_

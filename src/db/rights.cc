@@ -1,0 +1,152 @@
+#include "db/rights.h"
+
+#include "base/macros.h"
+
+namespace tbm {
+
+std::string_view MediaOperationToString(MediaOperation op) {
+  switch (op) {
+    case MediaOperation::kRead: return "read";
+    case MediaOperation::kDerive: return "derive";
+    case MediaOperation::kCompose: return "compose";
+    case MediaOperation::kModify: return "modify";
+    case MediaOperation::kDelete: return "delete";
+  }
+  return "unknown";
+}
+
+Status RightsManager::Protect(ObjectId object, const std::string& owner,
+                              const std::string& copyright_notice) {
+  if (owner.empty()) {
+    return Status::InvalidArgument("owner must not be empty");
+  }
+  if (records_.count(object) > 0) {
+    return Status::AlreadyExists("object " + std::to_string(object) +
+                                 " already protected");
+  }
+  RightsRecord record;
+  record.owner = owner;
+  record.copyright_notice = copyright_notice;
+  records_.emplace(object, std::move(record));
+  return Status::OK();
+}
+
+bool RightsManager::IsProtected(ObjectId object) const {
+  return records_.count(object) > 0;
+}
+
+Result<const RightsRecord*> RightsManager::Get(ObjectId object) const {
+  auto it = records_.find(object);
+  if (it == records_.end()) {
+    return Status::NotFound("object " + std::to_string(object) +
+                            " has no rights record");
+  }
+  return &it->second;
+}
+
+Status RightsManager::Grant(ObjectId object, const std::string& principal,
+                            OperationMask operations) {
+  auto it = records_.find(object);
+  if (it == records_.end()) {
+    return Status::NotFound("object " + std::to_string(object) +
+                            " has no rights record");
+  }
+  if (principal.empty()) {
+    return Status::InvalidArgument("principal must not be empty");
+  }
+  it->second.grants[principal] |= operations;
+  return Status::OK();
+}
+
+Status RightsManager::Revoke(ObjectId object, const std::string& principal) {
+  auto it = records_.find(object);
+  if (it == records_.end()) {
+    return Status::NotFound("object " + std::to_string(object) +
+                            " has no rights record");
+  }
+  if (it->second.grants.erase(principal) == 0) {
+    return Status::NotFound("no grant for \"" + principal + "\"");
+  }
+  return Status::OK();
+}
+
+Status RightsManager::Check(ObjectId object, const std::string& principal,
+                            MediaOperation op) const {
+  auto it = records_.find(object);
+  if (it == records_.end()) return Status::OK();  // Unprotected.
+  const RightsRecord& record = it->second;
+  if (record.owner == principal) return Status::OK();
+  OperationMask allowed = 0;
+  auto grant = record.grants.find(principal);
+  if (grant != record.grants.end()) allowed |= grant->second;
+  auto wildcard = record.grants.find("*");
+  if (wildcard != record.grants.end()) allowed |= wildcard->second;
+  if (allowed & MaskOf(op)) return Status::OK();
+  return Status::FailedPrecondition(
+      "principal \"" + principal + "\" may not " +
+      std::string(MediaOperationToString(op)) + " object " +
+      std::to_string(object) + " (owner: " + record.owner + ")");
+}
+
+Status RightsManager::TransferOwnership(ObjectId object,
+                                        const std::string& new_owner) {
+  auto it = records_.find(object);
+  if (it == records_.end()) {
+    return Status::NotFound("object " + std::to_string(object) +
+                            " has no rights record");
+  }
+  if (new_owner.empty()) {
+    return Status::InvalidArgument("owner must not be empty");
+  }
+  it->second.owner = new_owner;
+  return Status::OK();
+}
+
+std::string RightsManager::DeriveCopyrightNotice(
+    const std::vector<ObjectId>& inputs) const {
+  std::string notice;
+  for (ObjectId input : inputs) {
+    auto it = records_.find(input);
+    if (it == records_.end() || it->second.copyright_notice.empty()) {
+      continue;
+    }
+    if (!notice.empty()) notice += "; ";
+    notice += "derived from: " + it->second.copyright_notice;
+  }
+  return notice;
+}
+
+void RightsManager::Serialize(BinaryWriter* writer) const {
+  writer->WriteVarU64(records_.size());
+  for (const auto& [object, record] : records_) {
+    writer->WriteU64(object);
+    writer->WriteString(record.owner);
+    writer->WriteString(record.copyright_notice);
+    writer->WriteVarU64(record.grants.size());
+    for (const auto& [principal, mask] : record.grants) {
+      writer->WriteString(principal);
+      writer->WriteU8(mask);
+    }
+  }
+}
+
+Result<RightsManager> RightsManager::Deserialize(BinaryReader* reader) {
+  RightsManager manager;
+  TBM_ASSIGN_OR_RETURN(uint64_t count, reader->ReadVarU64());
+  for (uint64_t i = 0; i < count; ++i) {
+    TBM_ASSIGN_OR_RETURN(ObjectId object, reader->ReadU64());
+    RightsRecord record;
+    TBM_ASSIGN_OR_RETURN(record.owner, reader->ReadString());
+    TBM_ASSIGN_OR_RETURN(record.copyright_notice, reader->ReadString());
+    TBM_ASSIGN_OR_RETURN(uint64_t grant_count, reader->ReadVarU64());
+    for (uint64_t g = 0; g < grant_count; ++g) {
+      TBM_ASSIGN_OR_RETURN(std::string principal, reader->ReadString());
+      TBM_ASSIGN_OR_RETURN(uint8_t mask, reader->ReadU8());
+      record.grants.emplace(std::move(principal), mask);
+    }
+    manager.records_.emplace(object, std::move(record));
+  }
+  return manager;
+}
+
+}  // namespace tbm

@@ -1,0 +1,93 @@
+#ifndef TBM_DB_RIGHTS_H_
+#define TBM_DB_RIGHTS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/io.h"
+#include "base/result.h"
+
+namespace tbm {
+
+using ObjectId = uint64_t;
+
+/// Operations that rights control (paper §6: "Authorization and
+/// electronic copyright need to be addressed" — this module is that
+/// future-work item, scoped to the data model's operations).
+enum class MediaOperation : uint8_t {
+  kRead = 0,     ///< Materialize / present the object.
+  kDerive = 1,   ///< Use it as a derivation input.
+  kCompose = 2,  ///< Use it as a multimedia-object component.
+  kModify = 3,   ///< Change attributes.
+  kDelete = 4,   ///< Remove from the catalog.
+};
+
+std::string_view MediaOperationToString(MediaOperation op);
+
+/// Bitmask of MediaOperation values.
+using OperationMask = uint8_t;
+inline constexpr OperationMask MaskOf(MediaOperation op) {
+  return static_cast<OperationMask>(1u << static_cast<uint8_t>(op));
+}
+inline constexpr OperationMask kAllOperations = 0x1F;
+
+/// Rights attached to one catalog object: an owner, a copyright
+/// notice, and per-principal operation grants. The wildcard principal
+/// "*" grants to everyone.
+struct RightsRecord {
+  std::string owner;
+  std::string copyright_notice;
+  std::map<std::string, OperationMask> grants;
+};
+
+/// Access control over catalog objects.
+///
+/// Policy: objects without a rights record are unrestricted (rights
+/// are opt-in, matching a library whose callers may not care);
+/// once a record exists, the owner may do anything and every other
+/// principal only what a grant (direct or wildcard) allows.
+class RightsManager {
+ public:
+  RightsManager() = default;
+
+  /// Attaches a rights record; AlreadyExists if one is present.
+  Status Protect(ObjectId object, const std::string& owner,
+                 const std::string& copyright_notice = "");
+
+  bool IsProtected(ObjectId object) const;
+
+  Result<const RightsRecord*> Get(ObjectId object) const;
+
+  /// Grants `operations` (a MaskOf(..) | MaskOf(..) bitmask) on
+  /// `object` to `principal` ("*" = everyone). Only meaningful on
+  /// protected objects.
+  Status Grant(ObjectId object, const std::string& principal,
+               OperationMask operations);
+
+  /// Removes a principal's grants entirely.
+  Status Revoke(ObjectId object, const std::string& principal);
+
+  /// OK if `principal` may perform `op`; FailedPrecondition otherwise.
+  Status Check(ObjectId object, const std::string& principal,
+               MediaOperation op) const;
+
+  /// Transfers ownership (only the current owner can — callers check).
+  Status TransferOwnership(ObjectId object, const std::string& new_owner);
+
+  /// Copyright propagation for derivation (paper: electronic
+  /// copyright): a derived object's notice cites every protected
+  /// input's notice.
+  std::string DeriveCopyrightNotice(const std::vector<ObjectId>& inputs) const;
+
+  void Serialize(BinaryWriter* writer) const;
+  static Result<RightsManager> Deserialize(BinaryReader* reader);
+
+ private:
+  std::map<ObjectId, RightsRecord> records_;
+};
+
+}  // namespace tbm
+
+#endif  // TBM_DB_RIGHTS_H_

@@ -1,0 +1,129 @@
+#include "derive/graph.h"
+
+#include <chrono>
+
+#include "base/macros.h"
+
+namespace tbm {
+
+NodeId DerivationGraph::AddLeaf(MediaValue value, std::string name) {
+  Node node;
+  node.name = name.empty() ? "leaf" + std::to_string(nodes_.size())
+                           : std::move(name);
+  node.value = std::move(value);
+  nodes_.push_back(std::move(node));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+Result<NodeId> DerivationGraph::AddDerived(const std::string& op,
+                                           std::vector<NodeId> inputs,
+                                           AttrMap params, std::string name) {
+  TBM_ASSIGN_OR_RETURN(const DerivationOp* op_info, registry_->Find(op));
+  if (inputs.size() != op_info->arg_kinds.size()) {
+    return Status::InvalidArgument(
+        "derivation \"" + op + "\" takes " +
+        std::to_string(op_info->arg_kinds.size()) + " input(s), got " +
+        std::to_string(inputs.size()));
+  }
+  for (NodeId input : inputs) {
+    TBM_RETURN_IF_ERROR(CheckId(input));
+  }
+  Node node;
+  node.name = name.empty() ? "derived" + std::to_string(nodes_.size())
+                           : std::move(name);
+  node.op = op;
+  node.inputs = std::move(inputs);
+  node.params = std::move(params);
+  nodes_.push_back(std::move(node));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+Status DerivationGraph::CheckId(NodeId id) const {
+  if (id < 0 || id >= static_cast<NodeId>(nodes_.size())) {
+    return Status::NotFound("no derivation node " + std::to_string(id));
+  }
+  return Status::OK();
+}
+
+bool DerivationGraph::IsDerived(NodeId id) const {
+  return CheckId(id).ok() && !nodes_[id].value.has_value();
+}
+
+Result<std::string> DerivationGraph::NameOf(NodeId id) const {
+  TBM_RETURN_IF_ERROR(CheckId(id));
+  return nodes_[id].name;
+}
+
+Result<const MediaValue*> DerivationGraph::Evaluate(NodeId id) {
+  TBM_RETURN_IF_ERROR(CheckId(id));
+  Node& node = nodes_[id];
+  if (node.value.has_value()) return &*node.value;
+  if (node.cache.has_value()) return &*node.cache;
+  std::vector<const MediaValue*> args;
+  args.reserve(node.inputs.size());
+  for (NodeId input : node.inputs) {
+    TBM_ASSIGN_OR_RETURN(const MediaValue* value, Evaluate(input));
+    args.push_back(value);
+  }
+  TBM_ASSIGN_OR_RETURN(MediaValue result,
+                       registry_->Apply(node.op, args, node.params));
+  node.cache = std::move(result);
+  return &*node.cache;
+}
+
+void DerivationGraph::DropCache() {
+  for (Node& node : nodes_) node.cache.reset();
+}
+
+Result<uint64_t> DerivationGraph::DerivationRecordBytes(NodeId id) const {
+  TBM_RETURN_IF_ERROR(CheckId(id));
+  const Node& node = nodes_[id];
+  if (node.value.has_value()) {
+    return sizeof(NodeId);  // A leaf contributes only its reference.
+  }
+  BinaryWriter writer;
+  writer.WriteString(node.op);
+  writer.WriteVarU64(node.inputs.size());
+  for (NodeId input : node.inputs) writer.WriteVarI64(input);
+  node.params.Serialize(&writer);
+  uint64_t total = writer.size();
+  for (NodeId input : node.inputs) {
+    TBM_ASSIGN_OR_RETURN(uint64_t sub, DerivationRecordBytes(input));
+    total += sub;
+  }
+  return total;
+}
+
+Result<DerivationGraph::Feasibility> DerivationGraph::MeasureFeasibility(
+    NodeId id) {
+  TBM_RETURN_IF_ERROR(CheckId(id));
+  DropCache();
+  auto start = std::chrono::steady_clock::now();
+  TBM_ASSIGN_OR_RETURN(const MediaValue* value, Evaluate(id));
+  auto end = std::chrono::steady_clock::now();
+  Feasibility feasibility;
+  feasibility.expansion_seconds =
+      std::chrono::duration<double>(end - start).count();
+  feasibility.presentation_seconds = PresentationSeconds(*value);
+  feasibility.real_time =
+      feasibility.expansion_seconds <= feasibility.presentation_seconds;
+  return feasibility;
+}
+
+std::vector<DerivationGraph::NodeInfo> DerivationGraph::Nodes() const {
+  std::vector<NodeInfo> infos;
+  infos.reserve(nodes_.size());
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& node = nodes_[i];
+    NodeInfo info;
+    info.id = static_cast<NodeId>(i);
+    info.name = node.name;
+    info.derived = !node.value.has_value();
+    info.op = node.op;
+    info.inputs = node.inputs;
+    infos.push_back(std::move(info));
+  }
+  return infos;
+}
+
+}  // namespace tbm

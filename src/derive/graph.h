@@ -1,0 +1,105 @@
+#ifndef TBM_DERIVE_GRAPH_H_
+#define TBM_DERIVE_GRAPH_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "derive/operators.h"
+
+namespace tbm {
+
+/// Node handle within a DerivationGraph.
+using NodeId = int64_t;
+
+/// A DAG of media objects related by derivation.
+///
+/// Leaves are non-derived media objects (materialized from
+/// interpretations or constructed); internal nodes are *derivation
+/// objects* (Def. 6): "the information needed to compute a derived
+/// object, references to the media objects and parameter values used."
+/// The graph stores the specification of each derivation step rather
+/// than its result (§4.2: "rather than storing the results of
+/// derivations it is possible to store the specification of each
+/// derivation step"), and *expands* derived objects on demand, caching
+/// the expansion.
+///
+/// Because nodes can only reference previously created nodes, the
+/// structure is acyclic by construction.
+class DerivationGraph {
+ public:
+  /// Uses the built-in operator registry unless one is supplied.
+  explicit DerivationGraph(
+      const DerivationRegistry* registry = &DerivationRegistry::Builtin())
+      : registry_(registry) {}
+
+  /// Adds a non-derived media object.
+  NodeId AddLeaf(MediaValue value, std::string name = "");
+
+  /// Adds a derivation object `op(inputs, params)`. Inputs must exist.
+  Result<NodeId> AddDerived(const std::string& op, std::vector<NodeId> inputs,
+                            AttrMap params, std::string name = "");
+
+  size_t size() const { return nodes_.size(); }
+  bool IsDerived(NodeId id) const;
+  Result<std::string> NameOf(NodeId id) const;
+
+  /// Expands (evaluates) a node, memoizing results. Returned pointer is
+  /// owned by the graph and valid until DropCache / destruction.
+  Result<const MediaValue*> Evaluate(NodeId id);
+
+  /// Discards every cached expansion of derived nodes (leaf values are
+  /// part of the graph, not cache).
+  void DropCache();
+
+  /// Serialized size of the derivation objects (op names, input refs,
+  /// parameters) in the subtree rooted at `id` — what the database
+  /// stores when the derived object is kept implicit. Leaves contribute
+  /// only a reference, not their media bytes. This is the numerator of
+  /// the paper's storage-saving ratio ("a video edit list is likely
+  /// many orders of magnitude smaller than a video object").
+  Result<uint64_t> DerivationRecordBytes(NodeId id) const;
+
+  /// Real-time feasibility (paper §4.2: "the media elements need only
+  /// be stored if the calculation cannot be performed in real time").
+  struct Feasibility {
+    double expansion_seconds = 0.0;     ///< Wall-clock cost of expansion.
+    double presentation_seconds = 0.0;  ///< Playback duration of result.
+    bool real_time = false;  ///< expansion <= presentation duration.
+  };
+
+  /// Measures a cold expansion of `id` (cache is dropped first) and
+  /// compares against the result's presentation duration, answering the
+  /// store-derived vs store-expanded question.
+  Result<Feasibility> MeasureFeasibility(NodeId id);
+
+  /// Introspection (used to print Figure 4-style instance diagrams).
+  struct NodeInfo {
+    NodeId id = 0;
+    std::string name;
+    bool derived = false;
+    std::string op;             ///< Empty for leaves.
+    std::vector<NodeId> inputs; ///< Empty for leaves.
+  };
+  std::vector<NodeInfo> Nodes() const;
+
+ private:
+  struct Node {
+    std::string name;
+    // Exactly one of value (leaf) / op+inputs+params (derived) is set.
+    std::optional<MediaValue> value;
+    std::string op;
+    std::vector<NodeId> inputs;
+    AttrMap params;
+    std::optional<MediaValue> cache;
+  };
+
+  Status CheckId(NodeId id) const;
+
+  const DerivationRegistry* registry_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace tbm
+
+#endif  // TBM_DERIVE_GRAPH_H_

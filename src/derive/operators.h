@@ -1,0 +1,86 @@
+#ifndef TBM_DERIVE_OPERATORS_H_
+#define TBM_DERIVE_OPERATORS_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "derive/value.h"
+#include "media/attr.h"
+
+namespace tbm {
+
+/// The paper's derivation taxonomy (§4.2): a derivation changes a media
+/// object's content, its placement in time, or its media type.
+enum class DerivationCategory : uint8_t {
+  kContent = 0,
+  kTiming = 1,
+  kType = 2,
+};
+
+std::string_view DerivationCategoryToString(DerivationCategory category);
+
+/// Implementation of one derivation D: a mapping D(O, P_D) → O₁
+/// (Def. 6) from argument values and parameters to a derived value.
+using DerivationFn = std::function<Result<MediaValue>(
+    const std::vector<const MediaValue*>& args, const AttrMap& params)>;
+
+/// Registry entry: signature and category metadata (the columns of
+/// Table 1) plus the evaluator.
+struct DerivationOp {
+  std::string name;
+  std::vector<MediaKind> arg_kinds;
+  MediaKind result_kind;
+  DerivationCategory category;
+  std::string description;
+  DerivationFn fn;
+  /// Generic timing derivations (paper: "derivations involving changes
+  /// in timing are generic in the sense that they apply to all
+  /// time-based media"): when true, the single argument may be a timed
+  /// stream of any media kind and the result has the same kind.
+  bool stream_generic = false;
+};
+
+/// Registry of derivation operators. `Builtin()` carries every
+/// derivation the paper names plus the generic timing derivations:
+///
+/// | name                 | args          | result | category |
+/// |----------------------|---------------|--------|----------|
+/// | color separation     | image         | image  | content  |
+/// | image filter         | image         | image  | content  |
+/// | image reencode       | image         | image  | content  |
+/// | audio normalization  | audio         | audio  | content  |
+/// | audio gain           | audio         | audio  | content  |
+/// | audio mix            | audio, audio  | audio  | content  |
+/// | audio cut            | audio         | audio  | timing   |
+/// | audio concat         | audio, audio  | audio  | timing   |
+/// | audio resample       | audio         | audio  | type     |
+/// | video edit           | video         | video  | timing   |
+/// | video concat         | video, video  | video  | timing   |
+/// | video transition     | video, video  | video  | content  |
+/// | chroma key           | video, video  | video  | content  |
+/// | MIDI synthesis       | music         | audio  | type     |
+/// | animation render     | animation     | video  | type     |
+/// | temporal translate   | any stream    | same   | timing   |
+/// | temporal scale       | any stream    | same   | timing   |
+class DerivationRegistry {
+ public:
+  Status Register(DerivationOp op);
+  Result<const DerivationOp*> Find(const std::string& name) const;
+  std::vector<std::string> Names() const;
+
+  /// Applies an operator after checking arity and argument kinds.
+  Result<MediaValue> Apply(const std::string& name,
+                           const std::vector<const MediaValue*>& args,
+                           const AttrMap& params) const;
+
+  static const DerivationRegistry& Builtin();
+
+ private:
+  std::map<std::string, DerivationOp> ops_;
+};
+
+}  // namespace tbm
+
+#endif  // TBM_DERIVE_OPERATORS_H_

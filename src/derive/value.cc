@@ -1,0 +1,88 @@
+#include "derive/value.h"
+
+namespace tbm {
+
+Status VideoValue::Validate() const {
+  if (frame_rate.IsZero() || frame_rate.IsNegative()) {
+    return Status::InvalidArgument("non-positive frame rate");
+  }
+  for (const Image& frame : frames) {
+    if (auto s = frame.Validate(); !s.ok()) return s;
+    if (frame.width != frames.front().width ||
+        frame.height != frames.front().height ||
+        frame.model != frames.front().model) {
+      return Status::InvalidArgument("video frames must share geometry");
+    }
+  }
+  return Status::OK();
+}
+
+MediaKind KindOfValue(const MediaValue& value) {
+  struct Visitor {
+    MediaKind operator()(const AudioBuffer&) { return MediaKind::kAudio; }
+    MediaKind operator()(const VideoValue&) { return MediaKind::kVideo; }
+    MediaKind operator()(const Image&) { return MediaKind::kImage; }
+    MediaKind operator()(const MidiSequence&) { return MediaKind::kMusic; }
+    MediaKind operator()(const AnimationScene&) {
+      return MediaKind::kAnimation;
+    }
+    MediaKind operator()(const TimedStream& stream) {
+      return stream.descriptor().kind;
+    }
+  };
+  return std::visit(Visitor{}, value);
+}
+
+uint64_t ExpandedBytes(const MediaValue& value) {
+  struct Visitor {
+    uint64_t operator()(const AudioBuffer& audio) {
+      return audio.samples.size() * sizeof(int16_t);
+    }
+    uint64_t operator()(const VideoValue& video) {
+      uint64_t total = 0;
+      for (const Image& frame : video.frames) total += frame.data.size();
+      return total;
+    }
+    uint64_t operator()(const Image& image) { return image.data.size(); }
+    uint64_t operator()(const MidiSequence& midi) {
+      BinaryWriter writer;
+      midi.Serialize(&writer);
+      return writer.size();
+    }
+    uint64_t operator()(const AnimationScene& scene) {
+      BinaryWriter writer;
+      scene.Serialize(&writer);
+      return writer.size();
+    }
+    uint64_t operator()(const TimedStream& stream) {
+      return stream.TotalBytes();
+    }
+  };
+  return std::visit(Visitor{}, value);
+}
+
+double PresentationSeconds(const MediaValue& value) {
+  struct Visitor {
+    double operator()(const AudioBuffer& audio) {
+      return audio.DurationSeconds();
+    }
+    double operator()(const VideoValue& video) {
+      return video.DurationSeconds();
+    }
+    double operator()(const Image&) { return 0.0; }
+    double operator()(const MidiSequence& midi) {
+      return midi.DurationSeconds();
+    }
+    double operator()(const AnimationScene& scene) {
+      return scene.frame_rate().IsZero()
+                 ? 0.0
+                 : scene.EndTick() / scene.frame_rate().ToDouble();
+    }
+    double operator()(const TimedStream& stream) {
+      return stream.DurationSeconds().ToDouble();
+    }
+  };
+  return std::visit(Visitor{}, value);
+}
+
+}  // namespace tbm

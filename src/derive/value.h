@@ -1,0 +1,52 @@
+#ifndef TBM_DERIVE_VALUE_H_
+#define TBM_DERIVE_VALUE_H_
+
+#include <variant>
+#include <vector>
+
+#include "anim/animation.h"
+#include "codec/image.h"
+#include "codec/pcm.h"
+#include "midi/midi.h"
+#include "stream/timed_stream.h"
+#include "time/rational.h"
+
+namespace tbm {
+
+/// A decoded video sequence: RGB frames at a frame rate. This is the
+/// working (presentation-side) form video derivations operate on;
+/// encoded forms live in BLOBs behind interpretations.
+struct VideoValue {
+  Rational frame_rate = Rational(25);
+  std::vector<Image> frames;
+
+  double DurationSeconds() const {
+    if (frames.empty()) return 0.0;
+    return static_cast<double>(frames.size()) /
+           frame_rate.ToDouble();
+  }
+  Status Validate() const;
+};
+
+/// The runtime value of a media object during derivation evaluation:
+/// the concrete, media-specific form an object takes once materialized.
+/// Non-derived objects enter as leaves (from interpretations or
+/// constructors); derivations map values to values.
+using MediaValue = std::variant<AudioBuffer, VideoValue, Image, MidiSequence,
+                                AnimationScene, TimedStream>;
+
+/// The media kind of a runtime value (timed streams report their
+/// descriptor's kind).
+MediaKind KindOfValue(const MediaValue& value);
+
+/// Approximate storage footprint of the value if it were expanded and
+/// stored rather than derived — the quantity the paper's storage-saving
+/// argument compares derivation records against.
+uint64_t ExpandedBytes(const MediaValue& value);
+
+/// Presentation duration in seconds (0 for still images).
+double PresentationSeconds(const MediaValue& value);
+
+}  // namespace tbm
+
+#endif  // TBM_DERIVE_VALUE_H_

@@ -1,0 +1,127 @@
+#include "interp/av_capture.h"
+
+#include <algorithm>
+
+#include "base/macros.h"
+#include "codec/tjpeg.h"
+#include "media/quality.h"
+
+namespace tbm {
+
+Result<AvCaptureResult> CaptureInterleavedAv(BlobStore* store,
+                                             const std::vector<Image>& frames,
+                                             const AudioBuffer& audio,
+                                             const AvCaptureConfig& config) {
+  if (frames.empty()) {
+    return Status::InvalidArgument("no video frames to capture");
+  }
+  TBM_RETURN_IF_ERROR(audio.Validate());
+  TBM_ASSIGN_OR_RETURN(VideoQuality vq,
+                       LookupVideoQuality(config.video_quality));
+
+  const Image& first = frames.front();
+  const int64_t n_frames = static_cast<int64_t>(frames.size());
+
+  // Samples covered by each video frame: frame i covers audio frames
+  // [floor(i * sr / fr), floor((i+1) * sr / fr)).
+  const Rational samples_per_frame =
+      Rational(audio.sample_rate) / config.frame_rate;
+  const int64_t needed_frames =
+      RescaleTicks(n_frames, samples_per_frame, Rounding::kCeil);
+  if (audio.FrameCount() < needed_frames) {
+    return Status::InvalidArgument(
+        "audio too short: need " + std::to_string(needed_frames) +
+        " sample frames to cover " + std::to_string(n_frames) +
+        " video frames, have " + std::to_string(audio.FrameCount()));
+  }
+
+  TBM_ASSIGN_OR_RETURN(CaptureSession session, CaptureSession::Begin(store));
+
+  MediaDescriptor video_desc;
+  video_desc.type_name = "video/tjpeg";
+  video_desc.kind = MediaKind::kVideo;
+  video_desc.attrs.SetRational("frame rate", config.frame_rate);
+  video_desc.attrs.SetInt("frame width", first.width);
+  video_desc.attrs.SetInt("frame height", first.height);
+  video_desc.attrs.SetInt("frame depth", 24);
+  video_desc.attrs.SetString("color model", "RGB");
+  video_desc.attrs.SetString("encoding", "YUV 4:2:0, TJPEG");
+  video_desc.attrs.SetString("quality factor", config.video_quality);
+  video_desc.attrs.SetInt("codec quality", vq.codec_quality);
+  TBM_ASSIGN_OR_RETURN(
+      size_t video_handle,
+      session.DeclareObject(config.video_name, video_desc,
+                            TimeSystem(config.frame_rate)));
+
+  MediaDescriptor audio_desc;
+  audio_desc.type_name = "audio/pcm-block";
+  audio_desc.kind = MediaKind::kAudio;
+  audio_desc.attrs.SetInt("sample rate", audio.sample_rate);
+  audio_desc.attrs.SetInt("sample size", 16);
+  audio_desc.attrs.SetInt("number of channels", audio.channels);
+  audio_desc.attrs.SetString("encoding", "PCM");
+  audio_desc.attrs.SetString("quality factor", config.audio_quality);
+  TBM_ASSIGN_OR_RETURN(
+      size_t audio_handle,
+      session.DeclareObject(config.audio_name, audio_desc,
+                            TimeSystem(audio.sample_rate)));
+
+  AvCaptureResult result;
+  uint64_t max_frame_bytes = 0;
+  for (int64_t i = 0; i < n_frames; ++i) {
+    TBM_RETURN_IF_ERROR(frames[i].Validate());
+    result.raw_video_bytes += frames[i].data.size();
+    TBM_ASSIGN_OR_RETURN(Bytes encoded,
+                         TjpegEncode(frames[i], vq.codec_quality));
+    result.encoded_video_bytes += encoded.size();
+    max_frame_bytes = std::max<uint64_t>(max_frame_bytes, encoded.size());
+    TBM_RETURN_IF_ERROR(
+        session.CaptureElement(video_handle, encoded, i, 1));
+
+    const int64_t a0 = RescaleTicks(i, samples_per_frame, Rounding::kFloor);
+    const int64_t a1 =
+        RescaleTicks(i + 1, samples_per_frame, Rounding::kFloor);
+    const size_t byte0 = static_cast<size_t>(a0) * audio.channels * 2;
+    const size_t byte1 = static_cast<size_t>(a1) * audio.channels * 2;
+    Bytes audio_bytes(byte1 - byte0);
+    for (size_t b = 0; b < audio_bytes.size(); ++b) {
+      int16_t sample = audio.samples[byte0 / 2 + b / 2];
+      uint16_t u = static_cast<uint16_t>(sample);
+      audio_bytes[b] = (b % 2 == 0) ? static_cast<uint8_t>(u)
+                                    : static_cast<uint8_t>(u >> 8);
+    }
+    result.audio_bytes += audio_bytes.size();
+    TBM_RETURN_IF_ERROR(
+        session.CaptureElement(audio_handle, audio_bytes, a0, a1 - a0));
+
+    if (config.padding_per_frame > 0) {
+      TBM_RETURN_IF_ERROR(session.AppendPadding(config.padding_per_frame));
+    }
+  }
+
+  // Annotate resource-allocation metadata (paper §4.1: descriptors
+  // should carry the average data rate and rate-variation info).
+  const double seconds =
+      static_cast<double>(n_frames) / config.frame_rate.ToDouble();
+  TBM_RETURN_IF_ERROR(session.UpdateDescriptorAttr(
+      video_handle, "average data rate",
+      AttrValue(result.encoded_video_bytes / seconds)));
+  TBM_RETURN_IF_ERROR(session.UpdateDescriptorAttr(
+      audio_handle, "average data rate",
+      AttrValue(result.audio_bytes / seconds)));
+  // PCM audio is uniform: peak == average. Video frames vary per frame;
+  // a conservative peak is max-frame-size × frame rate.
+  TBM_RETURN_IF_ERROR(session.UpdateDescriptorAttr(
+      audio_handle, "peak data rate",
+      AttrValue(result.audio_bytes / seconds)));
+  TBM_RETURN_IF_ERROR(session.UpdateDescriptorAttr(
+      video_handle, "peak data rate",
+      AttrValue(static_cast<double>(max_frame_bytes) *
+                config.frame_rate.ToDouble())));
+
+  result.blob = session.blob();
+  TBM_ASSIGN_OR_RETURN(result.interpretation, session.Finish());
+  return result;
+}
+
+}  // namespace tbm

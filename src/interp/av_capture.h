@@ -1,0 +1,50 @@
+#ifndef TBM_INTERP_AV_CAPTURE_H_
+#define TBM_INTERP_AV_CAPTURE_H_
+
+#include <string>
+#include <vector>
+
+#include "codec/image.h"
+#include "codec/pcm.h"
+#include "interp/capture.h"
+
+namespace tbm {
+
+/// The paper's Figure 2 capture pipeline as a reusable operation:
+/// digitize a video signal and an accompanying stereo audio signal into
+/// one BLOB, interleaved with "audio samples following the associated
+/// video frame", compressing frames with the TJPEG (JPEG stand-in)
+/// codec at a named quality factor.
+struct AvCaptureConfig {
+  std::string video_name = "video1";
+  std::string audio_name = "audio1";
+  Rational frame_rate = Rational(25);      ///< PAL.
+  std::string video_quality = "VHS quality";
+  std::string audio_quality = "CD quality";
+  /// Insert this many padding bytes after each frame's audio, matching
+  /// storage transfer rate to media rate (CD-I style). 0 = none.
+  size_t padding_per_frame = 0;
+};
+
+/// Result of a capture: where the data went and how to interpret it.
+struct AvCaptureResult {
+  BlobId blob = kInvalidBlobId;
+  Interpretation interpretation;
+  uint64_t raw_video_bytes = 0;      ///< Before compression.
+  uint64_t encoded_video_bytes = 0;  ///< After compression.
+  uint64_t audio_bytes = 0;
+};
+
+/// Captures `frames` (RGB, at `config.frame_rate`) and `audio`
+/// (PCM; must span at least the video duration) into a fresh BLOB of
+/// `store`. Audio elements are *per-frame sample blocks* (e.g. 1764
+/// sample pairs per PAL frame at 44.1 kHz), interleaved after each
+/// video frame. Returns the permanently-associated interpretation.
+Result<AvCaptureResult> CaptureInterleavedAv(BlobStore* store,
+                                             const std::vector<Image>& frames,
+                                             const AudioBuffer& audio,
+                                             const AvCaptureConfig& config);
+
+}  // namespace tbm
+
+#endif  // TBM_INTERP_AV_CAPTURE_H_

@@ -1,0 +1,111 @@
+#include "interp/capture.h"
+
+#include "base/macros.h"
+
+namespace tbm {
+
+Result<CaptureSession> CaptureSession::Begin(BlobStore* store) {
+  TBM_ASSIGN_OR_RETURN(BlobId blob, store->Create());
+  return CaptureSession(store, blob);
+}
+
+Result<size_t> CaptureSession::DeclareObject(const std::string& name,
+                                             MediaDescriptor descriptor,
+                                             TimeSystem time_system) {
+  if (finished_) {
+    return Status::FailedPrecondition("capture session already finished");
+  }
+  for (const PendingObject& pending : objects_) {
+    if (pending.object.name == name) {
+      return Status::AlreadyExists("object \"" + name +
+                                   "\" already declared");
+    }
+  }
+  PendingObject pending;
+  pending.object.name = name;
+  pending.object.descriptor = std::move(descriptor);
+  pending.object.time_system = time_system;
+  objects_.push_back(std::move(pending));
+  return objects_.size() - 1;
+}
+
+Status CaptureSession::CaptureElement(size_t handle, ByteSpan data,
+                                      int64_t start, int64_t duration,
+                                      ElementDescriptor descriptor) {
+  if (finished_) {
+    return Status::FailedPrecondition("capture session already finished");
+  }
+  if (handle >= objects_.size()) {
+    return Status::InvalidArgument("bad object handle");
+  }
+  PendingObject& pending = objects_[handle];
+  if (duration < 0) {
+    return Status::InvalidArgument("negative element duration");
+  }
+  if (!pending.object.elements.empty() &&
+      start < pending.object.elements.back().start) {
+    return Status::InvalidArgument(
+        "element start " + std::to_string(start) +
+        " precedes previous start (Def. 3 requires s_{i+1} >= s_i)");
+  }
+  TBM_RETURN_IF_ERROR(store_->Append(blob_, data));
+  ElementPlacement placement;
+  placement.element_number =
+      static_cast<int64_t>(pending.object.elements.size());
+  placement.start = start;
+  placement.duration = duration;
+  placement.placement = ByteRange{offset_, data.size()};
+  placement.descriptor = std::move(descriptor);
+  pending.object.elements.push_back(std::move(placement));
+  pending.next_start = start + duration;
+  offset_ += data.size();
+  return Status::OK();
+}
+
+Status CaptureSession::CaptureContiguous(size_t handle, ByteSpan data,
+                                         int64_t duration,
+                                         ElementDescriptor descriptor) {
+  if (handle >= objects_.size()) {
+    return Status::InvalidArgument("bad object handle");
+  }
+  return CaptureElement(handle, data, objects_[handle].next_start, duration,
+                        std::move(descriptor));
+}
+
+Status CaptureSession::UpdateDescriptorAttr(size_t handle,
+                                            const std::string& name,
+                                            AttrValue value) {
+  if (finished_) {
+    return Status::FailedPrecondition("capture session already finished");
+  }
+  if (handle >= objects_.size()) {
+    return Status::InvalidArgument("bad object handle");
+  }
+  objects_[handle].object.descriptor.attrs.Set(name, std::move(value));
+  return Status::OK();
+}
+
+Status CaptureSession::AppendPadding(size_t count, uint8_t fill) {
+  if (finished_) {
+    return Status::FailedPrecondition("capture session already finished");
+  }
+  Bytes padding(count, fill);
+  TBM_RETURN_IF_ERROR(store_->Append(blob_, padding));
+  offset_ += count;
+  return Status::OK();
+}
+
+Result<Interpretation> CaptureSession::Finish() {
+  if (finished_) {
+    return Status::FailedPrecondition("capture session already finished");
+  }
+  finished_ = true;
+  Interpretation interp(blob_);
+  for (PendingObject& pending : objects_) {
+    TBM_RETURN_IF_ERROR(interp.AddObject(std::move(pending.object)));
+  }
+  TBM_RETURN_IF_ERROR(interp.ValidateAgainstBlobSize(offset_));
+  return interp;
+}
+
+}  // namespace tbm

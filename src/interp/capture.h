@@ -1,0 +1,78 @@
+#ifndef TBM_INTERP_CAPTURE_H_
+#define TBM_INTERP_CAPTURE_H_
+
+#include <string>
+#include <vector>
+
+#include "interp/interpretation.h"
+
+namespace tbm {
+
+/// Builds a BLOB and its interpretation together, the way the paper
+/// recommends (§4.1: "It is probably a better practice if a BLOB has a
+/// single, complete, interpretation which is built up as the BLOB is
+/// captured or created and then permanently associated with the
+/// BLOB").
+///
+/// A session appends element bytes (from any number of declared media
+/// objects, interleaved in whatever order the producer emits them) and
+/// padding to one BLOB, while recording each element's placement,
+/// timing and descriptor. `Finish()` yields the complete
+/// interpretation.
+class CaptureSession {
+ public:
+  /// Starts a session writing into a fresh BLOB of `store`.
+  static Result<CaptureSession> Begin(BlobStore* store);
+
+  /// Declares a media object to be captured; returns its handle.
+  Result<size_t> DeclareObject(const std::string& name,
+                               MediaDescriptor descriptor,
+                               TimeSystem time_system);
+
+  /// Appends one element of object `handle` at an explicit time.
+  Status CaptureElement(size_t handle, ByteSpan data, int64_t start,
+                        int64_t duration, ElementDescriptor descriptor = {});
+
+  /// Appends one element immediately after the object's previous
+  /// element (start = previous end, or 0).
+  Status CaptureContiguous(size_t handle, ByteSpan data, int64_t duration,
+                           ElementDescriptor descriptor = {});
+
+  /// Updates a declared object's media descriptor before Finish() —
+  /// used for attributes only known after capture, like the measured
+  /// average/peak data rates the paper wants descriptors to carry.
+  Status UpdateDescriptorAttr(size_t handle, const std::string& name,
+                              AttrValue value);
+
+  /// Appends `count` filler bytes that belong to no object — the
+  /// "padding" layout the paper notes CD-I uses to match storage
+  /// transfer rates to media data rates.
+  Status AppendPadding(size_t count, uint8_t fill = 0);
+
+  /// Bytes written to the BLOB so far.
+  uint64_t BytesWritten() const { return offset_; }
+
+  BlobId blob() const { return blob_; }
+
+  /// Completes the session: validates and returns the interpretation.
+  /// The session must not be used afterwards.
+  Result<Interpretation> Finish();
+
+ private:
+  CaptureSession(BlobStore* store, BlobId blob) : store_(store), blob_(blob) {}
+
+  struct PendingObject {
+    InterpretedObject object;
+    int64_t next_start = 0;
+  };
+
+  BlobStore* store_;
+  BlobId blob_;
+  uint64_t offset_ = 0;
+  std::vector<PendingObject> objects_;
+  bool finished_ = false;
+};
+
+}  // namespace tbm
+
+#endif  // TBM_INTERP_CAPTURE_H_

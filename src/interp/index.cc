@@ -1,0 +1,144 @@
+#include "interp/index.h"
+
+#include <algorithm>
+
+namespace tbm {
+
+CompactElementIndex CompactElementIndex::Build(
+    const InterpretedObject& object) {
+  CompactElementIndex index;
+  const auto& elements = object.elements;
+  index.n_ = static_cast<int64_t>(elements.size());
+  if (elements.empty()) return index;
+
+  // Time runs: extend while duration matches and starts are contiguous.
+  for (int64_t i = 0; i < index.n_; ++i) {
+    const ElementPlacement& e = elements[i];
+    bool extend = false;
+    if (!index.time_runs_.empty()) {
+      TimeRun& run = index.time_runs_.back();
+      int64_t expected_start = run.start + run.count * run.duration;
+      extend = (e.duration == run.duration && e.start == expected_start &&
+                run.duration > 0);
+    }
+    if (extend) {
+      ++index.time_runs_.back().count;
+    } else {
+      index.time_runs_.push_back(TimeRun{i, 1, e.start, e.duration});
+    }
+  }
+
+  // Chunks: extend while placements are byte-adjacent.
+  for (int64_t i = 0; i < index.n_; ++i) {
+    const ElementPlacement& e = elements[i];
+    bool extend = false;
+    if (!index.chunks_.empty() && i > 0) {
+      const ElementPlacement& prev = elements[i - 1];
+      extend = (e.placement.offset == prev.placement.end());
+    }
+    if (extend) {
+      ++index.chunks_.back().count;
+    } else {
+      index.chunks_.push_back(Chunk{i, 1, e.placement.offset});
+    }
+  }
+
+  // Sizes: constant or explicit.
+  bool constant = true;
+  for (const ElementPlacement& e : elements) {
+    if (e.placement.length != elements.front().placement.length) {
+      constant = false;
+      break;
+    }
+  }
+  if (constant) {
+    index.constant_size_ = elements.front().placement.length;
+  } else {
+    index.sizes_.reserve(elements.size());
+    for (const ElementPlacement& e : elements) {
+      index.sizes_.push_back(static_cast<uint32_t>(e.placement.length));
+    }
+  }
+
+  // Sync table.
+  for (const ElementPlacement& e : elements) {
+    auto kind = e.descriptor.GetString("frame kind");
+    if (kind.ok() && *kind == "key") {
+      index.sync_.push_back(e.element_number);
+    }
+  }
+  return index;
+}
+
+Result<int64_t> CompactElementIndex::ElementAtTime(int64_t t) const {
+  // Last run whose start is <= t.
+  auto it = std::upper_bound(
+      time_runs_.begin(), time_runs_.end(), t,
+      [](int64_t value, const TimeRun& run) { return value < run.start; });
+  if (it == time_runs_.begin()) {
+    return Status::NotFound("no element at time " + std::to_string(t));
+  }
+  --it;
+  if (it->duration == 0) {
+    if (t == it->start) return it->first_element;
+    return Status::NotFound("no element at time " + std::to_string(t));
+  }
+  int64_t offset = (t - it->start) / it->duration;
+  if (offset >= it->count) {
+    return Status::NotFound("no element at time " + std::to_string(t) +
+                            " (gap)");
+  }
+  return it->first_element + offset;
+}
+
+Result<TickSpan> CompactElementIndex::SpanOf(int64_t element_number) const {
+  if (element_number < 0 || element_number >= n_) {
+    return Status::OutOfRange("element " + std::to_string(element_number));
+  }
+  auto it = std::upper_bound(time_runs_.begin(), time_runs_.end(),
+                             element_number,
+                             [](int64_t value, const TimeRun& run) {
+                               return value < run.first_element;
+                             });
+  --it;
+  int64_t offset = element_number - it->first_element;
+  return TickSpan{it->start + offset * it->duration, it->duration};
+}
+
+Result<ByteRange> CompactElementIndex::PlacementOf(
+    int64_t element_number) const {
+  if (element_number < 0 || element_number >= n_) {
+    return Status::OutOfRange("element " + std::to_string(element_number));
+  }
+  auto it = std::upper_bound(chunks_.begin(), chunks_.end(), element_number,
+                             [](int64_t value, const Chunk& chunk) {
+                               return value < chunk.first_element;
+                             });
+  --it;
+  uint64_t offset = it->offset;
+  if (constant_size_ != 0 || sizes_.empty()) {
+    offset += constant_size_ * (element_number - it->first_element);
+    return ByteRange{offset, constant_size_};
+  }
+  for (int64_t e = it->first_element; e < element_number; ++e) {
+    offset += sizes_[e];
+  }
+  return ByteRange{offset, sizes_[element_number]};
+}
+
+Result<int64_t> CompactElementIndex::SyncBefore(
+    int64_t element_number) const {
+  auto it = std::upper_bound(sync_.begin(), sync_.end(), element_number);
+  if (it == sync_.begin()) {
+    return Status::NotFound("no sync element at or before " +
+                            std::to_string(element_number));
+  }
+  return *(it - 1);
+}
+
+size_t CompactElementIndex::MemoryBytes() const {
+  return time_runs_.size() * sizeof(TimeRun) + chunks_.size() * sizeof(Chunk) +
+         sizes_.size() * sizeof(uint32_t) + sync_.size() * sizeof(int64_t);
+}
+
+}  // namespace tbm

@@ -1,0 +1,175 @@
+#include "media/attr.h"
+
+#include <cstdio>
+
+#include "base/macros.h"
+
+namespace tbm {
+
+std::string_view AttrTypeToString(AttrType type) {
+  switch (type) {
+    case AttrType::kInt: return "int";
+    case AttrType::kDouble: return "double";
+    case AttrType::kBool: return "bool";
+    case AttrType::kString: return "string";
+    case AttrType::kRational: return "rational";
+  }
+  return "unknown";
+}
+
+AttrType TypeOf(const AttrValue& value) {
+  return static_cast<AttrType>(value.index());
+}
+
+std::string AttrValueToString(const AttrValue& value) {
+  switch (TypeOf(value)) {
+    case AttrType::kInt:
+      return std::to_string(std::get<int64_t>(value));
+    case AttrType::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", std::get<double>(value));
+      return buf;
+    }
+    case AttrType::kBool:
+      return std::get<bool>(value) ? "true" : "false";
+    case AttrType::kString:
+      return "\"" + std::get<std::string>(value) + "\"";
+    case AttrType::kRational:
+      return std::get<Rational>(value).ToString();
+  }
+  return "?";
+}
+
+bool AttrMap::Has(std::string_view name) const {
+  return attrs_.count(std::string(name)) > 0;
+}
+
+Result<AttrValue> AttrMap::Get(std::string_view name) const {
+  auto it = attrs_.find(std::string(name));
+  if (it == attrs_.end()) {
+    return Status::NotFound("no attribute \"" + std::string(name) + "\"");
+  }
+  return it->second;
+}
+
+namespace {
+template <typename T>
+Result<T> GetTyped(const AttrMap& map, std::string_view name,
+                   AttrType expected) {
+  TBM_ASSIGN_OR_RETURN(AttrValue v, map.Get(name));
+  if (TypeOf(v) != expected) {
+    return Status::InvalidArgument(
+        "attribute \"" + std::string(name) + "\" is " +
+        std::string(AttrTypeToString(TypeOf(v))) + ", expected " +
+        std::string(AttrTypeToString(expected)));
+  }
+  return std::get<T>(v);
+}
+}  // namespace
+
+Result<int64_t> AttrMap::GetInt(std::string_view name) const {
+  return GetTyped<int64_t>(*this, name, AttrType::kInt);
+}
+Result<double> AttrMap::GetDouble(std::string_view name) const {
+  return GetTyped<double>(*this, name, AttrType::kDouble);
+}
+Result<bool> AttrMap::GetBool(std::string_view name) const {
+  return GetTyped<bool>(*this, name, AttrType::kBool);
+}
+Result<std::string> AttrMap::GetString(std::string_view name) const {
+  return GetTyped<std::string>(*this, name, AttrType::kString);
+}
+Result<Rational> AttrMap::GetRational(std::string_view name) const {
+  return GetTyped<Rational>(*this, name, AttrType::kRational);
+}
+
+Status AttrMap::Remove(std::string_view name) {
+  if (attrs_.erase(std::string(name)) == 0) {
+    return Status::NotFound("no attribute \"" + std::string(name) + "\"");
+  }
+  return Status::OK();
+}
+
+std::string AttrMap::ToString() const {
+  std::string out;
+  for (const auto& [name, value] : attrs_) {
+    out += "  ";
+    out += name;
+    out += " = ";
+    out += AttrValueToString(value);
+    out += "\n";
+  }
+  return out;
+}
+
+void AttrMap::Serialize(BinaryWriter* writer) const {
+  writer->WriteVarU64(attrs_.size());
+  for (const auto& [name, value] : attrs_) {
+    writer->WriteString(name);
+    writer->WriteU8(static_cast<uint8_t>(TypeOf(value)));
+    switch (TypeOf(value)) {
+      case AttrType::kInt:
+        writer->WriteVarI64(std::get<int64_t>(value));
+        break;
+      case AttrType::kDouble:
+        writer->WriteF64(std::get<double>(value));
+        break;
+      case AttrType::kBool:
+        writer->WriteU8(std::get<bool>(value) ? 1 : 0);
+        break;
+      case AttrType::kString:
+        writer->WriteString(std::get<std::string>(value));
+        break;
+      case AttrType::kRational: {
+        const Rational& r = std::get<Rational>(value);
+        writer->WriteVarI64(r.num());
+        writer->WriteVarI64(r.den());
+        break;
+      }
+    }
+  }
+}
+
+Result<AttrMap> AttrMap::Deserialize(BinaryReader* reader) {
+  AttrMap map;
+  TBM_ASSIGN_OR_RETURN(uint64_t count, reader->ReadVarU64());
+  for (uint64_t i = 0; i < count; ++i) {
+    TBM_ASSIGN_OR_RETURN(std::string name, reader->ReadString());
+    TBM_ASSIGN_OR_RETURN(uint8_t type_byte, reader->ReadU8());
+    if (type_byte > static_cast<uint8_t>(AttrType::kRational)) {
+      return Status::Corruption("bad attribute type tag");
+    }
+    switch (static_cast<AttrType>(type_byte)) {
+      case AttrType::kInt: {
+        TBM_ASSIGN_OR_RETURN(int64_t v, reader->ReadVarI64());
+        map.SetInt(name, v);
+        break;
+      }
+      case AttrType::kDouble: {
+        TBM_ASSIGN_OR_RETURN(double v, reader->ReadF64());
+        map.SetDouble(name, v);
+        break;
+      }
+      case AttrType::kBool: {
+        TBM_ASSIGN_OR_RETURN(uint8_t v, reader->ReadU8());
+        map.SetBool(name, v != 0);
+        break;
+      }
+      case AttrType::kString: {
+        TBM_ASSIGN_OR_RETURN(std::string v, reader->ReadString());
+        map.SetString(name, std::move(v));
+        break;
+      }
+      case AttrType::kRational: {
+        TBM_ASSIGN_OR_RETURN(int64_t num, reader->ReadVarI64());
+        TBM_ASSIGN_OR_RETURN(int64_t den, reader->ReadVarI64());
+        if (den <= 0) return Status::Corruption("bad rational denominator");
+        map.SetRational(name, Rational(num, den));
+        break;
+      }
+    }
+  }
+  return map;
+}
+
+}  // namespace tbm

@@ -1,0 +1,97 @@
+#ifndef TBM_MEDIA_ATTR_H_
+#define TBM_MEDIA_ATTR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "base/io.h"
+#include "base/result.h"
+#include "time/rational.h"
+
+namespace tbm {
+
+/// The value types that media-descriptor and element-descriptor
+/// attributes can take (paper Definition 1: "a specification of the
+/// attributes found in media descriptors and their possible values").
+enum class AttrType : uint8_t {
+  kInt = 0,
+  kDouble = 1,
+  kBool = 2,
+  kString = 3,
+  kRational = 4,
+};
+
+std::string_view AttrTypeToString(AttrType type);
+
+/// A single attribute value.
+using AttrValue = std::variant<int64_t, double, bool, std::string, Rational>;
+
+/// The AttrType of a value.
+AttrType TypeOf(const AttrValue& value);
+
+/// Renders a value for display ("VHS quality", "25", "30000/1001", ...).
+std::string AttrValueToString(const AttrValue& value);
+
+/// An ordered attribute set: the representation of media descriptors
+/// and element descriptors. Ordered (std::map) so that printed
+/// descriptors and serialized bytes are deterministic.
+class AttrMap {
+ public:
+  AttrMap() = default;
+
+  void SetInt(std::string_view name, int64_t v) { attrs_[std::string(name)] = v; }
+  void SetDouble(std::string_view name, double v) { attrs_[std::string(name)] = v; }
+  void SetBool(std::string_view name, bool v) { attrs_[std::string(name)] = v; }
+  void SetString(std::string_view name, std::string v) {
+    attrs_[std::string(name)] = std::move(v);
+  }
+  void SetRational(std::string_view name, Rational v) {
+    attrs_[std::string(name)] = v;
+  }
+
+  bool Has(std::string_view name) const;
+  /// Typed getters; NotFound if absent, InvalidArgument on type mismatch.
+  Result<int64_t> GetInt(std::string_view name) const;
+  Result<double> GetDouble(std::string_view name) const;
+  Result<bool> GetBool(std::string_view name) const;
+  Result<std::string> GetString(std::string_view name) const;
+  Result<Rational> GetRational(std::string_view name) const;
+
+  /// Untyped access.
+  Result<AttrValue> Get(std::string_view name) const;
+  void Set(std::string_view name, AttrValue value) {
+    attrs_[std::string(name)] = std::move(value);
+  }
+  Status Remove(std::string_view name);
+
+  size_t size() const { return attrs_.size(); }
+  bool empty() const { return attrs_.empty(); }
+
+  auto begin() const { return attrs_.begin(); }
+  auto end() const { return attrs_.end(); }
+
+  /// Multi-line rendering in the paper's descriptor-box style:
+  /// each line "  name = value".
+  std::string ToString() const;
+
+  void Serialize(BinaryWriter* writer) const;
+  static Result<AttrMap> Deserialize(BinaryReader* reader);
+
+  friend bool operator==(const AttrMap&, const AttrMap&) = default;
+
+ private:
+  std::map<std::string, AttrValue> attrs_;
+};
+
+/// Element descriptors (paper Def. 1) are attribute sets describing an
+/// individual media element rather than the object as a whole —
+/// e.g. the per-block step-size state of an ADPCM coder, or a video
+/// frame's key/intermediate role.
+using ElementDescriptor = AttrMap;
+
+}  // namespace tbm
+
+#endif  // TBM_MEDIA_ATTR_H_

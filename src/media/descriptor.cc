@@ -1,0 +1,44 @@
+#include "media/descriptor.h"
+
+#include "base/macros.h"
+
+namespace tbm {
+
+std::string MediaDescriptor::ToString(const std::string& object_name) const {
+  std::string out = object_name + " descriptor = {\n";
+  out += "  type = " + type_name + " (" +
+         std::string(MediaKindToString(kind)) + ")\n";
+  out += attrs.ToString();
+  out += "}";
+  return out;
+}
+
+Status MediaDescriptor::Validate(const MediaTypeRegistry& registry) const {
+  TBM_ASSIGN_OR_RETURN(MediaType type, registry.Find(type_name));
+  if (type.kind() != kind) {
+    return Status::InvalidArgument(
+        "descriptor kind " + std::string(MediaKindToString(kind)) +
+        " does not match type " + type_name);
+  }
+  return type.ValidateDescriptor(attrs);
+}
+
+void MediaDescriptor::Serialize(BinaryWriter* writer) const {
+  writer->WriteString(type_name);
+  writer->WriteU8(static_cast<uint8_t>(kind));
+  attrs.Serialize(writer);
+}
+
+Result<MediaDescriptor> MediaDescriptor::Deserialize(BinaryReader* reader) {
+  MediaDescriptor d;
+  TBM_ASSIGN_OR_RETURN(d.type_name, reader->ReadString());
+  TBM_ASSIGN_OR_RETURN(uint8_t kind_byte, reader->ReadU8());
+  if (kind_byte > static_cast<uint8_t>(MediaKind::kText)) {
+    return Status::Corruption("bad media kind tag");
+  }
+  d.kind = static_cast<MediaKind>(kind_byte);
+  TBM_ASSIGN_OR_RETURN(d.attrs, AttrMap::Deserialize(reader));
+  return d;
+}
+
+}  // namespace tbm

@@ -1,0 +1,44 @@
+#ifndef TBM_MEDIA_DESCRIPTOR_H_
+#define TBM_MEDIA_DESCRIPTOR_H_
+
+#include <string>
+
+#include "media/attr.h"
+#include "media/media_type.h"
+
+namespace tbm {
+
+/// A media descriptor: the minimum a database system should know about
+/// a media object — its type plus the encoding attributes that vary
+/// from type to type (paper §3.2). An image descriptor carries width
+/// and height; an audio descriptor carries sample size and rate; and so
+/// on per the type's AttrSpec list.
+struct MediaDescriptor {
+  /// Name of the media type in the registry, e.g. "video/tjpeg".
+  std::string type_name;
+  MediaKind kind = MediaKind::kAudio;
+  /// The attribute values (must satisfy the type's descriptor spec).
+  AttrMap attrs;
+
+  /// Renders in the paper's Figure 2 box style:
+  /// ```
+  /// video1 descriptor = {
+  ///   frame rate = 25
+  ///   ...
+  /// }
+  /// ```
+  std::string ToString(const std::string& object_name) const;
+
+  /// Validates against the named type in `registry`.
+  Status Validate(const MediaTypeRegistry& registry) const;
+
+  void Serialize(BinaryWriter* writer) const;
+  static Result<MediaDescriptor> Deserialize(BinaryReader* reader);
+
+  friend bool operator==(const MediaDescriptor&,
+                         const MediaDescriptor&) = default;
+};
+
+}  // namespace tbm
+
+#endif  // TBM_MEDIA_DESCRIPTOR_H_

@@ -1,0 +1,204 @@
+#include "media/media_type.h"
+
+#include "base/macros.h"
+
+namespace tbm {
+
+std::string_view MediaKindToString(MediaKind kind) {
+  switch (kind) {
+    case MediaKind::kImage: return "image";
+    case MediaKind::kAudio: return "audio";
+    case MediaKind::kVideo: return "video";
+    case MediaKind::kMusic: return "music";
+    case MediaKind::kAnimation: return "animation";
+    case MediaKind::kText: return "text";
+  }
+  return "unknown";
+}
+
+namespace {
+
+Status ValidateAgainstSpec(const AttrMap& attrs,
+                           const std::vector<AttrSpec>& spec,
+                           const std::string& what) {
+  for (const AttrSpec& s : spec) {
+    if (!attrs.Has(s.name)) {
+      if (s.required) {
+        return Status::InvalidArgument(what + " missing required attribute \"" +
+                                       s.name + "\"");
+      }
+      continue;
+    }
+    auto v = attrs.Get(s.name);
+    if (!v.ok()) return v.status();
+    if (TypeOf(*v) != s.type) {
+      return Status::InvalidArgument(
+          what + " attribute \"" + s.name + "\" has type " +
+          std::string(AttrTypeToString(TypeOf(*v))) + ", expected " +
+          std::string(AttrTypeToString(s.type)));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status MediaType::ValidateDescriptor(const AttrMap& attrs) const {
+  return ValidateAgainstSpec(attrs, descriptor_spec_,
+                             "media descriptor for " + name_);
+}
+
+Status MediaType::ValidateElementDescriptor(const AttrMap& attrs) const {
+  return ValidateAgainstSpec(attrs, element_spec_,
+                             "element descriptor for " + name_);
+}
+
+Status MediaTypeRegistry::Register(MediaType type) {
+  if (types_.count(type.name()) > 0) {
+    return Status::AlreadyExists("media type \"" + type.name() +
+                                 "\" already registered");
+  }
+  std::string name = type.name();
+  types_.emplace(std::move(name), std::move(type));
+  return Status::OK();
+}
+
+Result<MediaType> MediaTypeRegistry::Find(const std::string& name) const {
+  auto it = types_.find(name);
+  if (it == types_.end()) {
+    return Status::NotFound("unknown media type \"" + name + "\"");
+  }
+  return it->second;
+}
+
+bool MediaTypeRegistry::Contains(const std::string& name) const {
+  return types_.count(name) > 0;
+}
+
+std::vector<std::string> MediaTypeRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(types_.size());
+  for (const auto& [name, type] : types_) names.push_back(name);
+  return names;
+}
+
+const MediaTypeRegistry& MediaTypeRegistry::Builtin() {
+  static const MediaTypeRegistry* kRegistry = [] {
+    auto* reg = new MediaTypeRegistry();
+
+    MediaType pcm("audio/pcm", MediaKind::kAudio);
+    pcm.AddDescriptorAttr({"sample rate", AttrType::kInt, true})
+        .AddDescriptorAttr({"sample size", AttrType::kInt, true})
+        .AddDescriptorAttr({"number of channels", AttrType::kInt, true})
+        .AddDescriptorAttr({"encoding", AttrType::kString, true})
+        .AddDescriptorAttr({"quality factor", AttrType::kString, false})
+        .SetRequiresContinuous(true)
+        .SetFixedElementDuration(1);
+    (void)reg->Register(std::move(pcm));
+
+    // Block-granularity PCM: elements are sample blocks (e.g. the 1764
+    // sample pairs per PAL frame of the paper's Figure 2), so element
+    // durations equal the block length rather than 1.
+    MediaType pcm_block("audio/pcm-block", MediaKind::kAudio);
+    pcm_block.AddDescriptorAttr({"sample rate", AttrType::kInt, true})
+        .AddDescriptorAttr({"sample size", AttrType::kInt, true})
+        .AddDescriptorAttr({"number of channels", AttrType::kInt, true})
+        .AddDescriptorAttr({"encoding", AttrType::kString, true})
+        .AddDescriptorAttr({"quality factor", AttrType::kString, false})
+        .SetRequiresContinuous(true);
+    (void)reg->Register(std::move(pcm_block));
+
+    MediaType adpcm("audio/adpcm", MediaKind::kAudio);
+    adpcm.AddDescriptorAttr({"sample rate", AttrType::kInt, true})
+        .AddDescriptorAttr({"number of channels", AttrType::kInt, true})
+        .AddDescriptorAttr({"block size", AttrType::kInt, true})
+        .AddDescriptorAttr({"encoding", AttrType::kString, true})
+        .AddElementAttr({"predictor", AttrType::kInt, true})
+        .AddElementAttr({"step index", AttrType::kInt, true})
+        .SetRequiresContinuous(true);
+    (void)reg->Register(std::move(adpcm));
+
+    MediaType image_raw("image/raw", MediaKind::kImage);
+    image_raw.AddDescriptorAttr({"width", AttrType::kInt, true})
+        .AddDescriptorAttr({"height", AttrType::kInt, true})
+        .AddDescriptorAttr({"depth", AttrType::kInt, true})
+        .AddDescriptorAttr({"color model", AttrType::kString, true});
+    (void)reg->Register(std::move(image_raw));
+
+    MediaType image_tjpeg("image/tjpeg", MediaKind::kImage);
+    image_tjpeg.AddDescriptorAttr({"width", AttrType::kInt, true})
+        .AddDescriptorAttr({"height", AttrType::kInt, true})
+        .AddDescriptorAttr({"depth", AttrType::kInt, true})
+        .AddDescriptorAttr({"color model", AttrType::kString, true})
+        .AddDescriptorAttr({"encoding", AttrType::kString, true})
+        .AddDescriptorAttr({"quality factor", AttrType::kString, false})
+        .AddDescriptorAttr({"codec quality", AttrType::kInt, false});
+    (void)reg->Register(std::move(image_tjpeg));
+
+    MediaType video_raw("video/raw", MediaKind::kVideo);
+    video_raw.AddDescriptorAttr({"frame rate", AttrType::kRational, true})
+        .AddDescriptorAttr({"frame width", AttrType::kInt, true})
+        .AddDescriptorAttr({"frame height", AttrType::kInt, true})
+        .AddDescriptorAttr({"frame depth", AttrType::kInt, true})
+        .AddDescriptorAttr({"color model", AttrType::kString, true})
+        .SetRequiresContinuous(true)
+        .SetFixedElementDuration(1);
+    (void)reg->Register(std::move(video_raw));
+
+    MediaType video_tjpeg("video/tjpeg", MediaKind::kVideo);
+    video_tjpeg.AddDescriptorAttr({"frame rate", AttrType::kRational, true})
+        .AddDescriptorAttr({"frame width", AttrType::kInt, true})
+        .AddDescriptorAttr({"frame height", AttrType::kInt, true})
+        .AddDescriptorAttr({"frame depth", AttrType::kInt, true})
+        .AddDescriptorAttr({"color model", AttrType::kString, true})
+        .AddDescriptorAttr({"encoding", AttrType::kString, true})
+        .AddDescriptorAttr({"quality factor", AttrType::kString, false})
+        .AddDescriptorAttr({"codec quality", AttrType::kInt, false})
+        .SetRequiresContinuous(true)
+        .SetFixedElementDuration(1);
+    (void)reg->Register(std::move(video_tjpeg));
+
+    MediaType video_tmpeg("video/tmpeg", MediaKind::kVideo);
+    video_tmpeg.AddDescriptorAttr({"frame rate", AttrType::kRational, true})
+        .AddDescriptorAttr({"frame width", AttrType::kInt, true})
+        .AddDescriptorAttr({"frame height", AttrType::kInt, true})
+        .AddDescriptorAttr({"frame depth", AttrType::kInt, true})
+        .AddDescriptorAttr({"color model", AttrType::kString, true})
+        .AddDescriptorAttr({"encoding", AttrType::kString, true})
+        .AddDescriptorAttr({"key interval", AttrType::kInt, true})
+        .AddDescriptorAttr({"quality factor", AttrType::kString, false})
+        .AddDescriptorAttr({"codec quality", AttrType::kInt, false})
+        .AddElementAttr({"frame kind", AttrType::kString, true})
+        .SetRequiresContinuous(true)
+        .SetFixedElementDuration(1);
+    (void)reg->Register(std::move(video_tmpeg));
+
+    MediaType midi("music/midi", MediaKind::kMusic);
+    midi.AddDescriptorAttr({"division", AttrType::kInt, true})
+        .AddDescriptorAttr({"tempo bpm", AttrType::kRational, true})
+        .AddElementAttr({"event kind", AttrType::kString, false})
+        .SetEventBased(true);
+    (void)reg->Register(std::move(midi));
+
+    MediaType anim("animation/scene", MediaKind::kAnimation);
+    anim.AddDescriptorAttr({"frame rate", AttrType::kRational, true})
+        .AddDescriptorAttr({"width", AttrType::kInt, true})
+        .AddDescriptorAttr({"height", AttrType::kInt, true});
+    (void)reg->Register(std::move(anim));
+
+    MediaType text("text/plain", MediaKind::kText);
+    text.AddDescriptorAttr({"charset", AttrType::kString, false});
+    (void)reg->Register(std::move(text));
+
+    // Timed text: captions are a non-continuous stream (on-screen spans
+    // with silence gaps).
+    MediaType captions("text/captions", MediaKind::kText);
+    captions.AddDescriptorAttr({"charset", AttrType::kString, false});
+    (void)reg->Register(std::move(captions));
+
+    return reg;
+  }();
+  return *kRegistry;
+}
+
+}  // namespace tbm

@@ -1,0 +1,149 @@
+#ifndef TBM_MEDIA_MEDIA_TYPE_H_
+#define TBM_MEDIA_MEDIA_TYPE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "media/attr.h"
+#include "time/time_system.h"
+
+namespace tbm {
+
+/// The broad medium a media object belongs to.
+enum class MediaKind : uint8_t {
+  kImage = 0,
+  kAudio = 1,
+  kVideo = 2,
+  kMusic = 3,      ///< Symbolic music (MIDI-style events).
+  kAnimation = 4,  ///< Symbolic animation (scene/movement events).
+  kText = 5,
+};
+
+std::string_view MediaKindToString(MediaKind kind);
+
+/// Declaration of one attribute a media type requires or permits in
+/// its descriptors.
+struct AttrSpec {
+  std::string name;
+  AttrType type = AttrType::kInt;
+  bool required = true;
+};
+
+/// A media type (paper Definition 1): a specification of the attributes
+/// found in media descriptors and their possible values; for time-based
+/// media, also the form of element descriptors and the constraints the
+/// type imposes on its timed streams (§3.3: "Generally a media type
+/// imposes restrictions on the form of timed streams based on that
+/// type", e.g. CD audio forces s_{i+1} = s_i + d_i and d_i = 1).
+class MediaType {
+ public:
+  MediaType() = default;
+  MediaType(std::string name, MediaKind kind)
+      : name_(std::move(name)), kind_(kind) {}
+
+  const std::string& name() const { return name_; }
+  MediaKind kind() const { return kind_; }
+
+  /// Attribute specifications for media descriptors.
+  const std::vector<AttrSpec>& descriptor_spec() const {
+    return descriptor_spec_;
+  }
+  /// Attribute specifications for element descriptors (empty for types
+  /// whose elements are fully described by the media descriptor —
+  /// homogeneous streams).
+  const std::vector<AttrSpec>& element_spec() const { return element_spec_; }
+
+  MediaType& AddDescriptorAttr(AttrSpec spec) {
+    descriptor_spec_.push_back(std::move(spec));
+    return *this;
+  }
+  MediaType& AddElementAttr(AttrSpec spec) {
+    element_spec_.push_back(std::move(spec));
+    return *this;
+  }
+
+  /// Stream-form constraints imposed by this type.
+  /// If set, streams of this type must use exactly this time system.
+  const std::optional<TimeSystem>& fixed_time_system() const {
+    return fixed_time_system_;
+  }
+  /// If true, streams must be continuous (s_{i+1} = s_i + d_i).
+  bool requires_continuous() const { return requires_continuous_; }
+  /// If set, every element must have exactly this duration in ticks.
+  std::optional<int64_t> fixed_element_duration() const {
+    return fixed_element_duration_;
+  }
+  /// If true, elements are duration-less events (d_i = 0).
+  bool event_based() const { return event_based_; }
+
+  MediaType& SetFixedTimeSystem(TimeSystem ts) {
+    fixed_time_system_ = ts;
+    return *this;
+  }
+  MediaType& SetRequiresContinuous(bool v) {
+    requires_continuous_ = v;
+    return *this;
+  }
+  MediaType& SetFixedElementDuration(int64_t d) {
+    fixed_element_duration_ = d;
+    return *this;
+  }
+  MediaType& SetEventBased(bool v) {
+    event_based_ = v;
+    return *this;
+  }
+
+  /// Checks `attrs` against the descriptor spec: every required
+  /// attribute present with the declared type; no checks on extras
+  /// (types are open to annotation).
+  Status ValidateDescriptor(const AttrMap& attrs) const;
+
+  /// Checks one element descriptor against the element spec.
+  Status ValidateElementDescriptor(const AttrMap& attrs) const;
+
+ private:
+  std::string name_;
+  MediaKind kind_ = MediaKind::kAudio;
+  std::vector<AttrSpec> descriptor_spec_;
+  std::vector<AttrSpec> element_spec_;
+  std::optional<TimeSystem> fixed_time_system_;
+  std::optional<int64_t> fixed_element_duration_;
+  bool requires_continuous_ = false;
+  bool event_based_ = false;
+};
+
+/// Registry mapping type names ("audio/pcm", "video/tjpeg", ...) to
+/// their specifications. `Builtin()` returns the registry preloaded
+/// with the library's media types.
+class MediaTypeRegistry {
+ public:
+  /// Registers a type; AlreadyExists if the name is taken.
+  Status Register(MediaType type);
+
+  /// Looks a type up by name.
+  Result<MediaType> Find(const std::string& name) const;
+
+  bool Contains(const std::string& name) const;
+
+  std::vector<std::string> Names() const;
+
+  /// The registry of built-in types:
+  ///  - "audio/pcm"       uniform PCM audio (CD-style)
+  ///  - "audio/adpcm"     block-ADPCM audio, heterogeneous elements
+  ///  - "image/raw"       uncompressed raster image
+  ///  - "image/tjpeg"     DCT-compressed image
+  ///  - "video/raw"       uniform uncompressed video
+  ///  - "video/tjpeg"     intraframe-compressed video (variable size)
+  ///  - "video/tmpeg"     key/delta compressed video (out-of-order keys)
+  ///  - "music/midi"      event-based MIDI music
+  ///  - "animation/scene" non-continuous animation events
+  static const MediaTypeRegistry& Builtin();
+
+ private:
+  std::map<std::string, MediaType> types_;
+};
+
+}  // namespace tbm
+
+#endif  // TBM_MEDIA_MEDIA_TYPE_H_

@@ -1,0 +1,59 @@
+#include "media/quality.h"
+
+namespace tbm {
+
+namespace {
+
+const std::vector<AudioQuality>& AudioQualities() {
+  static const std::vector<AudioQuality> kQualities = {
+      {"telephone quality", 8000, 8, 1},
+      {"AM quality", 11025, 8, 1},
+      {"FM quality", 22050, 16, 2},
+      {"CD quality", 44100, 16, 2},
+      {"DAT quality", 48000, 16, 2},
+  };
+  return kQualities;
+}
+
+const std::vector<VideoQuality>& VideoQualities() {
+  static const std::vector<VideoQuality> kQualities = {
+      // Quality ladder loosely following the paper's examples: DVI/MPEG-I
+      // deliver "VHS quality" around 0.5 bit/pixel; MPEG-II targets
+      // "near-broadcast quality".
+      {"videophone quality", 176, 144, Rational(10), 20, 0.25},
+      {"VHS quality", 640, 480, Rational(25), 50, 0.5},
+      {"broadcast quality", 720, 576, Rational(25), 75, 1.5},
+      {"studio quality", 720, 576, Rational(25), 95, 4.0},
+  };
+  return kQualities;
+}
+
+}  // namespace
+
+Result<AudioQuality> LookupAudioQuality(const std::string& name) {
+  for (const AudioQuality& q : AudioQualities()) {
+    if (q.name == name) return q;
+  }
+  return Status::NotFound("unknown audio quality factor \"" + name + "\"");
+}
+
+Result<VideoQuality> LookupVideoQuality(const std::string& name) {
+  for (const VideoQuality& q : VideoQualities()) {
+    if (q.name == name) return q;
+  }
+  return Status::NotFound("unknown video quality factor \"" + name + "\"");
+}
+
+std::vector<std::string> AudioQualityNames() {
+  std::vector<std::string> names;
+  for (const AudioQuality& q : AudioQualities()) names.push_back(q.name);
+  return names;
+}
+
+std::vector<std::string> VideoQualityNames() {
+  std::vector<std::string> names;
+  for (const VideoQuality& q : VideoQualities()) names.push_back(q.name);
+  return names;
+}
+
+}  // namespace tbm

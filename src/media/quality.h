@@ -1,0 +1,50 @@
+#ifndef TBM_MEDIA_QUALITY_H_
+#define TBM_MEDIA_QUALITY_H_
+
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "time/rational.h"
+
+namespace tbm {
+
+/// Descriptive quality factors (paper §2.2, "Quality Factors"): users
+/// specify "VHS quality" or "CD quality" on a media-valued attribute;
+/// the library — not the application — maps the name to low-level
+/// encoding parameters. Low-level compression parameters never appear
+/// at the data-modeling level.
+
+/// Encoding parameters behind a named audio quality.
+struct AudioQuality {
+  std::string name;       ///< e.g. "CD quality".
+  int64_t sample_rate;    ///< Hz.
+  int64_t sample_size;    ///< Bits per sample.
+  int64_t channels;
+};
+
+/// Encoding parameters behind a named video quality.
+struct VideoQuality {
+  std::string name;       ///< e.g. "VHS quality".
+  int64_t width;
+  int64_t height;
+  Rational frame_rate;    ///< Frames per second.
+  int codec_quality;      ///< TJPEG quality knob, 1 (worst) .. 100 (best).
+  double target_bpp;      ///< Approximate compressed bits per pixel.
+};
+
+/// Named audio qualities: "telephone quality", "AM quality",
+/// "FM quality", "CD quality", "DAT quality".
+Result<AudioQuality> LookupAudioQuality(const std::string& name);
+
+/// Named video qualities: "videophone quality", "VHS quality",
+/// "broadcast quality", "studio quality".
+Result<VideoQuality> LookupVideoQuality(const std::string& name);
+
+/// All registered quality names, for enumeration sweeps.
+std::vector<std::string> AudioQualityNames();
+std::vector<std::string> VideoQualityNames();
+
+}  // namespace tbm
+
+#endif  // TBM_MEDIA_QUALITY_H_

@@ -1,0 +1,200 @@
+#include "midi/midi.h"
+
+#include <algorithm>
+
+#include "base/macros.h"
+
+namespace tbm {
+
+std::string_view MidiEventKindToString(MidiEventKind kind) {
+  switch (kind) {
+    case MidiEventKind::kNoteOn: return "note-on";
+    case MidiEventKind::kNoteOff: return "note-off";
+    case MidiEventKind::kProgramChange: return "program-change";
+    case MidiEventKind::kTempo: return "tempo";
+  }
+  return "unknown";
+}
+
+void MidiEvent::Serialize(BinaryWriter* writer) const {
+  writer->WriteVarI64(tick);
+  writer->WriteU8(static_cast<uint8_t>(kind));
+  writer->WriteU8(channel);
+  writer->WriteU8(note);
+  writer->WriteU8(velocity);
+  writer->WriteI32(value);
+}
+
+Result<MidiEvent> MidiEvent::Deserialize(BinaryReader* reader) {
+  MidiEvent event;
+  TBM_ASSIGN_OR_RETURN(event.tick, reader->ReadVarI64());
+  TBM_ASSIGN_OR_RETURN(uint8_t kind, reader->ReadU8());
+  if (kind > static_cast<uint8_t>(MidiEventKind::kTempo)) {
+    return Status::Corruption("bad MIDI event kind");
+  }
+  event.kind = static_cast<MidiEventKind>(kind);
+  TBM_ASSIGN_OR_RETURN(event.channel, reader->ReadU8());
+  TBM_ASSIGN_OR_RETURN(event.note, reader->ReadU8());
+  TBM_ASSIGN_OR_RETURN(event.velocity, reader->ReadU8());
+  TBM_ASSIGN_OR_RETURN(event.value, reader->ReadI32());
+  return event;
+}
+
+Status MidiSequence::AddEvent(MidiEvent event) {
+  if (event.tick < 0) {
+    return Status::InvalidArgument("negative event tick");
+  }
+  if (event.note > 127 || event.velocity > 127 || event.channel > 15) {
+    return Status::InvalidArgument("MIDI field out of range");
+  }
+  // Keep events sorted by tick (stable: equal ticks keep insert order).
+  auto it = std::upper_bound(
+      events_.begin(), events_.end(), event.tick,
+      [](int64_t tick, const MidiEvent& e) { return tick < e.tick; });
+  events_.insert(it, event);
+  return Status::OK();
+}
+
+Status MidiSequence::AddNote(int64_t tick, int64_t duration, uint8_t note,
+                             uint8_t velocity, uint8_t channel) {
+  if (duration <= 0) {
+    return Status::InvalidArgument("note duration must be positive");
+  }
+  MidiEvent on;
+  on.tick = tick;
+  on.kind = MidiEventKind::kNoteOn;
+  on.channel = channel;
+  on.note = note;
+  on.velocity = velocity;
+  TBM_RETURN_IF_ERROR(AddEvent(on));
+  MidiEvent off = on;
+  off.tick = tick + duration;
+  off.kind = MidiEventKind::kNoteOff;
+  off.velocity = 0;
+  return AddEvent(off);
+}
+
+Status MidiSequence::SetProgram(uint8_t channel, int32_t program) {
+  MidiEvent event;
+  event.tick = 0;
+  event.kind = MidiEventKind::kProgramChange;
+  event.channel = channel;
+  event.value = program;
+  return AddEvent(event);
+}
+
+int64_t MidiSequence::LastTick() const {
+  return events_.empty() ? 0 : events_.back().tick;
+}
+
+TimeSystem MidiSequence::time_system() const {
+  // division ticks per quarter * bpm quarters per minute / 60.
+  return TimeSystem(Rational(division_, 1) *
+                    Rational(static_cast<int64_t>(tempo_bpm_ * 100), 6000));
+}
+
+Result<TimedStream> MidiSequence::ToEventStream() const {
+  MediaDescriptor desc;
+  desc.type_name = "music/midi";
+  desc.kind = MediaKind::kMusic;
+  desc.attrs.SetInt("division", division_);
+  desc.attrs.SetRational("tempo bpm",
+                         Rational(static_cast<int64_t>(tempo_bpm_ * 100), 100));
+  TimedStream stream(desc, time_system());
+  for (const MidiEvent& event : events_) {
+    BinaryWriter writer;
+    event.Serialize(&writer);
+    ElementDescriptor ed;
+    ed.SetString("event kind", std::string(MidiEventKindToString(event.kind)));
+    TBM_RETURN_IF_ERROR(
+        stream.AppendEvent(writer.TakeBuffer(), event.tick, std::move(ed)));
+  }
+  return stream;
+}
+
+Result<TimedStream> MidiSequence::ToNoteStream() const {
+  MediaDescriptor desc;
+  desc.type_name = "music/midi";
+  desc.kind = MediaKind::kMusic;
+  desc.attrs.SetInt("division", division_);
+  desc.attrs.SetRational("tempo bpm",
+                         Rational(static_cast<int64_t>(tempo_bpm_ * 100), 100));
+  TimedStream stream(desc, time_system());
+
+  // Pair note-ons with their offs; emit one element per note.
+  struct Note {
+    int64_t tick;
+    int64_t duration;
+    uint8_t channel, note, velocity;
+  };
+  std::vector<Note> notes;
+  std::vector<MidiEvent> open;
+  for (const MidiEvent& event : events_) {
+    if (event.kind == MidiEventKind::kNoteOn) {
+      open.push_back(event);
+    } else if (event.kind == MidiEventKind::kNoteOff) {
+      for (auto it = open.begin(); it != open.end(); ++it) {
+        if (it->channel == event.channel && it->note == event.note) {
+          notes.push_back(Note{it->tick, event.tick - it->tick, it->channel,
+                               it->note, it->velocity});
+          open.erase(it);
+          break;
+        }
+      }
+    }
+  }
+  std::stable_sort(notes.begin(), notes.end(),
+                   [](const Note& a, const Note& b) { return a.tick < b.tick; });
+  for (const Note& note : notes) {
+    StreamElement element;
+    BinaryWriter writer;
+    writer.WriteU8(note.channel);
+    writer.WriteU8(note.note);
+    writer.WriteU8(note.velocity);
+    element.data = writer.TakeBuffer();
+    element.start = note.tick;
+    element.duration = note.duration;
+    element.descriptor.SetInt("note", note.note);
+    element.descriptor.SetInt("channel", note.channel);
+    TBM_RETURN_IF_ERROR(stream.Append(std::move(element)));
+  }
+  return stream;
+}
+
+Result<MidiSequence> MidiSequence::FromEventStream(const TimedStream& stream) {
+  TBM_ASSIGN_OR_RETURN(int64_t division,
+                       stream.descriptor().attrs.GetInt("division"));
+  TBM_ASSIGN_OR_RETURN(Rational bpm,
+                       stream.descriptor().attrs.GetRational("tempo bpm"));
+  MidiSequence seq(static_cast<int32_t>(division), bpm.ToDouble());
+  for (const StreamElement& element : stream) {
+    BinaryReader reader(element.data);
+    TBM_ASSIGN_OR_RETURN(MidiEvent event, MidiEvent::Deserialize(&reader));
+    TBM_RETURN_IF_ERROR(seq.AddEvent(event));
+  }
+  return seq;
+}
+
+void MidiSequence::Serialize(BinaryWriter* writer) const {
+  writer->WriteI32(division_);
+  writer->WriteF64(tempo_bpm_);
+  writer->WriteVarU64(events_.size());
+  for (const MidiEvent& event : events_) event.Serialize(writer);
+}
+
+Result<MidiSequence> MidiSequence::Deserialize(BinaryReader* reader) {
+  MidiSequence seq;
+  TBM_ASSIGN_OR_RETURN(seq.division_, reader->ReadI32());
+  TBM_ASSIGN_OR_RETURN(seq.tempo_bpm_, reader->ReadF64());
+  if (seq.division_ <= 0 || seq.tempo_bpm_ <= 0) {
+    return Status::Corruption("bad MIDI sequence header");
+  }
+  TBM_ASSIGN_OR_RETURN(uint64_t count, reader->ReadVarU64());
+  for (uint64_t i = 0; i < count; ++i) {
+    TBM_ASSIGN_OR_RETURN(MidiEvent event, MidiEvent::Deserialize(reader));
+    TBM_RETURN_IF_ERROR(seq.AddEvent(event));
+  }
+  return seq;
+}
+
+}  // namespace tbm

@@ -1,0 +1,102 @@
+#ifndef TBM_MIDI_MIDI_H_
+#define TBM_MIDI_MIDI_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/io.h"
+#include "stream/timed_stream.h"
+
+namespace tbm {
+
+/// Symbolic music events, modeled on MIDI — the paper's canonical
+/// *event-based* stream ("An example is MIDI where elements are musical
+/// events of the form 'Start Note X' and 'Stop Note Y'", §3.3).
+enum class MidiEventKind : uint8_t {
+  kNoteOn = 0,
+  kNoteOff = 1,
+  kProgramChange = 2,  ///< Selects the channel's instrument.
+  kTempo = 3,          ///< Sets tempo; value = microseconds per quarter.
+};
+
+std::string_view MidiEventKindToString(MidiEventKind kind);
+
+struct MidiEvent {
+  int64_t tick = 0;  ///< Time in divisions (pulses per quarter note).
+  MidiEventKind kind = MidiEventKind::kNoteOn;
+  uint8_t channel = 0;
+  uint8_t note = 60;      ///< MIDI note number (60 = middle C).
+  uint8_t velocity = 96;  ///< 0..127.
+  int32_t value = 0;      ///< Program number or tempo µs/quarter.
+
+  void Serialize(BinaryWriter* writer) const;
+  static Result<MidiEvent> Deserialize(BinaryReader* reader);
+
+  friend bool operator==(const MidiEvent&, const MidiEvent&) = default;
+};
+
+/// A music object: events ordered by tick, with a PPQ division and an
+/// initial tempo.
+class MidiSequence {
+ public:
+  MidiSequence() = default;
+  MidiSequence(int32_t division, double tempo_bpm)
+      : division_(division), tempo_bpm_(tempo_bpm) {}
+
+  int32_t division() const { return division_; }
+  double tempo_bpm() const { return tempo_bpm_; }
+
+  const std::vector<MidiEvent>& events() const { return events_; }
+
+  /// Appends an event; InvalidArgument if it precedes the last event.
+  Status AddEvent(MidiEvent event);
+
+  /// Convenience: emits a NoteOn at `tick` and NoteOff at
+  /// `tick + duration` (events are kept sorted, so interleaved calls
+  /// must be made in tick order of the *on* events; offs are inserted
+  /// in place).
+  Status AddNote(int64_t tick, int64_t duration, uint8_t note,
+                 uint8_t velocity = 96, uint8_t channel = 0);
+
+  /// Sets the instrument (program) of a channel at tick 0.
+  Status SetProgram(uint8_t channel, int32_t program);
+
+  int64_t LastTick() const;
+
+  /// Seconds per division tick at the initial tempo.
+  double SecondsPerTick() const {
+    return 60.0 / (tempo_bpm_ * division_);
+  }
+  double DurationSeconds() const { return LastTick() * SecondsPerTick(); }
+
+  /// The Def. 2 time system of this sequence: frequency =
+  /// division * bpm / 60 ticks per second.
+  TimeSystem time_system() const;
+
+  /// As an event-based timed stream (d_i = 0 for all i); element
+  /// payloads are the serialized events, element descriptors carry the
+  /// event kind.
+  Result<TimedStream> ToEventStream() const;
+
+  /// As a non-continuous *note* stream: one element per note with the
+  /// note's true duration — overlapping elements for chords (the
+  /// paper's §3.3 example of overlap).
+  Result<TimedStream> ToNoteStream() const;
+
+  /// Rebuilds a sequence from an event stream produced by
+  /// ToEventStream().
+  static Result<MidiSequence> FromEventStream(const TimedStream& stream);
+
+  void Serialize(BinaryWriter* writer) const;
+  static Result<MidiSequence> Deserialize(BinaryReader* reader);
+
+ private:
+  int32_t division_ = 480;
+  double tempo_bpm_ = 120.0;
+  std::vector<MidiEvent> events_;
+};
+
+}  // namespace tbm
+
+#endif  // TBM_MIDI_MIDI_H_

@@ -1,0 +1,93 @@
+#include "playback/admission.h"
+
+#include <algorithm>
+
+#include "base/macros.h"
+
+namespace tbm {
+
+RateProfile MeasureRateProfile(const TimedStream& stream) {
+  RateProfile profile;
+  double seconds = stream.DurationSeconds().ToDouble();
+  if (stream.empty() || seconds <= 0.0) {
+    // Degenerate streams (still images, events only): everything is a
+    // burst; average over zero time is reported as the byte total.
+    profile.average_bytes_per_second = static_cast<double>(stream.TotalBytes());
+    profile.peak_bytes_per_second = profile.average_bytes_per_second;
+    return profile;
+  }
+  profile.average_bytes_per_second = stream.MeanDataRate();
+
+  // Peak over sliding 1-second windows: two-pointer sweep anchored at
+  // each element's start.
+  const int64_t window = stream.time_system().FromSeconds(Rational(1));
+  uint64_t window_bytes = 0;
+  size_t tail = 0;
+  for (size_t head = 0; head < stream.size(); ++head) {
+    window_bytes += stream.at(head).data.size();
+    while (stream.at(tail).start + window <= stream.at(head).start) {
+      window_bytes -= stream.at(tail).data.size();
+      ++tail;
+    }
+    profile.peak_bytes_per_second =
+        std::max(profile.peak_bytes_per_second,
+                 static_cast<double>(window_bytes));
+  }
+  profile.peak_bytes_per_second =
+      std::max(profile.peak_bytes_per_second,
+               profile.average_bytes_per_second);
+  return profile;
+}
+
+void AnnotateRateProfile(MediaDescriptor* descriptor,
+                         const RateProfile& profile) {
+  descriptor->attrs.SetDouble("average data rate",
+                              profile.average_bytes_per_second);
+  descriptor->attrs.SetDouble("peak data rate",
+                              profile.peak_bytes_per_second);
+}
+
+Result<RateProfile> RateProfileFromDescriptor(
+    const MediaDescriptor& descriptor) {
+  RateProfile profile;
+  TBM_ASSIGN_OR_RETURN(profile.average_bytes_per_second,
+                       descriptor.attrs.GetDouble("average data rate"));
+  TBM_ASSIGN_OR_RETURN(profile.peak_bytes_per_second,
+                       descriptor.attrs.GetDouble("peak data rate"));
+  return profile;
+}
+
+Status AdmissionController::Admit(const std::string& session,
+                                  const MediaDescriptor& descriptor) {
+  if (sessions_.count(session) > 0) {
+    return Status::AlreadyExists("session \"" + session +
+                                 "\" already admitted");
+  }
+  TBM_ASSIGN_OR_RETURN(RateProfile profile,
+                       RateProfileFromDescriptor(descriptor));
+  double booking = BookingFor(profile);
+  if (booking <= 0.0) {
+    return Status::InvalidArgument("descriptor has non-positive data rate");
+  }
+  if (booked_ + booking > capacity_) {
+    return Status::ResourceExhausted(
+        "admitting \"" + session + "\" needs " + HumanRate(booking) +
+        " but only " + HumanRate(available()) + " of " +
+        HumanRate(capacity_) + " remain");
+  }
+  booked_ += booking;
+  sessions_.emplace(session, booking);
+  return Status::OK();
+}
+
+Status AdmissionController::Release(const std::string& session) {
+  auto it = sessions_.find(session);
+  if (it == sessions_.end()) {
+    return Status::NotFound("no session \"" + session + "\"");
+  }
+  booked_ -= it->second;
+  sessions_.erase(it);
+  return Status::OK();
+}
+
+}  // namespace tbm

@@ -1,0 +1,128 @@
+#include "playback/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace tbm {
+
+namespace {
+
+struct Job {
+  double deadline_us;  ///< Ideal presentation instant (pre-buffer).
+  double bytes;
+  size_t stream;
+  double presented_us = 0.0;
+};
+
+uint64_t XorShift(uint64_t* state) {
+  uint64_t x = *state;
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  *state = x;
+  return x;
+}
+
+double Uniform(uint64_t* state) {
+  return static_cast<double>(XorShift(state) >> 11) /
+         static_cast<double>(1ull << 53);
+}
+
+}  // namespace
+
+Result<PlaybackReport> SimulatePlayback(
+    const std::vector<const TimedStream*>& streams,
+    const PlaybackConfig& config) {
+  if (streams.empty()) {
+    return Status::InvalidArgument("no streams to play");
+  }
+  if (config.seconds_per_megabyte < 0 || config.buffer_delay_ms < 0) {
+    return Status::InvalidArgument("bad playback configuration");
+  }
+
+  // Collect jobs with deadlines on the shared master clock.
+  std::vector<Job> jobs;
+  for (size_t s = 0; s < streams.size(); ++s) {
+    const TimedStream* stream = streams[s];
+    if (stream == nullptr) {
+      return Status::InvalidArgument("null stream");
+    }
+    for (const StreamElement& element : *stream) {
+      Job job;
+      job.deadline_us =
+          stream->time_system().ToSecondsF(element.start) * 1e6;
+      job.bytes = static_cast<double>(element.data.size());
+      job.stream = s;
+      jobs.push_back(job);
+    }
+  }
+  if (jobs.empty()) {
+    return Status::InvalidArgument("streams contain no elements");
+  }
+  std::stable_sort(jobs.begin(), jobs.end(), [](const Job& a, const Job& b) {
+    return a.deadline_us < b.deadline_us;
+  });
+
+  // Single service pipeline in deadline order.
+  const double buffer_us = config.buffer_delay_ms * 1000.0;
+  uint64_t noise_state = config.seed ? config.seed : 1;
+  double pipeline_free_us = 0.0;
+  double busy_us = 0.0;
+  for (Job& job : jobs) {
+    double service_us = job.bytes / (1024.0 * 1024.0) *
+                            config.seconds_per_megabyte * 1e6 +
+                        config.per_element_overhead_us +
+                        config.load_noise_us * Uniform(&noise_state);
+    double ready_us = pipeline_free_us + service_us;
+    pipeline_free_us = ready_us;
+    busy_us += service_us;
+    double shifted_deadline = job.deadline_us + buffer_us;
+    job.presented_us = std::max(ready_us, shifted_deadline);
+  }
+
+  PlaybackReport report;
+  report.streams.assign(streams.size(), StreamReport{});
+  double total_lateness = 0.0;
+  double span_end = 0.0;
+  // Sync skew: group jobs by ideal deadline bucket (1 ms) and compare
+  // presentation instants across streams.
+  std::map<int64_t, std::pair<double, double>> skew_buckets;  // min,max.
+  for (const Job& job : jobs) {
+    StreamReport& sr = report.streams[job.stream];
+    double lateness =
+        std::max(0.0, job.presented_us - (job.deadline_us + buffer_us));
+    ++sr.elements;
+    ++report.total_elements;
+    sr.mean_lateness_us += lateness;
+    total_lateness += lateness;
+    sr.max_lateness_us = std::max(sr.max_lateness_us, lateness);
+    report.max_lateness_us = std::max(report.max_lateness_us, lateness);
+    if (lateness > config.miss_tolerance_us) {
+      ++sr.deadline_misses;
+      ++report.total_misses;
+    }
+    span_end = std::max(span_end, job.presented_us);
+    if (streams.size() > 1) {
+      int64_t bucket = static_cast<int64_t>(job.deadline_us / 1000.0);
+      auto [it, inserted] = skew_buckets.try_emplace(
+          bucket, std::make_pair(job.presented_us, job.presented_us));
+      if (!inserted) {
+        it->second.first = std::min(it->second.first, job.presented_us);
+        it->second.second = std::max(it->second.second, job.presented_us);
+      }
+    }
+  }
+  for (StreamReport& sr : report.streams) {
+    if (sr.elements > 0) sr.mean_lateness_us /= sr.elements;
+  }
+  report.mean_lateness_us = total_lateness / report.total_elements;
+  for (const auto& [bucket, min_max] : skew_buckets) {
+    report.max_sync_skew_us =
+        std::max(report.max_sync_skew_us, min_max.second - min_max.first);
+  }
+  report.utilization = span_end > 0 ? busy_us / span_end : 0.0;
+  return report;
+}
+
+}  // namespace tbm

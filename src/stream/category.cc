@@ -1,0 +1,115 @@
+#include "stream/category.h"
+
+#include "base/macros.h"
+
+namespace tbm {
+
+std::string StreamCategories::ToString() const {
+  std::string out = homogeneous ? "homogeneous" : "heterogeneous";
+  // Report the most specific continuity-related category, mirroring the
+  // paper's descriptors ("homogeneous, constant frequency",
+  // "homogeneous, uniform").
+  if (event_based) {
+    out += ", event-based";
+  } else if (uniform) {
+    out += ", uniform";
+  } else if (constant_data_rate && constant_frequency) {
+    out += ", constant frequency, constant data rate";
+  } else if (constant_frequency) {
+    out += ", constant frequency";
+  } else if (constant_data_rate) {
+    out += ", constant data rate";
+  } else if (continuous) {
+    out += ", continuous";
+  } else {
+    out += ", non-continuous";
+  }
+  return out;
+}
+
+StreamCategories Classify(const TimedStream& stream) {
+  StreamCategories c;
+  const auto& elements = stream.elements();
+  if (elements.empty()) {
+    c.constant_frequency = true;
+    c.constant_data_rate = true;
+    c.uniform = true;
+    return c;
+  }
+
+  c.event_based = true;
+  bool constant_duration = true;
+  bool constant_size = true;
+  bool constant_ratio = true;
+  const int64_t d0 = elements.front().duration;
+  const size_t size0 = elements.front().data.size();
+
+  for (size_t i = 0; i < elements.size(); ++i) {
+    const StreamElement& e = elements[i];
+    if (e.duration != 0) c.event_based = false;
+    if (e.duration != d0) constant_duration = false;
+    if (e.data.size() != size0) constant_size = false;
+    if (!(e.descriptor == elements.front().descriptor)) c.homogeneous = false;
+    if (i + 1 < elements.size() &&
+        elements[i + 1].start != e.start + e.duration) {
+      c.continuous = false;
+    }
+    // Constant data rate: size_i / d_i constant. Cross-multiplied to
+    // stay in integers: size_i * d_0 == size_0 * d_i.
+    if (e.duration == 0 || d0 == 0) {
+      if (e.duration != d0) constant_ratio = false;
+    } else if (static_cast<__int128>(e.data.size()) * d0 !=
+               static_cast<__int128>(size0) * e.duration) {
+      constant_ratio = false;
+    }
+  }
+
+  c.constant_frequency = c.continuous && constant_duration && d0 > 0;
+  c.constant_data_rate = c.continuous && constant_ratio && d0 > 0;
+  c.uniform = c.continuous && constant_duration && constant_size && d0 > 0;
+  return c;
+}
+
+Status ValidateAgainstType(const TimedStream& stream,
+                           const MediaTypeRegistry& registry) {
+  TBM_ASSIGN_OR_RETURN(MediaType type,
+                       registry.Find(stream.descriptor().type_name));
+  TBM_RETURN_IF_ERROR(type.ValidateDescriptor(stream.descriptor().attrs));
+
+  if (type.fixed_time_system().has_value() &&
+      stream.time_system() != *type.fixed_time_system()) {
+    return Status::InvalidArgument(
+        "type " + type.name() + " requires time system " +
+        type.fixed_time_system()->ToString() + ", stream uses " +
+        stream.time_system().ToString());
+  }
+
+  StreamCategories cats = Classify(stream);
+  if (type.requires_continuous() && !cats.continuous) {
+    return Status::InvalidArgument("type " + type.name() +
+                                   " requires a continuous stream");
+  }
+  if (type.event_based() && !stream.empty() && !cats.event_based) {
+    return Status::InvalidArgument("type " + type.name() +
+                                   " requires an event-based stream");
+  }
+  if (type.fixed_element_duration().has_value()) {
+    for (size_t i = 0; i < stream.size(); ++i) {
+      if (stream.at(i).duration != *type.fixed_element_duration()) {
+        return Status::InvalidArgument(
+            "type " + type.name() + " requires element duration " +
+            std::to_string(*type.fixed_element_duration()) + "; element " +
+            std::to_string(i) + " has " +
+            std::to_string(stream.at(i).duration));
+      }
+    }
+  }
+  for (size_t i = 0; i < stream.size(); ++i) {
+    TBM_RETURN_IF_ERROR(
+        type.ValidateElementDescriptor(stream.at(i).descriptor)
+            .WithContext("element " + std::to_string(i)));
+  }
+  return Status::OK();
+}
+
+}  // namespace tbm

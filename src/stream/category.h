@@ -1,0 +1,59 @@
+#ifndef TBM_STREAM_CATEGORY_H_
+#define TBM_STREAM_CATEGORY_H_
+
+#include <string>
+
+#include "stream/timed_stream.h"
+
+namespace tbm {
+
+/// The timed-stream categories of paper §3.3 / Figure 1.
+///
+/// Definitions (n = element count):
+///  - homogeneous:        element descriptors are constant
+///  - heterogeneous:      element descriptors vary (¬homogeneous)
+///  - continuous:         s_{i+1} = s_i + d_i for i = 1..n-1
+///  - non-continuous:     s_{i+1} ≷ s_i + d_i for some i (gaps/overlaps)
+///  - event-based:        d_i = 0 for all i
+///  - constant frequency: continuous and element duration constant
+///  - constant data rate: continuous and size/duration ratio constant
+///  - uniform:            continuous and size and duration both constant
+struct StreamCategories {
+  bool homogeneous = true;
+  bool continuous = true;
+  bool event_based = false;
+  bool constant_frequency = false;
+  bool constant_data_rate = false;
+  bool uniform = false;
+
+  bool heterogeneous() const { return !homogeneous; }
+  bool non_continuous() const { return !continuous; }
+
+  /// Comma-separated category list in the paper's descriptor style,
+  /// e.g. "homogeneous, constant frequency" or "homogeneous, uniform".
+  std::string ToString() const;
+
+  friend bool operator==(const StreamCategories&,
+                         const StreamCategories&) = default;
+};
+
+/// Classifies a stream into the Figure 1 categories by inspecting its
+/// elements. Empty and single-element streams classify as homogeneous,
+/// continuous and uniform (all universally-quantified predicates hold
+/// vacuously); an empty stream is not event-based.
+StreamCategories Classify(const TimedStream& stream);
+
+/// Checks a stream against the constraints its media type imposes
+/// (paper §3.3: "a media type imposes restrictions on the form of
+/// timed streams based on that type"):
+///  - fixed time system (e.g. CD audio forces D_44100),
+///  - required continuity,
+///  - fixed element duration (e.g. d_i = 1 for CD audio),
+///  - event-basedness,
+///  - element descriptors valid per the type's element spec.
+Status ValidateAgainstType(const TimedStream& stream,
+                           const MediaTypeRegistry& registry);
+
+}  // namespace tbm
+
+#endif  // TBM_STREAM_CATEGORY_H_

@@ -1,0 +1,97 @@
+#include "stream/timed_stream.h"
+
+#include <algorithm>
+
+namespace tbm {
+
+Status TimedStream::Append(StreamElement element) {
+  if (element.duration < 0) {
+    return Status::InvalidArgument("element duration must be >= 0, got " +
+                                   std::to_string(element.duration));
+  }
+  if (!elements_.empty() && element.start < elements_.back().start) {
+    return Status::InvalidArgument(
+        "element start " + std::to_string(element.start) +
+        " precedes previous start " +
+        std::to_string(elements_.back().start) +
+        " (Def. 3 requires s_{i+1} >= s_i)");
+  }
+  max_end_ = std::max(max_end_, element.start + element.duration);
+  elements_.push_back(std::move(element));
+  return Status::OK();
+}
+
+Status TimedStream::AppendContiguous(Bytes data, int64_t duration,
+                                     ElementDescriptor descriptor) {
+  StreamElement e;
+  e.data = std::move(data);
+  e.duration = duration;
+  e.start = elements_.empty()
+                ? 0
+                : elements_.back().start + elements_.back().duration;
+  e.descriptor = std::move(descriptor);
+  return Append(std::move(e));
+}
+
+Status TimedStream::AppendEvent(Bytes data, int64_t start,
+                                ElementDescriptor descriptor) {
+  StreamElement e;
+  e.data = std::move(data);
+  e.start = start;
+  e.duration = 0;
+  e.descriptor = std::move(descriptor);
+  return Append(std::move(e));
+}
+
+int64_t TimedStream::StartTime() const {
+  return elements_.empty() ? 0 : elements_.front().start;
+}
+
+int64_t TimedStream::EndTime() const {
+  return elements_.empty() ? 0 : max_end_;
+}
+
+uint64_t TimedStream::TotalBytes() const {
+  uint64_t total = 0;
+  for (const StreamElement& e : elements_) total += e.data.size();
+  return total;
+}
+
+double TimedStream::MeanDataRate() const {
+  double seconds = DurationSeconds().ToDouble();
+  if (seconds <= 0.0) return 0.0;
+  return static_cast<double>(TotalBytes()) / seconds;
+}
+
+Result<size_t> TimedStream::ElementAtTime(int64_t t) const {
+  // Elements are sorted by start. Find the first element with
+  // start > t, then scan backwards for a span containing t. The
+  // backward scan is needed for overlapping elements (chords); for
+  // continuous media it terminates after one step.
+  auto it = std::upper_bound(
+      elements_.begin(), elements_.end(), t,
+      [](int64_t value, const StreamElement& e) { return value < e.start; });
+  while (it != elements_.begin()) {
+    --it;
+    if (it->span().Contains(t) || (it->duration == 0 && it->start == t)) {
+      return static_cast<size_t>(it - elements_.begin());
+    }
+  }
+  return Status::NotFound("no element at time " + std::to_string(t));
+}
+
+std::vector<size_t> TimedStream::ElementsInSpan(TickSpan span) const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < elements_.size(); ++i) {
+    const StreamElement& e = elements_[i];
+    if (e.duration == 0) {
+      if (span.Contains(e.start)) out.push_back(i);
+    } else if (e.span().Overlaps(span)) {
+      out.push_back(i);
+    }
+    if (e.start >= span.end()) break;
+  }
+  return out;
+}
+
+}  // namespace tbm

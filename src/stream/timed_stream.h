@@ -1,0 +1,112 @@
+#ifndef TBM_STREAM_TIMED_STREAM_H_
+#define TBM_STREAM_TIMED_STREAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/bytes.h"
+#include "base/result.h"
+#include "media/descriptor.h"
+#include "time/time_system.h"
+
+namespace tbm {
+
+/// One tuple <e_i, s_i, d_i> of a timed stream (paper Definition 3):
+/// a media element `data`, its start time and its duration, both
+/// measured as discrete time values of the stream's time system. The
+/// optional per-element descriptor carries attributes that vary element
+/// to element (heterogeneous streams); it is empty in homogeneous
+/// streams, whose elements are fully described by the media descriptor.
+struct StreamElement {
+  Bytes data;
+  int64_t start = 0;
+  int64_t duration = 0;
+  ElementDescriptor descriptor;
+
+  TickSpan span() const { return TickSpan{start, duration}; }
+};
+
+/// A timed stream (paper Definition 3): a finite sequence of tuples
+/// <e_i, s_i, d_i>, i = 1..n, based on a media type T and a discrete
+/// time system D. Start times and durations satisfy the paper's
+/// invariant s_{i+1} >= s_i and d_i >= 0, enforced on every append.
+///
+/// The start time of an element is *scheduling* information — when the
+/// element should be presented relative to the others — not a capture
+/// timestamp (paper §5 contrasts this with temporal databases).
+class TimedStream {
+ public:
+  TimedStream() = default;
+
+  /// A stream over `descriptor`'s media type using `time_system`.
+  TimedStream(MediaDescriptor descriptor, TimeSystem time_system)
+      : descriptor_(std::move(descriptor)), time_system_(time_system) {}
+
+  const MediaDescriptor& descriptor() const { return descriptor_; }
+  MediaDescriptor* mutable_descriptor() { return &descriptor_; }
+  const TimeSystem& time_system() const { return time_system_; }
+
+  /// Appends an element; InvalidArgument if it violates the Def. 3
+  /// ordering invariant (start < previous start, or negative duration).
+  Status Append(StreamElement element);
+
+  /// Appends an element immediately after the current last element
+  /// (s = previous end, or 0 for the first element) — the common case
+  /// for continuous media.
+  Status AppendContiguous(Bytes data, int64_t duration,
+                          ElementDescriptor descriptor = {});
+
+  /// Appends a duration-less event at `start` (event-based streams).
+  Status AppendEvent(Bytes data, int64_t start,
+                     ElementDescriptor descriptor = {});
+
+  size_t size() const { return elements_.size(); }
+  bool empty() const { return elements_.empty(); }
+  const StreamElement& at(size_t i) const { return elements_[i]; }
+  const std::vector<StreamElement>& elements() const { return elements_; }
+
+  auto begin() const { return elements_.begin(); }
+  auto end() const { return elements_.end(); }
+
+  /// First start time s_1 (0 for empty streams).
+  int64_t StartTime() const;
+
+  /// End of the stream's span: max over i of s_i + d_i. For an
+  /// event-based stream this is the last event time.
+  int64_t EndTime() const;
+
+  /// EndTime() - StartTime(), in ticks.
+  int64_t DurationTicks() const { return EndTime() - StartTime(); }
+
+  /// Span duration in seconds under the stream's time system.
+  Rational DurationSeconds() const {
+    return time_system_.ToSeconds(DurationTicks());
+  }
+
+  /// Total payload bytes across all elements.
+  uint64_t TotalBytes() const;
+
+  /// Mean data rate in bytes per second over the stream span
+  /// (0 for empty or zero-duration streams).
+  double MeanDataRate() const;
+
+  /// Index of the element whose span contains discrete time `t`
+  /// (binary search over start times; NotFound if `t` falls in a gap
+  /// or outside the stream). When elements overlap, returns the
+  /// latest-starting element containing `t` (the most specific match).
+  Result<size_t> ElementAtTime(int64_t t) const;
+
+  /// Indexes of all elements whose spans intersect `span`, plus events
+  /// (d = 0) with start inside it.
+  std::vector<size_t> ElementsInSpan(TickSpan span) const;
+
+ private:
+  MediaDescriptor descriptor_;
+  TimeSystem time_system_;
+  std::vector<StreamElement> elements_;
+  int64_t max_end_ = 0;
+};
+
+}  // namespace tbm
+
+#endif  // TBM_STREAM_TIMED_STREAM_H_

@@ -1,0 +1,65 @@
+#include "text/captions.h"
+
+#include "base/macros.h"
+
+namespace tbm {
+
+Status CaptionTrack::Add(int64_t start, int64_t duration, std::string text) {
+  if (duration <= 0) {
+    return Status::InvalidArgument("caption duration must be positive");
+  }
+  if (text.empty()) {
+    return Status::InvalidArgument("caption text must not be empty");
+  }
+  if (!captions_.empty()) {
+    const Caption& prev = captions_.back();
+    if (start < prev.start + prev.duration) {
+      return Status::InvalidArgument(
+          "captions must not overlap (previous ends at " +
+          std::to_string(prev.start + prev.duration) + ")");
+    }
+  }
+  captions_.push_back(Caption{start, duration, std::move(text)});
+  return Status::OK();
+}
+
+Result<const Caption*> CaptionTrack::At(int64_t tick) const {
+  for (const Caption& caption : captions_) {
+    if (tick >= caption.start && tick < caption.start + caption.duration) {
+      return &caption;
+    }
+    if (caption.start > tick) break;
+  }
+  return Status::NotFound("no caption at tick " + std::to_string(tick));
+}
+
+Result<TimedStream> CaptionTrack::ToTimedStream() const {
+  MediaDescriptor desc;
+  desc.type_name = "text/captions";
+  desc.kind = MediaKind::kText;
+  desc.attrs.SetString("charset", "UTF-8");
+  TimedStream stream(desc, time_system_);
+  for (const Caption& caption : captions_) {
+    StreamElement element;
+    element.data.assign(caption.text.begin(), caption.text.end());
+    element.start = caption.start;
+    element.duration = caption.duration;
+    TBM_RETURN_IF_ERROR(stream.Append(std::move(element)));
+  }
+  return stream;
+}
+
+Result<CaptionTrack> CaptionTrack::FromTimedStream(const TimedStream& stream) {
+  if (stream.descriptor().type_name != "text/captions") {
+    return Status::InvalidArgument("not a caption stream");
+  }
+  CaptionTrack track(stream.time_system());
+  for (const StreamElement& element : stream) {
+    TBM_RETURN_IF_ERROR(track.Add(
+        element.start, element.duration,
+        std::string(element.data.begin(), element.data.end())));
+  }
+  return track;
+}
+
+}  // namespace tbm

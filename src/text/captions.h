@@ -1,0 +1,55 @@
+#ifndef TBM_TEXT_CAPTIONS_H_
+#define TBM_TEXT_CAPTIONS_H_
+
+#include <string>
+#include <vector>
+
+#include "stream/timed_stream.h"
+
+namespace tbm {
+
+/// Timed text: captions/subtitles as a time-based medium.
+///
+/// Captions are a textbook non-continuous timed stream — elements
+/// appear when someone speaks and there are gaps between them — and
+/// they exercise the text member of the paper's media kinds. A caption
+/// track converts to/from a "text/captions" timed stream (for storage
+/// through interpretations like any other medium), and burning a track
+/// into video is a two-argument content-changing derivation.
+struct Caption {
+  int64_t start = 0;     ///< Ticks in the track's time system.
+  int64_t duration = 0;  ///< Ticks on screen.
+  std::string text;
+
+  friend bool operator==(const Caption&, const Caption&) = default;
+};
+
+class CaptionTrack {
+ public:
+  CaptionTrack() = default;
+  explicit CaptionTrack(TimeSystem time_system) : time_system_(time_system) {}
+
+  const TimeSystem& time_system() const { return time_system_; }
+  const std::vector<Caption>& captions() const { return captions_; }
+
+  /// Adds a caption; captions must be appended in start order and must
+  /// not overlap the previous one (one caption on screen at a time).
+  Status Add(int64_t start, int64_t duration, std::string text);
+
+  /// The caption visible at `tick`, or NotFound during silence.
+  Result<const Caption*> At(int64_t tick) const;
+
+  /// As a "text/captions" timed stream (non-continuous; element data
+  /// is the UTF-8 text).
+  Result<TimedStream> ToTimedStream() const;
+
+  static Result<CaptionTrack> FromTimedStream(const TimedStream& stream);
+
+ private:
+  TimeSystem time_system_ = TimeSystem(1000);
+  std::vector<Caption> captions_;
+};
+
+}  // namespace tbm
+
+#endif  // TBM_TEXT_CAPTIONS_H_

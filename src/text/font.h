@@ -1,0 +1,42 @@
+#ifndef TBM_TEXT_FONT_H_
+#define TBM_TEXT_FONT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "codec/image.h"
+
+namespace tbm {
+
+/// A built-in 5×7 bitmap font covering printable ASCII (uppercase
+/// letters, digits, punctuation; lowercase maps to uppercase). Used to
+/// rasterize captions and labels without external font dependencies.
+///
+/// Glyphs are 5 columns × 7 rows; rendering adds one column of
+/// inter-glyph spacing.
+namespace font5x7 {
+
+inline constexpr int kGlyphWidth = 5;
+inline constexpr int kGlyphHeight = 7;
+inline constexpr int kAdvance = kGlyphWidth + 1;
+
+/// Returns the 7 row-bitmasks (bit 4 = leftmost pixel) for `c`.
+/// Unknown characters render as a filled box.
+const uint8_t* Glyph(char c);
+
+/// Pixel width of a rendered string at `scale`.
+int32_t TextWidth(const std::string& text, int scale = 1);
+/// Pixel height at `scale`.
+int32_t TextHeight(int scale = 1);
+
+/// Draws `text` onto `image` (RGB) at (x, y) top-left in the given
+/// color, scaling each font pixel to scale×scale. Clips at the image
+/// border.
+Status DrawText(Image* image, const std::string& text, int32_t x, int32_t y,
+                uint8_t r, uint8_t g, uint8_t b, int scale = 1);
+
+}  // namespace font5x7
+
+}  // namespace tbm
+
+#endif  // TBM_TEXT_FONT_H_

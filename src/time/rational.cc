@@ -1,0 +1,156 @@
+#include "time/rational.h"
+
+#include <cassert>
+#include <cstdlib>
+#include <numeric>
+
+namespace tbm {
+
+namespace {
+
+using Int128 = __int128;
+
+// Reduces a 128-bit fraction to a normalized 64-bit Rational. Values in
+// this library come from media frequencies and frame counts, so after
+// gcd reduction they always fit; assert as a backstop.
+Rational Reduce128(Int128 num, Int128 den) {
+  assert(den != 0);
+  if (den < 0) {
+    num = -num;
+    den = -den;
+  }
+  Int128 a = num < 0 ? -num : num;
+  Int128 b = den;
+  while (b != 0) {
+    Int128 t = a % b;
+    a = b;
+    b = t;
+  }
+  if (a != 0) {
+    num /= a;
+    den /= a;
+  }
+  assert(num <= INT64_MAX && num >= INT64_MIN && den <= INT64_MAX);
+  return Rational(static_cast<int64_t>(num), static_cast<int64_t>(den));
+}
+
+}  // namespace
+
+Rational::Rational(int64_t num, int64_t den) {
+  assert(den != 0);
+  if (den == 0) {  // Release-build fallback: treat as zero.
+    num_ = 0;
+    den_ = 1;
+    return;
+  }
+  if (den < 0) {
+    num = -num;
+    den = -den;
+  }
+  int64_t g = std::gcd(num < 0 ? -num : num, den);
+  if (g > 1) {
+    num /= g;
+    den /= g;
+  }
+  num_ = num;
+  den_ = den;
+}
+
+std::string Rational::ToString() const {
+  if (den_ == 1) return std::to_string(num_);
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+Rational Rational::operator-() const { return Rational(-num_, den_); }
+
+Rational Rational::operator+(const Rational& o) const {
+  return Reduce128(static_cast<Int128>(num_) * o.den_ +
+                       static_cast<Int128>(o.num_) * den_,
+                   static_cast<Int128>(den_) * o.den_);
+}
+
+Rational Rational::operator-(const Rational& o) const {
+  return Reduce128(static_cast<Int128>(num_) * o.den_ -
+                       static_cast<Int128>(o.num_) * den_,
+                   static_cast<Int128>(den_) * o.den_);
+}
+
+Rational Rational::operator*(const Rational& o) const {
+  return Reduce128(static_cast<Int128>(num_) * o.num_,
+                   static_cast<Int128>(den_) * o.den_);
+}
+
+Rational Rational::operator/(const Rational& o) const {
+  assert(!o.IsZero());
+  if (o.IsZero()) return Rational();
+  return Reduce128(static_cast<Int128>(num_) * o.den_,
+                   static_cast<Int128>(den_) * o.num_);
+}
+
+Rational Rational::Reciprocal() const {
+  assert(num_ != 0);
+  if (num_ == 0) return Rational();
+  return Rational(den_, num_);
+}
+
+Rational Rational::Abs() const {
+  return num_ < 0 ? Rational(-num_, den_) : *this;
+}
+
+int64_t Rational::Floor() const {
+  int64_t q = num_ / den_;
+  if (num_ % den_ != 0 && num_ < 0) --q;
+  return q;
+}
+
+int64_t Rational::Ceil() const {
+  int64_t q = num_ / den_;
+  if (num_ % den_ != 0 && num_ > 0) ++q;
+  return q;
+}
+
+int64_t Rational::Round() const {
+  // Half away from zero: floor(|x| + 1/2) with sign reapplied.
+  Int128 twice = static_cast<Int128>(num_) * 2;
+  Int128 d = den_;
+  if (num_ >= 0) {
+    return static_cast<int64_t>((twice + d) / (2 * d));
+  }
+  return -static_cast<int64_t>((-twice + d) / (2 * d));
+}
+
+bool operator<(const Rational& a, const Rational& b) {
+  return static_cast<Int128>(a.num_) * b.den_ <
+         static_cast<Int128>(b.num_) * a.den_;
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& r) {
+  return os << r.ToString();
+}
+
+int64_t RescaleTicks(int64_t ticks, const Rational& factor,
+                     Rounding rounding) {
+  Int128 num = static_cast<Int128>(ticks) * factor.num();
+  Int128 den = factor.den();  // Always > 0.
+  Int128 q = num / den;
+  Int128 r = num % den;
+  switch (rounding) {
+    case Rounding::kFloor:
+      if (r != 0 && num < 0) --q;
+      break;
+    case Rounding::kCeil:
+      if (r != 0 && num > 0) ++q;
+      break;
+    case Rounding::kNearest: {
+      Int128 ar = r < 0 ? -r : r;
+      if (2 * ar >= den) {
+        q += num >= 0 ? 1 : -1;
+      }
+      break;
+    }
+  }
+  assert(q <= INT64_MAX && q >= INT64_MIN);
+  return static_cast<int64_t>(q);
+}
+
+}  // namespace tbm

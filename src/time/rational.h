@@ -1,0 +1,105 @@
+#ifndef TBM_TIME_RATIONAL_H_
+#define TBM_TIME_RATIONAL_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace tbm {
+
+/// Exact rational number with 64-bit numerator and denominator.
+///
+/// Time-based media demands exact frequency arithmetic: NTSC video runs
+/// at 30000/1001 frames per second, and representing that as 29.97
+/// drifts by a frame every few hours. All frequencies and time
+/// conversions in the library are carried as `Rational`.
+///
+/// The value is always kept normalized: gcd(|num|, den) == 1, den > 0.
+/// Intermediate products use 128-bit arithmetic so that any pair of
+/// practically occurring media frequencies can be combined without
+/// overflow.
+class Rational {
+ public:
+  /// Zero.
+  constexpr Rational() : num_(0), den_(1) {}
+
+  /// An integer value.
+  constexpr Rational(int64_t value) : num_(value), den_(1) {}  // NOLINT
+
+  /// num/den. den must be non-zero; the sign is normalized onto the
+  /// numerator and the fraction reduced.
+  Rational(int64_t num, int64_t den);
+
+  int64_t num() const { return num_; }
+  int64_t den() const { return den_; }
+
+  bool IsZero() const { return num_ == 0; }
+  bool IsNegative() const { return num_ < 0; }
+  bool IsInteger() const { return den_ == 1; }
+
+  double ToDouble() const {
+    return static_cast<double>(num_) / static_cast<double>(den_);
+  }
+
+  /// Renders as "num/den", or just "num" for integers.
+  std::string ToString() const;
+
+  Rational operator-() const;
+  Rational operator+(const Rational& o) const;
+  Rational operator-(const Rational& o) const;
+  Rational operator*(const Rational& o) const;
+  /// Division by zero is a programming error and asserts in debug
+  /// builds; release builds return zero.
+  Rational operator/(const Rational& o) const;
+
+  Rational& operator+=(const Rational& o) { return *this = *this + o; }
+  Rational& operator-=(const Rational& o) { return *this = *this - o; }
+  Rational& operator*=(const Rational& o) { return *this = *this * o; }
+  Rational& operator/=(const Rational& o) { return *this = *this / o; }
+
+  Rational Reciprocal() const;
+  Rational Abs() const;
+
+  /// Floor of the rational as an integer.
+  int64_t Floor() const;
+  /// Ceiling of the rational as an integer.
+  int64_t Ceil() const;
+  /// Round half away from zero.
+  int64_t Round() const;
+
+  friend bool operator==(const Rational& a, const Rational& b) {
+    return a.num_ == b.num_ && a.den_ == b.den_;
+  }
+  friend bool operator!=(const Rational& a, const Rational& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const Rational& a, const Rational& b);
+  friend bool operator>(const Rational& a, const Rational& b) { return b < a; }
+  friend bool operator<=(const Rational& a, const Rational& b) {
+    return !(b < a);
+  }
+  friend bool operator>=(const Rational& a, const Rational& b) {
+    return !(a < b);
+  }
+
+ private:
+  int64_t num_;
+  int64_t den_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Rational& r);
+
+/// Rounding policy for tick rescaling between time systems.
+enum class Rounding {
+  kFloor,
+  kCeil,
+  kNearest,  ///< Half away from zero.
+};
+
+/// Rescales `ticks * factor` to an integer under the given rounding,
+/// using 128-bit intermediates.
+int64_t RescaleTicks(int64_t ticks, const Rational& factor, Rounding rounding);
+
+}  // namespace tbm
+
+#endif  // TBM_TIME_RATIONAL_H_

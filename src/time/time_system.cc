@@ -1,0 +1,30 @@
+#include "time/time_system.h"
+
+namespace tbm {
+
+std::string TimeSystem::ToString() const {
+  return "D_" + frequency_.ToString();
+}
+
+std::ostream& operator<<(std::ostream& os, const TimeSystem& ts) {
+  return os << ts.ToString();
+}
+
+namespace time_systems {
+
+TimeSystem Ntsc() { return TimeSystem(Rational(30000, 1001)); }
+TimeSystem Pal() { return TimeSystem(25); }
+TimeSystem Film() { return TimeSystem(24); }
+TimeSystem CdAudio() { return TimeSystem(44100); }
+TimeSystem DatAudio() { return TimeSystem(48000); }
+TimeSystem Telephony() { return TimeSystem(8000); }
+TimeSystem MidiPpq960At120Bpm() { return TimeSystem(1920); }
+TimeSystem Millis() { return TimeSystem(1000); }
+
+}  // namespace time_systems
+
+std::ostream& operator<<(std::ostream& os, const TickSpan& span) {
+  return os << "[" << span.start << ", " << span.end() << ")";
+}
+
+}  // namespace tbm

@@ -1,0 +1,113 @@
+#ifndef TBM_TIME_TIME_SYSTEM_H_
+#define TBM_TIME_TIME_SYSTEM_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "time/rational.h"
+
+namespace tbm {
+
+/// A discrete time system D_f (paper Definition 2): the mapping
+/// `i → i / f` from integer *discrete time values* (ticks) to
+/// *continuous time values* in seconds, where `f` is the frequency of
+/// the system.
+///
+/// Frequencies are exact rationals: NTSC video is D_{30000/1001}, not
+/// D_{29.97}. Two time systems are equal iff their frequencies are
+/// equal.
+class TimeSystem {
+ public:
+  /// Default: one tick per second (D_1).
+  TimeSystem() : frequency_(1) {}
+
+  /// A system with `frequency` ticks per second; must be positive.
+  explicit TimeSystem(Rational frequency) : frequency_(frequency) {}
+
+  /// Convenience for integral frequencies (D_25, D_44100, ...).
+  explicit TimeSystem(int64_t frequency) : frequency_(frequency) {}
+
+  const Rational& frequency() const { return frequency_; }
+
+  /// The continuous duration of a single tick, in seconds (1/f).
+  Rational TickDuration() const { return frequency_.Reciprocal(); }
+
+  /// Maps a discrete time value to continuous seconds: D_f(i) = i / f.
+  Rational ToSeconds(int64_t ticks) const {
+    return Rational(ticks) / frequency_;
+  }
+
+  double ToSecondsF(int64_t ticks) const { return ToSeconds(ticks).ToDouble(); }
+
+  /// Maps continuous seconds to the discrete value under `rounding`.
+  int64_t FromSeconds(const Rational& seconds,
+                      Rounding rounding = Rounding::kNearest) const {
+    return RescaleTicks(1, seconds * frequency_, rounding);
+  }
+
+  /// Converts a tick count from this system into `target`'s ticks.
+  /// Exact when the frequencies are commensurable; otherwise rounded
+  /// per `rounding`.
+  int64_t ConvertTo(const TimeSystem& target, int64_t ticks,
+                    Rounding rounding = Rounding::kNearest) const {
+    return RescaleTicks(ticks, target.frequency_ / frequency_, rounding);
+  }
+
+  /// Renders as "D_f", e.g. "D_25", "D_30000/1001".
+  std::string ToString() const;
+
+  friend bool operator==(const TimeSystem& a, const TimeSystem& b) {
+    return a.frequency_ == b.frequency_;
+  }
+  friend bool operator!=(const TimeSystem& a, const TimeSystem& b) {
+    return !(a == b);
+  }
+
+ private:
+  Rational frequency_;
+};
+
+std::ostream& operator<<(std::ostream& os, const TimeSystem& ts);
+
+/// The time systems named in the paper (§3.3) plus common extras.
+namespace time_systems {
+
+/// North American (NTSC) video: D_29.97, exactly 30000/1001 Hz.
+TimeSystem Ntsc();
+/// European (PAL) video: D_25.
+TimeSystem Pal();
+/// Film: D_24.
+TimeSystem Film();
+/// CD audio: D_44100.
+TimeSystem CdAudio();
+/// DAT / professional audio: D_48000.
+TimeSystem DatAudio();
+/// Telephone-quality audio: D_8000.
+TimeSystem Telephony();
+/// MIDI sequencing at 960 pulses per quarter at 120 BPM = 1920 Hz.
+TimeSystem MidiPpq960At120Bpm();
+/// Milliseconds: D_1000, convenient for authoring-level timelines.
+TimeSystem Millis();
+
+}  // namespace time_systems
+
+/// A time span [start, start + duration) measured in ticks of some time
+/// system. This is the <s_i, d_i> part of a timed-stream tuple.
+struct TickSpan {
+  int64_t start = 0;
+  int64_t duration = 0;
+
+  int64_t end() const { return start + duration; }
+  bool Contains(int64_t t) const { return t >= start && t < end(); }
+  bool Overlaps(const TickSpan& o) const {
+    return start < o.end() && o.start < end();
+  }
+  friend bool operator==(const TickSpan&, const TickSpan&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const TickSpan& span);
+
+}  // namespace tbm
+
+#endif  // TBM_TIME_TIME_SYSTEM_H_

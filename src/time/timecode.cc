@@ -1,0 +1,101 @@
+#include "time/timecode.h"
+
+#include <cstdio>
+
+namespace tbm {
+
+namespace {
+
+// Frames dropped per drop event (numbers 0 and 1 of the minute).
+constexpr int64_t kDropPerMinute = 2;
+
+}  // namespace
+
+std::string Timecode::ToString() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%02d:%02d:%02d%c%02d", hours, minutes,
+                seconds, drop_frame ? ';' : ':', frames);
+  return buf;
+}
+
+Result<Timecode> FrameToTimecode(int64_t frame, int nominal_fps,
+                                 bool drop_frame) {
+  if (frame < 0) return Status::InvalidArgument("negative frame index");
+  if (nominal_fps <= 0) return Status::InvalidArgument("non-positive fps");
+  if (drop_frame && nominal_fps != 30) {
+    return Status::InvalidArgument(
+        "drop-frame timecode is defined only for nominal 30 fps");
+  }
+  int64_t fps = nominal_fps;
+  int64_t label = frame;
+  if (drop_frame) {
+    // Convert real frame count to the label count that skips 2 frame
+    // numbers per minute except every 10th minute.
+    const int64_t frames_per_10min = 10 * 60 * fps - 9 * kDropPerMinute;
+    const int64_t frames_per_min = 60 * fps - kDropPerMinute;
+    int64_t d = frame / frames_per_10min;
+    int64_t m = frame % frames_per_10min;
+    int64_t extra;
+    if (m < 60 * fps) {
+      extra = 0;  // Within the first (non-dropping boundary) minute.
+    } else {
+      extra = kDropPerMinute * (1 + (m - 60 * fps) / frames_per_min);
+    }
+    label = frame + 9 * kDropPerMinute * d + extra;
+  }
+  Timecode tc;
+  tc.nominal_fps = nominal_fps;
+  tc.drop_frame = drop_frame;
+  tc.frames = static_cast<int>(label % fps);
+  int64_t total_seconds = label / fps;
+  tc.seconds = static_cast<int>(total_seconds % 60);
+  tc.minutes = static_cast<int>((total_seconds / 60) % 60);
+  tc.hours = static_cast<int>(total_seconds / 3600);
+  return tc;
+}
+
+Result<int64_t> TimecodeToFrame(const Timecode& tc) {
+  if (tc.nominal_fps <= 0) return Status::InvalidArgument("non-positive fps");
+  if (tc.hours < 0 || tc.minutes < 0 || tc.minutes > 59 || tc.seconds < 0 ||
+      tc.seconds > 59 || tc.frames < 0 || tc.frames >= tc.nominal_fps) {
+    return Status::InvalidArgument("timecode field out of range: " +
+                                   tc.ToString());
+  }
+  if (tc.drop_frame && tc.nominal_fps != 30) {
+    return Status::InvalidArgument(
+        "drop-frame timecode is defined only for nominal 30 fps");
+  }
+  const int64_t fps = tc.nominal_fps;
+  int64_t total_minutes = 60LL * tc.hours + tc.minutes;
+  if (tc.drop_frame && tc.seconds == 0 && tc.frames < kDropPerMinute &&
+      tc.minutes % 10 != 0) {
+    return Status::InvalidArgument("timecode label does not exist "
+                                   "(dropped under drop-frame): " +
+                                   tc.ToString());
+  }
+  int64_t label = ((total_minutes * 60) + tc.seconds) * fps + tc.frames;
+  if (!tc.drop_frame) return label;
+  int64_t dropped =
+      kDropPerMinute * (total_minutes - total_minutes / 10);
+  return label - dropped;
+}
+
+Result<Timecode> ParseTimecode(const std::string& text, int nominal_fps) {
+  Timecode tc;
+  tc.nominal_fps = nominal_fps;
+  char sep = ':';
+  if (std::sscanf(text.c_str(), "%d:%d:%d%c%d", &tc.hours, &tc.minutes,
+                  &tc.seconds, &sep, &tc.frames) != 5) {
+    return Status::InvalidArgument("cannot parse timecode: " + text);
+  }
+  if (sep != ':' && sep != ';') {
+    return Status::InvalidArgument("bad timecode separator: " + text);
+  }
+  tc.drop_frame = (sep == ';');
+  // Validate via the inverse mapping.
+  auto frame = TimecodeToFrame(tc);
+  if (!frame.ok()) return frame.status();
+  return tc;
+}
+
+}  // namespace tbm

@@ -1,0 +1,49 @@
+#ifndef TBM_TIME_TIMECODE_H_
+#define TBM_TIME_TIMECODE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "base/result.h"
+#include "time/time_system.h"
+
+namespace tbm {
+
+/// SMPTE-style timecode: HH:MM:SS:FF (or HH:MM:SS;FF for drop-frame).
+///
+/// Timecode is the human-facing address space of video editing; the
+/// library uses it in editing APIs and example programs. Non-drop
+/// timecode counts frames at an integral nominal rate; drop-frame
+/// timecode (NTSC, nominal 30) skips frame numbers 0 and 1 of every
+/// minute not divisible by 10 so that wall-clock and timecode stay
+/// aligned at 29.97 fps.
+struct Timecode {
+  int hours = 0;
+  int minutes = 0;
+  int seconds = 0;
+  int frames = 0;
+  int nominal_fps = 25;     ///< Frame-number base (25 PAL, 30 NTSC, 24 film).
+  bool drop_frame = false;  ///< Only meaningful with nominal_fps == 30.
+
+  /// Renders as "HH:MM:SS:FF" (":" → ";" before FF when drop-frame).
+  std::string ToString() const;
+
+  friend bool operator==(const Timecode&, const Timecode&) = default;
+};
+
+/// Converts a frame index (0-based) to timecode.
+/// For drop-frame, `frame` still counts real frames; the timecode label
+/// skips dropped numbers.
+Result<Timecode> FrameToTimecode(int64_t frame, int nominal_fps,
+                                 bool drop_frame);
+
+/// Converts a timecode to its 0-based frame index. Rejects labels that
+/// are skipped under drop-frame counting and out-of-range fields.
+Result<int64_t> TimecodeToFrame(const Timecode& tc);
+
+/// Parses "HH:MM:SS:FF" / "HH:MM:SS;FF".
+Result<Timecode> ParseTimecode(const std::string& text, int nominal_fps);
+
+}  // namespace tbm
+
+#endif  // TBM_TIME_TIMECODE_H_

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "anim/animation.h"
+#include "stream/category.h"
+
+namespace tbm {
+namespace {
+
+AnimationScene BouncingBall() {
+  AnimationScene scene(160, 120, Rational(25));
+  SceneObject ball;
+  ball.id = 1;
+  ball.shape = ShapeKind::kCircle;
+  ball.r = 255;
+  ball.g = 40;
+  ball.b = 40;
+  ball.size = 10;
+  ball.x = 20;
+  ball.y = 20;
+  EXPECT_TRUE(scene.AddObject(ball).ok());
+  // Move right over frames [0, 25), rest during [25, 50), drop down
+  // over [50, 75).
+  EXPECT_TRUE(scene.AddMovement({0, 25, 1, 120, 20}).ok());
+  EXPECT_TRUE(scene.AddMovement({50, 25, 1, 120, 100}).ok());
+  return scene;
+}
+
+TEST(AnimTest, SceneValidation) {
+  AnimationScene scene(100, 100, Rational(25));
+  SceneObject object;
+  object.id = 1;
+  ASSERT_TRUE(scene.AddObject(object).ok());
+  EXPECT_TRUE(scene.AddObject(object).IsAlreadyExists());
+  EXPECT_TRUE(scene.AddMovement({0, 10, 99, 0, 0}).IsNotFound());
+  EXPECT_TRUE(scene.AddMovement({0, 0, 1, 0, 0}).IsInvalidArgument());
+}
+
+TEST(AnimTest, PerObjectMovementsMustNotOverlap) {
+  AnimationScene scene = BouncingBall();
+  EXPECT_TRUE(scene.AddMovement({60, 10, 1, 0, 0}).IsInvalidArgument());
+  // A second object may move during the first's movements.
+  SceneObject box;
+  box.id = 2;
+  box.shape = ShapeKind::kRectangle;
+  ASSERT_TRUE(scene.AddObject(box).ok());
+  EXPECT_TRUE(scene.AddMovement({60, 10, 2, 50, 50}).ok());
+}
+
+TEST(AnimTest, PositionInterpolatesAndRests) {
+  AnimationScene scene = BouncingBall();
+  // Start of first movement.
+  auto pos = scene.PositionAt(1, 0);
+  ASSERT_TRUE(pos.ok());
+  EXPECT_NEAR(pos->first, 20, 1e-9);
+  // Halfway through the first movement: x halfway 20 -> 120.
+  pos = scene.PositionAt(1, 12);
+  ASSERT_TRUE(pos.ok());
+  EXPECT_NEAR(pos->first, 20 + (120 - 20) * 12.0 / 25.0, 1e-9);
+  // At rest between movements: parked at the first movement's target.
+  pos = scene.PositionAt(1, 40);
+  ASSERT_TRUE(pos.ok());
+  EXPECT_NEAR(pos->first, 120, 1e-9);
+  EXPECT_NEAR(pos->second, 20, 1e-9);
+  // After everything: final position.
+  pos = scene.PositionAt(1, 1000);
+  ASSERT_TRUE(pos.ok());
+  EXPECT_NEAR(pos->second, 100, 1e-9);
+  EXPECT_TRUE(scene.PositionAt(99, 0).status().IsNotFound());
+}
+
+TEST(AnimTest, RenderPutsObjectWhereItIs) {
+  AnimationScene scene = BouncingBall();
+  auto frame = scene.RenderFrame(0);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_TRUE(frame->Validate().ok());
+  // Ball center at (20, 20) should be red.
+  const uint8_t* px =
+      frame->data.data() + 3 * (20 * frame->width + 20);
+  EXPECT_EQ(px[0], 255);
+  EXPECT_EQ(px[1], 40);
+  // A far corner is background.
+  const uint8_t* bg = frame->data.data() + 3 * (110 * frame->width + 150);
+  EXPECT_NE(bg[0], 255);
+}
+
+TEST(AnimTest, RenderedClipMoves) {
+  AnimationScene scene = BouncingBall();
+  auto clip = scene.RenderClip(30);
+  ASSERT_TRUE(clip.ok());
+  EXPECT_EQ(clip->size(), 30u);
+  EXPECT_NE((*clip)[0].data, (*clip)[20].data);  // Motion happened.
+}
+
+TEST(AnimTest, MovementStreamIsNonContinuous) {
+  AnimationScene scene = BouncingBall();
+  auto stream = scene.ToTimedStream();
+  ASSERT_TRUE(stream.ok());
+  EXPECT_EQ(stream->size(), 2u);
+  StreamCategories cats = Classify(*stream);
+  // The rest period [25, 50) is a gap: non-continuous, exactly the
+  // paper's animation example.
+  EXPECT_TRUE(cats.non_continuous());
+  EXPECT_FALSE(cats.event_based);
+}
+
+TEST(AnimTest, SceneStreamRoundTrip) {
+  AnimationScene scene = BouncingBall();
+  auto stream = scene.ToSceneStream();
+  ASSERT_TRUE(stream.ok());
+  EXPECT_EQ(stream->size(), 1u);
+  auto restored = AnimationScene::FromSceneStream(*stream);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->objects().size(), 1u);
+  EXPECT_EQ(restored->movements().size(), 2u);
+  EXPECT_EQ(restored->width(), 160);
+  // Rendering the restored scene matches the original.
+  auto a = scene.RenderFrame(12);
+  auto b = restored->RenderFrame(12);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->data, b->data);
+}
+
+TEST(AnimTest, SerializeRejectsCorruption) {
+  AnimationScene scene = BouncingBall();
+  BinaryWriter writer;
+  scene.Serialize(&writer);
+  Bytes bytes = writer.TakeBuffer();
+  bytes.resize(bytes.size() / 2);  // Truncate.
+  BinaryReader reader(bytes);
+  EXPECT_FALSE(AnimationScene::Deserialize(&reader).ok());
+}
+
+TEST(AnimTest, EndTickCoversAllMovements) {
+  AnimationScene scene = BouncingBall();
+  EXPECT_EQ(scene.EndTick(), 75);
+}
+
+}  // namespace
+}  // namespace tbm

@@ -1,0 +1,259 @@
+#include <gtest/gtest.h>
+
+#include "media/descriptor.h"
+#include "media/media_type.h"
+#include "media/quality.h"
+
+namespace tbm {
+namespace {
+
+// ---------------------------------------------------------------------------
+// AttrMap
+
+TEST(AttrMapTest, TypedSetGet) {
+  AttrMap attrs;
+  attrs.SetInt("frame rate", 25);
+  attrs.SetDouble("gain", 0.5);
+  attrs.SetBool("interlaced", false);
+  attrs.SetString("color model", "RGB");
+  attrs.SetRational("exact rate", Rational(30000, 1001));
+
+  EXPECT_EQ(*attrs.GetInt("frame rate"), 25);
+  EXPECT_EQ(*attrs.GetDouble("gain"), 0.5);
+  EXPECT_EQ(*attrs.GetBool("interlaced"), false);
+  EXPECT_EQ(*attrs.GetString("color model"), "RGB");
+  EXPECT_EQ(*attrs.GetRational("exact rate"), Rational(30000, 1001));
+  EXPECT_EQ(attrs.size(), 5u);
+}
+
+TEST(AttrMapTest, MissingIsNotFound) {
+  AttrMap attrs;
+  EXPECT_TRUE(attrs.GetInt("absent").status().IsNotFound());
+  EXPECT_FALSE(attrs.Has("absent"));
+}
+
+TEST(AttrMapTest, TypeMismatchIsInvalidArgument) {
+  AttrMap attrs;
+  attrs.SetInt("x", 1);
+  EXPECT_TRUE(attrs.GetString("x").status().IsInvalidArgument());
+  EXPECT_TRUE(attrs.GetDouble("x").status().IsInvalidArgument());
+}
+
+TEST(AttrMapTest, OverwriteChangesType) {
+  AttrMap attrs;
+  attrs.SetInt("x", 1);
+  attrs.SetString("x", "now a string");
+  EXPECT_EQ(*attrs.GetString("x"), "now a string");
+  EXPECT_EQ(attrs.size(), 1u);
+}
+
+TEST(AttrMapTest, Remove) {
+  AttrMap attrs;
+  attrs.SetInt("x", 1);
+  EXPECT_TRUE(attrs.Remove("x").ok());
+  EXPECT_TRUE(attrs.Remove("x").IsNotFound());
+}
+
+TEST(AttrMapTest, SerializeRoundTrip) {
+  AttrMap attrs;
+  attrs.SetInt("i", -42);
+  attrs.SetDouble("d", 1.5);
+  attrs.SetBool("b", true);
+  attrs.SetString("s", "text with spaces");
+  attrs.SetRational("r", Rational(-7, 3));
+
+  BinaryWriter writer;
+  attrs.Serialize(&writer);
+  BinaryReader reader(writer.buffer());
+  auto restored = AttrMap::Deserialize(&reader);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, attrs);
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(AttrMapTest, DeserializeRejectsBadTypeTag) {
+  BinaryWriter writer;
+  writer.WriteVarU64(1);
+  writer.WriteString("x");
+  writer.WriteU8(200);  // Invalid type tag.
+  BinaryReader reader(writer.buffer());
+  EXPECT_TRUE(AttrMap::Deserialize(&reader).status().IsCorruption());
+}
+
+TEST(AttrMapTest, ToStringIsDeterministicAndSorted) {
+  AttrMap attrs;
+  attrs.SetInt("zebra", 1);
+  attrs.SetInt("alpha", 2);
+  std::string text = attrs.ToString();
+  EXPECT_LT(text.find("alpha"), text.find("zebra"));
+}
+
+// ---------------------------------------------------------------------------
+// MediaType (Definition 1)
+
+TEST(MediaTypeTest, ValidatesRequiredAttributes) {
+  MediaType type("test/audio", MediaKind::kAudio);
+  type.AddDescriptorAttr({"sample rate", AttrType::kInt, true})
+      .AddDescriptorAttr({"comment", AttrType::kString, false});
+
+  AttrMap good;
+  good.SetInt("sample rate", 44100);
+  EXPECT_TRUE(type.ValidateDescriptor(good).ok());
+
+  AttrMap missing;
+  EXPECT_TRUE(type.ValidateDescriptor(missing).IsInvalidArgument());
+
+  AttrMap wrong_type;
+  wrong_type.SetString("sample rate", "44100");
+  EXPECT_TRUE(type.ValidateDescriptor(wrong_type).IsInvalidArgument());
+}
+
+TEST(MediaTypeTest, OptionalAttributesMayBeAbsentButMustTypeCheck) {
+  MediaType type("test/x", MediaKind::kImage);
+  type.AddDescriptorAttr({"note", AttrType::kString, false});
+  AttrMap empty;
+  EXPECT_TRUE(type.ValidateDescriptor(empty).ok());
+  AttrMap bad;
+  bad.SetInt("note", 3);
+  EXPECT_TRUE(type.ValidateDescriptor(bad).IsInvalidArgument());
+}
+
+TEST(MediaTypeRegistryTest, BuiltinTypesPresent) {
+  const MediaTypeRegistry& reg = MediaTypeRegistry::Builtin();
+  for (const char* name :
+       {"audio/pcm", "audio/pcm-block", "audio/adpcm", "image/raw",
+        "image/tjpeg", "video/raw", "video/tjpeg", "video/tmpeg",
+        "music/midi", "animation/scene", "text/plain"}) {
+    EXPECT_TRUE(reg.Contains(name)) << name;
+  }
+  EXPECT_FALSE(reg.Contains("video/h264"));
+  EXPECT_TRUE(reg.Find("nonexistent").status().IsNotFound());
+}
+
+TEST(MediaTypeRegistryTest, CdAudioConstraintsMatchPaper) {
+  // Paper §3.3: the CD audio type forces s_{i+1} = s_i + d_i and
+  // d_i = 1 (continuous, unit elements).
+  auto pcm = MediaTypeRegistry::Builtin().Find("audio/pcm");
+  ASSERT_TRUE(pcm.ok());
+  EXPECT_TRUE(pcm->requires_continuous());
+  ASSERT_TRUE(pcm->fixed_element_duration().has_value());
+  EXPECT_EQ(*pcm->fixed_element_duration(), 1);
+}
+
+TEST(MediaTypeRegistryTest, MidiIsEventBased) {
+  auto midi = MediaTypeRegistry::Builtin().Find("music/midi");
+  ASSERT_TRUE(midi.ok());
+  EXPECT_TRUE(midi->event_based());
+  EXPECT_EQ(midi->kind(), MediaKind::kMusic);
+}
+
+TEST(MediaTypeRegistryTest, AdpcmHasElementDescriptorSpec) {
+  // Paper §3.3: ADPCM encoding parameters "would be part of element
+  // descriptors."
+  auto adpcm = MediaTypeRegistry::Builtin().Find("audio/adpcm");
+  ASSERT_TRUE(adpcm.ok());
+  EXPECT_FALSE(adpcm->element_spec().empty());
+}
+
+TEST(MediaTypeRegistryTest, DuplicateRegistrationFails) {
+  MediaTypeRegistry reg;
+  EXPECT_TRUE(reg.Register(MediaType("a/b", MediaKind::kAudio)).ok());
+  EXPECT_TRUE(
+      reg.Register(MediaType("a/b", MediaKind::kAudio)).IsAlreadyExists());
+}
+
+// ---------------------------------------------------------------------------
+// MediaDescriptor
+
+MediaDescriptor CdAudioDescriptor() {
+  MediaDescriptor desc;
+  desc.type_name = "audio/pcm";
+  desc.kind = MediaKind::kAudio;
+  desc.attrs.SetInt("sample rate", 44100);
+  desc.attrs.SetInt("sample size", 16);
+  desc.attrs.SetInt("number of channels", 2);
+  desc.attrs.SetString("encoding", "PCM");
+  desc.attrs.SetString("quality factor", "CD quality");
+  return desc;
+}
+
+TEST(MediaDescriptorTest, ValidatesAgainstRegistry) {
+  MediaDescriptor desc = CdAudioDescriptor();
+  EXPECT_TRUE(desc.Validate(MediaTypeRegistry::Builtin()).ok());
+  desc.attrs.Remove("sample rate").ok();
+  EXPECT_TRUE(
+      desc.Validate(MediaTypeRegistry::Builtin()).IsInvalidArgument());
+}
+
+TEST(MediaDescriptorTest, KindMismatchFails) {
+  MediaDescriptor desc = CdAudioDescriptor();
+  desc.kind = MediaKind::kVideo;
+  EXPECT_TRUE(
+      desc.Validate(MediaTypeRegistry::Builtin()).IsInvalidArgument());
+}
+
+TEST(MediaDescriptorTest, ToStringResemblesPaperBox) {
+  MediaDescriptor desc = CdAudioDescriptor();
+  std::string text = desc.ToString("audio1");
+  EXPECT_NE(text.find("audio1 descriptor = {"), std::string::npos);
+  EXPECT_NE(text.find("sample rate = 44100"), std::string::npos);
+  EXPECT_NE(text.find("quality factor = \"CD quality\""), std::string::npos);
+}
+
+TEST(MediaDescriptorTest, SerializeRoundTrip) {
+  MediaDescriptor desc = CdAudioDescriptor();
+  BinaryWriter writer;
+  desc.Serialize(&writer);
+  BinaryReader reader(writer.buffer());
+  auto restored = MediaDescriptor::Deserialize(&reader);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, desc);
+}
+
+// ---------------------------------------------------------------------------
+// Quality factors (paper §2.2)
+
+TEST(QualityTest, NamedAudioQualities) {
+  auto cd = LookupAudioQuality("CD quality");
+  ASSERT_TRUE(cd.ok());
+  EXPECT_EQ(cd->sample_rate, 44100);
+  EXPECT_EQ(cd->sample_size, 16);
+  EXPECT_EQ(cd->channels, 2);
+  auto phone = LookupAudioQuality("telephone quality");
+  ASSERT_TRUE(phone.ok());
+  EXPECT_EQ(phone->sample_rate, 8000);
+  EXPECT_TRUE(LookupAudioQuality("imaginary").status().IsNotFound());
+}
+
+TEST(QualityTest, NamedVideoQualities) {
+  auto vhs = LookupVideoQuality("VHS quality");
+  ASSERT_TRUE(vhs.ok());
+  EXPECT_EQ(vhs->width, 640);
+  EXPECT_EQ(vhs->height, 480);
+  // The paper's DVI/MPEG-I reference point: VHS quality ≈ 0.5 bit/pixel.
+  EXPECT_DOUBLE_EQ(vhs->target_bpp, 0.5);
+  auto broadcast = LookupVideoQuality("broadcast quality");
+  ASSERT_TRUE(broadcast.ok());
+  EXPECT_GT(broadcast->codec_quality, vhs->codec_quality);
+}
+
+TEST(QualityTest, LaddersAreMonotone) {
+  // Better-named qualities must not decrease their parameters.
+  int64_t prev_rate = 0;
+  for (const std::string& name : AudioQualityNames()) {
+    auto q = LookupAudioQuality(name);
+    ASSERT_TRUE(q.ok());
+    EXPECT_GE(q->sample_rate, prev_rate) << name;
+    prev_rate = q->sample_rate;
+  }
+  int prev_quality = 0;
+  for (const std::string& name : VideoQualityNames()) {
+    auto q = LookupVideoQuality(name);
+    ASSERT_TRUE(q.ok());
+    EXPECT_GE(q->codec_quality, prev_quality) << name;
+    prev_quality = q->codec_quality;
+  }
+}
+
+}  // namespace
+}  // namespace tbm

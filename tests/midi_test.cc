@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "midi/midi.h"
+#include "midi/synth.h"
+#include "stream/category.h"
+
+namespace tbm {
+namespace {
+
+MidiSequence SimpleMelody() {
+  MidiSequence seq(480, 120.0);  // 480 PPQ at 120 BPM: 1 quarter = 0.5 s.
+  EXPECT_TRUE(seq.AddNote(0, 480, 60).ok());     // C4.
+  EXPECT_TRUE(seq.AddNote(480, 480, 64).ok());   // E4.
+  EXPECT_TRUE(seq.AddNote(960, 960, 67).ok());   // G4, half note.
+  return seq;
+}
+
+// ---------------------------------------------------------------------------
+// Sequence structure
+
+TEST(MidiTest, EventsKeptSorted) {
+  MidiSequence seq(480, 120.0);
+  ASSERT_TRUE(seq.AddNote(960, 480, 60).ok());
+  ASSERT_TRUE(seq.AddNote(0, 480, 62).ok());  // Earlier note added later.
+  const auto& events = seq.events();
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].tick, events[i].tick);
+  }
+  EXPECT_EQ(seq.LastTick(), 1440);
+}
+
+TEST(MidiTest, FieldValidation) {
+  MidiSequence seq(480, 120.0);
+  MidiEvent bad;
+  bad.tick = -1;
+  EXPECT_TRUE(seq.AddEvent(bad).IsInvalidArgument());
+  bad.tick = 0;
+  bad.note = 200;
+  EXPECT_TRUE(seq.AddEvent(bad).IsInvalidArgument());
+  EXPECT_TRUE(seq.AddNote(0, 0, 60).IsInvalidArgument());  // Zero duration.
+}
+
+TEST(MidiTest, DurationFollowsTempo) {
+  MidiSequence seq = SimpleMelody();
+  // Last tick 1920 = 4 quarters = 2 seconds at 120 BPM.
+  EXPECT_DOUBLE_EQ(seq.DurationSeconds(), 2.0);
+  EXPECT_EQ(seq.time_system().frequency(), Rational(480 * 120, 60));
+}
+
+TEST(MidiTest, SerializeRoundTrip) {
+  MidiSequence seq = SimpleMelody();
+  ASSERT_TRUE(seq.SetProgram(0, 4).ok());
+  BinaryWriter writer;
+  seq.Serialize(&writer);
+  BinaryReader reader(writer.buffer());
+  auto restored = MidiSequence::Deserialize(&reader);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->division(), seq.division());
+  EXPECT_EQ(restored->events(), seq.events());
+}
+
+// ---------------------------------------------------------------------------
+// Stream views (paper §3.3 examples)
+
+TEST(MidiTest, EventStreamIsEventBased) {
+  MidiSequence seq = SimpleMelody();
+  auto stream = seq.ToEventStream();
+  ASSERT_TRUE(stream.ok());
+  EXPECT_EQ(stream->size(), 6u);  // 3 notes -> 3 on + 3 off.
+  StreamCategories cats = Classify(*stream);
+  EXPECT_TRUE(cats.event_based);
+  // Element descriptors carry the event kind -> heterogeneous.
+  EXPECT_TRUE(cats.heterogeneous());
+  // Stream validates against the music/midi type (event-based).
+  EXPECT_TRUE(
+      ValidateAgainstType(*stream, MediaTypeRegistry::Builtin()).ok());
+}
+
+TEST(MidiTest, NoteStreamShowsChordOverlap) {
+  MidiSequence seq(480, 120.0);
+  // A chord: three simultaneous notes (the paper's overlap example).
+  ASSERT_TRUE(seq.AddNote(0, 960, 60).ok());
+  ASSERT_TRUE(seq.AddNote(0, 960, 64).ok());
+  ASSERT_TRUE(seq.AddNote(0, 960, 67).ok());
+  ASSERT_TRUE(seq.AddNote(1000, 480, 72).ok());  // Then a gap, then a note.
+  auto stream = seq.ToNoteStream();
+  ASSERT_TRUE(stream.ok());
+  EXPECT_EQ(stream->size(), 4u);
+  StreamCategories cats = Classify(*stream);
+  EXPECT_FALSE(cats.continuous);  // Overlaps + gap.
+  EXPECT_FALSE(cats.event_based);
+  EXPECT_EQ(stream->at(0).duration, 960);
+}
+
+TEST(MidiTest, EventStreamRoundTrip) {
+  MidiSequence seq = SimpleMelody();
+  auto stream = seq.ToEventStream();
+  ASSERT_TRUE(stream.ok());
+  auto restored = MidiSequence::FromEventStream(*stream);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->events(), seq.events());
+  EXPECT_EQ(restored->division(), 480);
+}
+
+// ---------------------------------------------------------------------------
+// Synthesis (the Table 1 type-changing derivation)
+
+TEST(SynthTest, RendersAudioOfExpectedLength) {
+  MidiSequence seq = SimpleMelody();
+  SynthParams params;
+  params.sample_rate = 22050;
+  params.channels = 1;
+  auto audio = Synthesize(seq, params);
+  ASSERT_TRUE(audio.ok());
+  EXPECT_EQ(audio->sample_rate, 22050);
+  // ~2 seconds plus release tail.
+  EXPECT_NEAR(audio->DurationSeconds(), 2.0, 0.3);
+  EXPECT_GT(RmsAmplitude(*audio), 100.0);  // Audibly non-silent.
+}
+
+TEST(SynthTest, TempoParameterScalesDuration) {
+  // Paper: tempo is a parameter of the MIDI-synthesis derivation.
+  MidiSequence seq = SimpleMelody();
+  SynthParams normal;
+  normal.sample_rate = 8000;
+  SynthParams fast = normal;
+  fast.tempo_bpm = 240.0;  // Twice the sequence's 120 BPM.
+  auto slow_audio = Synthesize(seq, normal);
+  auto fast_audio = Synthesize(seq, fast);
+  ASSERT_TRUE(slow_audio.ok() && fast_audio.ok());
+  EXPECT_NEAR(slow_audio->DurationSeconds() / fast_audio->DurationSeconds(),
+              2.0, 0.3);
+}
+
+TEST(SynthTest, InstrumentsSoundDifferent) {
+  MidiSequence seq(480, 120.0);
+  ASSERT_TRUE(seq.AddNote(0, 960, 69).ok());  // A4 = 440 Hz.
+  SynthParams sine_params;
+  sine_params.sample_rate = 8000;
+  sine_params.default_instrument = Instrument::kSine;
+  SynthParams square_params = sine_params;
+  square_params.default_instrument = Instrument::kSquare;
+  auto sine = Synthesize(seq, sine_params);
+  auto square = Synthesize(seq, square_params);
+  ASSERT_TRUE(sine.ok() && square.ok());
+  EXPECT_NE(sine->samples, square->samples);
+}
+
+TEST(SynthTest, ProgramChangeSelectsInstrument) {
+  MidiSequence with_program(480, 120.0);
+  ASSERT_TRUE(with_program.SetProgram(0, 1).ok());  // Square.
+  ASSERT_TRUE(with_program.AddNote(0, 960, 69).ok());
+  MidiSequence without(480, 120.0);
+  ASSERT_TRUE(without.AddNote(0, 960, 69).ok());
+  SynthParams params;
+  params.sample_rate = 8000;
+  params.default_instrument = Instrument::kSine;
+  auto a = Synthesize(with_program, params);
+  auto b = Synthesize(without, params);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(a->samples, b->samples);
+}
+
+TEST(SynthTest, VelocityScalesAmplitude) {
+  MidiSequence loud(480, 120.0), quiet(480, 120.0);
+  ASSERT_TRUE(loud.AddNote(0, 960, 69, 127).ok());
+  ASSERT_TRUE(quiet.AddNote(0, 960, 69, 32).ok());
+  SynthParams params;
+  params.sample_rate = 8000;
+  auto la = Synthesize(loud, params);
+  auto qa = Synthesize(quiet, params);
+  ASSERT_TRUE(la.ok() && qa.ok());
+  EXPECT_GT(RmsAmplitude(*la), RmsAmplitude(*qa) * 2);
+}
+
+TEST(SynthTest, PitchIsCorrect) {
+  // Count zero crossings of a synthesized A4 sine: ≈ 880 per second.
+  MidiSequence seq(480, 120.0);
+  ASSERT_TRUE(seq.AddNote(0, 1920, 69, 127).ok());  // 2 s at 120 BPM.
+  SynthParams params;
+  params.sample_rate = 44100;
+  params.channels = 1;
+  params.attack_seconds = 0.0;
+  auto audio = Synthesize(seq, params);
+  ASSERT_TRUE(audio.ok());
+  int64_t crossings = 0;
+  int64_t frames = std::min<int64_t>(audio->FrameCount(), 44100);
+  for (int64_t i = 1; i < frames; ++i) {
+    if ((audio->samples[i - 1] < 0) != (audio->samples[i] < 0)) ++crossings;
+  }
+  EXPECT_NEAR(crossings, 880, 10);
+}
+
+TEST(SynthTest, RejectsBadFormat) {
+  MidiSequence seq = SimpleMelody();
+  SynthParams params;
+  params.sample_rate = 0;
+  EXPECT_TRUE(Synthesize(seq, params).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace tbm

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "codec/pcm.h"
+#include "playback/simulator.h"
+
+namespace tbm {
+namespace {
+
+MediaDescriptor VideoDesc() {
+  MediaDescriptor desc;
+  desc.type_name = "video/tjpeg";
+  desc.kind = MediaKind::kVideo;
+  return desc;
+}
+
+// A constant-frequency stream: `count` elements of `bytes` bytes at
+// `rate` elements/second.
+TimedStream MakeStream(int64_t count, size_t bytes, int64_t rate) {
+  TimedStream stream(VideoDesc(), TimeSystem(rate));
+  for (int64_t i = 0; i < count; ++i) {
+    EXPECT_TRUE(stream.AppendContiguous(Bytes(bytes, 1), 1).ok());
+  }
+  return stream;
+}
+
+TEST(PlaybackTest, FastPipelineMeetsAllDeadlines) {
+  TimedStream video = MakeStream(100, 20000, 25);  // 0.5 MB/s for 4 s.
+  PlaybackConfig config;
+  config.seconds_per_megabyte = 0.001;  // ~1 GB/s service: trivially fast.
+  // Even an infinitely fast pipeline needs a sliver of start delay: the
+  // element due at t = 0 takes nonzero service time.
+  config.buffer_delay_ms = 1.0;
+  auto report = SimulatePlayback({&video}, config);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->total_elements, 100);
+  EXPECT_EQ(report->total_misses, 0);
+  EXPECT_EQ(report->max_lateness_us, 0.0);
+}
+
+TEST(PlaybackTest, OverloadedPipelineMissesDeadlines) {
+  // Service slower than the stream's data rate: the pipeline falls
+  // behind and misses grow.
+  TimedStream video = MakeStream(100, 100000, 25);  // 2.5 MB/s demand.
+  PlaybackConfig config;
+  config.seconds_per_megabyte = 1.0;  // 1 MB/s service: sustained overload.
+  auto report = SimulatePlayback({&video}, config);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->total_misses, 50);
+  EXPECT_GT(report->max_lateness_us, 1e5);
+}
+
+TEST(PlaybackTest, BufferRemovesTransientJitter) {
+  // Paper §5: "playback 'jitter' can be removed by the application just
+  // prior to presentation." Load noise creates transient lateness; a
+  // start-delay buffer absorbs it.
+  TimedStream video = MakeStream(200, 20000, 25);
+  PlaybackConfig noisy;
+  noisy.seconds_per_megabyte = 0.5;   // Not overloaded on average...
+  noisy.load_noise_us = 30000.0;      // ...but noisy per element.
+  noisy.seed = 7;
+  auto without_buffer = SimulatePlayback({&video}, noisy);
+  ASSERT_TRUE(without_buffer.ok());
+  EXPECT_GT(without_buffer->total_misses, 0);
+
+  PlaybackConfig buffered = noisy;
+  buffered.buffer_delay_ms = 500.0;
+  auto with_buffer = SimulatePlayback({&video}, buffered);
+  ASSERT_TRUE(with_buffer.ok());
+  EXPECT_EQ(with_buffer->total_misses, 0);
+  EXPECT_LT(with_buffer->mean_lateness_us,
+            without_buffer->mean_lateness_us);
+}
+
+TEST(PlaybackTest, DeterministicForSameSeed) {
+  TimedStream video = MakeStream(50, 30000, 25);
+  PlaybackConfig config;
+  config.load_noise_us = 10000.0;
+  config.seed = 99;
+  auto a = SimulatePlayback({&video}, config);
+  auto b = SimulatePlayback({&video}, config);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->mean_lateness_us, b->mean_lateness_us);
+  EXPECT_EQ(a->total_misses, b->total_misses);
+  config.seed = 100;
+  auto c = SimulatePlayback({&video}, config);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a->mean_lateness_us, c->mean_lateness_us);
+}
+
+TEST(PlaybackTest, MultiStreamSyncSkew) {
+  TimedStream video = MakeStream(100, 20000, 25);
+  // Audio as per-frame blocks (1764 sample pairs each).
+  TimedStream audio = MakeStream(100, 1764 * 4, 25);
+  PlaybackConfig config;
+  config.seconds_per_megabyte = 0.01;
+  auto report = SimulatePlayback({&video, &audio}, config);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->streams.size(), 2u);
+  EXPECT_EQ(report->streams[0].elements, 100);
+  EXPECT_EQ(report->streams[1].elements, 100);
+  // With a fast pipeline, A/V skew stays tiny.
+  EXPECT_LT(report->max_sync_skew_us, 1000.0);
+}
+
+TEST(PlaybackTest, MissToleranceFiltersSmallLateness) {
+  TimedStream video = MakeStream(100, 20000, 25);
+  PlaybackConfig config;
+  config.seconds_per_megabyte = 0.3;
+  config.load_noise_us = 2000.0;
+  config.seed = 3;
+  auto strict = SimulatePlayback({&video}, config);
+  ASSERT_TRUE(strict.ok());
+  config.miss_tolerance_us = 1e6;  // Tolerate a second.
+  auto tolerant = SimulatePlayback({&video}, config);
+  ASSERT_TRUE(tolerant.ok());
+  EXPECT_LE(tolerant->total_misses, strict->total_misses);
+}
+
+TEST(PlaybackTest, UtilizationReflectsLoad) {
+  TimedStream light = MakeStream(100, 1000, 25);
+  TimedStream heavy = MakeStream(100, 200000, 25);
+  PlaybackConfig config;
+  config.seconds_per_megabyte = 0.2;
+  auto light_report = SimulatePlayback({&light}, config);
+  auto heavy_report = SimulatePlayback({&heavy}, config);
+  ASSERT_TRUE(light_report.ok() && heavy_report.ok());
+  EXPECT_LT(light_report->utilization, heavy_report->utilization);
+  EXPECT_LE(heavy_report->utilization, 1.0 + 1e-9);
+}
+
+TEST(PlaybackTest, InvalidInputs) {
+  EXPECT_TRUE(SimulatePlayback({}, PlaybackConfig{})
+                  .status()
+                  .IsInvalidArgument());
+  TimedStream empty(VideoDesc(), TimeSystem(25));
+  EXPECT_TRUE(SimulatePlayback({&empty}, PlaybackConfig{})
+                  .status()
+                  .IsInvalidArgument());
+  TimedStream ok_stream = MakeStream(2, 10, 25);
+  PlaybackConfig bad;
+  bad.buffer_delay_ms = -1;
+  EXPECT_TRUE(
+      SimulatePlayback({&ok_stream}, bad).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace tbm

@@ -1,0 +1,266 @@
+#include <gtest/gtest.h>
+
+#include "time/rational.h"
+#include "time/time_system.h"
+#include "time/timecode.h"
+
+namespace tbm {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rational
+
+TEST(RationalTest, NormalizationAndSign) {
+  Rational r(6, 4);
+  EXPECT_EQ(r.num(), 3);
+  EXPECT_EQ(r.den(), 2);
+  Rational neg(3, -6);
+  EXPECT_EQ(neg.num(), -1);
+  EXPECT_EQ(neg.den(), 2);
+  EXPECT_TRUE(neg.IsNegative());
+}
+
+TEST(RationalTest, Arithmetic) {
+  Rational a(1, 3), b(1, 6);
+  EXPECT_EQ(a + b, Rational(1, 2));
+  EXPECT_EQ(a - b, Rational(1, 6));
+  EXPECT_EQ(a * b, Rational(1, 18));
+  EXPECT_EQ(a / b, Rational(2));
+  EXPECT_EQ(-a, Rational(-1, 3));
+}
+
+TEST(RationalTest, Comparisons) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_GT(Rational(30000, 1001), Rational(29));
+  EXPECT_LE(Rational(2, 4), Rational(1, 2));
+  EXPECT_EQ(Rational(2, 4), Rational(1, 2));
+}
+
+TEST(RationalTest, FloorCeilRound) {
+  EXPECT_EQ(Rational(7, 2).Floor(), 3);
+  EXPECT_EQ(Rational(7, 2).Ceil(), 4);
+  EXPECT_EQ(Rational(7, 2).Round(), 4);  // Half away from zero.
+  EXPECT_EQ(Rational(-7, 2).Floor(), -4);
+  EXPECT_EQ(Rational(-7, 2).Ceil(), -3);
+  EXPECT_EQ(Rational(-7, 2).Round(), -4);
+  EXPECT_EQ(Rational(10, 3).Round(), 3);
+}
+
+TEST(RationalTest, NoOverflowOnMediaFrequencies) {
+  // 30000/1001 combined with 44100 must not overflow 64 bits.
+  Rational ntsc(30000, 1001);
+  Rational cd(44100);
+  Rational ratio = cd / ntsc;
+  EXPECT_EQ(ratio, Rational(44100 * 1001, 30000));
+  EXPECT_NEAR(ratio.ToDouble(), 1471.47, 0.01);
+}
+
+TEST(RationalTest, ToStringForms) {
+  EXPECT_EQ(Rational(25).ToString(), "25");
+  EXPECT_EQ(Rational(30000, 1001).ToString(), "30000/1001");
+}
+
+// Property: field axioms hold over a grid of rationals.
+class RationalPair
+    : public ::testing::TestWithParam<std::tuple<int64_t, int64_t>> {};
+
+TEST_P(RationalPair, AddThenSubtractIsIdentity) {
+  auto [n, d] = GetParam();
+  Rational a(n, d);
+  Rational b(7, 3);
+  EXPECT_EQ(a + b - b, a);
+}
+
+TEST_P(RationalPair, MultiplyThenDivideIsIdentity) {
+  auto [n, d] = GetParam();
+  Rational a(n, d);
+  Rational b(5, 9);
+  EXPECT_EQ(a * b / b, a);
+}
+
+TEST_P(RationalPair, ReciprocalTwiceIsIdentity) {
+  auto [n, d] = GetParam();
+  Rational a(n, d);
+  if (!a.IsZero()) {
+    EXPECT_EQ(a.Reciprocal().Reciprocal(), a);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, RationalPair,
+    ::testing::Values(std::make_tuple(0, 1), std::make_tuple(1, 1),
+                      std::make_tuple(-3, 7), std::make_tuple(30000, 1001),
+                      std::make_tuple(44100, 1), std::make_tuple(-25, 2),
+                      std::make_tuple(999999, 1000000)));
+
+// ---------------------------------------------------------------------------
+// RescaleTicks
+
+TEST(RescaleTest, RoundingModes) {
+  Rational factor(2, 3);
+  EXPECT_EQ(RescaleTicks(5, factor, Rounding::kFloor), 3);    // 10/3 = 3.33
+  EXPECT_EQ(RescaleTicks(5, factor, Rounding::kCeil), 4);
+  EXPECT_EQ(RescaleTicks(5, factor, Rounding::kNearest), 3);
+  EXPECT_EQ(RescaleTicks(-5, factor, Rounding::kFloor), -4);
+  EXPECT_EQ(RescaleTicks(-5, factor, Rounding::kCeil), -3);
+  EXPECT_EQ(RescaleTicks(-5, factor, Rounding::kNearest), -3);
+  // Exact half rounds away from zero.
+  EXPECT_EQ(RescaleTicks(1, Rational(1, 2), Rounding::kNearest), 1);
+  EXPECT_EQ(RescaleTicks(-1, Rational(1, 2), Rounding::kNearest), -1);
+}
+
+// ---------------------------------------------------------------------------
+// TimeSystem (paper Definition 2)
+
+TEST(TimeSystemTest, MapsTicksToSeconds) {
+  TimeSystem pal = time_systems::Pal();
+  EXPECT_EQ(pal.ToSeconds(25), Rational(1));
+  EXPECT_EQ(pal.ToSeconds(1), Rational(1, 25));
+  TimeSystem cd = time_systems::CdAudio();
+  EXPECT_EQ(cd.ToSeconds(44100), Rational(1));
+}
+
+TEST(TimeSystemTest, NtscIsExactlyRational) {
+  TimeSystem ntsc = time_systems::Ntsc();
+  EXPECT_EQ(ntsc.frequency(), Rational(30000, 1001));
+  // 30000 frames take exactly 1001 seconds.
+  EXPECT_EQ(ntsc.ToSeconds(30000), Rational(1001));
+  EXPECT_EQ(ntsc.ToString(), "D_30000/1001");
+}
+
+TEST(TimeSystemTest, FromSeconds) {
+  TimeSystem pal = time_systems::Pal();
+  EXPECT_EQ(pal.FromSeconds(Rational(10)), 250);
+  EXPECT_EQ(pal.FromSeconds(Rational(1, 10), Rounding::kNearest), 3);  // 2.5→3
+}
+
+TEST(TimeSystemTest, CrossSystemConversion) {
+  TimeSystem pal = time_systems::Pal();
+  TimeSystem cd = time_systems::CdAudio();
+  // 25 PAL frames = 1 second = 44100 CD ticks.
+  EXPECT_EQ(pal.ConvertTo(cd, 25), 44100);
+  // One PAL frame = 1764 CD samples (the Figure 2 number).
+  EXPECT_EQ(pal.ConvertTo(cd, 1), 1764);
+  // Round trip at commensurable rates is exact.
+  EXPECT_EQ(cd.ConvertTo(pal, 44100), 25);
+}
+
+TEST(TimeSystemTest, NtscAudioConversionRounds) {
+  TimeSystem ntsc = time_systems::Ntsc();
+  TimeSystem cd = time_systems::CdAudio();
+  // One NTSC frame = 44100*1001/30000 = 1471.47 samples.
+  EXPECT_EQ(ntsc.ConvertTo(cd, 1, Rounding::kFloor), 1471);
+  EXPECT_EQ(ntsc.ConvertTo(cd, 1, Rounding::kCeil), 1472);
+  // 30000 NTSC frames = 1001 s exactly = 1001 * 44100 samples.
+  EXPECT_EQ(ntsc.ConvertTo(cd, 30000), 1001 * 44100);
+}
+
+TEST(TimeSystemTest, Equality) {
+  EXPECT_EQ(TimeSystem(Rational(50, 2)), TimeSystem(25));
+  EXPECT_NE(time_systems::Ntsc(), TimeSystem(30));
+}
+
+TEST(TickSpanTest, ContainsAndOverlaps) {
+  TickSpan span{10, 5};
+  EXPECT_TRUE(span.Contains(10));
+  EXPECT_TRUE(span.Contains(14));
+  EXPECT_FALSE(span.Contains(15));  // Half-open.
+  EXPECT_TRUE(span.Overlaps(TickSpan{14, 10}));
+  EXPECT_FALSE(span.Overlaps(TickSpan{15, 10}));
+}
+
+// ---------------------------------------------------------------------------
+// Timecode
+
+TEST(TimecodeTest, NonDropBasics) {
+  auto tc = FrameToTimecode(0, 25, false);
+  ASSERT_TRUE(tc.ok());
+  EXPECT_EQ(tc->ToString(), "00:00:00:00");
+  tc = FrameToTimecode(25 * 60 * 60, 25, false);  // One hour.
+  ASSERT_TRUE(tc.ok());
+  EXPECT_EQ(tc->ToString(), "01:00:00:00");
+  tc = FrameToTimecode(12345, 25, false);
+  ASSERT_TRUE(tc.ok());
+  EXPECT_EQ(*TimecodeToFrame(*tc), 12345);
+}
+
+TEST(TimecodeTest, DropFrameSkipsLabels) {
+  // Frame 1800 (= 1 nominal minute at 30fps, minus nothing yet) in
+  // drop-frame: the first minute drops nothing, so real frame 1800-2
+  // lands differently. The canonical fact: label 00:01:00;00 does not
+  // exist.
+  Timecode bad;
+  bad.minutes = 1;
+  bad.nominal_fps = 30;
+  bad.drop_frame = true;
+  bad.frames = 0;
+  EXPECT_TRUE(TimecodeToFrame(bad).status().IsInvalidArgument());
+  bad.frames = 1;
+  EXPECT_TRUE(TimecodeToFrame(bad).status().IsInvalidArgument());
+  bad.frames = 2;
+  EXPECT_TRUE(TimecodeToFrame(bad).ok());
+  // Minute 10 keeps frame 0.
+  Timecode ten;
+  ten.minutes = 10;
+  ten.nominal_fps = 30;
+  ten.drop_frame = true;
+  EXPECT_TRUE(TimecodeToFrame(ten).ok());
+}
+
+TEST(TimecodeTest, DropFrameHourAlignsWithWallClock) {
+  // In one hour at 29.97 fps there are 107892 real frames
+  // (30*3600 - 108 dropped labels).
+  auto frame = TimecodeToFrame(Timecode{1, 0, 0, 0, 30, true});
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(*frame, 107892);
+  auto tc = FrameToTimecode(107892, 30, true);
+  ASSERT_TRUE(tc.ok());
+  EXPECT_EQ(tc->ToString(), "01:00:00;00");
+}
+
+// Property: frame -> timecode -> frame is identity for both counting
+// systems across a sweep of frame numbers.
+class TimecodeRoundTrip : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(TimecodeRoundTrip, NonDrop25) {
+  auto tc = FrameToTimecode(GetParam(), 25, false);
+  ASSERT_TRUE(tc.ok());
+  EXPECT_EQ(*TimecodeToFrame(*tc), GetParam());
+}
+
+TEST_P(TimecodeRoundTrip, NonDrop24) {
+  auto tc = FrameToTimecode(GetParam(), 24, false);
+  ASSERT_TRUE(tc.ok());
+  EXPECT_EQ(*TimecodeToFrame(*tc), GetParam());
+}
+
+TEST_P(TimecodeRoundTrip, Drop30) {
+  auto tc = FrameToTimecode(GetParam(), 30, true);
+  ASSERT_TRUE(tc.ok());
+  EXPECT_EQ(*TimecodeToFrame(*tc), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TimecodeRoundTrip,
+                         ::testing::Values(0, 1, 29, 30, 1799, 1800, 1801,
+                                           17982, 17983, 107891, 107892,
+                                           123456, 999999));
+
+TEST(TimecodeTest, ParseAndValidate) {
+  auto tc = ParseTimecode("01:02:03:04", 25);
+  ASSERT_TRUE(tc.ok());
+  EXPECT_EQ(tc->hours, 1);
+  EXPECT_EQ(tc->frames, 4);
+  EXPECT_FALSE(tc->drop_frame);
+  auto drop = ParseTimecode("00:10:00;02", 30);
+  ASSERT_TRUE(drop.ok());
+  EXPECT_TRUE(drop->drop_frame);
+  EXPECT_FALSE(ParseTimecode("garbage", 25).ok());
+  EXPECT_FALSE(ParseTimecode("00:00:00:99", 25).ok());  // Frame >= fps.
+}
+
+TEST(TimecodeTest, DropFrameRequiresNominal30) {
+  EXPECT_TRUE(FrameToTimecode(0, 25, true).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace tbm

@@ -1,0 +1,256 @@
+// tbmctl — command-line inspector for tbm database directories.
+//
+//   tbmctl ls     <dbdir>                 list the catalog
+//   tbmctl show   <dbdir> <name>          descriptor / entry details
+//   tbmctl export <dbdir> <name> <out>    materialize and export
+//                                         (.wav audio, .ppm/.pgm image,
+//                                          video -> <out>_NNNN.ppm frames)
+//   tbmctl play   <dbdir> <name>          simulate presentation timing
+//   tbmctl stats  <dbdir>                 storage statistics
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "codec/export.h"
+#include "db/database.h"
+#include "playback/simulator.h"
+#include "stream/category.h"
+
+using namespace tbm;
+
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "tbmctl: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: tbmctl ls <dbdir>\n"
+               "       tbmctl show <dbdir> <name>\n"
+               "       tbmctl export <dbdir> <name> <out>\n"
+               "       tbmctl play <dbdir> <name>\n"
+               "       tbmctl stats <dbdir>\n");
+  return 2;
+}
+
+int CmdLs(MediaDatabase* db) {
+  std::printf("%-6s %-28s %-18s %s\n", "id", "name", "kind", "details");
+  for (ObjectId id : db->List()) {
+    const CatalogEntry* entry = db->Get(id).ValueOr(nullptr);
+    if (entry == nullptr) continue;
+    std::string details;
+    switch (entry->kind) {
+      case CatalogKind::kDerivedObject:
+        details = entry->op + "(" + std::to_string(entry->inputs.size()) +
+                  " input" + (entry->inputs.size() == 1 ? "" : "s") + ")";
+        break;
+      case CatalogKind::kMediaObject:
+        details = "stream \"" + entry->stream_name + "\" of interp " +
+                  std::to_string(entry->interpretation_ref);
+        break;
+      case CatalogKind::kMultimediaObject:
+        details = std::to_string(entry->components.size()) + " components";
+        break;
+      case CatalogKind::kInterpretation:
+        details = "BLOB " + std::to_string(entry->interpretation.blob()) +
+                  ", " + std::to_string(entry->interpretation.objects().size()) +
+                  " objects";
+        break;
+      case CatalogKind::kEntity:
+        details = std::to_string(entry->attrs.size()) + " attributes";
+        break;
+    }
+    std::printf("%-6llu %-28s %-18s %s\n", (unsigned long long)id,
+                entry->name.c_str(),
+                std::string(CatalogKindToString(entry->kind)).c_str(),
+                details.c_str());
+  }
+  return 0;
+}
+
+int CmdShow(MediaDatabase* db, const std::string& name) {
+  auto id = db->FindByName(name);
+  if (!id.ok()) return Fail(id.status());
+  auto entry = db->Get(*id);
+  if (!entry.ok()) return Fail(entry.status());
+  std::printf("[%llu] %s — %s\n", (unsigned long long)*id,
+              (*entry)->name.c_str(),
+              std::string(CatalogKindToString((*entry)->kind)).c_str());
+  if (!(*entry)->attrs.empty()) {
+    std::printf("attributes:\n%s", (*entry)->attrs.ToString().c_str());
+  }
+  switch ((*entry)->kind) {
+    case CatalogKind::kMediaObject: {
+      auto stream = db->MaterializeStream(*id);
+      if (!stream.ok()) return Fail(stream.status());
+      std::printf("\n%s\n", stream->descriptor().ToString(name).c_str());
+      std::printf("category: %s\n", Classify(*stream).ToString().c_str());
+      std::printf("elements: %zu, span %.3f s, payload %s, mean rate %s\n",
+                  stream->size(), stream->DurationSeconds().ToDouble(),
+                  HumanBytes(stream->TotalBytes()).c_str(),
+                  HumanRate(stream->MeanDataRate()).c_str());
+      break;
+    }
+    case CatalogKind::kDerivedObject: {
+      std::printf("derivation: %s\n", (*entry)->op.c_str());
+      std::printf("inputs:");
+      for (ObjectId input : (*entry)->inputs) {
+        auto in_entry = db->Get(input);
+        std::printf(" %s", in_entry.ok() ? (*in_entry)->name.c_str() : "?");
+      }
+      std::printf("\nparameters:\n%s", (*entry)->params.ToString().c_str());
+      auto record = db->DerivationRecordBytes(*id);
+      if (record.ok()) {
+        std::printf("derivation record: %llu bytes\n",
+                    (unsigned long long)*record);
+      }
+      break;
+    }
+    case CatalogKind::kMultimediaObject: {
+      auto view = db->Compose(*id);
+      if (!view.ok()) return Fail(view.status());
+      auto ascii = (*view)->object.RenderTimelineAscii(56);
+      if (ascii.ok()) std::printf("\ntimeline:\n%s", ascii->c_str());
+      break;
+    }
+    case CatalogKind::kInterpretation: {
+      const Interpretation& interp = (*entry)->interpretation;
+      auto blob_size = db->blob_store()->Size(interp.blob());
+      std::printf("BLOB %llu (%s), coverage %.1f%%\n",
+                  (unsigned long long)interp.blob(),
+                  blob_size.ok() ? HumanBytes(*blob_size).c_str() : "?",
+                  blob_size.ok() ? 100.0 * interp.Coverage(*blob_size) : 0.0);
+      for (const InterpretedObject& object : interp.objects()) {
+        std::printf("  object \"%s\": %zu elements, %s payload\n",
+                    object.name.c_str(), object.elements.size(),
+                    HumanBytes(object.PayloadBytes()).c_str());
+      }
+      break;
+    }
+    case CatalogKind::kEntity:
+      break;
+  }
+  if (db->rights().IsProtected(*id)) {
+    auto record = db->rights().Get(*id);
+    if (record.ok()) {
+      std::printf("rights: owner %s%s%s\n", (*record)->owner.c_str(),
+                  (*record)->copyright_notice.empty() ? "" : ", ",
+                  (*record)->copyright_notice.c_str());
+    }
+  }
+  return 0;
+}
+
+bool EndsWith(const std::string& text, const char* suffix) {
+  size_t n = std::strlen(suffix);
+  return text.size() >= n && text.compare(text.size() - n, n, suffix) == 0;
+}
+
+int CmdExport(MediaDatabase* db, const std::string& name,
+              const std::string& out) {
+  auto id = db->FindByName(name);
+  if (!id.ok()) return Fail(id.status());
+  auto value = db->Materialize(*id);
+  if (!value.ok()) return Fail(value.status());
+  switch (KindOfValue(*value)) {
+    case MediaKind::kAudio: {
+      if (!EndsWith(out, ".wav")) {
+        std::fprintf(stderr, "tbmctl: audio exports to .wav\n");
+        return 2;
+      }
+      if (auto s = WriteWav(std::get<AudioBuffer>(*value), out); !s.ok()) {
+        return Fail(s);
+      }
+      std::printf("wrote %s\n", out.c_str());
+      return 0;
+    }
+    case MediaKind::kImage: {
+      if (auto s = WritePnm(std::get<Image>(*value), out); !s.ok()) {
+        return Fail(s);
+      }
+      std::printf("wrote %s\n", out.c_str());
+      return 0;
+    }
+    case MediaKind::kVideo: {
+      const VideoValue& video = std::get<VideoValue>(*value);
+      for (size_t i = 0; i < video.frames.size(); ++i) {
+        char path[512];
+        std::snprintf(path, sizeof(path), "%s_%04zu.ppm", out.c_str(), i);
+        if (auto s = WritePnm(video.frames[i], path); !s.ok()) {
+          return Fail(s);
+        }
+      }
+      std::printf("wrote %zu frames to %s_NNNN.ppm\n", video.frames.size(),
+                  out.c_str());
+      return 0;
+    }
+    default:
+      std::fprintf(stderr, "tbmctl: no exporter for this media kind\n");
+      return 2;
+  }
+}
+
+int CmdPlay(MediaDatabase* db, const std::string& name) {
+  auto id = db->FindByName(name);
+  if (!id.ok()) return Fail(id.status());
+  auto stream = db->MaterializeStream(*id);
+  if (!stream.ok()) return Fail(stream.status());
+  PlaybackConfig config;
+  config.seconds_per_megabyte = 0.02;
+  config.load_noise_us = 500.0;
+  config.buffer_delay_ms = 10.0;
+  auto report = SimulatePlayback({&*stream}, config);
+  if (!report.ok()) return Fail(report.status());
+  std::printf(
+      "simulated playback of \"%s\": %lld elements, %lld misses, "
+      "mean lateness %.1f us, pipeline utilization %.2f\n",
+      name.c_str(), (long long)report->total_elements,
+      (long long)report->total_misses, report->mean_lateness_us,
+      report->utilization);
+  return 0;
+}
+
+int CmdStats(MediaDatabase* db, const std::string& dir) {
+  std::printf("database: %s\n", dir.c_str());
+  std::printf("catalog objects: %zu\n", db->size());
+  int counts[5] = {0};
+  for (ObjectId id : db->List()) {
+    auto entry = db->Get(id);
+    if (entry.ok()) ++counts[static_cast<int>((*entry)->kind)];
+  }
+  const char* names[5] = {"entities", "interpretations", "media objects",
+                          "derived objects", "multimedia objects"};
+  for (int i = 0; i < 5; ++i) {
+    std::printf("  %-20s %d\n", names[i], counts[i]);
+  }
+  uint64_t blob_bytes = 0;
+  auto blobs = db->blob_store()->List();
+  for (BlobId blob : blobs) {
+    auto size = db->blob_store()->Size(blob);
+    if (size.ok()) blob_bytes += *size;
+  }
+  std::printf("BLOBs: %zu holding %s\n", blobs.size(),
+              HumanBytes(blob_bytes).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  std::string command = argv[1];
+  std::string dir = argv[2];
+  auto db = MediaDatabase::Open(dir);
+  if (!db.ok()) return Fail(db.status());
+
+  if (command == "ls") return CmdLs(db->get());
+  if (command == "stats") return CmdStats(db->get(), dir);
+  if (command == "show" && argc >= 4) return CmdShow(db->get(), argv[3]);
+  if (command == "play" && argc >= 4) return CmdPlay(db->get(), argv[3]);
+  if (command == "export" && argc >= 5) {
+    return CmdExport(db->get(), argv[3], argv[4]);
+  }
+  return Usage();
+}
