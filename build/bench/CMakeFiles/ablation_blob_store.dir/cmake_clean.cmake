@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_blob_store.dir/ablation_blob_store.cc.o"
+  "CMakeFiles/ablation_blob_store.dir/ablation_blob_store.cc.o.d"
+  "ablation_blob_store"
+  "ablation_blob_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_blob_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_derivation_cache.dir/ablation_derivation_cache.cc.o"
+  "CMakeFiles/ablation_derivation_cache.dir/ablation_derivation_cache.cc.o.d"
+  "ablation_derivation_cache"
+  "ablation_derivation_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_derivation_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

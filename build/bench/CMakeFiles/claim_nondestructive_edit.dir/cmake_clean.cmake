@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/claim_nondestructive_edit.dir/claim_nondestructive_edit.cc.o"
+  "CMakeFiles/claim_nondestructive_edit.dir/claim_nondestructive_edit.cc.o.d"
+  "claim_nondestructive_edit"
+  "claim_nondestructive_edit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/claim_nondestructive_edit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/claim_playback_timing.dir/claim_playback_timing.cc.o"
+  "CMakeFiles/claim_playback_timing.dir/claim_playback_timing.cc.o.d"
+  "claim_playback_timing"
+  "claim_playback_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/claim_playback_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

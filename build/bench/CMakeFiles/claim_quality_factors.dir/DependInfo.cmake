@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/claim_quality_factors.cc" "bench/CMakeFiles/claim_quality_factors.dir/claim_quality_factors.cc.o" "gcc" "bench/CMakeFiles/claim_quality_factors.dir/claim_quality_factors.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/playback/CMakeFiles/tbm_playback.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/tbm_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/tbm_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/blob/CMakeFiles/tbm_blob.dir/DependInfo.cmake"
+  "/root/repo/build/src/compose/CMakeFiles/tbm_compose.dir/DependInfo.cmake"
+  "/root/repo/build/src/derive/CMakeFiles/tbm_derive.dir/DependInfo.cmake"
+  "/root/repo/build/src/midi/CMakeFiles/tbm_midi.dir/DependInfo.cmake"
+  "/root/repo/build/src/anim/CMakeFiles/tbm_anim.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/tbm_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/tbm_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/tbm_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/tbm_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/time/CMakeFiles/tbm_time.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/tbm_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

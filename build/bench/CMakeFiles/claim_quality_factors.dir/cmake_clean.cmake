@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/claim_quality_factors.dir/claim_quality_factors.cc.o"
+  "CMakeFiles/claim_quality_factors.dir/claim_quality_factors.cc.o.d"
+  "claim_quality_factors"
+  "claim_quality_factors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/claim_quality_factors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/claim_scalability.dir/claim_scalability.cc.o"
+  "CMakeFiles/claim_scalability.dir/claim_scalability.cc.o.d"
+  "claim_scalability"
+  "claim_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/claim_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

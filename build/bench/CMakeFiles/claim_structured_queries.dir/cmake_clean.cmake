@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/claim_structured_queries.dir/claim_structured_queries.cc.o"
+  "CMakeFiles/claim_structured_queries.dir/claim_structured_queries.cc.o.d"
+  "claim_structured_queries"
+  "claim_structured_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/claim_structured_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

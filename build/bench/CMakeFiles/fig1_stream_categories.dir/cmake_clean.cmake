@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_stream_categories.dir/fig1_stream_categories.cc.o"
+  "CMakeFiles/fig1_stream_categories.dir/fig1_stream_categories.cc.o.d"
+  "fig1_stream_categories"
+  "fig1_stream_categories.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_stream_categories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

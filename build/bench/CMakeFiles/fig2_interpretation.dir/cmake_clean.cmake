@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_interpretation.dir/fig2_interpretation.cc.o"
+  "CMakeFiles/fig2_interpretation.dir/fig2_interpretation.cc.o.d"
+  "fig2_interpretation"
+  "fig2_interpretation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_interpretation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

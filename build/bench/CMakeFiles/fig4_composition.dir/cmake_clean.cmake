@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_composition.dir/fig4_composition.cc.o"
+  "CMakeFiles/fig4_composition.dir/fig4_composition.cc.o.d"
+  "fig4_composition"
+  "fig4_composition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_composition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_layering.dir/fig5_layering.cc.o"
+  "CMakeFiles/fig5_layering.dir/fig5_layering.cc.o.d"
+  "fig5_layering"
+  "fig5_layering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_layering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_derivations.dir/table1_derivations.cc.o"
+  "CMakeFiles/table1_derivations.dir/table1_derivations.cc.o.d"
+  "table1_derivations"
+  "table1_derivations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_derivations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

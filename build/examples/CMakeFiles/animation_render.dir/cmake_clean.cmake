@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/animation_render.dir/animation_render.cpp.o"
+  "CMakeFiles/animation_render.dir/animation_render.cpp.o.d"
+  "animation_render"
+  "animation_render.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/animation_render.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multilingual_movie.dir/multilingual_movie.cpp.o"
+  "CMakeFiles/multilingual_movie.dir/multilingual_movie.cpp.o.d"
+  "multilingual_movie"
+  "multilingual_movie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multilingual_movie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/music_production.dir/music_production.cpp.o"
+  "CMakeFiles/music_production.dir/music_production.cpp.o.d"
+  "music_production"
+  "music_production.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/music_production.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

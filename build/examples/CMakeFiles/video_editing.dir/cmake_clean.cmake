@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_editing.dir/video_editing.cpp.o"
+  "CMakeFiles/video_editing.dir/video_editing.cpp.o.d"
+  "video_editing"
+  "video_editing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_editing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

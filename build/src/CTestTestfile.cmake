@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("time")
+subdirs("blob")
+subdirs("media")
+subdirs("stream")
+subdirs("codec")
+subdirs("text")
+subdirs("interp")
+subdirs("midi")
+subdirs("anim")
+subdirs("derive")
+subdirs("compose")
+subdirs("playback")
+subdirs("db")

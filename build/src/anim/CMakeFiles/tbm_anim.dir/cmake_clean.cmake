@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbm_anim.dir/animation.cc.o"
+  "CMakeFiles/tbm_anim.dir/animation.cc.o.d"
+  "libtbm_anim.a"
+  "libtbm_anim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbm_anim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtbm_anim.a"
+)

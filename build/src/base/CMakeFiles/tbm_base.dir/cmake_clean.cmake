@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbm_base.dir/bytes.cc.o"
+  "CMakeFiles/tbm_base.dir/bytes.cc.o.d"
+  "CMakeFiles/tbm_base.dir/crc32.cc.o"
+  "CMakeFiles/tbm_base.dir/crc32.cc.o.d"
+  "CMakeFiles/tbm_base.dir/io.cc.o"
+  "CMakeFiles/tbm_base.dir/io.cc.o.d"
+  "CMakeFiles/tbm_base.dir/status.cc.o"
+  "CMakeFiles/tbm_base.dir/status.cc.o.d"
+  "libtbm_base.a"
+  "libtbm_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbm_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

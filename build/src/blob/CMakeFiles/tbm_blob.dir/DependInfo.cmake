@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/blob/blob_store.cc" "src/blob/CMakeFiles/tbm_blob.dir/blob_store.cc.o" "gcc" "src/blob/CMakeFiles/tbm_blob.dir/blob_store.cc.o.d"
+  "/root/repo/src/blob/file_store.cc" "src/blob/CMakeFiles/tbm_blob.dir/file_store.cc.o" "gcc" "src/blob/CMakeFiles/tbm_blob.dir/file_store.cc.o.d"
+  "/root/repo/src/blob/memory_store.cc" "src/blob/CMakeFiles/tbm_blob.dir/memory_store.cc.o" "gcc" "src/blob/CMakeFiles/tbm_blob.dir/memory_store.cc.o.d"
+  "/root/repo/src/blob/paged_store.cc" "src/blob/CMakeFiles/tbm_blob.dir/paged_store.cc.o" "gcc" "src/blob/CMakeFiles/tbm_blob.dir/paged_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/tbm_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbm_blob.dir/blob_store.cc.o"
+  "CMakeFiles/tbm_blob.dir/blob_store.cc.o.d"
+  "CMakeFiles/tbm_blob.dir/file_store.cc.o"
+  "CMakeFiles/tbm_blob.dir/file_store.cc.o.d"
+  "CMakeFiles/tbm_blob.dir/memory_store.cc.o"
+  "CMakeFiles/tbm_blob.dir/memory_store.cc.o.d"
+  "CMakeFiles/tbm_blob.dir/paged_store.cc.o"
+  "CMakeFiles/tbm_blob.dir/paged_store.cc.o.d"
+  "libtbm_blob.a"
+  "libtbm_blob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbm_blob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

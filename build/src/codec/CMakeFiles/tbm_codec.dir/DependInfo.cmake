@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codec/adpcm.cc" "src/codec/CMakeFiles/tbm_codec.dir/adpcm.cc.o" "gcc" "src/codec/CMakeFiles/tbm_codec.dir/adpcm.cc.o.d"
+  "/root/repo/src/codec/color.cc" "src/codec/CMakeFiles/tbm_codec.dir/color.cc.o" "gcc" "src/codec/CMakeFiles/tbm_codec.dir/color.cc.o.d"
+  "/root/repo/src/codec/dct.cc" "src/codec/CMakeFiles/tbm_codec.dir/dct.cc.o" "gcc" "src/codec/CMakeFiles/tbm_codec.dir/dct.cc.o.d"
+  "/root/repo/src/codec/export.cc" "src/codec/CMakeFiles/tbm_codec.dir/export.cc.o" "gcc" "src/codec/CMakeFiles/tbm_codec.dir/export.cc.o.d"
+  "/root/repo/src/codec/image.cc" "src/codec/CMakeFiles/tbm_codec.dir/image.cc.o" "gcc" "src/codec/CMakeFiles/tbm_codec.dir/image.cc.o.d"
+  "/root/repo/src/codec/layered.cc" "src/codec/CMakeFiles/tbm_codec.dir/layered.cc.o" "gcc" "src/codec/CMakeFiles/tbm_codec.dir/layered.cc.o.d"
+  "/root/repo/src/codec/pcm.cc" "src/codec/CMakeFiles/tbm_codec.dir/pcm.cc.o" "gcc" "src/codec/CMakeFiles/tbm_codec.dir/pcm.cc.o.d"
+  "/root/repo/src/codec/rle.cc" "src/codec/CMakeFiles/tbm_codec.dir/rle.cc.o" "gcc" "src/codec/CMakeFiles/tbm_codec.dir/rle.cc.o.d"
+  "/root/repo/src/codec/synthetic.cc" "src/codec/CMakeFiles/tbm_codec.dir/synthetic.cc.o" "gcc" "src/codec/CMakeFiles/tbm_codec.dir/synthetic.cc.o.d"
+  "/root/repo/src/codec/tjpeg.cc" "src/codec/CMakeFiles/tbm_codec.dir/tjpeg.cc.o" "gcc" "src/codec/CMakeFiles/tbm_codec.dir/tjpeg.cc.o.d"
+  "/root/repo/src/codec/tmpeg.cc" "src/codec/CMakeFiles/tbm_codec.dir/tmpeg.cc.o" "gcc" "src/codec/CMakeFiles/tbm_codec.dir/tmpeg.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/tbm_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/time/CMakeFiles/tbm_time.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/tbm_media.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbm_codec.dir/adpcm.cc.o"
+  "CMakeFiles/tbm_codec.dir/adpcm.cc.o.d"
+  "CMakeFiles/tbm_codec.dir/color.cc.o"
+  "CMakeFiles/tbm_codec.dir/color.cc.o.d"
+  "CMakeFiles/tbm_codec.dir/dct.cc.o"
+  "CMakeFiles/tbm_codec.dir/dct.cc.o.d"
+  "CMakeFiles/tbm_codec.dir/export.cc.o"
+  "CMakeFiles/tbm_codec.dir/export.cc.o.d"
+  "CMakeFiles/tbm_codec.dir/image.cc.o"
+  "CMakeFiles/tbm_codec.dir/image.cc.o.d"
+  "CMakeFiles/tbm_codec.dir/layered.cc.o"
+  "CMakeFiles/tbm_codec.dir/layered.cc.o.d"
+  "CMakeFiles/tbm_codec.dir/pcm.cc.o"
+  "CMakeFiles/tbm_codec.dir/pcm.cc.o.d"
+  "CMakeFiles/tbm_codec.dir/rle.cc.o"
+  "CMakeFiles/tbm_codec.dir/rle.cc.o.d"
+  "CMakeFiles/tbm_codec.dir/synthetic.cc.o"
+  "CMakeFiles/tbm_codec.dir/synthetic.cc.o.d"
+  "CMakeFiles/tbm_codec.dir/tjpeg.cc.o"
+  "CMakeFiles/tbm_codec.dir/tjpeg.cc.o.d"
+  "CMakeFiles/tbm_codec.dir/tmpeg.cc.o"
+  "CMakeFiles/tbm_codec.dir/tmpeg.cc.o.d"
+  "libtbm_codec.a"
+  "libtbm_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbm_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbm_compose.dir/multimedia.cc.o"
+  "CMakeFiles/tbm_compose.dir/multimedia.cc.o.d"
+  "CMakeFiles/tbm_compose.dir/timeline.cc.o"
+  "CMakeFiles/tbm_compose.dir/timeline.cc.o.d"
+  "libtbm_compose.a"
+  "libtbm_compose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbm_compose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbm_db.dir/codec_bridge.cc.o"
+  "CMakeFiles/tbm_db.dir/codec_bridge.cc.o.d"
+  "CMakeFiles/tbm_db.dir/database.cc.o"
+  "CMakeFiles/tbm_db.dir/database.cc.o.d"
+  "CMakeFiles/tbm_db.dir/edit_list.cc.o"
+  "CMakeFiles/tbm_db.dir/edit_list.cc.o.d"
+  "CMakeFiles/tbm_db.dir/rights.cc.o"
+  "CMakeFiles/tbm_db.dir/rights.cc.o.d"
+  "libtbm_db.a"
+  "libtbm_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbm_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

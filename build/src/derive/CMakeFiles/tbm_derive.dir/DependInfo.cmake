@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/derive/graph.cc" "src/derive/CMakeFiles/tbm_derive.dir/graph.cc.o" "gcc" "src/derive/CMakeFiles/tbm_derive.dir/graph.cc.o.d"
+  "/root/repo/src/derive/operators.cc" "src/derive/CMakeFiles/tbm_derive.dir/operators.cc.o" "gcc" "src/derive/CMakeFiles/tbm_derive.dir/operators.cc.o.d"
+  "/root/repo/src/derive/value.cc" "src/derive/CMakeFiles/tbm_derive.dir/value.cc.o" "gcc" "src/derive/CMakeFiles/tbm_derive.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/tbm_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/time/CMakeFiles/tbm_time.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/tbm_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/tbm_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/tbm_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/midi/CMakeFiles/tbm_midi.dir/DependInfo.cmake"
+  "/root/repo/build/src/anim/CMakeFiles/tbm_anim.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/tbm_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbm_derive.dir/graph.cc.o"
+  "CMakeFiles/tbm_derive.dir/graph.cc.o.d"
+  "CMakeFiles/tbm_derive.dir/operators.cc.o"
+  "CMakeFiles/tbm_derive.dir/operators.cc.o.d"
+  "CMakeFiles/tbm_derive.dir/value.cc.o"
+  "CMakeFiles/tbm_derive.dir/value.cc.o.d"
+  "libtbm_derive.a"
+  "libtbm_derive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbm_derive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tbm_derive.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbm_interp.dir/av_capture.cc.o"
+  "CMakeFiles/tbm_interp.dir/av_capture.cc.o.d"
+  "CMakeFiles/tbm_interp.dir/capture.cc.o"
+  "CMakeFiles/tbm_interp.dir/capture.cc.o.d"
+  "CMakeFiles/tbm_interp.dir/index.cc.o"
+  "CMakeFiles/tbm_interp.dir/index.cc.o.d"
+  "CMakeFiles/tbm_interp.dir/interpretation.cc.o"
+  "CMakeFiles/tbm_interp.dir/interpretation.cc.o.d"
+  "libtbm_interp.a"
+  "libtbm_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbm_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

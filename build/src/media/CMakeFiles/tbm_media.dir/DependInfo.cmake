@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/media/attr.cc" "src/media/CMakeFiles/tbm_media.dir/attr.cc.o" "gcc" "src/media/CMakeFiles/tbm_media.dir/attr.cc.o.d"
+  "/root/repo/src/media/descriptor.cc" "src/media/CMakeFiles/tbm_media.dir/descriptor.cc.o" "gcc" "src/media/CMakeFiles/tbm_media.dir/descriptor.cc.o.d"
+  "/root/repo/src/media/media_type.cc" "src/media/CMakeFiles/tbm_media.dir/media_type.cc.o" "gcc" "src/media/CMakeFiles/tbm_media.dir/media_type.cc.o.d"
+  "/root/repo/src/media/quality.cc" "src/media/CMakeFiles/tbm_media.dir/quality.cc.o" "gcc" "src/media/CMakeFiles/tbm_media.dir/quality.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/tbm_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/time/CMakeFiles/tbm_time.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbm_media.dir/attr.cc.o"
+  "CMakeFiles/tbm_media.dir/attr.cc.o.d"
+  "CMakeFiles/tbm_media.dir/descriptor.cc.o"
+  "CMakeFiles/tbm_media.dir/descriptor.cc.o.d"
+  "CMakeFiles/tbm_media.dir/media_type.cc.o"
+  "CMakeFiles/tbm_media.dir/media_type.cc.o.d"
+  "CMakeFiles/tbm_media.dir/quality.cc.o"
+  "CMakeFiles/tbm_media.dir/quality.cc.o.d"
+  "libtbm_media.a"
+  "libtbm_media.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbm_media.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

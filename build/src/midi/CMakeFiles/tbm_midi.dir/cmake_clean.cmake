@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbm_midi.dir/midi.cc.o"
+  "CMakeFiles/tbm_midi.dir/midi.cc.o.d"
+  "CMakeFiles/tbm_midi.dir/synth.cc.o"
+  "CMakeFiles/tbm_midi.dir/synth.cc.o.d"
+  "libtbm_midi.a"
+  "libtbm_midi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbm_midi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

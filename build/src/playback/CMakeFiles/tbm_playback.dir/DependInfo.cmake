@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/playback/activity.cc" "src/playback/CMakeFiles/tbm_playback.dir/activity.cc.o" "gcc" "src/playback/CMakeFiles/tbm_playback.dir/activity.cc.o.d"
+  "/root/repo/src/playback/admission.cc" "src/playback/CMakeFiles/tbm_playback.dir/admission.cc.o" "gcc" "src/playback/CMakeFiles/tbm_playback.dir/admission.cc.o.d"
+  "/root/repo/src/playback/simulator.cc" "src/playback/CMakeFiles/tbm_playback.dir/simulator.cc.o" "gcc" "src/playback/CMakeFiles/tbm_playback.dir/simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/tbm_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/time/CMakeFiles/tbm_time.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/tbm_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/tbm_stream.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

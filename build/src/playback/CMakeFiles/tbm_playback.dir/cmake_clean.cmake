@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbm_playback.dir/activity.cc.o"
+  "CMakeFiles/tbm_playback.dir/activity.cc.o.d"
+  "CMakeFiles/tbm_playback.dir/admission.cc.o"
+  "CMakeFiles/tbm_playback.dir/admission.cc.o.d"
+  "CMakeFiles/tbm_playback.dir/simulator.cc.o"
+  "CMakeFiles/tbm_playback.dir/simulator.cc.o.d"
+  "libtbm_playback.a"
+  "libtbm_playback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbm_playback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stream/category.cc" "src/stream/CMakeFiles/tbm_stream.dir/category.cc.o" "gcc" "src/stream/CMakeFiles/tbm_stream.dir/category.cc.o.d"
+  "/root/repo/src/stream/timed_stream.cc" "src/stream/CMakeFiles/tbm_stream.dir/timed_stream.cc.o" "gcc" "src/stream/CMakeFiles/tbm_stream.dir/timed_stream.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/tbm_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/time/CMakeFiles/tbm_time.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/tbm_media.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

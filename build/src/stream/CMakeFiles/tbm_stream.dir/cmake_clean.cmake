@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbm_stream.dir/category.cc.o"
+  "CMakeFiles/tbm_stream.dir/category.cc.o.d"
+  "CMakeFiles/tbm_stream.dir/timed_stream.cc.o"
+  "CMakeFiles/tbm_stream.dir/timed_stream.cc.o.d"
+  "libtbm_stream.a"
+  "libtbm_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbm_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbm_text.dir/captions.cc.o"
+  "CMakeFiles/tbm_text.dir/captions.cc.o.d"
+  "CMakeFiles/tbm_text.dir/font.cc.o"
+  "CMakeFiles/tbm_text.dir/font.cc.o.d"
+  "libtbm_text.a"
+  "libtbm_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbm_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/time/rational.cc" "src/time/CMakeFiles/tbm_time.dir/rational.cc.o" "gcc" "src/time/CMakeFiles/tbm_time.dir/rational.cc.o.d"
+  "/root/repo/src/time/time_system.cc" "src/time/CMakeFiles/tbm_time.dir/time_system.cc.o" "gcc" "src/time/CMakeFiles/tbm_time.dir/time_system.cc.o.d"
+  "/root/repo/src/time/timecode.cc" "src/time/CMakeFiles/tbm_time.dir/timecode.cc.o" "gcc" "src/time/CMakeFiles/tbm_time.dir/timecode.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/tbm_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

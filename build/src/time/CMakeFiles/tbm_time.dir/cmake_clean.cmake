@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbm_time.dir/rational.cc.o"
+  "CMakeFiles/tbm_time.dir/rational.cc.o.d"
+  "CMakeFiles/tbm_time.dir/time_system.cc.o"
+  "CMakeFiles/tbm_time.dir/time_system.cc.o.d"
+  "CMakeFiles/tbm_time.dir/timecode.cc.o"
+  "CMakeFiles/tbm_time.dir/timecode.cc.o.d"
+  "libtbm_time.a"
+  "libtbm_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbm_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

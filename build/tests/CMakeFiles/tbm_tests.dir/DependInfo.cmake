@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/admission_test.cc" "tests/CMakeFiles/tbm_tests.dir/admission_test.cc.o" "gcc" "tests/CMakeFiles/tbm_tests.dir/admission_test.cc.o.d"
+  "/root/repo/tests/anim_test.cc" "tests/CMakeFiles/tbm_tests.dir/anim_test.cc.o" "gcc" "tests/CMakeFiles/tbm_tests.dir/anim_test.cc.o.d"
+  "/root/repo/tests/base_test.cc" "tests/CMakeFiles/tbm_tests.dir/base_test.cc.o" "gcc" "tests/CMakeFiles/tbm_tests.dir/base_test.cc.o.d"
+  "/root/repo/tests/blob_test.cc" "tests/CMakeFiles/tbm_tests.dir/blob_test.cc.o" "gcc" "tests/CMakeFiles/tbm_tests.dir/blob_test.cc.o.d"
+  "/root/repo/tests/bridge_test.cc" "tests/CMakeFiles/tbm_tests.dir/bridge_test.cc.o" "gcc" "tests/CMakeFiles/tbm_tests.dir/bridge_test.cc.o.d"
+  "/root/repo/tests/codec_test.cc" "tests/CMakeFiles/tbm_tests.dir/codec_test.cc.o" "gcc" "tests/CMakeFiles/tbm_tests.dir/codec_test.cc.o.d"
+  "/root/repo/tests/compose_test.cc" "tests/CMakeFiles/tbm_tests.dir/compose_test.cc.o" "gcc" "tests/CMakeFiles/tbm_tests.dir/compose_test.cc.o.d"
+  "/root/repo/tests/db_test.cc" "tests/CMakeFiles/tbm_tests.dir/db_test.cc.o" "gcc" "tests/CMakeFiles/tbm_tests.dir/db_test.cc.o.d"
+  "/root/repo/tests/derive_test.cc" "tests/CMakeFiles/tbm_tests.dir/derive_test.cc.o" "gcc" "tests/CMakeFiles/tbm_tests.dir/derive_test.cc.o.d"
+  "/root/repo/tests/extensions_test.cc" "tests/CMakeFiles/tbm_tests.dir/extensions_test.cc.o" "gcc" "tests/CMakeFiles/tbm_tests.dir/extensions_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/tbm_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/tbm_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/interp_test.cc" "tests/CMakeFiles/tbm_tests.dir/interp_test.cc.o" "gcc" "tests/CMakeFiles/tbm_tests.dir/interp_test.cc.o.d"
+  "/root/repo/tests/media_test.cc" "tests/CMakeFiles/tbm_tests.dir/media_test.cc.o" "gcc" "tests/CMakeFiles/tbm_tests.dir/media_test.cc.o.d"
+  "/root/repo/tests/midi_test.cc" "tests/CMakeFiles/tbm_tests.dir/midi_test.cc.o" "gcc" "tests/CMakeFiles/tbm_tests.dir/midi_test.cc.o.d"
+  "/root/repo/tests/playback_test.cc" "tests/CMakeFiles/tbm_tests.dir/playback_test.cc.o" "gcc" "tests/CMakeFiles/tbm_tests.dir/playback_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/tbm_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/tbm_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/stream_test.cc" "tests/CMakeFiles/tbm_tests.dir/stream_test.cc.o" "gcc" "tests/CMakeFiles/tbm_tests.dir/stream_test.cc.o.d"
+  "/root/repo/tests/text_test.cc" "tests/CMakeFiles/tbm_tests.dir/text_test.cc.o" "gcc" "tests/CMakeFiles/tbm_tests.dir/text_test.cc.o.d"
+  "/root/repo/tests/time_test.cc" "tests/CMakeFiles/tbm_tests.dir/time_test.cc.o" "gcc" "tests/CMakeFiles/tbm_tests.dir/time_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/playback/CMakeFiles/tbm_playback.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/tbm_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/tbm_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/blob/CMakeFiles/tbm_blob.dir/DependInfo.cmake"
+  "/root/repo/build/src/compose/CMakeFiles/tbm_compose.dir/DependInfo.cmake"
+  "/root/repo/build/src/derive/CMakeFiles/tbm_derive.dir/DependInfo.cmake"
+  "/root/repo/build/src/midi/CMakeFiles/tbm_midi.dir/DependInfo.cmake"
+  "/root/repo/build/src/anim/CMakeFiles/tbm_anim.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/tbm_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/tbm_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/tbm_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/tbm_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/time/CMakeFiles/tbm_time.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/tbm_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbmctl.dir/tbmctl.cpp.o"
+  "CMakeFiles/tbmctl.dir/tbmctl.cpp.o.d"
+  "tbmctl"
+  "tbmctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbmctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
