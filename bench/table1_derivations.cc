@@ -100,7 +100,7 @@ void PrintTable1() {
         "add derived");
     auto feasibility =
         ValueOrDie(graph.MeasureFeasibility(node), "feasibility");
-    const MediaValue* value = ValueOrDie(graph.Evaluate(node), "evaluate");
+    ValueRef value = ValueOrDie(graph.Evaluate(node), "evaluate");
     uint64_t record = ValueOrDie(graph.DerivationRecordBytes(node), "record");
     uint64_t expanded = ExpandedBytes(*value);
 

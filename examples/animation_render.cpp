@@ -4,10 +4,7 @@
 // music bed from MIDI, and compose both into a multimedia object.
 #include <cstdio>
 
-#include "anim/animation.h"
-#include "db/database.h"
-#include "midi/midi.h"
-#include "stream/category.h"
+#include "tbm.h"
 
 using namespace tbm;
 

@@ -6,15 +6,7 @@
 // visual fidelity."
 #include <cstdio>
 
-#include "codec/export.h"
-#include "codec/pcm.h"
-#include "codec/synthetic.h"
-#include "codec/tjpeg.h"
-#include "codec/tmpeg.h"
-#include "db/database.h"
-#include "interp/capture.h"
-#include "interp/index.h"
-#include "text/captions.h"
+#include "tbm.h"
 
 using namespace tbm;
 

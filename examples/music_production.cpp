@@ -4,10 +4,7 @@
 // assemble the result as a multimedia object.
 #include <cstdio>
 
-#include "codec/pcm.h"
-#include "db/database.h"
-#include "midi/midi.h"
-#include "stream/category.h"
+#include "tbm.h"
 
 using namespace tbm;
 

@@ -7,12 +7,7 @@
 //   ./build/examples/quickstart
 #include <cstdio>
 
-#include "codec/pcm.h"
-#include "codec/synthetic.h"
-#include "db/database.h"
-#include "interp/av_capture.h"
-#include "playback/simulator.h"
-#include "stream/category.h"
+#include "tbm.h"
 
 using namespace tbm;
 

@@ -4,8 +4,7 @@
 // expand the final cut into a stored non-derived object.
 #include <cstdio>
 
-#include "codec/synthetic.h"
-#include "db/database.h"
+#include "tbm.h"
 
 using namespace tbm;
 

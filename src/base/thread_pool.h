@@ -1,0 +1,60 @@
+#ifndef TBM_BASE_THREAD_POOL_H_
+#define TBM_BASE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tbm {
+
+/// A fixed-size worker pool over a shared task queue.
+///
+/// This is the execution substrate of the derivation evaluation engine
+/// (see derive/scheduler.h) and of parallel activity flows
+/// (playback/activity.h). Tasks are plain closures; ordering across
+/// tasks is unspecified, so callers sequence dependent work themselves
+/// (the scheduler does this with dependency counts).
+///
+/// The pool is intentionally simple — a mutex-guarded deque and a
+/// condition variable — because evaluation tasks are coarse (whole
+/// derivation steps, typically milliseconds of media processing), so
+/// queue contention is negligible compared to task cost.
+class ThreadPool {
+ public:
+  /// Starts `threads` workers. `threads` must be >= 1; use
+  /// DefaultThreads() to size from the hardware.
+  explicit ThreadPool(int threads);
+
+  /// Drains outstanding tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Never blocks (the queue is unbounded); tasks run
+  /// in FIFO dispatch order across whichever workers free up first.
+  void Submit(std::function<void()> task);
+
+  /// Number of worker threads.
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Hardware concurrency, with a floor of 1 (hardware_concurrency()
+  /// may report 0 on exotic platforms).
+  static int DefaultThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace tbm
+
+#endif  // TBM_BASE_THREAD_POOL_H_

@@ -36,8 +36,7 @@ Result<std::vector<MultimediaObject::TimelineEntry>>
 MultimediaObject::Timeline() const {
   std::vector<TimelineEntry> entries;
   for (const Component& component : components_) {
-    TBM_ASSIGN_OR_RETURN(const MediaValue* value,
-                         graph_->Evaluate(component.media));
+    TBM_ASSIGN_OR_RETURN(ValueRef value, graph_->Evaluate(component.media));
     TimelineEntry entry;
     entry.component = component.name;
     TBM_ASSIGN_OR_RETURN(entry.media, graph_->NameOf(component.media));
@@ -155,9 +154,8 @@ Result<AudioBuffer> MultimediaObject::MixAudio(int64_t sample_rate,
                                 Rounding::kCeil);
   std::vector<double> mix(static_cast<size_t>(frames) * channels, 0.0);
   for (const Component& component : components_) {
-    TBM_ASSIGN_OR_RETURN(const MediaValue* value,
-                         graph_->Evaluate(component.media));
-    const AudioBuffer* audio = std::get_if<AudioBuffer>(value);
+    TBM_ASSIGN_OR_RETURN(ValueRef value, graph_->Evaluate(component.media));
+    const AudioBuffer* audio = std::get_if<AudioBuffer>(value.get());
     if (audio == nullptr) continue;  // Only audio components contribute.
     if (audio->sample_rate != sample_rate || audio->channels != channels) {
       return Status::InvalidArgument(
@@ -195,15 +193,15 @@ Result<Image> MultimediaObject::RenderFrameAt(double t_seconds, int32_t width,
 
   struct VisualHit {
     const Component* component;
+    ValueRef value;  ///< Pins `frame`, which points into it.
     const Image* frame;
     SpatialPlacement placement;
   };
   std::vector<VisualHit> hits;
   for (const Component& component : components_) {
-    TBM_ASSIGN_OR_RETURN(const MediaValue* value,
-                         graph_->Evaluate(component.media));
-    const VideoValue* video = std::get_if<VideoValue>(value);
-    const Image* still = std::get_if<Image>(value);
+    TBM_ASSIGN_OR_RETURN(ValueRef value, graph_->Evaluate(component.media));
+    const VideoValue* video = std::get_if<VideoValue>(value.get());
+    const Image* still = std::get_if<Image>(value.get());
     const Image* frame = nullptr;
     if (video != nullptr) {
       double local = t_seconds - component.start_seconds.ToDouble();
@@ -223,7 +221,7 @@ Result<Image> MultimediaObject::RenderFrameAt(double t_seconds, int32_t width,
     }
     SpatialPlacement placement =
         component.spatial.value_or(SpatialPlacement{});
-    hits.push_back(VisualHit{&component, frame, placement});
+    hits.push_back(VisualHit{&component, std::move(value), frame, placement});
   }
   std::stable_sort(hits.begin(), hits.end(),
                    [](const VisualHit& a, const VisualHit& b) {

@@ -487,8 +487,10 @@ Result<MediaValue> MediaDatabase::Materialize(ObjectId id) const {
   DerivationGraph graph;
   std::map<ObjectId, NodeId> built;
   TBM_ASSIGN_OR_RETURN(NodeId node, BuildGraphNode(id, &graph, &built));
-  TBM_ASSIGN_OR_RETURN(const MediaValue* value, graph.Evaluate(node));
-  return *value;  // Copy out; the graph dies with this frame.
+  DerivationEngine engine(&graph, eval_options_);
+  TBM_ASSIGN_OR_RETURN(ValueRef value, engine.Evaluate(node));
+  last_eval_stats_ = engine.stats();
+  return *value;  // Copy out; the graph and engine die with this frame.
 }
 
 Result<std::unique_ptr<ComposedView>> MediaDatabase::Compose(

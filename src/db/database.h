@@ -13,6 +13,7 @@
 #include "db/codec_bridge.h"
 #include "db/rights.h"
 #include "derive/graph.h"
+#include "derive/scheduler.h"
 #include "interp/interpretation.h"
 
 namespace tbm {
@@ -196,8 +197,18 @@ class MediaDatabase {
                                             TickSpan span) const;
 
   /// Materializes a media or derived object as its typed value,
-  /// expanding derivations as needed (memoized per call graph).
+  /// expanding derivations as needed (memoized per call graph). The
+  /// expansion runs through a DerivationEngine configured by
+  /// `eval_options()`; counters land in `last_eval_stats()`.
   Result<MediaValue> Materialize(ObjectId id) const;
+
+  /// Evaluation knobs (threads, cache budget) used by Materialize and
+  /// MaterializeFor.
+  void set_eval_options(EvalOptions options) { eval_options_ = options; }
+  const EvalOptions& eval_options() const { return eval_options_; }
+
+  /// Engine counters of the most recent Materialize call.
+  const EvalStats& last_eval_stats() const { return last_eval_stats_; }
 
   /// Builds an evaluable view of a multimedia object: a derivation
   /// graph holding all transitive components plus the composed object.
@@ -270,6 +281,8 @@ class MediaDatabase {
   std::map<std::string, std::multimap<std::string, ObjectId>> attr_indexes_;
   RightsManager rights_;
   ObjectId next_id_ = 1;
+  EvalOptions eval_options_;
+  mutable EvalStats last_eval_stats_;
 };
 
 }  // namespace tbm

@@ -1,0 +1,144 @@
+#include "derive/cache.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace tbm {
+
+std::string CacheStats::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "hits %llu, misses %llu, evictions %llu, insertions %llu, "
+                "oversize %llu, invalidations %llu, cached %llu/%llu bytes "
+                "in %llu entries",
+                (unsigned long long)hits, (unsigned long long)misses,
+                (unsigned long long)evictions, (unsigned long long)insertions,
+                (unsigned long long)oversize_rejects,
+                (unsigned long long)invalidations,
+                (unsigned long long)bytes_cached,
+                (unsigned long long)budget_bytes, (unsigned long long)entries);
+  return buf;
+}
+
+ExpansionCache::ExpansionCache(uint64_t budget_bytes, int shards)
+    : budget_(budget_bytes),
+      shard_count_(std::max(shards, 1)),
+      shards_(std::make_unique<Shard[]>(shard_count_)) {
+  uint64_t slice = budget_ / shard_count_;
+  uint64_t remainder = budget_ % shard_count_;
+  for (int i = 0; i < shard_count_; ++i) {
+    shards_[i].budget = slice + (static_cast<uint64_t>(i) < remainder ? 1 : 0);
+  }
+}
+
+ExpansionCache::Shard& ExpansionCache::ShardFor(NodeId id) {
+  // Node ids are dense and sequential, so modulo spreads a DAG's nodes
+  // evenly; mix in a shift so chains of adjacent ids don't all land in
+  // lockstep order.
+  uint64_t h = static_cast<uint64_t>(id);
+  h ^= h >> 4;
+  return shards_[h % static_cast<uint64_t>(shard_count_)];
+}
+
+ValueRef ExpansionCache::Lookup(NodeId id) {
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(id);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return nullptr;
+  }
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->value;
+}
+
+void ExpansionCache::MakeRoom(Shard& shard, uint64_t incoming) {
+  while (!shard.lru.empty() && shard.bytes + incoming > shard.budget) {
+    // Weigh the few least-recently-used entries and evict the one whose
+    // recomputation is cheapest per byte freed.
+    auto victim = std::prev(shard.lru.end());
+    double victim_density =
+        victim->cost_seconds / static_cast<double>(std::max<uint64_t>(
+                                   victim->bytes, 1));
+    auto candidate = victim;
+    for (int i = 1; i < kEvictionSample && candidate != shard.lru.begin();
+         ++i) {
+      --candidate;
+      double density = candidate->cost_seconds /
+                       static_cast<double>(std::max<uint64_t>(
+                           candidate->bytes, 1));
+      if (density < victim_density) {
+        victim = candidate;
+        victim_density = density;
+      }
+    }
+    shard.bytes -= victim->bytes;
+    shard.index.erase(victim->id);
+    shard.lru.erase(victim);
+    ++shard.evictions;
+  }
+}
+
+void ExpansionCache::Insert(NodeId id, ValueRef value, uint64_t bytes,
+                            double cost_seconds) {
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(id);
+  if (it != shard.index.end()) {
+    shard.bytes -= it->second->bytes;
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+  }
+  if (bytes > shard.budget) {
+    ++shard.oversize_rejects;
+    return;  // Caching it would break the budget invariant.
+  }
+  MakeRoom(shard, bytes);
+  shard.lru.push_front(Entry{id, std::move(value), bytes, cost_seconds});
+  shard.index.emplace(id, shard.lru.begin());
+  shard.bytes += bytes;
+  ++shard.insertions;
+}
+
+void ExpansionCache::Erase(NodeId id) {
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(id);
+  if (it == shard.index.end()) return;
+  shard.bytes -= it->second->bytes;
+  shard.lru.erase(it->second);
+  shard.index.erase(it);
+  ++shard.invalidations;
+}
+
+void ExpansionCache::Clear() {
+  for (int i = 0; i < shard_count_; ++i) {
+    Shard& shard = shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.invalidations += shard.lru.size();
+    shard.lru.clear();
+    shard.index.clear();
+    shard.bytes = 0;
+  }
+}
+
+CacheStats ExpansionCache::stats() const {
+  CacheStats total;
+  total.budget_bytes = budget_;
+  for (int i = 0; i < shard_count_; ++i) {
+    const Shard& shard = shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total.hits += shard.hits;
+    total.misses += shard.misses;
+    total.evictions += shard.evictions;
+    total.insertions += shard.insertions;
+    total.oversize_rejects += shard.oversize_rejects;
+    total.invalidations += shard.invalidations;
+    total.bytes_cached += shard.bytes;
+    total.entries += shard.lru.size();
+  }
+  return total;
+}
+
+}  // namespace tbm

@@ -1,0 +1,117 @@
+#ifndef TBM_DERIVE_CACHE_H_
+#define TBM_DERIVE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "derive/value.h"
+
+namespace tbm {
+
+/// Node handle within a DerivationGraph (mirrors derive/graph.h).
+using NodeId = int64_t;
+
+/// Counters exposed by ExpansionCache. All values are cumulative since
+/// construction (or the last Clear(), for the occupancy fields).
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;         ///< Entries pushed out by the byte budget.
+  uint64_t insertions = 0;
+  uint64_t oversize_rejects = 0;  ///< Values too large to ever fit a shard.
+  uint64_t invalidations = 0;     ///< Entries dropped by Erase()/Clear().
+  uint64_t bytes_cached = 0;      ///< Current occupancy.
+  uint64_t entries = 0;           ///< Current entry count.
+  uint64_t budget_bytes = 0;      ///< Configured ceiling.
+
+  std::string ToString() const;
+};
+
+/// A sharded, byte-budgeted expansion cache for derivation results.
+///
+/// The paper's derivation objects store the *specification* of each
+/// step and are expanded on demand (§4.2); under server load the
+/// expansions themselves must be reusable yet bounded in memory. This
+/// cache maps derivation nodes to their expanded values with:
+///
+///  - **sharding**: entries hash to one of N independently locked
+///    shards, so concurrent evaluation workers rarely contend;
+///  - **byte budget**: the sum of cached value sizes never exceeds the
+///    configured budget (values larger than a shard's slice are simply
+///    not cached);
+///  - **cost-aware LRU eviction**: when a shard must make room it
+///    examines a small sample of its least-recently-used entries and
+///    evicts the one that is cheapest to recompute per byte freed
+///    (recompute seconds / bytes), so an expensive little render
+///    outlives a cheap bulky memcpy of the same age.
+///
+/// Thread-safe. ValueRefs returned by Lookup remain valid after the
+/// entry is evicted.
+class ExpansionCache {
+ public:
+  static constexpr int kDefaultShards = 8;
+  /// How many LRU-tail entries the evictor weighs against each other.
+  static constexpr int kEvictionSample = 4;
+
+  /// `budget_bytes` is the total ceiling across shards; each of the
+  /// `shards` slices enforces an equal share of it.
+  explicit ExpansionCache(uint64_t budget_bytes, int shards = kDefaultShards);
+
+  ExpansionCache(const ExpansionCache&) = delete;
+  ExpansionCache& operator=(const ExpansionCache&) = delete;
+
+  /// Returns the cached value for `id`, or nullptr (counted as hit or
+  /// miss). A hit refreshes the entry's recency.
+  ValueRef Lookup(NodeId id);
+
+  /// Caches `value` (replacing any previous entry for `id`).
+  /// `bytes` is the value's expanded size; `cost_seconds` is the wall
+  /// time that was spent computing it, used by the cost-aware evictor.
+  void Insert(NodeId id, ValueRef value, uint64_t bytes, double cost_seconds);
+
+  /// Drops the entry for `id`, if present.
+  void Erase(NodeId id);
+
+  /// Drops every entry.
+  void Clear();
+
+  CacheStats stats() const;
+  uint64_t budget_bytes() const { return budget_; }
+
+ private:
+  struct Entry {
+    NodeId id = 0;
+    ValueRef value;
+    uint64_t bytes = 0;
+    double cost_seconds = 0.0;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  ///< Front = most recently used.
+    std::unordered_map<NodeId, std::list<Entry>::iterator> index;
+    uint64_t bytes = 0;
+    uint64_t budget = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t insertions = 0;
+    uint64_t oversize_rejects = 0;
+    uint64_t invalidations = 0;
+  };
+
+  Shard& ShardFor(NodeId id);
+  /// Evicts until `incoming` more bytes fit. Caller holds `shard.mu`.
+  static void MakeRoom(Shard& shard, uint64_t incoming);
+
+  uint64_t budget_;
+  int shard_count_;
+  std::unique_ptr<Shard[]> shards_;
+};
+
+}  // namespace tbm
+
+#endif  // TBM_DERIVE_CACHE_H_

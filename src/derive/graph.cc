@@ -1,16 +1,66 @@
 #include "derive/graph.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "base/macros.h"
+#include "derive/scheduler.h"
 
 namespace tbm {
+
+namespace {
+/// Dirty-log entries retained before the window is trimmed. Large
+/// enough that any engine evaluating with normal cadence reconciles
+/// incrementally; an engine further behind falls back to a full
+/// invalidation.
+constexpr size_t kDirtyLogWindow = 4096;
+}  // namespace
+
+DerivationGraph::DerivationGraph(const DerivationRegistry* registry)
+    : registry_(registry) {}
+
+DerivationGraph::~DerivationGraph() = default;
+
+DerivationGraph::DerivationGraph(DerivationGraph&& other) noexcept
+    : registry_(other.registry_),
+      nodes_(std::move(other.nodes_)),
+      mutation_seq_(other.mutation_seq_),
+      dirty_log_(std::move(other.dirty_log_)),
+      dirty_trimmed_seq_(other.dirty_trimmed_seq_) {
+  // other's builtin engine points at `other`; it cannot be adopted.
+  // Ours is rebuilt lazily (its cache starts cold, which is safe).
+  other.nodes_.clear();
+  other.dirty_log_.clear();
+  other.builtin_engine_.reset();
+}
+
+DerivationGraph& DerivationGraph::operator=(DerivationGraph&& other) noexcept {
+  if (this != &other) {
+    registry_ = other.registry_;
+    nodes_ = std::move(other.nodes_);
+    mutation_seq_ = other.mutation_seq_;
+    dirty_log_ = std::move(other.dirty_log_);
+    dirty_trimmed_seq_ = other.dirty_trimmed_seq_;
+    builtin_engine_.reset();
+    other.nodes_.clear();
+    other.dirty_log_.clear();
+    other.builtin_engine_.reset();
+  }
+  return *this;
+}
+
+DerivationEngine* DerivationGraph::BuiltinEngine() {
+  if (builtin_engine_ == nullptr) {
+    builtin_engine_ = std::make_unique<DerivationEngine>(this, EvalOptions{});
+  }
+  return builtin_engine_.get();
+}
 
 NodeId DerivationGraph::AddLeaf(MediaValue value, std::string name) {
   Node node;
   node.name = name.empty() ? "leaf" + std::to_string(nodes_.size())
                            : std::move(name);
-  node.value = std::move(value);
+  node.value = std::make_shared<const MediaValue>(std::move(value));
   nodes_.push_back(std::move(node));
   return static_cast<NodeId>(nodes_.size() - 1);
 }
@@ -38,6 +88,36 @@ Result<NodeId> DerivationGraph::AddDerived(const std::string& op,
   return static_cast<NodeId>(nodes_.size() - 1);
 }
 
+Status DerivationGraph::UpdateParams(NodeId id, AttrMap params) {
+  TBM_RETURN_IF_ERROR(CheckId(id));
+  Node& node = nodes_[id];
+  if (node.value != nullptr) {
+    return Status::InvalidArgument("node " + std::to_string(id) +
+                                   " is a leaf and has no parameters");
+  }
+  node.params = std::move(params);
+  ++mutation_seq_;
+  dirty_log_.emplace_back(mutation_seq_, id);
+  if (dirty_log_.size() > kDirtyLogWindow) {
+    size_t drop = dirty_log_.size() / 2;
+    dirty_trimmed_seq_ = dirty_log_[drop - 1].first;
+    dirty_log_.erase(dirty_log_.begin(),
+                     dirty_log_.begin() + static_cast<ptrdiff_t>(drop));
+  }
+  return Status::OK();
+}
+
+std::vector<NodeId> DerivationGraph::DirtyNodesSince(uint64_t seq) const {
+  if (seq < dirty_trimmed_seq_) {
+    return {kDirtyLogTrimmed};  // The log no longer reaches back to seq.
+  }
+  std::vector<NodeId> dirty;
+  for (const auto& [at, id] : dirty_log_) {
+    if (at > seq) dirty.push_back(id);
+  }
+  return dirty;
+}
+
 Status DerivationGraph::CheckId(NodeId id) const {
   if (id < 0 || id >= static_cast<NodeId>(nodes_.size())) {
     return Status::NotFound("no derivation node " + std::to_string(id));
@@ -45,8 +125,9 @@ Status DerivationGraph::CheckId(NodeId id) const {
   return Status::OK();
 }
 
-bool DerivationGraph::IsDerived(NodeId id) const {
-  return CheckId(id).ok() && !nodes_[id].value.has_value();
+Result<bool> DerivationGraph::IsDerived(NodeId id) const {
+  TBM_RETURN_IF_ERROR(CheckId(id));
+  return nodes_[id].value == nullptr;
 }
 
 Result<std::string> DerivationGraph::NameOf(NodeId id) const {
@@ -54,31 +135,18 @@ Result<std::string> DerivationGraph::NameOf(NodeId id) const {
   return nodes_[id].name;
 }
 
-Result<const MediaValue*> DerivationGraph::Evaluate(NodeId id) {
-  TBM_RETURN_IF_ERROR(CheckId(id));
-  Node& node = nodes_[id];
-  if (node.value.has_value()) return &*node.value;
-  if (node.cache.has_value()) return &*node.cache;
-  std::vector<const MediaValue*> args;
-  args.reserve(node.inputs.size());
-  for (NodeId input : node.inputs) {
-    TBM_ASSIGN_OR_RETURN(const MediaValue* value, Evaluate(input));
-    args.push_back(value);
-  }
-  TBM_ASSIGN_OR_RETURN(MediaValue result,
-                       registry_->Apply(node.op, args, node.params));
-  node.cache = std::move(result);
-  return &*node.cache;
+Result<ValueRef> DerivationGraph::Evaluate(NodeId id) {
+  return BuiltinEngine()->Evaluate(id);
 }
 
 void DerivationGraph::DropCache() {
-  for (Node& node : nodes_) node.cache.reset();
+  if (builtin_engine_ != nullptr) builtin_engine_->InvalidateAll();
 }
 
 Result<uint64_t> DerivationGraph::DerivationRecordBytes(NodeId id) const {
   TBM_RETURN_IF_ERROR(CheckId(id));
   const Node& node = nodes_[id];
-  if (node.value.has_value()) {
+  if (node.value != nullptr) {
     return sizeof(NodeId);  // A leaf contributes only its reference.
   }
   BinaryWriter writer;
@@ -99,7 +167,7 @@ Result<DerivationGraph::Feasibility> DerivationGraph::MeasureFeasibility(
   TBM_RETURN_IF_ERROR(CheckId(id));
   DropCache();
   auto start = std::chrono::steady_clock::now();
-  TBM_ASSIGN_OR_RETURN(const MediaValue* value, Evaluate(id));
+  TBM_ASSIGN_OR_RETURN(ValueRef value, Evaluate(id));
   auto end = std::chrono::steady_clock::now();
   Feasibility feasibility;
   feasibility.expansion_seconds =
@@ -118,7 +186,7 @@ std::vector<DerivationGraph::NodeInfo> DerivationGraph::Nodes() const {
     NodeInfo info;
     info.id = static_cast<NodeId>(i);
     info.name = node.name;
-    info.derived = !node.value.has_value();
+    info.derived = node.value == nullptr;
     info.op = node.op;
     info.inputs = node.inputs;
     infos.push_back(std::move(info));

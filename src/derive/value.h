@@ -1,6 +1,7 @@
 #ifndef TBM_DERIVE_VALUE_H_
 #define TBM_DERIVE_VALUE_H_
 
+#include <memory>
 #include <variant>
 #include <vector>
 
@@ -34,6 +35,15 @@ struct VideoValue {
 /// constructors); derivations map values to values.
 using MediaValue = std::variant<AudioBuffer, VideoValue, Image, MidiSequence,
                                 AnimationScene, TimedStream>;
+
+/// Shared, immutable handle to an expanded media value.
+///
+/// Evaluation hands out ValueRefs instead of raw pointers so that the
+/// expansion cache can evict entries under its byte budget without
+/// invalidating values a caller is still holding: the value stays alive
+/// for as long as any ValueRef to it does, wherever the cache entry
+/// went.
+using ValueRef = std::shared_ptr<const MediaValue>;
 
 /// The media kind of a runtime value (timed streams report their
 /// descriptor's kind).

@@ -1,4 +1,5 @@
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <filesystem>
 
@@ -46,7 +47,10 @@ std::unique_ptr<BlobStore> MakeStore(StoreKind kind,
 class BlobStoreContract : public ::testing::TestWithParam<StoreKind> {
  protected:
   void SetUp() override {
+    // Keyed by pid as well: ctest runs each test in its own process,
+    // so a per-process counter alone collides under `ctest -j`.
     scratch_ = ::testing::TempDir() + "/blobstore_" +
+               std::to_string(static_cast<long>(::getpid())) + "_" +
                std::to_string(static_cast<int>(GetParam())) + "_" +
                std::to_string(counter_++);
     std::filesystem::remove_all(scratch_);

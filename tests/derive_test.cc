@@ -448,14 +448,17 @@ TEST(GraphTest, EvaluatesAndCaches) {
   ASSERT_TRUE(derived.ok());
   auto value = graph.Evaluate(*derived);
   ASSERT_TRUE(value.ok());
-  const MediaValue* first_pointer = *value;
+  const MediaValue* first_pointer = value->get();
   // Second evaluation returns the cached value.
   auto again = graph.Evaluate(*derived);
   ASSERT_TRUE(again.ok());
-  EXPECT_EQ(*again, first_pointer);
+  EXPECT_EQ(again->get(), first_pointer);
   graph.DropCache();
   auto fresh = graph.Evaluate(*derived);
   ASSERT_TRUE(fresh.ok());
+  // The dropped value stays alive (and intact) through the earlier ref.
+  EXPECT_NE(fresh->get(), first_pointer);
+  EXPECT_EQ(KindOfValue(**value), MediaKind::kAudio);
 }
 
 TEST(GraphTest, ChainsAndDagSharing) {

@@ -251,7 +251,29 @@ TEST(CategoryTest, EmptyStreamVacuous) {
   EXPECT_TRUE(cats.homogeneous);
   EXPECT_TRUE(cats.continuous);
   EXPECT_TRUE(cats.uniform);
+  EXPECT_TRUE(cats.constant_frequency);
+  EXPECT_TRUE(cats.constant_data_rate);
   EXPECT_FALSE(cats.event_based);
+  EXPECT_EQ(cats.ToString(), "homogeneous, uniform");
+}
+
+TEST(CategoryTest, SingleElementIsUniform) {
+  // One timed element: every universally-quantified predicate holds,
+  // and d != 0 keeps the continuous subtypes (unlike a single event).
+  TimedStream stream(PcmDescriptor(), TimeSystem(100));
+  StreamElement e;
+  e.data = Data(4);
+  e.start = 7;  // A nonzero start must not affect continuity.
+  e.duration = 2;
+  ASSERT_TRUE(stream.Append(std::move(e)).ok());
+  StreamCategories cats = Classify(stream);
+  EXPECT_TRUE(cats.homogeneous);
+  EXPECT_TRUE(cats.continuous);
+  EXPECT_TRUE(cats.uniform);
+  EXPECT_TRUE(cats.constant_frequency);
+  EXPECT_TRUE(cats.constant_data_rate);
+  EXPECT_FALSE(cats.event_based);
+  EXPECT_EQ(cats.ToString(), "homogeneous, uniform");
 }
 
 // ---------------------------------------------------------------------------

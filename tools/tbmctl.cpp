@@ -6,15 +6,15 @@
 //                                         (.wav audio, .ppm/.pgm image,
 //                                          video -> <out>_NNNN.ppm frames)
 //   tbmctl play   <dbdir> <name>          simulate presentation timing
+//   tbmctl eval   <dbdir> <name> [threads] materialize and report
+//                                          evaluation-engine statistics
 //   tbmctl stats  <dbdir>                 storage statistics
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
-#include "codec/export.h"
-#include "db/database.h"
-#include "playback/simulator.h"
-#include "stream/category.h"
+#include "tbm.h"
 
 using namespace tbm;
 
@@ -31,6 +31,7 @@ int Usage() {
                "       tbmctl show <dbdir> <name>\n"
                "       tbmctl export <dbdir> <name> <out>\n"
                "       tbmctl play <dbdir> <name>\n"
+               "       tbmctl eval <dbdir> <name> [threads]\n"
                "       tbmctl stats <dbdir>\n");
   return 2;
 }
@@ -38,8 +39,9 @@ int Usage() {
 int CmdLs(MediaDatabase* db) {
   std::printf("%-6s %-28s %-18s %s\n", "id", "name", "kind", "details");
   for (ObjectId id : db->List()) {
-    const CatalogEntry* entry = db->Get(id).ValueOr(nullptr);
-    if (entry == nullptr) continue;
+    auto lookup = db->Get(id);
+    if (!lookup.ok()) return Fail(lookup.status());
+    const CatalogEntry* entry = *lookup;
     std::string details;
     switch (entry->kind) {
       case CatalogKind::kDerivedObject:
@@ -98,7 +100,12 @@ int CmdShow(MediaDatabase* db, const std::string& name) {
       std::printf("inputs:");
       for (ObjectId input : (*entry)->inputs) {
         auto in_entry = db->Get(input);
-        std::printf(" %s", in_entry.ok() ? (*in_entry)->name.c_str() : "?");
+        if (!in_entry.ok()) {
+          std::printf("\n");
+          return Fail(in_entry.status().WithContext(
+              "resolving input " + std::to_string(input)));
+        }
+        std::printf(" %s", (*in_entry)->name.c_str());
       }
       std::printf("\nparameters:\n%s", (*entry)->params.ToString().c_str());
       auto record = db->DerivationRecordBytes(*id);
@@ -212,13 +219,35 @@ int CmdPlay(MediaDatabase* db, const std::string& name) {
   return 0;
 }
 
+int CmdEval(MediaDatabase* db, const std::string& name, int threads) {
+  auto id = db->FindByName(name);
+  if (!id.ok()) return Fail(id.status());
+  EvalOptions options;
+  options.threads = threads;
+  db->set_eval_options(options);
+  auto value = db->Materialize(*id);
+  if (!value.ok()) return Fail(value.status());
+  std::printf("materialized \"%s\": %s, %s expanded\n", name.c_str(),
+              std::string(MediaKindToString(KindOfValue(*value))).c_str(),
+              HumanBytes(ExpandedBytes(*value)).c_str());
+  if (threads == 0) {
+    std::printf("engine (threads=auto):\n%s",
+                db->last_eval_stats().ToString().c_str());
+  } else {
+    std::printf("engine (threads=%d):\n%s", threads,
+                db->last_eval_stats().ToString().c_str());
+  }
+  return 0;
+}
+
 int CmdStats(MediaDatabase* db, const std::string& dir) {
   std::printf("database: %s\n", dir.c_str());
   std::printf("catalog objects: %zu\n", db->size());
   int counts[5] = {0};
   for (ObjectId id : db->List()) {
     auto entry = db->Get(id);
-    if (entry.ok()) ++counts[static_cast<int>((*entry)->kind)];
+    if (!entry.ok()) return Fail(entry.status());
+    ++counts[static_cast<int>((*entry)->kind)];
   }
   const char* names[5] = {"entities", "interpretations", "media objects",
                           "derived objects", "multimedia objects"};
@@ -249,6 +278,11 @@ int main(int argc, char** argv) {
   if (command == "stats") return CmdStats(db->get(), dir);
   if (command == "show" && argc >= 4) return CmdShow(db->get(), argv[3]);
   if (command == "play" && argc >= 4) return CmdPlay(db->get(), argv[3]);
+  if (command == "eval" && argc >= 4) {
+    int threads = argc >= 5 ? std::atoi(argv[4]) : 1;
+    if (threads < 0) return Usage();
+    return CmdEval(db->get(), argv[3], threads);
+  }
   if (command == "export" && argc >= 5) {
     return CmdExport(db->get(), argv[3], argv[4]);
   }
