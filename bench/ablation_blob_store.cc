@@ -195,8 +195,10 @@ BENCHMARK(BM_BuildCompactIndex)->Range(256, 16384);
 }  // namespace tbm
 
 int main(int argc, char** argv) {
+  bool stats = tbm::bench::ConsumeFlag(&argc, argv, "--stats");
   tbm::PrintAblation();
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
+  if (stats) tbm::bench::PrintRegistrySnapshot();
   return 0;
 }

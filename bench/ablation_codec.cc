@@ -177,8 +177,10 @@ BENCHMARK(BM_AdpcmDecode);
 }  // namespace tbm
 
 int main(int argc, char** argv) {
+  bool stats = tbm::bench::ConsumeFlag(&argc, argv, "--stats");
   tbm::PrintVideoAblation();
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
+  if (stats) tbm::bench::PrintRegistrySnapshot();
   return 0;
 }

@@ -366,8 +366,10 @@ BENCHMARK(BM_MergeActivity)->Range(256, 4096);
 }  // namespace tbm
 
 int main(int argc, char** argv) {
+  bool stats = tbm::bench::ConsumeFlag(&argc, argv, "--stats");
   tbm::PrintAblation();
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
+  if (stats) tbm::bench::PrintRegistrySnapshot();
   return 0;
 }

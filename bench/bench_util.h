@@ -5,9 +5,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "base/result.h"
 #include "base/status.h"
+#include "obs/metrics.h"
 
 namespace tbm::bench {
 
@@ -35,6 +37,32 @@ inline void Header(const char* title) {
   std::printf("\n================================================================\n");
   std::printf("%s\n", title);
   std::printf("================================================================\n");
+}
+
+/// Removes `flag` from argv if present and reports whether it was.
+/// Call before benchmark::Initialize so google-benchmark never sees
+/// flags it doesn't know.
+inline bool ConsumeFlag(int* argc, char** argv, const char* flag) {
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      for (int j = i; j + 1 < *argc; ++j) argv[j] = argv[j + 1];
+      --*argc;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Dumps the process-wide obs registry — what `--stats` prints after
+/// the benchmarks ran. Empty (and silent) in TBM_OBS_DISABLED builds.
+inline void PrintRegistrySnapshot() {
+  obs::MetricsSnapshot snapshot = obs::Registry::Global().Snapshot();
+  if (snapshot.empty()) {
+    std::printf("\n[obs registry is empty — built with TBM_OBS_DISABLED?]\n");
+    return;
+  }
+  Header("obs registry snapshot");
+  std::printf("%s", snapshot.ToString().c_str());
 }
 
 }  // namespace tbm::bench

@@ -1,0 +1,178 @@
+// Observability overhead bench: the tentpole acceptance check for the
+// obs/ subsystem. Runs the ablation_derivation_cache fan-out workload
+// (cold evaluations of a shared-source DAG — every node span, cache
+// counter and codec timer fires) and reports:
+//
+//  - workload wall time with the tracer recording vs runtime-muted
+//    (Tracer::set_enabled(false)), giving the *marginal* tracing cost;
+//  - per-event micro costs of Counter::Add and ScopedSpan.
+//
+// The absolute instrumented-vs-compiled-out comparison needs two
+// binaries: build once normally and once with -DTBM_OBS_DISABLED=ON,
+// run each with `-o <file>`, and diff the workload numbers (the
+// committed BENCH_obs_overhead.json at the repo root holds one such
+// pair). In the disabled build every instrument is a no-op, so this
+// bench also serves as the 0%-when-off proof.
+//
+// Prints a JSON object; `-o <file>` also writes it to a file.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "codec/synthetic.h"
+#include "derive/graph.h"
+#include "derive/scheduler.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace tbm {
+namespace {
+
+using bench::ValueOrDie;
+
+VideoValue Clip(int64_t frames, uint32_t scene) {
+  VideoValue video;
+  video.frame_rate = Rational(25);
+  video.frames = videogen::Clip(96, 64, frames, scene);
+  return video;
+}
+
+/// The fan-out DAG from ablation_derivation_cache: one source feeding
+/// `branches` independent edits joined by a concat chain.
+struct FanOut {
+  DerivationGraph graph;
+  NodeId root = 0;
+};
+
+FanOut MakeFanOut(int branches) {
+  FanOut f;
+  NodeId source = f.graph.AddLeaf(Clip(48, 7), "source");
+  std::vector<NodeId> tops;
+  for (int i = 0; i < branches; ++i) {
+    AttrMap cut;
+    cut.SetInt("start frame", i % 16);
+    cut.SetInt("frame count", 32);
+    tops.push_back(ValueOrDie(
+        f.graph.AddDerived("video edit", {source}, cut,
+                           "edit" + std::to_string(i)),
+        "edit"));
+  }
+  NodeId acc = tops[0];
+  for (size_t i = 1; i < tops.size(); ++i) {
+    acc = ValueOrDie(f.graph.AddDerived("video concat", {acc, tops[i]},
+                                        AttrMap{},
+                                        "cat" + std::to_string(i)),
+                     "concat");
+  }
+  f.root = acc;
+  return f;
+}
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Cold-evaluates the DAG `iters` times and returns mean ms/iteration.
+double MeasureWorkloadMs(DerivationEngine* engine, NodeId root, int iters) {
+  double start = NowMs();
+  for (int i = 0; i < iters; ++i) {
+    engine->InvalidateAll();  // Cold cache: every node re-expands.
+    bench::CheckOk(engine->Evaluate(root).status(), "evaluate");
+  }
+  return (NowMs() - start) / iters;
+}
+
+/// ns per Counter::Add, measured over `n` adds.
+double MeasureCounterNs(int n) {
+  obs::Counter* counter =
+      obs::Registry::Global().counter("bench.obs_overhead.counter");
+  double start = NowMs();
+  for (int i = 0; i < n; ++i) counter->Add();
+  double elapsed_ms = NowMs() - start;
+  // In TBM_OBS_DISABLED builds the loop is empty and elapsed ~ 0 —
+  // exactly the point.
+  return elapsed_ms * 1e6 / n;
+}
+
+/// ns per ScopedSpan construct+destruct pair, measured over `n` spans.
+double MeasureSpanNs(int n) {
+  double start = NowMs();
+  for (int i = 0; i < n; ++i) {
+    obs::ScopedSpan span("bench.obs_overhead.span");
+  }
+  double elapsed_ms = NowMs() - start;
+  return elapsed_ms * 1e6 / n;
+}
+
+int Run(int argc, char** argv) {
+  const char* out_path = nullptr;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "-o") == 0) out_path = argv[i + 1];
+  }
+#ifdef TBM_OBS_DISABLED
+  const char* mode = "disabled";
+#else
+  const char* mode = "enabled";
+#endif
+  constexpr int kBranches = 8;
+  constexpr int kIters = 10;
+
+  FanOut f = MakeFanOut(kBranches);
+  EvalOptions options;
+  options.threads = 1;  // Deterministic schedule: same work every run.
+  DerivationEngine engine(&f.graph, options);
+  // Warm-up: fault in code paths and the op registry.
+  bench::CheckOk(engine.Evaluate(f.root).status(), "warm-up evaluate");
+
+  // Interleave the two modes and keep each one's best run: the span
+  // cost per iteration is microseconds against a ~10 ms workload, so
+  // back-to-back minimums are the only way to see it over OS noise.
+  constexpr int kRepetitions = 9;
+  double traced_ms = 1e300, untraced_ms = 1e300;
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    obs::Tracer::Global().set_enabled(true);
+    traced_ms =
+        std::min(traced_ms, MeasureWorkloadMs(&engine, f.root, kIters));
+    obs::Tracer::Global().set_enabled(false);
+    untraced_ms =
+        std::min(untraced_ms, MeasureWorkloadMs(&engine, f.root, kIters));
+  }
+  obs::Tracer::Global().set_enabled(true);
+  double overhead_pct =
+      untraced_ms > 0 ? 100.0 * (traced_ms - untraced_ms) / untraced_ms : 0.0;
+  double counter_ns = MeasureCounterNs(10'000'000);
+  double span_ns = MeasureSpanNs(1'000'000);
+
+  char json[512];
+  std::snprintf(
+      json, sizeof(json),
+      "{\"bench\": \"obs_overhead\", \"mode\": \"%s\",\n"
+      " \"workload\": \"derivation fan-out, %d branches, cold cache\",\n"
+      " \"workload_traced_ms\": %.3f, \"workload_untraced_ms\": %.3f,\n"
+      " \"tracing_overhead_pct\": %.2f,\n"
+      " \"counter_add_ns\": %.2f, \"scoped_span_ns\": %.2f}\n",
+      mode, kBranches, traced_ms, untraced_ms, overhead_pct, counter_ns,
+      span_ns);
+  std::printf("%s", json);
+  if (out_path != nullptr) {
+    std::FILE* f = std::fopen(out_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", out_path);
+      return 1;
+    }
+    std::fputs(json, f);
+    std::fclose(f);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace tbm
+
+int main(int argc, char** argv) { return tbm::Run(argc, argv); }

@@ -3,6 +3,9 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "blob/store_metrics.h"
+#include "obs/trace.h"
+
 namespace tbm {
 
 namespace fs = std::filesystem;
@@ -55,6 +58,11 @@ Result<BlobId> FileBlobStore::Create() {
 }
 
 Status FileBlobStore::Append(BlobId id, ByteSpan data) {
+  obs::ScopedSpan span("blob.append");
+  const auto& metrics = blob_internal::StoreMetrics::Get();
+  obs::ScopedTimerUs timer(metrics.append_us);
+  metrics.appends->Add();
+  metrics.bytes_written->Add(data.size());
   auto it = sizes_.find(id);
   if (it == sizes_.end()) return NoSuchBlob(id);
   std::FILE* f = std::fopen(PathFor(id).c_str(), "ab");
@@ -72,6 +80,11 @@ Status FileBlobStore::Append(BlobId id, ByteSpan data) {
 }
 
 Result<Bytes> FileBlobStore::Read(BlobId id, ByteRange range) const {
+  obs::ScopedSpan span("blob.read");
+  const auto& metrics = blob_internal::StoreMetrics::Get();
+  obs::ScopedTimerUs timer(metrics.read_us);
+  metrics.reads->Add();
+  metrics.bytes_read->Add(range.length);
   auto it = sizes_.find(id);
   if (it == sizes_.end()) return NoSuchBlob(id);
   if (range.end() > it->second) {

@@ -1,5 +1,7 @@
 #include "blob/memory_store.h"
 
+#include "blob/store_metrics.h"
+
 namespace tbm {
 
 namespace {
@@ -15,6 +17,9 @@ Result<BlobId> MemoryBlobStore::Create() {
 }
 
 Status MemoryBlobStore::Append(BlobId id, ByteSpan data) {
+  const auto& metrics = blob_internal::StoreMetrics::Get();
+  metrics.appends->Add();
+  metrics.bytes_written->Add(data.size());
   auto it = blobs_.find(id);
   if (it == blobs_.end()) return NoSuchBlob(id);
   it->second.insert(it->second.end(), data.begin(), data.end());
@@ -22,6 +27,9 @@ Status MemoryBlobStore::Append(BlobId id, ByteSpan data) {
 }
 
 Result<Bytes> MemoryBlobStore::Read(BlobId id, ByteRange range) const {
+  const auto& metrics = blob_internal::StoreMetrics::Get();
+  metrics.reads->Add();
+  metrics.bytes_read->Add(range.length);
   auto it = blobs_.find(id);
   if (it == blobs_.end()) return NoSuchBlob(id);
   const Bytes& blob = it->second;

@@ -6,6 +6,8 @@
 
 #include "base/crc32.h"
 #include "base/macros.h"
+#include "blob/store_metrics.h"
+#include "obs/trace.h"
 
 namespace tbm {
 
@@ -122,6 +124,7 @@ PagedBlobStore::PagedBlobStore(std::unique_ptr<PageDevice> device)
 
 Status PagedBlobStore::WritePagePayload(uint64_t page, ByteSpan payload) {
   assert(payload.size() <= payload_size_);
+  blob_internal::StoreMetrics::Get().pages_written->Add();
   Bytes buf(device_->page_size(), 0);
   PutU32(buf.data() + 4, static_cast<uint32_t>(payload.size()));
   std::memcpy(buf.data() + kPageHeaderSize, payload.data(), payload.size());
@@ -131,6 +134,7 @@ Status PagedBlobStore::WritePagePayload(uint64_t page, ByteSpan payload) {
 }
 
 Result<Bytes> PagedBlobStore::ReadPagePayload(uint64_t page) const {
+  blob_internal::StoreMetrics::Get().pages_read->Add();
   Bytes buf(device_->page_size());
   TBM_RETURN_IF_ERROR(device_->ReadPage(page, buf.data()));
   uint32_t stored_crc = GetU32(buf.data());
@@ -165,6 +169,11 @@ Result<BlobId> PagedBlobStore::Create() {
 }
 
 Status PagedBlobStore::Append(BlobId id, ByteSpan data) {
+  obs::ScopedSpan span("blob.append");
+  const auto& metrics = blob_internal::StoreMetrics::Get();
+  obs::ScopedTimerUs timer(metrics.append_us);
+  metrics.appends->Add();
+  metrics.bytes_written->Add(data.size());
   auto it = blobs_.find(id);
   if (it == blobs_.end()) return NoSuchBlob(id);
   BlobMeta& meta = it->second;
@@ -195,6 +204,11 @@ Status PagedBlobStore::Append(BlobId id, ByteSpan data) {
 }
 
 Result<Bytes> PagedBlobStore::Read(BlobId id, ByteRange range) const {
+  obs::ScopedSpan span("blob.read");
+  const auto& metrics = blob_internal::StoreMetrics::Get();
+  obs::ScopedTimerUs timer(metrics.read_us);
+  metrics.reads->Add();
+  metrics.bytes_read->Add(range.length);
   auto it = blobs_.find(id);
   if (it == blobs_.end()) return NoSuchBlob(id);
   const BlobMeta& meta = it->second;

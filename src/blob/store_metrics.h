@@ -1,0 +1,39 @@
+#ifndef TBM_BLOB_STORE_METRICS_H_
+#define TBM_BLOB_STORE_METRICS_H_
+
+#include "obs/metrics.h"
+
+namespace tbm::blob_internal {
+
+/// Process-wide blob I/O metrics, shared by every store implementation
+/// (memory, paged, file). Page counters are only advanced by the paged
+/// store; byte and latency instruments aggregate across all of them.
+struct StoreMetrics {
+  obs::Counter* reads;
+  obs::Counter* bytes_read;
+  obs::Counter* appends;
+  obs::Counter* bytes_written;
+  obs::Counter* pages_read;
+  obs::Counter* pages_written;
+  obs::Histogram* read_us;
+  obs::Histogram* append_us;
+
+  static const StoreMetrics& Get() {
+    static const StoreMetrics metrics = [] {
+      auto& registry = obs::Registry::Global();
+      return StoreMetrics{registry.counter("blob.reads"),
+                          registry.counter("blob.bytes_read"),
+                          registry.counter("blob.appends"),
+                          registry.counter("blob.bytes_written"),
+                          registry.counter("blob.pages_read"),
+                          registry.counter("blob.pages_written"),
+                          registry.histogram("blob.read_us"),
+                          registry.histogram("blob.append_us")};
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace tbm::blob_internal
+
+#endif  // TBM_BLOB_STORE_METRICS_H_

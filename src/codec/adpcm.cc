@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "base/macros.h"
+#include "codec/codec_metrics.h"
+#include "obs/trace.h"
 
 namespace tbm {
 
@@ -88,6 +90,10 @@ int16_t DecodeSample(CoderState* state, uint8_t code) {
 
 Result<std::vector<AdpcmBlock>> AdpcmEncode(const AudioBuffer& audio,
                                             int64_t frames_per_block) {
+  obs::ScopedSpan span("codec.adpcm.encode");
+  const auto& metrics = codec_internal::CodecMetrics::Get();
+  obs::ScopedTimerUs timer(metrics.encode_us);
+  metrics.encodes->Add();
   TBM_RETURN_IF_ERROR(audio.Validate());
   if (frames_per_block <= 0) {
     return Status::InvalidArgument("frames_per_block must be positive");
@@ -167,6 +173,10 @@ Result<AudioBuffer> AdpcmDecodeBlock(const AdpcmBlock& block,
 
 Result<AudioBuffer> AdpcmDecode(const std::vector<AdpcmBlock>& blocks,
                                 int64_t sample_rate, int32_t channels) {
+  obs::ScopedSpan span("codec.adpcm.decode");
+  const auto& metrics = codec_internal::CodecMetrics::Get();
+  obs::ScopedTimerUs timer(metrics.decode_us);
+  metrics.decodes->Add();
   AudioBuffer out;
   out.sample_rate = sample_rate;
   out.channels = channels;

@@ -1,0 +1,31 @@
+#ifndef TBM_CODEC_CODEC_METRICS_H_
+#define TBM_CODEC_CODEC_METRICS_H_
+
+#include "obs/metrics.h"
+
+namespace tbm::codec_internal {
+
+/// Process-wide codec metrics, shared across coded representations
+/// (TJPEG, TMPEG, ADPCM). Per-codec breakdown comes from the tracer's
+/// spans ("codec.tjpeg.encode", ...), not from separate counters.
+struct CodecMetrics {
+  obs::Counter* encodes;
+  obs::Counter* decodes;
+  obs::Histogram* encode_us;
+  obs::Histogram* decode_us;
+
+  static const CodecMetrics& Get() {
+    static const CodecMetrics metrics = [] {
+      auto& registry = obs::Registry::Global();
+      return CodecMetrics{registry.counter("codec.encodes"),
+                          registry.counter("codec.decodes"),
+                          registry.histogram("codec.encode_us"),
+                          registry.histogram("codec.decode_us")};
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace tbm::codec_internal
+
+#endif  // TBM_CODEC_CODEC_METRICS_H_

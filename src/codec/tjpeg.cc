@@ -4,7 +4,9 @@
 #include <cmath>
 
 #include "base/macros.h"
+#include "codec/codec_metrics.h"
 #include "codec/color.h"
+#include "obs/trace.h"
 #include "codec/dct.h"
 
 namespace tbm {
@@ -132,6 +134,10 @@ void LevelUnshift(const std::vector<int16_t>& plane, uint8_t* out) {
 }  // namespace
 
 Result<Bytes> TjpegEncode(const Image& image, int quality) {
+  obs::ScopedSpan span("codec.tjpeg.encode");
+  const auto& metrics = codec_internal::CodecMetrics::Get();
+  obs::ScopedTimerUs timer(metrics.encode_us);
+  metrics.encodes->Add();
   TBM_RETURN_IF_ERROR(image.Validate());
   if (quality < 1 || quality > 100) {
     return Status::InvalidArgument("TJPEG quality must be 1..100");
@@ -178,6 +184,10 @@ Result<Bytes> TjpegEncode(const Image& image, int quality) {
 }
 
 Result<Image> TjpegDecode(ByteSpan bytes) {
+  obs::ScopedSpan span("codec.tjpeg.decode");
+  const auto& metrics = codec_internal::CodecMetrics::Get();
+  obs::ScopedTimerUs timer(metrics.decode_us);
+  metrics.decodes->Add();
   BinaryReader reader(bytes);
   TBM_ASSIGN_OR_RETURN(uint32_t magic, reader.ReadU32());
   if (magic != kTjpegMagic) {

@@ -8,7 +8,9 @@
 
 #include "base/io.h"
 #include "base/macros.h"
+#include "codec/codec_metrics.h"
 #include "codec/color.h"
+#include "obs/trace.h"
 #include "codec/dct.h"
 #include "codec/tjpeg.h"
 
@@ -299,6 +301,10 @@ Result<FrameHeader> ReadFrameHeader(BinaryReader* reader) {
 
 Result<std::vector<TmpegFrame>> TmpegEncodeSequence(
     const std::vector<Image>& frames, const TmpegConfig& config) {
+  obs::ScopedSpan span("codec.tmpeg.encode");
+  const auto& metrics = codec_internal::CodecMetrics::Get();
+  obs::ScopedTimerUs timer(metrics.encode_us);
+  metrics.encodes->Add();
   if (frames.empty()) {
     return Status::InvalidArgument("cannot encode an empty sequence");
   }
@@ -423,6 +429,10 @@ Result<std::vector<TmpegFrame>> TmpegEncodeSequence(
 
 Result<std::vector<Image>> TmpegDecodeSequence(
     const std::vector<TmpegFrame>& frames) {
+  obs::ScopedSpan span("codec.tmpeg.decode");
+  const auto& metrics = codec_internal::CodecMetrics::Get();
+  obs::ScopedTimerUs timer(metrics.decode_us);
+  metrics.decodes->Add();
   if (frames.empty()) {
     return Status::InvalidArgument("cannot decode an empty sequence");
   }
@@ -510,6 +520,10 @@ Result<TmpegFrame> TmpegParseFrame(Bytes data) {
 
 Result<std::vector<std::pair<int64_t, Image>>> TmpegDecodeKeysOnly(
     const std::vector<TmpegFrame>& frames) {
+  obs::ScopedSpan span("codec.tmpeg.decode_keys");
+  const auto& metrics = codec_internal::CodecMetrics::Get();
+  obs::ScopedTimerUs timer(metrics.decode_us);
+  metrics.decodes->Add();
   std::vector<std::pair<int64_t, Image>> out;
   for (const TmpegFrame& frame : frames) {
     if (frame.kind != FrameKind::kKey) continue;

@@ -7,6 +7,7 @@
 #include "codec/tjpeg.h"
 #include "codec/tmpeg.h"
 #include "interp/capture.h"
+#include "obs/trace.h"
 
 namespace tbm {
 
@@ -147,6 +148,7 @@ Result<MediaValue> DecodeImage(const TimedStream& stream,
 }  // namespace
 
 Result<MediaValue> DecodeStream(const TimedStream& stream) {
+  obs::ScopedSpan span("codec.decode_stream");
   const std::string& type = stream.descriptor().type_name;
   if (type == "audio/pcm" || type == "audio/pcm-block") {
     return DecodePcm(stream);
@@ -356,6 +358,7 @@ Result<Interpretation> StoreStreamVerbatim(BlobStore* store,
 Result<Interpretation> StoreValue(BlobStore* store, const MediaValue& value,
                                   const std::string& name,
                                   const StoreOptions& options) {
+  obs::ScopedSpan span("codec.store_value");
   struct Visitor {
     BlobStore* store;
     const std::string& name;

@@ -8,6 +8,8 @@
 #include "base/macros.h"
 #include "blob/file_store.h"
 #include "blob/memory_store.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace tbm {
 
@@ -428,6 +430,7 @@ Result<ObjectId> MediaDatabase::AddDerivedObjectFor(
 
 Result<TimedStream> MediaDatabase::MaterializeStream(
     ObjectId media_object) const {
+  obs::ScopedSpan span("db.materialize_stream");
   TBM_ASSIGN_OR_RETURN(const CatalogEntry* entry, Get(media_object));
   if (entry->kind != CatalogKind::kMediaObject) {
     return Status::InvalidArgument(
@@ -484,12 +487,22 @@ Result<NodeId> MediaDatabase::BuildGraphNode(
 }
 
 Result<MediaValue> MediaDatabase::Materialize(ObjectId id) const {
+  obs::ScopedSpan span("db.materialize");
+  static obs::Histogram* const materialize_us =
+      obs::Registry::Global().histogram("db.materialize_us");
+  static obs::Counter* const materializations =
+      obs::Registry::Global().counter("db.materializations");
+  obs::ScopedTimerUs timer(materialize_us);
+  materializations->Add();
   DerivationGraph graph;
   std::map<ObjectId, NodeId> built;
   TBM_ASSIGN_OR_RETURN(NodeId node, BuildGraphNode(id, &graph, &built));
   DerivationEngine engine(&graph, eval_options_);
   TBM_ASSIGN_OR_RETURN(ValueRef value, engine.Evaluate(node));
-  last_eval_stats_ = engine.stats();
+  {
+    std::lock_guard<std::mutex> lock(eval_stats_mu_);
+    last_eval_stats_ = engine.stats();
+  }
   return *value;  // Copy out; the graph and engine die with this frame.
 }
 

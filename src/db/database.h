@@ -4,6 +4,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -207,8 +208,14 @@ class MediaDatabase {
   void set_eval_options(EvalOptions options) { eval_options_ = options; }
   const EvalOptions& eval_options() const { return eval_options_; }
 
-  /// Engine counters of the most recent Materialize call.
-  const EvalStats& last_eval_stats() const { return last_eval_stats_; }
+  /// Engine counters of the most recent Materialize call. Returns a
+  /// snapshot by value: Materialize may run concurrently from other
+  /// threads and overwrite the stored stats at any time, so handing out
+  /// a reference would race with that writer.
+  EvalStats last_eval_stats() const {
+    std::lock_guard<std::mutex> lock(eval_stats_mu_);
+    return last_eval_stats_;
+  }
 
   /// Builds an evaluable view of a multimedia object: a derivation
   /// graph holding all transitive components plus the composed object.
@@ -282,6 +289,7 @@ class MediaDatabase {
   RightsManager rights_;
   ObjectId next_id_ = 1;
   EvalOptions eval_options_;
+  mutable std::mutex eval_stats_mu_;  ///< Guards last_eval_stats_.
   mutable EvalStats last_eval_stats_;
 };
 

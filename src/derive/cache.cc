@@ -3,7 +3,37 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "obs/metrics.h"
+
 namespace tbm {
+
+namespace {
+
+/// Process-wide cache metrics, aggregated across every ExpansionCache
+/// (per-engine breakdowns stay available via ExpansionCache::stats()).
+struct CacheMetrics {
+  obs::Counter* hits;
+  obs::Counter* misses;
+  obs::Counter* evictions;
+  obs::Counter* insertions;
+  obs::Counter* invalidations;
+  obs::Gauge* bytes;
+
+  static const CacheMetrics& Get() {
+    static const CacheMetrics metrics = [] {
+      auto& registry = obs::Registry::Global();
+      return CacheMetrics{registry.counter("derive.cache.hits"),
+                          registry.counter("derive.cache.misses"),
+                          registry.counter("derive.cache.evictions"),
+                          registry.counter("derive.cache.insertions"),
+                          registry.counter("derive.cache.invalidations"),
+                          registry.gauge("derive.cache.bytes")};
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
 
 std::string CacheStats::ToString() const {
   char buf[256];
@@ -31,6 +61,15 @@ ExpansionCache::ExpansionCache(uint64_t budget_bytes, int shards)
   }
 }
 
+ExpansionCache::~ExpansionCache() {
+  // Release this cache's share of the global occupancy gauge
+  // (engines — and their caches — are routinely short-lived, e.g. one
+  // per MediaDatabase::Materialize call).
+  for (int i = 0; i < shard_count_; ++i) {
+    CacheMetrics::Get().bytes->Add(-static_cast<int64_t>(shards_[i].bytes));
+  }
+}
+
 ExpansionCache::Shard& ExpansionCache::ShardFor(NodeId id) {
   // Node ids are dense and sequential, so modulo spreads a DAG's nodes
   // evenly; mix in a shift so chains of adjacent ids don't all land in
@@ -46,9 +85,11 @@ ValueRef ExpansionCache::Lookup(NodeId id) {
   auto it = shard.index.find(id);
   if (it == shard.index.end()) {
     ++shard.misses;
+    CacheMetrics::Get().misses->Add();
     return nullptr;
   }
   ++shard.hits;
+  CacheMetrics::Get().hits->Add();
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   return it->second->value;
 }
@@ -74,9 +115,11 @@ void ExpansionCache::MakeRoom(Shard& shard, uint64_t incoming) {
       }
     }
     shard.bytes -= victim->bytes;
+    CacheMetrics::Get().bytes->Add(-static_cast<int64_t>(victim->bytes));
     shard.index.erase(victim->id);
     shard.lru.erase(victim);
     ++shard.evictions;
+    CacheMetrics::Get().evictions->Add();
   }
 }
 
@@ -87,6 +130,7 @@ void ExpansionCache::Insert(NodeId id, ValueRef value, uint64_t bytes,
   auto it = shard.index.find(id);
   if (it != shard.index.end()) {
     shard.bytes -= it->second->bytes;
+    CacheMetrics::Get().bytes->Add(-static_cast<int64_t>(it->second->bytes));
     shard.lru.erase(it->second);
     shard.index.erase(it);
   }
@@ -99,6 +143,8 @@ void ExpansionCache::Insert(NodeId id, ValueRef value, uint64_t bytes,
   shard.index.emplace(id, shard.lru.begin());
   shard.bytes += bytes;
   ++shard.insertions;
+  CacheMetrics::Get().insertions->Add();
+  CacheMetrics::Get().bytes->Add(static_cast<int64_t>(bytes));
 }
 
 void ExpansionCache::Erase(NodeId id) {
@@ -107,9 +153,11 @@ void ExpansionCache::Erase(NodeId id) {
   auto it = shard.index.find(id);
   if (it == shard.index.end()) return;
   shard.bytes -= it->second->bytes;
+  CacheMetrics::Get().bytes->Add(-static_cast<int64_t>(it->second->bytes));
   shard.lru.erase(it->second);
   shard.index.erase(it);
   ++shard.invalidations;
+  CacheMetrics::Get().invalidations->Add();
 }
 
 void ExpansionCache::Clear() {
@@ -117,6 +165,8 @@ void ExpansionCache::Clear() {
     Shard& shard = shards_[i];
     std::lock_guard<std::mutex> lock(shard.mu);
     shard.invalidations += shard.lru.size();
+    CacheMetrics::Get().invalidations->Add(shard.lru.size());
+    CacheMetrics::Get().bytes->Add(-static_cast<int64_t>(shard.bytes));
     shard.lru.clear();
     shard.index.clear();
     shard.bytes = 0;

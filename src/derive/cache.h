@@ -60,6 +60,7 @@ class ExpansionCache {
   /// `budget_bytes` is the total ceiling across shards; each of the
   /// `shards` slices enforces an equal share of it.
   explicit ExpansionCache(uint64_t budget_bytes, int shards = kDefaultShards);
+  ~ExpansionCache();
 
   ExpansionCache(const ExpansionCache&) = delete;
   ExpansionCache& operator=(const ExpansionCache&) = delete;

@@ -11,10 +11,35 @@
 #include <vector>
 
 #include "base/macros.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace tbm {
 
 namespace {
+
+/// Process-wide engine metrics (EvalStats stays the per-engine view and
+/// keeps working in TBM_OBS_DISABLED builds; these registry mirrors add
+/// latency distributions and fleet-wide aggregation on top).
+struct EngineMetrics {
+  obs::Counter* evaluations;
+  obs::Counter* nodes_evaluated;
+  obs::Histogram* evaluate_us;
+  obs::Histogram* node_us;
+  obs::Histogram* queue_wait_us;
+
+  static const EngineMetrics& Get() {
+    static const EngineMetrics metrics = [] {
+      auto& registry = obs::Registry::Global();
+      return EngineMetrics{registry.counter("derive.evaluations"),
+                           registry.counter("derive.nodes_evaluated"),
+                           registry.histogram("derive.evaluate_us"),
+                           registry.histogram("derive.node_us"),
+                           registry.histogram("derive.queue_wait_us")};
+    }();
+    return metrics;
+  }
+};
 
 double SecondsSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -162,10 +187,18 @@ Result<ValueRef> DerivationEngine::ApplyNode(
     NodeId id, const std::vector<const MediaValue*>& args) {
   const DerivationGraph::Node& node =
       graph_->nodes_[static_cast<size_t>(id)];
+  // Per-node expansion span. Worker threads have no enclosing span of
+  // their own, so they link to the Evaluate span explicitly.
+  uint64_t parent = obs::Tracer::CurrentSpanId();
+  if (parent == 0) parent = eval_span_id_;
+  obs::ScopedSpan span(SpanNameForOp(node.op), parent);
   auto start = std::chrono::steady_clock::now();
   Result<MediaValue> result =
       graph_->registry_->Apply(node.op, args, node.params);
   double seconds = SecondsSince(start);
+  EngineMetrics::Get().nodes_evaluated->Add();
+  EngineMetrics::Get().node_us->Record(
+      static_cast<uint64_t>(seconds * 1e6));
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     OpStats& op = per_op_[node.op];
@@ -253,7 +286,12 @@ Result<ValueRef> DerivationEngine::ExecuteParallel(Plan* plan) {
       if (run.inflight == 0) run.cv.notify_all();
     }
     for (NodeId next : to_submit) {
-      pool_->Submit([&exec, next] { exec(next); });
+      int64_t submitted = obs::NowTicksNs();
+      pool_->Submit([&exec, next, submitted] {
+        EngineMetrics::Get().queue_wait_us->Record(static_cast<uint64_t>(
+            std::max<int64_t>(0, obs::NowTicksNs() - submitted) / 1000));
+        exec(next);
+      });
     }
   };
 
@@ -270,7 +308,12 @@ Result<ValueRef> DerivationEngine::ExecuteParallel(Plan* plan) {
     seeds.swap(run.ready);
   }
   for (NodeId id : seeds) {
-    pool_->Submit([&exec, id] { exec(id); });
+    int64_t submitted = obs::NowTicksNs();
+    pool_->Submit([&exec, id, submitted] {
+      EngineMetrics::Get().queue_wait_us->Record(static_cast<uint64_t>(
+          std::max<int64_t>(0, obs::NowTicksNs() - submitted) / 1000));
+      exec(id);
+    });
   }
   {
     std::unique_lock<std::mutex> lock(run.mu);
@@ -285,8 +328,30 @@ Result<ValueRef> DerivationEngine::ExecuteParallel(Plan* plan) {
   return it->second;
 }
 
+const char* DerivationEngine::SpanNameForOp(const std::string& op) {
+#ifdef TBM_OBS_DISABLED
+  (void)op;
+  return "";
+#else
+  std::lock_guard<std::mutex> lock(span_names_mu_);
+  auto it = span_names_.find(op);
+  if (it == span_names_.end()) {
+    it = span_names_
+             .emplace(op, obs::Tracer::Global().Intern("derive:" + op))
+             .first;
+  }
+  return it->second;
+#endif
+}
+
 Result<ValueRef> DerivationEngine::Evaluate(NodeId id) {
   std::lock_guard<std::mutex> lock(eval_mu_);
+  obs::ScopedSpan eval_span("derive.evaluate");
+  // Workers started by this call parent their node spans here (written
+  // before any task is submitted; the pool's queue synchronizes).
+  eval_span_id_ = eval_span.span_id();
+  obs::ScopedTimerUs eval_timer(EngineMetrics::Get().evaluate_us);
+  EngineMetrics::Get().evaluations->Add();
   TBM_RETURN_IF_ERROR(graph_->CheckId(id));
   auto start = std::chrono::steady_clock::now();
   SyncWithGraph();
@@ -296,43 +361,46 @@ Result<ValueRef> DerivationEngine::Evaluate(NodeId id) {
   // during the run cannot unresolve it); the rest is emitted in
   // topological order.
   Plan plan;
-  plan.root = id;
-  std::vector<std::pair<NodeId, bool>> stack{{id, false}};
-  std::unordered_set<NodeId> visited;
-  while (!stack.empty()) {
-    auto [current, expanded] = stack.back();
-    stack.pop_back();
-    if (expanded) {
-      plan.order.push_back(current);
-      continue;
-    }
-    if (!visited.insert(current).second) continue;
-    const DerivationGraph::Node& node =
-        graph_->nodes_[static_cast<size_t>(current)];
-    if (node.value != nullptr) {
-      plan.values.emplace(current, node.value);
-      continue;
-    }
-    if (ValueRef cached = cache_.Lookup(current)) {
-      plan.values.emplace(current, std::move(cached));
-      continue;
-    }
-    stack.emplace_back(current, true);
-    for (NodeId input : node.inputs) {
-      if (visited.count(input) == 0) stack.emplace_back(input, false);
-    }
-  }
-  for (NodeId nid : plan.order) {
-    const DerivationGraph::Node& node =
-        graph_->nodes_[static_cast<size_t>(nid)];
-    int unresolved = 0;
-    for (NodeId input : node.inputs) {
-      if (plan.values.count(input) == 0) {
-        ++unresolved;
-        plan.dependents[input].push_back(nid);
+  {
+    obs::ScopedSpan plan_span("derive.plan");
+    plan.root = id;
+    std::vector<std::pair<NodeId, bool>> stack{{id, false}};
+    std::unordered_set<NodeId> visited;
+    while (!stack.empty()) {
+      auto [current, expanded] = stack.back();
+      stack.pop_back();
+      if (expanded) {
+        plan.order.push_back(current);
+        continue;
+      }
+      if (!visited.insert(current).second) continue;
+      const DerivationGraph::Node& node =
+          graph_->nodes_[static_cast<size_t>(current)];
+      if (node.value != nullptr) {
+        plan.values.emplace(current, node.value);
+        continue;
+      }
+      if (ValueRef cached = cache_.Lookup(current)) {
+        plan.values.emplace(current, std::move(cached));
+        continue;
+      }
+      stack.emplace_back(current, true);
+      for (NodeId input : node.inputs) {
+        if (visited.count(input) == 0) stack.emplace_back(input, false);
       }
     }
-    plan.remaining[nid] = unresolved;
+    for (NodeId nid : plan.order) {
+      const DerivationGraph::Node& node =
+          graph_->nodes_[static_cast<size_t>(nid)];
+      int unresolved = 0;
+      for (NodeId input : node.inputs) {
+        if (plan.values.count(input) == 0) {
+          ++unresolved;
+          plan.dependents[input].push_back(nid);
+        }
+      }
+      plan.remaining[nid] = unresolved;
+    }
   }
 
   Result<ValueRef> result = [&]() -> Result<ValueRef> {

@@ -124,6 +124,9 @@ class DerivationEngine {
   /// timing, cache insertion and node counts.
   Result<ValueRef> ApplyNode(NodeId id,
                              const std::vector<const MediaValue*>& args);
+  /// Interned "derive:<op>" span name for the tracer (stable storage;
+  /// returns "" in TBM_OBS_DISABLED builds).
+  const char* SpanNameForOp(const std::string& op);
 
   DerivationGraph* graph_;
   EvalOptions options_;
@@ -133,6 +136,12 @@ class DerivationEngine {
 
   std::mutex eval_mu_;  ///< Serializes top-level Evaluate calls.
   uint64_t synced_seq_ = 0;
+
+  /// Span id of the in-flight Evaluate; pool workers parent their node
+  /// spans here (written under eval_mu_ before any task is submitted).
+  uint64_t eval_span_id_ = 0;
+  std::mutex span_names_mu_;
+  std::map<std::string, const char*> span_names_;
 
   mutable std::mutex stats_mu_;
   uint64_t nodes_evaluated_ = 0;

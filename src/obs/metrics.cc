@@ -1,0 +1,227 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <cinttypes>
+#include <cstdio>
+
+namespace tbm::obs {
+
+int HistogramBucketIndex(uint64_t value) {
+  if (value <= 1) return 0;
+  int index = std::bit_width(value - 1);
+  return index < kHistogramBuckets - 1 ? index : kHistogramBuckets - 1;
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q <= 0.0) return static_cast<double>(min);
+  if (q >= 1.0) return static_cast<double>(max);
+  // Rank of the q-th sample, 1-based.
+  double rank = q * static_cast<double>(count - 1) + 1.0;
+  uint64_t cumulative = 0;
+  for (int i = 0; i < kHistogramBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    double before = static_cast<double>(cumulative);
+    cumulative += buckets[i];
+    if (static_cast<double>(cumulative) < rank) continue;
+    double lo = i == 0 ? 0.0 : static_cast<double>(HistogramBucketBound(i - 1));
+    double hi = i == kHistogramBuckets - 1
+                    ? static_cast<double>(max)
+                    : static_cast<double>(HistogramBucketBound(i));
+    lo = std::max(lo, static_cast<double>(min));
+    hi = std::min(hi, static_cast<double>(max));
+    if (hi < lo) hi = lo;
+    double fraction = (rank - before) / static_cast<double>(buckets[i]);
+    return lo + fraction * (hi - lo);
+  }
+  return static_cast<double>(max);
+}
+
+std::string MetricsSnapshot::ToString() const {
+  std::string out;
+  char line[256];
+  if (!counters.empty()) {
+    out += "counters:\n";
+    for (const auto& [name, value] : counters) {
+      std::snprintf(line, sizeof(line), "  %-34s %12" PRIu64 "\n",
+                    name.c_str(), value);
+      out += line;
+    }
+  }
+  if (!gauges.empty()) {
+    out += "gauges:\n";
+    for (const auto& [name, value] : gauges) {
+      std::snprintf(line, sizeof(line), "  %-34s %12" PRId64 "\n",
+                    name.c_str(), value);
+      out += line;
+    }
+  }
+  if (!histograms.empty()) {
+    out += "histograms (count / mean / p50 / p95 / p99 / max):\n";
+    for (const auto& [name, h] : histograms) {
+      std::snprintf(line, sizeof(line),
+                    "  %-34s %8" PRIu64 "  %10.1f %10.1f %10.1f %10.1f %10" PRIu64
+                    "\n",
+                    name.c_str(), h.count, h.Mean(), h.P50(), h.P95(), h.P99(),
+                    h.max);
+      out += line;
+    }
+  }
+  if (out.empty()) out = "(no metrics recorded)\n";
+  return out;
+}
+
+namespace {
+
+void AppendJsonKey(std::string* out, const std::string& name) {
+  *out += '"';
+  for (char c : name) {
+    if (c == '"' || c == '\\') *out += '\\';
+    *out += c;
+  }
+  *out += "\":";
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"counters\":{";
+  char buf[160];
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out += ',';
+    first = false;
+    AppendJsonKey(&out, name);
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+    out += buf;
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    if (!first) out += ',';
+    first = false;
+    AppendJsonKey(&out, name);
+    std::snprintf(buf, sizeof(buf), "%" PRId64, value);
+    out += buf;
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) out += ',';
+    first = false;
+    AppendJsonKey(&out, name);
+    std::snprintf(buf, sizeof(buf),
+                  "{\"count\":%" PRIu64 ",\"sum\":%" PRIu64
+                  ",\"mean\":%.3f,\"min\":%" PRIu64 ",\"max\":%" PRIu64
+                  ",\"p50\":%.3f,\"p95\":%.3f,\"p99\":%.3f}",
+                  h.count, h.sum, h.Mean(), h.min, h.max, h.P50(), h.P95(),
+                  h.P99());
+    out += buf;
+  }
+  out += "}}";
+  return out;
+}
+
+#ifndef TBM_OBS_DISABLED
+
+void Histogram::Record(uint64_t value) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  buckets_[HistogramBucketIndex(value)].fetch_add(1,
+                                                  std::memory_order_relaxed);
+  uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot out;
+  out.count = count_.load(std::memory_order_relaxed);
+  out.sum = sum_.load(std::memory_order_relaxed);
+  uint64_t min = min_.load(std::memory_order_relaxed);
+  out.min = min == UINT64_MAX ? 0 : min;
+  out.max = max_.load(std::memory_order_relaxed);
+  for (int i = 0; i < kHistogramBuckets; ++i) {
+    out.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::Reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+}
+
+Registry& Registry::Global() {
+  static Registry* registry = new Registry;  // Never destroyed: handles
+  return *registry;                          // must outlive static dtors.
+}
+
+Counter* Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* Registry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot Registry::Snapshot() const {
+  MetricsSnapshot out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) {
+    out.counters.emplace(name, counter->Value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out.gauges.emplace(name, gauge->Value());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    out.histograms.emplace(name, histogram->Snapshot());
+  }
+  return out;
+}
+
+void Registry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) {
+    counter->Reset();
+  }
+  for (auto& [name, gauge] : gauges_) {
+    gauge->Set(0);
+  }
+  for (auto& [name, histogram] : histograms_) {
+    histogram->Reset();
+  }
+}
+
+#endif  // !TBM_OBS_DISABLED
+
+}  // namespace tbm::obs

@@ -1,0 +1,244 @@
+#ifndef TBM_OBS_METRICS_H_
+#define TBM_OBS_METRICS_H_
+
+/// Low-overhead, thread-safe metrics: monotonic counters, gauges and
+/// fixed-bucket latency histograms, collected in a process-wide
+/// Registry and exported as text or JSON.
+///
+/// Design constraints (DESIGN.md §7):
+///  - recording must be cheap enough for the derivation hot path
+///    (< 2% overhead on the derivation bench): counters and histogram
+///    buckets are relaxed atomics, handle lookup happens once at the
+///    instrumentation site (cache the returned pointer), never per
+///    event;
+///  - handles returned by Registry::counter()/gauge()/histogram() are
+///    valid for the registry's lifetime (node-based storage);
+///  - compiling with -DTBM_OBS_DISABLED turns every instrument into an
+///    empty struct whose methods are inline no-ops, so the entire
+///    subsystem costs nothing when switched off.
+///
+/// Units are part of the metric name by convention: `*_us` histograms
+/// record microseconds, `*_bytes` counters record bytes.
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace tbm::obs {
+
+/// Histogram shape: bucket 0 counts values <= 1; bucket i (i >= 1)
+/// counts values in (2^(i-1), 2^i]; the last bucket absorbs everything
+/// larger than 2^(kHistogramBuckets-2). Power-of-two bounds keep
+/// Record() branch-free (one bit-width computation) while spanning
+/// sub-microsecond to multi-hour latencies.
+inline constexpr int kHistogramBuckets = 40;
+
+/// Inclusive upper bound of bucket `i`.
+constexpr uint64_t HistogramBucketBound(int i) {
+  return i >= kHistogramBuckets - 1 ? UINT64_MAX : (1ull << i);
+}
+
+/// Bucket index a value lands in.
+int HistogramBucketIndex(uint64_t value);
+
+/// Point-in-time copy of one histogram. Plain data, identical in
+/// enabled and disabled builds.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = 0;  ///< Smallest recorded value (0 when count == 0).
+  uint64_t max = 0;
+  std::array<uint64_t, kHistogramBuckets> buckets{};
+
+  double Mean() const { return count > 0 ? static_cast<double>(sum) / count : 0.0; }
+
+  /// Quantile estimate (q in [0, 1]): finds the bucket holding the
+  /// q-th sample and interpolates linearly inside it, clamped to the
+  /// observed [min, max].
+  double Quantile(double q) const;
+  double P50() const { return Quantile(0.50); }
+  double P95() const { return Quantile(0.95); }
+  double P99() const { return Quantile(0.99); }
+};
+
+/// Point-in-time copy of every instrument in a Registry.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+
+  /// Multi-line human-readable rendering.
+  std::string ToString() const;
+
+  /// {"counters":{..},"gauges":{..},"histograms":{name:{count,sum,
+  /// mean,min,max,p50,p95,p99}}}
+  std::string ToJson() const;
+};
+
+#ifndef TBM_OBS_DISABLED
+
+/// Monotonic event counter. All methods are thread-safe.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Instantaneous level (cache occupancy, live sessions). Thread-safe.
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram (see kHistogramBuckets). Thread-safe;
+/// Record() is a handful of relaxed atomic operations.
+class Histogram {
+ public:
+  void Record(uint64_t value);
+  HistogramSnapshot Snapshot() const;
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
+  std::array<std::atomic<uint64_t>, kHistogramBuckets> buckets_{};
+};
+
+/// Name -> instrument map. Instruments are created on first use and
+/// live as long as the registry; the returned pointers are stable, so
+/// instrumentation sites fetch them once (static local or member) and
+/// pay only the atomic op per event afterwards.
+class Registry {
+ public:
+  /// The process-wide registry every built-in instrumentation site
+  /// records into.
+  static Registry& Global();
+
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter* counter(std::string_view name);
+  Gauge* gauge(std::string_view name);
+  Histogram* histogram(std::string_view name);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every instrument (handles stay valid). Bench/test hygiene.
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Steady-clock nanoseconds for latency sampling. Returns 0 in
+/// disabled builds, so timing code costs nothing there.
+inline int64_t NowTicksNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Records the enclosing scope's duration (µs) into a histogram.
+class ScopedTimerUs {
+ public:
+  explicit ScopedTimerUs(Histogram* histogram)
+      : histogram_(histogram), start_ns_(NowTicksNs()) {}
+  ~ScopedTimerUs() {
+    histogram_->Record(static_cast<uint64_t>(
+        std::max<int64_t>(0, NowTicksNs() - start_ns_) / 1000));
+  }
+  ScopedTimerUs(const ScopedTimerUs&) = delete;
+  ScopedTimerUs& operator=(const ScopedTimerUs&) = delete;
+
+ private:
+  Histogram* histogram_;
+  int64_t start_ns_;
+};
+
+#else  // TBM_OBS_DISABLED: every instrument is a true no-op.
+
+class Counter {
+ public:
+  void Add(uint64_t = 1) {}
+  uint64_t Value() const { return 0; }
+  void Reset() {}
+};
+
+class Gauge {
+ public:
+  void Set(int64_t) {}
+  void Add(int64_t) {}
+  int64_t Value() const { return 0; }
+};
+
+class Histogram {
+ public:
+  void Record(uint64_t) {}
+  HistogramSnapshot Snapshot() const { return {}; }
+  void Reset() {}
+};
+
+class Registry {
+ public:
+  static Registry& Global() {
+    static Registry registry;
+    return registry;
+  }
+
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter* counter(std::string_view) { return &counter_; }
+  Gauge* gauge(std::string_view) { return &gauge_; }
+  Histogram* histogram(std::string_view) { return &histogram_; }
+
+  MetricsSnapshot Snapshot() const { return {}; }
+  void Reset() {}
+
+ private:
+  Counter counter_;
+  Gauge gauge_;
+  Histogram histogram_;
+};
+
+inline int64_t NowTicksNs() { return 0; }
+
+class ScopedTimerUs {
+ public:
+  explicit ScopedTimerUs(Histogram*) {}
+  ScopedTimerUs(const ScopedTimerUs&) = delete;
+  ScopedTimerUs& operator=(const ScopedTimerUs&) = delete;
+};
+
+#endif  // TBM_OBS_DISABLED
+
+}  // namespace tbm::obs
+
+#endif  // TBM_OBS_METRICS_H_

@@ -3,8 +3,33 @@
 #include <algorithm>
 
 #include "base/macros.h"
+#include "obs/metrics.h"
 
 namespace tbm {
+
+namespace {
+
+/// Process-wide admission-control metrics.
+struct AdmissionMetrics {
+  obs::Counter* admitted;
+  obs::Counter* rejected;
+  obs::Counter* released;
+  obs::Gauge* booked_bytes_per_second;
+
+  static const AdmissionMetrics& Get() {
+    static const AdmissionMetrics metrics = [] {
+      auto& registry = obs::Registry::Global();
+      return AdmissionMetrics{
+          registry.counter("admission.admitted"),
+          registry.counter("admission.rejected"),
+          registry.counter("admission.released"),
+          registry.gauge("admission.booked_bytes_per_second")};
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
 
 RateProfile MeasureRateProfile(const TimedStream& stream) {
   RateProfile profile;
@@ -70,6 +95,7 @@ Status AdmissionController::Admit(const std::string& session,
     return Status::InvalidArgument("descriptor has non-positive data rate");
   }
   if (booked_ + booking > capacity_) {
+    AdmissionMetrics::Get().rejected->Add();
     return Status::ResourceExhausted(
         "admitting \"" + session + "\" needs " + HumanRate(booking) +
         " but only " + HumanRate(available()) + " of " +
@@ -77,6 +103,9 @@ Status AdmissionController::Admit(const std::string& session,
   }
   booked_ += booking;
   sessions_.emplace(session, booking);
+  AdmissionMetrics::Get().admitted->Add();
+  AdmissionMetrics::Get().booked_bytes_per_second->Set(
+      static_cast<int64_t>(booked_));
   return Status::OK();
 }
 
@@ -87,6 +116,9 @@ Status AdmissionController::Release(const std::string& session) {
   }
   booked_ -= it->second;
   sessions_.erase(it);
+  AdmissionMetrics::Get().released->Add();
+  AdmissionMetrics::Get().booked_bytes_per_second->Set(
+      static_cast<int64_t>(booked_));
   return Status::OK();
 }
 

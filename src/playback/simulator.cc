@@ -4,9 +4,33 @@
 #include <cmath>
 #include <map>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace tbm {
 
 namespace {
+
+/// Process-wide playout metrics: deadline misses are the paper's
+/// quality-of-service failure signal, the lateness histogram captures
+/// jitter across elements.
+struct PlayoutMetrics {
+  obs::Counter* simulations;
+  obs::Counter* elements;
+  obs::Counter* deadline_misses;
+  obs::Histogram* lateness_us;
+
+  static const PlayoutMetrics& Get() {
+    static const PlayoutMetrics metrics = [] {
+      auto& registry = obs::Registry::Global();
+      return PlayoutMetrics{registry.counter("playback.simulations"),
+                            registry.counter("playback.elements"),
+                            registry.counter("playback.deadline_misses"),
+                            registry.histogram("playback.lateness_us")};
+    }();
+    return metrics;
+  }
+};
 
 struct Job {
   double deadline_us;  ///< Ideal presentation instant (pre-buffer).
@@ -34,6 +58,8 @@ double Uniform(uint64_t* state) {
 Result<PlaybackReport> SimulatePlayback(
     const std::vector<const TimedStream*>& streams,
     const PlaybackConfig& config) {
+  obs::ScopedSpan span("playback.simulate");
+  PlayoutMetrics::Get().simulations->Add();
   if (streams.empty()) {
     return Status::InvalidArgument("no streams to play");
   }
@@ -94,6 +120,9 @@ Result<PlaybackReport> SimulatePlayback(
         std::max(0.0, job.presented_us - (job.deadline_us + buffer_us));
     ++sr.elements;
     ++report.total_elements;
+    PlayoutMetrics::Get().elements->Add();
+    PlayoutMetrics::Get().lateness_us->Record(
+        static_cast<uint64_t>(lateness));
     sr.mean_lateness_us += lateness;
     total_lateness += lateness;
     sr.max_lateness_us = std::max(sr.max_lateness_us, lateness);
@@ -101,6 +130,7 @@ Result<PlaybackReport> SimulatePlayback(
     if (lateness > config.miss_tolerance_us) {
       ++sr.deadline_misses;
       ++report.total_misses;
+      PlayoutMetrics::Get().deadline_misses->Add();
     }
     span_end = std::max(span_end, job.presented_us);
     if (streams.size() > 1) {

@@ -11,6 +11,7 @@
 /// Layering (each group may depend on those above it):
 ///
 ///   base     status/result, bytes, io, checksums, thread pool
+///   obs      metrics registry and span tracing (observability)
 ///   time     rational time, time systems, timecodes
 ///   blob     uninterpreted byte storage (Def. 1)
 ///   media    attributes, descriptors, media types, quality
@@ -33,6 +34,10 @@
 #include "base/result.h"
 #include "base/status.h"
 #include "base/thread_pool.h"
+
+// obs
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 // time
 #include "time/rational.h"

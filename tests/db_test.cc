@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <thread>
+#include <vector>
 
 #include "codec/pcm.h"
 #include "codec/synthetic.h"
@@ -394,6 +396,52 @@ TEST(DbTest, CatalogCorruptionDetected) {
 TEST(DbTest, InMemoryCannotSave) {
   auto db = MediaDatabase::CreateInMemory();
   EXPECT_TRUE(db->Save().IsFailedPrecondition());
+}
+
+// ---------------------------------------------------------------------------
+// last_eval_stats under concurrency
+
+// Regression test: last_eval_stats() used to hand out a reference to a
+// mutable member that concurrent Materialize calls overwrite, so a
+// reader could observe a torn EvalStats (and TSan flagged the pair).
+// It now returns a per-call snapshot taken under a lock. Run under
+// ThreadSanitizer to verify (the TSan CI job includes DbStatsRaceTest).
+TEST(DbStatsRaceTest, ConcurrentMaterializeAndStatsSnapshot) {
+  auto db = MediaDatabase::CreateInMemory();
+  auto [video, audio] = IngestClip(db.get(), "race", 3);
+  (void)audio;
+  AttrMap cut_params;
+  cut_params.SetInt("start frame", 0);
+  cut_params.SetInt("frame count", 8);
+  auto cut = db->AddDerivedObject("race_cut", "video edit", {video},
+                                  cut_params);
+  ASSERT_TRUE(cut.ok());
+
+  constexpr int kWriters = 2;
+  constexpr int kReaders = 2;
+  constexpr int kIterations = 8;
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&db, id = *cut] {
+      for (int i = 0; i < kIterations; ++i) {
+        auto value = db->Materialize(id);
+        EXPECT_TRUE(value.ok()) << value.status();
+      }
+    });
+  }
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&db] {
+      for (int i = 0; i < kIterations * 4; ++i) {
+        EvalStats stats = db->last_eval_stats();  // Snapshot, not a ref.
+        // Exercise the copied maps so torn state would surface.
+        EXPECT_GE(stats.ToString().size(), 0u);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EvalStats final_stats = db->last_eval_stats();
+  EXPECT_EQ(final_stats.evaluations, 1u);  // Per-Materialize engine.
+  EXPECT_GE(final_stats.nodes_evaluated, 1u);
 }
 
 }  // namespace

@@ -6,13 +6,21 @@
 //                                         (.wav audio, .ppm/.pgm image,
 //                                          video -> <out>_NNNN.ppm frames)
 //   tbmctl play   <dbdir> <name>          simulate presentation timing
-//   tbmctl eval   <dbdir> <name> [threads] materialize and report
-//                                          evaluation-engine statistics
-//   tbmctl stats  <dbdir>                 storage statistics
+//   tbmctl eval   <dbdir> <name> [threads] [--quiet]
+//                                         materialize; engine statistics
+//                                         go to stderr (--quiet omits them)
+//   tbmctl stats  <dbdir>                 storage + metrics statistics
+//   tbmctl trace  <dbdir> <name> [-o trace.json]
+//                                         materialize under the tracer and
+//                                         write Chrome trace_event JSON
+//                                         (open in chrome://tracing)
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "tbm.h"
 
@@ -31,8 +39,9 @@ int Usage() {
                "       tbmctl show <dbdir> <name>\n"
                "       tbmctl export <dbdir> <name> <out>\n"
                "       tbmctl play <dbdir> <name>\n"
-               "       tbmctl eval <dbdir> <name> [threads]\n"
-               "       tbmctl stats <dbdir>\n");
+               "       tbmctl eval <dbdir> <name> [threads] [--quiet]\n"
+               "       tbmctl stats <dbdir>\n"
+               "       tbmctl trace <dbdir> <name> [-o trace.json]\n");
   return 2;
 }
 
@@ -219,7 +228,8 @@ int CmdPlay(MediaDatabase* db, const std::string& name) {
   return 0;
 }
 
-int CmdEval(MediaDatabase* db, const std::string& name, int threads) {
+int CmdEval(MediaDatabase* db, const std::string& name, int threads,
+            bool quiet) {
   auto id = db->FindByName(name);
   if (!id.ok()) return Fail(id.status());
   EvalOptions options;
@@ -230,12 +240,64 @@ int CmdEval(MediaDatabase* db, const std::string& name, int threads) {
   std::printf("materialized \"%s\": %s, %s expanded\n", name.c_str(),
               std::string(MediaKindToString(KindOfValue(*value))).c_str(),
               HumanBytes(ExpandedBytes(*value)).c_str());
-  if (threads == 0) {
-    std::printf("engine (threads=auto):\n%s",
-                db->last_eval_stats().ToString().c_str());
-  } else {
-    std::printf("engine (threads=%d):\n%s", threads,
-                db->last_eval_stats().ToString().c_str());
+  // Statistics go to stderr so stdout stays scriptable.
+  if (!quiet) {
+    if (threads == 0) {
+      std::fprintf(stderr, "engine (threads=auto):\n%s",
+                   db->last_eval_stats().ToString().c_str());
+    } else {
+      std::fprintf(stderr, "engine (threads=%d):\n%s", threads,
+                   db->last_eval_stats().ToString().c_str());
+    }
+  }
+  return 0;
+}
+
+int CmdTrace(MediaDatabase* db, const std::string& name,
+             const std::string& out_path) {
+  auto id = db->FindByName(name);
+  if (!id.ok()) return Fail(id.status());
+  obs::Tracer::Global().Clear();
+  int64_t t0 = obs::NowTicksNs();
+  auto value = db->Materialize(*id);
+  int64_t t1 = obs::NowTicksNs();
+  if (!value.ok()) return Fail(value.status());
+  std::vector<obs::SpanRecord> spans = obs::Tracer::Global().Collect();
+  if (auto s = obs::WriteChromeTrace(spans, out_path); !s.ok()) {
+    return Fail(s);
+  }
+  // Coverage: merged span intervals against the materialize wall time
+  // (span clocks and t0/t1 tick together, so interval lengths are
+  // directly comparable).
+  std::vector<std::pair<int64_t, int64_t>> intervals;
+  intervals.reserve(spans.size());
+  for (const obs::SpanRecord& span : spans) {
+    intervals.emplace_back(span.start_ns, span.start_ns + span.duration_ns);
+  }
+  std::sort(intervals.begin(), intervals.end());
+  int64_t covered = 0, cur_start = 0, cur_end = -1;
+  for (const auto& [start, end] : intervals) {
+    if (start > cur_end) {
+      if (cur_end > cur_start) covered += cur_end - cur_start;
+      cur_start = start;
+      cur_end = end;
+    } else {
+      cur_end = std::max(cur_end, end);
+    }
+  }
+  if (cur_end > cur_start) covered += cur_end - cur_start;
+  int64_t wall = t1 - t0;
+  std::printf("traced \"%s\": %zu spans", name.c_str(), spans.size());
+  if (wall > 0) {
+    std::printf(", covering %.1f%% of %.3f ms materialize wall",
+                100.0 * static_cast<double>(covered) /
+                    static_cast<double>(wall),
+                static_cast<double>(wall) / 1e6);
+  }
+  std::printf("\nwrote %s (open in chrome://tracing)\n", out_path.c_str());
+  if (spans.empty()) {
+    std::fprintf(stderr,
+                 "tbmctl: no spans recorded (built with TBM_OBS_DISABLED?)\n");
   }
   return 0;
 }
@@ -262,6 +324,10 @@ int CmdStats(MediaDatabase* db, const std::string& dir) {
   }
   std::printf("BLOBs: %zu holding %s\n", blobs.size(),
               HumanBytes(blob_bytes).c_str());
+  obs::MetricsSnapshot metrics = obs::Registry::Global().Snapshot();
+  if (!metrics.empty()) {
+    std::printf("metrics (this process):\n%s", metrics.ToString().c_str());
+  }
   return 0;
 }
 
@@ -279,9 +345,24 @@ int main(int argc, char** argv) {
   if (command == "show" && argc >= 4) return CmdShow(db->get(), argv[3]);
   if (command == "play" && argc >= 4) return CmdPlay(db->get(), argv[3]);
   if (command == "eval" && argc >= 4) {
-    int threads = argc >= 5 ? std::atoi(argv[4]) : 1;
+    int threads = 1;
+    bool quiet = false;
+    for (int i = 4; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--quiet") == 0) {
+        quiet = true;
+      } else {
+        threads = std::atoi(argv[i]);
+      }
+    }
     if (threads < 0) return Usage();
-    return CmdEval(db->get(), argv[3], threads);
+    return CmdEval(db->get(), argv[3], threads, quiet);
+  }
+  if (command == "trace" && argc >= 4) {
+    std::string out = "trace.json";
+    for (int i = 4; i + 1 < argc; ++i) {
+      if (std::strcmp(argv[i], "-o") == 0) out = argv[i + 1];
+    }
+    return CmdTrace(db->get(), argv[3], out);
   }
   if (command == "export" && argc >= 5) {
     return CmdExport(db->get(), argv[3], argv[4]);
