@@ -2,6 +2,7 @@
 #define TBM_BLOB_BLOB_STORE_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "base/bytes.h"
@@ -14,6 +15,9 @@ namespace tbm {
 using BlobId = uint64_t;
 inline constexpr BlobId kInvalidBlobId = 0;
 
+class ChunkReader;
+struct ChunkReaderOptions;
+
 /// A BLOB (paper Definition 4): an attribute value that appears to
 /// applications as a sequence of bytes, with read and append access.
 ///
@@ -22,7 +26,17 @@ inline constexpr BlobId kInvalidBlobId = 0;
 /// derivation objects (Def. 6), never by rewriting BLOB bytes. The
 /// physical layout of a BLOB (contiguous or fragmented) is a
 /// performance concern hidden behind this interface; see
-/// MemoryBlobStore, PagedBlobStore and FileBlobStore.
+/// MemoryBlobStore, PagedBlobStore and FileBlobStore. Stores compose
+/// as decorators over this interface — FaultInjectingStore wraps any
+/// BlobStore, and MediaDatabase accepts an injected store — so new
+/// backends slot in without touching consumers.
+///
+/// Thread-safety contract: const methods (Read, Size, Exists, List,
+/// OpenChunkReader) may be called from multiple threads concurrently —
+/// the AsyncPrefetcher depends on this to overlap chunk fetches —
+/// provided no thread is concurrently mutating the store (Create,
+/// Append, Delete). Mixing readers with a writer requires external
+/// synchronization, as with standard containers.
 class BlobStore {
  public:
   virtual ~BlobStore() = default;
@@ -51,6 +65,15 @@ class BlobStore {
 
   /// Convenience: reads the whole BLOB.
   Result<Bytes> ReadAll(BlobId id) const;
+
+  /// Opens a streaming view of BLOB `id` serving fixed-size chunks on
+  /// demand (see blob/chunk_reader.h). The base implementation serves
+  /// chunks as policy-governed range reads and works for every store;
+  /// layout-aware stores override it to align chunk geometry with
+  /// their physical pages. The reader borrows the store: keep the
+  /// store alive and unmutated while reading.
+  virtual Result<std::unique_ptr<ChunkReader>> OpenChunkReader(
+      BlobId id, const ChunkReaderOptions& options) const;
 };
 
 /// Occupancy statistics for benchmarking and storage accounting.

@@ -6,6 +6,7 @@
 
 #include "base/crc32.h"
 #include "base/macros.h"
+#include "blob/chunk_reader.h"
 #include "blob/store_metrics.h"
 #include "obs/trace.h"
 
@@ -81,6 +82,7 @@ FilePageDevice::~FilePageDevice() {
 }
 
 Result<uint64_t> FilePageDevice::GrowOnePage() {
+  std::lock_guard<std::mutex> lock(io_mu_);
   Bytes zeros(page_size_, 0);
   if (std::fseek(file_, static_cast<long>(page_count_ * page_size_),
                  SEEK_SET) != 0 ||
@@ -91,6 +93,7 @@ Result<uint64_t> FilePageDevice::GrowOnePage() {
 }
 
 Status FilePageDevice::ReadPage(uint64_t index, uint8_t* out) const {
+  std::lock_guard<std::mutex> lock(io_mu_);
   if (index >= page_count_) {
     return Status::OutOfRange("page index " + std::to_string(index));
   }
@@ -102,6 +105,7 @@ Status FilePageDevice::ReadPage(uint64_t index, uint8_t* out) const {
 }
 
 Status FilePageDevice::WritePage(uint64_t index, const uint8_t* data) {
+  std::lock_guard<std::mutex> lock(io_mu_);
   if (index >= page_count_) {
     return Status::OutOfRange("page index " + std::to_string(index));
   }
@@ -130,10 +134,13 @@ Status PagedBlobStore::WritePagePayload(uint64_t page, ByteSpan payload) {
   std::memcpy(buf.data() + kPageHeaderSize, payload.data(), payload.size());
   PutU32(buf.data(),
          Crc32(ByteSpan(buf.data() + 4, device_->page_size() - 4)));
+  CacheInvalidate(page);
   return device_->WritePage(page, buf.data());
 }
 
 Result<Bytes> PagedBlobStore::ReadPagePayload(uint64_t page) const {
+  Bytes cached;
+  if (CacheLookup(page, &cached)) return cached;
   blob_internal::StoreMetrics::Get().pages_read->Add();
   Bytes buf(device_->page_size());
   TBM_RETURN_IF_ERROR(device_->ReadPage(page, buf.data()));
@@ -149,8 +156,87 @@ Result<Bytes> PagedBlobStore::ReadPagePayload(uint64_t page) const {
     return Status::Corruption("page " + std::to_string(page) +
                               " length field out of range");
   }
-  return Bytes(buf.begin() + kPageHeaderSize,
-               buf.begin() + kPageHeaderSize + len);
+  Bytes payload(buf.begin() + kPageHeaderSize,
+                buf.begin() + kPageHeaderSize + len);
+  CacheInsert(page, payload);
+  return payload;
+}
+
+bool PagedBlobStore::CacheLookup(uint64_t page, Bytes* payload) const {
+  std::lock_guard<std::mutex> lock(cache_.mu);
+  if (cache_.capacity == 0) return false;
+  auto it = cache_.entries.find(page);
+  if (it == cache_.entries.end()) {
+    ++cache_.misses;
+    return false;
+  }
+  cache_.lru.splice(cache_.lru.begin(), cache_.lru, it->second.first);
+  *payload = it->second.second;
+  ++cache_.hits;
+  return true;
+}
+
+void PagedBlobStore::CacheInsert(uint64_t page, const Bytes& payload) const {
+  std::lock_guard<std::mutex> lock(cache_.mu);
+  if (cache_.capacity == 0) return;
+  auto it = cache_.entries.find(page);
+  if (it != cache_.entries.end()) {
+    // A racing reader beat us to the fill; refresh recency only.
+    cache_.lru.splice(cache_.lru.begin(), cache_.lru, it->second.first);
+    return;
+  }
+  cache_.lru.push_front(page);
+  cache_.entries.emplace(page, std::make_pair(cache_.lru.begin(), payload));
+  while (cache_.entries.size() > cache_.capacity) {
+    cache_.entries.erase(cache_.lru.back());
+    cache_.lru.pop_back();
+    ++cache_.evictions;
+  }
+}
+
+void PagedBlobStore::CacheInvalidate(uint64_t page) const {
+  std::lock_guard<std::mutex> lock(cache_.mu);
+  auto it = cache_.entries.find(page);
+  if (it == cache_.entries.end()) return;
+  cache_.lru.erase(it->second.first);
+  cache_.entries.erase(it);
+}
+
+void PagedBlobStore::set_page_cache_capacity(size_t pages) {
+  std::lock_guard<std::mutex> lock(cache_.mu);
+  cache_.capacity = pages;
+  while (cache_.entries.size() > cache_.capacity) {
+    cache_.entries.erase(cache_.lru.back());
+    cache_.lru.pop_back();
+    ++cache_.evictions;
+  }
+}
+
+size_t PagedBlobStore::page_cache_capacity() const {
+  std::lock_guard<std::mutex> lock(cache_.mu);
+  return cache_.capacity;
+}
+
+PageCacheStats PagedBlobStore::page_cache_stats() const {
+  std::lock_guard<std::mutex> lock(cache_.mu);
+  PageCacheStats stats;
+  stats.hits = cache_.hits;
+  stats.misses = cache_.misses;
+  stats.evictions = cache_.evictions;
+  stats.resident_pages = cache_.entries.size();
+  return stats;
+}
+
+Result<std::unique_ptr<ChunkReader>> PagedBlobStore::OpenChunkReader(
+    BlobId id, const ChunkReaderOptions& options) const {
+  if (options.chunk_size == 0) {
+    return Status::InvalidArgument("chunk_size must be positive");
+  }
+  ChunkReaderOptions aligned = options;
+  uint64_t payload = payload_size_;
+  aligned.chunk_size =
+      ((options.chunk_size + payload - 1) / payload) * payload;
+  return BlobStore::OpenChunkReader(id, aligned);
 }
 
 Result<uint64_t> PagedBlobStore::AcquirePage() {

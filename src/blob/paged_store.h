@@ -3,9 +3,12 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <list>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "blob/blob_store.h"
@@ -54,7 +57,10 @@ class MemoryPageDevice : public PageDevice {
 };
 
 /// Page device over a single file. Pages are written at
-/// `index * page_size`; the file is grown on demand.
+/// `index * page_size`; the file is grown on demand. Page I/O shares
+/// one stdio stream whose position is a hidden mutable cursor, so all
+/// device operations serialize on an internal mutex — concurrent
+/// chunk readers are safe (if not parallel at the device level).
 class FilePageDevice : public PageDevice {
  public:
   /// Opens (creating if absent) the backing file.
@@ -73,9 +79,18 @@ class FilePageDevice : public PageDevice {
   FilePageDevice(std::FILE* file, uint32_t page_size, uint64_t page_count)
       : file_(file), page_size_(page_size), page_count_(page_count) {}
 
+  mutable std::mutex io_mu_;  ///< Serializes seek+read/write pairs.
   std::FILE* file_;
   uint32_t page_size_;
   uint64_t page_count_;
+};
+
+/// Occupancy and effectiveness counters of the page cache.
+struct PageCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t resident_pages = 0;
 };
 
 /// BLOB store with fragmented, checksummed, page-chained layout.
@@ -100,6 +115,22 @@ class PagedBlobStore : public BlobStore {
   Status Delete(BlobId id) override;
   bool Exists(BlobId id) const override;
   std::vector<BlobId> List() const override;
+
+  /// Chunked reads, with the chunk size rounded up to a whole number
+  /// of page payloads so adjacent chunks never split (and re-verify
+  /// the checksum of) a boundary page.
+  Result<std::unique_ptr<ChunkReader>> OpenChunkReader(
+      BlobId id, const ChunkReaderOptions& options) const override;
+
+  /// Enables an LRU cache of decoded page payloads, `pages` entries
+  /// deep (0 disables and drops the cache; the default). The cache
+  /// absorbs the repeated page decode + CRC verification that element-
+  /// sized and chunked reads of the same region would otherwise pay,
+  /// and is invalidated page-by-page on writes. Thread-safe; sized in
+  /// pages, so its memory is `pages * page_size` bytes at most.
+  void set_page_cache_capacity(size_t pages);
+  size_t page_cache_capacity() const;
+  PageCacheStats page_cache_stats() const;
 
   BlobStoreStats Stats() const;
 
@@ -130,11 +161,31 @@ class PagedBlobStore : public BlobStore {
   Result<Bytes> ReadPagePayload(uint64_t page) const;
   Result<uint64_t> AcquirePage();
 
+  /// Cache lookups/fills; no-ops when the cache is disabled.
+  bool CacheLookup(uint64_t page, Bytes* payload) const;
+  void CacheInsert(uint64_t page, const Bytes& payload) const;
+  void CacheInvalidate(uint64_t page) const;
+
   std::unique_ptr<PageDevice> device_;
   uint32_t payload_size_;
   std::map<BlobId, BlobMeta> blobs_;
   std::vector<uint64_t> free_pages_;
   BlobId next_id_ = 1;
+
+  /// LRU page-payload cache (front of `lru` = most recent). All fields
+  /// are guarded by `mu`; mutable because reads fill the cache.
+  struct PageCache {
+    std::mutex mu;
+    size_t capacity = 0;
+    std::list<uint64_t> lru;
+    std::unordered_map<uint64_t,
+                       std::pair<std::list<uint64_t>::iterator, Bytes>>
+        entries;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+  mutable PageCache cache_;
 };
 
 }  // namespace tbm

@@ -1,0 +1,110 @@
+#ifndef TBM_BLOB_PREFETCHER_H_
+#define TBM_BLOB_PREFETCHER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "base/thread_pool.h"
+#include "blob/chunk_reader.h"
+
+namespace tbm {
+
+/// Readahead behaviour of an AsyncPrefetcher.
+struct PrefetchOptions {
+  /// Chunks scheduled ahead of the consumer. 0 (or a null pool)
+  /// degrades to synchronous on-demand reads — the baseline the
+  /// streaming ablation measures against.
+  int depth = 4;
+
+  /// Backpressure: total bytes allowed in flight or buffered but not
+  /// yet consumed. Scheduling pauses at this bound even if `depth`
+  /// would allow more, so a fast store cannot balloon memory ahead of
+  /// a slow consumer.
+  uint64_t max_inflight_bytes = 8ull << 20;
+};
+
+/// Counters of one prefetcher's lifetime (monotone; read anytime).
+struct PrefetchStats {
+  uint64_t chunks_delivered = 0;
+  uint64_t hits = 0;        ///< Next() found the chunk already buffered.
+  uint64_t stalls = 0;      ///< Next() had to wait for the fetch.
+  uint64_t stall_us = 0;    ///< Total time spent waiting in Next().
+  uint64_t bytes_delivered = 0;
+  uint64_t read_errors = 0; ///< Chunks whose read failed (after retries).
+
+  double HitRate() const {
+    uint64_t total = hits + stalls;
+    return total > 0 ? static_cast<double>(hits) / total : 0.0;
+  }
+};
+
+/// Asynchronous sequential readahead over a ChunkReader.
+///
+/// The consumer calls Next() to receive chunks 0, 1, 2, … in order;
+/// the prefetcher keeps up to `depth` further chunks in flight on the
+/// thread pool, bounded by `max_inflight_bytes`. When I/O latency and
+/// decode cost are comparable, this overlaps them almost completely —
+/// playback touches elements in timestamp order at a constant rate
+/// (paper §2.2), which is exactly the access pattern readahead wants.
+///
+/// Chunk read failures are returned from Next() for that chunk only;
+/// the stream position still advances, so a caller with its own
+/// recovery (or a lenient ReadPolicy in the reader) can keep going.
+///
+/// Thread-safety: Next() is intended for one consumer thread;
+/// scheduling internals are locked, and the destructor drains any
+/// in-flight reads before returning.
+class AsyncPrefetcher {
+ public:
+  /// `reader` is owned; `pool` is borrowed and may be null (synchronous
+  /// mode). The underlying store must stay alive and unmutated for the
+  /// prefetcher's lifetime.
+  AsyncPrefetcher(std::unique_ptr<ChunkReader> reader, ThreadPool* pool,
+                  PrefetchOptions options = {});
+
+  /// Blocks until outstanding chunk reads finish.
+  ~AsyncPrefetcher();
+
+  AsyncPrefetcher(const AsyncPrefetcher&) = delete;
+  AsyncPrefetcher& operator=(const AsyncPrefetcher&) = delete;
+
+  /// True when every chunk has been delivered.
+  bool Done() const;
+
+  /// Index of the chunk the next call to Next() delivers.
+  uint64_t next_index() const;
+
+  uint64_t chunk_count() const { return reader_->chunk_count(); }
+  const ChunkReader& reader() const { return *reader_; }
+
+  /// Delivers the next chunk in sequence, scheduling further readahead.
+  /// OutOfRange once Done().
+  Result<Bytes> Next();
+
+  /// Snapshot of the prefetcher's counters.
+  PrefetchStats stats() const;
+
+ private:
+  /// Schedules readahead up to depth/byte bounds. Caller holds mu_.
+  void ScheduleLocked();
+
+  std::unique_ptr<ChunkReader> reader_;
+  ThreadPool* pool_;
+  PrefetchOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<uint64_t, Result<Bytes>> ready_;  ///< Fetched, not yet consumed.
+  uint64_t next_consume_ = 0;   ///< Next chunk Next() returns.
+  uint64_t next_schedule_ = 0;  ///< Next chunk to hand to the pool.
+  uint64_t inflight_bytes_ = 0; ///< Scheduled or buffered, unconsumed.
+  int outstanding_tasks_ = 0;
+  PrefetchStats stats_;
+};
+
+}  // namespace tbm
+
+#endif  // TBM_BLOB_PREFETCHER_H_

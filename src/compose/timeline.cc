@@ -1,5 +1,7 @@
 #include "compose/timeline.h"
 
+#include "base/macros.h"
+
 namespace tbm {
 
 std::string_view IntervalRelationToString(IntervalRelation relation) {
@@ -21,7 +23,27 @@ std::string_view IntervalRelationToString(IntervalRelation relation) {
   return "unknown";
 }
 
-IntervalRelation Classify(const TimeInterval& a, const TimeInterval& b) {
+namespace {
+
+Status CheckProper(const TimeInterval& interval, const char* which) {
+  if (!interval.Valid()) {
+    return Status::InvalidArgument(std::string("interval ") + which +
+                                   " is invalid (end < start)");
+  }
+  if (interval.Duration() == Rational(0)) {
+    return Status::InvalidArgument(std::string("interval ") + which +
+                                   " is empty; Allen relations need "
+                                   "proper intervals");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<IntervalRelation> Classify(const TimeInterval& a,
+                                  const TimeInterval& b) {
+  TBM_RETURN_IF_ERROR(CheckProper(a, "a"));
+  TBM_RETURN_IF_ERROR(CheckProper(b, "b"));
   if (a.start == b.start && a.end == b.end) return IntervalRelation::kEquals;
   if (a.end < b.start) return IntervalRelation::kBefore;
   if (b.end < a.start) return IntervalRelation::kAfter;

@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "base/result.h"
 #include "time/rational.h"
 
 namespace tbm {
@@ -41,9 +42,11 @@ enum class IntervalRelation {
 
 std::string_view IntervalRelationToString(IntervalRelation relation);
 
-/// Classifies the relation of `a` to `b`. Both intervals must be valid
-/// and non-empty for the classification to be meaningful.
-IntervalRelation Classify(const TimeInterval& a, const TimeInterval& b);
+/// Classifies the relation of `a` to `b`. InvalidArgument if either
+/// interval is invalid (end < start) or empty — Allen's relations are
+/// only defined over proper intervals.
+Result<IntervalRelation> Classify(const TimeInterval& a,
+                                  const TimeInterval& b);
 
 }  // namespace tbm
 

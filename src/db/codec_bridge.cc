@@ -67,6 +67,25 @@ Result<MediaValue> DecodeAdpcm(const TimedStream& stream) {
   return MediaValue(std::move(audio));
 }
 
+// Elements arrive in presentation order; decoding needs reference
+// frames first, i.e. storage order. Sort: keys and deltas by
+// presentation, bidirectional frames after their references.
+void SortTmpegForDecode(std::vector<TmpegFrame>* frames) {
+  std::stable_sort(frames->begin(), frames->end(),
+                   [](const TmpegFrame& a, const TmpegFrame& b) {
+                     auto order_key = [](const TmpegFrame& f) {
+                       return f.kind == FrameKind::kBidirectional
+                                  ? f.ref_after
+                                  : f.presentation_index;
+                     };
+                     if (order_key(a) != order_key(b)) {
+                       return order_key(a) < order_key(b);
+                     }
+                     return (a.kind != FrameKind::kBidirectional) &&
+                            (b.kind == FrameKind::kBidirectional);
+                   });
+}
+
 Result<MediaValue> DecodeVideo(const TimedStream& stream,
                                const std::string& type) {
   TBM_ASSIGN_OR_RETURN(Rational rate,
@@ -98,22 +117,7 @@ Result<MediaValue> DecodeVideo(const TimedStream& stream,
       TBM_ASSIGN_OR_RETURN(TmpegFrame frame, TmpegParseFrame(element.data));
       frames.push_back(std::move(frame));
     }
-    // Elements arrive in presentation order; decoding needs reference
-    // frames first, i.e. storage order. Sort: keys and deltas by
-    // presentation, bidirectional frames after their references.
-    std::stable_sort(frames.begin(), frames.end(),
-                     [](const TmpegFrame& a, const TmpegFrame& b) {
-                       auto order_key = [](const TmpegFrame& f) {
-                         return f.kind == FrameKind::kBidirectional
-                                    ? f.ref_after
-                                    : f.presentation_index;
-                       };
-                       if (order_key(a) != order_key(b)) {
-                         return order_key(a) < order_key(b);
-                       }
-                       return (a.kind != FrameKind::kBidirectional) &&
-                              (b.kind == FrameKind::kBidirectional);
-                     });
+    SortTmpegForDecode(&frames);
     TBM_ASSIGN_OR_RETURN(video.frames, TmpegDecodeSequence(frames));
   } else {
     return Status::Unsupported("unknown video type " + type);
@@ -175,6 +179,135 @@ Result<MediaValue> DecodeStream(const TimedStream& stream) {
     return MediaValue(stream);
   }
   return Status::Unsupported("no decoder for media type \"" + type + "\"");
+}
+
+namespace {
+
+Result<MediaValue> DecodePcmStreamed(ElementStream* stream) {
+  TBM_ASSIGN_OR_RETURN(int64_t rate,
+                       stream->descriptor().attrs.GetInt("sample rate"));
+  TBM_ASSIGN_OR_RETURN(
+      int64_t channels,
+      stream->descriptor().attrs.GetInt("number of channels"));
+  Bytes bytes;
+  while (!stream->Done()) {
+    TBM_ASSIGN_OR_RETURN(StreamElement element, stream->Next());
+    bytes.insert(bytes.end(), element.data.begin(), element.data.end());
+  }
+  TBM_ASSIGN_OR_RETURN(
+      AudioBuffer audio,
+      AudioBuffer::FromBytes(bytes, rate, static_cast<int32_t>(channels)));
+  return MediaValue(std::move(audio));
+}
+
+Result<MediaValue> DecodeAdpcmStreamed(ElementStream* stream) {
+  TBM_ASSIGN_OR_RETURN(int64_t rate,
+                       stream->descriptor().attrs.GetInt("sample rate"));
+  TBM_ASSIGN_OR_RETURN(
+      int64_t channels,
+      stream->descriptor().attrs.GetInt("number of channels"));
+  std::vector<AdpcmBlock> blocks;
+  while (!stream->Done()) {
+    TBM_ASSIGN_OR_RETURN(StreamElement element, stream->Next());
+    AdpcmBlock block;
+    block.data = std::move(element.data);
+    block.frames = element.duration;
+    for (int32_t c = 0; c < channels; ++c) {
+      std::string suffix = c == 0 ? "" : std::to_string(c);
+      TBM_ASSIGN_OR_RETURN(int64_t predictor,
+                           element.descriptor.GetInt("predictor" + suffix));
+      TBM_ASSIGN_OR_RETURN(int64_t step,
+                           element.descriptor.GetInt("step index" + suffix));
+      block.predictor.push_back(static_cast<int16_t>(predictor));
+      block.step_index.push_back(static_cast<uint8_t>(step));
+    }
+    blocks.push_back(std::move(block));
+  }
+  TBM_ASSIGN_OR_RETURN(
+      AudioBuffer audio,
+      AdpcmDecode(blocks, rate, static_cast<int32_t>(channels)));
+  return MediaValue(std::move(audio));
+}
+
+Result<MediaValue> DecodeVideoStreamed(ElementStream* stream,
+                                       const std::string& type) {
+  TBM_ASSIGN_OR_RETURN(Rational rate,
+                       stream->descriptor().attrs.GetRational("frame rate"));
+  VideoValue video;
+  video.frame_rate = rate;
+  if (type == "video/raw") {
+    TBM_ASSIGN_OR_RETURN(int64_t width,
+                         stream->descriptor().attrs.GetInt("frame width"));
+    TBM_ASSIGN_OR_RETURN(int64_t height,
+                         stream->descriptor().attrs.GetInt("frame height"));
+    while (!stream->Done()) {
+      TBM_ASSIGN_OR_RETURN(StreamElement element, stream->Next());
+      Image frame;
+      frame.width = static_cast<int32_t>(width);
+      frame.height = static_cast<int32_t>(height);
+      frame.model = ColorModel::kRgb24;
+      frame.data = std::move(element.data);
+      TBM_RETURN_IF_ERROR(frame.Validate());
+      video.frames.push_back(std::move(frame));
+    }
+  } else if (type == "video/tjpeg") {
+    // Each frame decodes as soon as its bytes arrive — the decode of
+    // frame i overlaps the prefetch of frames i+1..i+depth.
+    while (!stream->Done()) {
+      TBM_ASSIGN_OR_RETURN(StreamElement element, stream->Next());
+      TBM_ASSIGN_OR_RETURN(Image frame, TjpegDecode(element.data));
+      video.frames.push_back(std::move(frame));
+    }
+  } else if (type == "video/tmpeg") {
+    // Interframe coding needs references before dependents, so only
+    // the parse is incremental; the sequence decode runs at the end.
+    std::vector<TmpegFrame> frames;
+    while (!stream->Done()) {
+      TBM_ASSIGN_OR_RETURN(StreamElement element, stream->Next());
+      TBM_ASSIGN_OR_RETURN(TmpegFrame frame, TmpegParseFrame(element.data));
+      frames.push_back(std::move(frame));
+    }
+    SortTmpegForDecode(&frames);
+    TBM_ASSIGN_OR_RETURN(video.frames, TmpegDecodeSequence(frames));
+  } else {
+    return Status::Unsupported("unknown video type " + type);
+  }
+  return MediaValue(std::move(video));
+}
+
+}  // namespace
+
+Result<MediaValue> DecodeStreamed(const BlobStore& store,
+                                  const Interpretation& interpretation,
+                                  const std::string& name,
+                                  const StreamReadOptions& options,
+                                  ElementStreamStats* stats) {
+  obs::ScopedSpan span("codec.decode_streamed");
+  TBM_ASSIGN_OR_RETURN(
+      std::unique_ptr<ElementStream> stream,
+      ElementStream::Open(store, interpretation, name, options));
+
+  const std::string type = stream->descriptor().type_name;
+  Result<MediaValue> value = [&]() -> Result<MediaValue> {
+    if (type == "audio/pcm" || type == "audio/pcm-block") {
+      return DecodePcmStreamed(stream.get());
+    }
+    if (type == "audio/adpcm") return DecodeAdpcmStreamed(stream.get());
+    if (type == "video/raw" || type == "video/tjpeg" ||
+        type == "video/tmpeg") {
+      return DecodeVideoStreamed(stream.get(), type);
+    }
+    // Whole-stream decoders (images, MIDI, scenes, timed text) still
+    // benefit from the chunked, prefetched read path.
+    TimedStream assembled(stream->descriptor(), stream->time_system());
+    while (!stream->Done()) {
+      TBM_ASSIGN_OR_RETURN(StreamElement element, stream->Next());
+      TBM_RETURN_IF_ERROR(assembled.Append(std::move(element)));
+    }
+    return DecodeStream(assembled);
+  }();
+  if (stats != nullptr) *stats = stream->stats();
+  return value;
 }
 
 namespace {

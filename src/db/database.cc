@@ -33,6 +33,14 @@ Result<std::unique_ptr<MediaDatabase>> MediaDatabase::Open(
     const std::string& dir) {
   TBM_ASSIGN_OR_RETURN(std::unique_ptr<FileBlobStore> store,
                        FileBlobStore::Open(dir));
+  return Open(dir, std::move(store));
+}
+
+Result<std::unique_ptr<MediaDatabase>> MediaDatabase::Open(
+    const std::string& dir, std::unique_ptr<BlobStore> store) {
+  if (store == nullptr) {
+    return Status::InvalidArgument("blob store must not be null");
+  }
   auto db = std::unique_ptr<MediaDatabase>(
       new MediaDatabase(std::move(store), dir));
   TBM_RETURN_IF_ERROR(db->LoadCatalog());
@@ -40,8 +48,32 @@ Result<std::unique_ptr<MediaDatabase>> MediaDatabase::Open(
 }
 
 std::unique_ptr<MediaDatabase> MediaDatabase::CreateInMemory() {
+  return CreateWithStore(std::make_unique<MemoryBlobStore>());
+}
+
+std::unique_ptr<MediaDatabase> MediaDatabase::CreateWithStore(
+    std::unique_ptr<BlobStore> store) {
   return std::unique_ptr<MediaDatabase>(
-      new MediaDatabase(std::make_unique<MemoryBlobStore>(), ""));
+      new MediaDatabase(std::move(store), ""));
+}
+
+void MediaDatabase::set_read_options(StreamReadOptions options) {
+  read_options_ = options;
+}
+
+void MediaDatabase::clear_read_options() { read_options_.reset(); }
+
+StreamReadOptions MediaDatabase::ResolvedReadOptions() const {
+  StreamReadOptions options = *read_options_;
+  if (options.pool == nullptr && options.prefetch_depth > 0) {
+    std::lock_guard<std::mutex> lock(io_pool_mu_);
+    if (io_pool_ == nullptr) {
+      io_pool_ = std::make_unique<ThreadPool>(
+          std::min(4, ThreadPool::DefaultThreads()));
+    }
+    options.pool = io_pool_.get();
+  }
+  return options;
 }
 
 // ---------------------------------------------------------------------------
@@ -440,6 +472,10 @@ Result<TimedStream> MediaDatabase::MaterializeStream(
   }
   TBM_ASSIGN_OR_RETURN(const CatalogEntry* interp,
                        Get(entry->interpretation_ref));
+  if (read_options_) {
+    return MaterializeStreamed(*store_, interp->interpretation,
+                               entry->stream_name, ResolvedReadOptions());
+  }
   return interp->interpretation.Materialize(*store_, entry->stream_name);
 }
 

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "base/thread_pool.h"
 #include "blob/blob_store.h"
 #include "compose/multimedia.h"
 #include "db/codec_bridge.h"
@@ -84,11 +85,25 @@ struct ComposedView {
 /// work.
 class MediaDatabase {
  public:
-  /// Opens (creating if needed) a file-backed database.
+  /// Opens (creating if needed) a file-backed database. Convenience
+  /// for `Open(dir, FileBlobStore::Open(dir))`.
   static Result<std::unique_ptr<MediaDatabase>> Open(const std::string& dir);
 
-  /// Creates a volatile in-memory database.
+  /// Opens a database over an injected BLOB store — the store is the
+  /// composition point: wrap a FileBlobStore in a FaultInjectingStore
+  /// for robustness testing, or substitute a PagedBlobStore, without
+  /// the database knowing. The catalog still persists in `dir`.
+  static Result<std::unique_ptr<MediaDatabase>> Open(
+      const std::string& dir, std::unique_ptr<BlobStore> store);
+
+  /// Creates a volatile in-memory database. Convenience for
+  /// `CreateWithStore(std::make_unique<MemoryBlobStore>())`.
   static std::unique_ptr<MediaDatabase> CreateInMemory();
+
+  /// Creates a database over an injected store with no catalog
+  /// persistence (Save is a no-op).
+  static std::unique_ptr<MediaDatabase> CreateWithStore(
+      std::unique_ptr<BlobStore> store);
 
   BlobStore* blob_store() { return store_.get(); }
   const BlobStore* blob_store() const { return store_.get(); }
@@ -189,8 +204,25 @@ class MediaDatabase {
   // -------------------------------------------------------------------------
   // Materialization (the Figure 5 upward path)
 
-  /// Materializes a non-derived media object as a timed stream.
+  /// Materializes a non-derived media object as a timed stream. With
+  /// streaming read options set (set_read_options), elements are read
+  /// chunk by chunk with asynchronous readahead; otherwise one ranged
+  /// read per element.
   Result<TimedStream> MaterializeStream(ObjectId media_object) const;
+
+  /// Enables the streaming read path for MaterializeStream and
+  /// Materialize: chunked reads with prefetch per `options`. If
+  /// `options.pool` is null and `options.prefetch_depth` > 0, the
+  /// database lazily creates (and owns) an I/O pool for the readahead.
+  void set_read_options(StreamReadOptions options);
+
+  /// Reverts to the default per-element read path.
+  void clear_read_options();
+
+  /// The active streaming options, or null when streaming is off.
+  const StreamReadOptions* read_options() const {
+    return read_options_ ? &*read_options_ : nullptr;
+  }
 
   /// Materializes only the elements intersecting `span` — the paper's
   /// "select a specific duration" query.
@@ -280,6 +312,11 @@ class MediaDatabase {
   void IndexRemove(const CatalogEntry& entry);
   static std::string IndexKey(const AttrValue& value);
 
+  /// Streaming options with the pool slot filled (lazily creating the
+  /// owned I/O pool on first use). Only meaningful when read_options_
+  /// is set.
+  StreamReadOptions ResolvedReadOptions() const;
+
   std::unique_ptr<BlobStore> store_;
   std::string dir_;  ///< Empty for in-memory databases.
   std::map<ObjectId, CatalogEntry> catalog_;
@@ -291,6 +328,10 @@ class MediaDatabase {
   EvalOptions eval_options_;
   mutable std::mutex eval_stats_mu_;  ///< Guards last_eval_stats_.
   mutable EvalStats last_eval_stats_;
+
+  std::optional<StreamReadOptions> read_options_;
+  mutable std::mutex io_pool_mu_;  ///< Guards io_pool_ creation.
+  mutable std::unique_ptr<ThreadPool> io_pool_;
 };
 
 }  // namespace tbm

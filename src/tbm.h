@@ -46,9 +46,13 @@
 
 // blob
 #include "blob/blob_store.h"
+#include "blob/chunk_reader.h"
+#include "blob/fault_store.h"
 #include "blob/file_store.h"
 #include "blob/memory_store.h"
 #include "blob/paged_store.h"
+#include "blob/prefetcher.h"
+#include "blob/read_policy.h"
 
 // media
 #include "media/attr.h"
@@ -89,6 +93,7 @@
 #include "interp/capture.h"
 #include "interp/index.h"
 #include "interp/interpretation.h"
+#include "interp/streaming.h"
 
 // derive
 #include "derive/cache.h"
@@ -105,6 +110,7 @@
 #include "playback/activity.h"
 #include "playback/admission.h"
 #include "playback/simulator.h"
+#include "playback/streaming.h"
 
 // db
 #include "db/codec_bridge.h"

@@ -21,8 +21,9 @@ class RelationTest : public ::testing::TestWithParam<RelationCase> {};
 
 TEST_P(RelationTest, Classifies) {
   const RelationCase& c = GetParam();
-  EXPECT_EQ(Classify(c.a, c.b), c.expected)
-      << IntervalRelationToString(Classify(c.a, c.b));
+  Result<IntervalRelation> relation = Classify(c.a, c.b);
+  ASSERT_TRUE(relation.ok()) << relation.status().ToString();
+  EXPECT_EQ(*relation, c.expected) << IntervalRelationToString(*relation);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -46,7 +47,21 @@ TEST(RelationTest, ExactRationalBoundaries) {
   // 1/3 + 1/6 = 1/2 exactly: "meets", not "overlaps".
   TimeInterval a{Rational(0), Rational(1, 3) + Rational(1, 6)};
   TimeInterval b{Rational(1, 2), Rational(1)};
-  EXPECT_EQ(Classify(a, b), IntervalRelation::kMeets);
+  Result<IntervalRelation> relation = Classify(a, b);
+  ASSERT_TRUE(relation.ok()) << relation.status().ToString();
+  EXPECT_EQ(*relation, IntervalRelation::kMeets);
+}
+
+TEST(RelationTest, RejectsEmptyAndInvalidIntervals) {
+  TimeInterval proper{Rational(0), Rational(2)};
+  TimeInterval empty{Rational(1), Rational(1)};
+  TimeInterval backwards{Rational(3), Rational(1)};
+  EXPECT_EQ(Classify(empty, proper).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Classify(proper, empty).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Classify(backwards, proper).status().code(),
+            StatusCode::kInvalidArgument);
 }
 
 // ---------------------------------------------------------------------------

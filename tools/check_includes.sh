@@ -1,0 +1,32 @@
+#!/bin/sh
+# Lint: application code (examples/, tools/) must consume the library
+# through the umbrella header only. Per-module headers are include
+# points for code *inside* src/; everything outside goes through
+# `#include "tbm.h"` so the public surface stays a single, finished
+# API.
+#
+# Usage: tools/check_includes.sh [repo-root]
+set -eu
+
+root="${1:-.}"
+fail=0
+
+for file in "$root"/examples/*.cpp "$root"/examples/*.cc \
+            "$root"/tools/*.cpp "$root"/tools/*.cc; do
+  [ -e "$file" ] || continue
+  # Quoted includes other than "tbm.h" reach into module headers.
+  bad=$(grep -nE '^[[:space:]]*#[[:space:]]*include[[:space:]]*"' "$file" |
+        grep -v '"tbm\.h"' || true)
+  if [ -n "$bad" ]; then
+    echo "ERROR: $file includes module headers directly:" >&2
+    echo "$bad" >&2
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "" >&2
+  echo "Application code must include only \"tbm.h\" (see src/tbm.h)." >&2
+  exit 1
+fi
+echo "include lint OK: examples/ and tools/ use only \"tbm.h\""

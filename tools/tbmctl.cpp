@@ -6,9 +6,11 @@
 //                                         (.wav audio, .ppm/.pgm image,
 //                                          video -> <out>_NNNN.ppm frames)
 //   tbmctl play   <dbdir> <name>          simulate presentation timing
-//   tbmctl eval   <dbdir> <name> [threads] [--quiet]
+//   tbmctl eval   <dbdir> <name> [threads] [--quiet] [--prefetch N]
 //                                         materialize; engine statistics
-//                                         go to stderr (--quiet omits them)
+//                                         go to stderr (--quiet omits them).
+//                                         --prefetch N streams BLOB reads
+//                                         with N chunks of readahead
 //   tbmctl stats  <dbdir>                 storage + metrics statistics
 //   tbmctl trace  <dbdir> <name> [-o trace.json]
 //                                         materialize under the tracer and
@@ -39,7 +41,8 @@ int Usage() {
                "       tbmctl show <dbdir> <name>\n"
                "       tbmctl export <dbdir> <name> <out>\n"
                "       tbmctl play <dbdir> <name>\n"
-               "       tbmctl eval <dbdir> <name> [threads] [--quiet]\n"
+               "       tbmctl eval <dbdir> <name> [threads] [--quiet] "
+               "[--prefetch N]\n"
                "       tbmctl stats <dbdir>\n"
                "       tbmctl trace <dbdir> <name> [-o trace.json]\n");
   return 2;
@@ -229,12 +232,17 @@ int CmdPlay(MediaDatabase* db, const std::string& name) {
 }
 
 int CmdEval(MediaDatabase* db, const std::string& name, int threads,
-            bool quiet) {
+            bool quiet, int prefetch) {
   auto id = db->FindByName(name);
   if (!id.ok()) return Fail(id.status());
   EvalOptions options;
   options.threads = threads;
   db->set_eval_options(options);
+  if (prefetch > 0) {
+    StreamReadOptions read_options;
+    read_options.prefetch_depth = prefetch;
+    db->set_read_options(read_options);
+  }
   auto value = db->Materialize(*id);
   if (!value.ok()) return Fail(value.status());
   std::printf("materialized \"%s\": %s, %s expanded\n", name.c_str(),
@@ -347,15 +355,18 @@ int main(int argc, char** argv) {
   if (command == "eval" && argc >= 4) {
     int threads = 1;
     bool quiet = false;
+    int prefetch = 0;
     for (int i = 4; i < argc; ++i) {
       if (std::strcmp(argv[i], "--quiet") == 0) {
         quiet = true;
+      } else if (std::strcmp(argv[i], "--prefetch") == 0 && i + 1 < argc) {
+        prefetch = std::atoi(argv[++i]);
       } else {
         threads = std::atoi(argv[i]);
       }
     }
-    if (threads < 0) return Usage();
-    return CmdEval(db->get(), argv[3], threads, quiet);
+    if (threads < 0 || prefetch < 0) return Usage();
+    return CmdEval(db->get(), argv[3], threads, quiet, prefetch);
   }
   if (command == "trace" && argc >= 4) {
     std::string out = "trace.json";
