@@ -148,7 +148,7 @@ FanOut MakeLatencyFanOut(int branches, std::chrono::milliseconds latency) {
   AudioBuffer tone;
   tone.sample_rate = 8000;
   tone.channels = 1;
-  tone.samples.assign(8000, 1000);
+  tone.samples = std::vector<int16_t>(8000, 1000);
   NodeId source = f.graph.AddLeaf(std::move(tone), "source");
   std::vector<NodeId> tops;
   for (int i = 0; i < branches; ++i) {
@@ -316,7 +316,9 @@ void BM_ActivityPipeline(benchmark::State& state) {
         std::make_unique<TransformActivity>(
             std::make_unique<StreamSource>(&stream),
             [](StreamElement element) -> Result<StreamElement> {
-              for (uint8_t& byte : element.data) byte ^= 0x5A;
+              Bytes scrambled = element.data.MutableCopy();
+              for (uint8_t& byte : scrambled) byte ^= 0x5A;
+              element.data = std::move(scrambled);
               return element;
             }),
         [](StreamElement element) -> Result<StreamElement> {
@@ -338,7 +340,9 @@ void BM_BatchEquivalent(benchmark::State& state) {
     TimedStream out(stream.descriptor(), stream.time_system());
     for (const StreamElement& element : stream) {
       StreamElement copy = element;
-      for (uint8_t& byte : copy.data) byte ^= 0x5A;
+      Bytes scrambled = copy.data.MutableCopy();
+      for (uint8_t& byte : scrambled) byte ^= 0x5A;
+      copy.data = std::move(scrambled);
       copy.descriptor.SetInt("stage", 2);
       CheckOk(out.Append(std::move(copy)), "append");
     }

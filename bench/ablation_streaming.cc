@@ -70,7 +70,7 @@ double MeasureWholeObjectMs(const BlobStore& store,
   for (int rep = 0; rep < kRepetitions; ++rep) {
     double start = NowMs();
     uint64_t blob_size = ValueOrDie(store.Size(interp.blob()), "size");
-    Bytes all =
+    BufferSlice all =
         ValueOrDie(store.Read(interp.blob(), ByteRange{0, blob_size}), "read");
     const InterpretedObject* object =
         ValueOrDie(interp.FindObject(name), "find");

@@ -109,10 +109,11 @@ Result<std::pair<double, double>> AnimationScene::PositionAt(
 
 Result<Image> AnimationScene::RenderFrame(int64_t tick) const {
   Image frame = Image::Zero(width_, height_, ColorModel::kRgb24);
-  for (size_t i = 0; i < frame.data.size(); i += 3) {
-    frame.data[i] = bg_r_;
-    frame.data[i + 1] = bg_g_;
-    frame.data[i + 2] = bg_b_;
+  Bytes pixels_out(frame.data.size(), 0);
+  for (size_t i = 0; i < pixels_out.size(); i += 3) {
+    pixels_out[i] = bg_r_;
+    pixels_out[i + 1] = bg_g_;
+    pixels_out[i + 2] = bg_b_;
   }
   for (const SceneObject& object : objects_) {
     TBM_ASSIGN_OR_RETURN(auto pos, PositionAt(object.id, tick));
@@ -130,13 +131,14 @@ Result<Image> AnimationScene::RenderFrame(int64_t tick) const {
                       std::hypot(x - cx, y - cy) <= size;
         if (!inside) continue;
         uint8_t* px =
-            frame.data.data() + 3 * (static_cast<size_t>(y) * width_ + x);
+            pixels_out.data() + 3 * (static_cast<size_t>(y) * width_ + x);
         px[0] = object.r;
         px[1] = object.g;
         px[2] = object.b;
       }
     }
   }
+  frame.data = std::move(pixels_out);
   return frame;
 }
 

@@ -4,6 +4,15 @@
 
 namespace tbm {
 
+Status ByteRange::Validate() const {
+  if (length > std::numeric_limits<uint64_t>::max() - offset) {
+    return Status::InvalidArgument(
+        "byte range overflows: offset " + std::to_string(offset) +
+        " + length " + std::to_string(length) + " wraps uint64");
+  }
+  return Status::OK();
+}
+
 std::string HumanBytes(uint64_t n) {
   static const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
   double value = static_cast<double>(n);

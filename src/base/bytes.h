@@ -2,9 +2,12 @@
 #define TBM_BASE_BYTES_H_
 
 #include <cstdint>
+#include <limits>
 #include <span>
 #include <string>
 #include <vector>
+
+#include "base/status.h"
 
 namespace tbm {
 
@@ -20,12 +23,27 @@ struct ByteRange {
   uint64_t offset = 0;
   uint64_t length = 0;
 
-  uint64_t end() const { return offset + length; }
+  /// One past the last byte. Saturates at UINT64_MAX instead of
+  /// wrapping when `offset + length` overflows — a wrapped end() made
+  /// Contains/Overlaps accept ranges that reach past the address
+  /// space. Ranges that saturate fail Validate().
+  uint64_t end() const {
+    const uint64_t kMax = std::numeric_limits<uint64_t>::max();
+    return length > kMax - offset ? kMax : offset + length;
+  }
   bool empty() const { return length == 0; }
 
-  /// True iff `other` lies entirely inside this range.
+  /// OK iff `offset + length` does not overflow uint64_t. Stores call
+  /// this at their API boundary so a hostile or corrupt placement is
+  /// rejected instead of aliasing the wrong bytes.
+  Status Validate() const;
+
+  /// True iff `other` lies entirely inside this range. Overflowing
+  /// ranges saturate (see end()), so a wrapped `other` is never
+  /// "contained" by a small range.
   bool Contains(const ByteRange& other) const {
-    return other.offset >= offset && other.end() <= end();
+    return other.offset >= offset && other.end() <= end() &&
+           other.length <= length;
   }
 
   /// True iff the two ranges share at least one byte.

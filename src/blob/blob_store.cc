@@ -4,9 +4,9 @@
 
 namespace tbm {
 
-Result<Bytes> BlobStore::ReadAll(BlobId id) const {
+Result<BufferSlice> BlobStore::ReadAll(BlobId id) const {
   TBM_ASSIGN_OR_RETURN(uint64_t size, Size(id));
-  if (size == 0) return Bytes{};
+  if (size == 0) return BufferSlice();
   return Read(id, ByteRange{0, size});
 }
 

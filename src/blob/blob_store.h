@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "base/buffer.h"
 #include "base/bytes.h"
 #include "base/result.h"
 #include "base/status.h"
@@ -49,7 +50,14 @@ class BlobStore {
 
   /// Reads the byte range `range` of BLOB `id`. The full range must be
   /// inside the BLOB; returns OutOfRange otherwise.
-  virtual Result<Bytes> Read(BlobId id, ByteRange range) const = 0;
+  ///
+  /// The result is a zero-copy view where the store can serve one
+  /// (MemoryBlobStore aliases its backing buffer; PagedBlobStore
+  /// aliases a cached page for single-page ranges) and an owned buffer
+  /// otherwise. Either way the slice keeps its bytes alive on its own —
+  /// it remains valid after the BLOB is deleted, the store destroyed,
+  /// or a cache entry evicted.
+  virtual Result<BufferSlice> Read(BlobId id, ByteRange range) const = 0;
 
   /// Current size of BLOB `id` in bytes.
   virtual Result<uint64_t> Size(BlobId id) const = 0;
@@ -64,7 +72,7 @@ class BlobStore {
   virtual std::vector<BlobId> List() const = 0;
 
   /// Convenience: reads the whole BLOB.
-  Result<Bytes> ReadAll(BlobId id) const;
+  Result<BufferSlice> ReadAll(BlobId id) const;
 
   /// Opens a streaming view of BLOB `id` serving fixed-size chunks on
   /// demand (see blob/chunk_reader.h). The base implementation serves

@@ -22,7 +22,7 @@ class RangeChunkReader final : public ChunkReader {
   uint64_t blob_size() const override { return size_; }
   const ReadPolicy& policy() const override { return options_.policy; }
 
-  Result<Bytes> ReadChunk(uint64_t index) const override {
+  Result<BufferSlice> ReadChunk(uint64_t index) const override {
     if (index >= chunk_count()) {
       return Status::OutOfRange("chunk " + std::to_string(index) +
                                 " out of range (BLOB has " +

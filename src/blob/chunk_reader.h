@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "base/buffer.h"
 #include "base/bytes.h"
 #include "base/result.h"
 #include "blob/read_policy.h"
@@ -68,8 +69,9 @@ class ChunkReader {
   }
 
   /// Reads chunk `index` under the reader's ReadPolicy. OutOfRange for
-  /// `index >= chunk_count()`.
-  virtual Result<Bytes> ReadChunk(uint64_t index) const = 0;
+  /// `index >= chunk_count()`. Zero-copy where the store supports it
+  /// (see BlobStore::Read); the slice owns its bytes either way.
+  virtual Result<BufferSlice> ReadChunk(uint64_t index) const = 0;
 
   /// The policy chunk reads run under.
   virtual const ReadPolicy& policy() const = 0;

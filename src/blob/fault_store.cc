@@ -47,7 +47,7 @@ Status FaultInjectingStore::Append(BlobId id, ByteSpan data) {
   return inner_->Append(id, data);
 }
 
-Result<Bytes> FaultInjectingStore::Read(BlobId id, ByteRange range) const {
+Result<BufferSlice> FaultInjectingStore::Read(BlobId id, ByteRange range) const {
   reads_seen_.fetch_add(1);
   int forced = forced_read_faults_.load();
   while (forced > 0) {

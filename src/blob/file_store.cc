@@ -79,7 +79,7 @@ Status FileBlobStore::Append(BlobId id, ByteSpan data) {
   return Status::OK();
 }
 
-Result<Bytes> FileBlobStore::Read(BlobId id, ByteRange range) const {
+Result<BufferSlice> FileBlobStore::Read(BlobId id, ByteRange range) const {
   obs::ScopedSpan span("blob.read");
   const auto& metrics = blob_internal::StoreMetrics::Get();
   obs::ScopedTimerUs timer(metrics.read_us);
@@ -101,7 +101,7 @@ Result<Bytes> FileBlobStore::Read(BlobId id, ByteRange range) const {
   }
   std::fclose(f);
   if (!ok) return Status::IOError("short read from " + PathFor(id));
-  return out;
+  return BufferSlice(std::move(out));
 }
 
 Result<uint64_t> FileBlobStore::Size(BlobId id) const {

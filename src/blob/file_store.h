@@ -23,7 +23,7 @@ class FileBlobStore : public BlobStore {
 
   Result<BlobId> Create() override;
   Status Append(BlobId id, ByteSpan data) override;
-  Result<Bytes> Read(BlobId id, ByteRange range) const override;
+  Result<BufferSlice> Read(BlobId id, ByteRange range) const override;
   Result<uint64_t> Size(BlobId id) const override;
   Status Delete(BlobId id) override;
   bool Exists(BlobId id) const override;

@@ -1,5 +1,9 @@
 #include "blob/memory_store.h"
 
+#include <algorithm>
+#include <cstring>
+
+#include "base/macros.h"
 #include "blob/store_metrics.h"
 
 namespace tbm {
@@ -12,7 +16,7 @@ Status NoSuchBlob(BlobId id) {
 
 Result<BlobId> MemoryBlobStore::Create() {
   BlobId id = next_id_++;
-  blobs_.emplace(id, Bytes{});
+  blobs_.emplace(id, Blob{});
   return id;
 }
 
@@ -22,30 +26,50 @@ Status MemoryBlobStore::Append(BlobId id, ByteSpan data) {
   metrics.bytes_written->Add(data.size());
   auto it = blobs_.find(id);
   if (it == blobs_.end()) return NoSuchBlob(id);
-  it->second.insert(it->second.end(), data.begin(), data.end());
+  Blob& blob = it->second;
+  const uint64_t capacity = blob.buffer ? blob.buffer->size() : 0;
+  if (blob.size + data.size() > capacity) {
+    // Grow into a fresh buffer (doubling, so appends stay amortized
+    // O(1)). The old buffer is left intact for outstanding read
+    // slices; only our reference is dropped.
+    uint64_t grown = std::max<uint64_t>(capacity * 2, 64);
+    grown = std::max<uint64_t>(grown, blob.size + data.size());
+    BufferRef fresh = Buffer::Allocate(grown);
+    if (blob.size > 0) {
+      std::memcpy(fresh->mutable_data(), blob.buffer->data(), blob.size);
+    }
+    blob.buffer = std::move(fresh);
+  }
+  // Published bytes below blob.size are never rewritten; this fills
+  // spare capacity only, so concurrent readers of earlier slices are
+  // untouched (writes still require the store's single-writer rule).
+  std::memcpy(blob.buffer->mutable_data() + blob.size, data.data(),
+              data.size());
+  blob.size += data.size();
   return Status::OK();
 }
 
-Result<Bytes> MemoryBlobStore::Read(BlobId id, ByteRange range) const {
+Result<BufferSlice> MemoryBlobStore::Read(BlobId id, ByteRange range) const {
   const auto& metrics = blob_internal::StoreMetrics::Get();
   metrics.reads->Add();
   metrics.bytes_read->Add(range.length);
   auto it = blobs_.find(id);
   if (it == blobs_.end()) return NoSuchBlob(id);
-  const Bytes& blob = it->second;
-  if (range.end() > blob.size()) {
+  const Blob& blob = it->second;
+  TBM_RETURN_IF_ERROR(range.Validate());
+  if (range.end() > blob.size) {
     return Status::OutOfRange(
         "read past end of BLOB " + std::to_string(id) + ": [" +
         std::to_string(range.offset) + ", " + std::to_string(range.end()) +
-        ") of " + std::to_string(blob.size()));
+        ") of " + std::to_string(blob.size));
   }
-  return Bytes(blob.begin() + range.offset, blob.begin() + range.end());
+  return BufferSlice(blob.buffer, range.offset, range.length);
 }
 
 Result<uint64_t> MemoryBlobStore::Size(BlobId id) const {
   auto it = blobs_.find(id);
   if (it == blobs_.end()) return NoSuchBlob(id);
-  return static_cast<uint64_t>(it->second.size());
+  return it->second.size;
 }
 
 Status MemoryBlobStore::Delete(BlobId id) {
@@ -65,9 +89,9 @@ std::vector<BlobId> MemoryBlobStore::List() const {
 BlobStoreStats MemoryBlobStore::Stats() const {
   BlobStoreStats stats;
   stats.blob_count = blobs_.size();
-  for (const auto& [id, data] : blobs_) {
-    stats.logical_bytes += data.size();
-    stats.physical_bytes += data.capacity();
+  for (const auto& [id, blob] : blobs_) {
+    stats.logical_bytes += blob.size;
+    stats.physical_bytes += blob.buffer ? blob.buffer->size() : 0;
   }
   return stats;
 }

@@ -10,16 +10,23 @@ namespace tbm {
 /// BLOB store keeping each BLOB as one contiguous in-memory buffer.
 ///
 /// This is the "contiguous layout" end of the layout spectrum: appends
-/// may reallocate and copy, reads are a single memcpy. Used as the
-/// baseline in the storage-layout ablation bench and as the default
-/// store in tests and examples.
+/// may reallocate and copy, reads are zero-copy. Used as the baseline
+/// in the storage-layout ablation bench and as the default store in
+/// tests and examples.
+///
+/// Each BLOB is a ref-counted append buffer: `size` bytes published,
+/// the rest spare capacity. Reads return slices of the buffer —
+/// published bytes are never rewritten (appends fill spare capacity;
+/// growth allocates a fresh buffer and copies), so outstanding slices
+/// stay valid across later appends, deletes, and even destruction of
+/// the store, under the store's documented single-writer contract.
 class MemoryBlobStore : public BlobStore {
  public:
   MemoryBlobStore() = default;
 
   Result<BlobId> Create() override;
   Status Append(BlobId id, ByteSpan data) override;
-  Result<Bytes> Read(BlobId id, ByteRange range) const override;
+  Result<BufferSlice> Read(BlobId id, ByteRange range) const override;
   Result<uint64_t> Size(BlobId id) const override;
   Status Delete(BlobId id) override;
   bool Exists(BlobId id) const override;
@@ -28,7 +35,14 @@ class MemoryBlobStore : public BlobStore {
   BlobStoreStats Stats() const;
 
  private:
-  std::map<BlobId, Bytes> blobs_;
+  /// One BLOB: `size` published bytes at the front of `buffer` (whose
+  /// extent is the capacity). `buffer` is null while the BLOB is empty.
+  struct Blob {
+    BufferRef buffer;
+    uint64_t size = 0;
+  };
+
+  std::map<BlobId, Blob> blobs_;
   BlobId next_id_ = 1;
 };
 

@@ -138,8 +138,8 @@ Status PagedBlobStore::WritePagePayload(uint64_t page, ByteSpan payload) {
   return device_->WritePage(page, buf.data());
 }
 
-Result<Bytes> PagedBlobStore::ReadPagePayload(uint64_t page) const {
-  Bytes cached;
+Result<BufferSlice> PagedBlobStore::ReadPagePayload(uint64_t page) const {
+  BufferSlice cached;
   if (CacheLookup(page, &cached)) return cached;
   blob_internal::StoreMetrics::Get().pages_read->Add();
   Bytes buf(device_->page_size());
@@ -156,13 +156,15 @@ Result<Bytes> PagedBlobStore::ReadPagePayload(uint64_t page) const {
     return Status::Corruption("page " + std::to_string(page) +
                               " length field out of range");
   }
-  Bytes payload(buf.begin() + kPageHeaderSize,
-                buf.begin() + kPageHeaderSize + len);
+  // Wrap the whole decoded page once and slice out the payload — the
+  // cache and every reader then share one buffer per page.
+  BufferSlice payload =
+      BufferSlice(std::move(buf)).Slice(kPageHeaderSize, len);
   CacheInsert(page, payload);
   return payload;
 }
 
-bool PagedBlobStore::CacheLookup(uint64_t page, Bytes* payload) const {
+bool PagedBlobStore::CacheLookup(uint64_t page, BufferSlice* payload) const {
   std::lock_guard<std::mutex> lock(cache_.mu);
   if (cache_.capacity == 0) return false;
   auto it = cache_.entries.find(page);
@@ -176,7 +178,8 @@ bool PagedBlobStore::CacheLookup(uint64_t page, Bytes* payload) const {
   return true;
 }
 
-void PagedBlobStore::CacheInsert(uint64_t page, const Bytes& payload) const {
+void PagedBlobStore::CacheInsert(uint64_t page,
+                                 const BufferSlice& payload) const {
   std::lock_guard<std::mutex> lock(cache_.mu);
   if (cache_.capacity == 0) return;
   auto it = cache_.entries.find(page);
@@ -269,7 +272,11 @@ Status PagedBlobStore::Append(BlobId id, ByteSpan data) {
   uint32_t tail_used = static_cast<uint32_t>(meta.size % payload_size_);
   if (tail_used != 0 && !data.empty()) {
     uint64_t tail_page = meta.pages.back();
-    TBM_ASSIGN_OR_RETURN(Bytes payload, ReadPagePayload(tail_page));
+    TBM_ASSIGN_OR_RETURN(BufferSlice tail, ReadPagePayload(tail_page));
+    // Read-modify-write of the tail page: copy-on-write, so cached
+    // slices of the old payload (and readers holding them) are
+    // untouched; the rewritten page invalidates the cache entry.
+    Bytes payload = tail.MutableCopy();
     size_t take = std::min<size_t>(payload_size_ - tail_used, data.size());
     payload.insert(payload.end(), data.begin(), data.begin() + take);
     TBM_RETURN_IF_ERROR(WritePagePayload(tail_page, payload));
@@ -289,7 +296,7 @@ Status PagedBlobStore::Append(BlobId id, ByteSpan data) {
   return Status::OK();
 }
 
-Result<Bytes> PagedBlobStore::Read(BlobId id, ByteRange range) const {
+Result<BufferSlice> PagedBlobStore::Read(BlobId id, ByteRange range) const {
   obs::ScopedSpan span("blob.read");
   const auto& metrics = blob_internal::StoreMetrics::Get();
   obs::ScopedTimerUs timer(metrics.read_us);
@@ -304,20 +311,27 @@ Result<Bytes> PagedBlobStore::Read(BlobId id, ByteRange range) const {
         std::to_string(range.offset) + ", " + std::to_string(range.end()) +
         ") of " + std::to_string(meta.size));
   }
+  if (range.empty()) return BufferSlice();
+  uint64_t first_page = range.offset / payload_size_;
+  uint64_t last_page = (range.end() - 1) / payload_size_;
+  if (first_page == last_page) {
+    // Single-page range: alias the cached page payload, no copy.
+    TBM_ASSIGN_OR_RETURN(BufferSlice payload,
+                         ReadPagePayload(meta.pages[first_page]));
+    uint64_t from = range.offset - first_page * payload_size_;
+    return payload.Slice(from, range.length);
+  }
   Bytes out;
   out.reserve(range.length);
-  uint64_t first_page = range.offset / payload_size_;
-  uint64_t last_page = range.empty() ? first_page
-                                     : (range.end() - 1) / payload_size_;
-  for (uint64_t p = first_page; p <= last_page && !range.empty(); ++p) {
-    TBM_ASSIGN_OR_RETURN(Bytes payload, ReadPagePayload(meta.pages[p]));
+  for (uint64_t p = first_page; p <= last_page; ++p) {
+    TBM_ASSIGN_OR_RETURN(BufferSlice payload, ReadPagePayload(meta.pages[p]));
     uint64_t page_start = p * payload_size_;
     uint64_t from = range.offset > page_start ? range.offset - page_start : 0;
     uint64_t to = std::min<uint64_t>(payload.size(),
                                      range.end() - page_start);
     out.insert(out.end(), payload.begin() + from, payload.begin() + to);
   }
-  return out;
+  return BufferSlice(std::move(out));
 }
 
 Result<uint64_t> PagedBlobStore::Size(BlobId id) const {
@@ -363,9 +377,9 @@ Status PagedBlobStore::Defragment(BlobId id) {
   std::vector<uint64_t> new_pages;
   new_pages.reserve(meta.pages.size());
   for (uint64_t old_page : meta.pages) {
-    TBM_ASSIGN_OR_RETURN(Bytes payload, ReadPagePayload(old_page));
+    TBM_ASSIGN_OR_RETURN(BufferSlice payload, ReadPagePayload(old_page));
     TBM_ASSIGN_OR_RETURN(uint64_t fresh, device_->GrowOnePage());
-    TBM_RETURN_IF_ERROR(WritePagePayload(fresh, payload));
+    TBM_RETURN_IF_ERROR(WritePagePayload(fresh, payload.span()));
     new_pages.push_back(fresh);
   }
   free_pages_.insert(free_pages_.end(), meta.pages.begin(), meta.pages.end());

@@ -110,7 +110,7 @@ class PagedBlobStore : public BlobStore {
 
   Result<BlobId> Create() override;
   Status Append(BlobId id, ByteSpan data) override;
-  Result<Bytes> Read(BlobId id, ByteRange range) const override;
+  Result<BufferSlice> Read(BlobId id, ByteRange range) const override;
   Result<uint64_t> Size(BlobId id) const override;
   Status Delete(BlobId id) override;
   bool Exists(BlobId id) const override;
@@ -158,12 +158,17 @@ class PagedBlobStore : public BlobStore {
   };
 
   Status WritePagePayload(uint64_t page, ByteSpan payload);
-  Result<Bytes> ReadPagePayload(uint64_t page) const;
+
+  /// Decoded page payload as a ref-counted slice. Cached payloads are
+  /// shared: a hit aliases the cache entry's buffer, and the slice
+  /// stays valid after the entry is evicted or invalidated (the buffer
+  /// dies only when its last reference does).
+  Result<BufferSlice> ReadPagePayload(uint64_t page) const;
   Result<uint64_t> AcquirePage();
 
   /// Cache lookups/fills; no-ops when the cache is disabled.
-  bool CacheLookup(uint64_t page, Bytes* payload) const;
-  void CacheInsert(uint64_t page, const Bytes& payload) const;
+  bool CacheLookup(uint64_t page, BufferSlice* payload) const;
+  void CacheInsert(uint64_t page, const BufferSlice& payload) const;
   void CacheInvalidate(uint64_t page) const;
 
   std::unique_ptr<PageDevice> device_;
@@ -179,7 +184,7 @@ class PagedBlobStore : public BlobStore {
     size_t capacity = 0;
     std::list<uint64_t> lru;
     std::unordered_map<uint64_t,
-                       std::pair<std::list<uint64_t>::iterator, Bytes>>
+                       std::pair<std::list<uint64_t>::iterator, BufferSlice>>
         entries;
     uint64_t hits = 0;
     uint64_t misses = 0;

@@ -84,7 +84,7 @@ void AsyncPrefetcher::ScheduleLocked() {
     ++outstanding_tasks_;
     pool_->Submit([this, index] {
       obs::ScopedSpan span("blob.prefetch.fetch");
-      Result<Bytes> result = reader_->ReadChunk(index);
+      Result<BufferSlice> result = reader_->ReadChunk(index);
       std::lock_guard<std::mutex> task_lock(mu_);
       ready_.emplace(index, std::move(result));
       --outstanding_tasks_;
@@ -93,7 +93,7 @@ void AsyncPrefetcher::ScheduleLocked() {
   }
 }
 
-Result<Bytes> AsyncPrefetcher::Next() {
+Result<BufferSlice> AsyncPrefetcher::Next() {
   const auto& metrics = PrefetchMetrics::Get();
   std::unique_lock<std::mutex> lock(mu_);
   const uint64_t count = reader_->chunk_count();
@@ -103,7 +103,7 @@ Result<Bytes> AsyncPrefetcher::Next() {
   }
   const uint64_t index = next_consume_;
 
-  Result<Bytes> result = Bytes{};
+  Result<BufferSlice> result = BufferSlice{};
   if (pool_ == nullptr || options_.depth <= 0) {
     // Synchronous mode: fetch on the caller's thread.
     lock.unlock();

@@ -82,7 +82,7 @@ class AsyncPrefetcher {
 
   /// Delivers the next chunk in sequence, scheduling further readahead.
   /// OutOfRange once Done().
-  Result<Bytes> Next();
+  Result<BufferSlice> Next();
 
   /// Snapshot of the prefetcher's counters.
   PrefetchStats stats() const;
@@ -97,7 +97,7 @@ class AsyncPrefetcher {
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::map<uint64_t, Result<Bytes>> ready_;  ///< Fetched, not yet consumed.
+  std::map<uint64_t, Result<BufferSlice>> ready_;  ///< Fetched, unconsumed.
   uint64_t next_consume_ = 0;   ///< Next chunk Next() returns.
   uint64_t next_schedule_ = 0;  ///< Next chunk to hand to the pool.
   uint64_t inflight_bytes_ = 0; ///< Scheduled or buffered, unconsumed.

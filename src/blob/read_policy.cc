@@ -46,13 +46,13 @@ bool IsTransientReadError(const Status& status, const ReadPolicy& policy) {
   }
 }
 
-Result<Bytes> ReadWithPolicy(const BlobStore& store, BlobId id,
-                             ByteRange range, const ReadPolicy& policy) {
+Result<BufferSlice> ReadWithPolicy(const BlobStore& store, BlobId id,
+                                   ByteRange range, const ReadPolicy& policy) {
   const auto start = std::chrono::steady_clock::now();
   double delay_us = policy.backoff_initial_us;
   int attempt = 0;
   while (true) {
-    Result<Bytes> result = store.Read(id, range);
+    Result<BufferSlice> result = store.Read(id, range);
     if (result.ok() || !IsTransientReadError(result.status(), policy)) {
       return result;
     }

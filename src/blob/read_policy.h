@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "base/buffer.h"
 #include "base/bytes.h"
 #include "base/result.h"
 #include "base/status.h"
@@ -59,8 +60,8 @@ bool IsTransientReadError(const Status& status, const ReadPolicy& policy);
 ///
 /// Retry counts land in the obs registry ("blob.read_retries",
 /// "blob.read_gave_up").
-Result<Bytes> ReadWithPolicy(const BlobStore& store, BlobId id,
-                             ByteRange range, const ReadPolicy& policy);
+Result<BufferSlice> ReadWithPolicy(const BlobStore& store, BlobId id,
+                                   ByteRange range, const ReadPolicy& policy);
 
 }  // namespace tbm
 

@@ -116,20 +116,21 @@ Result<std::vector<AdpcmBlock>> AdpcmEncode(const AudioBuffer& audio,
     }
     // Channel-planar nibble layout: all of channel 0, then channel 1...
     const int64_t nibbles_per_channel = frames;
-    block.data.assign((nibbles_per_channel * ch + 1) / 2, 0);
+    Bytes codes((nibbles_per_channel * ch + 1) / 2, 0);
     int64_t nibble_pos = 0;
     for (int32_t c = 0; c < ch; ++c) {
       for (int64_t f = 0; f < frames; ++f) {
         int16_t sample = audio.samples[(block_start + f) * ch + c];
         uint8_t code = EncodeSample(&state[c], sample);
         if (nibble_pos % 2 == 0) {
-          block.data[nibble_pos / 2] = code;
+          codes[nibble_pos / 2] = code;
         } else {
-          block.data[nibble_pos / 2] |= static_cast<uint8_t>(code << 4);
+          codes[nibble_pos / 2] |= static_cast<uint8_t>(code << 4);
         }
         ++nibble_pos;
       }
     }
+    block.data = std::move(codes);
     blocks.push_back(std::move(block));
   }
   return blocks;
@@ -155,7 +156,7 @@ Result<AudioBuffer> AdpcmDecodeBlock(const AdpcmBlock& block,
   AudioBuffer out;
   out.sample_rate = sample_rate;
   out.channels = channels;
-  out.samples.resize(block.frames * channels);
+  std::vector<int16_t> samples(block.frames * channels);
   int64_t nibble_pos = 0;
   for (int32_t c = 0; c < channels; ++c) {
     CoderState state;
@@ -164,10 +165,11 @@ Result<AudioBuffer> AdpcmDecodeBlock(const AdpcmBlock& block,
     for (int64_t f = 0; f < block.frames; ++f) {
       uint8_t byte = block.data[nibble_pos / 2];
       uint8_t code = (nibble_pos % 2 == 0) ? (byte & 0x0F) : (byte >> 4);
-      out.samples[f * channels + c] = DecodeSample(&state, code);
+      samples[f * channels + c] = DecodeSample(&state, code);
       ++nibble_pos;
     }
   }
+  out.samples = std::move(samples);
   return out;
 }
 
@@ -180,12 +182,14 @@ Result<AudioBuffer> AdpcmDecode(const std::vector<AdpcmBlock>& blocks,
   AudioBuffer out;
   out.sample_rate = sample_rate;
   out.channels = channels;
+  std::vector<int16_t> samples;
   for (const AdpcmBlock& block : blocks) {
     TBM_ASSIGN_OR_RETURN(AudioBuffer decoded,
                          AdpcmDecodeBlock(block, sample_rate, channels));
-    out.samples.insert(out.samples.end(), decoded.samples.begin(),
-                       decoded.samples.end());
+    samples.insert(samples.end(), decoded.samples.begin(),
+                   decoded.samples.end());
   }
+  out.samples = std::move(samples);
   TBM_RETURN_IF_ERROR(out.Validate());
   return out;
 }

@@ -18,7 +18,9 @@ namespace tbm {
 /// the block's stream element, so any block can be decoded
 /// independently — the basis of random access into compressed audio.
 struct AdpcmBlock {
-  Bytes data;  ///< 4-bit codes, one nibble per sample, channel-planar.
+  /// 4-bit codes, one nibble per sample, channel-planar — a zero-copy
+  /// view (blocks rehydrated from a BLOB alias the stored bytes).
+  BufferSlice data;
   std::vector<int16_t> predictor;   ///< Per-channel predictor at block start.
   std::vector<uint8_t> step_index;  ///< Per-channel step index (0..88).
   int64_t frames = 0;               ///< Frames encoded in this block.

@@ -46,7 +46,8 @@ Result<Image> RgbToYuv(const Image& rgb, ColorModel target) {
   Image out = Image::Zero(w, h, target);
   const int32_t cw = out.ChromaWidth();
   const int32_t ch = out.ChromaHeight();
-  uint8_t* y_plane = out.data.data();
+  Bytes pixels_out(out.data.size(), 0);
+  uint8_t* y_plane = pixels_out.data();
   uint8_t* u_plane = y_plane + static_cast<size_t>(w) * h;
   uint8_t* v_plane = u_plane + static_cast<size_t>(cw) * ch;
 
@@ -73,6 +74,7 @@ Result<Image> RgbToYuv(const Image& rgb, ColorModel target) {
     u_plane[i] = ClampByte(u_acc[i] / count[i]);
     v_plane[i] = ClampByte(v_acc[i] / count[i]);
   }
+  out.data = std::move(pixels_out);
   return out;
 }
 
@@ -93,14 +95,16 @@ Result<Image> YuvToRgb(const Image& yuv) {
   const int y_shift = (yuv.model == ColorModel::kYuv420) ? 1 : 0;
 
   Image out = Image::Zero(w, h, ColorModel::kRgb24);
+  Bytes pixels_out(out.data.size(), 0);
   for (int32_t row = 0; row < h; ++row) {
     for (int32_t col = 0; col < w; ++col) {
       size_t ci = static_cast<size_t>(row >> y_shift) * cw + (col >> x_shift);
-      uint8_t* px = out.data.data() + 3 * (static_cast<size_t>(row) * w + col);
+      uint8_t* px = pixels_out.data() + 3 * (static_cast<size_t>(row) * w + col);
       YuvPixelToRgb(y_plane[static_cast<size_t>(row) * w + col], u_plane[ci],
                     v_plane[ci], &px[0], &px[1], &px[2]);
     }
   }
+  out.data = std::move(pixels_out);
   return out;
 }
 
@@ -114,6 +118,7 @@ Result<Image> RgbToCmyk(const Image& rgb, const SeparationParams& params) {
     return Status::InvalidArgument("separation parameters must be in [0,1]");
   }
   Image out = Image::Zero(rgb.width, rgb.height, ColorModel::kCmyk32);
+  Bytes pixels_out(out.data.size(), 0);
   const size_t pixels = rgb.PixelCount();
   for (size_t i = 0; i < pixels; ++i) {
     double c = 1.0 - rgb.data[3 * i + 0] / 255.0;
@@ -125,11 +130,12 @@ Result<Image> RgbToCmyk(const Image& rgb, const SeparationParams& params) {
     c -= removal;
     m -= removal;
     y -= removal;
-    out.data[4 * i + 0] = ClampByte(c * 255.0);
-    out.data[4 * i + 1] = ClampByte(m * 255.0);
-    out.data[4 * i + 2] = ClampByte(y * 255.0);
-    out.data[4 * i + 3] = ClampByte(k * 255.0);
+    pixels_out[4 * i + 0] = ClampByte(c * 255.0);
+    pixels_out[4 * i + 1] = ClampByte(m * 255.0);
+    pixels_out[4 * i + 2] = ClampByte(y * 255.0);
+    pixels_out[4 * i + 3] = ClampByte(k * 255.0);
   }
+  out.data = std::move(pixels_out);
   return out;
 }
 
@@ -139,16 +145,18 @@ Result<Image> CmykToRgb(const Image& cmyk) {
     return Status::InvalidArgument("CmykToRgb expects a CMYK image");
   }
   Image out = Image::Zero(cmyk.width, cmyk.height, ColorModel::kRgb24);
+  Bytes pixels_out(out.data.size(), 0);
   const size_t pixels = cmyk.PixelCount();
   for (size_t i = 0; i < pixels; ++i) {
     double c = cmyk.data[4 * i + 0] / 255.0;
     double m = cmyk.data[4 * i + 1] / 255.0;
     double y = cmyk.data[4 * i + 2] / 255.0;
     double k = cmyk.data[4 * i + 3] / 255.0;
-    out.data[3 * i + 0] = ClampByte((1.0 - std::min(1.0, c + k)) * 255.0);
-    out.data[3 * i + 1] = ClampByte((1.0 - std::min(1.0, m + k)) * 255.0);
-    out.data[3 * i + 2] = ClampByte((1.0 - std::min(1.0, y + k)) * 255.0);
+    pixels_out[3 * i + 0] = ClampByte((1.0 - std::min(1.0, c + k)) * 255.0);
+    pixels_out[3 * i + 1] = ClampByte((1.0 - std::min(1.0, m + k)) * 255.0);
+    pixels_out[3 * i + 2] = ClampByte((1.0 - std::min(1.0, y + k)) * 255.0);
   }
+  out.data = std::move(pixels_out);
   return out;
 }
 
@@ -161,10 +169,12 @@ Result<Image> CmykPlate(const Image& cmyk, int channel) {
     return Status::InvalidArgument("CMYK channel must be 0..3");
   }
   Image out = Image::Zero(cmyk.width, cmyk.height, ColorModel::kGray8);
+  Bytes pixels_out(out.data.size(), 0);
   const size_t pixels = cmyk.PixelCount();
   for (size_t i = 0; i < pixels; ++i) {
-    out.data[i] = cmyk.data[4 * i + channel];
+    pixels_out[i] = cmyk.data[4 * i + channel];
   }
+  out.data = std::move(pixels_out);
   return out;
 }
 
@@ -174,12 +184,14 @@ Result<Image> RgbToGray(const Image& rgb) {
     return Status::InvalidArgument("RgbToGray expects an RGB image");
   }
   Image out = Image::Zero(rgb.width, rgb.height, ColorModel::kGray8);
+  Bytes pixels_out(out.data.size(), 0);
   const size_t pixels = rgb.PixelCount();
   for (size_t i = 0; i < pixels; ++i) {
-    out.data[i] = ClampByte(0.299 * rgb.data[3 * i] +
-                            0.587 * rgb.data[3 * i + 1] +
-                            0.114 * rgb.data[3 * i + 2]);
+    pixels_out[i] = ClampByte(0.299 * rgb.data[3 * i] +
+                              0.587 * rgb.data[3 * i + 1] +
+                              0.114 * rgb.data[3 * i + 2]);
   }
+  out.data = std::move(pixels_out);
   return out;
 }
 

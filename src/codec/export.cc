@@ -80,7 +80,7 @@ Result<Image> ReadPnm(const std::string& path) {
   if (file.size() - pos < expected) {
     return Status::Corruption("PNM: truncated pixel data");
   }
-  image.data.assign(file.begin() + pos, file.begin() + pos + expected);
+  image.data = Bytes(file.begin() + pos, file.begin() + pos + expected);
   TBM_RETURN_IF_ERROR(image.Validate());
   return image;
 }

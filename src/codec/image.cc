@@ -56,7 +56,7 @@ Image Image::Zero(int32_t width, int32_t height, ColorModel model) {
   img.width = width;
   img.height = height;
   img.model = model;
-  img.data.assign(ExpectedBytes(width, height, model), 0);
+  img.data = Bytes(ExpectedBytes(width, height, model), 0);
   return img;
 }
 

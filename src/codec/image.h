@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "base/buffer.h"
 #include "base/bytes.h"
 #include "base/result.h"
 
@@ -38,7 +39,13 @@ struct Image {
   int32_t width = 0;
   int32_t height = 0;
   ColorModel model = ColorModel::kRgb24;
-  Bytes data;
+
+  /// Pixels as a zero-copy view of shared storage. Copying an Image is
+  /// O(1) and aliases the same buffer — timing-only video derivations
+  /// (edit lists, reverse, repeat) rely on this to share frames
+  /// structurally. Pixel-writing code takes `data.MutableCopy()`,
+  /// mutates the owned copy, and assigns it back.
+  BufferSlice data;
 
   /// Expected byte size for the given geometry and model.
   static uint64_t ExpectedBytes(int32_t width, int32_t height,

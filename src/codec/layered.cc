@@ -17,6 +17,7 @@ Image Downscale2x(const Image& image) {
   const int32_t w = HalfUp(image.width);
   const int32_t h = HalfUp(image.height);
   Image out = Image::Zero(w, h, ColorModel::kRgb24);
+  Bytes pixels_out(out.data.size(), 0);
   for (int32_t y = 0; y < h; ++y) {
     for (int32_t x = 0; x < w; ++x) {
       for (int c = 0; c < 3; ++c) {
@@ -30,17 +31,19 @@ Image Downscale2x(const Image& image) {
             ++count;
           }
         }
-        out.data[3 * (static_cast<size_t>(y) * w + x) + c] =
+        pixels_out[3 * (static_cast<size_t>(y) * w + x) + c] =
             static_cast<uint8_t>(sum / count);
       }
     }
   }
+  out.data = std::move(pixels_out);
   return out;
 }
 
 // Bilinear upscale to an explicit geometry.
 Image UpscaleTo(const Image& image, int32_t width, int32_t height) {
   Image out = Image::Zero(width, height, ColorModel::kRgb24);
+  Bytes pixels_out(out.data.size(), 0);
   for (int32_t oy = 0; oy < height; ++oy) {
     double sy = (oy + 0.5) * image.height / height - 0.5;
     int32_t y0 = std::clamp<int32_t>(static_cast<int32_t>(std::floor(sy)), 0,
@@ -60,11 +63,12 @@ Image UpscaleTo(const Image& image, int32_t width, int32_t height) {
         };
         double v = (1 - fy) * ((1 - fx) * px(x0, y0) + fx * px(x1, y0)) +
                    fy * ((1 - fx) * px(x0, y1) + fx * px(x1, y1));
-        out.data[3 * (static_cast<size_t>(oy) * width + ox) + c] =
+        pixels_out[3 * (static_cast<size_t>(oy) * width + ox) + c] =
             static_cast<uint8_t>(std::lround(std::clamp(v, 0.0, 255.0)));
       }
     }
   }
+  out.data = std::move(pixels_out);
   return out;
 }
 
@@ -91,12 +95,14 @@ Result<LayeredImage> LayeredEncode(const Image& image,
   TBM_ASSIGN_OR_RETURN(Image base_decoded, TjpegDecode(layered.base));
   Image prediction = UpscaleTo(base_decoded, image.width, image.height);
   Image residual = Image::Zero(image.width, image.height, ColorModel::kRgb24);
-  for (size_t i = 0; i < residual.data.size(); ++i) {
+  Bytes residual_out(residual.data.size(), 0);
+  for (size_t i = 0; i < residual_out.size(); ++i) {
     // Residuals span [-255, 255]; store at half precision around 128.
     int diff = static_cast<int>(image.data[i]) - prediction.data[i];
-    residual.data[i] =
+    residual_out[i] =
         static_cast<uint8_t>(std::clamp(diff / 2 + 128, 0, 255));
   }
+  residual.data = std::move(residual_out);
   TBM_ASSIGN_OR_RETURN(layered.enhancement,
                        TjpegEncode(residual, config.enhancement_quality));
   return layered;
@@ -115,11 +121,13 @@ Result<Image> LayeredDecodeFull(const LayeredImage& layered) {
     return Status::Corruption("enhancement layer geometry mismatch");
   }
   Image out = prediction;
-  for (size_t i = 0; i < out.data.size(); ++i) {
+  Bytes pixels_out = prediction.data.MutableCopy();
+  for (size_t i = 0; i < pixels_out.size(); ++i) {
     int diff = (static_cast<int>(residual.data[i]) - 128) * 2;
-    out.data[i] = static_cast<uint8_t>(
+    pixels_out[i] = static_cast<uint8_t>(
         std::clamp(static_cast<int>(prediction.data[i]) + diff, 0, 255));
   }
+  out.data = std::move(pixels_out);
   return out;
 }
 

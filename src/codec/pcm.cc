@@ -39,12 +39,13 @@ Result<AudioBuffer> AudioBuffer::FromBytes(ByteSpan bytes,
   AudioBuffer buf;
   buf.sample_rate = sample_rate;
   buf.channels = channels;
-  buf.samples.resize(bytes.size() / 2);
-  for (size_t i = 0; i < buf.samples.size(); ++i) {
+  std::vector<int16_t> samples(bytes.size() / 2);
+  for (size_t i = 0; i < samples.size(); ++i) {
     uint16_t u = static_cast<uint16_t>(bytes[2 * i]) |
                  static_cast<uint16_t>(bytes[2 * i + 1]) << 8;
-    buf.samples[i] = static_cast<int16_t>(u);
+    samples[i] = static_cast<int16_t>(u);
   }
+  buf.samples = std::move(samples);
   if (auto s = buf.Validate(); !s.ok()) return s;
   return buf;
 }
@@ -90,14 +91,15 @@ AudioBuffer Sine(int64_t sample_rate, int32_t channels, double frequency_hz,
   buf.sample_rate = sample_rate;
   buf.channels = channels;
   int64_t frames = static_cast<int64_t>(seconds * sample_rate);
-  buf.samples.resize(frames * channels);
+  std::vector<int16_t> samples(frames * channels);
   const double w = 2.0 * M_PI * frequency_hz / sample_rate;
   for (int64_t f = 0; f < frames; ++f) {
     int16_t s = ToSample(amplitude * std::sin(w * f));
     for (int32_t c = 0; c < channels; ++c) {
-      buf.samples[f * channels + c] = s;
+      samples[f * channels + c] = s;
     }
   }
+  buf.samples = std::move(samples);
   return buf;
 }
 
@@ -105,7 +107,7 @@ AudioBuffer Silence(int64_t sample_rate, int32_t channels, double seconds) {
   AudioBuffer buf;
   buf.sample_rate = sample_rate;
   buf.channels = channels;
-  buf.samples.assign(
+  buf.samples = std::vector<int16_t>(
       static_cast<size_t>(seconds * sample_rate) * channels, 0);
   return buf;
 }
@@ -116,13 +118,14 @@ AudioBuffer Noise(int64_t sample_rate, int32_t channels, double amplitude,
   buf.sample_rate = sample_rate;
   buf.channels = channels;
   int64_t frames = static_cast<int64_t>(seconds * sample_rate);
-  buf.samples.resize(frames * channels);
+  std::vector<int16_t> samples(frames * channels);
   uint64_t state = seed ? seed : 1;
-  for (auto& s : buf.samples) {
+  for (auto& s : samples) {
     double r = (static_cast<double>(XorShift(&state) >> 11) /
                 static_cast<double>(1ull << 53)) * 2.0 - 1.0;
     s = ToSample(amplitude * r);
   }
+  buf.samples = std::move(samples);
   return buf;
 }
 
@@ -132,7 +135,7 @@ AudioBuffer Narration(int64_t sample_rate, int32_t channels, double seconds,
   buf.sample_rate = sample_rate;
   buf.channels = channels;
   int64_t frames = static_cast<int64_t>(seconds * sample_rate);
-  buf.samples.resize(frames * channels);
+  std::vector<int16_t> samples(frames * channels);
   uint64_t state = seed ? seed : 7;
   // Syllable-like bursts: ~4 Hz envelope, fundamental wandering around
   // 120-220 Hz, occasional pauses.
@@ -152,9 +155,10 @@ AudioBuffer Narration(int64_t sample_rate, int32_t channels, double seconds,
                             0.25 * std::sin(3.0 * phase));
     int16_t s = ToSample(v);
     for (int32_t c = 0; c < channels; ++c) {
-      buf.samples[f * channels + c] = s;
+      samples[f * channels + c] = s;
     }
   }
+  buf.samples = std::move(samples);
   return buf;
 }
 

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "base/buffer.h"
 #include "base/bytes.h"
 #include "base/result.h"
 
@@ -20,7 +21,13 @@ namespace tbm {
 struct AudioBuffer {
   int64_t sample_rate = 44100;
   int32_t channels = 2;
-  std::vector<int16_t> samples;  ///< Interleaved; size = frames * channels.
+
+  /// Interleaved samples (size = frames * channels) as a zero-copy
+  /// view of shared storage — audio timing derivations (cut, excerpt)
+  /// alias their source samples. Sample-writing code takes
+  /// `samples.MutableCopy()`, mutates the owned vector, and assigns it
+  /// back (a zero-copy wrap).
+  SampleSlice samples;
 
   int64_t FrameCount() const {
     return channels == 0 ? 0 : static_cast<int64_t>(samples.size()) / channels;

@@ -28,6 +28,7 @@ double Param(uint32_t scene_id, uint32_t salt, double lo, double hi) {
 Image Frame(int32_t width, int32_t height, int64_t frame_index,
             uint32_t scene_id) {
   Image img = Image::Zero(width, height, ColorModel::kRgb24);
+  Bytes pixels_out(img.data.size(), 0);
   const double t = static_cast<double>(frame_index);
 
   // Scene-dependent palette and motion.
@@ -70,12 +71,13 @@ Image Frame(int32_t width, int32_t height, int64_t frame_index,
         b_val = b_val * (1 - s) + 220.0 * s;
       }
 
-      uint8_t* px = img.data.data() + 3 * (static_cast<size_t>(y) * width + x);
+      uint8_t* px = pixels_out.data() + 3 * (static_cast<size_t>(y) * width + x);
       px[0] = static_cast<uint8_t>(std::clamp(r_val, 0.0, 255.0));
       px[1] = static_cast<uint8_t>(std::clamp(g_val, 0.0, 255.0));
       px[2] = static_cast<uint8_t>(std::clamp(b_val, 0.0, 255.0));
     }
   }
+  img.data = std::move(pixels_out);
   return img;
 }
 

@@ -210,23 +210,26 @@ Result<Image> TjpegDecode(ByteSpan bytes) {
   auto luma_q = ScaleQuantTable(kLumaQuantBase, quality);
   if (gray) {
     Image out = Image::Zero(w, h, ColorModel::kGray8);
+    Bytes pixels_out(out.data.size(), 0);
     std::vector<int16_t> plane(static_cast<size_t>(w) * h);
     TBM_RETURN_IF_ERROR(
         tjpeg_internal::DecodePlane(&reader, w, h, luma_q, plane.data()));
-    LevelUnshift(plane, out.data.data());
+    LevelUnshift(plane, pixels_out.data());
+    out.data = std::move(pixels_out);
     return out;
   }
 
   Image yuv = Image::Zero(w, h, ColorModel::kYuv420);
   const int32_t cw = yuv.ChromaWidth(), ch = yuv.ChromaHeight();
   auto chroma_q = ScaleQuantTable(kChromaQuantBase, quality);
+  Bytes pixels_out(yuv.data.size(), 0);
   {
     std::vector<int16_t> plane(static_cast<size_t>(w) * h);
     TBM_RETURN_IF_ERROR(
         tjpeg_internal::DecodePlane(&reader, w, h, luma_q, plane.data()));
-    LevelUnshift(plane, yuv.data.data());
+    LevelUnshift(plane, pixels_out.data());
   }
-  uint8_t* u = yuv.data.data() + static_cast<size_t>(w) * h;
+  uint8_t* u = pixels_out.data() + static_cast<size_t>(w) * h;
   uint8_t* v = u + static_cast<size_t>(cw) * ch;
   {
     std::vector<int16_t> plane(static_cast<size_t>(cw) * ch);
@@ -240,6 +243,7 @@ Result<Image> TjpegDecode(ByteSpan bytes) {
         tjpeg_internal::DecodePlane(&reader, cw, ch, chroma_q, plane.data()));
     LevelUnshift(plane, v);
   }
+  yuv.data = std::move(pixels_out);
   if (static_cast<ColorModel>(source_model) == ColorModel::kYuv420) {
     return yuv;
   }

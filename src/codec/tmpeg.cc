@@ -58,16 +58,18 @@ Result<Image> FromPlanes(const Planes& p) {
   Image yuv = Image::Zero(p.w, p.h, ColorModel::kYuv420);
   const size_t luma = static_cast<size_t>(p.w) * p.h;
   const size_t chroma = static_cast<size_t>(p.cw) * p.ch;
+  Bytes pixels_out(yuv.data.size(), 0);
   for (size_t i = 0; i < luma; ++i) {
-    yuv.data[i] = static_cast<uint8_t>(std::clamp<int>(p.y[i], 0, 255));
+    pixels_out[i] = static_cast<uint8_t>(std::clamp<int>(p.y[i], 0, 255));
   }
   for (size_t i = 0; i < chroma; ++i) {
-    yuv.data[luma + i] = static_cast<uint8_t>(std::clamp<int>(p.u[i], 0, 255));
+    pixels_out[luma + i] = static_cast<uint8_t>(std::clamp<int>(p.u[i], 0, 255));
   }
   for (size_t i = 0; i < chroma; ++i) {
-    yuv.data[luma + chroma + i] =
+    pixels_out[luma + chroma + i] =
         static_cast<uint8_t>(std::clamp<int>(p.v[i], 0, 255));
   }
+  yuv.data = std::move(pixels_out);
   return YuvToRgb(yuv);
 }
 
@@ -506,7 +508,7 @@ Result<std::vector<Image>> TmpegDecodeSequence(
   return out;
 }
 
-Result<TmpegFrame> TmpegParseFrame(Bytes data) {
+Result<TmpegFrame> TmpegParseFrame(BufferSlice data) {
   BinaryReader reader(data);
   TBM_ASSIGN_OR_RETURN(FrameHeader hdr, ReadFrameHeader(&reader));
   TmpegFrame frame;

@@ -34,7 +34,9 @@ std::string_view FrameKindToString(FrameKind kind);
 /// TmpegFrames is in *storage* order; `presentation_index` recovers
 /// display order.
 struct TmpegFrame {
-  Bytes data;
+  /// Encoded bytes as a zero-copy view (frames rehydrated from a BLOB
+  /// alias the stored bytes).
+  BufferSlice data;
   FrameKind kind = FrameKind::kKey;
   int64_t presentation_index = 0;
   /// For kBidirectional: presentation indexes of the two reference keys.
@@ -68,7 +70,7 @@ Result<std::vector<Image>> TmpegDecodeSequence(
 /// Parses one encoded frame's self-describing header, recovering its
 /// kind, presentation index and references. Used when frames are
 /// rehydrated from BLOB storage.
-Result<TmpegFrame> TmpegParseFrame(Bytes data);
+Result<TmpegFrame> TmpegParseFrame(BufferSlice data);
 
 /// Decodes only the key frames of a sequence — the cheap low-fidelity
 /// "scaled" read (paper §2.2, scalability): a fraction of the bytes

@@ -176,11 +176,12 @@ Result<AudioBuffer> MultimediaObject::MixAudio(int64_t sample_rate,
   AudioBuffer out;
   out.sample_rate = sample_rate;
   out.channels = channels;
-  out.samples.resize(mix.size());
+  std::vector<int16_t> samples(mix.size());
   for (size_t i = 0; i < mix.size(); ++i) {
-    out.samples[i] = static_cast<int16_t>(
+    samples[i] = static_cast<int16_t>(
         std::clamp(std::lround(mix[i]), -32768L, 32767L));
   }
+  out.samples = std::move(samples);
   return out;
 }
 
@@ -190,6 +191,7 @@ Result<Image> MultimediaObject::RenderFrameAt(double t_seconds, int32_t width,
     return Status::InvalidArgument("bad frame geometry");
   }
   Image canvas = Image::Zero(width, height, ColorModel::kRgb24);
+  Bytes pixels_out(canvas.data.size(), 0);
 
   struct VisualHit {
     const Component* component;
@@ -238,13 +240,14 @@ Result<Image> MultimediaObject::RenderFrameAt(double t_seconds, int32_t width,
         const uint8_t* sp =
             src.data.data() + 3 * (static_cast<size_t>(y) * src.width + x);
         uint8_t* dp =
-            canvas.data.data() + 3 * (static_cast<size_t>(dy) * width + dx);
+            pixels_out.data() + 3 * (static_cast<size_t>(dy) * width + dx);
         dp[0] = sp[0];
         dp[1] = sp[1];
         dp[2] = sp[2];
       }
     }
   }
+  canvas.data = std::move(pixels_out);
   return canvas;
 }
 

@@ -18,6 +18,8 @@ struct CacheMetrics {
   obs::Counter* insertions;
   obs::Counter* invalidations;
   obs::Gauge* bytes;
+  obs::Gauge* logical;
+  obs::Gauge* resident;
 
   static const CacheMetrics& Get() {
     static const CacheMetrics metrics = [] {
@@ -27,7 +29,9 @@ struct CacheMetrics {
                           registry.counter("derive.cache.evictions"),
                           registry.counter("derive.cache.insertions"),
                           registry.counter("derive.cache.invalidations"),
-                          registry.gauge("derive.cache.bytes")};
+                          registry.gauge("derive.cache.bytes"),
+                          registry.gauge("derive.cache.logical_bytes"),
+                          registry.gauge("derive.cache.resident_bytes")};
     }();
     return metrics;
   }
@@ -36,17 +40,19 @@ struct CacheMetrics {
 }  // namespace
 
 std::string CacheStats::ToString() const {
-  char buf[256];
+  char buf[384];
   std::snprintf(buf, sizeof(buf),
                 "hits %llu, misses %llu, evictions %llu, insertions %llu, "
                 "oversize %llu, invalidations %llu, cached %llu/%llu bytes "
-                "in %llu entries",
+                "in %llu entries (logical %llu, resident %llu)",
                 (unsigned long long)hits, (unsigned long long)misses,
                 (unsigned long long)evictions, (unsigned long long)insertions,
                 (unsigned long long)oversize_rejects,
                 (unsigned long long)invalidations,
                 (unsigned long long)bytes_cached,
-                (unsigned long long)budget_bytes, (unsigned long long)entries);
+                (unsigned long long)budget_bytes, (unsigned long long)entries,
+                (unsigned long long)logical_bytes,
+                (unsigned long long)resident_bytes);
   return buf;
 }
 
@@ -62,12 +68,16 @@ ExpansionCache::ExpansionCache(uint64_t budget_bytes, int shards)
 }
 
 ExpansionCache::~ExpansionCache() {
-  // Release this cache's share of the global occupancy gauge
+  // Release this cache's share of the global occupancy gauges
   // (engines — and their caches — are routinely short-lived, e.g. one
   // per MediaDatabase::Materialize call).
   for (int i = 0; i < shard_count_; ++i) {
     CacheMetrics::Get().bytes->Add(-static_cast<int64_t>(shards_[i].bytes));
   }
+  std::lock_guard<std::mutex> ledger_lock(ledger_mu_);
+  CacheMetrics::Get().logical->Add(-static_cast<int64_t>(logical_total_));
+  CacheMetrics::Get().resident->Add(
+      -static_cast<int64_t>(ledger_resident_ + private_total_));
 }
 
 ExpansionCache::Shard& ExpansionCache::ShardFor(NodeId id) {
@@ -94,33 +104,46 @@ ValueRef ExpansionCache::Lookup(NodeId id) {
   return it->second->value;
 }
 
-void ExpansionCache::MakeRoom(Shard& shard, uint64_t incoming) {
-  while (!shard.lru.empty() && shard.bytes + incoming > shard.budget) {
-    // Weigh the few least-recently-used entries and evict the one whose
-    // recomputation is cheapest per byte freed.
-    auto victim = std::prev(shard.lru.end());
-    double victim_density =
-        victim->cost_seconds / static_cast<double>(std::max<uint64_t>(
-                                   victim->bytes, 1));
-    auto candidate = victim;
-    for (int i = 1; i < kEvictionSample && candidate != shard.lru.begin();
-         ++i) {
-      --candidate;
-      double density = candidate->cost_seconds /
-                       static_cast<double>(std::max<uint64_t>(
-                           candidate->bytes, 1));
-      if (density < victim_density) {
-        victim = candidate;
-        victim_density = density;
-      }
-    }
-    shard.bytes -= victim->bytes;
-    CacheMetrics::Get().bytes->Add(-static_cast<int64_t>(victim->bytes));
-    shard.index.erase(victim->id);
-    shard.lru.erase(victim);
-    ++shard.evictions;
-    CacheMetrics::Get().evictions->Add();
+uint64_t ExpansionCache::ChargeOfLocked(const Entry& entry) const {
+  uint64_t charge = entry.private_bytes;
+  for (const auto& [buffer_id, size] : entry.buffers) {
+    if (ledger_.find(buffer_id) == ledger_.end()) charge += size;
   }
+  return charge;
+}
+
+void ExpansionCache::PinBuffersLocked(const Entry& entry) {
+  for (const auto& [buffer_id, size] : entry.buffers) {
+    auto [it, inserted] = ledger_.try_emplace(buffer_id, BufferUse{size, 0});
+    if (inserted) ledger_resident_ += size;
+    ++it->second.refs;
+  }
+}
+
+void ExpansionCache::ReleaseEntry(Shard& shard, const Entry& entry) {
+  // Subtract exactly what the entry paid: never more, so shard byte
+  // counters cannot underflow even when a shared buffer's original
+  // payer was evicted before its sharers. (In that case the freed
+  // bytes are under-reported until the last sharer goes — a bounded,
+  // conservative error in the safe direction for the budget.)
+  shard.bytes -= entry.charge;
+  CacheMetrics::Get().bytes->Add(-static_cast<int64_t>(entry.charge));
+  std::lock_guard<std::mutex> ledger_lock(ledger_mu_);
+  uint64_t resident_before = ledger_resident_ + private_total_;
+  for (const auto& [buffer_id, size] : entry.buffers) {
+    auto it = ledger_.find(buffer_id);
+    if (it == ledger_.end()) continue;
+    if (--it->second.refs == 0) {
+      ledger_resident_ -= it->second.size;
+      ledger_.erase(it);
+    }
+  }
+  private_total_ -= entry.private_bytes;
+  logical_total_ -= entry.bytes;
+  CacheMetrics::Get().logical->Add(-static_cast<int64_t>(entry.bytes));
+  CacheMetrics::Get().resident->Add(
+      static_cast<int64_t>(ledger_resident_ + private_total_) -
+      static_cast<int64_t>(resident_before));
 }
 
 void ExpansionCache::Insert(NodeId id, ValueRef value, uint64_t bytes,
@@ -129,22 +152,88 @@ void ExpansionCache::Insert(NodeId id, ValueRef value, uint64_t bytes,
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(id);
   if (it != shard.index.end()) {
-    shard.bytes -= it->second->bytes;
-    CacheMetrics::Get().bytes->Add(-static_cast<int64_t>(it->second->bytes));
+    ReleaseEntry(shard, *it->second);
     shard.lru.erase(it->second);
     shard.index.erase(it);
   }
-  if (bytes > shard.budget) {
+
+  // What would this value actually add to memory? Buffers already
+  // pinned by a live entry (typically the source a timing-only
+  // derivation sliced) are free; only unpinned buffers plus the
+  // value's non-buffer ("private") bytes are charged.
+  Entry entry;
+  entry.id = id;
+  entry.bytes = bytes;
+  entry.cost_seconds = cost_seconds;
+  BufferAudit audit = AuditBuffers(*value);
+  entry.private_bytes =
+      bytes > audit.sliced_bytes ? bytes - audit.sliced_bytes : 0;
+  entry.buffers.assign(audit.buffers.begin(), audit.buffers.end());
+  entry.value = std::move(value);
+
+  uint64_t charge;
+  {
+    std::lock_guard<std::mutex> ledger_lock(ledger_mu_);
+    charge = ChargeOfLocked(entry);
+  }
+  if (charge > shard.budget) {
     ++shard.oversize_rejects;
     return;  // Caching it would break the budget invariant.
   }
-  MakeRoom(shard, bytes);
-  shard.lru.push_front(Entry{id, std::move(value), bytes, cost_seconds});
+  while (!shard.lru.empty() && shard.bytes + charge > shard.budget) {
+    // Weigh the few least-recently-used entries and evict the one whose
+    // recomputation is cheapest per byte freed.
+    auto victim = std::prev(shard.lru.end());
+    double victim_density =
+        victim->cost_seconds /
+        static_cast<double>(std::max<uint64_t>(victim->charge, 1));
+    auto candidate = victim;
+    for (int i = 1; i < kEvictionSample && candidate != shard.lru.begin();
+         ++i) {
+      --candidate;
+      double density = candidate->cost_seconds /
+                       static_cast<double>(
+                           std::max<uint64_t>(candidate->charge, 1));
+      if (density < victim_density) {
+        victim = candidate;
+        victim_density = density;
+      }
+    }
+    ReleaseEntry(shard, *victim);
+    shard.index.erase(victim->id);
+    shard.lru.erase(victim);
+    ++shard.evictions;
+    CacheMetrics::Get().evictions->Add();
+    // An eviction can unpin a buffer this value shares, in which case
+    // the incoming entry now has to pay for it — recompute.
+    std::lock_guard<std::mutex> ledger_lock(ledger_mu_);
+    charge = ChargeOfLocked(entry);
+  }
+  if (shard.bytes + charge > shard.budget) {
+    // Evicting everything still doesn't make room (possible only when
+    // evictions unpinned buffers this value must now pay for).
+    ++shard.oversize_rejects;
+    return;
+  }
+
+  entry.charge = charge;
+  {
+    std::lock_guard<std::mutex> ledger_lock(ledger_mu_);
+    uint64_t resident_before = ledger_resident_ + private_total_;
+    PinBuffersLocked(entry);
+    private_total_ += entry.private_bytes;
+    logical_total_ += entry.bytes;
+    CacheMetrics::Get().logical->Add(static_cast<int64_t>(entry.bytes));
+    CacheMetrics::Get().resident->Add(
+        static_cast<int64_t>(ledger_resident_ + private_total_) -
+        static_cast<int64_t>(resident_before));
+  }
+  shard.lru.push_front(std::move(entry));
   shard.index.emplace(id, shard.lru.begin());
-  shard.bytes += bytes;
+  shard.bytes += charge;
   ++shard.insertions;
   CacheMetrics::Get().insertions->Add();
-  CacheMetrics::Get().bytes->Add(static_cast<int64_t>(bytes));
+  CacheMetrics::Get().bytes->Add(static_cast<int64_t>(charge));
 }
 
 void ExpansionCache::Erase(NodeId id) {
@@ -152,8 +241,7 @@ void ExpansionCache::Erase(NodeId id) {
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(id);
   if (it == shard.index.end()) return;
-  shard.bytes -= it->second->bytes;
-  CacheMetrics::Get().bytes->Add(-static_cast<int64_t>(it->second->bytes));
+  ReleaseEntry(shard, *it->second);
   shard.lru.erase(it->second);
   shard.index.erase(it);
   ++shard.invalidations;
@@ -166,7 +254,7 @@ void ExpansionCache::Clear() {
     std::lock_guard<std::mutex> lock(shard.mu);
     shard.invalidations += shard.lru.size();
     CacheMetrics::Get().invalidations->Add(shard.lru.size());
-    CacheMetrics::Get().bytes->Add(-static_cast<int64_t>(shard.bytes));
+    for (const Entry& entry : shard.lru) ReleaseEntry(shard, entry);
     shard.lru.clear();
     shard.index.clear();
     shard.bytes = 0;
@@ -188,6 +276,9 @@ CacheStats ExpansionCache::stats() const {
     total.bytes_cached += shard.bytes;
     total.entries += shard.lru.size();
   }
+  std::lock_guard<std::mutex> ledger_lock(ledger_mu_);
+  total.logical_bytes = logical_total_;
+  total.resident_bytes = ledger_resident_ + private_total_;
   return total;
 }
 

@@ -7,6 +7,8 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "derive/value.h"
 
@@ -24,9 +26,15 @@ struct CacheStats {
   uint64_t insertions = 0;
   uint64_t oversize_rejects = 0;  ///< Values too large to ever fit a shard.
   uint64_t invalidations = 0;     ///< Entries dropped by Erase()/Clear().
-  uint64_t bytes_cached = 0;      ///< Current occupancy.
+  uint64_t bytes_cached = 0;      ///< Current charged occupancy (deduped).
   uint64_t entries = 0;           ///< Current entry count.
   uint64_t budget_bytes = 0;      ///< Configured ceiling.
+  /// Sum of the live entries' declared (ExpandedBytes) sizes: what the
+  /// cache would hold if every value owned a private copy of its bytes.
+  uint64_t logical_bytes = 0;
+  /// Actual bytes pinned: unique backing-buffer allocations (counted
+  /// once however many entries share them) plus unshared value bytes.
+  uint64_t resident_bytes = 0;
 
   std::string ToString() const;
 };
@@ -70,8 +78,11 @@ class ExpansionCache {
   ValueRef Lookup(NodeId id);
 
   /// Caches `value` (replacing any previous entry for `id`).
-  /// `bytes` is the value's expanded size; `cost_seconds` is the wall
-  /// time that was spent computing it, used by the cost-aware evictor.
+  /// `bytes` is the value's declared (logical) expanded size;
+  /// `cost_seconds` is the wall time that was spent computing it, used
+  /// by the cost-aware evictor. The budget is charged the *deduped*
+  /// cost: backing buffers already pinned by another live entry are
+  /// free, so timing-only views of cached sources charge O(1) bytes.
   void Insert(NodeId id, ValueRef value, uint64_t bytes, double cost_seconds);
 
   /// Drops the entry for `id`, if present.
@@ -87,7 +98,11 @@ class ExpansionCache {
   struct Entry {
     NodeId id = 0;
     ValueRef value;
-    uint64_t bytes = 0;
+    uint64_t bytes = 0;    ///< Declared (logical) size.
+    uint64_t charge = 0;   ///< What this entry paid against the budget.
+    uint64_t private_bytes = 0;  ///< Declared bytes not backed by buffers.
+    /// Backing buffers referenced by the value: (buffer id, full size).
+    std::vector<std::pair<uint64_t, uint64_t>> buffers;
     double cost_seconds = 0.0;
   };
   struct Shard {
@@ -103,14 +118,35 @@ class ExpansionCache {
     uint64_t oversize_rejects = 0;
     uint64_t invalidations = 0;
   };
+  /// Cross-shard residency of one backing buffer.
+  struct BufferUse {
+    uint64_t size = 0;
+    uint64_t refs = 0;  ///< Live entries (any shard) referencing it.
+  };
 
   Shard& ShardFor(NodeId id);
-  /// Evicts until `incoming` more bytes fit. Caller holds `shard.mu`.
-  static void MakeRoom(Shard& shard, uint64_t incoming);
+  /// Bytes `entry` would charge right now: private bytes plus buffers
+  /// not yet pinned by any live entry. Caller holds `ledger_mu_`.
+  uint64_t ChargeOfLocked(const Entry& entry) const;
+  /// Commits `entry`'s buffer references into the ledger. Caller holds
+  /// `ledger_mu_`.
+  void PinBuffersLocked(const Entry& entry);
+  /// Removes one entry's accounting (ledger refs, shard bytes, global
+  /// totals). Caller holds `shard.mu`; takes `ledger_mu_` itself.
+  void ReleaseEntry(Shard& shard, const Entry& entry);
 
   uint64_t budget_;
   int shard_count_;
   std::unique_ptr<Shard[]> shards_;
+
+  /// Buffer ledger: which backing buffers are pinned by live entries,
+  /// deduplicated across shards. Locked after a shard's `mu` (always
+  /// in that order); never held across shard-lock acquisition.
+  mutable std::mutex ledger_mu_;
+  std::unordered_map<uint64_t, BufferUse> ledger_;
+  uint64_t ledger_resident_ = 0;  ///< Σ sizes of pinned buffers.
+  uint64_t private_total_ = 0;    ///< Σ private bytes of live entries.
+  uint64_t logical_total_ = 0;    ///< Σ declared bytes of live entries.
 };
 
 }  // namespace tbm

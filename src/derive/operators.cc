@@ -81,16 +81,21 @@ Result<MediaValue> OpImageFilter(const std::vector<const MediaValue*>& args,
   std::string kind = ParamString(params, "kind", "invert");
   Image out = *image;
   if (kind == "invert") {
-    for (uint8_t& b : out.data) b = static_cast<uint8_t>(255 - b);
+    Bytes pixels = image->data.MutableCopy();
+    for (uint8_t& b : pixels) b = static_cast<uint8_t>(255 - b);
+    out.data = std::move(pixels);
   } else if (kind == "threshold") {
     int64_t threshold = ParamInt(params, "threshold", 128);
-    for (uint8_t& b : out.data) b = b >= threshold ? 255 : 0;
+    Bytes pixels = image->data.MutableCopy();
+    for (uint8_t& b : pixels) b = b >= threshold ? 255 : 0;
+    out.data = std::move(pixels);
   } else if (kind == "box blur") {
     if (image->model != ColorModel::kRgb24) {
       return Status::InvalidArgument("box blur expects RGB input");
     }
     int64_t radius = std::max<int64_t>(1, ParamInt(params, "radius", 1));
     const int32_t w = image->width, h = image->height;
+    Bytes pixels_out(image->data.size(), 0);
     for (int32_t y = 0; y < h; ++y) {
       for (int32_t x = 0; x < w; ++x) {
         for (int c = 0; c < 3; ++c) {
@@ -103,11 +108,12 @@ Result<MediaValue> OpImageFilter(const std::vector<const MediaValue*>& args,
               ++count;
             }
           }
-          out.data[3 * (static_cast<size_t>(y) * w + x) + c] =
+          pixels_out[3 * (static_cast<size_t>(y) * w + x) + c] =
               static_cast<uint8_t>(sum / count);
         }
       }
     }
+    out.data = std::move(pixels_out);
   } else {
     return Status::InvalidArgument("unknown image filter \"" + kind + "\"");
   }
@@ -155,13 +161,15 @@ Result<MediaValue> OpAudioNormalize(const std::vector<const MediaValue*>& args,
   AudioBuffer out = *audio;
   if (peak == 0) return MediaValue(std::move(out));  // Silence stays silent.
   double scale = target * 32767.0 / peak;
+  std::vector<int16_t> samples = audio->samples.MutableCopy();
   for (int64_t f = start; f < end; ++f) {
     for (int32_t c = 0; c < audio->channels; ++c) {
       size_t i = f * audio->channels + c;
-      out.samples[i] = static_cast<int16_t>(std::clamp(
+      samples[i] = static_cast<int16_t>(std::clamp(
           std::lround(audio->samples[i] * scale), -32768L, 32767L));
     }
   }
+  out.samples = std::move(samples);
   return MediaValue(std::move(out));
 }
 
@@ -171,10 +179,12 @@ Result<MediaValue> OpAudioGain(const std::vector<const MediaValue*>& args,
                        ArgAs<AudioBuffer>(args, 0, "audio gain"));
   double gain = ParamDouble(params, "gain", 1.0);
   AudioBuffer out = *audio;
-  for (int16_t& s : out.samples) {
+  std::vector<int16_t> samples = audio->samples.MutableCopy();
+  for (int16_t& s : samples) {
     s = static_cast<int16_t>(
         std::clamp(std::lround(s * gain), -32768L, 32767L));
   }
+  out.samples = std::move(samples);
   return MediaValue(std::move(out));
 }
 
@@ -196,7 +206,7 @@ Result<MediaValue> OpAudioMix(const std::vector<const MediaValue*>& args,
   AudioBuffer out;
   out.sample_rate = a->sample_rate;
   out.channels = a->channels;
-  out.samples.assign(frames * a->channels, 0);
+  std::vector<int16_t> samples(frames * a->channels, 0);
   for (int64_t f = 0; f < frames; ++f) {
     for (int32_t c = 0; c < a->channels; ++c) {
       double v = 0.0;
@@ -207,10 +217,11 @@ Result<MediaValue> OpAudioMix(const std::vector<const MediaValue*>& args,
       if (bf >= 0 && bf < b->FrameCount()) {
         v += gain_b * b->samples[bf * b->channels + c];
       }
-      out.samples[f * out.channels + c] = static_cast<int16_t>(
+      samples[f * out.channels + c] = static_cast<int16_t>(
           std::clamp(std::lround(v), -32768L, 32767L));
     }
   }
+  out.samples = std::move(samples);
   return MediaValue(std::move(out));
 }
 
@@ -227,9 +238,9 @@ Result<MediaValue> OpAudioCut(const std::vector<const MediaValue*>& args,
   AudioBuffer out;
   out.sample_rate = audio->sample_rate;
   out.channels = audio->channels;
-  out.samples.assign(
-      audio->samples.begin() + start * audio->channels,
-      audio->samples.begin() + (start + count) * audio->channels);
+  // Timing-only change: the cut is a sub-view sharing the source samples.
+  out.samples = audio->samples.Slice(start * audio->channels,
+                                     count * audio->channels);
   return MediaValue(std::move(out));
 }
 
@@ -246,7 +257,11 @@ Result<MediaValue> OpAudioConcat(const std::vector<const MediaValue*>& args,
         "audio sequence cannot be concatenated to a video sequence)");
   }
   AudioBuffer out = *a;
-  out.samples.insert(out.samples.end(), b->samples.begin(), b->samples.end());
+  std::vector<int16_t> samples;
+  samples.reserve(a->samples.size() + b->samples.size());
+  samples.insert(samples.end(), a->samples.begin(), a->samples.end());
+  samples.insert(samples.end(), b->samples.begin(), b->samples.end());
+  out.samples = std::move(samples);
   return MediaValue(std::move(out));
 }
 
@@ -261,7 +276,7 @@ Result<MediaValue> OpAudioResample(const std::vector<const MediaValue*>& args,
   out.sample_rate = target;
   out.channels = audio->channels;
   int64_t frames = audio->FrameCount() * target / audio->sample_rate;
-  out.samples.resize(frames * out.channels);
+  std::vector<int16_t> samples(frames * out.channels);
   for (int64_t f = 0; f < frames; ++f) {
     double src = static_cast<double>(f) * audio->sample_rate / target;
     int64_t i0 = static_cast<int64_t>(src);
@@ -270,10 +285,11 @@ Result<MediaValue> OpAudioResample(const std::vector<const MediaValue*>& args,
     for (int32_t c = 0; c < out.channels; ++c) {
       double v = (1.0 - frac) * audio->samples[i0 * audio->channels + c] +
                  frac * audio->samples[i1 * audio->channels + c];
-      out.samples[f * out.channels + c] =
+      samples[f * out.channels + c] =
           static_cast<int16_t>(std::lround(v));
     }
   }
+  out.samples = std::move(samples);
   return MediaValue(std::move(out));
 }
 
@@ -357,21 +373,25 @@ Result<MediaValue> OpVideoTransition(
     double t = static_cast<double>(i + 1) / (duration + 1);
     Image frame = fa;
     if (kind == "fade") {
-      for (size_t p = 0; p < frame.data.size(); ++p) {
-        frame.data[p] = static_cast<uint8_t>(
+      Bytes pixels(fa.data.size(), 0);
+      for (size_t p = 0; p < pixels.size(); ++p) {
+        pixels[p] = static_cast<uint8_t>(
             std::lround((1.0 - t) * fa.data[p] + t * fb.data[p]));
       }
+      frame.data = std::move(pixels);
     } else if (kind == "wipe") {
       // Left-to-right wipe: B replaces A up to column boundary.
+      Bytes pixels = fa.data.MutableCopy();
       int32_t boundary = static_cast<int32_t>(t * frame.width);
       for (int32_t y = 0; y < frame.height; ++y) {
         for (int32_t x = 0; x < boundary; ++x) {
           for (int c = 0; c < 3; ++c) {
             size_t p = 3 * (static_cast<size_t>(y) * frame.width + x) + c;
-            frame.data[p] = fb.data[p];
+            pixels[p] = fb.data[p];
           }
         }
       }
+      frame.data = std::move(pixels);
     } else {
       return Status::InvalidArgument("unknown transition \"" + kind + "\"");
     }
@@ -403,16 +423,18 @@ Result<MediaValue> OpChromaKey(const std::vector<const MediaValue*>& args,
       return Status::InvalidArgument("chroma key requires equal geometry");
     }
     Image frame = f;
-    for (size_t p = 0; p + 2 < frame.data.size(); p += 3) {
+    Bytes pixels = f.data.MutableCopy();
+    for (size_t p = 0; p + 2 < pixels.size(); p += 3) {
       int64_t dr = f.data[p] - key_r;
       int64_t dg = f.data[p + 1] - key_g;
       int64_t db = f.data[p + 2] - key_b;
       if (dr * dr + dg * dg + db * db <= tolerance * tolerance) {
-        frame.data[p] = g.data[p];
-        frame.data[p + 1] = g.data[p + 1];
-        frame.data[p + 2] = g.data[p + 2];
+        pixels[p] = g.data[p];
+        pixels[p + 1] = g.data[p + 1];
+        pixels[p + 2] = g.data[p + 2];
       }
     }
+    frame.data = std::move(pixels);
     out.frames.push_back(std::move(frame));
   }
   return MediaValue(std::move(out));
@@ -467,11 +489,12 @@ Result<MediaValue> OpAudioFade(const std::vector<const MediaValue*>& args,
     return Status::OutOfRange("fade spans exceed the audio length");
   }
   AudioBuffer out = *audio;
+  std::vector<int16_t> samples = audio->samples.MutableCopy();
   for (int64_t f = 0; f < fade_in; ++f) {
     double g = static_cast<double>(f) / fade_in;
     for (int32_t c = 0; c < out.channels; ++c) {
       size_t i = f * out.channels + c;
-      out.samples[i] = static_cast<int16_t>(std::lround(out.samples[i] * g));
+      samples[i] = static_cast<int16_t>(std::lround(samples[i] * g));
     }
   }
   // Symmetric with fade-in: the outermost sample has zero gain.
@@ -480,9 +503,10 @@ Result<MediaValue> OpAudioFade(const std::vector<const MediaValue*>& args,
     int64_t frame = frames - 1 - f;
     for (int32_t c = 0; c < out.channels; ++c) {
       size_t i = frame * out.channels + c;
-      out.samples[i] = static_cast<int16_t>(std::lround(out.samples[i] * g));
+      samples[i] = static_cast<int16_t>(std::lround(samples[i] * g));
     }
   }
+  out.samples = std::move(samples);
   return MediaValue(std::move(out));
 }
 
@@ -506,12 +530,14 @@ Result<MediaValue> OpImageCrop(const std::vector<const MediaValue*>& args,
   const int bytes_per_pixel = image->model == ColorModel::kRgb24 ? 3 : 1;
   Image out = Image::Zero(static_cast<int32_t>(w), static_cast<int32_t>(h),
                           image->model);
+  Bytes pixels_out(out.data.size(), 0);
   for (int64_t row = 0; row < h; ++row) {
     const uint8_t* src = image->data.data() +
                          bytes_per_pixel * ((y + row) * image->width + x);
-    uint8_t* dst = out.data.data() + bytes_per_pixel * row * w;
+    uint8_t* dst = pixels_out.data() + bytes_per_pixel * row * w;
     std::copy(src, src + bytes_per_pixel * w, dst);
   }
+  out.data = std::move(pixels_out);
   return MediaValue(std::move(out));
 }
 
@@ -532,6 +558,7 @@ Result<MediaValue> OpImageScale(const std::vector<const MediaValue*>& args,
   const int bpp = image->model == ColorModel::kRgb24 ? 3 : 1;
   Image out = Image::Zero(static_cast<int32_t>(w), static_cast<int32_t>(h),
                           image->model);
+  Bytes pixels_out(out.data.size(), 0);
   // Bilinear resampling.
   for (int64_t oy = 0; oy < h; ++oy) {
     double sy = (oy + 0.5) * image->height / h - 0.5;
@@ -552,11 +579,12 @@ Result<MediaValue> OpImageScale(const std::vector<const MediaValue*>& args,
         double v11 = image->data[bpp * (y1 * image->width + x1) + c];
         double v = (1 - fy) * ((1 - fx) * v00 + fx * v01) +
                    fy * ((1 - fx) * v10 + fx * v11);
-        out.data[bpp * (oy * w + ox) + c] =
+        pixels_out[bpp * (oy * w + ox) + c] =
             static_cast<uint8_t>(std::lround(std::clamp(v, 0.0, 255.0)));
       }
     }
   }
+  out.data = std::move(pixels_out);
   return MediaValue(std::move(out));
 }
 

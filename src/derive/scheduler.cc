@@ -86,6 +86,12 @@ std::string EvalStats::ToString() const {
                 HumanByteCount(bytes_cached).c_str(),
                 HumanByteCount(cache_budget_bytes).c_str());
   out += line;
+  std::snprintf(line, sizeof(line),
+                "cache bytes: %s logical, %s resident (shared buffers "
+                "counted once)\n",
+                HumanByteCount(logical_bytes).c_str(),
+                HumanByteCount(resident_bytes).c_str());
+  out += line;
   if (!per_op.empty()) {
     out += "per-op wall time:\n";
     for (const auto& [name, op] : per_op) {
@@ -428,6 +434,8 @@ EvalStats DerivationEngine::stats() const {
   out.cache_evictions = cache.evictions;
   out.bytes_cached = cache.bytes_cached;
   out.cache_budget_bytes = cache.budget_bytes;
+  out.logical_bytes = cache.logical_bytes;
+  out.resident_bytes = cache.resident_bytes;
   out.entries_invalidated = cache.invalidations;
   std::lock_guard<std::mutex> lock(stats_mu_);
   out.nodes_evaluated = nodes_evaluated_;

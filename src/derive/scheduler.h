@@ -50,8 +50,15 @@ struct EvalStats {
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
   uint64_t cache_evictions = 0;
-  uint64_t bytes_cached = 0;       ///< Current cache occupancy.
+  uint64_t bytes_cached = 0;       ///< Current charged occupancy (deduped).
   uint64_t cache_budget_bytes = 0;
+  /// Declared (ExpandedBytes) total of live cache entries — the cost
+  /// if every value owned private copies of its bytes.
+  uint64_t logical_bytes = 0;
+  /// Actual bytes pinned by the cache: backing buffers counted once
+  /// however many entries share them, plus unshared value bytes. For
+  /// timing-only derivation workloads resident ≪ logical.
+  uint64_t resident_bytes = 0;
   uint64_t nodes_evaluated = 0;    ///< Operator applications performed.
   uint64_t entries_invalidated = 0;
   uint64_t evaluations = 0;        ///< Top-level Evaluate calls.

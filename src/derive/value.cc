@@ -61,6 +61,56 @@ uint64_t ExpandedBytes(const MediaValue& value) {
   return std::visit(Visitor{}, value);
 }
 
+namespace {
+
+void NoteBuffer(const BufferRef& buffer, uint64_t slice_length,
+                BufferAudit* audit) {
+  if (buffer == nullptr) return;
+  audit->sliced_bytes += slice_length;
+  audit->buffers.emplace(buffer->id(), buffer->size());
+}
+
+}  // namespace
+
+BufferAudit AuditBuffers(const MediaValue& value) {
+  BufferAudit audit;
+  struct Visitor {
+    BufferAudit* audit;
+    void operator()(const AudioBuffer& audio) {
+      NoteBuffer(audio.samples.buffer(),
+                 audio.samples.size() * sizeof(int16_t), audit);
+    }
+    void operator()(const VideoValue& video) {
+      for (const Image& frame : video.frames) {
+        NoteBuffer(frame.data.buffer(), frame.data.size(), audit);
+      }
+    }
+    void operator()(const Image& image) {
+      NoteBuffer(image.data.buffer(), image.data.size(), audit);
+    }
+    void operator()(const MidiSequence&) {}
+    void operator()(const AnimationScene&) {}
+    void operator()(const TimedStream& stream) {
+      for (const StreamElement& element : stream) {
+        NoteBuffer(element.data.buffer(), element.data.size(), audit);
+      }
+    }
+  };
+  std::visit(Visitor{&audit}, value);
+  return audit;
+}
+
+uint64_t ResidentBytes(const MediaValue& value) {
+  if (std::holds_alternative<MidiSequence>(value) ||
+      std::holds_alternative<AnimationScene>(value)) {
+    return ExpandedBytes(value);  // No shared buffers behind these.
+  }
+  BufferAudit audit = AuditBuffers(value);
+  uint64_t resident = 0;
+  for (const auto& [id, size] : audit.buffers) resident += size;
+  return resident;
+}
+
 double PresentationSeconds(const MediaValue& value) {
   struct Visitor {
     double operator()(const AudioBuffer& audio) {

@@ -2,6 +2,7 @@
 #define TBM_DERIVE_VALUE_H_
 
 #include <memory>
+#include <unordered_map>
 #include <variant>
 #include <vector>
 
@@ -51,8 +52,30 @@ MediaKind KindOfValue(const MediaValue& value);
 
 /// Approximate storage footprint of the value if it were expanded and
 /// stored rather than derived — the quantity the paper's storage-saving
-/// argument compares derivation records against.
+/// argument compares derivation records against. Counts every slice at
+/// its full logical length, so structurally shared bytes are counted
+/// once per reference ("logical bytes").
 uint64_t ExpandedBytes(const MediaValue& value);
+
+/// The shared buffers backing a value's payload slices.
+///
+/// `buffers` maps buffer id to the *full* allocated size of that
+/// buffer (a slice pins its whole buffer, so that is what residency
+/// costs); each buffer appears once however many slices reference it.
+/// `sliced_bytes` sums the slice lengths with multiplicity — the part
+/// of ExpandedBytes that is backed by shared buffers at all.
+struct BufferAudit {
+  std::unordered_map<uint64_t, uint64_t> buffers;
+  uint64_t sliced_bytes = 0;
+};
+BufferAudit AuditBuffers(const MediaValue& value);
+
+/// Actual bytes held resident by the value: the deduplicated sum of
+/// its backing buffer allocations (plus the serialized size for
+/// variants that do not use shared buffers). For timing-only
+/// derivations — edit lists, reversals, repeats — this is far below
+/// ExpandedBytes, because the result shares the source's buffers.
+uint64_t ResidentBytes(const MediaValue& value);
 
 /// Presentation duration in seconds (0 for still images).
 double PresentationSeconds(const MediaValue& value);

@@ -191,6 +191,9 @@ Result<Interpretation> Interpretation::Deserialize(BinaryReader* reader) {
       TBM_ASSIGN_OR_RETURN(e.duration, reader->ReadVarI64());
       TBM_ASSIGN_OR_RETURN(e.placement.offset, reader->ReadVarU64());
       TBM_ASSIGN_OR_RETURN(e.placement.length, reader->ReadVarU64());
+      // Catalogs come off disk: reject placements whose offset+length
+      // wraps uint64 before they can alias the wrong bytes.
+      TBM_RETURN_IF_ERROR(e.placement.Validate());
       TBM_ASSIGN_OR_RETURN(e.descriptor, AttrMap::Deserialize(reader));
       object.elements.push_back(std::move(e));
     }

@@ -57,7 +57,7 @@ Status ElementStream::EnsurePrefetcher() {
 Status ElementStream::AdvanceTo(uint64_t chunk) {
   while (next_pull_ <= chunk) {
     const uint64_t index = next_pull_++;
-    Result<Bytes> bytes = prefetcher_->Next();
+    Result<BufferSlice> bytes = prefetcher_->Next();
     // A failed chunk is simply absent from the window: the element
     // needing it fails (or falls back to a direct read), later
     // elements keep streaming.
@@ -69,25 +69,35 @@ Status ElementStream::AdvanceTo(uint64_t chunk) {
   return Status::OK();
 }
 
-bool ElementStream::AssembleFromWindow(ByteRange range, Bytes* out) const {
+bool ElementStream::AssembleFromWindow(ByteRange range,
+                                       BufferSlice* out) const {
   const uint64_t chunk_size = prefetcher_->reader().chunk_size();
   const uint64_t first = range.offset / chunk_size;
   const uint64_t last = (range.end() - 1) / chunk_size;
-  out->clear();
-  out->reserve(range.length);
+  if (first == last) {
+    // Element within one chunk: alias the chunk's buffer, no copy.
+    auto it = window_.find(first);
+    if (it == window_.end()) return false;
+    *out = it->second.Slice(range.offset - first * chunk_size, range.length);
+    return out->size() == range.length;
+  }
+  Bytes assembled;
+  assembled.reserve(range.length);
   for (uint64_t c = first; c <= last; ++c) {
     auto it = window_.find(c);
     if (it == window_.end()) return false;
-    const Bytes& chunk = it->second;
+    const BufferSlice& chunk = it->second;
     const uint64_t chunk_start = c * chunk_size;
     const uint64_t from =
         range.offset > chunk_start ? range.offset - chunk_start : 0;
     const uint64_t to =
         std::min<uint64_t>(chunk.size(), range.end() - chunk_start);
     if (from > to) return false;  // Short chunk; treat as a miss.
-    out->insert(out->end(), chunk.begin() + from, chunk.begin() + to);
+    assembled.insert(assembled.end(), chunk.begin() + from, chunk.begin() + to);
   }
-  return out->size() == range.length;
+  if (assembled.size() != range.length) return false;
+  *out = BufferSlice(std::move(assembled));
+  return true;
 }
 
 void ElementStream::EvictBelow(uint64_t min_future_offset) {
@@ -109,7 +119,7 @@ Result<StreamElement> ElementStream::Next() {
   const ElementPlacement& placement = object_.elements[next_element_];
   const ByteRange range = placement.placement;
 
-  Result<Bytes> data = Bytes{};
+  Result<BufferSlice> data = BufferSlice{};
   if (!range.empty()) {
     Status pulled = EnsurePrefetcher();
     if (pulled.ok()) {
@@ -120,7 +130,7 @@ Result<StreamElement> ElementStream::Next() {
           (range.end() - 1) / prefetcher_->reader().chunk_size();
       pulled = AdvanceTo(last_chunk);
     }
-    Bytes assembled;
+    BufferSlice assembled;
     if (pulled.ok() && AssembleFromWindow(range, &assembled)) {
       data = std::move(assembled);
     } else {

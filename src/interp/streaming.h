@@ -104,10 +104,13 @@ class ElementStream {
   /// Pulls chunks from the prefetcher up to and including `chunk`.
   Status AdvanceTo(uint64_t chunk);
 
-  /// Copies `range` out of the chunk window into `out`; false if any
-  /// needed chunk has already been evicted (or lies behind a failed
-  /// pull), in which case the caller falls back to a direct read.
-  bool AssembleFromWindow(ByteRange range, Bytes* out) const;
+  /// Serves `range` out of the chunk window: a zero-copy sub-slice of
+  /// the covering chunk when the range fits in one chunk (the common
+  /// case — element ≤ chunk), an owned concatenation otherwise. False
+  /// if any needed chunk has already been evicted (or lies behind a
+  /// failed pull), in which case the caller falls back to a direct
+  /// read.
+  bool AssembleFromWindow(ByteRange range, BufferSlice* out) const;
 
   /// Drops window chunks no future element needs.
   void EvictBelow(uint64_t min_future_offset);
@@ -122,7 +125,7 @@ class ElementStream {
   /// (UINT64_MAX past the end) — the eviction horizon.
   std::vector<uint64_t> suffix_min_offset_;
 
-  std::map<uint64_t, Bytes> window_;  ///< chunk index -> payload.
+  std::map<uint64_t, BufferSlice> window_;  ///< chunk index -> payload.
   uint64_t next_pull_ = 0;            ///< Next chunk the prefetcher yields.
   size_t next_element_ = 0;
   ElementStreamStats stats_;

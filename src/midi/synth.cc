@@ -87,7 +87,8 @@ Result<AudioBuffer> Synthesize(const MidiSequence& sequence,
   AudioBuffer out;
   out.sample_rate = params.sample_rate;
   out.channels = params.channels;
-  out.samples.assign(static_cast<size_t>(total_frames) * params.channels, 0);
+  std::vector<int16_t> samples(
+      static_cast<size_t>(total_frames) * params.channels, 0);
 
   std::array<Instrument, 16> channel_instrument;
   channel_instrument.fill(params.default_instrument);
@@ -164,9 +165,10 @@ Result<AudioBuffer> Synthesize(const MidiSequence& sequence,
     double v = std::clamp(params.gain * mix[f], -1.0, 1.0);
     int16_t s = static_cast<int16_t>(std::lround(v * 32767.0));
     for (int32_t c = 0; c < params.channels; ++c) {
-      out.samples[f * params.channels + c] = s;
+      samples[f * params.channels + c] = s;
     }
   }
+  out.samples = std::move(samples);
   return out;
 }
 

@@ -21,7 +21,7 @@ Status TimedStream::Append(StreamElement element) {
   return Status::OK();
 }
 
-Status TimedStream::AppendContiguous(Bytes data, int64_t duration,
+Status TimedStream::AppendContiguous(BufferSlice data, int64_t duration,
                                      ElementDescriptor descriptor) {
   StreamElement e;
   e.data = std::move(data);
@@ -33,7 +33,7 @@ Status TimedStream::AppendContiguous(Bytes data, int64_t duration,
   return Append(std::move(e));
 }
 
-Status TimedStream::AppendEvent(Bytes data, int64_t start,
+Status TimedStream::AppendEvent(BufferSlice data, int64_t start,
                                 ElementDescriptor descriptor) {
   StreamElement e;
   e.data = std::move(data);

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "base/buffer.h"
 #include "base/bytes.h"
 #include "base/result.h"
 #include "media/descriptor.h"
@@ -18,7 +19,11 @@ namespace tbm {
 /// to element (heterogeneous streams); it is empty in homogeneous
 /// streams, whose elements are fully described by the media descriptor.
 struct StreamElement {
-  Bytes data;
+  /// Element payload as a zero-copy view of shared storage: assembling
+  /// a stream from a BLOB, slicing one out of a derivation or decoding
+  /// it all alias the same ref-counted bytes (mutate via
+  /// `data.MutableCopy()` only).
+  BufferSlice data;
   int64_t start = 0;
   int64_t duration = 0;
   ElementDescriptor descriptor;
@@ -53,11 +58,11 @@ class TimedStream {
   /// Appends an element immediately after the current last element
   /// (s = previous end, or 0 for the first element) — the common case
   /// for continuous media.
-  Status AppendContiguous(Bytes data, int64_t duration,
+  Status AppendContiguous(BufferSlice data, int64_t duration,
                           ElementDescriptor descriptor = {});
 
   /// Appends a duration-less event at `start` (event-based streams).
-  Status AppendEvent(Bytes data, int64_t start,
+  Status AppendEvent(BufferSlice data, int64_t start,
                      ElementDescriptor descriptor = {});
 
   size_t size() const { return elements_.size(); }

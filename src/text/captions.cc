@@ -41,7 +41,7 @@ Result<TimedStream> CaptionTrack::ToTimedStream() const {
   TimedStream stream(desc, time_system_);
   for (const Caption& caption : captions_) {
     StreamElement element;
-    element.data.assign(caption.text.begin(), caption.text.end());
+    element.data = Bytes(caption.text.begin(), caption.text.end());
     element.start = caption.start;
     element.duration = caption.duration;
     TBM_RETURN_IF_ERROR(stream.Append(std::move(element)));

@@ -250,7 +250,7 @@ TEST(PagedStoreTest, DefragmentRestoresContiguity) {
     ASSERT_TRUE(store.Append(*a, Pattern(120, 1)).ok());
     ASSERT_TRUE(store.Append(*b, Pattern(120, 2)).ok());
   }
-  Bytes before = *store.ReadAll(*a);
+  Bytes before = store.ReadAll(*a)->MutableCopy();
   ASSERT_GT(*store.Fragmentation(*a), 0.5);
   ASSERT_TRUE(store.Defragment(*a).ok());
   EXPECT_EQ(*store.Fragmentation(*a), 0.0);

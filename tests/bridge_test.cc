@@ -79,7 +79,7 @@ TEST(BridgeTest, CorruptTjpegElementSurfacesError) {
   for (size_t i = 0; i < stream->size(); ++i) {
     StreamElement element = stream->at(i);
     if (i == 1) {
-      for (size_t b = 0; b < element.data.size(); ++b) element.data[b] = 0x55;
+      element.data = Bytes(element.data.size(), 0x55);
     }
     ASSERT_TRUE(broken.Append(std::move(element)).ok());
   }

@@ -35,7 +35,7 @@ TEST(ImageTest, ExpectedBytesPerModel) {
 TEST(ImageTest, ValidateCatchesBadSizes) {
   Image img = Image::Zero(8, 8, ColorModel::kRgb24);
   EXPECT_TRUE(img.Validate().ok());
-  img.data.pop_back();
+  img.data = img.data.Slice(0, img.data.size() - 1);
   EXPECT_TRUE(img.Validate().IsInvalidArgument());
   Image degenerate;
   EXPECT_TRUE(degenerate.Validate().IsInvalidArgument());
@@ -45,7 +45,9 @@ TEST(ImageTest, PsnrBehaviour) {
   Image a = videogen::Still(32, 32, 1);
   EXPECT_EQ(*Psnr(a, a), 99.0);  // Identical.
   Image b = a;
-  b.data[0] = static_cast<uint8_t>(b.data[0] ^ 0x80);
+  Bytes tweaked = b.data.MutableCopy();
+  tweaked[0] = static_cast<uint8_t>(tweaked[0] ^ 0x80);
+  b.data = std::move(tweaked);
   double psnr = *Psnr(a, b);
   EXPECT_LT(psnr, 99.0);
   EXPECT_GT(psnr, 30.0);  // One flipped byte barely moves PSNR.
@@ -81,7 +83,7 @@ TEST(ColorTest, SubsamplingDegradesGracefully) {
 
 TEST(ColorTest, GrayPixelsSurviveYuv) {
   Image rgb = Image::Zero(16, 16, ColorModel::kRgb24);
-  for (size_t i = 0; i < rgb.data.size(); ++i) rgb.data[i] = 128;
+  rgb.data = Bytes(rgb.data.size(), 128);
   auto yuv = RgbToYuv(rgb, ColorModel::kYuv420);
   ASSERT_TRUE(yuv.ok());
   auto back = YuvToRgb(*yuv);
@@ -174,9 +176,9 @@ TEST(PcmTest, GeneratorsProduceExpectedShapes) {
 TEST(PcmTest, ValidateCatchesErrors) {
   AudioBuffer bad;
   bad.channels = 2;
-  bad.samples = {1, 2, 3};  // Not divisible by channels.
+  bad.samples = std::vector<int16_t>{1, 2, 3};  // Not divisible by channels.
   EXPECT_TRUE(bad.Validate().IsInvalidArgument());
-  bad.samples = {1, 2};
+  bad.samples = std::vector<int16_t>{1, 2};
   bad.sample_rate = 0;
   EXPECT_TRUE(bad.Validate().IsInvalidArgument());
 }
@@ -249,7 +251,7 @@ TEST(AdpcmTest, CorruptBlockRejected) {
   bad.step_index[0] = 200;  // Out of table range.
   EXPECT_TRUE(AdpcmDecodeBlock(bad, 8000, 1).status().IsCorruption());
   bad = (*blocks)[0];
-  bad.data.pop_back();
+  bad.data = bad.data.Slice(0, bad.data.size() - 1);
   EXPECT_TRUE(AdpcmDecodeBlock(bad, 8000, 1).status().IsCorruption());
 }
 
@@ -596,29 +598,33 @@ std::vector<Image> PanningClip(int64_t frames) {
   Image wide = videogen::Still(160, 64, 66);
   // Texture the scene: without high-frequency content, a plain delta of
   // a smooth gradient is nearly as cheap as a motion-compensated one.
+  Bytes textured = wide.data.MutableCopy();
   for (int32_t y = 0; y < wide.height; ++y) {
     for (int32_t x = 0; x < wide.width; ++x) {
       uint32_t h = static_cast<uint32_t>(x * 374761393 + y * 668265263);
       h = (h ^ (h >> 13)) * 1274126177;
       int noise = static_cast<int>(h % 97) - 48;
       for (int c = 0; c < 3; ++c) {
-        int v = wide.data[3 * (y * wide.width + x) + c] + noise;
-        wide.data[3 * (y * wide.width + x) + c] =
+        int v = textured[3 * (y * wide.width + x) + c] + noise;
+        textured[3 * (y * wide.width + x) + c] =
             static_cast<uint8_t>(std::clamp(v, 0, 255));
       }
     }
   }
+  wide.data = std::move(textured);
   std::vector<Image> out;
   for (int64_t f = 0; f < frames; ++f) {
     Image frame = Image::Zero(96, 64, ColorModel::kRgb24);
+    Bytes pixels(frame.data.size(), 0);
     for (int32_t y = 0; y < 64; ++y) {
       for (int32_t x = 0; x < 96; ++x) {
         int32_t sx = std::min<int32_t>(x + 2 * static_cast<int32_t>(f), 159);
         for (int c = 0; c < 3; ++c) {
-          frame.data[3 * (y * 96 + x) + c] = wide.data[3 * (y * 160 + sx) + c];
+          pixels[3 * (y * 96 + x) + c] = wide.data[3 * (y * 160 + sx) + c];
         }
       }
     }
+    frame.data = std::move(pixels);
     out.push_back(std::move(frame));
   }
   return out;

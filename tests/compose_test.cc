@@ -185,9 +185,13 @@ TEST(MultimediaTest, SpatialCompositionLayers) {
   DerivationGraph graph;
   // Two stills placed at different positions and layers.
   Image red = Image::Zero(20, 20, ColorModel::kRgb24);
-  for (size_t i = 0; i < red.data.size(); i += 3) red.data[i] = 255;
+  Bytes red_px(red.data.size(), 0);
+  for (size_t i = 0; i < red_px.size(); i += 3) red_px[i] = 255;
+  red.data = std::move(red_px);
   Image blue = Image::Zero(20, 20, ColorModel::kRgb24);
-  for (size_t i = 2; i < blue.data.size(); i += 3) blue.data[i] = 255;
+  Bytes blue_px(blue.data.size(), 0);
+  for (size_t i = 2; i < blue_px.size(); i += 3) blue_px[i] = 255;
+  blue.data = std::move(blue_px);
   NodeId red_node = graph.AddLeaf(red, "red");
   NodeId blue_node = graph.AddLeaf(blue, "blue");
   MultimediaObject mm("m", &graph);

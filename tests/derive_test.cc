@@ -328,19 +328,21 @@ TEST(VideoOpsTest, ChromaKeyReplacesKeyColor) {
   fg.frame_rate = Rational(25);
   for (int f = 0; f < 3; ++f) {
     Image frame = Image::Zero(32, 32, ColorModel::kRgb24);
-    for (size_t i = 0; i < frame.data.size(); i += 3) {
-      frame.data[i] = 0;
-      frame.data[i + 1] = 255;
-      frame.data[i + 2] = 0;
+    Bytes pixels(frame.data.size(), 0);
+    for (size_t i = 0; i < pixels.size(); i += 3) {
+      pixels[i] = 0;
+      pixels[i + 1] = 255;
+      pixels[i + 2] = 0;
     }
     for (int y = 10; y < 20; ++y) {
       for (int x = 10; x < 20; ++x) {
         size_t p = 3 * (static_cast<size_t>(y) * 32 + x);
-        frame.data[p] = 200;
-        frame.data[p + 1] = 0;
-        frame.data[p + 2] = 0;
+        pixels[p] = 200;
+        pixels[p + 1] = 0;
+        pixels[p + 2] = 0;
       }
     }
+    frame.data = std::move(pixels);
     fg.frames.push_back(std::move(frame));
   }
   MediaValue fg_value = fg;

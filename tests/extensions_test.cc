@@ -237,7 +237,9 @@ TEST(ActivityTest, TransformAppliesPerElement) {
   auto pipeline = std::make_unique<TransformActivity>(
       std::make_unique<StreamSource>(&stream),
       [](StreamElement element) -> Result<StreamElement> {
-        for (uint8_t& byte : element.data) byte *= 2;
+        Bytes doubled = element.data.MutableCopy();
+        for (uint8_t& byte : doubled) byte *= 2;
+        element.data = std::move(doubled);
         return element;
       });
   auto out = RunToStream(pipeline.get());
@@ -248,7 +250,9 @@ TEST(ActivityTest, TransformAppliesPerElement) {
 TEST(ActivityTest, ParallelTransformMatchesSerial) {
   TimedStream stream = BlockStream(10, 5, 3);
   auto transform = [](StreamElement element) -> Result<StreamElement> {
-    for (uint8_t& byte : element.data) byte *= 2;
+    Bytes doubled = element.data.MutableCopy();
+    for (uint8_t& byte : doubled) byte *= 2;
+    element.data = std::move(doubled);
     return element;
   };
   auto serial = std::make_unique<TransformActivity>(

@@ -24,11 +24,12 @@ AudioBuffer Tone(int64_t frames, int16_t amplitude = 8000) {
   AudioBuffer audio;
   audio.sample_rate = 8000;
   audio.channels = 1;
-  audio.samples.resize(frames);
+  std::vector<int16_t> samples(frames);
   for (int64_t i = 0; i < frames; ++i) {
-    audio.samples[i] = static_cast<int16_t>(
+    samples[i] = static_cast<int16_t>(
         amplitude * std::sin(2.0 * 3.14159265358979 * 440.0 * i / 8000.0));
   }
+  audio.samples = std::move(samples);
   return audio;
 }
 
