@@ -1,8 +1,33 @@
 #include "base/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 
 namespace tbm {
+
+namespace {
+
+std::atomic<void (*)(int64_t)> g_on_queue_depth{nullptr};
+std::atomic<void (*)(uint64_t, uint64_t)> g_on_task_done{nullptr};
+
+int64_t MonotonicNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void ReportDepth(size_t depth) {
+  if (auto* hook = g_on_queue_depth.load(std::memory_order_relaxed)) {
+    hook(static_cast<int64_t>(depth));
+  }
+}
+
+}  // namespace
+
+void ThreadPool::InstallHooks(const ThreadPoolHooks& hooks) {
+  g_on_queue_depth.store(hooks.on_queue_depth, std::memory_order_relaxed);
+  g_on_task_done.store(hooks.on_task_done, std::memory_order_relaxed);
+}
 
 ThreadPool::ThreadPool(int threads) {
   threads = std::max(threads, 1);
@@ -22,11 +47,19 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  size_t depth;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(QueuedTask{std::move(task), MonotonicNs()});
+    depth = queue_.size();
   }
+  ReportDepth(depth);
   cv_.notify_one();
+}
+
+int ThreadPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(queue_.size());
 }
 
 int ThreadPool::DefaultThreads() {
@@ -36,15 +69,28 @@ int ThreadPool::DefaultThreads() {
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
+    size_t depth;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
       if (queue_.empty()) return;  // shutdown_ with a drained queue.
       task = std::move(queue_.front());
       queue_.pop_front();
+      depth = queue_.size();
     }
-    task();
+    ReportDepth(depth);
+    auto* done = g_on_task_done.load(std::memory_order_relaxed);
+    if (done == nullptr) {
+      task.fn();
+      continue;
+    }
+    const int64_t start_ns = MonotonicNs();
+    task.fn();
+    const int64_t end_ns = MonotonicNs();
+    done(static_cast<uint64_t>(
+             std::max<int64_t>(0, start_ns - task.enqueue_ns) / 1000),
+         static_cast<uint64_t>(std::max<int64_t>(0, end_ns - start_ns) / 1000));
   }
 }
 

@@ -141,6 +141,11 @@ Status PagedBlobStore::WritePagePayload(uint64_t page, ByteSpan payload) {
 Result<BufferSlice> PagedBlobStore::ReadPagePayload(uint64_t page) const {
   BufferSlice cached;
   if (CacheLookup(page, &cached)) return cached;
+  // Sample the generation before touching the device: if the page is
+  // invalidated while the refill is in flight (a window that device
+  // faults and policy retries can stretch arbitrarily), the fill below
+  // is refused rather than poisoning the cache with obsolete bytes.
+  const uint64_t gen = CacheGeneration();
   blob_internal::StoreMetrics::Get().pages_read->Add();
   Bytes buf(device_->page_size());
   TBM_RETURN_IF_ERROR(device_->ReadPage(page, buf.data()));
@@ -160,7 +165,7 @@ Result<BufferSlice> PagedBlobStore::ReadPagePayload(uint64_t page) const {
   // cache and every reader then share one buffer per page.
   BufferSlice payload =
       BufferSlice(std::move(buf)).Slice(kPageHeaderSize, len);
-  CacheInsert(page, payload);
+  CacheInsert(page, payload, gen);
   return payload;
 }
 
@@ -178,10 +183,21 @@ bool PagedBlobStore::CacheLookup(uint64_t page, BufferSlice* payload) const {
   return true;
 }
 
-void PagedBlobStore::CacheInsert(uint64_t page,
-                                 const BufferSlice& payload) const {
+uint64_t PagedBlobStore::CacheGeneration() const {
+  std::lock_guard<std::mutex> lock(cache_.mu);
+  return cache_.generation;
+}
+
+void PagedBlobStore::CacheInsert(uint64_t page, const BufferSlice& payload,
+                                 uint64_t gen_at_read) const {
   std::lock_guard<std::mutex> lock(cache_.mu);
   if (cache_.capacity == 0) return;
+  // An invalidation landed between the generation sample and this
+  // fill: the payload may predate a write or delete of the page, so
+  // keeping it resident would serve stale bytes forever. Drop the fill
+  // (conservatively — the generation is cache-wide, so an unrelated
+  // invalidation also skips it; the next read simply refills).
+  if (cache_.generation != gen_at_read) return;
   auto it = cache_.entries.find(page);
   if (it != cache_.entries.end()) {
     // A racing reader beat us to the fill; refresh recency only.
@@ -199,6 +215,10 @@ void PagedBlobStore::CacheInsert(uint64_t page,
 
 void PagedBlobStore::CacheInvalidate(uint64_t page) const {
   std::lock_guard<std::mutex> lock(cache_.mu);
+  // Always advance the generation, entry resident or not: a refill of
+  // this page may be in flight (not yet inserted), and it must observe
+  // that the page changed underneath it.
+  ++cache_.generation;
   auto it = cache_.entries.find(page);
   if (it == cache_.entries.end()) return;
   cache_.lru.erase(it->second.first);
@@ -287,8 +307,14 @@ Status PagedBlobStore::Append(BlobId id, ByteSpan data) {
   while (pos < data.size()) {
     size_t take = std::min<size_t>(payload_size_, data.size() - pos);
     TBM_ASSIGN_OR_RETURN(uint64_t page, AcquirePage());
-    TBM_RETURN_IF_ERROR(
-        WritePagePayload(page, data.subspan(pos, take)));
+    if (Status write = WritePagePayload(page, data.subspan(pos, take));
+        !write.ok()) {
+      // Return the acquired page so a faulted append (e.g. a transient
+      // device fault) doesn't leak it; the BLOB keeps the prefix that
+      // already landed.
+      free_pages_.push_back(page);
+      return write;
+    }
     meta.pages.push_back(page);
     meta.size += take;
     pos += take;
@@ -343,6 +369,10 @@ Result<uint64_t> PagedBlobStore::Size(BlobId id) const {
 Status PagedBlobStore::Delete(BlobId id) {
   auto it = blobs_.find(id);
   if (it == blobs_.end()) return NoSuchBlob(id);
+  // Purge the dead BLOB's payloads before its pages are reusable:
+  // leaving them resident would misreport occupancy and hand stale
+  // bytes to anything that races the page's next writer.
+  for (uint64_t page : it->second.pages) CacheInvalidate(page);
   free_pages_.insert(free_pages_.end(), it->second.pages.begin(),
                      it->second.pages.end());
   blobs_.erase(it);
@@ -382,6 +412,7 @@ Status PagedBlobStore::Defragment(BlobId id) {
     TBM_RETURN_IF_ERROR(WritePagePayload(fresh, payload.span()));
     new_pages.push_back(fresh);
   }
+  for (uint64_t old_page : meta.pages) CacheInvalidate(old_page);
   free_pages_.insert(free_pages_.end(), meta.pages.begin(), meta.pages.end());
   meta.pages = std::move(new_pages);
   return Status::OK();

@@ -167,8 +167,15 @@ class PagedBlobStore : public BlobStore {
   Result<uint64_t> AcquirePage();
 
   /// Cache lookups/fills; no-ops when the cache is disabled.
+  /// `gen_at_read` is the cache generation sampled (CacheGeneration)
+  /// before the device read that produced `payload`: CacheInsert
+  /// refuses the fill if any invalidation happened in between, so a
+  /// slow refill — stretched by device faults and retries — can never
+  /// resurrect bytes that a concurrent write or delete obsoleted.
   bool CacheLookup(uint64_t page, BufferSlice* payload) const;
-  void CacheInsert(uint64_t page, const BufferSlice& payload) const;
+  uint64_t CacheGeneration() const;
+  void CacheInsert(uint64_t page, const BufferSlice& payload,
+                   uint64_t gen_at_read) const;
   void CacheInvalidate(uint64_t page) const;
 
   std::unique_ptr<PageDevice> device_;
@@ -189,6 +196,9 @@ class PagedBlobStore : public BlobStore {
     uint64_t hits = 0;
     uint64_t misses = 0;
     uint64_t evictions = 0;
+    /// Bumped by every invalidation; pairs with CacheGeneration /
+    /// CacheInsert to fence stale refills (see CacheInsert).
+    uint64_t generation = 0;
   };
   mutable PageCache cache_;
 };

@@ -4,6 +4,8 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "base/thread_pool.h"
+
 namespace tbm::obs {
 
 int HistogramBucketIndex(uint64_t value) {
@@ -221,6 +223,58 @@ void Registry::Reset() {
     histogram->Reset();
   }
 }
+
+// ---------------------------------------------------------------------------
+// ThreadPool instrumentation. base/ sits below obs/ in the layering,
+// so ThreadPool cannot record into the registry itself; it exposes
+// hook slots instead (see base/thread_pool.h) and obs installs
+// recorders here during static initialization. Every pool in the
+// process — derivation engine, prefetch I/O, the serve scheduler —
+// then reports queue depth and task latency for free.
+//
+// All pools share one gauge/histogram pair: the registry answers "is
+// the process's task execution backed up", not "which pool"; per-pool
+// attribution comes from spans.
+
+namespace {
+
+struct PoolMetrics {
+  Gauge* queue_depth;
+  Histogram* task_us;
+  Histogram* queue_wait_us;
+
+  static const PoolMetrics& Get() {
+    static const PoolMetrics metrics = [] {
+      auto& registry = Registry::Global();
+      return PoolMetrics{registry.gauge("pool.queue_depth"),
+                         registry.histogram("pool.task_us"),
+                         registry.histogram("pool.queue_wait_us")};
+    }();
+    return metrics;
+  }
+};
+
+void RecordPoolDepth(int64_t depth) { PoolMetrics::Get().queue_depth->Set(depth); }
+
+void RecordPoolTask(uint64_t queue_us, uint64_t run_us) {
+  const PoolMetrics& metrics = PoolMetrics::Get();
+  metrics.queue_wait_us->Record(queue_us);
+  metrics.task_us->Record(run_us);
+}
+
+/// Installs the hooks before main() (and before any pool can be
+/// constructed by application code). TBM_OBS_DISABLED builds never
+/// reach this file's enabled section, so disabled pools stay
+/// hook-free.
+[[maybe_unused]] const bool g_pool_hooks_installed = [] {
+  ThreadPoolHooks hooks;
+  hooks.on_queue_depth = &RecordPoolDepth;
+  hooks.on_task_done = &RecordPoolTask;
+  ThreadPool::InstallHooks(hooks);
+  return true;
+}();
+
+}  // namespace
 
 #endif  // !TBM_OBS_DISABLED
 

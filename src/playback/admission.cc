@@ -14,6 +14,7 @@ struct AdmissionMetrics {
   obs::Counter* admitted;
   obs::Counter* rejected;
   obs::Counter* released;
+  obs::Counter* degraded;
   obs::Gauge* booked_bytes_per_second;
 
   static const AdmissionMetrics& Get() {
@@ -23,6 +24,7 @@ struct AdmissionMetrics {
           registry.counter("admission.admitted"),
           registry.counter("admission.rejected"),
           registry.counter("admission.released"),
+          registry.counter("admission.degraded"),
           registry.gauge("admission.booked_bytes_per_second")};
     }();
     return metrics;
@@ -84,12 +86,17 @@ Result<RateProfile> RateProfileFromDescriptor(
 
 Status AdmissionController::Admit(const std::string& session,
                                   const MediaDescriptor& descriptor) {
+  TBM_ASSIGN_OR_RETURN(RateProfile profile,
+                       RateProfileFromDescriptor(descriptor));
+  return AdmitProfile(session, profile);
+}
+
+Status AdmissionController::AdmitProfile(const std::string& session,
+                                         const RateProfile& profile) {
   if (sessions_.count(session) > 0) {
     return Status::AlreadyExists("session \"" + session +
                                  "\" already admitted");
   }
-  TBM_ASSIGN_OR_RETURN(RateProfile profile,
-                       RateProfileFromDescriptor(descriptor));
   double booking = BookingFor(profile);
   if (booking <= 0.0) {
     return Status::InvalidArgument("descriptor has non-positive data rate");
@@ -104,6 +111,62 @@ Status AdmissionController::Admit(const std::string& session,
   booked_ += booking;
   sessions_.emplace(session, booking);
   AdmissionMetrics::Get().admitted->Add();
+  AdmissionMetrics::Get().booked_bytes_per_second->Set(
+      static_cast<int64_t>(booked_));
+  return Status::OK();
+}
+
+Result<AdmissionController::AdmitDecision> AdmissionController::AdmitDegrading(
+    const std::string& session, const RateProfile& profile, int max_stride) {
+  if (sessions_.count(session) > 0) {
+    return Status::AlreadyExists("session \"" + session +
+                                 "\" already admitted");
+  }
+  double booking = BookingFor(profile);
+  if (booking <= 0.0) {
+    return Status::InvalidArgument("descriptor has non-positive data rate");
+  }
+  if (max_stride < 1) max_stride = 1;
+  for (int stride = 1; stride <= max_stride; stride *= 2) {
+    double tier = booking / stride;
+    if (booked_ + tier > capacity_) continue;
+    booked_ += tier;
+    sessions_.emplace(session, tier);
+    AdmissionMetrics::Get().admitted->Add();
+    if (stride > 1) AdmissionMetrics::Get().degraded->Add();
+    AdmissionMetrics::Get().booked_bytes_per_second->Set(
+        static_cast<int64_t>(booked_));
+    AdmitDecision decision;
+    decision.stride = stride;
+    decision.booked_bytes_per_second = tier;
+    return decision;
+  }
+  AdmissionMetrics::Get().rejected->Add();
+  return Status::ResourceExhausted(
+      "admitting \"" + session + "\" needs " + HumanRate(booking) +
+      " (" + HumanRate(booking / max_stride) + " at max stride " +
+      std::to_string(max_stride) + ") but only " + HumanRate(available()) +
+      " of " + HumanRate(capacity_) + " remain");
+}
+
+Status AdmissionController::Rebook(const std::string& session,
+                                   double new_bytes_per_second) {
+  auto it = sessions_.find(session);
+  if (it == sessions_.end()) {
+    return Status::NotFound("no session \"" + session + "\"");
+  }
+  if (new_bytes_per_second <= 0.0) {
+    return Status::InvalidArgument("non-positive booking");
+  }
+  double delta = new_bytes_per_second - it->second;
+  if (delta > 0.0 && booked_ + delta > capacity_) {
+    return Status::ResourceExhausted(
+        "rebooking \"" + session + "\" to " + HumanRate(new_bytes_per_second) +
+        " needs " + HumanRate(delta) + " more but only " +
+        HumanRate(available()) + " remain");
+  }
+  booked_ += delta;
+  it->second = new_bytes_per_second;
   AdmissionMetrics::Get().booked_bytes_per_second->Set(
       static_cast<int64_t>(booked_));
   return Status::OK();

@@ -63,10 +63,41 @@ class AdmissionController {
   double booked() const { return booked_; }
   double available() const { return capacity_ - booked_; }
 
+  /// Outcome of a degrading admission attempt. `stride` is the frame
+  /// stride the session was admitted at: 1 means full fidelity, 2^k
+  /// means serve every 2^k-th element, booking 1/2^k of the rate — the
+  /// graceful-degradation lever a scalable-stream server pulls under
+  /// pressure instead of denying service outright.
+  struct AdmitDecision {
+    int stride = 1;
+    double booked_bytes_per_second = 0.0;
+    bool degraded() const { return stride > 1; }
+  };
+
   /// Attempts to admit a session playing a stream with the given
   /// descriptor. ResourceExhausted when the booking would exceed
   /// capacity; NotFound if the descriptor lacks rate annotations.
   Status Admit(const std::string& session, const MediaDescriptor& descriptor);
+
+  /// Admits straight from a rate profile — the metadata-only path for
+  /// callers that computed the profile from placements
+  /// (MeasureRateProfileFromPlacements) rather than descriptor
+  /// annotations.
+  Status AdmitProfile(const std::string& session, const RateProfile& profile);
+
+  /// Degrade-before-deny admission: tries full fidelity first, then
+  /// doubles the stride (halving the booked rate) up to `max_stride`,
+  /// and denies (ResourceExhausted) only when even the thinnest tier
+  /// does not fit. `max_stride` is clamped to a power of two >= 1.
+  Result<AdmitDecision> AdmitDegrading(const std::string& session,
+                                       const RateProfile& profile,
+                                       int max_stride);
+
+  /// Re-prices an admitted session's booking (e.g. a mid-session
+  /// degrade after the server detects pressure). Decreases always
+  /// succeed; an increase that would exceed capacity fails
+  /// ResourceExhausted and leaves the old booking intact.
+  Status Rebook(const std::string& session, double new_bytes_per_second);
 
   /// Releases a session's booking.
   Status Release(const std::string& session);

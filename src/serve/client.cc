@@ -1,0 +1,68 @@
+#include "serve/client.h"
+
+#include <utility>
+
+#include "base/macros.h"
+
+namespace tbm::serve {
+
+Result<Response> MediaClient::RoundTrip(const Request& request) {
+  TBM_RETURN_IF_ERROR(WriteFrame(*transport_, EncodeRequest(request)));
+  TBM_ASSIGN_OR_RETURN(Bytes frame, ReadFrame(*transport_, kMaxFrameBytes));
+  TBM_ASSIGN_OR_RETURN(Response response, DecodeResponse(frame));
+  if (!response.status.ok()) return response.status;
+  if (response.type != request.type) {
+    return Status::Corruption(
+        "response type " +
+        std::string(RequestTypeToString(response.type)) +
+        " does not match request " +
+        std::string(RequestTypeToString(request.type)));
+  }
+  return response;
+}
+
+Result<OpenInfo> MediaClient::Open(const std::string& object_name) {
+  Request request;
+  request.type = RequestType::kOpen;
+  request.object_name = object_name;
+  TBM_ASSIGN_OR_RETURN(Response response, RoundTrip(request));
+  session_id_ = response.open.session_id;
+  return response.open;
+}
+
+Result<ReadBatch> MediaClient::Read(uint64_t max_elements) {
+  Request request;
+  request.type = RequestType::kRead;
+  request.session_id = session_id_;
+  request.max_elements = max_elements;
+  TBM_ASSIGN_OR_RETURN(Response response, RoundTrip(request));
+  return std::move(response.read);
+}
+
+Result<uint64_t> MediaClient::Seek(uint64_t element) {
+  Request request;
+  request.type = RequestType::kSeek;
+  request.session_id = session_id_;
+  request.target_element = element;
+  TBM_ASSIGN_OR_RETURN(Response response, RoundTrip(request));
+  return response.seek_position;
+}
+
+Result<SessionStatsWire> MediaClient::Stats() {
+  Request request;
+  request.type = RequestType::kStats;
+  request.session_id = session_id_;
+  TBM_ASSIGN_OR_RETURN(Response response, RoundTrip(request));
+  return response.stats;
+}
+
+Status MediaClient::Close() {
+  Request request;
+  request.type = RequestType::kClose;
+  request.session_id = session_id_;
+  auto response = RoundTrip(request);
+  if (!response.ok()) return response.status();
+  return Status::OK();
+}
+
+}  // namespace tbm::serve

@@ -1,0 +1,54 @@
+#ifndef TBM_SERVE_CLIENT_H_
+#define TBM_SERVE_CLIENT_H_
+
+#include <memory>
+#include <string>
+
+#include "serve/protocol.h"
+#include "serve/transport.h"
+
+namespace tbm::serve {
+
+/// Client half of the serve protocol: encodes requests, frames them
+/// over a Transport, and decodes the matching responses. Synchronous
+/// and single-threaded by design — a media session is an ordered
+/// pipeline, and one outstanding request per connection keeps it so.
+class MediaClient {
+ public:
+  explicit MediaClient(std::unique_ptr<Transport> transport)
+      : transport_(std::move(transport)) {}
+
+  /// Opens a session on the named catalog media object. The server's
+  /// admission decision comes back in `OpenInfo::stride` (> 1 means
+  /// the session was admitted degraded).
+  Result<OpenInfo> Open(const std::string& object_name);
+
+  /// Fetches the next batch (at most `max_elements`; the server may
+  /// send fewer). `end_of_stream` marks the final batch.
+  Result<ReadBatch> Read(uint64_t max_elements);
+
+  /// Repositions to `element`; returns the server-confirmed position.
+  Result<uint64_t> Seek(uint64_t element);
+
+  /// Session counters and state as the server sees them.
+  Result<SessionStatsWire> Stats();
+
+  /// Ends the session. The transport stays usable for nothing — the
+  /// server hangs up after acknowledging.
+  Status Close();
+
+  uint64_t session_id() const { return session_id_; }
+  Transport* transport() { return transport_.get(); }
+
+ private:
+  /// Sends `request` and receives its response, checking the echoed
+  /// type and wire status.
+  Result<Response> RoundTrip(const Request& request);
+
+  std::unique_ptr<Transport> transport_;
+  uint64_t session_id_ = 0;
+};
+
+}  // namespace tbm::serve
+
+#endif  // TBM_SERVE_CLIENT_H_

@@ -1,0 +1,230 @@
+#include "serve/protocol.h"
+
+#include <utility>
+
+#include "base/macros.h"
+
+namespace tbm::serve {
+
+namespace {
+
+constexpr uint8_t kMaxRequestType = static_cast<uint8_t>(RequestType::kClose);
+constexpr uint8_t kMaxStatusCode = static_cast<uint8_t>(StatusCode::kInternal);
+constexpr uint8_t kMaxSessionState =
+    static_cast<uint8_t>(SessionState::kEvicted);
+
+Status TrailingBytes(size_t n) {
+  return Status::Corruption("frame has " + std::to_string(n) +
+                            " trailing bytes");
+}
+
+}  // namespace
+
+std::string_view RequestTypeToString(RequestType type) {
+  switch (type) {
+    case RequestType::kOpen:
+      return "OPEN";
+    case RequestType::kRead:
+      return "READ";
+    case RequestType::kSeek:
+      return "SEEK";
+    case RequestType::kStats:
+      return "STATS";
+    case RequestType::kClose:
+      return "CLOSE";
+  }
+  return "?";
+}
+
+std::string_view SessionStateToString(SessionState state) {
+  switch (state) {
+    case SessionState::kOpen:
+      return "OPEN";
+    case SessionState::kAdmitted:
+      return "ADMITTED";
+    case SessionState::kStreaming:
+      return "STREAMING";
+    case SessionState::kDone:
+      return "DONE";
+    case SessionState::kDegraded:
+      return "DEGRADED";
+    case SessionState::kEvicted:
+      return "EVICTED";
+  }
+  return "?";
+}
+
+Bytes EncodeRequest(const Request& request) {
+  BinaryWriter writer;
+  writer.WriteU8(static_cast<uint8_t>(request.type));
+  writer.WriteVarU64(request.session_id);
+  switch (request.type) {
+    case RequestType::kOpen:
+      writer.WriteString(request.object_name);
+      break;
+    case RequestType::kRead:
+      writer.WriteVarU64(request.max_elements);
+      break;
+    case RequestType::kSeek:
+      writer.WriteVarU64(request.target_element);
+      break;
+    case RequestType::kStats:
+    case RequestType::kClose:
+      break;
+  }
+  return writer.TakeBuffer();
+}
+
+Result<Request> DecodeRequest(ByteSpan payload) {
+  BinaryReader reader(payload);
+  Request request;
+  TBM_ASSIGN_OR_RETURN(uint8_t type, reader.ReadU8());
+  if (type == 0 || type > kMaxRequestType) {
+    return Status::InvalidArgument("unknown request type " +
+                                   std::to_string(type));
+  }
+  request.type = static_cast<RequestType>(type);
+  TBM_ASSIGN_OR_RETURN(request.session_id, reader.ReadVarU64());
+  switch (request.type) {
+    case RequestType::kOpen: {
+      TBM_ASSIGN_OR_RETURN(request.object_name, reader.ReadString());
+      break;
+    }
+    case RequestType::kRead: {
+      TBM_ASSIGN_OR_RETURN(request.max_elements, reader.ReadVarU64());
+      break;
+    }
+    case RequestType::kSeek: {
+      TBM_ASSIGN_OR_RETURN(request.target_element, reader.ReadVarU64());
+      break;
+    }
+    case RequestType::kStats:
+    case RequestType::kClose:
+      break;
+  }
+  if (!reader.AtEnd()) return TrailingBytes(reader.remaining());
+  return request;
+}
+
+Bytes EncodeResponse(const Response& response) {
+  BinaryWriter writer;
+  writer.WriteU8(static_cast<uint8_t>(response.type));
+  writer.WriteU8(static_cast<uint8_t>(response.status.code()));
+  writer.WriteString(response.status.ok() ? std::string_view()
+                                          : response.status.message());
+  if (!response.status.ok()) return writer.TakeBuffer();
+  switch (response.type) {
+    case RequestType::kOpen:
+      writer.WriteVarU64(response.open.session_id);
+      writer.WriteVarU64(response.open.element_count);
+      writer.WriteVarU64(response.open.payload_bytes);
+      writer.WriteU32(response.open.stride);
+      writer.WriteF64(response.open.booked_bytes_per_second);
+      break;
+    case RequestType::kRead:
+      writer.WriteU8(response.read.end_of_stream ? 1 : 0);
+      writer.WriteU32(response.read.stride);
+      writer.WriteVarU64(response.read.elements.size());
+      for (const WireElement& element : response.read.elements) {
+        writer.WriteVarU64(element.element_number);
+        writer.WriteVarI64(element.start);
+        writer.WriteVarI64(element.duration);
+        writer.WriteBytes(element.payload);
+      }
+      break;
+    case RequestType::kSeek:
+      writer.WriteVarU64(response.seek_position);
+      break;
+    case RequestType::kStats:
+      writer.WriteU8(static_cast<uint8_t>(response.stats.state));
+      writer.WriteVarU64(response.stats.elements_delivered);
+      writer.WriteVarU64(response.stats.elements_skipped);
+      writer.WriteVarU64(response.stats.bytes_sent);
+      writer.WriteU32(response.stats.stride);
+      break;
+    case RequestType::kClose:
+      break;
+  }
+  return writer.TakeBuffer();
+}
+
+Result<Response> DecodeResponse(ByteSpan payload) {
+  BinaryReader reader(payload);
+  Response response;
+  TBM_ASSIGN_OR_RETURN(uint8_t type, reader.ReadU8());
+  if (type == 0 || type > kMaxRequestType) {
+    return Status::InvalidArgument("unknown response type " +
+                                   std::to_string(type));
+  }
+  response.type = static_cast<RequestType>(type);
+  TBM_ASSIGN_OR_RETURN(uint8_t code, reader.ReadU8());
+  if (code > kMaxStatusCode) {
+    return Status::InvalidArgument("unknown status code " +
+                                   std::to_string(code));
+  }
+  TBM_ASSIGN_OR_RETURN(std::string message, reader.ReadString());
+  if (code != 0) {
+    response.status = Status(static_cast<StatusCode>(code), std::move(message));
+    if (!reader.AtEnd()) return TrailingBytes(reader.remaining());
+    return response;
+  }
+  switch (response.type) {
+    case RequestType::kOpen: {
+      TBM_ASSIGN_OR_RETURN(response.open.session_id, reader.ReadVarU64());
+      TBM_ASSIGN_OR_RETURN(response.open.element_count, reader.ReadVarU64());
+      TBM_ASSIGN_OR_RETURN(response.open.payload_bytes, reader.ReadVarU64());
+      TBM_ASSIGN_OR_RETURN(response.open.stride, reader.ReadU32());
+      TBM_ASSIGN_OR_RETURN(response.open.booked_bytes_per_second,
+                           reader.ReadF64());
+      break;
+    }
+    case RequestType::kRead: {
+      TBM_ASSIGN_OR_RETURN(uint8_t end, reader.ReadU8());
+      response.read.end_of_stream = end != 0;
+      TBM_ASSIGN_OR_RETURN(response.read.stride, reader.ReadU32());
+      TBM_ASSIGN_OR_RETURN(uint64_t count, reader.ReadVarU64());
+      if (count > reader.remaining()) {
+        // Every element costs at least one byte on the wire, so a count
+        // beyond the remaining payload is corrupt — reject before
+        // reserving memory for it.
+        return Status::Corruption("element count " + std::to_string(count) +
+                                  " exceeds frame size");
+      }
+      response.read.elements.reserve(count);
+      for (uint64_t i = 0; i < count; ++i) {
+        WireElement element;
+        TBM_ASSIGN_OR_RETURN(element.element_number, reader.ReadVarU64());
+        TBM_ASSIGN_OR_RETURN(element.start, reader.ReadVarI64());
+        TBM_ASSIGN_OR_RETURN(element.duration, reader.ReadVarI64());
+        TBM_ASSIGN_OR_RETURN(element.payload, reader.ReadBytes());
+        response.read.elements.push_back(std::move(element));
+      }
+      break;
+    }
+    case RequestType::kSeek: {
+      TBM_ASSIGN_OR_RETURN(response.seek_position, reader.ReadVarU64());
+      break;
+    }
+    case RequestType::kStats: {
+      TBM_ASSIGN_OR_RETURN(uint8_t state, reader.ReadU8());
+      if (state > kMaxSessionState) {
+        return Status::InvalidArgument("unknown session state " +
+                                       std::to_string(state));
+      }
+      response.stats.state = static_cast<SessionState>(state);
+      TBM_ASSIGN_OR_RETURN(response.stats.elements_delivered,
+                           reader.ReadVarU64());
+      TBM_ASSIGN_OR_RETURN(response.stats.elements_skipped,
+                           reader.ReadVarU64());
+      TBM_ASSIGN_OR_RETURN(response.stats.bytes_sent, reader.ReadVarU64());
+      TBM_ASSIGN_OR_RETURN(response.stats.stride, reader.ReadU32());
+      break;
+    }
+    case RequestType::kClose:
+      break;
+  }
+  if (!reader.AtEnd()) return TrailingBytes(reader.remaining());
+  return response;
+}
+
+}  // namespace tbm::serve

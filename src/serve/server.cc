@@ -1,0 +1,492 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <utility>
+
+#include "base/macros.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "playback/streaming.h"
+
+namespace tbm::serve {
+
+namespace {
+
+/// Process-wide serve metrics.
+struct ServeMetrics {
+  obs::Gauge* sessions;
+  obs::Counter* admitted;
+  obs::Counter* denied;
+  obs::Counter* degraded;
+  obs::Counter* evicted;
+  obs::Histogram* request_us;
+
+  static const ServeMetrics& Get() {
+    static const ServeMetrics metrics = [] {
+      auto& registry = obs::Registry::Global();
+      return ServeMetrics{registry.gauge("serve.sessions"),
+                          registry.counter("serve.admitted"),
+                          registry.counter("serve.denied"),
+                          registry.counter("serve.degraded"),
+                          registry.counter("serve.evicted"),
+                          registry.histogram("serve.request_us")};
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ByteBudget
+
+ByteBudget::ByteBudget(double rate, uint64_t burst)
+    : rate_(rate),
+      burst_(static_cast<double>(burst)),
+      tokens_(static_cast<double>(burst)),
+      last_(std::chrono::steady_clock::now()) {}
+
+void ByteBudget::Refill() {
+  auto now = std::chrono::steady_clock::now();
+  double elapsed = std::chrono::duration<double>(now - last_).count();
+  last_ = now;
+  tokens_ = std::min(burst_, tokens_ + elapsed * rate_);
+}
+
+bool ByteBudget::TryAcquire(uint64_t bytes) {
+  if (rate_ <= 0) return true;
+  std::lock_guard<std::mutex> lock(mu_);
+  Refill();
+  double cost = static_cast<double>(bytes);
+  if (tokens_ < cost) return false;
+  tokens_ -= cost;
+  return true;
+}
+
+bool ByteBudget::AcquireWithin(uint64_t bytes,
+                               std::chrono::milliseconds timeout) {
+  if (rate_ <= 0) return true;
+  auto deadline = std::chrono::steady_clock::now() + timeout;
+  double cost = static_cast<double>(bytes);
+  for (;;) {
+    std::chrono::milliseconds nap{1};
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      Refill();
+      if (tokens_ >= cost) {
+        tokens_ -= cost;
+        return true;
+      }
+      // Sleep roughly until the deficit refills (bounded below).
+      double deficit = cost - tokens_;
+      nap = std::chrono::milliseconds(std::max<int64_t>(
+          1, static_cast<int64_t>(1000.0 * deficit / std::max(rate_, 1.0))));
+    }
+    auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return false;
+    std::this_thread::sleep_for(std::min<std::chrono::nanoseconds>(
+        nap, deadline - now));
+  }
+}
+
+void ByteBudget::ForceAcquire(uint64_t bytes) {
+  if (rate_ <= 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  Refill();
+  tokens_ -= static_cast<double>(bytes);
+}
+
+// ---------------------------------------------------------------------------
+// MediaServer
+
+/// One adopted connection: its transport, handler thread, and (after
+/// OPEN) session + admission booking. Owned by connections_; `session`
+/// and the booking fields are touched only by the handler thread.
+struct MediaServer::Connection {
+  std::unique_ptr<Transport> transport;
+  std::thread handler;
+  std::unique_ptr<Session> session;
+  std::string admission_key;
+  bool booked = false;
+  std::atomic<bool> finished{false};
+};
+
+MediaServer::MediaServer(const MediaDatabase* db, ServeConfig config)
+    : db_(db),
+      config_(config),
+      admission_(config.capacity_bytes_per_second, config.admission_policy),
+      budget_(config.capacity_bytes_per_second,
+              static_cast<uint64_t>(
+                  std::max(1.0, config.capacity_bytes_per_second / 4))),
+      worker_pool_(std::max(1, config.worker_threads)),
+      io_pool_(std::max(1, config.io_threads)) {
+  config_.read_options.pool = &io_pool_;
+}
+
+MediaServer::~MediaServer() { Stop(); }
+
+Status MediaServer::Serve(std::unique_ptr<Transport> transport) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopping_) {
+    transport->Close();
+    return Status::FailedPrecondition("server is stopping");
+  }
+  ReapFinished();
+  if (connections_.size() >= config_.max_sessions) {
+    transport->Close();
+    return Status::ResourceExhausted(
+        "session table full (" + std::to_string(config_.max_sessions) + ")");
+  }
+  auto connection = std::make_unique<Connection>();
+  connection->transport = std::move(transport);
+  Connection* raw = connection.get();
+  connections_.push_back(std::move(connection));
+  raw->handler = std::thread([this, raw] { HandleConnection(raw); });
+  return Status::OK();
+}
+
+void MediaServer::Stop() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stopping_ = true;
+  // Closing every transport unblocks handlers parked in Recv/Send;
+  // they tear their sessions down and exit.
+  for (auto& connection : connections_) {
+    if (connection->transport != nullptr) connection->transport->Close();
+  }
+  for (auto& connection : connections_) {
+    if (connection->handler.joinable()) connection->handler.join();
+  }
+  connections_.clear();
+}
+
+void MediaServer::ReapFinished() {
+  // Caller holds mu_.
+  auto it = connections_.begin();
+  while (it != connections_.end()) {
+    if ((*it)->finished.load(std::memory_order_acquire)) {
+      if ((*it)->handler.joinable()) (*it)->handler.join();
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+ServerStatsSnapshot MediaServer::stats() const {
+  ServerStatsSnapshot snapshot;
+  snapshot.sessions_admitted = stat_admitted_.load();
+  snapshot.sessions_degraded = stat_degraded_.load();
+  snapshot.sessions_denied = stat_denied_.load();
+  snapshot.sessions_evicted = stat_evicted_.load();
+  snapshot.requests = stat_requests_.load();
+  snapshot.response_bytes = stat_response_bytes_.load();
+  snapshot.active_sessions = active_sessions_.load();
+  return snapshot;
+}
+
+void MediaServer::RunOnPool(std::function<void()> work) {
+  // The completion state is shared-owned: the waiter may wake and
+  // return the moment `done` flips, so stack ownership would destroy
+  // the condition variable under the worker's notify_one.
+  struct Completion {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+  };
+  auto completion = std::make_shared<Completion>();
+  worker_pool_.Submit([completion, work = std::move(work)] {
+    work();
+    {
+      std::lock_guard<std::mutex> lock(completion->mu);
+      completion->done = true;
+    }
+    completion->cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lock(completion->mu);
+  completion->cv.wait(lock, [&] { return completion->done; });
+}
+
+void MediaServer::DegradeSession(Session* session) {
+  if (session->stride() >= static_cast<uint32_t>(
+                               std::max(1, config_.max_stride))) {
+    return;  // Already at the thinnest tier.
+  }
+  session->Degrade();
+  double new_rate = session->booked_bytes_per_second() / 2.0;
+  {
+    std::lock_guard<std::mutex> lock(admission_mu_);
+    if (admission_.Rebook("s" + std::to_string(session->id()), new_rate)
+            .ok()) {
+      session->set_booked_bytes_per_second(new_rate);
+    }
+  }
+  stat_degraded_.fetch_add(1);
+  ServeMetrics::Get().degraded->Add();
+}
+
+void MediaServer::ReleaseBooking(Connection* connection) {
+  if (!connection->booked) return;
+  std::lock_guard<std::mutex> lock(admission_mu_);
+  (void)admission_.Release(connection->admission_key);
+  connection->booked = false;
+}
+
+void MediaServer::HandleConnection(Connection* connection) {
+  obs::ScopedSpan span("serve.session");
+  bool send_failed = false;
+  for (;;) {
+    auto frame = ReadFrame(*connection->transport, kMaxFrameBytes);
+    if (!frame.ok()) break;  // EOF, close, or unframeable input.
+    stat_requests_.fetch_add(1);
+
+    Response response;
+    {
+      obs::ScopedTimerUs timer(ServeMetrics::Get().request_us);
+      auto request = DecodeRequest(*frame);
+      if (!request.ok()) {
+        // Malformed payload: report it, keep the connection — framing
+        // is still intact.
+        response.status = request.status();
+      } else {
+        response = HandleRequest(connection, *request);
+      }
+    }
+
+    Bytes payload = EncodeResponse(response);
+    PaceResponse(connection, payload.size());
+    Status sent = WriteFrame(*connection->transport, payload);
+    if (!sent.ok()) {
+      // A failed or timed-out send leaves the frame stream
+      // indeterminate: this client is gone or too slow. Evict.
+      send_failed = true;
+      break;
+    }
+    stat_response_bytes_.fetch_add(payload.size());
+    if (response.type == RequestType::kClose && response.status.ok()) break;
+  }
+
+  if (connection->session != nullptr) {
+    SessionState state = connection->session->state();
+    bool terminal = state == SessionState::kDone ||
+                    state == SessionState::kDegraded ||
+                    state == SessionState::kEvicted;
+    if (!terminal || send_failed) {
+      // The client vanished or stalled mid-stream.
+      connection->session->MarkEvicted();
+      stat_evicted_.fetch_add(1);
+      ServeMetrics::Get().evicted->Add();
+    }
+    active_sessions_.fetch_sub(1);
+    ServeMetrics::Get().sessions->Add(-1);
+  }
+  ReleaseBooking(connection);
+  connection->transport->Close();
+  connection->finished.store(true, std::memory_order_release);
+}
+
+void MediaServer::PaceResponse(Connection* connection, uint64_t bytes) {
+  if (budget_.TryAcquire(bytes)) return;
+  // The budget ran dry: the server is oversubscribed in practice.
+  // Degrade this session (halving its future demand) before waiting,
+  // and never stall past the grace period — a negative balance slows
+  // everyone a little instead of one session a lot.
+  if (connection->session != nullptr) {
+    DegradeSession(connection->session.get());
+  }
+  if (!budget_.AcquireWithin(bytes, config_.budget_wait)) {
+    budget_.ForceAcquire(bytes);
+  }
+}
+
+Response MediaServer::HandleRequest(Connection* connection,
+                                    const Request& request) {
+  Response response;
+  response.type = request.type;
+  Session* session = connection->session.get();
+
+  // Every post-OPEN verb must address the session on this connection.
+  if (request.type != RequestType::kOpen && session != nullptr &&
+      request.session_id != 0 && request.session_id != session->id()) {
+    response.status = Status::InvalidArgument(
+        "session id " + std::to_string(request.session_id) +
+        " does not match this connection's session " +
+        std::to_string(session->id()));
+    return response;
+  }
+
+  switch (request.type) {
+    case RequestType::kOpen:
+      return DoOpen(connection, request);
+    case RequestType::kRead:
+      return DoRead(connection, request);
+    case RequestType::kSeek: {
+      if (session == nullptr) {
+        response.status = Status::FailedPrecondition("no open session");
+        return response;
+      }
+      auto position = session->SeekTo(request.target_element);
+      if (!position.ok()) {
+        response.status = position.status();
+      } else {
+        response.seek_position = *position;
+      }
+      return response;
+    }
+    case RequestType::kStats: {
+      if (session == nullptr) {
+        response.status = Status::FailedPrecondition("no open session");
+        return response;
+      }
+      response.stats = session->StatsWire();
+      return response;
+    }
+    case RequestType::kClose: {
+      if (session != nullptr) {
+        session->MarkClosed();
+        ReleaseBooking(connection);
+      }
+      return response;  // OK — closing an unopened connection is a no-op.
+    }
+  }
+  response.status = Status::Internal("unhandled request type");
+  return response;
+}
+
+Response MediaServer::DoOpen(Connection* connection, const Request& request) {
+  Response response;
+  response.type = RequestType::kOpen;
+  if (connection->session != nullptr) {
+    response.status =
+        Status::FailedPrecondition("connection already has a session");
+    return response;
+  }
+
+  // Resolve the catalog name to an interpreted object.
+  auto object_id = db_->FindByName(request.object_name);
+  if (!object_id.ok()) {
+    response.status = object_id.status();
+    return response;
+  }
+  auto entry = db_->Get(*object_id);
+  if (!entry.ok()) {
+    response.status = entry.status();
+    return response;
+  }
+  if ((*entry)->kind != CatalogKind::kMediaObject) {
+    response.status = Status::InvalidArgument(
+        "\"" + request.object_name + "\" is a " +
+        std::string(CatalogKindToString((*entry)->kind)) +
+        ", not a media object");
+    return response;
+  }
+  auto interp_entry = db_->Get((*entry)->interpretation_ref);
+  if (!interp_entry.ok()) {
+    response.status = interp_entry.status();
+    return response;
+  }
+  const Interpretation& interpretation = (*interp_entry)->interpretation;
+  auto object = interpretation.FindObject((*entry)->stream_name);
+  if (!object.ok()) {
+    response.status = object.status();
+    return response;
+  }
+
+  // Metadata-only admission: the rate profile comes from the placement
+  // table; no media bytes are read to decide.
+  RateProfile profile = MeasureRateProfileFromPlacements(**object);
+
+  // Pressure-aware ladder: when the worker queue is backed up, new
+  // sessions start pre-degraded so existing ones keep their fidelity.
+  int base_stride = 1;
+  if (worker_pool_.queue_depth() > config_.queue_high_watermark) {
+    base_stride = 2;
+  }
+  int max_stride = std::max(1, config_.max_stride);
+  RateProfile ladder = profile;
+  ladder.average_bytes_per_second /= base_stride;
+  ladder.peak_bytes_per_second /= base_stride;
+
+  uint64_t session_id = next_session_id_.fetch_add(1);
+  std::string key = "s" + std::to_string(session_id);
+  AdmissionController::AdmitDecision decision;
+  {
+    std::lock_guard<std::mutex> lock(admission_mu_);
+    auto admitted = admission_.AdmitDegrading(
+        key, ladder, std::max(1, max_stride / base_stride));
+    if (!admitted.ok()) {
+      stat_denied_.fetch_add(1);
+      ServeMetrics::Get().denied->Add();
+      response.status = admitted.status();
+      return response;
+    }
+    decision = *admitted;
+  }
+  uint32_t stride = static_cast<uint32_t>(decision.stride * base_stride);
+
+  Session::Config session_config;
+  session_config.stride = stride;
+  session_config.booked_bytes_per_second = decision.booked_bytes_per_second;
+  session_config.response_byte_cap = config_.response_byte_cap;
+  session_config.read_options = config_.read_options;
+  auto session =
+      Session::Create(session_id, request.object_name, db_->blob_store(),
+                      interpretation, (*entry)->stream_name, session_config);
+  if (!session.ok()) {
+    std::lock_guard<std::mutex> lock(admission_mu_);
+    (void)admission_.Release(key);
+    response.status = session.status();
+    return response;
+  }
+  connection->session = std::move(*session);
+  connection->admission_key = std::move(key);
+  connection->booked = true;
+
+  active_sessions_.fetch_add(1);
+  stat_admitted_.fetch_add(1);
+  ServeMetrics::Get().admitted->Add();
+  ServeMetrics::Get().sessions->Add(1);
+  if (stride > 1) {
+    stat_degraded_.fetch_add(1);
+    ServeMetrics::Get().degraded->Add();
+  }
+
+  response.open.session_id = session_id;
+  response.open.element_count = connection->session->element_count();
+  response.open.payload_bytes = connection->session->payload_bytes();
+  response.open.stride = stride;
+  response.open.booked_bytes_per_second = decision.booked_bytes_per_second;
+  return response;
+}
+
+Response MediaServer::DoRead(Connection* connection, const Request& request) {
+  Response response;
+  response.type = RequestType::kRead;
+  Session* session = connection->session.get();
+  if (session == nullptr) {
+    response.status = Status::FailedPrecondition("no open session");
+    return response;
+  }
+  uint64_t max_elements =
+      std::min<uint64_t>(std::max<uint64_t>(request.max_elements, 1),
+                         std::max<uint64_t>(config_.read_batch_cap, 1));
+
+  // The fetch runs as one task on the shared worker pool: its FIFO
+  // queue interleaves batches across sessions — that queue *is* the
+  // fair-share scheduler.
+  Result<ReadBatch> batch = Status::Internal("read task did not run");
+  RunOnPool([&] { batch = session->ReadNext(max_elements); });
+  if (!batch.ok()) {
+    response.status = batch.status();
+    return response;
+  }
+  if (batch->end_of_stream) {
+    // The stream completed: release capacity immediately rather than
+    // holding it until the client disconnects.
+    ReleaseBooking(connection);
+  }
+  response.read = std::move(*batch);
+  return response;
+}
+
+}  // namespace tbm::serve

@@ -1,0 +1,200 @@
+#ifndef TBM_SERVE_SERVER_H_
+#define TBM_SERVE_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/thread_pool.h"
+#include "db/database.h"
+#include "playback/admission.h"
+#include "serve/session.h"
+#include "serve/transport.h"
+
+namespace tbm::serve {
+
+/// Tuning of a MediaServer.
+struct ServeConfig {
+  /// Hard cap on concurrently connected sessions.
+  size_t max_sessions = 128;
+
+  /// Aggregate service bandwidth admission control books against.
+  double capacity_bytes_per_second = 64.0 * 1024 * 1024;
+  AdmissionController::Policy admission_policy =
+      AdmissionController::Policy::kAverageRate;
+
+  /// Deepest degradation tier admission may fall back to (power of
+  /// two; stride 8 books 1/8 of the full rate).
+  int max_stride = 8;
+
+  /// Threads executing request work (element fetch + encode). Kept
+  /// separate from `io_threads`: request tasks block on prefetched
+  /// chunks, so sharing one pool with the prefetcher would deadlock.
+  int worker_threads = 4;
+
+  /// Threads running chunk readahead for full-fidelity sessions.
+  int io_threads = 2;
+
+  /// Server-side cap on elements per READ response.
+  uint64_t read_batch_cap = 64;
+
+  /// Byte cap per READ response frame.
+  uint64_t response_byte_cap = 4ull << 20;
+
+  /// Worker-queue depth beyond which the server is "under pressure":
+  /// new sessions are admitted pre-degraded (stride >= 2) and
+  /// streaming sessions are degraded instead of stalling on the byte
+  /// budget.
+  int queue_high_watermark = 32;
+
+  /// How long a response may wait on the global byte budget after the
+  /// pressure degrade was applied. Past it the send proceeds anyway
+  /// (the budget goes negative and pays itself back), keeping the
+  /// server live under transient oversubscription.
+  std::chrono::milliseconds budget_wait{250};
+
+  /// Read options for session element streams; `pool` is overridden
+  /// with the server's I/O pool.
+  StreamReadOptions read_options;
+};
+
+/// Aggregate counters of a server's lifetime.
+struct ServerStatsSnapshot {
+  uint64_t sessions_admitted = 0;
+  uint64_t sessions_degraded = 0;  ///< Admitted below full fidelity or
+                                   ///< degraded mid-session.
+  uint64_t sessions_denied = 0;
+  uint64_t sessions_evicted = 0;
+  uint64_t requests = 0;
+  uint64_t response_bytes = 0;
+  size_t active_sessions = 0;
+};
+
+/// Global byte-rate budget: a token bucket shared by every session's
+/// response path. Senders acquire tokens for each response; when the
+/// bucket runs dry the server is oversubscribed in practice (not just
+/// on paper) and the caller degrades sessions rather than queueing
+/// unboundedly. Thread-safe.
+class ByteBudget {
+ public:
+  /// `rate` tokens (bytes) per second, accumulating up to `burst`.
+  /// rate <= 0 disables the budget (TryAcquire always succeeds).
+  ByteBudget(double rate, uint64_t burst);
+
+  /// Claims `bytes` if available now.
+  bool TryAcquire(uint64_t bytes);
+
+  /// Claims `bytes`, sleeping for refills up to `timeout`. False when
+  /// the deadline passes first.
+  bool AcquireWithin(uint64_t bytes, std::chrono::milliseconds timeout);
+
+  /// Claims `bytes` unconditionally; the balance may go negative and
+  /// is paid back by future refills (later acquires wait longer).
+  /// Keeps the send path live when the budget is persistently starved.
+  void ForceAcquire(uint64_t bytes);
+
+ private:
+  void Refill();
+
+  const double rate_;
+  const double burst_;
+  std::mutex mu_;
+  double tokens_;
+  std::chrono::steady_clock::time_point last_;
+};
+
+/// The session-oriented media service: accepts transports, speaks the
+/// serve wire protocol, and multiplexes admitted sessions over shared
+/// worker/I/O pools with a global byte-rate budget.
+///
+/// Concurrency model: each connection gets a lightweight handler
+/// thread that parses frames and waits for replies, but all request
+/// *work* (element fetch, encode) runs as tasks on the shared worker
+/// pool — its FIFO queue is the fair-share scheduler, interleaving
+/// batches from every session. Chunk readahead runs on the separate
+/// I/O pool.
+///
+/// Overload policy, in order: (1) admission books each session's rate
+/// against `capacity_bytes_per_second`, degrading new sessions
+/// (coarser stride) before denying; (2) the byte budget paces
+/// responses, degrading streaming sessions that outrun it; (3) slow
+/// clients — transports whose buffer stays full past the send timeout
+/// — are evicted immediately (a timed-out send leaves the frame
+/// stream indeterminate), so one stalled consumer cannot hold tokens,
+/// table slots, and buffers forever.
+class MediaServer {
+ public:
+  MediaServer(const MediaDatabase* db, ServeConfig config = {});
+  ~MediaServer();
+
+  MediaServer(const MediaServer&) = delete;
+  MediaServer& operator=(const MediaServer&) = delete;
+
+  /// Adopts a connection and serves it until CLOSE, EOF, or eviction.
+  /// ResourceExhausted when the session table is full or the server is
+  /// stopping (the transport is closed and dropped).
+  Status Serve(std::unique_ptr<Transport> transport);
+
+  /// Closes every connection and joins all handlers. Idempotent;
+  /// called by the destructor.
+  void Stop();
+
+  ServerStatsSnapshot stats() const;
+  const ServeConfig& config() const { return config_; }
+
+ private:
+  struct Connection;
+
+  void HandleConnection(Connection* connection);
+  Response HandleRequest(Connection* connection, const Request& request);
+  Response DoOpen(Connection* connection, const Request& request);
+  Response DoRead(Connection* connection, const Request& request);
+
+  /// Paces `bytes` through the byte budget, degrading the session
+  /// under pressure rather than stalling indefinitely.
+  void PaceResponse(Connection* connection, uint64_t bytes);
+
+  /// Runs `work` on the worker pool and waits for it — the fair-share
+  /// funnel every expensive request passes through.
+  void RunOnPool(std::function<void()> work);
+
+  /// Halves `session`'s fidelity and re-books its admission ledger
+  /// entry at the reduced rate.
+  void DegradeSession(Session* session);
+
+  /// Releases the session's booking if still held.
+  void ReleaseBooking(Connection* connection);
+
+  void ReapFinished();
+
+  const MediaDatabase* db_;
+  ServeConfig config_;
+  std::mutex admission_mu_;  ///< AdmissionController is not thread-safe.
+  AdmissionController admission_;
+  ByteBudget budget_;
+  ThreadPool worker_pool_;
+  ThreadPool io_pool_;
+
+  mutable std::mutex mu_;  ///< Guards connections_ and stopping_.
+  std::vector<std::unique_ptr<Connection>> connections_;
+  bool stopping_ = false;
+
+  std::atomic<uint64_t> next_session_id_{1};
+  std::atomic<uint64_t> stat_admitted_{0};
+  std::atomic<uint64_t> stat_degraded_{0};
+  std::atomic<uint64_t> stat_denied_{0};
+  std::atomic<uint64_t> stat_evicted_{0};
+  std::atomic<uint64_t> stat_requests_{0};
+  std::atomic<uint64_t> stat_response_bytes_{0};
+  std::atomic<size_t> active_sessions_{0};
+};
+
+}  // namespace tbm::serve
+
+#endif  // TBM_SERVE_SERVER_H_

@@ -1,0 +1,154 @@
+#include "serve/session.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "base/macros.h"
+#include "blob/read_policy.h"
+
+namespace tbm::serve {
+
+Result<std::unique_ptr<Session>> Session::Create(
+    uint64_t id, std::string object_name, const BlobStore* store,
+    const Interpretation& interpretation, const std::string& stream_name,
+    Config config) {
+  TBM_ASSIGN_OR_RETURN(const InterpretedObject* object,
+                       interpretation.FindObject(stream_name));
+  if (config.stride == 0) {
+    return Status::InvalidArgument("stride must be >= 1");
+  }
+  auto session = std::unique_ptr<Session>(
+      new Session(id, std::move(object_name), store, interpretation.blob(),
+                  *object, config));
+  if (config.stride == 1) {
+    // Full fidelity: sequential chunked streaming with readahead.
+    TBM_ASSIGN_OR_RETURN(
+        session->stream_,
+        ElementStream::Open(*store, interpretation, stream_name,
+                            config.read_options));
+  }
+  return session;
+}
+
+Session::Session(uint64_t id, std::string object_name, const BlobStore* store,
+                 BlobId blob, InterpretedObject object, Config config)
+    : id_(id),
+      object_name_(std::move(object_name)),
+      store_(store),
+      blob_(blob),
+      object_(std::move(object)),
+      config_(config),
+      stride_(config.stride),
+      degraded_(config.stride > 1),
+      booked_(config.booked_bytes_per_second) {}
+
+Result<Bytes> Session::ReadElementBytes(uint64_t index) {
+  // The element stream delivers strictly sequentially; use it while we
+  // are aligned with it (stride-1 sessions that never sought).
+  if (stream_ != nullptr && stream_->position() == index) {
+    TBM_ASSIGN_OR_RETURN(StreamElement element, stream_->Next());
+    return Bytes(element.data.begin(), element.data.end());
+  }
+  const ElementPlacement& placement =
+      object_.elements[static_cast<size_t>(index)];
+  TBM_ASSIGN_OR_RETURN(
+      BufferSlice slice,
+      ReadWithPolicy(*store_, blob_, placement.placement,
+                     config_.read_options.policy));
+  return Bytes(slice.begin(), slice.end());
+}
+
+Result<ReadBatch> Session::ReadNext(uint64_t max_elements) {
+  if (Terminal()) {
+    return Status::FailedPrecondition(
+        "session is " + std::string(SessionStateToString(state())));
+  }
+  state_.store(SessionState::kStreaming, std::memory_order_release);
+
+  ReadBatch batch;
+  batch.stride = stride_;
+  if (max_elements == 0) max_elements = 1;
+  uint64_t batch_bytes = 0;
+  while (batch.elements.size() < max_elements &&
+         position_ < object_.elements.size()) {
+    const ElementPlacement& placement =
+        object_.elements[static_cast<size_t>(position_)];
+    if (!batch.elements.empty() &&
+        batch_bytes + placement.placement.length > config_.response_byte_cap) {
+      break;  // Keep each response frame (and its send latency) bounded.
+    }
+    auto bytes = ReadElementBytes(position_);
+    if (bytes.ok()) {
+      WireElement element;
+      element.element_number = static_cast<uint64_t>(placement.element_number);
+      element.start = placement.start;
+      element.duration = placement.duration;
+      element.payload = std::move(*bytes);
+      batch_bytes += element.payload.size();
+      bytes_sent_ += element.payload.size();
+      ++delivered_;
+      batch.elements.push_back(std::move(element));
+    } else {
+      // A read that failed after every retry costs the element, not
+      // the session: skip it and finish DEGRADED.
+      ++skipped_;
+      degraded_ = true;
+    }
+    position_ += stride_;
+  }
+  if (position_ >= object_.elements.size()) {
+    batch.end_of_stream = true;
+    Finish();
+  }
+  batch.stride = stride_;
+  return batch;
+}
+
+Result<uint64_t> Session::SeekTo(uint64_t element) {
+  if (Terminal()) {
+    return Status::FailedPrecondition(
+        "session is " + std::string(SessionStateToString(state())));
+  }
+  if (element >= object_.elements.size()) {
+    return Status::OutOfRange(
+        "seek to element " + std::to_string(element) + " of " +
+        std::to_string(object_.elements.size()));
+  }
+  position_ = element;
+  stream_.reset();  // The chunk window is sequential; a seek leaves it.
+  state_.store(SessionState::kStreaming, std::memory_order_release);
+  return position_;
+}
+
+void Session::Degrade() {
+  if (Terminal()) return;
+  stride_ *= 2;
+  degraded_ = true;
+  stream_.reset();  // Strided delivery reads placements directly.
+}
+
+void Session::MarkEvicted() {
+  state_.store(SessionState::kEvicted, std::memory_order_release);
+}
+
+void Session::MarkClosed() {
+  if (Terminal()) return;
+  Finish();
+}
+
+void Session::Finish() {
+  state_.store(degraded_ ? SessionState::kDegraded : SessionState::kDone,
+               std::memory_order_release);
+}
+
+SessionStatsWire Session::StatsWire() const {
+  SessionStatsWire stats;
+  stats.state = state();
+  stats.elements_delivered = delivered_;
+  stats.elements_skipped = skipped_;
+  stats.bytes_sent = bytes_sent_;
+  stats.stride = stride_;
+  return stats;
+}
+
+}  // namespace tbm::serve

@@ -1,0 +1,140 @@
+#ifndef TBM_SERVE_SESSION_H_
+#define TBM_SERVE_SESSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "blob/blob_store.h"
+#include "interp/interpretation.h"
+#include "interp/streaming.h"
+#include "serve/protocol.h"
+
+namespace tbm::serve {
+
+/// Per-client state machine of the media service:
+///
+///   OPEN -> ADMITTED -> STREAMING -> { DONE, DEGRADED, EVICTED }
+///
+/// A session is created only after admission control books its rate
+/// (so OPEN -> ADMITTED happens at construction) and owns the read
+/// machinery for one interpreted object:
+///
+/// - At full fidelity (stride 1) it streams through an ElementStream —
+///   chunked reads with asynchronous readahead on the server's I/O
+///   pool, the retry policy absorbing transient store faults.
+/// - Degraded (stride 2^k) or after a SEEK it switches to direct
+///   placement reads of just the elements it will deliver: a strided
+///   session genuinely reads ~1/stride of the bytes, which is what
+///   makes degradation a real capacity lever rather than an
+///   accounting fiction.
+///
+/// An element read that still fails after retries is skipped, not
+/// fatal — the session completes with `elements_skipped` > 0 and ends
+/// DEGRADED instead of DONE. Sessions are driven by one server
+/// handler at a time; only `state()` is safe to read concurrently.
+class Session {
+ public:
+  struct Config {
+    uint32_t stride = 1;
+    double booked_bytes_per_second = 0.0;
+    /// Byte cap per READ batch (bounds frame size and send latency).
+    uint64_t response_byte_cap = 4ull << 20;
+    /// Read options for the element stream / direct reads. `pool`
+    /// should be the server's I/O pool (not its worker pool — handler
+    /// tasks block on reads, so sharing one pool would deadlock).
+    StreamReadOptions read_options;
+  };
+
+  /// Opens a session on `interpretation`'s object `stream_name`.
+  /// `store` must outlive the session; the placement table is copied.
+  static Result<std::unique_ptr<Session>> Create(
+      uint64_t id, std::string object_name, const BlobStore* store,
+      const Interpretation& interpretation, const std::string& stream_name,
+      Config config);
+
+  uint64_t id() const { return id_; }
+  const std::string& object_name() const { return object_name_; }
+  SessionState state() const {
+    return state_.load(std::memory_order_acquire);
+  }
+  uint32_t stride() const { return stride_; }
+  bool degraded() const { return degraded_; }
+  double booked_bytes_per_second() const { return booked_; }
+  void set_booked_bytes_per_second(double rate) { booked_ = rate; }
+
+  uint64_t element_count() const { return object_.elements.size(); }
+  uint64_t payload_bytes() const { return object_.PayloadBytes(); }
+  const InterpretedObject& object() const { return object_; }
+
+  /// Delivers up to `max_elements` next elements (also bounded by the
+  /// response byte cap), advancing the session by its stride. Sets
+  /// `end_of_stream` — and moves the session to its terminal DONE /
+  /// DEGRADED state — when the last element has been delivered.
+  /// Returns FailedPrecondition once the session is terminal.
+  Result<ReadBatch> ReadNext(uint64_t max_elements);
+
+  /// Repositions to `element` (OutOfRange past the end) and switches
+  /// to direct reads — a seek abandons the sequential chunk window.
+  Result<uint64_t> SeekTo(uint64_t element);
+
+  /// Halves the session's fidelity: doubles the stride and drops to
+  /// direct reads. The caller re-books the admission ledger. The
+  /// session will finish DEGRADED.
+  void Degrade();
+
+  /// Terminal transition for server-initiated removal (slow client,
+  /// shutdown). Irreversible.
+  void MarkEvicted();
+
+  /// Client closed before the stream ended: terminal DONE/DEGRADED at
+  /// whatever position it reached. No-op if already terminal.
+  void MarkClosed();
+
+  SessionStatsWire StatsWire() const;
+
+ private:
+  Session(uint64_t id, std::string object_name, const BlobStore* store,
+          BlobId blob, InterpretedObject object, Config config);
+
+  bool Terminal() const {
+    SessionState s = state();
+    return s == SessionState::kDone || s == SessionState::kDegraded ||
+           s == SessionState::kEvicted;
+  }
+
+  /// Reads element `index` bytes: from the element stream when it is
+  /// aligned with the stream position, by direct placement read
+  /// otherwise.
+  Result<Bytes> ReadElementBytes(uint64_t index);
+
+  /// Moves to the terminal completed state (DONE, or DEGRADED when
+  /// fidelity was reduced or elements were skipped).
+  void Finish();
+
+  const uint64_t id_;
+  const std::string object_name_;
+  const BlobStore* store_;
+  const BlobId blob_;
+  const InterpretedObject object_;
+  Config config_;
+
+  std::atomic<SessionState> state_{SessionState::kAdmitted};
+  uint32_t stride_;
+  bool degraded_ = false;
+  double booked_ = 0.0;
+
+  /// Sequential chunked reader; non-null only while the session is at
+  /// stride 1 and has not sought.
+  std::unique_ptr<ElementStream> stream_;
+
+  uint64_t position_ = 0;  ///< Next element number to deliver.
+  uint64_t delivered_ = 0;
+  uint64_t skipped_ = 0;
+  uint64_t bytes_sent_ = 0;
+};
+
+}  // namespace tbm::serve
+
+#endif  // TBM_SERVE_SESSION_H_

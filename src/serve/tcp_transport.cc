@@ -1,0 +1,163 @@
+#include "serve/tcp_transport.h"
+
+#ifdef TBM_SERVE_TCP
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace tbm::serve {
+
+namespace {
+
+Status Errno(const char* op) {
+  return Status::IOError(std::string(op) + ": " + std::strerror(errno));
+}
+
+void SetSendTimeout(int fd, std::chrono::milliseconds timeout) {
+  timeval tv;
+  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+class TcpTransport final : public Transport {
+ public:
+  explicit TcpTransport(int fd) : fd_(fd) {}
+  ~TcpTransport() override { Close(); }
+
+  Status Send(ByteSpan data) override {
+    size_t sent = 0;
+    while (sent < data.size()) {
+      ssize_t n = ::send(fd_.load(), data.data() + sent, data.size() - sent,
+                         MSG_NOSIGNAL);
+      if (n > 0) {
+        sent += static_cast<size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        return Status::ResourceExhausted(
+            "send timed out: socket buffer full — slow consumer");
+      }
+      return Errno("send");
+    }
+    return Status::OK();
+  }
+
+  Status Recv(uint8_t* out, size_t n) override {
+    size_t got = 0;
+    while (got < n) {
+      ssize_t r = ::recv(fd_.load(), out + got, n - got, 0);
+      if (r > 0) {
+        got += static_cast<size_t>(r);
+        continue;
+      }
+      if (r == 0) return Status::IOError("transport closed");
+      if (errno == EINTR) continue;
+      return Errno("recv");
+    }
+    return Status::OK();
+  }
+
+  void Close() override {
+    int fd = fd_.exchange(-1);
+    if (fd >= 0) {
+      ::shutdown(fd, SHUT_RDWR);
+      ::close(fd);
+    }
+  }
+
+ private:
+  std::atomic<int> fd_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Transport>> TcpConnect(const std::string& host,
+                                              uint16_t port,
+                                              const TcpOptions& options) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status = Errno("connect");
+    ::close(fd);
+    return status;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  SetSendTimeout(fd, options.send_timeout);
+  return std::unique_ptr<Transport>(new TcpTransport(fd));
+}
+
+TcpListener::~TcpListener() { Close(); }
+
+Result<std::unique_ptr<TcpListener>> TcpListener::Listen(
+    uint16_t port, const TcpOptions& options) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status = Errno("bind");
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, 64) != 0) {
+    Status status = Errno("listen");
+    ::close(fd);
+    return status;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    Status status = Errno("getsockname");
+    ::close(fd);
+    return status;
+  }
+  return std::unique_ptr<TcpListener>(
+      new TcpListener(fd, ntohs(addr.sin_port), options));
+}
+
+Result<std::unique_ptr<Transport>> TcpListener::Accept() {
+  for (;;) {
+    int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      SetSendTimeout(fd, options_.send_timeout);
+      return std::unique_ptr<Transport>(new TcpTransport(fd));
+    }
+    if (errno == EINTR) continue;
+    return Errno("accept");
+  }
+}
+
+void TcpListener::Close() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace tbm::serve
+
+#endif  // TBM_SERVE_TCP

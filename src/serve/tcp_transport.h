@@ -1,0 +1,64 @@
+#ifndef TBM_SERVE_TCP_TRANSPORT_H_
+#define TBM_SERVE_TCP_TRANSPORT_H_
+
+/// TCP transport for the serve protocol, compiled only when the
+/// TBM_SERVE_TCP cmake option is ON (the default). Everything in the
+/// serve layer — protocol, sessions, server — is transport-agnostic;
+/// this file is the only place that touches sockets, so platforms
+/// without POSIX networking just switch the option off and keep the
+/// loopback transport.
+
+#ifdef TBM_SERVE_TCP
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "base/result.h"
+#include "serve/transport.h"
+
+namespace tbm::serve {
+
+struct TcpOptions {
+  /// SO_SNDTIMEO: how long a send may block on a full socket buffer
+  /// before failing ResourceExhausted (the slow-client signal).
+  std::chrono::milliseconds send_timeout{1000};
+};
+
+/// Connects to `host:port`. Blocking sockets with a send timeout.
+Result<std::unique_ptr<Transport>> TcpConnect(const std::string& host,
+                                              uint16_t port,
+                                              const TcpOptions& options = {});
+
+/// A listening IPv4 socket on 127.0.0.1.
+class TcpListener {
+ public:
+  /// Binds and listens. `port` 0 picks an ephemeral port (see port()).
+  static Result<std::unique_ptr<TcpListener>> Listen(
+      uint16_t port, const TcpOptions& options = {});
+
+  ~TcpListener();
+
+  /// The bound port.
+  uint16_t port() const { return port_; }
+
+  /// Blocks for the next connection. IOError once Close()d.
+  Result<std::unique_ptr<Transport>> Accept();
+
+  /// Closes the listening socket, unblocking Accept.
+  void Close();
+
+ private:
+  TcpListener(int fd, uint16_t port, TcpOptions options)
+      : fd_(fd), port_(port), options_(options) {}
+
+  int fd_;
+  uint16_t port_;
+  TcpOptions options_;
+};
+
+}  // namespace tbm::serve
+
+#endif  // TBM_SERVE_TCP
+#endif  // TBM_SERVE_TCP_TRANSPORT_H_

@@ -1,0 +1,162 @@
+#include "serve/transport.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+
+#include "base/macros.h"
+
+namespace tbm::serve {
+
+namespace {
+
+/// One direction of a loopback connection: a bounded byte FIFO with
+/// blocking producer/consumer semantics. Closing wakes both sides.
+class ByteQueue {
+ public:
+  explicit ByteQueue(size_t capacity) : capacity_(std::max<size_t>(capacity, 1)) {}
+
+  Status Push(ByteSpan data, std::chrono::milliseconds timeout) {
+    auto deadline = std::chrono::steady_clock::now() + timeout;
+    size_t sent = 0;
+    std::unique_lock<std::mutex> lock(mu_);
+    while (sent < data.size()) {
+      if (closed_) return Status::IOError("transport closed");
+      size_t room = capacity_ - bytes_.size();
+      if (room == 0) {
+        if (not_full_.wait_until(lock, deadline) ==
+            std::cv_status::timeout) {
+          return Status::ResourceExhausted(
+              "send timed out: peer buffer full (" +
+              std::to_string(capacity_) + " bytes) — slow consumer");
+        }
+        continue;
+      }
+      size_t take = std::min(room, data.size() - sent);
+      bytes_.insert(bytes_.end(), data.begin() + sent,
+                    data.begin() + sent + take);
+      sent += take;
+      not_empty_.notify_one();
+    }
+    return Status::OK();
+  }
+
+  Status Pop(uint8_t* out, size_t n) {
+    std::unique_lock<std::mutex> lock(mu_);
+    size_t got = 0;
+    while (got < n) {
+      if (bytes_.empty()) {
+        if (closed_) return Status::IOError("transport closed");
+        not_empty_.wait(lock);
+        continue;
+      }
+      size_t take = std::min(bytes_.size(), n - got);
+      std::copy_n(bytes_.begin(), take, out + got);
+      bytes_.erase(bytes_.begin(), bytes_.begin() + take);
+      got += take;
+      not_full_.notify_one();
+    }
+    return Status::OK();
+  }
+
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+ private:
+  const size_t capacity_;
+  std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<uint8_t> bytes_;
+  bool closed_ = false;
+};
+
+/// Shared state of a loopback pair: one queue per direction. Both
+/// endpoints hold shared ownership, so either side may outlive the
+/// other.
+struct LoopbackChannel {
+  LoopbackChannel(size_t capacity, std::chrono::milliseconds timeout)
+      : a_to_b(capacity), b_to_a(capacity), send_timeout(timeout) {}
+
+  ByteQueue a_to_b;
+  ByteQueue b_to_a;
+  std::chrono::milliseconds send_timeout;
+
+  void CloseAll() {
+    a_to_b.Close();
+    b_to_a.Close();
+  }
+};
+
+class LoopbackTransport final : public Transport {
+ public:
+  LoopbackTransport(std::shared_ptr<LoopbackChannel> channel, ByteQueue* tx,
+                    ByteQueue* rx)
+      : channel_(std::move(channel)), tx_(tx), rx_(rx) {}
+
+  ~LoopbackTransport() override { Close(); }
+
+  Status Send(ByteSpan data) override {
+    return tx_->Push(data, channel_->send_timeout);
+  }
+
+  Status Recv(uint8_t* out, size_t n) override { return rx_->Pop(out, n); }
+
+  /// Dropping either endpoint tears down the whole connection — a
+  /// half-open loopback has no useful semantics.
+  void Close() override { channel_->CloseAll(); }
+
+ private:
+  std::shared_ptr<LoopbackChannel> channel_;
+  ByteQueue* tx_;
+  ByteQueue* rx_;
+};
+
+}  // namespace
+
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
+CreateLoopbackPair(const LoopbackOptions& options) {
+  auto channel = std::make_shared<LoopbackChannel>(options.buffer_bytes,
+                                                   options.send_timeout);
+  auto a = std::make_unique<LoopbackTransport>(channel, &channel->a_to_b,
+                                               &channel->b_to_a);
+  auto b = std::make_unique<LoopbackTransport>(channel, &channel->b_to_a,
+                                               &channel->a_to_b);
+  return {std::move(a), std::move(b)};
+}
+
+Status WriteFrame(Transport& transport, ByteSpan payload) {
+  uint8_t prefix[4];
+  uint32_t length = static_cast<uint32_t>(payload.size());
+  prefix[0] = static_cast<uint8_t>(length);
+  prefix[1] = static_cast<uint8_t>(length >> 8);
+  prefix[2] = static_cast<uint8_t>(length >> 16);
+  prefix[3] = static_cast<uint8_t>(length >> 24);
+  TBM_RETURN_IF_ERROR(transport.Send(ByteSpan(prefix, 4)));
+  if (!payload.empty()) TBM_RETURN_IF_ERROR(transport.Send(payload));
+  return Status::OK();
+}
+
+Result<Bytes> ReadFrame(Transport& transport, uint32_t max_frame) {
+  uint8_t prefix[4];
+  TBM_RETURN_IF_ERROR(transport.Recv(prefix, 4));
+  uint32_t length = static_cast<uint32_t>(prefix[0]) |
+                    (static_cast<uint32_t>(prefix[1]) << 8) |
+                    (static_cast<uint32_t>(prefix[2]) << 16) |
+                    (static_cast<uint32_t>(prefix[3]) << 24);
+  if (length > max_frame) {
+    return Status::Corruption("frame length " + std::to_string(length) +
+                              " exceeds limit " + std::to_string(max_frame));
+  }
+  Bytes payload(length);
+  if (length > 0) TBM_RETURN_IF_ERROR(transport.Recv(payload.data(), length));
+  return payload;
+}
+
+}  // namespace tbm::serve

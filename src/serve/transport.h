@@ -1,0 +1,78 @@
+#ifndef TBM_SERVE_TRANSPORT_H_
+#define TBM_SERVE_TRANSPORT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "base/bytes.h"
+#include "base/result.h"
+#include "base/status.h"
+
+namespace tbm::serve {
+
+/// A bidirectional, ordered, reliable byte channel — the substrate the
+/// wire protocol frames run over. Implementations: the deterministic
+/// in-process loopback below (tests, benches, `tbmctl serve`) and a
+/// TCP socket (serve/tcp_transport.h, behind TBM_SERVE_TCP).
+///
+/// Send/Recv are blocking. A bounded peer buffer makes Send the
+/// backpressure point: a slow consumer fills it, and Send fails with
+/// ResourceExhausted once the send timeout elapses — the signal the
+/// server uses to detect (and eventually evict) slow clients, rather
+/// than buffering unboundedly. A closed channel fails with IOError.
+///
+/// One sender and one receiver per direction: concurrent Send *or*
+/// concurrent Recv on the same endpoint race application-level frame
+/// boundaries by design (each endpoint is owned by one session).
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Sends all of `data`, blocking while the peer's buffer is full.
+  /// ResourceExhausted when the configured send timeout expires first
+  /// (the stream position is then indeterminate — callers should
+  /// treat the connection as lost); IOError when closed.
+  virtual Status Send(ByteSpan data) = 0;
+
+  /// Receives exactly `n` bytes into `out`, blocking until they
+  /// arrive. IOError on close/EOF (clean or mid-read).
+  virtual Status Recv(uint8_t* out, size_t n) = 0;
+
+  /// Closes both directions; concurrent blocked Send/Recv calls (and
+  /// all future ones) fail. Idempotent, callable from any thread —
+  /// this is how a server unblocks a handler parked in Recv.
+  virtual void Close() = 0;
+};
+
+/// Tuning of an in-process loopback pair.
+struct LoopbackOptions {
+  /// Per-direction buffer capacity, bytes. The smaller this is, the
+  /// earlier a slow consumer backpressures its producer.
+  size_t buffer_bytes = 1 << 20;
+
+  /// How long Send waits for buffer space before giving up.
+  std::chrono::milliseconds send_timeout{1000};
+};
+
+/// Creates a connected pair of in-process endpoints: bytes sent on one
+/// arrive on the other, each direction buffered to
+/// `options.buffer_bytes`. Deterministic and dependency-free — the
+/// transport tests, the concurrency tests, and the serve bench all run
+/// on this.
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
+CreateLoopbackPair(const LoopbackOptions& options = {});
+
+/// Writes one protocol frame: u32 length prefix + payload.
+Status WriteFrame(Transport& transport, ByteSpan payload);
+
+/// Reads one protocol frame payload. Corruption when the length
+/// prefix exceeds `max_frame` (the peer is malformed or hostile);
+/// transport errors pass through.
+Result<Bytes> ReadFrame(Transport& transport,
+                        uint32_t max_frame = 64u << 20);
+
+}  // namespace tbm::serve
+
+#endif  // TBM_SERVE_TRANSPORT_H_

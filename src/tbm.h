@@ -118,4 +118,12 @@
 #include "db/edit_list.h"
 #include "db/rights.h"
 
+// serve
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "serve/session.h"
+#include "serve/tcp_transport.h"
+#include "serve/transport.h"
+
 #endif  // TBM_TBM_H_

@@ -135,6 +135,76 @@ TEST(AdmissionTest, Validation) {
   EXPECT_TRUE(controller.Admit("z", zero).IsInvalidArgument());
 }
 
+TEST(AdmissionTest, AdmitProfileSkipsDescriptorAnnotations) {
+  AdmissionController controller(500000.0,
+                                 AdmissionController::Policy::kAverageRate);
+  RateProfile profile{200000.0, 220000.0};
+  EXPECT_TRUE(controller.AdmitProfile("a", profile).ok());
+  EXPECT_TRUE(controller.AdmitProfile("b", profile).ok());
+  EXPECT_TRUE(controller.AdmitProfile("c", profile).IsResourceExhausted());
+  EXPECT_TRUE(controller.AdmitProfile("a", profile).IsAlreadyExists());
+  EXPECT_TRUE(
+      controller.AdmitProfile("z", RateProfile{0.0, 0.0}).IsInvalidArgument());
+  EXPECT_NEAR(controller.booked(), 400000.0, 1.0);
+}
+
+TEST(AdmissionTest, DegradesBeforeDenying) {
+  AdmissionController controller(1000000.0,
+                                 AdmissionController::Policy::kAverageRate);
+  RateProfile profile{400000.0, 400000.0};
+
+  // Two full-fidelity sessions fit (800k of 1M).
+  auto first = controller.AdmitDegrading("s1", profile, 8);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->stride, 1);
+  EXPECT_FALSE(first->degraded());
+  auto second = controller.AdmitDegrading("s2", profile, 8);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->stride, 1);
+
+  // The third doesn't fit at 400k but does at stride 2 (200k), which
+  // books the server to exactly its capacity.
+  auto third = controller.AdmitDegrading("s3", profile, 8);
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(third->stride, 2);
+  EXPECT_TRUE(third->degraded());
+  EXPECT_NEAR(third->booked_bytes_per_second, 200000.0, 1.0);
+  EXPECT_NEAR(controller.booked(), 1000000.0, 1.0);
+
+  // A full server denies even the thinnest tier — but only after the
+  // degrade ladder (stride up to 8) was tried.
+  auto denied = controller.AdmitDegrading("s4", profile, 8);
+  EXPECT_TRUE(denied.status().IsResourceExhausted());
+
+  // Freeing a full-rate session readmits at full fidelity.
+  ASSERT_TRUE(controller.Release("s1").ok());
+  auto readmitted = controller.AdmitDegrading("s4", profile, 8);
+  ASSERT_TRUE(readmitted.ok());
+  EXPECT_EQ(readmitted->stride, 1);
+  EXPECT_LE(controller.booked(), controller.capacity());
+}
+
+TEST(AdmissionTest, RebookAdjustsBookingInPlace) {
+  AdmissionController controller(1000000.0,
+                                 AdmissionController::Policy::kAverageRate);
+  ASSERT_TRUE(
+      controller.AdmitProfile("s1", RateProfile{600000.0, 600000.0}).ok());
+  EXPECT_TRUE(controller.Rebook("ghost", 1.0).IsNotFound());
+  EXPECT_TRUE(controller.Rebook("s1", 0.0).IsInvalidArgument());
+
+  // Degrade to half rate mid-session; the freed capacity admits more.
+  ASSERT_TRUE(controller.Rebook("s1", 300000.0).ok());
+  EXPECT_NEAR(controller.booked(), 300000.0, 1.0);
+  ASSERT_TRUE(
+      controller.AdmitProfile("s2", RateProfile{600000.0, 600000.0}).ok());
+
+  // An increase that no longer fits fails and keeps the old booking.
+  EXPECT_TRUE(controller.Rebook("s1", 600000.0).IsResourceExhausted());
+  EXPECT_NEAR(controller.booked(), 900000.0, 1.0);
+  ASSERT_TRUE(controller.Rebook("s1", 400000.0).ok());  // Fits exactly.
+  EXPECT_NEAR(controller.booked(), 1000000.0, 1.0);
+}
+
 TEST(AdmissionTest, EndToEndFromCapturedDescriptors) {
   // Server sizing straight from captured metadata: a 1 MB/s server
   // admits two of our ~0.38 MB/s VHS-quality clips plus audio, not

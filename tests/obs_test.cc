@@ -15,6 +15,7 @@
 #include <thread>
 #include <vector>
 
+#include "base/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -165,6 +166,55 @@ TEST(ObsRegistryTest, SnapshotAndReset) {
   EXPECT_EQ(after.counters.at("c"), 0u);
   EXPECT_EQ(after.histograms.at("h").count, 0u);
 }
+
+// ---------------------------------------------------------------------------
+// ThreadPool instrumentation (hooks installed by obs at static init).
+
+#ifndef TBM_OBS_DISABLED
+TEST(ObsPoolTest, PoolReportsDepthAndTaskLatency) {
+  auto& registry = Registry::Global();
+  HistogramSnapshot task_before = registry.histogram("pool.task_us")->Snapshot();
+  HistogramSnapshot wait_before =
+      registry.histogram("pool.queue_wait_us")->Snapshot();
+
+  constexpr int kTasks = 32;
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < kTasks; ++i) {
+      pool.Submit([&ran] { ran.fetch_add(1); });
+    }
+  }  // Destructor drains the queue.
+  EXPECT_EQ(ran.load(), kTasks);
+
+  // Every task reports exactly one (queue_wait, run) sample.
+  HistogramSnapshot task_after = registry.histogram("pool.task_us")->Snapshot();
+  HistogramSnapshot wait_after =
+      registry.histogram("pool.queue_wait_us")->Snapshot();
+  EXPECT_EQ(task_after.count - task_before.count, static_cast<uint64_t>(kTasks));
+  EXPECT_EQ(wait_after.count - wait_before.count, static_cast<uint64_t>(kTasks));
+
+  // The gauge tracks the live queue; after the pool drained it reads 0.
+  EXPECT_EQ(registry.Snapshot().gauges.at("pool.queue_depth"), 0);
+}
+
+TEST(ObsPoolTest, QueueDepthVisibleWhileBlocked) {
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  ThreadPool pool(1);
+  pool.Submit([&started, &release] {
+    started.store(true);
+    while (!release.load()) std::this_thread::yield();
+  });
+  pool.Submit([] {});
+  pool.Submit([] {});
+  // Once the single worker is pinned inside the first task, exactly
+  // the other two tasks are waiting in the queue.
+  while (!started.load()) std::this_thread::yield();
+  EXPECT_EQ(pool.queue_depth(), 2);
+  release.store(true);
+}
+#endif  // !TBM_OBS_DISABLED
 
 // ---------------------------------------------------------------------------
 // Tracing

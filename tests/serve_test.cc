@@ -1,0 +1,623 @@
+// Tests of the serve layer: wire protocol round-trips and malformed
+// frames, loopback transport semantics (backpressure, close), the
+// session state machine, and the server end-to-end over loopback —
+// including degrade-before-deny admission, slow-client eviction, and
+// a 16-session concurrent run with injected read faults.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "blob/fault_store.h"
+#include "blob/memory_store.h"
+#include "db/database.h"
+#include "interp/capture.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "serve/session.h"
+#include "serve/transport.h"
+
+namespace tbm {
+namespace serve {
+namespace {
+
+constexpr int kElements = 32;
+constexpr int kElementBytes = 1000;
+
+Bytes ElementPayload(int index) {
+  Bytes bytes(kElementBytes);
+  for (int j = 0; j < kElementBytes; ++j) {
+    bytes[static_cast<size_t>(j)] =
+        static_cast<uint8_t>(index * 131 + j * 7 + 3);
+  }
+  return bytes;
+}
+
+// Builds an in-memory database holding one media object "clip" of
+// kElements elements (kElementBytes each, 1 tick apart at 10 ticks/s:
+// an average rate of 10 000 bytes/s). With `read_fault_rate` > 0 the
+// BLOB store is wrapped in a FaultInjectingStore.
+std::unique_ptr<MediaDatabase> BuildServeDb(double read_fault_rate = 0.0) {
+  std::unique_ptr<BlobStore> store = std::make_unique<MemoryBlobStore>();
+  if (read_fault_rate > 0.0) {
+    FaultConfig faults;
+    faults.read_fault_rate = read_fault_rate;
+    faults.seed = 11;
+    store = std::make_unique<FaultInjectingStore>(std::move(store), faults);
+  }
+  auto db = MediaDatabase::CreateWithStore(std::move(store));
+  auto capture = CaptureSession::Begin(db->blob_store());
+  EXPECT_TRUE(capture.ok());
+  MediaDescriptor descriptor;
+  descriptor.type_name = "audio/pcm-block";
+  descriptor.kind = MediaKind::kAudio;
+  auto handle = capture->DeclareObject("clip", descriptor, TimeSystem(10));
+  EXPECT_TRUE(handle.ok());
+  for (int i = 0; i < kElements; ++i) {
+    EXPECT_TRUE(capture->CaptureContiguous(*handle, ElementPayload(i), 1).ok());
+  }
+  auto interpretation = capture->Finish();
+  EXPECT_TRUE(interpretation.ok());
+  auto interp_id = db->AddInterpretation("clip_interp", *interpretation);
+  EXPECT_TRUE(interp_id.ok());
+  EXPECT_TRUE(db->AddMediaObject("clip", *interp_id, "clip").ok());
+  return db;
+}
+
+// ---------------------------------------------------------------------------
+// Protocol encode/decode
+
+TEST(ServeProtocolTest, RequestRoundTripsAllTypes) {
+  Request open;
+  open.type = RequestType::kOpen;
+  open.object_name = "clip";
+  Request read;
+  read.type = RequestType::kRead;
+  read.session_id = 7;
+  read.max_elements = 16;
+  Request seek;
+  seek.type = RequestType::kSeek;
+  seek.session_id = 7;
+  seek.target_element = 29;
+  Request stats;
+  stats.type = RequestType::kStats;
+  stats.session_id = 7;
+  Request close;
+  close.type = RequestType::kClose;
+  close.session_id = 7;
+
+  for (const Request& request : {open, read, seek, stats, close}) {
+    auto decoded = DecodeRequest(EncodeRequest(request));
+    ASSERT_TRUE(decoded.ok()) << decoded.status().message();
+    EXPECT_EQ(decoded->type, request.type);
+    EXPECT_EQ(decoded->session_id, request.session_id);
+    EXPECT_EQ(decoded->object_name, request.object_name);
+    if (request.type == RequestType::kRead) {
+      EXPECT_EQ(decoded->max_elements, request.max_elements);
+    }
+    if (request.type == RequestType::kSeek) {
+      EXPECT_EQ(decoded->target_element, request.target_element);
+    }
+  }
+}
+
+TEST(ServeProtocolTest, ResponseRoundTripsBodies) {
+  Response open;
+  open.type = RequestType::kOpen;
+  open.open = {42, 32, 32000, 2, 5000.0};
+  auto open_rt = DecodeResponse(EncodeResponse(open));
+  ASSERT_TRUE(open_rt.ok());
+  EXPECT_EQ(open_rt->open.session_id, 42u);
+  EXPECT_EQ(open_rt->open.element_count, 32u);
+  EXPECT_EQ(open_rt->open.payload_bytes, 32000u);
+  EXPECT_EQ(open_rt->open.stride, 2u);
+  EXPECT_DOUBLE_EQ(open_rt->open.booked_bytes_per_second, 5000.0);
+
+  Response read;
+  read.type = RequestType::kRead;
+  read.read.end_of_stream = true;
+  read.read.stride = 4;
+  WireElement element;
+  element.element_number = 12;
+  element.start = 12;
+  element.duration = 1;
+  element.payload = ElementPayload(12);
+  read.read.elements.push_back(element);
+  auto read_rt = DecodeResponse(EncodeResponse(read));
+  ASSERT_TRUE(read_rt.ok());
+  EXPECT_TRUE(read_rt->read.end_of_stream);
+  EXPECT_EQ(read_rt->read.stride, 4u);
+  ASSERT_EQ(read_rt->read.elements.size(), 1u);
+  EXPECT_EQ(read_rt->read.elements[0].element_number, 12u);
+  EXPECT_EQ(read_rt->read.elements[0].payload, ElementPayload(12));
+
+  Response stats;
+  stats.type = RequestType::kStats;
+  stats.stats = {SessionState::kDegraded, 16, 1, 16000, 2};
+  auto stats_rt = DecodeResponse(EncodeResponse(stats));
+  ASSERT_TRUE(stats_rt.ok());
+  EXPECT_EQ(stats_rt->stats.state, SessionState::kDegraded);
+  EXPECT_EQ(stats_rt->stats.elements_delivered, 16u);
+  EXPECT_EQ(stats_rt->stats.elements_skipped, 1u);
+  EXPECT_EQ(stats_rt->stats.stride, 2u);
+
+  Response error;
+  error.type = RequestType::kOpen;
+  error.status = Status::NotFound("no such object");
+  auto error_rt = DecodeResponse(EncodeResponse(error));
+  ASSERT_TRUE(error_rt.ok());
+  EXPECT_EQ(error_rt->status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(error_rt->status.message(), "no such object");
+}
+
+TEST(ServeProtocolTest, TruncatedPayloadIsCorruption) {
+  Request request;
+  request.type = RequestType::kOpen;
+  request.object_name = "clip";
+  Bytes payload = EncodeRequest(request);
+  for (size_t cut = 1; cut < payload.size(); ++cut) {
+    auto decoded =
+        DecodeRequest(ByteSpan(payload.data(), payload.size() - cut));
+    EXPECT_FALSE(decoded.ok()) << "cut=" << cut;
+  }
+}
+
+TEST(ServeProtocolTest, TrailingBytesRejected) {
+  Request request;
+  request.type = RequestType::kStats;
+  request.session_id = 3;
+  Bytes payload = EncodeRequest(request);
+  payload.push_back(0xAA);
+  auto decoded = DecodeRequest(payload);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+}
+
+TEST(ServeProtocolTest, UnknownEnumValuesRejected) {
+  // Request type 0 and 0x77 are outside the verb set.
+  for (uint8_t type : {uint8_t{0}, uint8_t{0x77}}) {
+    Bytes payload = {type, 0};
+    auto decoded = DecodeRequest(payload);
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+  }
+
+  // Unknown wire status code.
+  BinaryWriter bad_code;
+  bad_code.WriteU8(static_cast<uint8_t>(RequestType::kClose));
+  bad_code.WriteU8(200);
+  bad_code.WriteString("x");
+  auto code_rt = DecodeResponse(bad_code.TakeBuffer());
+  ASSERT_FALSE(code_rt.ok());
+  EXPECT_EQ(code_rt.status().code(), StatusCode::kInvalidArgument);
+
+  // Unknown session state in a STATS body.
+  BinaryWriter bad_state;
+  bad_state.WriteU8(static_cast<uint8_t>(RequestType::kStats));
+  bad_state.WriteU8(0);
+  bad_state.WriteString("");
+  bad_state.WriteU8(9);  // No such SessionState.
+  auto state_rt = DecodeResponse(bad_state.TakeBuffer());
+  ASSERT_FALSE(state_rt.ok());
+  EXPECT_EQ(state_rt.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ServeProtocolTest, ElementCountBeyondFrameIsCorruption) {
+  // A READ body claiming millions of elements in a near-empty frame
+  // must be rejected before any allocation is sized from it.
+  BinaryWriter writer;
+  writer.WriteU8(static_cast<uint8_t>(RequestType::kRead));
+  writer.WriteU8(0);
+  writer.WriteString("");
+  writer.WriteU8(0);        // end_of_stream
+  writer.WriteU32(1);       // stride
+  writer.WriteVarU64(1u << 24);  // element count, but no elements follow
+  auto decoded = DecodeResponse(writer.TakeBuffer());
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+}
+
+// ---------------------------------------------------------------------------
+// Loopback transport
+
+TEST(LoopbackTransportTest, FramesRoundTrip) {
+  auto [a, b] = CreateLoopbackPair();
+  Bytes payload = ElementPayload(5);
+  ASSERT_TRUE(WriteFrame(*a, payload).ok());
+  auto received = ReadFrame(*b);
+  ASSERT_TRUE(received.ok());
+  EXPECT_EQ(*received, payload);
+
+  // Empty frames are legal.
+  ASSERT_TRUE(WriteFrame(*b, {}).ok());
+  auto empty = ReadFrame(*a);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+}
+
+TEST(LoopbackTransportTest, OversizedLengthPrefixRejected) {
+  auto [a, b] = CreateLoopbackPair();
+  uint8_t prefix[4] = {0xFF, 0xFF, 0xFF, 0x7F};
+  ASSERT_TRUE(a->Send(ByteSpan(prefix, 4)).ok());
+  auto frame = ReadFrame(*b, /*max_frame=*/1 << 20);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kCorruption);
+}
+
+TEST(LoopbackTransportTest, SlowConsumerBackpressuresSender) {
+  LoopbackOptions options;
+  options.buffer_bytes = 64;
+  options.send_timeout = std::chrono::milliseconds(30);
+  auto [a, b] = CreateLoopbackPair(options);
+  Bytes big(1024, 0x5A);
+  Status sent = a->Send(big);
+  ASSERT_FALSE(sent.ok());
+  EXPECT_EQ(sent.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(LoopbackTransportTest, CloseUnblocksRecvAndFailsSend) {
+  auto [a, b] = CreateLoopbackPair();
+  std::atomic<bool> failed{false};
+  std::thread receiver([&] {
+    uint8_t byte;
+    Status status = b->Recv(&byte, 1);
+    failed.store(!status.ok());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  a->Close();
+  receiver.join();
+  EXPECT_TRUE(failed.load());
+  Bytes data = {1, 2, 3};
+  EXPECT_EQ(a->Send(data).code(), StatusCode::kIOError);
+}
+
+// ---------------------------------------------------------------------------
+// Session state machine (driven directly, no server)
+
+TEST(ServeSessionTest, StridedSessionSkipsAndFinishesDegraded) {
+  auto db = BuildServeDb();
+  auto interp_id = db->FindByName("clip_interp");
+  ASSERT_TRUE(interp_id.ok());
+  auto entry = db->Get(*interp_id);
+  ASSERT_TRUE(entry.ok());
+
+  Session::Config config;
+  config.stride = 4;
+  auto session = Session::Create(1, "clip", db->blob_store(),
+                                 (*entry)->interpretation, "clip", config);
+  ASSERT_TRUE(session.ok()) << session.status().message();
+  EXPECT_EQ((*session)->state(), SessionState::kAdmitted);
+  EXPECT_TRUE((*session)->degraded());
+
+  std::vector<uint64_t> numbers;
+  for (;;) {
+    auto batch = (*session)->ReadNext(64);
+    ASSERT_TRUE(batch.ok()) << batch.status().message();
+    for (const WireElement& element : batch->elements) {
+      numbers.push_back(element.element_number);
+      EXPECT_EQ(element.payload,
+                ElementPayload(static_cast<int>(element.element_number)));
+    }
+    if (batch->end_of_stream) break;
+  }
+  EXPECT_EQ(numbers, (std::vector<uint64_t>{0, 4, 8, 12, 16, 20, 24, 28}));
+  EXPECT_EQ((*session)->state(), SessionState::kDegraded);
+
+  // Terminal sessions refuse further reads and seeks.
+  EXPECT_EQ((*session)->ReadNext(1).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ((*session)->SeekTo(0).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ServeSessionTest, SeekOutOfRangeAndEviction) {
+  auto db = BuildServeDb();
+  auto entry = db->Get(*db->FindByName("clip_interp"));
+  ASSERT_TRUE(entry.ok());
+  Session::Config config;
+  auto session = Session::Create(2, "clip", db->blob_store(),
+                                 (*entry)->interpretation, "clip", config);
+  ASSERT_TRUE(session.ok());
+  EXPECT_EQ((*session)->SeekTo(kElements).status().code(),
+            StatusCode::kOutOfRange);
+  auto position = (*session)->SeekTo(30);
+  ASSERT_TRUE(position.ok());
+  EXPECT_EQ(*position, 30u);
+  (*session)->MarkEvicted();
+  EXPECT_EQ((*session)->state(), SessionState::kEvicted);
+  EXPECT_EQ((*session)->ReadNext(1).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+// ---------------------------------------------------------------------------
+// Server end-to-end over loopback
+
+TEST(MediaServerTest, StreamsWholeObjectAndFinishesDone) {
+  auto db = BuildServeDb();
+  MediaServer server(db.get());
+  auto [client_end, server_end] = CreateLoopbackPair();
+  ASSERT_TRUE(server.Serve(std::move(server_end)).ok());
+
+  MediaClient client(std::move(client_end));
+  auto open = client.Open("clip");
+  ASSERT_TRUE(open.ok()) << open.status().message();
+  EXPECT_EQ(open->element_count, static_cast<uint64_t>(kElements));
+  EXPECT_EQ(open->payload_bytes,
+            static_cast<uint64_t>(kElements) * kElementBytes);
+  EXPECT_EQ(open->stride, 1u);
+  EXPECT_GT(open->booked_bytes_per_second, 0.0);
+
+  std::vector<uint64_t> numbers;
+  bool end_of_stream = false;
+  while (!end_of_stream) {
+    auto batch = client.Read(8);
+    ASSERT_TRUE(batch.ok()) << batch.status().message();
+    for (const WireElement& element : batch->elements) {
+      EXPECT_EQ(element.payload,
+                ElementPayload(static_cast<int>(element.element_number)));
+      numbers.push_back(element.element_number);
+    }
+    end_of_stream = batch->end_of_stream;
+  }
+  ASSERT_EQ(numbers.size(), static_cast<size_t>(kElements));
+  for (int i = 0; i < kElements; ++i) {
+    EXPECT_EQ(numbers[static_cast<size_t>(i)], static_cast<uint64_t>(i));
+  }
+
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->state, SessionState::kDone);
+  EXPECT_EQ(stats->elements_delivered, static_cast<uint64_t>(kElements));
+  EXPECT_EQ(stats->elements_skipped, 0u);
+  EXPECT_TRUE(client.Close().ok());
+
+  server.Stop();
+  ServerStatsSnapshot snapshot = server.stats();
+  EXPECT_EQ(snapshot.sessions_admitted, 1u);
+  EXPECT_EQ(snapshot.sessions_denied, 0u);
+  EXPECT_EQ(snapshot.sessions_evicted, 0u);
+}
+
+TEST(MediaServerTest, SeekResumesFromTarget) {
+  auto db = BuildServeDb();
+  MediaServer server(db.get());
+  auto [client_end, server_end] = CreateLoopbackPair();
+  ASSERT_TRUE(server.Serve(std::move(server_end)).ok());
+  MediaClient client(std::move(client_end));
+  ASSERT_TRUE(client.Open("clip").ok());
+  auto first = client.Read(4);
+  ASSERT_TRUE(first.ok());
+  ASSERT_EQ(first->elements.size(), 4u);
+
+  auto position = client.Seek(30);
+  ASSERT_TRUE(position.ok());
+  EXPECT_EQ(*position, 30u);
+  auto tail = client.Read(8);
+  ASSERT_TRUE(tail.ok());
+  ASSERT_EQ(tail->elements.size(), 2u);
+  EXPECT_EQ(tail->elements[0].element_number, 30u);
+  EXPECT_EQ(tail->elements[1].element_number, 31u);
+  EXPECT_TRUE(tail->end_of_stream);
+  EXPECT_TRUE(client.Close().ok());
+}
+
+TEST(MediaServerTest, ErrorsAreWireStatusesNotDisconnects) {
+  auto db = BuildServeDb();
+  MediaServer server(db.get());
+  auto [client_end, server_end] = CreateLoopbackPair();
+  ASSERT_TRUE(server.Serve(std::move(server_end)).ok());
+  MediaClient client(std::move(client_end));
+
+  // READ before OPEN.
+  auto early = client.Read(1);
+  ASSERT_FALSE(early.ok());
+  EXPECT_EQ(early.status().code(), StatusCode::kFailedPrecondition);
+
+  // OPEN of a name that is not in the catalog.
+  auto missing = client.Open("nope");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+
+  // A malformed payload inside a well-formed frame draws an error
+  // response and leaves the connection usable.
+  Bytes garbage = {0x00, 0xDE, 0xAD};
+  ASSERT_TRUE(WriteFrame(*client.transport(), garbage).ok());
+  auto raw = ReadFrame(*client.transport(), kMaxFrameBytes);
+  ASSERT_TRUE(raw.ok());
+  auto decoded = DecodeResponse(*raw);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_FALSE(decoded->status.ok());
+
+  // The connection still works: a real OPEN succeeds.
+  auto open = client.Open("clip");
+  ASSERT_TRUE(open.ok()) << open.status().message();
+
+  // A request addressing a different session id is refused.
+  Request request;
+  request.type = RequestType::kRead;
+  request.session_id = open->session_id + 99;
+  ASSERT_TRUE(WriteFrame(*client.transport(), EncodeRequest(request)).ok());
+  auto mismatch_raw = ReadFrame(*client.transport(), kMaxFrameBytes);
+  ASSERT_TRUE(mismatch_raw.ok());
+  auto mismatch = DecodeResponse(*mismatch_raw);
+  ASSERT_TRUE(mismatch.ok());
+  EXPECT_EQ(mismatch->status.code(), StatusCode::kInvalidArgument);
+
+  EXPECT_TRUE(client.Close().ok());
+}
+
+TEST(MediaServerTest, AdmissionDegradesBeforeDenying) {
+  auto db = BuildServeDb();
+  ServeConfig config;
+  // The clip's average rate is 10 000 bytes/s. 26 000 admits two at
+  // full fidelity, a third only at stride 2 (5 000), and nothing more
+  // even at the deepest tier.
+  config.capacity_bytes_per_second = 26000;
+  config.max_stride = 8;
+  MediaServer server(db.get(), config);
+
+  std::vector<std::unique_ptr<MediaClient>> clients;
+  std::vector<uint32_t> strides;
+  bool denied = false;
+  for (int i = 0; i < 4; ++i) {
+    auto [client_end, server_end] = CreateLoopbackPair();
+    ASSERT_TRUE(server.Serve(std::move(server_end)).ok());
+    auto client = std::make_unique<MediaClient>(std::move(client_end));
+    auto open = client->Open("clip");
+    if (open.ok()) {
+      // Every admission so far must precede the first denial: degrade
+      // comes before deny.
+      EXPECT_FALSE(denied);
+      strides.push_back(open->stride);
+      clients.push_back(std::move(client));
+    } else {
+      EXPECT_EQ(open.status().code(), StatusCode::kResourceExhausted);
+      denied = true;
+    }
+  }
+  EXPECT_EQ(strides, (std::vector<uint32_t>{1, 1, 2}));
+  EXPECT_TRUE(denied);
+
+  ServerStatsSnapshot snapshot = server.stats();
+  EXPECT_EQ(snapshot.sessions_admitted, 3u);
+  EXPECT_EQ(snapshot.sessions_degraded, 1u);
+  EXPECT_EQ(snapshot.sessions_denied, 1u);
+
+  // Capacity released by a CLOSE readmits at full fidelity.
+  ASSERT_TRUE(clients[0]->Close().ok());
+  auto [client_end, server_end] = CreateLoopbackPair();
+  ASSERT_TRUE(server.Serve(std::move(server_end)).ok());
+  MediaClient fresh(std::move(client_end));
+  auto reopened = fresh.Open("clip");
+  ASSERT_TRUE(reopened.ok()) << reopened.status().message();
+  EXPECT_EQ(reopened->stride, 1u);
+  EXPECT_TRUE(fresh.Close().ok());
+}
+
+TEST(MediaServerTest, SlowClientIsEvicted) {
+  auto db = BuildServeDb();
+  MediaServer server(db.get());
+  LoopbackOptions options;
+  options.buffer_bytes = 128;  // Smaller than one element payload.
+  options.send_timeout = std::chrono::milliseconds(40);
+  auto [client_end, server_end] = CreateLoopbackPair(options);
+  ASSERT_TRUE(server.Serve(std::move(server_end)).ok());
+  MediaClient client(std::move(client_end));
+  ASSERT_TRUE(client.Open("clip").ok());
+
+  // Ask for a batch far larger than the transport buffer and never
+  // drain it: the server's send times out and the session is evicted.
+  Request request;
+  request.type = RequestType::kRead;
+  request.session_id = client.session_id();
+  request.max_elements = 16;
+  ASSERT_TRUE(WriteFrame(*client.transport(), EncodeRequest(request)).ok());
+
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server.stats().sessions_evicted == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(server.stats().sessions_evicted, 1u);
+
+  // The server hung up; the client's next read of the stream fails.
+  Bytes sink(1u << 16);
+  Status gone = Status::OK();
+  while (gone.ok()) gone = client.transport()->Recv(sink.data(), sink.size());
+  EXPECT_FALSE(gone.ok());
+}
+
+TEST(MediaServerTest, SessionTableCapacityIsEnforced) {
+  auto db = BuildServeDb();
+  ServeConfig config;
+  config.max_sessions = 2;
+  MediaServer server(db.get(), config);
+  auto [c1, s1] = CreateLoopbackPair();
+  auto [c2, s2] = CreateLoopbackPair();
+  auto [c3, s3] = CreateLoopbackPair();
+  ASSERT_TRUE(server.Serve(std::move(s1)).ok());
+  ASSERT_TRUE(server.Serve(std::move(s2)).ok());
+  Status full = server.Serve(std::move(s3));
+  ASSERT_FALSE(full.ok());
+  EXPECT_EQ(full.code(), StatusCode::kResourceExhausted);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency under injected faults
+
+TEST(MediaServerConcurrencyTest, SixteenSessionsWithFaultsAllComplete) {
+  auto db = BuildServeDb(/*read_fault_rate=*/0.05);
+  ServeConfig config;
+  config.capacity_bytes_per_second = 8.0 * 1024 * 1024;
+  config.worker_threads = 4;
+  config.io_threads = 2;
+  config.read_options.policy.max_retries = 4;
+  config.read_options.policy.backoff_initial_us = 50.0;
+  MediaServer server(db.get(), config);
+
+  constexpr int kSessions = 16;
+  std::vector<std::thread> threads;
+  std::vector<SessionState> final_states(kSessions, SessionState::kOpen);
+  std::vector<bool> payloads_ok(kSessions, false);
+  std::atomic<int> failures{0};
+
+  for (int i = 0; i < kSessions; ++i) {
+    auto [client_end, server_end] = CreateLoopbackPair();
+    ASSERT_TRUE(server.Serve(std::move(server_end)).ok());
+    threads.emplace_back([&, i, endpoint = std::move(client_end)]() mutable {
+      MediaClient client(std::move(endpoint));
+      auto open = client.Open("clip");
+      if (!open.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      bool all_payloads_ok = true;
+      bool end_of_stream = false;
+      for (int rounds = 0; !end_of_stream && rounds < 256; ++rounds) {
+        auto batch = client.Read(8);
+        if (!batch.ok()) {
+          failures.fetch_add(1);
+          return;
+        }
+        for (const WireElement& element : batch->elements) {
+          if (element.payload !=
+              ElementPayload(static_cast<int>(element.element_number))) {
+            all_payloads_ok = false;
+          }
+        }
+        end_of_stream = batch->end_of_stream;
+      }
+      auto stats = client.Stats();
+      if (!stats.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      final_states[static_cast<size_t>(i)] = stats->state;
+      payloads_ok[static_cast<size_t>(i)] = all_payloads_ok;
+      (void)client.Close();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  server.Stop();
+
+  EXPECT_EQ(failures.load(), 0);
+  for (int i = 0; i < kSessions; ++i) {
+    SessionState state = final_states[static_cast<size_t>(i)];
+    EXPECT_TRUE(state == SessionState::kDone ||
+                state == SessionState::kDegraded)
+        << "session " << i << " ended " << SessionStateToString(state);
+    EXPECT_TRUE(payloads_ok[static_cast<size_t>(i)]) << "session " << i;
+  }
+  ServerStatsSnapshot snapshot = server.stats();
+  EXPECT_EQ(snapshot.sessions_admitted, static_cast<uint64_t>(kSessions));
+  EXPECT_EQ(snapshot.sessions_evicted, 0u);
+  EXPECT_EQ(snapshot.active_sessions, 0u);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace tbm

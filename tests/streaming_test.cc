@@ -407,6 +407,146 @@ TEST(PageCacheTest, HitsAndWriteInvalidation) {
 }
 
 // ---------------------------------------------------------------------------
+// Fault injection *below* the paged store: failures strike during LRU
+// cache refills, so these tests pin the no-poisoned-residents
+// invariant (regression tests for the FaultInjectingStore × page-cache
+// composition).
+
+TEST(PageCacheFaultTest, FaultedRefillLeavesNothingResident) {
+  auto device = std::make_unique<FaultInjectingPageDevice>(
+      std::make_unique<MemoryPageDevice>(64));
+  FaultInjectingPageDevice* faults = device.get();
+  PagedBlobStore store(std::move(device));
+  store.set_page_cache_capacity(16);
+
+  auto id = store.Create();
+  ASSERT_TRUE(id.ok());
+  Bytes data = Pattern(300, 3);  // ~6 pages of 56-byte payloads.
+  ASSERT_TRUE(store.Append(*id, data).ok());
+
+  // Fail the second page's refill: page 0 caches legitimately, page 1
+  // faults mid-read. The failed refill must not leave any entry for
+  // page 1 resident (a poisoned partial/stale payload).
+  faults->FailNextPageReads(0);
+  uint64_t resident_before = store.page_cache_stats().resident_pages;
+  EXPECT_EQ(resident_before, 0u);
+  faults->FailNextPageReads(1);
+  // First page read fails immediately; nothing may become resident.
+  auto failed = store.Read(*id, ByteRange{0, 300});
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kIOError);
+  EXPECT_EQ(store.page_cache_stats().resident_pages, 0u);
+
+  // A multi-page read faulting on a later page keeps only the pages
+  // that were read successfully before the fault.
+  faults->FailNextPageReads(0);
+  auto first_page = store.Read(*id, ByteRange{0, 10});  // Page 0 only.
+  ASSERT_TRUE(first_page.ok());
+  EXPECT_EQ(store.page_cache_stats().resident_pages, 1u);
+  faults->FailNextPageReads(1);  // Next device read (page 1) faults.
+  auto partial = store.Read(*id, ByteRange{0, 300});
+  ASSERT_FALSE(partial.ok());
+  EXPECT_EQ(store.page_cache_stats().resident_pages, 1u);
+
+  // After the fault clears, the full read succeeds and every byte is
+  // correct — no stale payload survived the failed attempts.
+  auto recovered = store.Read(*id, ByteRange{0, 300});
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_TRUE(std::equal(recovered->begin(), recovered->end(), data.begin()));
+  EXPECT_EQ(faults->injected_read_faults(), 2u);
+}
+
+TEST(PageCacheFaultTest, DeletePurgesResidentPages) {
+  PagedBlobStore store(std::make_unique<MemoryPageDevice>(64));
+  store.set_page_cache_capacity(32);
+
+  auto id = store.Create();
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(store.Append(*id, Pattern(400, 5)).ok());
+  ASSERT_TRUE(store.Read(*id, ByteRange{0, 400}).ok());
+  ASSERT_GT(store.page_cache_stats().resident_pages, 0u);
+
+  // Deleting the BLOB frees its pages for reuse; their cached payloads
+  // must leave with them, not linger as stale residents.
+  ASSERT_TRUE(store.Delete(*id).ok());
+  EXPECT_EQ(store.page_cache_stats().resident_pages, 0u);
+
+  // The freed pages are reused by the next BLOB; reads see the new
+  // bytes, never the deleted BLOB's cached payloads.
+  auto next = store.Create();
+  ASSERT_TRUE(next.ok());
+  Bytes fresh = Pattern(400, 9);
+  ASSERT_TRUE(store.Append(*next, fresh).ok());
+  auto read = store.Read(*next, ByteRange{0, 400});
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(std::equal(read->begin(), read->end(), fresh.begin()));
+}
+
+TEST(PageCacheFaultTest, DefragmentPurgesOldPagesFromCache) {
+  PagedBlobStore store(std::make_unique<MemoryPageDevice>(64));
+  store.set_page_cache_capacity(64);
+
+  // Interleave two BLOBs so the survivor is fragmented.
+  auto a = store.Create();
+  auto b = store.Create();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(store.Append(*a, Pattern(56, static_cast<uint8_t>(i))).ok());
+    ASSERT_TRUE(store.Append(*b, Pattern(56, static_cast<uint8_t>(100 + i))).ok());
+  }
+  ASSERT_TRUE(store.Delete(*b).ok());
+  auto frag = store.Fragmentation(*a);
+  ASSERT_TRUE(frag.ok());
+  ASSERT_GT(*frag, 0.0);
+
+  Bytes expected;
+  for (int i = 0; i < 6; ++i) {
+    Bytes part = Pattern(56, static_cast<uint8_t>(i));
+    expected.insert(expected.end(), part.begin(), part.end());
+  }
+  ASSERT_TRUE(store.Read(*a, ByteRange{0, expected.size()}).ok());
+  ASSERT_GT(store.page_cache_stats().resident_pages, 0u);
+
+  // Defragment rewrites the BLOB onto fresh contiguous pages and frees
+  // the old ones; their cached payloads must be purged so later reuse
+  // of those page indexes can't surface stale bytes.
+  ASSERT_TRUE(store.Defragment(*a).ok());
+  EXPECT_EQ(store.page_cache_stats().resident_pages, 0u);
+
+  auto read = store.Read(*a, ByteRange{0, expected.size()});
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(std::equal(read->begin(), read->end(), expected.begin()));
+
+  frag = store.Fragmentation(*a);
+  ASSERT_TRUE(frag.ok());
+  EXPECT_EQ(*frag, 0.0);
+}
+
+TEST(PageCacheFaultTest, FaultedAppendDoesNotLeakPages) {
+  FaultConfig config;
+  config.append_fault_rate = 1.0;  // Every WritePage faults.
+  auto faulty = std::make_unique<FaultInjectingPageDevice>(
+      std::make_unique<MemoryPageDevice>(64), config);
+  PagedBlobStore store(std::move(faulty));
+
+  auto id = store.Create();
+  ASSERT_TRUE(id.ok());
+  Status append = store.Append(*id, Pattern(200));
+  ASSERT_FALSE(append.ok());
+  auto size = store.Size(*id);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 0u);
+
+  // The faulted append must not strand its freshly acquired page: the
+  // page returns to the free list, so repeating the faulting append
+  // never grows the device further (physical_bytes stays flat).
+  uint64_t physical_after_fault = store.Stats().physical_bytes;
+  ASSERT_FALSE(store.Append(*id, Pattern(200)).ok());
+  EXPECT_EQ(store.Stats().physical_bytes, physical_after_fault);
+}
+
+// ---------------------------------------------------------------------------
 // ElementStream + streamed playback under injected faults (in the CI
 // TSan filter).
 

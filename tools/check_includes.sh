@@ -24,9 +24,26 @@ for file in "$root"/examples/*.cpp "$root"/examples/*.cc \
   fi
 done
 
+# The inverse rule for library code: src/ modules (serve/ included)
+# must name their exact dependencies, never the umbrella — including
+# "tbm.h" from inside the library would hide layering violations and
+# make every module depend on all of them.
+for file in "$root"/src/*/*.h "$root"/src/*/*.cc; do
+  [ -e "$file" ] || continue
+  bad=$(grep -nE '^[[:space:]]*#[[:space:]]*include[[:space:]]*"tbm\.h"' \
+        "$file" || true)
+  if [ -n "$bad" ]; then
+    echo "ERROR: $file includes the umbrella header \"tbm.h\":" >&2
+    echo "$bad" >&2
+    fail=1
+  fi
+done
+
 if [ "$fail" -ne 0 ]; then
   echo "" >&2
-  echo "Application code must include only \"tbm.h\" (see src/tbm.h)." >&2
+  echo "Application code must include only \"tbm.h\"; library code" >&2
+  echo "under src/ must never include it (see src/tbm.h)." >&2
   exit 1
 fi
-echo "include lint OK: examples/ and tools/ use only \"tbm.h\""
+echo "include lint OK: examples/ and tools/ use only \"tbm.h\";" \
+     "src/ modules never do"

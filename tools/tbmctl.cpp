@@ -7,20 +7,28 @@
 //                                          video -> <out>_NNNN.ppm frames)
 //   tbmctl play   <dbdir> <name>          simulate presentation timing
 //   tbmctl eval   <dbdir> <name> [threads] [--quiet] [--prefetch N]
-//                                         materialize; engine statistics
+//                 [--stats]               materialize; engine statistics
 //                                         go to stderr (--quiet omits them).
 //                                         --prefetch N streams BLOB reads
-//                                         with N chunks of readahead
+//                                         with N chunks of readahead;
+//                                         --stats dumps the metrics
+//                                         registry after evaluation
 //   tbmctl stats  <dbdir>                 storage + metrics statistics
 //   tbmctl trace  <dbdir> <name> [-o trace.json]
 //                                         materialize under the tracer and
 //                                         write Chrome trace_event JSON
 //                                         (open in chrome://tracing)
+//   tbmctl serve  <dbdir> [sessions] [--object <name>]
+//                                         demo the media service: N
+//                                         loopback client sessions stream
+//                                         the catalog's media objects
+//                                         through admission control
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -42,9 +50,10 @@ int Usage() {
                "       tbmctl export <dbdir> <name> <out>\n"
                "       tbmctl play <dbdir> <name>\n"
                "       tbmctl eval <dbdir> <name> [threads] [--quiet] "
-               "[--prefetch N]\n"
+               "[--prefetch N] [--stats]\n"
                "       tbmctl stats <dbdir>\n"
-               "       tbmctl trace <dbdir> <name> [-o trace.json]\n");
+               "       tbmctl trace <dbdir> <name> [-o trace.json]\n"
+               "       tbmctl serve <dbdir> [sessions] [--object <name>]\n");
   return 2;
 }
 
@@ -232,7 +241,7 @@ int CmdPlay(MediaDatabase* db, const std::string& name) {
 }
 
 int CmdEval(MediaDatabase* db, const std::string& name, int threads,
-            bool quiet, int prefetch) {
+            bool quiet, int prefetch, bool dump_metrics) {
   auto id = db->FindByName(name);
   if (!id.ok()) return Fail(id.status());
   EvalOptions options;
@@ -258,6 +267,126 @@ int CmdEval(MediaDatabase* db, const std::string& name, int threads,
                    db->last_eval_stats().ToString().c_str());
     }
   }
+  if (dump_metrics) {
+    obs::MetricsSnapshot metrics = obs::Registry::Global().Snapshot();
+    if (metrics.empty()) {
+      std::fprintf(stderr,
+                   "tbmctl: metrics registry is empty "
+                   "(built with TBM_OBS_DISABLED?)\n");
+    } else {
+      std::fprintf(stderr, "metrics:\n%s", metrics.ToString().c_str());
+    }
+  }
+  return 0;
+}
+
+// Streams every requested media object through the serve layer over
+// in-process loopback transports — a self-contained demonstration of
+// admission, degradation, and the wire protocol against a real
+// database directory.
+int CmdServe(MediaDatabase* db, int sessions, const std::string& object_name) {
+  std::vector<std::string> names;
+  if (!object_name.empty()) {
+    auto id = db->FindByName(object_name);
+    if (!id.ok()) return Fail(id.status());
+    auto entry = db->Get(*id);
+    if (!entry.ok()) return Fail(entry.status());
+    if ((*entry)->kind != CatalogKind::kMediaObject) {
+      std::fprintf(stderr, "tbmctl: \"%s\" is not a media object\n",
+                   object_name.c_str());
+      return 2;
+    }
+    names.push_back(object_name);
+  } else {
+    for (ObjectId id : db->List()) {
+      auto entry = db->Get(id);
+      if (entry.ok() && (*entry)->kind == CatalogKind::kMediaObject) {
+        names.push_back((*entry)->name);
+      }
+    }
+  }
+  if (names.empty()) {
+    std::fprintf(stderr, "tbmctl: database has no media objects to serve\n");
+    return 2;
+  }
+  if (sessions <= 0) sessions = static_cast<int>(names.size());
+
+  serve::MediaServer server(db);
+  struct Outcome {
+    std::string object;
+    Status status = Status::OK();
+    serve::SessionStatsWire stats;
+    uint32_t admitted_stride = 1;
+  };
+  std::vector<Outcome> outcomes(static_cast<size_t>(sessions));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(sessions));
+  for (int i = 0; i < sessions; ++i) {
+    Outcome& outcome = outcomes[static_cast<size_t>(i)];
+    outcome.object = names[static_cast<size_t>(i) % names.size()];
+    auto [client_end, server_end] = serve::CreateLoopbackPair();
+    if (Status adopted = server.Serve(std::move(server_end)); !adopted.ok()) {
+      outcome.status = adopted;
+      continue;
+    }
+    threads.emplace_back([&outcome,
+                          endpoint = std::move(client_end)]() mutable {
+      serve::MediaClient client(std::move(endpoint));
+      auto open = client.Open(outcome.object);
+      if (!open.ok()) {
+        outcome.status = open.status();
+        return;
+      }
+      outcome.admitted_stride = open->stride;
+      bool end_of_stream = false;
+      while (!end_of_stream) {
+        auto batch = client.Read(16);
+        if (!batch.ok()) {
+          outcome.status = batch.status();
+          return;
+        }
+        end_of_stream = batch->end_of_stream;
+      }
+      auto stats = client.Stats();
+      if (!stats.ok()) {
+        outcome.status = stats.status();
+        return;
+      }
+      outcome.stats = *stats;
+      (void)client.Close();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  server.Stop();
+
+  std::printf("%-4s %-24s %-10s %-7s %10s %8s %12s\n", "#", "object", "state",
+              "stride", "delivered", "skipped", "bytes");
+  for (int i = 0; i < sessions; ++i) {
+    const Outcome& outcome = outcomes[static_cast<size_t>(i)];
+    if (!outcome.status.ok()) {
+      std::printf("%-4d %-24s %s\n", i, outcome.object.c_str(),
+                  outcome.status.ToString().c_str());
+      continue;
+    }
+    std::printf("%-4d %-24s %-10s %-7u %10llu %8llu %12s\n", i,
+                outcome.object.c_str(),
+                std::string(serve::SessionStateToString(outcome.stats.state))
+                    .c_str(),
+                outcome.stats.stride,
+                (unsigned long long)outcome.stats.elements_delivered,
+                (unsigned long long)outcome.stats.elements_skipped,
+                HumanBytes(outcome.stats.bytes_sent).c_str());
+  }
+  serve::ServerStatsSnapshot stats = server.stats();
+  std::printf(
+      "server: %llu admitted (%llu degraded), %llu denied, %llu evicted, "
+      "%llu requests, %s sent\n",
+      (unsigned long long)stats.sessions_admitted,
+      (unsigned long long)stats.sessions_degraded,
+      (unsigned long long)stats.sessions_denied,
+      (unsigned long long)stats.sessions_evicted,
+      (unsigned long long)stats.requests,
+      HumanBytes(stats.response_bytes).c_str());
   return 0;
 }
 
@@ -356,9 +485,12 @@ int main(int argc, char** argv) {
     int threads = 1;
     bool quiet = false;
     int prefetch = 0;
+    bool dump_metrics = false;
     for (int i = 4; i < argc; ++i) {
       if (std::strcmp(argv[i], "--quiet") == 0) {
         quiet = true;
+      } else if (std::strcmp(argv[i], "--stats") == 0) {
+        dump_metrics = true;
       } else if (std::strcmp(argv[i], "--prefetch") == 0 && i + 1 < argc) {
         prefetch = std::atoi(argv[++i]);
       } else {
@@ -366,7 +498,20 @@ int main(int argc, char** argv) {
       }
     }
     if (threads < 0 || prefetch < 0) return Usage();
-    return CmdEval(db->get(), argv[3], threads, quiet, prefetch);
+    return CmdEval(db->get(), argv[3], threads, quiet, prefetch, dump_metrics);
+  }
+  if (command == "serve") {
+    int sessions = 0;
+    std::string object_name;
+    for (int i = 3; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--object") == 0 && i + 1 < argc) {
+        object_name = argv[++i];
+      } else {
+        sessions = std::atoi(argv[i]);
+        if (sessions <= 0) return Usage();
+      }
+    }
+    return CmdServe(db->get(), sessions, object_name);
   }
   if (command == "trace" && argc >= 4) {
     std::string out = "trace.json";
