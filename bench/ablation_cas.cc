@@ -1,0 +1,290 @@
+// Substrate ablation: content-addressed BLOB storage. The paper treats
+// BLOB layout as a performance concern hidden from the data model
+// (Def. 4); the CAS tier extends that to *identity* — identical
+// uploads from different sessions store once. This bench quantifies
+// the trade on a corpus of overlapping clips: storage reduction from
+// dedup, push/pull throughput vs the plain file store, and the
+// mark-and-sweep GC's reclaim rate and mutator pause.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "blob/cas_store.h"
+#include "blob/file_store.h"
+
+namespace tbm {
+namespace {
+
+using bench::CheckOk;
+using bench::ValueOrDie;
+
+namespace fs = std::filesystem;
+
+Bytes Payload(size_t n, uint32_t seed) {
+  Bytes data(n);
+  uint32_t x = seed * 2654435761u + 1;
+  for (size_t i = 0; i < n; ++i) {
+    x = x * 1664525u + 1013904223u;
+    data[i] = static_cast<uint8_t>(x >> 24);
+  }
+  return data;
+}
+
+std::string ScratchDir(const char* tag) {
+  static int counter = 0;
+  std::string dir = (fs::temp_directory_path() /
+                     ("tbm_bench_cas_" + std::string(tag) + "_" +
+                      std::to_string(counter++)))
+                        .string();
+  fs::remove_all(dir);
+  return dir;
+}
+
+uint64_t DiskBytes(const std::string& root) {
+  uint64_t total = 0;
+  std::error_code ec;
+  for (auto it = fs::recursive_directory_iterator(root, ec);
+       !ec && it != fs::recursive_directory_iterator(); ++it) {
+    if (it->is_regular_file(ec)) total += it->file_size(ec);
+  }
+  return total;
+}
+
+double Mibps(uint64_t bytes, double seconds) {
+  return seconds <= 0 ? 0.0
+                      : static_cast<double>(bytes) / (1024.0 * 1024.0) /
+                            seconds;
+}
+
+// The corpus: `kClips` distinct clips (a few MiB each), each uploaded
+// by `kSessions` independent sessions — the multi-tenant ingest
+// pattern where several editors pull the same dailies. A plain file
+// store keeps every copy; the CAS tier keeps one.
+constexpr int kClips = 12;
+constexpr int kSessions = 4;
+constexpr size_t kClipBytes = 3 << 20;  // 3 MiB per clip.
+
+std::vector<Bytes> MakeCorpus() {
+  std::vector<Bytes> clips;
+  clips.reserve(kClips);
+  for (int i = 0; i < kClips; ++i) {
+    clips.push_back(Payload(kClipBytes, static_cast<uint32_t>(i + 1)));
+  }
+  return clips;
+}
+
+template <typename Store>
+double TimedIngest(Store* store, const std::vector<Bytes>& clips,
+                   std::vector<BlobId>* ids) {
+  auto start = std::chrono::steady_clock::now();
+  for (int session = 0; session < kSessions; ++session) {
+    for (const Bytes& clip : clips) {
+      auto push = ValueOrDie(store->StartPush(), "start push");
+      // 256 KiB spans model the capture chunking.
+      constexpr size_t kSpan = 256 << 10;
+      for (size_t off = 0; off < clip.size(); off += kSpan) {
+        size_t take = std::min(kSpan, clip.size() - off);
+        CheckOk(push->Push(ByteSpan(clip.data() + off, take)), "push");
+      }
+      ids->push_back(ValueOrDie(push->Finish(), "finish"));
+    }
+  }
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+template <typename Store>
+double TimedPull(Store* store, const std::vector<BlobId>& ids,
+                 uint64_t* bytes_out) {
+  // Chunked sequential pull of every stored id — the playback path.
+  constexpr uint64_t kChunk = 256 << 10;
+  uint64_t bytes = 0;
+  auto start = std::chrono::steady_clock::now();
+  for (BlobId id : ids) {
+    uint64_t size = ValueOrDie(store->Size(id), "size");
+    for (uint64_t off = 0; off < size; off += kChunk) {
+      uint64_t take = std::min(kChunk, size - off);
+      auto slice = store->Read(id, ByteRange{off, take});
+      CheckOk(slice.status(), "read");
+      benchmark::DoNotOptimize(slice->data());
+      bytes += take;
+    }
+  }
+  *bytes_out = bytes;
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+void PrintAblation() {
+  bench::Header(
+      "Ablation: content-addressed BLOB tier — dedup, throughput, GC\n"
+      "(corpus: 12 distinct 3 MiB clips, each pushed by 4 sessions)");
+
+  std::vector<Bytes> clips = MakeCorpus();
+  const uint64_t logical =
+      static_cast<uint64_t>(kClips) * kSessions * kClipBytes;
+
+  // --- Plain file store: every session's copy hits disk. ---
+  std::string file_dir = ScratchDir("file");
+  auto file_store = ValueOrDie(FileBlobStore::Open(file_dir), "file store");
+  std::vector<BlobId> file_ids;
+  double file_push_s = TimedIngest(file_store.get(), clips, &file_ids);
+  uint64_t file_disk = DiskBytes(file_dir);
+
+  // --- CAS store: dedup on push. ---
+  std::string cas_dir = ScratchDir("cas");
+  auto cas_store = ValueOrDie(CasBlobStore::Open(cas_dir), "cas store");
+  std::vector<BlobId> cas_ids;
+  double cas_push_s = TimedIngest(cas_store.get(), clips, &cas_ids);
+  uint64_t cas_disk = DiskBytes(cas_dir);
+  CasStoreStats stats = cas_store->Stats();
+
+  std::printf("Ingest (%d clips x %d sessions, %s logical):\n", kClips,
+              kSessions, HumanBytes(logical).c_str());
+  std::printf("  file store: %6.1f MiB/s push, %s on disk\n",
+              Mibps(logical, file_push_s), HumanBytes(file_disk).c_str());
+  std::printf("  cas  store: %6.1f MiB/s push, %s on disk\n",
+              Mibps(logical, cas_push_s), HumanBytes(cas_disk).c_str());
+  std::printf("  dedup ratio %.2fx  (%llu pushes, %llu dedup hits)\n",
+              stats.dedup_ratio(),
+              static_cast<unsigned long long>(stats.pushes),
+              static_cast<unsigned long long>(stats.dedup_hits));
+  std::printf("  storage reduction %.2fx vs file store\n",
+              file_disk > 0 && cas_disk > 0
+                  ? static_cast<double>(file_disk) / cas_disk
+                  : 0.0);
+
+  // --- Pull throughput: chunked sequential read of every id. ---
+  uint64_t file_bytes = 0, cas_bytes = 0;
+  double file_pull_s = TimedPull(file_store.get(), file_ids, &file_bytes);
+  double cas_pull_s = TimedPull(cas_store.get(), cas_ids, &cas_bytes);
+  std::printf("Pull (256 KiB chunked sequential, all %d ids):\n",
+              kClips * kSessions);
+  std::printf("  file store: %6.1f MiB/s\n", Mibps(file_bytes, file_pull_s));
+  std::printf("  cas  store: %6.1f MiB/s (mmap, zero-copy)\n",
+              Mibps(cas_bytes, cas_pull_s));
+  std::printf("  cas/file pull ratio: %.2f\n",
+              Mibps(cas_bytes, cas_pull_s) / Mibps(file_bytes, file_pull_s));
+
+  // --- GC: drop all but one session's references, then sweep. ---
+  // Live set: the first kClips ids (session 0). Everything else is
+  // garbage — but dedup means the *content* stays pinned by session
+  // 0's references, so the sweep reclaims nothing until those go too.
+  std::vector<BlobId> live(cas_ids.begin(), cas_ids.begin() + kClips);
+  auto partial = ValueOrDie(cas_store->Sweep(live), "sweep live");
+  std::printf("GC with one session still live:\n");
+  std::printf("  scanned %llu, swept %llu, reclaimed %s, pause %llu us\n",
+              static_cast<unsigned long long>(partial.scanned),
+              static_cast<unsigned long long>(partial.swept),
+              HumanBytes(partial.reclaimed_bytes).c_str(),
+              static_cast<unsigned long long>(partial.pause_us));
+  auto full = ValueOrDie(cas_store->Sweep({}), "sweep all");
+  std::printf("GC with no live references:\n");
+  std::printf("  scanned %llu, swept %llu, reclaimed %s, pause %llu us\n",
+              static_cast<unsigned long long>(full.scanned),
+              static_cast<unsigned long long>(full.swept),
+              HumanBytes(full.reclaimed_bytes).c_str(),
+              static_cast<unsigned long long>(full.pause_us));
+  std::printf("  disk after sweep: %s\n",
+              HumanBytes(DiskBytes(cas_dir)).c_str());
+
+  fs::remove_all(file_dir);
+  fs::remove_all(cas_dir);
+}
+
+// --- Micro: push throughput, cold vs dedup-hit ------------------------------
+
+void BM_CasPush_Cold(benchmark::State& state) {
+  const size_t size = static_cast<size_t>(state.range(0));
+  std::string dir = ScratchDir("push_cold");
+  auto store = ValueOrDie(CasBlobStore::Open(dir), "open");
+  uint32_t seed = 1;
+  for (auto _ : state) {
+    Bytes data = Payload(size, seed++);  // Distinct content every time.
+    benchmark::DoNotOptimize(ValueOrDie(store->PushAll(data), "push"));
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(size));
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_CasPush_Cold)->Arg(64 << 10)->Arg(1 << 20);
+
+void BM_CasPush_DedupHit(benchmark::State& state) {
+  const size_t size = static_cast<size_t>(state.range(0));
+  std::string dir = ScratchDir("push_dup");
+  auto store = ValueOrDie(CasBlobStore::Open(dir), "open");
+  Bytes data = Payload(size, 7);
+  CheckOk(store->PushAll(data).status(), "seed push");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ValueOrDie(store->PushAll(data), "push"));
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(size));
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_CasPush_DedupHit)->Arg(64 << 10)->Arg(1 << 20);
+
+void BM_FilePush(benchmark::State& state) {
+  const size_t size = static_cast<size_t>(state.range(0));
+  std::string dir = ScratchDir("push_file");
+  auto store = ValueOrDie(FileBlobStore::Open(dir), "open");
+  uint32_t seed = 1;
+  for (auto _ : state) {
+    Bytes data = Payload(size, seed++);
+    benchmark::DoNotOptimize(ValueOrDie(store->PushAll(data), "push"));
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(size));
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_FilePush)->Arg(64 << 10)->Arg(1 << 20);
+
+// --- Micro: ranged pulls, mmap vs pread -------------------------------------
+
+template <typename Store>
+void PullBench(benchmark::State& state, Store* store, BlobId id,
+               uint64_t blob_size) {
+  const uint64_t chunk = static_cast<uint64_t>(state.range(0));
+  uint64_t offset = 0;
+  for (auto _ : state) {
+    auto slice = store->Read(id, ByteRange{offset, chunk});
+    CheckOk(slice.status(), "read");
+    benchmark::DoNotOptimize(slice->data());
+    offset = (offset + 7919 * chunk) % (blob_size - chunk);
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(chunk));
+}
+
+void BM_CasPull(benchmark::State& state) {
+  std::string dir = ScratchDir("pull_cas");
+  auto store = ValueOrDie(CasBlobStore::Open(dir), "open");
+  BlobId id = ValueOrDie(store->PushAll(Payload(8 << 20, 3)), "push");
+  PullBench(state, store.get(), id, 8 << 20);
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_CasPull)->Arg(16 << 10)->Arg(256 << 10);
+
+void BM_FilePull(benchmark::State& state) {
+  std::string dir = ScratchDir("pull_file");
+  auto store = ValueOrDie(FileBlobStore::Open(dir), "open");
+  BlobId id = ValueOrDie(store->PushAll(Payload(8 << 20, 3)), "push");
+  PullBench(state, store.get(), id, 8 << 20);
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_FilePull)->Arg(16 << 10)->Arg(256 << 10);
+
+}  // namespace
+}  // namespace tbm
+
+int main(int argc, char** argv) {
+  bool stats = tbm::bench::ConsumeFlag(&argc, argv, "--stats");
+  tbm::PrintAblation();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  if (stats) tbm::bench::PrintRegistrySnapshot();
+  return 0;
+}

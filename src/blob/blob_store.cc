@@ -4,6 +4,12 @@
 
 namespace tbm {
 
+Result<BlobId> BlobStore::PushAll(ByteSpan data) {
+  TBM_ASSIGN_OR_RETURN(std::unique_ptr<PushHandle> push, StartPush());
+  TBM_RETURN_IF_ERROR(push->Push(data));
+  return push->Finish();
+}
+
 Result<BufferSlice> BlobStore::ReadAll(BlobId id) const {
   TBM_ASSIGN_OR_RETURN(uint64_t size, Size(id));
   if (size == 0) return BufferSlice();

@@ -19,33 +19,99 @@ inline constexpr BlobId kInvalidBlobId = 0;
 class ChunkReader;
 struct ChunkReaderOptions;
 
+/// A streaming BLOB ingest in progress — the write half of the store
+/// API. Obtained from `BlobStore::StartPush()`; bytes are streamed in
+/// with `Push()` and the BLOB id materializes at `Finish()`:
+///
+///   TBM_ASSIGN_OR_RETURN(auto push, store->StartPush());
+///   TBM_RETURN_IF_ERROR(push->Push(first_span));
+///   TBM_RETURN_IF_ERROR(push->Push(next_span));
+///   TBM_ASSIGN_OR_RETURN(BlobId id, push->Finish());
+///
+/// The handle owns an *unpublished* BLOB: until Finish() returns, the
+/// BLOB is invisible to Read/Size/Exists/List and has no id. This is
+/// what lets the content-addressed store assign ids by content hash
+/// (the id cannot exist before the last byte arrives) and lets every
+/// store publish atomically — an aborted or dropped handle leaves no
+/// trace.
+///
+/// State machine: streaming → finished | aborted. Push() and Finish()
+/// return FailedPrecondition once the handle has finished or aborted;
+/// Finish() on an already-finished handle does not mint a second BLOB.
+/// Destroying a still-streaming handle aborts it (releasing any staged
+/// storage).
+///
+/// Handles follow their store's write contract: for the mutable stores
+/// a handle counts as "the writer" (one writer at a time, external
+/// synchronization against readers). CasBlobStore strengthens this —
+/// any number of concurrent pushes, pulls, and sweeps are safe.
+class PushHandle {
+ public:
+  virtual ~PushHandle() = default;
+
+  /// Appends `data` to the BLOB being pushed.
+  virtual Status Push(ByteSpan data) = 0;
+
+  /// Publishes the BLOB and returns its id. The handle is consumed.
+  virtual Result<BlobId> Finish() = 0;
+
+  /// Discards the push, releasing staged storage. Idempotent; also
+  /// invoked by the destructor if the handle was never finished.
+  virtual Status Abort() = 0;
+
+  /// Bytes pushed so far.
+  virtual uint64_t bytes_pushed() const = 0;
+};
+
 /// A BLOB (paper Definition 4): an attribute value that appears to
-/// applications as a sequence of bytes, with read and append access.
+/// applications as a sequence of bytes, with streamed-write and
+/// random-read access.
 ///
 /// Per the paper, insertion/deletion of byte spans is deliberately not
 /// offered: time-based media is edited non-destructively through
 /// derivation objects (Def. 6), never by rewriting BLOB bytes. The
-/// physical layout of a BLOB (contiguous or fragmented) is a
-/// performance concern hidden behind this interface; see
-/// MemoryBlobStore, PagedBlobStore and FileBlobStore. Stores compose
-/// as decorators over this interface — FaultInjectingStore wraps any
-/// BlobStore, and MediaDatabase accepts an injected store — so new
-/// backends slot in without touching consumers.
+/// physical layout of a BLOB (contiguous, fragmented, or
+/// content-addressed) is a performance concern hidden behind this
+/// interface; see MemoryBlobStore, PagedBlobStore, FileBlobStore and
+/// CasBlobStore. Stores compose as decorators over this interface —
+/// FaultInjectingStore wraps any BlobStore, and MediaDatabase accepts
+/// an injected store — so new backends slot in without touching
+/// consumers.
+///
+/// Writes go through the streaming push API (`StartPush` →
+/// `PushHandle`): ingest is a stream of spans and the BLOB id is
+/// assigned at `Finish()`. The historical two-phase `Create()` +
+/// `Append()` surface remains as a thin deprecated shim for the
+/// mutable stores (and is how capture used to interleave writes), but
+/// new code should push; the content-addressed store is push-only and
+/// fails both shims with FailedPrecondition.
 ///
 /// Thread-safety contract: const methods (Read, Size, Exists, List,
 /// OpenChunkReader) may be called from multiple threads concurrently —
 /// the AsyncPrefetcher depends on this to overlap chunk fetches —
-/// provided no thread is concurrently mutating the store (Create,
-/// Append, Delete). Mixing readers with a writer requires external
-/// synchronization, as with standard containers.
+/// provided no thread is concurrently mutating the store (an open
+/// push handle, Create, Append, Delete). Mixing readers with a writer
+/// requires external synchronization, as with standard containers.
+/// CasBlobStore strengthens this to full internal synchronization.
 class BlobStore {
  public:
   virtual ~BlobStore() = default;
 
-  /// Creates a new empty BLOB and returns its id.
+  /// Begins a streaming push of a new BLOB (see PushHandle). The
+  /// returned handle borrows the store: it must not outlive it.
+  virtual Result<std::unique_ptr<PushHandle>> StartPush() = 0;
+
+  /// Convenience: pushes `data` as one complete BLOB.
+  Result<BlobId> PushAll(ByteSpan data);
+
+  /// DEPRECATED two-phase write shim: creates a new empty BLOB and
+  /// returns its id. Prefer StartPush(); push-only stores
+  /// (CasBlobStore) reject this with FailedPrecondition.
   virtual Result<BlobId> Create() = 0;
 
-  /// Appends `data` to the end of BLOB `id`.
+  /// DEPRECATED two-phase write shim: appends `data` to the end of
+  /// BLOB `id`. Prefer StartPush(); push-only stores reject this with
+  /// FailedPrecondition.
   virtual Status Append(BlobId id, ByteSpan data) = 0;
 
   /// Reads the byte range `range` of BLOB `id`. The full range must be
@@ -53,7 +119,8 @@ class BlobStore {
   ///
   /// The result is a zero-copy view where the store can serve one
   /// (MemoryBlobStore aliases its backing buffer; PagedBlobStore
-  /// aliases a cached page for single-page ranges) and an owned buffer
+  /// aliases a cached page for single-page ranges; CasBlobStore
+  /// aliases its memory-mapped shard file) and an owned buffer
   /// otherwise. Either way the slice keeps its bytes alive on its own —
   /// it remains valid after the BLOB is deleted, the store destroyed,
   /// or a cache entry evicted.
@@ -62,13 +129,21 @@ class BlobStore {
   /// Current size of BLOB `id` in bytes.
   virtual Result<uint64_t> Size(BlobId id) const = 0;
 
-  /// Removes BLOB `id`, reclaiming its storage.
+  /// Removes BLOB `id`, reclaiming its storage. On the deduplicating
+  /// store this drops one reference; bytes are reclaimed when the last
+  /// reference is gone.
   virtual Status Delete(BlobId id) = 0;
 
   /// True iff a BLOB with this id exists.
   virtual bool Exists(BlobId id) const = 0;
 
-  /// Ids of all live BLOBs, ascending.
+  /// Ids of all live BLOBs.
+  ///
+  /// Ordering contract: ascending by id, no duplicates. Every store
+  /// implements this ordering (the cross-store conformance test in
+  /// tests/blob_test.cc enforces it), so consumers may binary-search
+  /// the result or merge listings from several stores without
+  /// re-sorting.
   virtual std::vector<BlobId> List() const = 0;
 
   /// Convenience: reads the whole BLOB.

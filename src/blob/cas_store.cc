@@ -1,0 +1,596 @@
+#include "blob/cas_store.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <set>
+#include <utility>
+
+#include "base/io.h"
+#include "base/macros.h"
+#include "blob/store_metrics.h"
+#include "obs/trace.h"
+
+namespace tbm {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Ledger journal magic + record opcodes. The journal is append-only
+/// during operation and compacted (rewritten as pure kAdd records with
+/// the current refcounts) every Open.
+constexpr char kLedgerMagic[8] = {'T', 'B', 'M', 'C', 'A', 'S', 'L', '1'};
+
+enum LedgerOp : uint8_t {
+  kOpAdd = 1,     ///< varu64 id, raw[32] hash, varu64 size, varu64 refcount
+  kOpRef = 2,     ///< varu64 id
+  kOpUnref = 3,   ///< varu64 id
+  kOpRemove = 4,  ///< varu64 id
+};
+
+Status NoSuchBlob(BlobId id) {
+  return Status::NotFound("no such BLOB: " + std::to_string(id));
+}
+
+Status PushOnly(const char* op) {
+  return Status::FailedPrecondition(
+      std::string("content-addressed store is push-only: ") + op +
+      " cannot allocate an id before the content (and so the hash) is "
+      "known — use StartPush()");
+}
+
+uint64_t ElapsedUs(std::chrono::steady_clock::time_point since) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Push handle
+
+/// Push handle of CasBlobStore: streams into `<root>/tmp/`, folding
+/// every span through an incremental SHA-256 as it lands on disk, so
+/// Finish() knows the content hash without re-reading the staged file.
+class CasPushHandle final : public PushHandle {
+ public:
+  CasPushHandle(CasBlobStore* store, std::string temp_path, std::FILE* file)
+      : store_(store), temp_path_(std::move(temp_path)), file_(file) {}
+
+  ~CasPushHandle() override { Abort(); }
+
+  Status Push(ByteSpan data) override {
+    if (file_ == nullptr) {
+      return Status::FailedPrecondition("push already finished or aborted");
+    }
+    obs::ScopedSpan span("cas.push");
+    const auto& metrics = blob_internal::CasMetrics::Get();
+    metrics.push_bytes->Add(data.size());
+    hasher_.Update(data);
+    size_t written =
+        data.empty() ? 0 : std::fwrite(data.data(), 1, data.size(), file_);
+    if (written != data.size()) {
+      return Status::IOError("short push write to " + temp_path_);
+    }
+    size_ += data.size();
+    return Status::OK();
+  }
+
+  Result<BlobId> Finish() override {
+    if (file_ == nullptr) {
+      return Status::FailedPrecondition("push already finished or aborted");
+    }
+    int rc = std::fclose(file_);
+    file_ = nullptr;
+    if (rc != 0) {
+      std::error_code ignore;
+      fs::remove(temp_path_, ignore);
+      return Status::IOError("cannot finish push: close of " + temp_path_ +
+                             " failed");
+    }
+    return store_->FinishPush(temp_path_, hasher_.Finish(), size_);
+  }
+
+  Status Abort() override {
+    if (file_ != nullptr) {
+      std::fclose(file_);
+      file_ = nullptr;
+      std::error_code ignore;
+      fs::remove(temp_path_, ignore);
+    }
+    return Status::OK();
+  }
+
+  uint64_t bytes_pushed() const override { return size_; }
+
+ private:
+  CasBlobStore* store_;
+  std::string temp_path_;
+  std::FILE* file_;  ///< Null once finished or aborted.
+  Sha256 hasher_;
+  uint64_t size_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Open / ledger persistence
+
+Result<std::unique_ptr<CasBlobStore>> CasBlobStore::Open(
+    const std::string& root) {
+  std::error_code ec;
+  fs::create_directories(root + "/tmp", ec);
+  if (ec) {
+    return Status::IOError("cannot create CAS root " + root + ": " +
+                           ec.message());
+  }
+  // Stale staging files are pushes that never finished; discard them.
+  for (const auto& entry : fs::directory_iterator(root + "/tmp", ec)) {
+    std::error_code ignore;
+    fs::remove(entry.path(), ignore);
+  }
+
+  auto store = std::unique_ptr<CasBlobStore>(new CasBlobStore(root));
+  const std::string ledger_path = root + "/ledger.tbm";
+  if (fs::exists(ledger_path)) {
+    TBM_ASSIGN_OR_RETURN(Bytes journal, ReadFileBytes(ledger_path));
+    TBM_RETURN_IF_ERROR(store->ReplayLedger(ByteSpan(journal)));
+  }
+  TBM_RETURN_IF_ERROR(store->CompactLedger());
+  store->journal_ = std::fopen(ledger_path.c_str(), "ab");
+  if (store->journal_ == nullptr) {
+    return Status::IOError("cannot open CAS ledger for append: " +
+                           ledger_path);
+  }
+
+  const auto& metrics = blob_internal::CasMetrics::Get();
+  for (const auto& [id, e] : store->by_id_) {
+    metrics.logical_bytes->Add(static_cast<int64_t>(e.size * e.refcount));
+    metrics.stored_bytes->Add(static_cast<int64_t>(e.size));
+  }
+  return store;
+}
+
+CasBlobStore::~CasBlobStore() {
+  if (journal_ != nullptr) std::fclose(journal_);
+}
+
+Status CasBlobStore::ReplayLedger(ByteSpan journal) {
+  BinaryReader reader(journal);
+  TBM_ASSIGN_OR_RETURN(Bytes magic, reader.ReadRaw(sizeof(kLedgerMagic)));
+  if (std::memcmp(magic.data(), kLedgerMagic, sizeof(kLedgerMagic)) != 0) {
+    return Status::Corruption("CAS ledger: bad magic");
+  }
+  while (!reader.AtEnd()) {
+    TBM_ASSIGN_OR_RETURN(uint8_t op, reader.ReadU8());
+    TBM_ASSIGN_OR_RETURN(uint64_t id, reader.ReadVarU64());
+    switch (op) {
+      case kOpAdd: {
+        TBM_ASSIGN_OR_RETURN(Bytes hash, reader.ReadRaw(32));
+        TBM_ASSIGN_OR_RETURN(uint64_t size, reader.ReadVarU64());
+        TBM_ASSIGN_OR_RETURN(uint64_t refcount, reader.ReadVarU64());
+        Entry entry;
+        std::memcpy(entry.hash.bytes.data(), hash.data(), 32);
+        entry.size = size;
+        entry.refcount = static_cast<uint32_t>(refcount);
+        by_hash_[entry.hash] = id;
+        by_id_[id] = std::move(entry);
+        next_id_ = std::max(next_id_, id + 1);
+        break;
+      }
+      case kOpRef:
+      case kOpUnref: {
+        auto it = by_id_.find(id);
+        if (it == by_id_.end()) {
+          return Status::Corruption("CAS ledger: ref of unknown id " +
+                                    std::to_string(id));
+        }
+        it->second.refcount += op == kOpRef ? 1 : -1;
+        break;
+      }
+      case kOpRemove: {
+        auto it = by_id_.find(id);
+        if (it == by_id_.end()) {
+          return Status::Corruption("CAS ledger: remove of unknown id " +
+                                    std::to_string(id));
+        }
+        by_hash_.erase(it->second.hash);
+        by_id_.erase(it);
+        break;
+      }
+      default:
+        return Status::Corruption("CAS ledger: unknown op " +
+                                  std::to_string(op));
+    }
+  }
+  return Status::OK();
+}
+
+Status CasBlobStore::CompactLedger() {
+  BinaryWriter writer;
+  writer.WriteRaw(ByteSpan(reinterpret_cast<const uint8_t*>(kLedgerMagic),
+                           sizeof(kLedgerMagic)));
+  for (const auto& [id, entry] : by_id_) {
+    writer.WriteU8(kOpAdd);
+    writer.WriteVarU64(id);
+    writer.WriteRaw(ByteSpan(entry.hash.bytes.data(), entry.hash.bytes.size()));
+    writer.WriteVarU64(entry.size);
+    writer.WriteVarU64(entry.refcount);
+  }
+  const std::string ledger_path = root_ + "/ledger.tbm";
+  const std::string temp_path = ledger_path + ".tmp";
+  TBM_RETURN_IF_ERROR(WriteFile(temp_path, ByteSpan(writer.buffer())));
+  std::error_code ec;
+  fs::rename(temp_path, ledger_path, ec);
+  if (ec) {
+    return Status::IOError("cannot replace CAS ledger: " + ec.message());
+  }
+  return Status::OK();
+}
+
+void CasBlobStore::JournalRecord(const Bytes& record) {
+  if (journal_ == nullptr) return;
+  std::fwrite(record.data(), 1, record.size(), journal_);
+  std::fflush(journal_);
+}
+
+void CasBlobStore::JournalAdd(BlobId id, const Entry& entry) {
+  BinaryWriter writer;
+  writer.WriteU8(kOpAdd);
+  writer.WriteVarU64(id);
+  writer.WriteRaw(ByteSpan(entry.hash.bytes.data(), entry.hash.bytes.size()));
+  writer.WriteVarU64(entry.size);
+  writer.WriteVarU64(entry.refcount);
+  JournalRecord(writer.buffer());
+}
+
+void CasBlobStore::JournalRef(BlobId id) {
+  BinaryWriter writer;
+  writer.WriteU8(kOpRef);
+  writer.WriteVarU64(id);
+  JournalRecord(writer.buffer());
+}
+
+void CasBlobStore::JournalUnref(BlobId id) {
+  BinaryWriter writer;
+  writer.WriteU8(kOpUnref);
+  writer.WriteVarU64(id);
+  JournalRecord(writer.buffer());
+}
+
+void CasBlobStore::JournalRemove(BlobId id) {
+  BinaryWriter writer;
+  writer.WriteU8(kOpRemove);
+  writer.WriteVarU64(id);
+  JournalRecord(writer.buffer());
+}
+
+// ---------------------------------------------------------------------------
+// Paths
+
+std::string CasBlobStore::ShardPath(const Sha256Digest& digest) const {
+  std::string hex = digest.ToHex();
+  std::string path;
+  path.reserve(root_.size() + 7 + hex.size());
+  path += root_;
+  path += '/';
+  path.append(hex, 0, 2);
+  path += '/';
+  path.append(hex, 2, 2);
+  path += '/';
+  path += hex;
+  return path;
+}
+
+std::string CasBlobStore::TempPath(uint64_t token) {
+  return root_ + "/tmp/push_" + std::to_string(token) + ".tmp";
+}
+
+// ---------------------------------------------------------------------------
+// Push path
+
+Result<std::unique_ptr<PushHandle>> CasBlobStore::StartPush() {
+  uint64_t token;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    token = push_token_++;
+  }
+  std::string temp_path = TempPath(token);
+  std::FILE* f = std::fopen(temp_path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot create push staging file: " + temp_path);
+  }
+  return std::unique_ptr<PushHandle>(
+      std::make_unique<CasPushHandle>(this, std::move(temp_path), f));
+}
+
+Result<BlobId> CasBlobStore::FinishPush(const std::string& temp_path,
+                                        const Sha256Digest& digest,
+                                        uint64_t size) {
+  obs::ScopedSpan span("cas.finish_push");
+  const auto& metrics = blob_internal::CasMetrics::Get();
+  obs::ScopedTimerUs timer(metrics.push_us);
+  metrics.pushes->Add();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  pushes_++;
+
+  std::error_code ignore;
+  auto hit = by_hash_.find(digest);
+  if (hit != by_hash_.end()) {
+    // Dedup: the content is already stored. Take a reference and
+    // discard the staged copy.
+    Entry& entry = by_id_[hit->second];
+    entry.refcount++;
+    JournalRef(hit->second);
+    dedup_hits_++;
+    metrics.dedup_hits->Add();
+    metrics.dedup_bytes_saved->Add(size);
+    metrics.logical_bytes->Add(static_cast<int64_t>(size));
+    fs::remove(temp_path, ignore);
+    return hit->second;
+  }
+
+  auto cond = condemned_.find(digest);
+  if (cond != condemned_.end()) {
+    // Pin: a sweep condemned this hash but has not deleted the file
+    // yet. Reinstate the entry (same id — outstanding references to it
+    // stay coherent) and the sweeper will skip the file.
+    BlobId id = cond->second.id;
+    Entry entry;
+    entry.hash = digest;
+    entry.size = size;
+    entry.refcount = 1;
+    JournalAdd(id, entry);
+    by_hash_[digest] = id;
+    by_id_[id] = std::move(entry);
+    condemned_.erase(cond);
+    sweep_pins_++;
+    metrics.gc_pins->Add();
+    metrics.logical_bytes->Add(static_cast<int64_t>(size));
+    metrics.stored_bytes->Add(static_cast<int64_t>(size));
+    fs::remove(temp_path, ignore);
+    return id;
+  }
+
+  // New content: publish the staged file into the shard tree.
+  std::string path = ShardPath(digest);
+  std::error_code ec;
+  fs::create_directories(fs::path(path).parent_path(), ec);
+  if (!ec) fs::rename(temp_path, path, ec);
+  if (ec) {
+    fs::remove(temp_path, ignore);
+    return Status::IOError("cannot publish pushed BLOB " + path + ": " +
+                           ec.message());
+  }
+  BlobId id = next_id_++;
+  Entry entry;
+  entry.hash = digest;
+  entry.size = size;
+  entry.refcount = 1;
+  JournalAdd(id, entry);
+  by_hash_[digest] = id;
+  by_id_[id] = std::move(entry);
+  metrics.logical_bytes->Add(static_cast<int64_t>(size));
+  metrics.stored_bytes->Add(static_cast<int64_t>(size));
+  return id;
+}
+
+Result<BlobId> CasBlobStore::Create() { return PushOnly("Create()"); }
+
+Status CasBlobStore::Append(BlobId id, ByteSpan data) {
+  (void)id;
+  (void)data;
+  return PushOnly("Append()");
+}
+
+// ---------------------------------------------------------------------------
+// Read path
+
+Result<BufferRef> CasBlobStore::EnsureMapping(BlobId id, Entry* entry) const {
+  if (entry->mapping != nullptr) return entry->mapping;
+  std::string path = ShardPath(entry->hash);
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError("cannot open CAS shard file: " + path);
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0 ||
+      static_cast<uint64_t>(st.st_size) != entry->size) {
+    ::close(fd);
+    return Status::Corruption("CAS shard file size mismatch for BLOB " +
+                              std::to_string(id) + ": " + path);
+  }
+  const size_t len = static_cast<size_t>(entry->size);
+  void* addr = ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (addr == MAP_FAILED) {
+    return Status::IOError("cannot mmap CAS shard file: " + path);
+  }
+  // The mapping's lifetime is the owner shared_ptr's: the store holds
+  // one reference in the entry, every slice handed out holds another
+  // through its Buffer, so the bytes survive Delete/Sweep/destruction
+  // until the last slice drops (POSIX keeps unlinked mapped files
+  // readable).
+  std::shared_ptr<const void> owner(
+      static_cast<const void*>(addr),
+      [len](const void* p) { ::munmap(const_cast<void*>(p), len); });
+  entry->mapping = Buffer::Wrap(addr, len, std::move(owner));
+  return entry->mapping;
+}
+
+Result<BufferSlice> CasBlobStore::Read(BlobId id, ByteRange range) const {
+  obs::ScopedSpan span("cas.pull");
+  const auto& cas_metrics = blob_internal::CasMetrics::Get();
+  const auto& store_metrics = blob_internal::StoreMetrics::Get();
+  obs::ScopedTimerUs timer(cas_metrics.pull_us);
+  obs::ScopedTimerUs store_timer(store_metrics.read_us);
+  cas_metrics.pulls->Add();
+  cas_metrics.pull_bytes->Add(range.length);
+  store_metrics.reads->Add();
+  store_metrics.bytes_read->Add(range.length);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) return NoSuchBlob(id);
+  if (range.end() > it->second.size) {
+    return Status::OutOfRange("read past end of BLOB " + std::to_string(id));
+  }
+  if (range.length == 0) return BufferSlice();
+  TBM_ASSIGN_OR_RETURN(BufferRef mapping, EnsureMapping(id, &it->second));
+  return BufferSlice(std::move(mapping), static_cast<size_t>(range.offset),
+                     static_cast<size_t>(range.length));
+}
+
+Result<uint64_t> CasBlobStore::Size(BlobId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) return NoSuchBlob(id);
+  return it->second.size;
+}
+
+bool CasBlobStore::Exists(BlobId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return by_id_.count(id) > 0;
+}
+
+std::vector<BlobId> CasBlobStore::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<BlobId> ids;
+  ids.reserve(by_id_.size());
+  for (const auto& [id, entry] : by_id_) ids.push_back(id);
+  return ids;
+}
+
+Result<BlobId> CasBlobStore::LookupHash(const Sha256Digest& digest) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_hash_.find(digest);
+  if (it == by_hash_.end()) {
+    return Status::NotFound("no BLOB with hash " + digest.ToHex());
+  }
+  return it->second;
+}
+
+Result<Sha256Digest> CasBlobStore::HashOf(BlobId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) return NoSuchBlob(id);
+  return it->second.hash;
+}
+
+Result<uint32_t> CasBlobStore::RefCount(BlobId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) return NoSuchBlob(id);
+  return it->second.refcount;
+}
+
+// ---------------------------------------------------------------------------
+// Delete / GC
+
+Status CasBlobStore::Delete(BlobId id) {
+  const auto& metrics = blob_internal::CasMetrics::Get();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) return NoSuchBlob(id);
+  Entry& entry = it->second;
+  entry.refcount--;
+  JournalUnref(id);
+  metrics.logical_bytes->Add(-static_cast<int64_t>(entry.size));
+  if (entry.refcount > 0) return Status::OK();
+
+  // Last reference: reclaim now. Outstanding slices keep the mapping
+  // (and so the unlinked file's pages) alive.
+  JournalRemove(id);
+  metrics.stored_bytes->Add(-static_cast<int64_t>(entry.size));
+  std::string path = ShardPath(entry.hash);
+  by_hash_.erase(entry.hash);
+  by_id_.erase(it);
+  std::error_code ec;
+  fs::remove(path, ec);
+  if (ec) {
+    return Status::IOError("cannot delete " + path + ": " + ec.message());
+  }
+  return Status::OK();
+}
+
+Result<CasSweepStats> CasBlobStore::Sweep(const std::vector<BlobId>& live) {
+  obs::ScopedSpan span("cas.sweep");
+  const auto& metrics = blob_internal::CasMetrics::Get();
+  CasSweepStats stats;
+  std::set<BlobId> live_set(live.begin(), live.end());
+
+  // Mark phase, under the ledger lock: move every dead entry to the
+  // condemned set. Mutators are excluded only for this metadata walk —
+  // file deletion happens outside the lock.
+  std::vector<Sha256Digest> condemned;
+  auto mark_start = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats.scanned = by_id_.size();
+    for (auto it = by_id_.begin(); it != by_id_.end();) {
+      if (live_set.count(it->first) > 0) {
+        ++it;
+        continue;
+      }
+      Entry& entry = it->second;
+      condemned_[entry.hash] = Condemned{it->first, entry.size};
+      condemned.push_back(entry.hash);
+      JournalRemove(it->first);
+      metrics.logical_bytes->Add(
+          -static_cast<int64_t>(entry.size * entry.refcount));
+      metrics.stored_bytes->Add(-static_cast<int64_t>(entry.size));
+      by_hash_.erase(entry.hash);
+      it = by_id_.erase(it);
+    }
+    stats.pause_us = ElapsedUs(mark_start);
+  }
+
+  // Sweep phase: delete condemned files one at a time, re-checking each
+  // hash under the lock — a push that finished since the mark pinned
+  // its hash by erasing it from the condemned set, and we must not
+  // delete the file it now relies on. The unlink itself happens while
+  // the lock is still held: dropping it between the check and the
+  // unlink would let a racing push republish the same shard path and
+  // then lose its file to our deferred unlink. Mutators interleave
+  // between iterations, so the mark pause stays the only long hold.
+  for (const Sha256Digest& hash : condemned) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = condemned_.find(hash);
+    if (it == condemned_.end()) {
+      stats.pinned++;  // Rescued by a racing push; keep the file.
+      continue;
+    }
+    uint64_t size = it->second.size;
+    condemned_.erase(it);
+    std::error_code ignore;
+    fs::remove(ShardPath(hash), ignore);
+    stats.swept++;
+    stats.reclaimed_bytes += size;
+  }
+
+  metrics.gc_swept->Add(stats.swept);
+  metrics.gc_reclaimed_bytes->Add(stats.reclaimed_bytes);
+  metrics.gc_pause_us->Record(stats.pause_us);
+  return stats;
+}
+
+CasStoreStats CasBlobStore::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  CasStoreStats stats;
+  stats.blob_count = by_id_.size();
+  for (const auto& [id, entry] : by_id_) {
+    stats.logical_bytes += entry.size * entry.refcount;
+    stats.stored_bytes += entry.size;
+  }
+  stats.pushes = pushes_;
+  stats.dedup_hits = dedup_hits_;
+  return stats;
+}
+
+}  // namespace tbm

@@ -1,0 +1,199 @@
+#ifndef TBM_BLOB_CAS_STORE_H_
+#define TBM_BLOB_CAS_STORE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "base/sha256.h"
+#include "blob/blob_store.h"
+
+namespace tbm {
+
+/// Result of one mark-and-sweep pass over the content-addressed store.
+struct CasSweepStats {
+  uint64_t scanned = 0;          ///< Ledger entries examined.
+  uint64_t swept = 0;            ///< Blobs actually reclaimed.
+  uint64_t reclaimed_bytes = 0;  ///< Stored bytes those blobs held.
+  uint64_t pinned = 0;           ///< Condemned blobs rescued by a racing push.
+  uint64_t pause_us = 0;         ///< Time the mark phase excluded mutators.
+};
+
+/// Occupancy + dedup effectiveness of the content-addressed store.
+struct CasStoreStats {
+  uint64_t blob_count = 0;     ///< Distinct content hashes stored.
+  uint64_t logical_bytes = 0;  ///< Sum of size × refcount (what callers pushed
+                               ///< and still reference).
+  uint64_t stored_bytes = 0;   ///< Sum of size (each distinct hash once).
+  uint64_t pushes = 0;         ///< Finished pushes over the store's lifetime.
+  uint64_t dedup_hits = 0;     ///< Pushes that matched an existing hash.
+
+  /// Logical-to-stored ratio; 1.0 means no duplication, N means the
+  /// same bytes were pushed N times on average.
+  double dedup_ratio() const {
+    return stored_bytes == 0
+               ? 1.0
+               : static_cast<double>(logical_bytes) /
+                     static_cast<double>(stored_bytes);
+  }
+};
+
+/// Content-addressed, deduplicating BLOB store — the multi-tenant
+/// byte tier. The paper separates a medium's *identity* (its
+/// interpretations and derivations) from its raw bytes (Def. 1 BLOBs);
+/// this store exploits that split: the byte tier keys storage by
+/// SHA-256 of content, so a million users pushing heavily-overlapping
+/// clips store each distinct byte run exactly once.
+///
+/// Layout (modeled on G-CVSNT's content_addressed_fs): each blob lives
+/// at `<root>/xx/yy/<64-char hex>` where xx/yy are the first two hash
+/// byte pairs — a two-level fan-out that keeps directory sizes flat at
+/// scale. In-flight pushes stage in `<root>/tmp/`; the ledger
+/// (`<root>/ledger.tbm`, an append-only journal compacted on open)
+/// maps dense BlobIds to hashes and reference counts, so ids stay
+/// compatible with every BlobId consumer (interpretations, chunk
+/// readers, the serve layer).
+///
+/// Writes are push-only: `StartPush()` streams spans through an
+/// incremental SHA-256 and the id materializes at `Finish()` — a
+/// duplicate push lands on the existing entry (refcount + 1, temp
+/// file discarded) and returns the *same* id the first pusher got.
+/// The two-phase Create()/Append() shims are rejected with
+/// FailedPrecondition: an id keyed by content cannot exist before the
+/// content does.
+///
+/// Reads are mmap-backed and zero-copy: the shard file is mapped once
+/// and every Read/ReadChunk hands out BufferSlice views of the
+/// mapping; the mapping (and so the bytes) outlives Delete, Sweep and
+/// even store destruction for as long as any slice does.
+///
+/// Garbage collection is mark-and-sweep: callers pass the set of live
+/// ids (MediaDatabase marks every blob a live interpretation places
+/// into) and `Sweep()` reclaims the rest. Concurrent-safe: the mark
+/// phase condemns entries under the ledger lock, file deletion happens
+/// outside it, and a push that finishes with a condemned hash *pins*
+/// it — the entry is reinstated (same id) and the sweeper skips the
+/// file. A mid-push blob cannot be collected at all: until Finish()
+/// it exists only in tmp/, which the sweeper never scans.
+///
+/// Unlike the other stores, CasBlobStore is fully thread-safe: any
+/// number of concurrent pushes, reads, deletes and sweeps may run
+/// without external synchronization.
+class CasBlobStore final : public BlobStore {
+ public:
+  /// Opens (creating if needed) the store rooted at `root`: replays
+  /// the ledger journal, compacts it, and discards stale tmp files.
+  static Result<std::unique_ptr<CasBlobStore>> Open(const std::string& root);
+
+  ~CasBlobStore() override;
+
+  /// Streaming, deduplicating push (see class comment).
+  Result<std::unique_ptr<PushHandle>> StartPush() override;
+
+  /// Push-only store: always FailedPrecondition. Use StartPush().
+  Result<BlobId> Create() override;
+  /// Push-only store: always FailedPrecondition. Use StartPush().
+  Status Append(BlobId id, ByteSpan data) override;
+
+  /// Zero-copy read of the mmapped shard file.
+  Result<BufferSlice> Read(BlobId id, ByteRange range) const override;
+  Result<uint64_t> Size(BlobId id) const override;
+
+  /// Drops one reference; the entry (and its file) is reclaimed when
+  /// the count reaches zero. Outstanding slices stay valid.
+  Status Delete(BlobId id) override;
+
+  bool Exists(BlobId id) const override;
+
+  /// Live ids, ascending (the store-wide List ordering contract).
+  std::vector<BlobId> List() const override;
+
+  // -- Content-addressed extras ---------------------------------------------
+
+  /// Id holding `digest`'s content, or NotFound.
+  Result<BlobId> LookupHash(const Sha256Digest& digest) const;
+
+  /// Content hash of BLOB `id`.
+  Result<Sha256Digest> HashOf(BlobId id) const;
+
+  /// Current reference count of BLOB `id`.
+  Result<uint32_t> RefCount(BlobId id) const;
+
+  /// Mark-and-sweep collection: reclaims every entry whose id is not
+  /// in `live`, except those pinned by a racing push (see class
+  /// comment). `live` need not be sorted.
+  Result<CasSweepStats> Sweep(const std::vector<BlobId>& live);
+
+  CasStoreStats Stats() const;
+
+  const std::string& root() const { return root_; }
+
+ private:
+  friend class CasPushHandle;
+
+  struct Entry {
+    Sha256Digest hash;
+    uint64_t size = 0;
+    uint32_t refcount = 0;
+    /// Lazily created mmap of the shard file, shared with every slice
+    /// handed out; null until first read (or for empty blobs).
+    BufferRef mapping;
+  };
+
+  /// A swept-but-not-yet-deleted blob, visible to racing pushes for
+  /// pinning. Keyed by hash in `condemned_`.
+  struct Condemned {
+    BlobId id = kInvalidBlobId;
+    uint64_t size = 0;
+  };
+
+  explicit CasBlobStore(std::string root) : root_(std::move(root)) {}
+
+  std::string ShardPath(const Sha256Digest& digest) const;
+  std::string TempPath(uint64_t token);
+
+  /// Completes a push whose staged bytes live at `temp_path`: dedups,
+  /// pins, or publishes (rename into the shard tree). Consumes the
+  /// temp file either way.
+  Result<BlobId> FinishPush(const std::string& temp_path,
+                            const Sha256Digest& digest, uint64_t size);
+
+  Status ReplayLedger(ByteSpan journal);
+  Status CompactLedger();
+  void JournalAdd(BlobId id, const Entry& entry);
+  void JournalRef(BlobId id);
+  void JournalUnref(BlobId id);
+  void JournalRemove(BlobId id);
+  void JournalRecord(const Bytes& record);
+
+  /// Resolves (creating on first use) the mmap of `id`'s file. Called
+  /// with `mu_` held.
+  Result<BufferRef> EnsureMapping(BlobId id, Entry* entry) const;
+
+  std::string root_;
+
+  /// Guards every field below (ledger maps, journal stream, condemned
+  /// set, counters). Push data streaming happens outside the lock —
+  /// only FinishPush and the metadata operations serialize on it.
+  mutable std::mutex mu_;
+  /// Ordered: List() walks it directly. Mutable so const reads can
+  /// cache the lazily-created mmap in the entry.
+  mutable std::map<BlobId, Entry> by_id_;
+  std::map<Sha256Digest, BlobId> by_hash_;
+  std::map<Sha256Digest, Condemned> condemned_;
+  std::FILE* journal_ = nullptr;
+  BlobId next_id_ = 1;
+  uint64_t push_token_ = 0;
+  uint64_t pushes_ = 0;
+  uint64_t dedup_hits_ = 0;
+  uint64_t sweep_pins_ = 0;  ///< Lifetime count of pushes that pinned a
+                             ///< condemned hash.
+};
+
+}  // namespace tbm
+
+#endif  // TBM_BLOB_CAS_STORE_H_

@@ -1,6 +1,7 @@
 #include "blob/fault_store.h"
 
 #include <chrono>
+#include <functional>
 #include <string>
 #include <thread>
 #include <utility>
@@ -43,6 +44,52 @@ Status FaultInjectingStore::MakeFault(const char* op) const {
   return Status(config_.code,
                 std::string("injected fault on ") + op + " (seed " +
                     std::to_string(config_.seed) + ")");
+}
+
+namespace {
+
+/// Push handle of the fault decorator: forwards to the wrapped store's
+/// handle, drawing an append fault before each Push so retry layers
+/// above see transient write failures mid-stream.
+class FaultPushHandle final : public PushHandle {
+ public:
+  FaultPushHandle(std::unique_ptr<PushHandle> inner,
+                  std::function<bool()> draw_fault,
+                  std::function<Status()> make_fault,
+                  std::atomic<uint64_t>* fault_count)
+      : inner_(std::move(inner)),
+        draw_fault_(std::move(draw_fault)),
+        make_fault_(std::move(make_fault)),
+        fault_count_(fault_count) {}
+
+  Status Push(ByteSpan data) override {
+    if (draw_fault_()) {
+      fault_count_->fetch_add(1);
+      return make_fault_();
+    }
+    return inner_->Push(data);
+  }
+
+  Result<BlobId> Finish() override { return inner_->Finish(); }
+  Status Abort() override { return inner_->Abort(); }
+  uint64_t bytes_pushed() const override { return inner_->bytes_pushed(); }
+
+ private:
+  std::unique_ptr<PushHandle> inner_;
+  std::function<bool()> draw_fault_;
+  std::function<Status()> make_fault_;
+  std::atomic<uint64_t>* fault_count_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<PushHandle>> FaultInjectingStore::StartPush() {
+  TBM_ASSIGN_OR_RETURN(std::unique_ptr<PushHandle> inner_handle,
+                       inner_->StartPush());
+  return std::unique_ptr<PushHandle>(std::make_unique<FaultPushHandle>(
+      std::move(inner_handle),
+      [this] { return DrawFault(config_.append_fault_rate); },
+      [this] { return MakeFault("push"); }, &append_faults_));
 }
 
 Result<BlobId> FaultInjectingStore::Create() { return inner_->Create(); }

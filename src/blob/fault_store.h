@@ -50,6 +50,10 @@ class FaultInjectingStore final : public BlobStore {
   explicit FaultInjectingStore(std::unique_ptr<BlobStore> inner,
                                FaultConfig config = {});
 
+  /// Streaming push through the fault layer: wraps the inner store's
+  /// handle and injects `append_fault_rate` faults into Push calls.
+  Result<std::unique_ptr<PushHandle>> StartPush() override;
+
   /// Chunked reads preserve the inner store's geometry: the effective
   /// chunk size is taken from the wrapped store's own reader (so a
   /// PagedBlobStore behind the decorator keeps page-aligned chunks and

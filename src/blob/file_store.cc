@@ -33,6 +33,11 @@ Result<std::unique_ptr<FileBlobStore>> FileBlobStore::Open(
                     reinterpret_cast<unsigned long long*>(&id)) == 1) {
       store->sizes_[id] = entry.file_size();
       store->next_id_ = std::max(store->next_id_, id + 1);
+    } else if (name.rfind(".push_", 0) == 0) {
+      // Stale staging file from a crashed push: never published, safe
+      // to discard.
+      std::error_code ignore;
+      fs::remove(entry.path(), ignore);
     }
   }
   if (ec) {
@@ -44,6 +49,95 @@ Result<std::unique_ptr<FileBlobStore>> FileBlobStore::Open(
 
 std::string FileBlobStore::PathFor(BlobId id) const {
   return dir_ + "/blob_" + std::to_string(id) + ".bin";
+}
+
+/// Push handle of FileBlobStore: streams into a temp file, renamed to
+/// `blob_<id>.bin` at Finish. The id is allocated at publish time, so
+/// aborted pushes do not burn ids and the staged file is invisible to
+/// the directory scan.
+class FilePushHandle final : public PushHandle {
+ public:
+  FilePushHandle(FileBlobStore* store, std::string temp_path, std::FILE* file)
+      : store_(store), temp_path_(std::move(temp_path)), file_(file) {}
+
+  ~FilePushHandle() override { Abort(); }
+
+  Status Push(ByteSpan data) override {
+    if (file_ == nullptr) {
+      return Status::FailedPrecondition("push already finished or aborted");
+    }
+    obs::ScopedSpan span("blob.push");
+    const auto& metrics = blob_internal::StoreMetrics::Get();
+    obs::ScopedTimerUs timer(metrics.append_us);
+    metrics.appends->Add();
+    metrics.bytes_written->Add(data.size());
+    size_t written =
+        data.empty() ? 0 : std::fwrite(data.data(), 1, data.size(), file_);
+    if (written != data.size()) {
+      return Status::IOError("short push write to " + temp_path_);
+    }
+    size_ += data.size();
+    return Status::OK();
+  }
+
+  Result<BlobId> Finish() override {
+    if (file_ == nullptr) {
+      return Status::FailedPrecondition("push already finished or aborted");
+    }
+    int rc = std::fclose(file_);
+    file_ = nullptr;
+    if (rc != 0) {
+      std::error_code ignore;
+      fs::remove(temp_path_, ignore);
+      return Status::IOError("cannot finish push: close of " + temp_path_ +
+                             " failed");
+    }
+    return store_->PublishPushedFile(temp_path_, size_);
+  }
+
+  Status Abort() override {
+    if (file_ != nullptr) {
+      std::fclose(file_);
+      file_ = nullptr;
+      std::error_code ignore;
+      fs::remove(temp_path_, ignore);
+    }
+    return Status::OK();
+  }
+
+  uint64_t bytes_pushed() const override { return size_; }
+
+ private:
+  FileBlobStore* store_;
+  std::string temp_path_;
+  std::FILE* file_;  ///< Null once finished or aborted.
+  uint64_t size_ = 0;
+};
+
+Result<std::unique_ptr<PushHandle>> FileBlobStore::StartPush() {
+  std::string temp_path =
+      dir_ + "/.push_" + std::to_string(push_token_++) + ".tmp";
+  std::FILE* f = std::fopen(temp_path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot create push staging file: " + temp_path);
+  }
+  return std::unique_ptr<PushHandle>(
+      std::make_unique<FilePushHandle>(this, std::move(temp_path), f));
+}
+
+Result<BlobId> FileBlobStore::PublishPushedFile(const std::string& temp_path,
+                                                uint64_t size) {
+  BlobId id = next_id_++;
+  std::error_code ec;
+  fs::rename(temp_path, PathFor(id), ec);
+  if (ec) {
+    std::error_code ignore;
+    fs::remove(temp_path, ignore);
+    return Status::IOError("cannot publish pushed BLOB " + PathFor(id) + ": " +
+                           ec.message());
+  }
+  sizes_[id] = size;
+  return id;
 }
 
 Result<BlobId> FileBlobStore::Create() {

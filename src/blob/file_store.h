@@ -21,6 +21,12 @@ class FileBlobStore : public BlobStore {
   /// and scanning it for existing BLOB files.
   static Result<std::unique_ptr<FileBlobStore>> Open(const std::string& dir);
 
+  /// Streaming push. Bytes are staged in a `.push_<n>.tmp` file and
+  /// renamed into place at Finish(), so a crashed or aborted push
+  /// never leaves a half-written BLOB file behind (stale temp files
+  /// are swept by Open()).
+  Result<std::unique_ptr<PushHandle>> StartPush() override;
+
   Result<BlobId> Create() override;
   Status Append(BlobId id, ByteSpan data) override;
   Result<BufferSlice> Read(BlobId id, ByteRange range) const override;
@@ -32,13 +38,21 @@ class FileBlobStore : public BlobStore {
   const std::string& dir() const { return dir_; }
 
  private:
+  friend class FilePushHandle;
+
   explicit FileBlobStore(std::string dir) : dir_(std::move(dir)) {}
 
   std::string PathFor(BlobId id) const;
 
+  /// Renames a fully staged temp file to its final blob path and
+  /// registers it.
+  Result<BlobId> PublishPushedFile(const std::string& temp_path,
+                                   uint64_t size);
+
   std::string dir_;
   std::map<BlobId, uint64_t> sizes_;  ///< id -> byte length.
   BlobId next_id_ = 1;
+  uint64_t push_token_ = 0;  ///< Distinguishes concurrent temp files.
 };
 
 }  // namespace tbm

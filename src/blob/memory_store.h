@@ -24,6 +24,11 @@ class MemoryBlobStore : public BlobStore {
  public:
   MemoryBlobStore() = default;
 
+  /// Streaming push. The handle accumulates into a private buffer and
+  /// publishes atomically at Finish(): the BLOB is invisible to reads
+  /// until then, and an aborted push leaves the store untouched.
+  Result<std::unique_ptr<PushHandle>> StartPush() override;
+
   Result<BlobId> Create() override;
   Status Append(BlobId id, ByteSpan data) override;
   Result<BufferSlice> Read(BlobId id, ByteRange range) const override;
@@ -35,12 +40,17 @@ class MemoryBlobStore : public BlobStore {
   BlobStoreStats Stats() const;
 
  private:
+  friend class MemoryPushHandle;
+
   /// One BLOB: `size` published bytes at the front of `buffer` (whose
   /// extent is the capacity). `buffer` is null while the BLOB is empty.
   struct Blob {
     BufferRef buffer;
     uint64_t size = 0;
   };
+
+  /// Registers a fully pushed buffer as a new BLOB and returns its id.
+  BlobId Publish(BufferRef buffer, uint64_t size);
 
   std::map<BlobId, Blob> blobs_;
   BlobId next_id_ = 1;

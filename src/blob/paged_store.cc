@@ -277,6 +277,98 @@ Result<BlobId> PagedBlobStore::Create() {
   return id;
 }
 
+/// Push handle of PagedBlobStore: buffers at most one partial page in
+/// memory, writes whole pages to the device as they fill, and links
+/// the chain into the store's BLOB table only at Finish. Pages staged
+/// by an aborted push go back to the free list.
+class PagedPushHandle final : public PushHandle {
+ public:
+  explicit PagedPushHandle(PagedBlobStore* store) : store_(store) {
+    pending_.reserve(store->payload_per_page());
+  }
+
+  ~PagedPushHandle() override { Abort(); }
+
+  Status Push(ByteSpan data) override {
+    if (store_ == nullptr) {
+      return Status::FailedPrecondition("push already finished or aborted");
+    }
+    obs::ScopedSpan span("blob.push");
+    const auto& metrics = blob_internal::StoreMetrics::Get();
+    obs::ScopedTimerUs timer(metrics.append_us);
+    metrics.appends->Add();
+    metrics.bytes_written->Add(data.size());
+    const uint32_t payload_size = store_->payload_per_page();
+    size_t pos = 0;
+    while (pos < data.size()) {
+      size_t take = std::min<size_t>(payload_size - pending_.size(),
+                                     data.size() - pos);
+      pending_.insert(pending_.end(), data.begin() + pos,
+                      data.begin() + pos + take);
+      pos += take;
+      meta_.size += take;
+      if (pending_.size() == payload_size) {
+        TBM_RETURN_IF_ERROR(FlushPendingPage());
+      }
+    }
+    return Status::OK();
+  }
+
+  Result<BlobId> Finish() override {
+    if (store_ == nullptr) {
+      return Status::FailedPrecondition("push already finished or aborted");
+    }
+    if (!pending_.empty()) {
+      TBM_RETURN_IF_ERROR(FlushPendingPage());
+    }
+    BlobId id = store_->PublishPushed(std::move(meta_));
+    store_ = nullptr;
+    return id;
+  }
+
+  Status Abort() override {
+    if (store_ != nullptr) {
+      store_->ReleaseStagedPages(meta_.pages);
+      store_ = nullptr;
+    }
+    return Status::OK();
+  }
+
+  uint64_t bytes_pushed() const override { return meta_.size; }
+
+ private:
+  Status FlushPendingPage() {
+    TBM_ASSIGN_OR_RETURN(uint64_t page, store_->AcquirePage());
+    if (Status write = store_->WritePagePayload(page, pending_);
+        !write.ok()) {
+      store_->free_pages_.push_back(page);
+      return write;
+    }
+    meta_.pages.push_back(page);
+    pending_.clear();
+    return Status::OK();
+  }
+
+  PagedBlobStore* store_;  ///< Null once finished or aborted.
+  PagedBlobStore::BlobMeta meta_;
+  Bytes pending_;  ///< Partial trailing page not yet on the device.
+};
+
+Result<std::unique_ptr<PushHandle>> PagedBlobStore::StartPush() {
+  return std::unique_ptr<PushHandle>(std::make_unique<PagedPushHandle>(this));
+}
+
+BlobId PagedBlobStore::PublishPushed(BlobMeta meta) {
+  BlobId id = next_id_++;
+  blobs_.emplace(id, std::move(meta));
+  return id;
+}
+
+void PagedBlobStore::ReleaseStagedPages(const std::vector<uint64_t>& pages) {
+  for (uint64_t page : pages) CacheInvalidate(page);
+  free_pages_.insert(free_pages_.end(), pages.begin(), pages.end());
+}
+
 Status PagedBlobStore::Append(BlobId id, ByteSpan data) {
   obs::ScopedSpan span("blob.append");
   const auto& metrics = blob_internal::StoreMetrics::Get();

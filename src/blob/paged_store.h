@@ -108,6 +108,12 @@ class PagedBlobStore : public BlobStore {
   /// `device->page_size() - kPageHeaderSize`.
   explicit PagedBlobStore(std::unique_ptr<PageDevice> device);
 
+  /// Streaming push. The handle stages whole pages as they fill (one
+  /// in-memory partial page at most) and registers the page chain as a
+  /// BLOB only at Finish(); an aborted push returns its pages to the
+  /// free list.
+  Result<std::unique_ptr<PushHandle>> StartPush() override;
+
   Result<BlobId> Create() override;
   Status Append(BlobId id, ByteSpan data) override;
   Result<BufferSlice> Read(BlobId id, ByteRange range) const override;
@@ -152,10 +158,19 @@ class PagedBlobStore : public BlobStore {
   static constexpr uint32_t kPageHeaderSize = 8;  // CRC32 + payload length.
 
  private:
+  friend class PagedPushHandle;
+
   struct BlobMeta {
     std::vector<uint64_t> pages;  ///< Page indexes, in BLOB order.
     uint64_t size = 0;            ///< Logical byte length.
   };
+
+  /// Registers a fully staged page chain as a new BLOB.
+  BlobId PublishPushed(BlobMeta meta);
+
+  /// Returns an aborted push's staged pages to the free list (purging
+  /// any cached payloads).
+  void ReleaseStagedPages(const std::vector<uint64_t>& pages);
 
   Status WritePagePayload(uint64_t page, ByteSpan payload);
 

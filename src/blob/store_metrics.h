@@ -34,6 +34,48 @@ struct StoreMetrics {
   }
 };
 
+/// Instruments of the content-addressed tier. Push/pull throughput is
+/// derivable from the byte counters and latency histograms; the dedup
+/// ratio from logical vs stored bytes (gauges maintained by the
+/// store's ledger).
+struct CasMetrics {
+  obs::Counter* pushes;             ///< Finished pushes (incl. dedup hits).
+  obs::Counter* push_bytes;         ///< Bytes streamed through push.
+  obs::Counter* dedup_hits;         ///< Pushes that matched an existing hash.
+  obs::Counter* dedup_bytes_saved;  ///< Bytes NOT stored thanks to dedup.
+  obs::Counter* pulls;              ///< Read calls served.
+  obs::Counter* pull_bytes;         ///< Bytes served by reads.
+  obs::Counter* gc_swept;           ///< Blobs collected by sweeps.
+  obs::Counter* gc_reclaimed_bytes; ///< Bytes reclaimed by sweeps.
+  obs::Counter* gc_pins;            ///< Pushes that pinned a condemned hash.
+  obs::Gauge* logical_bytes;        ///< Sum of size × refcount.
+  obs::Gauge* stored_bytes;         ///< Sum of size (each hash once).
+  obs::Histogram* push_us;          ///< Per-finish latency.
+  obs::Histogram* pull_us;          ///< Per-read latency.
+  obs::Histogram* gc_pause_us;      ///< Locked (mutator-excluding) sweep time.
+
+  static const CasMetrics& Get() {
+    static const CasMetrics metrics = [] {
+      auto& registry = obs::Registry::Global();
+      return CasMetrics{registry.counter("cas.pushes"),
+                        registry.counter("cas.push_bytes"),
+                        registry.counter("cas.dedup_hits"),
+                        registry.counter("cas.dedup_bytes_saved"),
+                        registry.counter("cas.pulls"),
+                        registry.counter("cas.pull_bytes"),
+                        registry.counter("cas.gc_swept"),
+                        registry.counter("cas.gc_reclaimed_bytes"),
+                        registry.counter("cas.gc_pins"),
+                        registry.gauge("cas.logical_bytes"),
+                        registry.gauge("cas.stored_bytes"),
+                        registry.histogram("cas.push_us"),
+                        registry.histogram("cas.pull_us"),
+                        registry.histogram("cas.gc_pause_us")};
+    }();
+    return metrics;
+  }
+};
+
 }  // namespace tbm::blob_internal
 
 #endif  // TBM_BLOB_STORE_METRICS_H_

@@ -382,11 +382,11 @@ Result<Interpretation> StoreVideo(BlobStore* store, const VideoValue& video,
     // Append in STORAGE order (keys before the intermediates that need
     // them — the paper's out-of-order placement), but expose elements
     // in presentation order in the interpretation table.
-    TBM_ASSIGN_OR_RETURN(BlobId blob, store->Create());
+    TBM_ASSIGN_OR_RETURN(std::unique_ptr<PushHandle> push, store->StartPush());
     uint64_t offset = 0;
     std::vector<ElementPlacement> by_presentation(encoded.size());
     for (const TmpegFrame& frame : encoded) {
-      TBM_RETURN_IF_ERROR(store->Append(blob, frame.data));
+      TBM_RETURN_IF_ERROR(push->Push(frame.data));
       ElementPlacement placement;
       placement.element_number = frame.presentation_index;
       placement.start = frame.presentation_index;
@@ -402,6 +402,7 @@ Result<Interpretation> StoreVideo(BlobStore* store, const VideoValue& video,
     object.descriptor = desc;
     object.time_system = TimeSystem(video.frame_rate);
     object.elements = std::move(by_presentation);
+    TBM_ASSIGN_OR_RETURN(BlobId blob, push->Finish());
     Interpretation interp(blob);
     TBM_RETURN_IF_ERROR(interp.AddObject(std::move(object)));
     return interp;

@@ -6,6 +6,7 @@
 
 #include "base/crc32.h"
 #include "base/macros.h"
+#include "blob/cas_store.h"
 #include "blob/file_store.h"
 #include "blob/memory_store.h"
 #include "obs/metrics.h"
@@ -292,19 +293,42 @@ Status MediaDatabase::Remove(ObjectId id) {
 }
 
 Result<size_t> MediaDatabase::VacuumBlobs() {
+  TBM_ASSIGN_OR_RETURN(BlobGcStats stats, CollectBlobGarbage());
+  return static_cast<size_t>(stats.swept);
+}
+
+Result<MediaDatabase::BlobGcStats> MediaDatabase::CollectBlobGarbage() {
+  // Mark: every blob a live interpretation places into.
   std::set<BlobId> referenced;
   for (const auto& [id, entry] : catalog_) {
     if (entry.kind == CatalogKind::kInterpretation) {
       referenced.insert(entry.interpretation.blob());
     }
   }
-  size_t deleted = 0;
+  BlobGcStats stats;
+  stats.live = referenced.size();
+
+  if (auto* cas = dynamic_cast<CasBlobStore*>(store_.get())) {
+    // Sweep through the store's own collector: concurrent-safe, and
+    // reference counts mean a deduped blob survives until every
+    // placement of its content is gone.
+    std::vector<BlobId> live(referenced.begin(), referenced.end());
+    TBM_ASSIGN_OR_RETURN(CasSweepStats swept, cas->Sweep(live));
+    stats.swept = swept.swept;
+    stats.reclaimed_bytes = swept.reclaimed_bytes;
+    stats.pinned = swept.pinned;
+    stats.pause_us = swept.pause_us;
+    return stats;
+  }
+
   for (BlobId blob : store_->List()) {
     if (referenced.count(blob) > 0) continue;
+    TBM_ASSIGN_OR_RETURN(uint64_t size, store_->Size(blob));
     TBM_RETURN_IF_ERROR(store_->Delete(blob));
-    ++deleted;
+    stats.swept++;
+    stats.reclaimed_bytes += size;
   }
-  return deleted;
+  return stats;
 }
 
 // ---------------------------------------------------------------------------

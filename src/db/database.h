@@ -156,6 +156,24 @@ class MediaDatabase {
   /// registered). Returns the number of BLOBs deleted.
   Result<size_t> VacuumBlobs();
 
+  /// Outcome of CollectBlobGarbage().
+  struct BlobGcStats {
+    uint64_t live = 0;             ///< Blobs referenced by interpretations.
+    uint64_t swept = 0;            ///< Blobs reclaimed.
+    uint64_t reclaimed_bytes = 0;  ///< Stored bytes reclaimed (0 when the
+                                   ///< store does not track it).
+    uint64_t pinned = 0;           ///< Condemned blobs rescued by racing
+                                   ///< pushes (content-addressed store only).
+    uint64_t pause_us = 0;         ///< Mutator-excluding pause (CAS only).
+  };
+
+  /// Full mark-and-sweep BLOB collection: marks every blob a live
+  /// interpretation places into, then sweeps the rest. Over a
+  /// CasBlobStore this runs the store's concurrent-safe Sweep (racing
+  /// pushes pin their hash); over any other store it falls back to
+  /// List() + Delete(). VacuumBlobs() is the thin legacy wrapper.
+  Result<BlobGcStats> CollectBlobGarbage();
+
   // -------------------------------------------------------------------------
   // Catalog reads & queries
 

@@ -119,8 +119,8 @@ Result<AvCaptureResult> CaptureInterleavedAv(BlobStore* store,
       AttrValue(static_cast<double>(max_frame_bytes) *
                 config.frame_rate.ToDouble())));
 
-  result.blob = session.blob();
   TBM_ASSIGN_OR_RETURN(result.interpretation, session.Finish());
+  result.blob = result.interpretation.blob();
   return result;
 }
 

@@ -5,8 +5,8 @@
 namespace tbm {
 
 Result<CaptureSession> CaptureSession::Begin(BlobStore* store) {
-  TBM_ASSIGN_OR_RETURN(BlobId blob, store->Create());
-  return CaptureSession(store, blob);
+  TBM_ASSIGN_OR_RETURN(std::unique_ptr<PushHandle> push, store->StartPush());
+  return CaptureSession(std::move(push));
 }
 
 Result<size_t> CaptureSession::DeclareObject(const std::string& name,
@@ -48,7 +48,7 @@ Status CaptureSession::CaptureElement(size_t handle, ByteSpan data,
         "element start " + std::to_string(start) +
         " precedes previous start (Def. 3 requires s_{i+1} >= s_i)");
   }
-  TBM_RETURN_IF_ERROR(store_->Append(blob_, data));
+  TBM_RETURN_IF_ERROR(push_->Push(data));
   ElementPlacement placement;
   placement.element_number =
       static_cast<int64_t>(pending.object.elements.size());
@@ -90,7 +90,7 @@ Status CaptureSession::AppendPadding(size_t count, uint8_t fill) {
     return Status::FailedPrecondition("capture session already finished");
   }
   Bytes padding(count, fill);
-  TBM_RETURN_IF_ERROR(store_->Append(blob_, padding));
+  TBM_RETURN_IF_ERROR(push_->Push(padding));
   offset_ += count;
   return Status::OK();
 }
@@ -100,7 +100,8 @@ Result<Interpretation> CaptureSession::Finish() {
     return Status::FailedPrecondition("capture session already finished");
   }
   finished_ = true;
-  Interpretation interp(blob_);
+  TBM_ASSIGN_OR_RETURN(BlobId blob, push_->Finish());
+  Interpretation interp(blob);
   for (PendingObject& pending : objects_) {
     TBM_RETURN_IF_ERROR(interp.AddObject(std::move(pending.object)));
   }

@@ -1,9 +1,11 @@
 #ifndef TBM_INTERP_CAPTURE_H_
 #define TBM_INTERP_CAPTURE_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "blob/blob_store.h"
 #include "interp/interpretation.h"
 
 namespace tbm {
@@ -14,14 +16,16 @@ namespace tbm {
 /// captured or created and then permanently associated with the
 /// BLOB").
 ///
-/// A session appends element bytes (from any number of declared media
+/// A session streams element bytes (from any number of declared media
 /// objects, interleaved in whatever order the producer emits them) and
-/// padding to one BLOB, while recording each element's placement,
-/// timing and descriptor. `Finish()` yields the complete
-/// interpretation.
+/// padding into one BLOB push, while recording each element's
+/// placement, timing and descriptor. `Finish()` completes the push —
+/// the BLOB id materializes only then, which is what lets
+/// content-addressed stores dedup the finished bytes — and yields the
+/// complete interpretation.
 class CaptureSession {
  public:
-  /// Starts a session writing into a fresh BLOB of `store`.
+  /// Starts a session streaming into a fresh push of `store`.
   static Result<CaptureSession> Begin(BlobStore* store);
 
   /// Declares a media object to be captured; returns its handle.
@@ -52,22 +56,23 @@ class CaptureSession {
   /// Bytes written to the BLOB so far.
   uint64_t BytesWritten() const { return offset_; }
 
-  BlobId blob() const { return blob_; }
-
-  /// Completes the session: validates and returns the interpretation.
-  /// The session must not be used afterwards.
+  /// Completes the session: finishes the push (publishing the BLOB and
+  /// materializing its id) and returns the validated interpretation.
+  /// The session must not be used afterwards. If the session is
+  /// dropped without Finish(), the push aborts and no BLOB is left
+  /// behind.
   Result<Interpretation> Finish();
 
  private:
-  CaptureSession(BlobStore* store, BlobId blob) : store_(store), blob_(blob) {}
+  explicit CaptureSession(std::unique_ptr<PushHandle> push)
+      : push_(std::move(push)) {}
 
   struct PendingObject {
     InterpretedObject object;
     int64_t next_start = 0;
   };
 
-  BlobStore* store_;
-  BlobId blob_;
+  std::unique_ptr<PushHandle> push_;
   uint64_t offset_ = 0;
   std::vector<PendingObject> objects_;
   bool finished_ = false;

@@ -27,11 +27,13 @@
 ///   db       the catalog: entities through multimedia objects
 
 // base
+#include "base/buffer.h"
 #include "base/bytes.h"
 #include "base/crc32.h"
 #include "base/io.h"
 #include "base/macros.h"
 #include "base/result.h"
+#include "base/sha256.h"
 #include "base/status.h"
 #include "base/thread_pool.h"
 
@@ -46,6 +48,7 @@
 
 // blob
 #include "blob/blob_store.h"
+#include "blob/cas_store.h"
 #include "blob/chunk_reader.h"
 #include "blob/fault_store.h"
 #include "blob/file_store.h"

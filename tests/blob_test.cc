@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <filesystem>
+#include <functional>
 
+#include "blob/cas_store.h"
 #include "blob/file_store.h"
 #include "blob/memory_store.h"
 #include "blob/paged_store.h"
@@ -21,7 +24,7 @@ Bytes Pattern(size_t n, uint8_t seed = 0) {
 // ---------------------------------------------------------------------------
 // Contract suite run against every BlobStore implementation.
 
-enum class StoreKind { kMemory, kPagedMemory, kPagedSmallPages, kFile };
+enum class StoreKind { kMemory, kPagedMemory, kPagedSmallPages, kFile, kCas };
 
 std::unique_ptr<BlobStore> MakeStore(StoreKind kind,
                                      const std::string& scratch) {
@@ -37,6 +40,11 @@ std::unique_ptr<BlobStore> MakeStore(StoreKind kind,
           std::make_unique<MemoryPageDevice>(64));
     case StoreKind::kFile: {
       auto store = FileBlobStore::Open(scratch);
+      EXPECT_TRUE(store.ok()) << store.status();
+      return std::move(*store);
+    }
+    case StoreKind::kCas: {
+      auto store = CasBlobStore::Open(scratch);
       EXPECT_TRUE(store.ok()) << store.status();
       return std::move(*store);
     }
@@ -160,11 +168,148 @@ TEST_P(BlobStoreContract, ManyBlobsIndependent) {
   }
 }
 
+// The Create/Append shims are deprecated but still part of the
+// contract for the mutable stores; the push-only CAS store rejects
+// them (covered in cas_test.cc) and is deliberately absent here.
 INSTANTIATE_TEST_SUITE_P(AllStores, BlobStoreContract,
                          ::testing::Values(StoreKind::kMemory,
                                            StoreKind::kPagedMemory,
                                            StoreKind::kPagedSmallPages,
                                            StoreKind::kFile));
+
+// ---------------------------------------------------------------------------
+// Streaming-push contract, run against EVERY store — including the
+// push-only content-addressed one. This is the write surface new code
+// should use; Create/Append above survives as a shim.
+
+class PushContract : public ::testing::TestWithParam<StoreKind> {
+ protected:
+  void SetUp() override {
+    scratch_ = ::testing::TempDir() + "/pushstore_" +
+               std::to_string(static_cast<long>(::getpid())) + "_" +
+               std::to_string(static_cast<int>(GetParam())) + "_" +
+               std::to_string(counter_++);
+    std::filesystem::remove_all(scratch_);
+    store_ = MakeStore(GetParam(), scratch_);
+  }
+
+  static int counter_;
+  std::string scratch_;
+  std::unique_ptr<BlobStore> store_;
+};
+
+int PushContract::counter_ = 0;
+
+TEST_P(PushContract, StreamingPushRoundTrip) {
+  Bytes data = Pattern(10'000, 1);
+  auto push = store_->StartPush();
+  ASSERT_TRUE(push.ok()) << push.status();
+  EXPECT_EQ((*push)->bytes_pushed(), 0u);
+  // Uneven chunk sizes straddle page and hash-block boundaries.
+  size_t offset = 0;
+  for (size_t chunk : {1ul, 55ul, 56ul, 57ul, 4096ul, 5735ul}) {
+    ASSERT_TRUE((*push)->Push(ByteSpan(data.data() + offset, chunk)).ok());
+    offset += chunk;
+  }
+  ASSERT_EQ(offset, data.size());
+  EXPECT_EQ((*push)->bytes_pushed(), data.size());
+
+  auto id = (*push)->Finish();
+  ASSERT_TRUE(id.ok()) << id.status();
+  EXPECT_TRUE(store_->Exists(*id));
+  EXPECT_EQ(*store_->Size(*id), data.size());
+  EXPECT_EQ(*store_->ReadAll(*id), data);
+}
+
+TEST_P(PushContract, EmptyPush) {
+  auto push = store_->StartPush();
+  ASSERT_TRUE(push.ok());
+  auto id = (*push)->Finish();
+  ASSERT_TRUE(id.ok()) << id.status();
+  EXPECT_EQ(*store_->Size(*id), 0u);
+}
+
+TEST_P(PushContract, PushAllConvenience) {
+  Bytes data = Pattern(2048, 2);
+  auto id = store_->PushAll(data);
+  ASSERT_TRUE(id.ok()) << id.status();
+  EXPECT_EQ(*store_->ReadAll(*id), data);
+}
+
+TEST_P(PushContract, BlobInvisibleUntilFinish) {
+  auto push = store_->StartPush();
+  ASSERT_TRUE(push.ok());
+  ASSERT_TRUE((*push)->Push(Pattern(500, 3)).ok());
+  // Nothing published yet: the store's view is unchanged mid-push.
+  EXPECT_TRUE(store_->List().empty());
+  auto id = (*push)->Finish();
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(store_->List(), std::vector<BlobId>{*id});
+}
+
+TEST_P(PushContract, AbortLeavesNoTrace) {
+  auto anchor = store_->PushAll(Pattern(100, 4));
+  ASSERT_TRUE(anchor.ok());
+  auto before = store_->List();
+
+  auto push = store_->StartPush();
+  ASSERT_TRUE(push.ok());
+  ASSERT_TRUE((*push)->Push(Pattern(1000, 5)).ok());
+  EXPECT_TRUE((*push)->Abort().ok());
+  EXPECT_TRUE((*push)->Abort().ok());  // Idempotent.
+  EXPECT_EQ(store_->List(), before);
+
+  // A handle dropped without Finish aborts implicitly.
+  {
+    auto dropped = store_->StartPush();
+    ASSERT_TRUE(dropped.ok());
+    ASSERT_TRUE((*dropped)->Push(Pattern(50, 6)).ok());
+  }
+  EXPECT_EQ(store_->List(), before);
+}
+
+TEST_P(PushContract, HandleStateMachine) {
+  auto push = store_->StartPush();
+  ASSERT_TRUE(push.ok());
+  ASSERT_TRUE((*push)->Push(Pattern(10)).ok());
+  ASSERT_TRUE((*push)->Finish().ok());
+  EXPECT_TRUE((*push)->Push(Pattern(1)).IsFailedPrecondition());
+  EXPECT_TRUE((*push)->Finish().status().IsFailedPrecondition());
+
+  auto aborted = store_->StartPush();
+  ASSERT_TRUE(aborted.ok());
+  ASSERT_TRUE((*aborted)->Abort().ok());
+  EXPECT_TRUE((*aborted)->Push(Pattern(1)).IsFailedPrecondition());
+  EXPECT_TRUE((*aborted)->Finish().status().IsFailedPrecondition());
+}
+
+TEST_P(PushContract, ListIsAscendingAfterPushAndDelete) {
+  // List() returns live ids in ascending order for every store; the
+  // conformance test pushes distinct content so the CAS store assigns
+  // distinct ids too.
+  std::vector<BlobId> ids;
+  for (int i = 0; i < 8; ++i) {
+    auto id = store_->PushAll(Pattern(64 + i, static_cast<uint8_t>(i)));
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  ASSERT_TRUE(store_->Delete(ids[2]).ok());
+  ASSERT_TRUE(store_->Delete(ids[5]).ok());
+  ids.erase(ids.begin() + 5);
+  ids.erase(ids.begin() + 2);
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(store_->List(), ids);
+  // Strictly increasing (no duplicates).
+  EXPECT_TRUE(std::adjacent_find(ids.begin(), ids.end(),
+                                 std::greater_equal<BlobId>()) == ids.end());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStores, PushContract,
+                         ::testing::Values(StoreKind::kMemory,
+                                           StoreKind::kPagedMemory,
+                                           StoreKind::kPagedSmallPages,
+                                           StoreKind::kFile,
+                                           StoreKind::kCas));
 
 // ---------------------------------------------------------------------------
 // PagedBlobStore specifics

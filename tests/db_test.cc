@@ -4,6 +4,7 @@
 #include <thread>
 #include <vector>
 
+#include "blob/cas_store.h"
 #include "codec/pcm.h"
 #include "codec/synthetic.h"
 #include "db/database.h"
@@ -304,9 +305,8 @@ TEST(DbTest, VacuumBlobsCollectsUnreferenced) {
   (void)video;
   (void)audio;
   // An orphan BLOB never registered with an interpretation.
-  auto orphan = db->blob_store()->Create();
+  auto orphan = db->blob_store()->PushAll(Bytes(100, 1));
   ASSERT_TRUE(orphan.ok());
-  ASSERT_TRUE(db->blob_store()->Append(*orphan, Bytes(100, 1)).ok());
   ASSERT_EQ(db->blob_store()->List().size(), 2u);
 
   auto deleted = db->VacuumBlobs();
@@ -326,6 +326,41 @@ TEST(DbTest, VacuumBlobsCollectsUnreferenced) {
   ASSERT_TRUE(db->Remove(*interp).ok());
   EXPECT_EQ(*db->VacuumBlobs(), 1u);
   EXPECT_TRUE(db->blob_store()->List().empty());
+}
+
+TEST(DbTest, CollectBlobGarbageOnCasStore) {
+  // A database over the content-addressed tier: garbage collection
+  // goes through the CAS mark-and-sweep and reports full stats.
+  std::string dir = ::testing::TempDir() + "/db_cas_gc_" +
+                    std::to_string(static_cast<long>(::getpid()));
+  std::filesystem::remove_all(dir);
+  auto store = CasBlobStore::Open(dir + "/cas");
+  ASSERT_TRUE(store.ok()) << store.status();
+  auto db = MediaDatabase::Open(dir, std::move(*store));
+  ASSERT_TRUE(db.ok()) << db.status();
+
+  auto [video, audio] = IngestClip(db->get(), "casgc", 3);
+  (void)video;
+  (void)audio;
+  // Orphans: one unique, one duplicating pushed content elsewhere.
+  auto orphan = (*db)->blob_store()->PushAll(Bytes(5000, 42));
+  ASSERT_TRUE(orphan.ok());
+  ASSERT_EQ((*db)->blob_store()->List().size(), 2u);
+
+  auto stats = (*db)->CollectBlobGarbage();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->live, 1u);
+  EXPECT_EQ(stats->swept, 1u);
+  EXPECT_EQ(stats->reclaimed_bytes, 5000u);
+  EXPECT_FALSE((*db)->blob_store()->Exists(*orphan));
+  // The interpretation's BLOB survived and media still materializes.
+  auto interp = (*db)->FindByName("casgc_interp");
+  ASSERT_TRUE(interp.ok());
+  EXPECT_TRUE((*db)->MaterializeStream(video).ok());
+  // Idempotent: nothing left to sweep.
+  auto again = (*db)->CollectBlobGarbage();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->swept, 0u);
 }
 
 // ---------------------------------------------------------------------------

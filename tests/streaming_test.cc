@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "base/thread_pool.h"
+#include "blob/cas_store.h"
 #include "blob/chunk_reader.h"
 #include "blob/fault_store.h"
 #include "blob/file_store.h"
@@ -39,9 +40,9 @@ std::string Scratch(const char* tag) {
 }
 
 // ---------------------------------------------------------------------------
-// ChunkReader contract across all three stores.
+// ChunkReader contract across all four stores.
 
-enum class StoreKind { kMemory, kPaged, kFile };
+enum class StoreKind { kMemory, kPaged, kFile, kCas };
 
 std::unique_ptr<BlobStore> MakeStore(StoreKind kind,
                                      const std::string& scratch) {
@@ -53,6 +54,11 @@ std::unique_ptr<BlobStore> MakeStore(StoreKind kind,
           std::make_unique<MemoryPageDevice>(64));  // payload 56 bytes
     case StoreKind::kFile: {
       auto store = FileBlobStore::Open(scratch);
+      EXPECT_TRUE(store.ok()) << store.status();
+      return std::move(*store);
+    }
+    case StoreKind::kCas: {
+      auto store = CasBlobStore::Open(scratch);
       EXPECT_TRUE(store.ok()) << store.status();
       return std::move(*store);
     }
@@ -72,10 +78,9 @@ class ChunkReaderContract : public ::testing::TestWithParam<StoreKind> {
 };
 
 TEST_P(ChunkReaderContract, ChunksConcatenateToWholeBlob) {
-  auto id = store_->Create();
-  ASSERT_TRUE(id.ok());
   Bytes data = Pattern(5000, 7);
-  ASSERT_TRUE(store_->Append(*id, data).ok());
+  auto id = store_->PushAll(data);
+  ASSERT_TRUE(id.ok()) << id.status();
 
   for (uint64_t chunk_size : {64u, 100u, 999u, 5000u, 10000u}) {
     ChunkReaderOptions options;
@@ -102,9 +107,8 @@ TEST_P(ChunkReaderContract, ChunksConcatenateToWholeBlob) {
 }
 
 TEST_P(ChunkReaderContract, LastChunkIsTruncated) {
-  auto id = store_->Create();
-  ASSERT_TRUE(id.ok());
-  ASSERT_TRUE(store_->Append(*id, Pattern(250)).ok());
+  auto id = store_->PushAll(Pattern(250));
+  ASSERT_TRUE(id.ok()) << id.status();
   ChunkReaderOptions options;
   options.chunk_size = 100;
   auto reader = store_->OpenChunkReader(*id, options);
@@ -117,8 +121,8 @@ TEST_P(ChunkReaderContract, LastChunkIsTruncated) {
 }
 
 TEST_P(ChunkReaderContract, ZeroChunkSizeRejected) {
-  auto id = store_->Create();
-  ASSERT_TRUE(id.ok());
+  auto id = store_->PushAll(Pattern(10));
+  ASSERT_TRUE(id.ok()) << id.status();
   ChunkReaderOptions options;
   options.chunk_size = 0;
   EXPECT_TRUE(
@@ -128,7 +132,74 @@ TEST_P(ChunkReaderContract, ZeroChunkSizeRejected) {
 INSTANTIATE_TEST_SUITE_P(AllStores, ChunkReaderContract,
                          ::testing::Values(StoreKind::kMemory,
                                            StoreKind::kPaged,
-                                           StoreKind::kFile));
+                                           StoreKind::kFile,
+                                           StoreKind::kCas));
+
+// The CAS store behind the fault decorator: chunked reads still pass
+// through retry/backoff, and injected faults recover against the
+// mmap-backed read path.
+TEST(CasStreamingTest, FaultWrappedCasRecoversWithRetries) {
+  auto cas = CasBlobStore::Open(Scratch("cas_fault"));
+  ASSERT_TRUE(cas.ok()) << cas.status();
+  auto fault = std::make_unique<FaultInjectingStore>(std::move(*cas));
+  Bytes data = Pattern(3000, 5);
+  auto id = fault->PushAll(data);
+  ASSERT_TRUE(id.ok()) << id.status();
+
+  fault->FailNextReads(2);
+  ReadPolicy policy;
+  policy.max_retries = 3;
+  policy.backoff_initial_us = 10.0;  // Keep the test quick.
+  policy.backoff_max_us = 50.0;
+  auto read = ReadWithPolicy(*fault, *id, ByteRange{0, 3000}, policy);
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_EQ(*read, data);
+  EXPECT_EQ(fault->injected_read_faults(), 2u);
+}
+
+// Concurrent pulls of the same CAS blob from many threads (in the CI
+// TSan filter): every reader sees identical bytes, all zero-copy views
+// of one shared mmap.
+TEST(CasStreamingTest, ConcurrentPullsShareOneMapping) {
+  auto cas = CasBlobStore::Open(Scratch("cas_pulls"));
+  ASSERT_TRUE(cas.ok()) << cas.status();
+  CasBlobStore* store = cas->get();
+  Bytes data = Pattern(64 * 1024, 11);
+  auto id = store->PushAll(data);
+  ASSERT_TRUE(id.ok()) << id.status();
+
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::vector<BufferSlice> slices(kThreads);
+  std::vector<Status> statuses(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 50; ++i) {
+        uint64_t offset = static_cast<uint64_t>((t * 997 + i * 131) %
+                                                (64 * 1024 - 256));
+        auto read = store->Read(*id, ByteRange{offset, 256});
+        if (!read.ok()) {
+          statuses[t] = read.status();
+          return;
+        }
+        if (!std::equal(read->begin(), read->end(),
+                        data.begin() + static_cast<long>(offset))) {
+          statuses[t] = Status::Internal("bytes mismatch");
+          return;
+        }
+        slices[t] = *read;  // Keep the last slice alive past the loop.
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_TRUE(statuses[t].ok()) << statuses[t];
+  }
+  // All views alias the single mapping.
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_TRUE(slices[t].SharesBufferWith(slices[0]));
+  }
+}
 
 TEST(ChunkReaderTest, PagedStoreAlignsChunksToPagePayloads) {
   PagedBlobStore store(std::make_unique<MemoryPageDevice>(64));

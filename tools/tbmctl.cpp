@@ -23,10 +23,20 @@
 //                                         loopback client sessions stream
 //                                         the catalog's media objects
 //                                         through admission control
+//   tbmctl blob stat <dbdir>              BLOB tier occupancy; for a
+//                                         content-addressed store also the
+//                                         dedup ratio and per-hash refcounts
+//   tbmctl blob gc <dbdir>                mark-and-sweep collection of
+//                                         BLOBs no interpretation references
+//
+// A database directory whose BLOB tier is content-addressed (it has a
+// cas/ledger.tbm) is detected automatically and opened over the CAS
+// store; everything else opens over the classic file store.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <utility>
@@ -53,7 +63,9 @@ int Usage() {
                "[--prefetch N] [--stats]\n"
                "       tbmctl stats <dbdir>\n"
                "       tbmctl trace <dbdir> <name> [-o trace.json]\n"
-               "       tbmctl serve <dbdir> [sessions] [--object <name>]\n");
+               "       tbmctl serve <dbdir> [sessions] [--object <name>]\n"
+               "       tbmctl blob stat <dbdir>\n"
+               "       tbmctl blob gc <dbdir>\n");
   return 2;
 }
 
@@ -468,14 +480,88 @@ int CmdStats(MediaDatabase* db, const std::string& dir) {
   return 0;
 }
 
+int CmdBlobStat(MediaDatabase* db) {
+  const auto* cas = dynamic_cast<const CasBlobStore*>(db->blob_store());
+  if (cas == nullptr) {
+    uint64_t blob_bytes = 0;
+    auto blobs = db->blob_store()->List();
+    for (BlobId blob : blobs) {
+      auto size = db->blob_store()->Size(blob);
+      if (size.ok()) blob_bytes += *size;
+    }
+    std::printf("store: not content-addressed\n");
+    std::printf("BLOBs: %zu holding %s\n", blobs.size(),
+                HumanBytes(blob_bytes).c_str());
+    return 0;
+  }
+  CasStoreStats stats = cas->Stats();
+  std::printf("store: content-addressed (%s)\n", cas->root().c_str());
+  std::printf("distinct blobs:  %llu\n", (unsigned long long)stats.blob_count);
+  std::printf("logical bytes:   %s\n", HumanBytes(stats.logical_bytes).c_str());
+  std::printf("stored bytes:    %s\n", HumanBytes(stats.stored_bytes).c_str());
+  std::printf("dedup ratio:     %.2fx\n", stats.dedup_ratio());
+  // Push counters reset with the process; on a freshly opened store
+  // they describe this invocation, while the byte figures above come
+  // from the persistent ledger.
+  std::printf("pushes:          %llu this session (%llu dedup hits)\n",
+              (unsigned long long)stats.pushes,
+              (unsigned long long)stats.dedup_hits);
+  std::printf("%-6s %-16s %5s %12s\n", "id", "hash", "refs", "size");
+  for (BlobId id : cas->List()) {
+    auto hash = cas->HashOf(id);
+    auto refs = cas->RefCount(id);
+    auto size = cas->Size(id);
+    if (!hash.ok() || !refs.ok() || !size.ok()) continue;
+    std::printf("%-6llu %-16s %5u %12s\n", (unsigned long long)id,
+                hash->ToHex().substr(0, 16).c_str(), *refs,
+                HumanBytes(*size).c_str());
+  }
+  return 0;
+}
+
+int CmdBlobGc(MediaDatabase* db) {
+  auto stats = db->CollectBlobGarbage();
+  if (!stats.ok()) return Fail(stats.status());
+  std::printf(
+      "collected: %llu live, %llu swept (%s reclaimed), %llu pinned, "
+      "pause %llu us\n",
+      (unsigned long long)stats->live, (unsigned long long)stats->swept,
+      HumanBytes(stats->reclaimed_bytes).c_str(),
+      (unsigned long long)stats->pinned, (unsigned long long)stats->pause_us);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 3) return Usage();
   std::string command = argv[1];
-  std::string dir = argv[2];
-  auto db = MediaDatabase::Open(dir);
+  std::string blob_subcommand;
+  int dir_arg = 2;
+  if (command == "blob") {
+    if (argc < 4) return Usage();
+    blob_subcommand = argv[2];
+    dir_arg = 3;
+  }
+  std::string dir = argv[dir_arg];
+
+  // A cas/ledger.tbm marks the directory's BLOB tier as
+  // content-addressed; open over the matching store.
+  auto db = [&dir]() -> Result<std::unique_ptr<MediaDatabase>> {
+    if (std::filesystem::exists(dir + "/cas/ledger.tbm")) {
+      auto store = CasBlobStore::Open(dir + "/cas");
+      if (!store.ok()) return store.status();
+      return MediaDatabase::Open(dir, std::move(*store));
+    }
+    return MediaDatabase::Open(dir);
+  }();
   if (!db.ok()) return Fail(db.status());
+
+  if (command == "blob") {
+    if (blob_subcommand == "stat") return CmdBlobStat(db->get());
+    if (blob_subcommand == "gc") return CmdBlobGc(db->get());
+    return Usage();
+  }
 
   if (command == "ls") return CmdLs(db->get());
   if (command == "stats") return CmdStats(db->get(), dir);
