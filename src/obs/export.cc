@@ -1,0 +1,143 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace tbm::obs {
+
+namespace {
+
+void AppendEscapedLabelValue(std::string* out, std::string_view value) {
+  for (char c : value) {
+    if (c == '\\' || c == '"') *out += '\\';
+    if (c == '\n') {
+      *out += "\\n";
+      continue;
+    }
+    *out += c;
+  }
+}
+
+/// `{key="value"}` or `{key="value",extra}` — empty string if no label
+/// and no extra.
+void AppendLabels(std::string* out, const ParsedMetricName& parsed,
+                  std::string_view extra = {}) {
+  if (!parsed.labeled() && extra.empty()) return;
+  *out += '{';
+  if (parsed.labeled()) {
+    out->append(parsed.label_key);
+    *out += "=\"";
+    AppendEscapedLabelValue(out, parsed.label_value);
+    *out += '"';
+    if (!extra.empty()) *out += ',';
+  }
+  out->append(extra);
+  *out += '}';
+}
+
+/// Emits `# TYPE family type` once per family. Relies on the snapshot
+/// maps being sorted, which keeps labeled variants of a base adjacent.
+void MaybeEmitType(std::string* out, const std::string& family,
+                   const char* type, std::string* last_family) {
+  if (family == *last_family) return;
+  *last_family = family;
+  *out += "# TYPE ";
+  *out += family;
+  *out += ' ';
+  *out += type;
+  *out += '\n';
+}
+
+}  // namespace
+
+ParsedMetricName ParseMetricName(std::string_view name) {
+  ParsedMetricName out;
+  out.base = name;
+  if (name.empty() || name.back() != '}') return out;
+  size_t open = name.find('{');
+  if (open == std::string_view::npos || open == 0) return out;
+  std::string_view inner = name.substr(open + 1, name.size() - open - 2);
+  size_t eq = inner.find('=');
+  if (eq == std::string_view::npos || eq == 0) return out;
+  out.base = name.substr(0, open);
+  out.label_key = inner.substr(0, eq);
+  out.label_value = inner.substr(eq + 1);
+  return out;
+}
+
+std::string PrometheusName(std::string_view base) {
+  std::string out = "tbm_";
+  out.reserve(base.size() + 4);
+  for (char c : base) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string ToPrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  char buf[128];
+  std::string last_family;
+
+  for (const auto& [name, value] : snapshot.counters) {
+    ParsedMetricName parsed = ParseMetricName(name);
+    std::string family = PrometheusName(parsed.base);
+    MaybeEmitType(&out, family, "counter", &last_family);
+    out += family;
+    AppendLabels(&out, parsed);
+    std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", value);
+    out += buf;
+  }
+
+  for (const auto& [name, value] : snapshot.gauges) {
+    ParsedMetricName parsed = ParseMetricName(name);
+    std::string family = PrometheusName(parsed.base);
+    MaybeEmitType(&out, family, "gauge", &last_family);
+    out += family;
+    AppendLabels(&out, parsed);
+    std::snprintf(buf, sizeof(buf), " %" PRId64 "\n", value);
+    out += buf;
+  }
+
+  for (const auto& [name, h] : snapshot.histograms) {
+    ParsedMetricName parsed = ParseMetricName(name);
+    std::string family = PrometheusName(parsed.base);
+    MaybeEmitType(&out, family, "histogram", &last_family);
+    // Cumulative le buckets; only bounds whose bucket is non-empty are
+    // emitted (plus the mandatory +Inf), which keeps a 40-bucket
+    // histogram readable while staying format-conformant.
+    uint64_t cumulative = 0;
+    for (int i = 0; i < kHistogramBuckets - 1; ++i) {
+      if (h.buckets[i] == 0) continue;
+      cumulative += h.buckets[i];
+      out += family;
+      out += "_bucket";
+      std::snprintf(buf, sizeof(buf), "le=\"%" PRIu64 "\"",
+                    HistogramBucketBound(i));
+      AppendLabels(&out, parsed, buf);
+      std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", cumulative);
+      out += buf;
+    }
+    out += family;
+    out += "_bucket";
+    AppendLabels(&out, parsed, "le=\"+Inf\"");
+    std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", h.count);
+    out += buf;
+    out += family;
+    out += "_sum";
+    AppendLabels(&out, parsed);
+    std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", h.sum);
+    out += buf;
+    out += family;
+    out += "_count";
+    AppendLabels(&out, parsed);
+    std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", h.count);
+    out += buf;
+  }
+
+  return out;
+}
+
+}  // namespace tbm::obs

@@ -1,0 +1,52 @@
+#ifndef TBM_OBS_EXPORT_H_
+#define TBM_OBS_EXPORT_H_
+
+/// Metric-name conventions and text expositions for scraping.
+///
+/// The registry stores labeled instruments under mangled names
+/// (`name{key=value}`, see Registry::counter overloads); this header
+/// is the single place that knows how to parse those names back apart
+/// and render a MetricsSnapshot as Prometheus text exposition format
+/// (v0.0.4) for `tbmctl top --prom` and external scrapers.
+///
+/// Everything here operates on plain snapshot data, so it behaves
+/// identically in TBM_OBS_DISABLED builds (snapshots are just empty).
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace tbm::obs {
+
+/// A registry metric name split into its base name and (at most one)
+/// label. Unlabeled names parse with empty key/value.
+struct ParsedMetricName {
+  std::string_view base;
+  std::string_view label_key;    ///< Empty if unlabeled.
+  std::string_view label_value;  ///< Empty if unlabeled.
+
+  bool labeled() const { return !label_key.empty(); }
+};
+
+/// Splits `name{key=value}` into its parts; names without a
+/// well-formed `{key=value}` suffix are returned whole as `base`.
+/// The views alias `name` — keep it alive.
+ParsedMetricName ParseMetricName(std::string_view name);
+
+/// Prometheus-legal metric name for a registry base name: prefixed
+/// `tbm_`, with every character outside [a-zA-Z0-9_] replaced by '_'
+/// (so `serve.read_us` becomes `tbm_serve_read_us`).
+std::string PrometheusName(std::string_view base);
+
+/// Renders a snapshot as Prometheus text exposition v0.0.4:
+/// counters as `counter`, gauges as `gauge`, histograms as native
+/// `histogram` families with cumulative `le` buckets plus `_sum` and
+/// `_count`. One `# TYPE` line per family; labeled variants of a base
+/// name share the family (the snapshot's sorted order makes them
+/// adjacent). Output is deterministic for a given snapshot.
+std::string ToPrometheusText(const MetricsSnapshot& snapshot);
+
+}  // namespace tbm::obs
+
+#endif  // TBM_OBS_EXPORT_H_

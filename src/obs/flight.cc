@@ -1,0 +1,160 @@
+#include "obs/flight.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+namespace tbm::obs {
+
+const char* FlightEventTypeName(FlightEventType type) {
+  switch (type) {
+    case FlightEventType::kState:
+      return "STATE";
+    case FlightEventType::kAdmit:
+      return "ADMIT";
+    case FlightEventType::kDegrade:
+      return "DEGRADE";
+    case FlightEventType::kSeek:
+      return "SEEK";
+    case FlightEventType::kFault:
+      return "FAULT";
+    case FlightEventType::kSlowRead:
+      return "SLOW_READ";
+    case FlightEventType::kEvict:
+      return "EVICT";
+    case FlightEventType::kNote:
+      return "NOTE";
+  }
+  return "?";
+}
+
+#ifndef TBM_OBS_DISABLED
+
+namespace {
+
+int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Live-recorder list for DumpAllFlightRecorders. The registry mutex
+/// is ordered before any recorder's own mutex (DumpAll holds it while
+/// calling Dump); recorder methods never touch the registry, so the
+/// order is acyclic.
+struct LiveRecorders {
+  std::mutex mu;
+  std::vector<const FlightRecorder*> list;
+
+  static LiveRecorders& Get() {
+    static LiveRecorders* live = new LiveRecorders;  // Never destroyed:
+    return *live;  // recorders may outlive static destruction order.
+  }
+};
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(size_t capacity)
+    : capacity_(std::max<size_t>(1, capacity)), epoch_ns_(SteadyNowNs()) {
+  ring_.reserve(capacity_);
+  LiveRecorders& live = LiveRecorders::Get();
+  std::lock_guard<std::mutex> lock(live.mu);
+  live.list.push_back(this);
+}
+
+FlightRecorder::~FlightRecorder() {
+  LiveRecorders& live = LiveRecorders::Get();
+  std::lock_guard<std::mutex> lock(live.mu);
+  live.list.erase(std::remove(live.list.begin(), live.list.end(), this),
+                  live.list.end());
+}
+
+void FlightRecorder::set_label(std::string label) {
+  std::lock_guard<std::mutex> lock(mu_);
+  label_ = std::move(label);
+}
+
+void FlightRecorder::Record(FlightEventType type, const char* what, uint64_t a,
+                            uint64_t b) {
+  FlightEvent event;
+  event.t_us = (SteadyNowNs() - epoch_ns_) / 1000;
+  event.type = type;
+  event.what = what != nullptr ? what : "";
+  event.a = a;
+  event.b = b;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(event);
+  } else {
+    ring_[recorded_ % capacity_] = event;
+  }
+  ++recorded_;
+}
+
+std::vector<FlightEvent> FlightRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<FlightEvent> out;
+  out.reserve(ring_.size());
+  uint64_t begin = recorded_ > capacity_ ? recorded_ - capacity_ : 0;
+  for (uint64_t i = begin; i < recorded_; ++i) {
+    out.push_back(ring_[i % capacity_]);
+  }
+  return out;
+}
+
+uint64_t FlightRecorder::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+std::string FlightRecorder::Dump(std::string_view cause) const {
+  std::vector<FlightEvent> events;
+  std::string label;
+  uint64_t recorded;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    label = label_;
+    recorded = recorded_;
+    uint64_t begin = recorded_ > capacity_ ? recorded_ - capacity_ : 0;
+    events.reserve(recorded_ - begin);
+    for (uint64_t i = begin; i < recorded_; ++i) {
+      events.push_back(ring_[i % capacity_]);
+    }
+  }
+  std::string out = "=== flight recorder";
+  if (!label.empty()) {
+    out += ' ';
+    out += label;
+  }
+  out += " — ";
+  if (cause.empty()) cause = "dump requested";
+  out.append(cause);
+  char line[192];
+  std::snprintf(line, sizeof(line),
+                " (%llu events recorded, last %zu shown) ===\n",
+                (unsigned long long)recorded, events.size());
+  out += line;
+  for (const FlightEvent& event : events) {
+    std::snprintf(line, sizeof(line),
+                  "  t+%9lldus %-9s %-32s a=%llu b=%llu\n",
+                  (long long)event.t_us, FlightEventTypeName(event.type),
+                  event.what, (unsigned long long)event.a,
+                  (unsigned long long)event.b);
+    out += line;
+  }
+  return out;
+}
+
+std::string DumpAllFlightRecorders(std::string_view cause) {
+  LiveRecorders& live = LiveRecorders::Get();
+  std::lock_guard<std::mutex> lock(live.mu);
+  std::string out;
+  for (const FlightRecorder* recorder : live.list) {
+    out += recorder->Dump(cause);
+  }
+  return out;
+}
+
+#endif  // !TBM_OBS_DISABLED
+
+}  // namespace tbm::obs

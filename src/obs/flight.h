@@ -1,0 +1,117 @@
+#ifndef TBM_OBS_FLIGHT_H_
+#define TBM_OBS_FLIGHT_H_
+
+/// Per-session flight recorder: a fixed-size ring of recent
+/// significant events (state transitions, degradations, faults, slow
+/// reads) that costs a mutexed append per event and is dumped as
+/// structured text when something goes wrong — eviction, fault storm,
+/// or crash — so a post-mortem doesn't need a re-run under tracing.
+///
+/// Unlike the span tracer (process-wide, high-frequency, sampled), a
+/// FlightRecorder is owned by one session object and records rare
+/// events; a mutex is the right tool and keeps the ring TSan-clean
+/// when a dumper races the recording session.
+///
+/// Live recorders register themselves in a process-wide list so a
+/// crash handler can call DumpAllFlightRecorders() and see every
+/// in-flight session's recent history.
+///
+/// With -DTBM_OBS_DISABLED, Record() is an inline no-op and Dump()
+/// returns an empty string.
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tbm::obs {
+
+enum class FlightEventType : uint8_t {
+  kState = 0,    ///< Session state transition; `what` names the new state.
+  kAdmit = 1,    ///< Admission outcome; a = stride granted.
+  kDegrade = 2,  ///< QoS degradation; a = old stride, b = new stride.
+  kSeek = 3,     ///< Random access; a = target element.
+  kFault = 4,    ///< Read/derive fault; a = element index, b = micros lost.
+  kSlowRead = 5, ///< Element read over threshold; a = element, b = micros.
+  kEvict = 6,    ///< Forced teardown; `what` is the cause.
+  kNote = 7,     ///< Free-form marker.
+};
+
+/// One recorded event. `what` must be a string with static storage
+/// duration (a literal or an interned name) — the recorder stores the
+/// pointer, not a copy.
+struct FlightEvent {
+  int64_t t_us = 0;  ///< Microseconds since the recorder was created.
+  FlightEventType type = FlightEventType::kNote;
+  const char* what = "";
+  uint64_t a = 0;
+  uint64_t b = 0;
+};
+
+const char* FlightEventTypeName(FlightEventType type);
+
+#ifndef TBM_OBS_DISABLED
+
+class FlightRecorder {
+ public:
+  static constexpr size_t kDefaultCapacity = 64;
+
+  explicit FlightRecorder(size_t capacity = kDefaultCapacity);
+  ~FlightRecorder();
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Identifies this recorder in dumps ("session 3 clip"); copied.
+  void set_label(std::string label);
+
+  void Record(FlightEventType type, const char* what, uint64_t a = 0,
+              uint64_t b = 0);
+
+  /// Oldest-first copy of the retained events.
+  std::vector<FlightEvent> Snapshot() const;
+
+  /// Events ever recorded (>= retained when the ring has wrapped).
+  uint64_t recorded() const;
+
+  /// Structured text: a header line naming the recorder and `cause`,
+  /// then one line per retained event, oldest first. Empty cause is
+  /// rendered as "dump requested".
+  std::string Dump(std::string_view cause) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::string label_;
+  const size_t capacity_;
+  const int64_t epoch_ns_;
+  uint64_t recorded_ = 0;
+  std::vector<FlightEvent> ring_;  ///< ring_[recorded_ % capacity_] is next.
+};
+
+/// Dumps of every live (not yet destroyed) FlightRecorder,
+/// concatenated — the crash-handler view. Order is registration order.
+std::string DumpAllFlightRecorders(std::string_view cause);
+
+#else  // TBM_OBS_DISABLED: recording compiles to nothing.
+
+class FlightRecorder {
+ public:
+  static constexpr size_t kDefaultCapacity = 0;
+
+  explicit FlightRecorder(size_t = 0) {}
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  void set_label(std::string) {}
+  void Record(FlightEventType, const char*, uint64_t = 0, uint64_t = 0) {}
+  std::vector<FlightEvent> Snapshot() const { return {}; }
+  uint64_t recorded() const { return 0; }
+  std::string Dump(std::string_view) const { return {}; }
+};
+
+inline std::string DumpAllFlightRecorders(std::string_view) { return {}; }
+
+#endif  // TBM_OBS_DISABLED
+
+}  // namespace tbm::obs
+
+#endif  // TBM_OBS_FLIGHT_H_

@@ -196,6 +196,40 @@ Histogram* Registry::histogram(std::string_view name) {
   return it->second.get();
 }
 
+namespace {
+
+/// Mangled storage key for a labeled instrument: `name{key=value}`.
+/// ParseMetricName (obs/export.h) is the inverse.
+std::string LabeledName(std::string_view name, std::string_view key,
+                        std::string_view value) {
+  std::string out;
+  out.reserve(name.size() + key.size() + value.size() + 3);
+  out.append(name);
+  out += '{';
+  out.append(key);
+  out += '=';
+  out.append(value);
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+Counter* Registry::counter(std::string_view name, std::string_view key,
+                           std::string_view value) {
+  return counter(LabeledName(name, key, value));
+}
+
+Gauge* Registry::gauge(std::string_view name, std::string_view key,
+                       std::string_view value) {
+  return gauge(LabeledName(name, key, value));
+}
+
+Histogram* Registry::histogram(std::string_view name, std::string_view key,
+                               std::string_view value) {
+  return histogram(LabeledName(name, key, value));
+}
+
 MetricsSnapshot Registry::Snapshot() const {
   MetricsSnapshot out;
   std::lock_guard<std::mutex> lock(mu_);

@@ -68,7 +68,10 @@ struct HistogramSnapshot {
   double P99() const { return Quantile(0.99); }
 };
 
-/// Point-in-time copy of every instrument in a Registry.
+/// Point-in-time copy of every instrument in a Registry. Maps are
+/// ordered (lexicographically by name), so iteration — and therefore
+/// every exported rendering — is deterministic; labeled variants of a
+/// base name (`name{key=value}`) sort adjacent to each other.
 struct MetricsSnapshot {
   std::map<std::string, uint64_t> counters;
   std::map<std::string, int64_t> gauges;
@@ -144,6 +147,22 @@ class Registry {
   Gauge* gauge(std::string_view name);
   Histogram* histogram(std::string_view name);
 
+  /// Labeled variants: one instrument per (name, key, value) triple,
+  /// stored under the mangled name `name{key=value}` (parseable back
+  /// with obs::ParseMetricName). One label dimension is deliberate —
+  /// enough for per-QoS-class SLO metrics without a cardinality
+  /// explosion. Handles are stable like the unlabeled ones; fetch once
+  /// per (site, label) and cache.
+  Counter* counter(std::string_view name, std::string_view key,
+                   std::string_view value);
+  Gauge* gauge(std::string_view name, std::string_view key,
+               std::string_view value);
+  Histogram* histogram(std::string_view name, std::string_view key,
+                       std::string_view value);
+
+  /// Deterministic: instruments appear in sorted name order (std::map
+  /// storage), so repeated snapshots of the same registry render
+  /// identically.
   MetricsSnapshot Snapshot() const;
 
   /// Zeroes every instrument (handles stay valid). Bench/test hygiene.
@@ -218,6 +237,15 @@ class Registry {
   Counter* counter(std::string_view) { return &counter_; }
   Gauge* gauge(std::string_view) { return &gauge_; }
   Histogram* histogram(std::string_view) { return &histogram_; }
+  Counter* counter(std::string_view, std::string_view, std::string_view) {
+    return &counter_;
+  }
+  Gauge* gauge(std::string_view, std::string_view, std::string_view) {
+    return &gauge_;
+  }
+  Histogram* histogram(std::string_view, std::string_view, std::string_view) {
+    return &histogram_;
+  }
 
   MetricsSnapshot Snapshot() const { return {}; }
   void Reset() {}

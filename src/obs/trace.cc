@@ -4,6 +4,7 @@
 #include <array>
 #include <chrono>
 #include <cstdio>
+#include <random>
 
 namespace tbm::obs {
 
@@ -16,27 +17,62 @@ void AppendEscaped(std::string* out, const char* text) {
   }
 }
 
+#ifndef TBM_OBS_DISABLED
+uint64_t Random64() {
+  static std::mutex mu;
+  static std::mt19937_64 rng = [] {
+    std::random_device rd;
+    return std::mt19937_64((uint64_t(rd()) << 32) ^ rd());
+  }();
+  std::lock_guard<std::mutex> lock(mu);
+  return rng();
+}
+#endif
+
 }  // namespace
+
+uint64_t NewTraceId() {
+#ifdef TBM_OBS_DISABLED
+  return 0;
+#else
+  uint64_t id;
+  do {
+    id = Random64();
+  } while (id == 0);
+  return id;
+#endif
+}
 
 std::string ToChromeTraceJson(const std::vector<SpanRecord>& spans) {
   std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
-  char buf[160];
+  char buf[224];
   bool first = true;
   for (const SpanRecord& span : spans) {
     if (!first) out += ',';
     first = false;
     out += "{\"name\":\"";
     AppendEscaped(&out, span.name != nullptr ? span.name : "?");
-    std::snprintf(buf, sizeof(buf),
-                  "\",\"cat\":\"tbm\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
-                  "\"pid\":1,\"tid\":%u,\"args\":{\"id\":%llu,\"parent\":%llu}}",
-                  static_cast<double>(span.start_ns) / 1e3,
-                  static_cast<double>(span.duration_ns) / 1e3, span.thread_id,
-                  (unsigned long long)span.span_id,
-                  (unsigned long long)span.parent_id);
+    std::snprintf(
+        buf, sizeof(buf),
+        "\",\"cat\":\"tbm\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
+        "\"pid\":1,\"tid\":%u,\"args\":{\"id\":%llu,\"parent\":%llu,"
+        "\"trace\":%llu}}",
+        static_cast<double>(span.start_ns) / 1e3,
+        static_cast<double>(span.duration_ns) / 1e3, span.thread_id,
+        (unsigned long long)span.span_id, (unsigned long long)span.parent_id,
+        (unsigned long long)span.trace_id);
     out += buf;
   }
   out += "]}";
+  return out;
+}
+
+std::vector<SpanRecord> SpansForTrace(const std::vector<SpanRecord>& spans,
+                                      uint64_t trace_id) {
+  std::vector<SpanRecord> out;
+  for (const SpanRecord& span : spans) {
+    if (span.trace_id == trace_id) out.push_back(span);
+  }
   return out;
 }
 
@@ -64,6 +100,10 @@ namespace {
 /// practice one tracer is live per instrumented code path).
 thread_local uint64_t tls_current_span = 0;
 
+/// The trace id the thread's innermost live span belongs to. Spans
+/// nested under a trace-adopting span inherit it automatically.
+thread_local uint64_t tls_current_trace = 0;
+
 std::atomic<uint64_t> g_next_tracer_uid{1};
 
 int64_t SteadyNowNs() {
@@ -84,6 +124,7 @@ struct Tracer::Slot {
   std::atomic<const char*> name{nullptr};
   std::atomic<uint64_t> span_id{0};
   std::atomic<uint64_t> parent_id{0};
+  std::atomic<uint64_t> trace_id{0};
   std::atomic<int64_t> start_ns{0};
   std::atomic<int64_t> duration_ns{0};
 };
@@ -102,7 +143,11 @@ Tracer& Tracer::Global() {
 
 Tracer::Tracer()
     : uid_(g_next_tracer_uid.fetch_add(1, std::memory_order_relaxed)),
-      epoch_ns_(SteadyNowNs()) {}
+      epoch_ns_(SteadyNowNs()) {
+  // Seed span ids with a random high-32-bit base so ids minted in
+  // different processes (client and server of one trace) don't collide.
+  next_span_id_.store((Random64() << 32) | 1, std::memory_order_relaxed);
+}
 
 Tracer::~Tracer() = default;
 
@@ -137,7 +182,7 @@ Tracer::ThreadBuffer* Tracer::BufferForThisThread() {
 }
 
 void Tracer::Record(const char* name, uint64_t span_id, uint64_t parent_id,
-                    int64_t start_ns, int64_t duration_ns) {
+                    uint64_t trace_id, int64_t start_ns, int64_t duration_ns) {
   ThreadBuffer* buffer = BufferForThisThread();
   uint64_t index = buffer->cursor.load(std::memory_order_relaxed);
   Slot& slot = buffer->slots[index % kRingCapacity];
@@ -149,6 +194,7 @@ void Tracer::Record(const char* name, uint64_t span_id, uint64_t parent_id,
   slot.name.store(name, std::memory_order_relaxed);
   slot.span_id.store(span_id, std::memory_order_relaxed);
   slot.parent_id.store(parent_id, std::memory_order_relaxed);
+  slot.trace_id.store(trace_id, std::memory_order_relaxed);
   slot.start_ns.store(start_ns, std::memory_order_relaxed);
   slot.duration_ns.store(duration_ns, std::memory_order_relaxed);
   slot.seq.store(2 * index + 2, std::memory_order_release);
@@ -173,6 +219,7 @@ std::vector<SpanRecord> Tracer::Collect() const {
       record.name = slot.name.load(std::memory_order_relaxed);
       record.span_id = slot.span_id.load(std::memory_order_relaxed);
       record.parent_id = slot.parent_id.load(std::memory_order_relaxed);
+      record.trace_id = slot.trace_id.load(std::memory_order_relaxed);
       record.start_ns = slot.start_ns.load(std::memory_order_relaxed);
       record.duration_ns = slot.duration_ns.load(std::memory_order_relaxed);
       record.thread_id = buffer->thread_id;
@@ -200,20 +247,31 @@ void Tracer::Clear() {
 
 uint64_t Tracer::CurrentSpanId() { return tls_current_span; }
 
+uint64_t Tracer::CurrentTraceId() { return tls_current_trace; }
+
 ScopedSpan::ScopedSpan(Tracer* tracer, const char* name)
     : ScopedSpan(tracer, name, tls_current_span) {}
 
 ScopedSpan::ScopedSpan(Tracer* tracer, const char* name, uint64_t parent_id)
+    : ScopedSpan(tracer, name, /*trace_id=*/0, parent_id) {}
+
+ScopedSpan::ScopedSpan(Tracer* tracer, const char* name, uint64_t trace_id,
+                       uint64_t parent_id)
     : tracer_(tracer), name_(name), parent_id_(parent_id) {
   if (!tracer_->enabled()) {
     span_id_ = 0;
+    trace_id_ = 0;
     saved_current_ = 0;
+    saved_trace_ = 0;
     start_ns_ = 0;
     return;
   }
   span_id_ = tracer_->next_span_id_.fetch_add(1, std::memory_order_relaxed);
+  trace_id_ = trace_id != 0 ? trace_id : tls_current_trace;
   saved_current_ = tls_current_span;
+  saved_trace_ = tls_current_trace;
   tls_current_span = span_id_;
+  tls_current_trace = trace_id_;
   start_ns_ = tracer_->NowNs();
 }
 
@@ -221,7 +279,8 @@ ScopedSpan::~ScopedSpan() {
   if (span_id_ == 0) return;
   int64_t duration = tracer_->NowNs() - start_ns_;
   tls_current_span = saved_current_;
-  tracer_->Record(name_, span_id_, parent_id_, start_ns_, duration);
+  tls_current_trace = saved_trace_;
+  tracer_->Record(name_, span_id_, parent_id_, trace_id_, start_ns_, duration);
 }
 
 #endif  // !TBM_OBS_DISABLED

@@ -36,14 +36,27 @@ struct SpanRecord {
   const char* name = nullptr;
   uint64_t span_id = 0;
   uint64_t parent_id = 0;  ///< 0 = root span.
+  uint64_t trace_id = 0;   ///< 0 = no cross-boundary trace (process-local).
   uint32_t thread_id = 0;  ///< Dense per-tracer id, assigned on first span.
   int64_t start_ns = 0;
   int64_t duration_ns = 0;
 };
 
+/// A fresh random nonzero trace id, safe to mint independently in many
+/// processes (collision odds are 2^-64 per pair). Returns 0 in
+/// TBM_OBS_DISABLED builds, which is how callers know not to attach
+/// trace context to outbound requests.
+uint64_t NewTraceId();
+
 /// Serializes spans as Chrome trace_event JSON ("X" complete events;
-/// ts/dur in microseconds; span/parent ids in args).
+/// ts/dur in microseconds; span/parent/trace ids in args).
 std::string ToChromeTraceJson(const std::vector<SpanRecord>& spans);
+
+/// The subset of `spans` belonging to `trace_id`, order preserved —
+/// the merged single-request timeline once client- and server-side
+/// spans share one collection (loopback) or one merged file.
+std::vector<SpanRecord> SpansForTrace(const std::vector<SpanRecord>& spans,
+                                      uint64_t trace_id);
 
 /// Writes ToChromeTraceJson(spans) to `path`.
 Status WriteChromeTrace(const std::vector<SpanRecord>& spans,
@@ -88,6 +101,10 @@ class Tracer {
   /// across thread hops.
   static uint64_t CurrentSpanId();
 
+  /// The trace id the calling thread's innermost live span belongs to
+  /// (0 if none). Like CurrentSpanId, capture before a thread hop.
+  static uint64_t CurrentTraceId();
+
  private:
   friend class ScopedSpan;
   struct Slot;
@@ -95,7 +112,7 @@ class Tracer {
 
   ThreadBuffer* BufferForThisThread();
   void Record(const char* name, uint64_t span_id, uint64_t parent_id,
-              int64_t start_ns, int64_t duration_ns);
+              uint64_t trace_id, int64_t start_ns, int64_t duration_ns);
   int64_t NowNs() const;
 
   const uint64_t uid_;  ///< Distinguishes tracers in thread-local caches.
@@ -109,14 +126,22 @@ class Tracer {
 
 /// RAII span: records [construction, destruction) into the tracer.
 /// Nests naturally — the innermost live span on the thread becomes the
-/// parent — or takes an explicit parent id for cross-thread edges.
+/// parent — or takes an explicit parent id for cross-thread edges. The
+/// three-argument form additionally adopts a trace id (e.g. one that
+/// arrived over the wire): the span and everything nested under it on
+/// this thread records into that trace. trace_id 0 means "inherit the
+/// thread's current trace".
 class ScopedSpan {
  public:
   explicit ScopedSpan(const char* name) : ScopedSpan(&Tracer::Global(), name) {}
   ScopedSpan(const char* name, uint64_t parent_id)
       : ScopedSpan(&Tracer::Global(), name, parent_id) {}
+  ScopedSpan(const char* name, uint64_t trace_id, uint64_t parent_id)
+      : ScopedSpan(&Tracer::Global(), name, trace_id, parent_id) {}
   ScopedSpan(Tracer* tracer, const char* name);
   ScopedSpan(Tracer* tracer, const char* name, uint64_t parent_id);
+  ScopedSpan(Tracer* tracer, const char* name, uint64_t trace_id,
+             uint64_t parent_id);
   ~ScopedSpan();
 
   ScopedSpan(const ScopedSpan&) = delete;
@@ -125,12 +150,17 @@ class ScopedSpan {
   /// This span's id (0 when the tracer was disabled at construction).
   uint64_t span_id() const { return span_id_; }
 
+  /// The trace this span records into (0 = process-local).
+  uint64_t trace_id() const { return trace_id_; }
+
  private:
   Tracer* tracer_;
   const char* name_;
   uint64_t span_id_;
   uint64_t parent_id_;
+  uint64_t trace_id_;
   uint64_t saved_current_;
+  uint64_t saved_trace_;
   int64_t start_ns_;
 };
 
@@ -155,19 +185,23 @@ class Tracer {
   std::vector<SpanRecord> Collect() const { return {}; }
   void Clear() {}
   static uint64_t CurrentSpanId() { return 0; }
+  static uint64_t CurrentTraceId() { return 0; }
 };
 
 class ScopedSpan {
  public:
   explicit ScopedSpan(const char*) {}
   ScopedSpan(const char*, uint64_t) {}
+  ScopedSpan(const char*, uint64_t, uint64_t) {}
   ScopedSpan(Tracer*, const char*) {}
   ScopedSpan(Tracer*, const char*, uint64_t) {}
+  ScopedSpan(Tracer*, const char*, uint64_t, uint64_t) {}
 
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
 
   uint64_t span_id() const { return 0; }
+  uint64_t trace_id() const { return 0; }
 };
 
 #endif  // TBM_OBS_DISABLED

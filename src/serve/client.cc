@@ -6,7 +6,41 @@
 
 namespace tbm::serve {
 
-Result<Response> MediaClient::RoundTrip(const Request& request) {
+namespace {
+
+const char* ClientSpanName(RequestType type) {
+  switch (type) {
+    case RequestType::kOpen:
+      return "client.open";
+    case RequestType::kRead:
+      return "client.read";
+    case RequestType::kSeek:
+      return "client.seek";
+    case RequestType::kStats:
+      return "client.stats";
+    case RequestType::kClose:
+      return "client.close";
+    case RequestType::kTelemetry:
+      return "client.telemetry";
+  }
+  return "client.request";
+}
+
+}  // namespace
+
+Result<Response> MediaClient::RoundTrip(Request request) {
+  // The round-trip span covers encode + wire + server work + decode —
+  // the client's view of request latency. Its id rides along as the
+  // server's parent, so the server span nests inside it on the merged
+  // timeline. Capture the current span first: passing it explicitly
+  // keeps the span a child of whatever client code is running, while
+  // the trace id pins it to this client's trace.
+  uint64_t enclosing = obs::Tracer::CurrentSpanId();
+  obs::ScopedSpan span(ClientSpanName(request.type), trace_id_, enclosing);
+  if (span.span_id() != 0 && trace_id_ != 0) {
+    request.trace.trace_id = trace_id_;
+    request.trace.parent_span_id = span.span_id();
+  }
   TBM_RETURN_IF_ERROR(WriteFrame(*transport_, EncodeRequest(request)));
   TBM_ASSIGN_OR_RETURN(Bytes frame, ReadFrame(*transport_, kMaxFrameBytes));
   TBM_ASSIGN_OR_RETURN(Response response, DecodeResponse(frame));
@@ -63,6 +97,13 @@ Status MediaClient::Close() {
   auto response = RoundTrip(request);
   if (!response.ok()) return response.status();
   return Status::OK();
+}
+
+Result<obs::MetricsSnapshot> MediaClient::Telemetry() {
+  Request request;
+  request.type = RequestType::kTelemetry;
+  TBM_ASSIGN_OR_RETURN(Response response, RoundTrip(request));
+  return std::move(response.telemetry);
 }
 
 }  // namespace tbm::serve

@@ -4,6 +4,7 @@
 #include <memory>
 #include <string>
 
+#include "obs/trace.h"
 #include "serve/protocol.h"
 #include "serve/transport.h"
 
@@ -13,10 +14,16 @@ namespace tbm::serve {
 /// over a Transport, and decodes the matching responses. Synchronous
 /// and single-threaded by design — a media session is an ordered
 /// pipeline, and one outstanding request per connection keeps it so.
+///
+/// Every client mints one trace id at construction; each round trip
+/// records a client-side span in that trace and ships the (trace id,
+/// span id) pair as request trace context, so server-side spans
+/// parent into the client's timeline. In TBM_OBS_DISABLED builds the
+/// trace id is 0 and no context goes on the wire.
 class MediaClient {
  public:
   explicit MediaClient(std::unique_ptr<Transport> transport)
-      : transport_(std::move(transport)) {}
+      : transport_(std::move(transport)), trace_id_(obs::NewTraceId()) {}
 
   /// Opens a session on the named catalog media object. The server's
   /// admission decision comes back in `OpenInfo::stride` (> 1 means
@@ -37,16 +44,26 @@ class MediaClient {
   /// server hangs up after acknowledging.
   Status Close();
 
+  /// Point-in-time copy of the server's metrics registry (counters,
+  /// gauges, histograms — including the per-QoS SLO families). Needs
+  /// no open session.
+  Result<obs::MetricsSnapshot> Telemetry();
+
   uint64_t session_id() const { return session_id_; }
+  /// The trace id this client's round-trip spans record into (0 in
+  /// TBM_OBS_DISABLED builds).
+  uint64_t trace_id() const { return trace_id_; }
   Transport* transport() { return transport_.get(); }
 
  private:
   /// Sends `request` and receives its response, checking the echoed
-  /// type and wire status.
-  Result<Response> RoundTrip(const Request& request);
+  /// type and wire status. Wraps the round trip in a client-side span
+  /// and attaches trace context to the outbound request.
+  Result<Response> RoundTrip(Request request);
 
   std::unique_ptr<Transport> transport_;
   uint64_t session_id_ = 0;
+  uint64_t trace_id_ = 0;
 };
 
 }  // namespace tbm::serve

@@ -8,14 +8,137 @@ namespace tbm::serve {
 
 namespace {
 
-constexpr uint8_t kMaxRequestType = static_cast<uint8_t>(RequestType::kClose);
+constexpr uint8_t kMaxRequestType =
+    static_cast<uint8_t>(RequestType::kTelemetry);
 constexpr uint8_t kMaxStatusCode = static_cast<uint8_t>(StatusCode::kInternal);
 constexpr uint8_t kMaxSessionState =
     static_cast<uint8_t>(SessionState::kEvicted);
 
+/// Request extension-block tags (see Request doc comment).
+constexpr uint8_t kExtTagTrace = 1;
+
+/// A hostile TELEMETRY frame could claim an absurd per-histogram
+/// bucket count; anything past this is corrupt, not just future.
+constexpr uint64_t kMaxWireHistogramBuckets = 4096;
+
 Status TrailingBytes(size_t n) {
   return Status::Corruption("frame has " + std::to_string(n) +
                             " trailing bytes");
+}
+
+/// Writes the request extension block: nothing when no extension is
+/// present, else repeated (tag, length-prefixed body) pairs.
+void EncodeRequestExtensions(BinaryWriter* writer, const Request& request) {
+  if (request.trace.present()) {
+    BinaryWriter body;
+    body.WriteVarU64(request.trace.trace_id);
+    body.WriteVarU64(request.trace.parent_span_id);
+    writer->WriteU8(kExtTagTrace);
+    writer->WriteBytes(body.buffer());
+  }
+}
+
+/// Consumes the rest of the payload as an extension block. Unknown
+/// tags are skipped whole (their length prefix tells us how much);
+/// known tags must parse exactly.
+Status DecodeRequestExtensions(BinaryReader* reader, Request* request) {
+  while (!reader->AtEnd()) {
+    TBM_ASSIGN_OR_RETURN(uint8_t tag, reader->ReadU8());
+    if (tag == 0) return Status::Corruption("zero extension tag");
+    TBM_ASSIGN_OR_RETURN(Bytes body, reader->ReadBytes());
+    if (tag == kExtTagTrace) {
+      BinaryReader body_reader(body);
+      TBM_ASSIGN_OR_RETURN(request->trace.trace_id, body_reader.ReadVarU64());
+      TBM_ASSIGN_OR_RETURN(request->trace.parent_span_id,
+                           body_reader.ReadVarU64());
+      if (!body_reader.AtEnd()) {
+        return Status::Corruption("trace extension has " +
+                                  std::to_string(body_reader.remaining()) +
+                                  " trailing bytes");
+      }
+    }
+    // Unknown tags: body already consumed; skip (forward compat).
+  }
+  return Status::OK();
+}
+
+void EncodeTelemetry(BinaryWriter* writer,
+                     const obs::MetricsSnapshot& snapshot) {
+  writer->WriteVarU64(snapshot.counters.size());
+  for (const auto& [name, value] : snapshot.counters) {
+    writer->WriteString(name);
+    writer->WriteVarU64(value);
+  }
+  writer->WriteVarU64(snapshot.gauges.size());
+  for (const auto& [name, value] : snapshot.gauges) {
+    writer->WriteString(name);
+    writer->WriteVarI64(value);
+  }
+  writer->WriteVarU64(snapshot.histograms.size());
+  for (const auto& [name, h] : snapshot.histograms) {
+    writer->WriteString(name);
+    writer->WriteVarU64(h.count);
+    writer->WriteVarU64(h.sum);
+    writer->WriteVarU64(h.min);
+    writer->WriteVarU64(h.max);
+    writer->WriteVarU64(h.buckets.size());
+    for (uint64_t bucket : h.buckets) writer->WriteVarU64(bucket);
+  }
+}
+
+Status DecodeTelemetry(BinaryReader* reader, obs::MetricsSnapshot* snapshot) {
+  TBM_ASSIGN_OR_RETURN(uint64_t counter_count, reader->ReadVarU64());
+  if (counter_count > reader->remaining()) {
+    // Every entry costs at least two bytes (name length + value), so a
+    // count beyond the remaining payload is corrupt — reject before
+    // looping over it.
+    return Status::Corruption("counter count " +
+                              std::to_string(counter_count) +
+                              " exceeds frame size");
+  }
+  for (uint64_t i = 0; i < counter_count; ++i) {
+    TBM_ASSIGN_OR_RETURN(std::string name, reader->ReadString());
+    TBM_ASSIGN_OR_RETURN(uint64_t value, reader->ReadVarU64());
+    snapshot->counters.emplace(std::move(name), value);
+  }
+  TBM_ASSIGN_OR_RETURN(uint64_t gauge_count, reader->ReadVarU64());
+  if (gauge_count > reader->remaining()) {
+    return Status::Corruption("gauge count " + std::to_string(gauge_count) +
+                              " exceeds frame size");
+  }
+  for (uint64_t i = 0; i < gauge_count; ++i) {
+    TBM_ASSIGN_OR_RETURN(std::string name, reader->ReadString());
+    TBM_ASSIGN_OR_RETURN(int64_t value, reader->ReadVarI64());
+    snapshot->gauges.emplace(std::move(name), value);
+  }
+  TBM_ASSIGN_OR_RETURN(uint64_t histogram_count, reader->ReadVarU64());
+  if (histogram_count > reader->remaining()) {
+    return Status::Corruption("histogram count " +
+                              std::to_string(histogram_count) +
+                              " exceeds frame size");
+  }
+  for (uint64_t i = 0; i < histogram_count; ++i) {
+    TBM_ASSIGN_OR_RETURN(std::string name, reader->ReadString());
+    obs::HistogramSnapshot h;
+    TBM_ASSIGN_OR_RETURN(h.count, reader->ReadVarU64());
+    TBM_ASSIGN_OR_RETURN(h.sum, reader->ReadVarU64());
+    TBM_ASSIGN_OR_RETURN(h.min, reader->ReadVarU64());
+    TBM_ASSIGN_OR_RETURN(h.max, reader->ReadVarU64());
+    TBM_ASSIGN_OR_RETURN(uint64_t bucket_count, reader->ReadVarU64());
+    if (bucket_count > kMaxWireHistogramBuckets) {
+      return Status::Corruption("histogram bucket count " +
+                                std::to_string(bucket_count) +
+                                " exceeds limit");
+    }
+    // A peer with a different bucket layout stays decodable: take what
+    // fits, drain the rest.
+    for (uint64_t b = 0; b < bucket_count; ++b) {
+      TBM_ASSIGN_OR_RETURN(uint64_t bucket, reader->ReadVarU64());
+      if (b < h.buckets.size()) h.buckets[b] = bucket;
+    }
+    snapshot->histograms.emplace(std::move(name), h);
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -32,6 +155,8 @@ std::string_view RequestTypeToString(RequestType type) {
       return "STATS";
     case RequestType::kClose:
       return "CLOSE";
+    case RequestType::kTelemetry:
+      return "TELEMETRY";
   }
   return "?";
 }
@@ -70,8 +195,10 @@ Bytes EncodeRequest(const Request& request) {
       break;
     case RequestType::kStats:
     case RequestType::kClose:
+    case RequestType::kTelemetry:
       break;
   }
+  EncodeRequestExtensions(&writer, request);
   return writer.TakeBuffer();
 }
 
@@ -100,9 +227,10 @@ Result<Request> DecodeRequest(ByteSpan payload) {
     }
     case RequestType::kStats:
     case RequestType::kClose:
+    case RequestType::kTelemetry:
       break;
   }
-  if (!reader.AtEnd()) return TrailingBytes(reader.remaining());
+  TBM_RETURN_IF_ERROR(DecodeRequestExtensions(&reader, &request));
   return request;
 }
 
@@ -143,6 +271,9 @@ Bytes EncodeResponse(const Response& response) {
       writer.WriteU32(response.stats.stride);
       break;
     case RequestType::kClose:
+      break;
+    case RequestType::kTelemetry:
+      EncodeTelemetry(&writer, response.telemetry);
       break;
   }
   return writer.TakeBuffer();
@@ -222,6 +353,10 @@ Result<Response> DecodeResponse(ByteSpan payload) {
     }
     case RequestType::kClose:
       break;
+    case RequestType::kTelemetry: {
+      TBM_RETURN_IF_ERROR(DecodeTelemetry(&reader, &response.telemetry));
+      break;
+    }
   }
   if (!reader.AtEnd()) return TrailingBytes(reader.remaining());
   return response;

@@ -9,6 +9,7 @@
 #include "base/io.h"
 #include "base/result.h"
 #include "base/status.h"
+#include "obs/metrics.h"
 
 namespace tbm::serve {
 
@@ -34,17 +35,36 @@ enum class RequestType : uint8_t {
   kSeek = 3,   ///< Reposition to an element number.
   kStats = 4,  ///< Session counters and state.
   kClose = 5,  ///< End the session.
+  kTelemetry = 6,  ///< Server-wide metrics snapshot (no session needed).
 };
 
 std::string_view RequestTypeToString(RequestType type);
 
+/// Cross-boundary trace context carried on a request: the client's
+/// trace id and the span the server-side work should parent into.
+/// trace_id 0 means "absent" (e.g. the client was built with
+/// TBM_OBS_DISABLED), so presence costs nothing on the wire.
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t parent_span_id = 0;
+
+  bool present() const { return trace_id != 0; }
+};
+
 /// One client request. Only the fields for `type` are meaningful.
+///
+/// After the per-type fields, a request payload may carry an
+/// *extension block*: repeated `u8 tag | length-prefixed body` pairs.
+/// Decoders skip unknown tags (forward compatibility: an old server
+/// ignores extensions a new client sends), and reject tag 0 and
+/// truncated bodies as corruption. Tag 1 is the trace context.
 struct Request {
   RequestType type = RequestType::kStats;
   uint64_t session_id = 0;   ///< 0 until OPEN assigns one.
   std::string object_name;   ///< kOpen: catalog name of the media object.
   uint64_t max_elements = 1; ///< kRead: batch size cap.
   uint64_t target_element = 0;  ///< kSeek: element number to resume at.
+  TraceContext trace;        ///< Extension tag 1; encoded only if present().
 };
 
 /// Session lifecycle (the serve state machine). OPEN connections
@@ -106,6 +126,10 @@ struct Response {
   ReadBatch read;
   uint64_t seek_position = 0;
   SessionStatsWire stats;
+  /// kTelemetry: point-in-time copy of the server's metrics registry.
+  /// MetricsSnapshot is plain data in both build modes, so a disabled
+  /// client can still decode an enabled server's telemetry.
+  obs::MetricsSnapshot telemetry;
 };
 
 /// Serializes a request / response into a frame *payload* (no length

@@ -1,6 +1,7 @@
 #include "serve/server.h"
 
 #include <algorithm>
+#include <array>
 #include <condition_variable>
 #include <utility>
 
@@ -35,6 +36,62 @@ struct ServeMetrics {
     return metrics;
   }
 };
+
+/// Per-QoS-class SLO instruments, labeled `{qos=<class>}` in the
+/// registry. A class is the session's stride tier: s1 is full
+/// fidelity, s2/s4/s8 the degradation ladder, s16plus anything
+/// coarser — so a dashboard shows whether degraded sessions still
+/// meet their (reduced) contracts, not just a blended average.
+struct QosSlice {
+  obs::Counter* admitted;
+  obs::Counter* degraded;
+  obs::Counter* evicted;
+  obs::Counter* deadline_miss;
+  obs::Counter* read_bytes;
+  obs::Histogram* read_us;  ///< READ receipt -> response sent, µs.
+};
+
+const QosSlice& QosForStride(uint32_t stride) {
+  static constexpr const char* kClasses[] = {"s1", "s2", "s4", "s8",
+                                             "s16plus"};
+  static const std::array<QosSlice, 5> slices = [] {
+    auto& registry = obs::Registry::Global();
+    std::array<QosSlice, 5> out;
+    for (size_t i = 0; i < out.size(); ++i) {
+      const char* qos = kClasses[i];
+      out[i] = QosSlice{registry.counter("serve.admitted", "qos", qos),
+                        registry.counter("serve.degraded", "qos", qos),
+                        registry.counter("serve.evicted", "qos", qos),
+                        registry.counter("serve.deadline_miss", "qos", qos),
+                        registry.counter("serve.read_bytes", "qos", qos),
+                        registry.histogram("serve.read_us", "qos", qos)};
+    }
+    return out;
+  }();
+  if (stride <= 1) return slices[0];
+  if (stride == 2) return slices[1];
+  if (stride <= 4) return slices[2];
+  if (stride <= 8) return slices[3];
+  return slices[4];
+}
+
+const char* ServerSpanName(RequestType type) {
+  switch (type) {
+    case RequestType::kOpen:
+      return "serve.open";
+    case RequestType::kRead:
+      return "serve.read";
+    case RequestType::kSeek:
+      return "serve.seek";
+    case RequestType::kStats:
+      return "serve.stats";
+    case RequestType::kClose:
+      return "serve.close";
+    case RequestType::kTelemetry:
+      return "serve.telemetry";
+  }
+  return "serve.request";
+}
 
 }  // namespace
 
@@ -223,6 +280,7 @@ void MediaServer::DegradeSession(Session* session) {
   }
   stat_degraded_.fetch_add(1);
   ServeMetrics::Get().degraded->Add();
+  QosForStride(session->stride()).degraded->Add();
 }
 
 void MediaServer::ReleaseBooking(Connection* connection) {
@@ -241,6 +299,7 @@ void MediaServer::HandleConnection(Connection* connection) {
     stat_requests_.fetch_add(1);
 
     Response response;
+    int64_t received_ns = obs::NowTicksNs();
     {
       obs::ScopedTimerUs timer(ServeMetrics::Get().request_us);
       auto request = DecodeRequest(*frame);
@@ -249,6 +308,15 @@ void MediaServer::HandleConnection(Connection* connection) {
         // is still intact.
         response.status = request.status();
       } else {
+        // The server-side span adopts the client's trace context when
+        // present: it parents into the client's round-trip span, so a
+        // merged collection shows server work nested inside client
+        // wait. Without context it nests locally under serve.session.
+        const TraceContext& trace = request->trace;
+        obs::ScopedSpan request_span(
+            ServerSpanName(request->type), trace.trace_id,
+            trace.present() ? trace.parent_span_id
+                            : obs::Tracer::CurrentSpanId());
         response = HandleRequest(connection, *request);
       }
     }
@@ -263,19 +331,58 @@ void MediaServer::HandleConnection(Connection* connection) {
       break;
     }
     stat_response_bytes_.fetch_add(payload.size());
+
+    // READ SLO accounting, through the send: latency a client actually
+    // observed, labeled by the QoS class in force for the batch.
+    if (response.type == RequestType::kRead && response.status.ok()) {
+      Session* session = connection->session.get();
+      const QosSlice& qos = QosForStride(response.read.stride);
+      uint64_t elapsed_us =
+          static_cast<uint64_t>(
+              std::max<int64_t>(0, obs::NowTicksNs() - received_ns)) /
+          1000;
+      qos.read_us->Record(elapsed_us);
+      qos.read_bytes->Add(payload.size());
+      uint64_t deadline_us = config_.read_deadline_us;
+      if (deadline_us == 0 && session != nullptr &&
+          session->booked_bytes_per_second() > 0) {
+        deadline_us = static_cast<uint64_t>(
+            1e6 * static_cast<double>(payload.size()) /
+            session->booked_bytes_per_second());
+      }
+      if (deadline_us != 0 && elapsed_us > deadline_us) {
+        qos.deadline_miss->Add();
+        if (session != nullptr) {
+          session->flight()->Record(obs::FlightEventType::kNote,
+                                    "read deadline missed", elapsed_us,
+                                    deadline_us);
+        }
+      }
+    }
     if (response.type == RequestType::kClose && response.status.ok()) break;
   }
 
   if (connection->session != nullptr) {
-    SessionState state = connection->session->state();
+    Session* session = connection->session.get();
+    SessionState state = session->state();
     bool terminal = state == SessionState::kDone ||
                     state == SessionState::kDegraded ||
                     state == SessionState::kEvicted;
     if (!terminal || send_failed) {
       // The client vanished or stalled mid-stream.
-      connection->session->MarkEvicted();
+      const char* cause = send_failed
+                              ? "send stalled past timeout (slow client)"
+                              : "connection lost before end of stream";
+      session->MarkEvicted(cause);
       stat_evicted_.fetch_add(1);
       ServeMetrics::Get().evicted->Add();
+      QosForStride(session->stride()).evicted->Add();
+      StoreFlightDump(session->DumpFlight(cause));
+    } else if (session->StatsWire().elements_skipped > 0) {
+      // Completed, but lossily: keep the post-mortem even though
+      // nothing was evicted.
+      StoreFlightDump(
+          session->DumpFlight("completed with skipped elements"));
     }
     active_sessions_.fetch_sub(1);
     ServeMetrics::Get().sessions->Add(-1);
@@ -283,6 +390,20 @@ void MediaServer::HandleConnection(Connection* connection) {
   ReleaseBooking(connection);
   connection->transport->Close();
   connection->finished.store(true, std::memory_order_release);
+}
+
+std::vector<std::string> MediaServer::flight_dumps() const {
+  std::lock_guard<std::mutex> lock(flight_mu_);
+  return flight_dumps_;
+}
+
+void MediaServer::StoreFlightDump(std::string dump) {
+  if (dump.empty()) return;  // TBM_OBS_DISABLED: recorders are empty.
+  std::lock_guard<std::mutex> lock(flight_mu_);
+  if (flight_dumps_.size() >= std::max<size_t>(1, config_.flight_dump_cap)) {
+    flight_dumps_.erase(flight_dumps_.begin());
+  }
+  flight_dumps_.push_back(std::move(dump));
 }
 
 void MediaServer::PaceResponse(Connection* connection, uint64_t bytes) {
@@ -347,6 +468,11 @@ Response MediaServer::HandleRequest(Connection* connection,
         ReleaseBooking(connection);
       }
       return response;  // OK — closing an unopened connection is a no-op.
+    }
+    case RequestType::kTelemetry: {
+      // Needs no session: a scraper connects, asks, and hangs up.
+      response.telemetry = obs::Registry::Global().Snapshot();
+      return response;
     }
   }
   response.status = Status::Internal("unhandled request type");
@@ -429,6 +555,7 @@ Response MediaServer::DoOpen(Connection* connection, const Request& request) {
   session_config.booked_bytes_per_second = decision.booked_bytes_per_second;
   session_config.response_byte_cap = config_.response_byte_cap;
   session_config.read_options = config_.read_options;
+  session_config.slow_read_us = config_.slow_read_us;
   auto session =
       Session::Create(session_id, request.object_name, db_->blob_store(),
                       interpretation, (*entry)->stream_name, session_config);
@@ -441,14 +568,19 @@ Response MediaServer::DoOpen(Connection* connection, const Request& request) {
   connection->session = std::move(*session);
   connection->admission_key = std::move(key);
   connection->booked = true;
+  // The session remembers which client trace it serves, so its
+  // flight-recorder dumps can name the timeline to pull up.
+  connection->session->AdoptTrace(request.trace.trace_id);
 
   active_sessions_.fetch_add(1);
   stat_admitted_.fetch_add(1);
   ServeMetrics::Get().admitted->Add();
   ServeMetrics::Get().sessions->Add(1);
+  QosForStride(stride).admitted->Add();
   if (stride > 1) {
     stat_degraded_.fetch_add(1);
     ServeMetrics::Get().degraded->Add();
+    QosForStride(stride).degraded->Add();
   }
 
   response.open.session_id = session_id;
@@ -473,9 +605,16 @@ Response MediaServer::DoRead(Connection* connection, const Request& request) {
 
   // The fetch runs as one task on the shared worker pool: its FIFO
   // queue interleaves batches across sessions — that queue *is* the
-  // fair-share scheduler.
+  // fair-share scheduler. The span context is captured here and
+  // re-established inside the task: thread-locals don't cross the
+  // pool hop, explicit (trace, parent) ids do.
+  uint64_t parent_span = obs::Tracer::CurrentSpanId();
+  uint64_t trace = obs::Tracer::CurrentTraceId();
   Result<ReadBatch> batch = Status::Internal("read task did not run");
-  RunOnPool([&] { batch = session->ReadNext(max_elements); });
+  RunOnPool([&] {
+    obs::ScopedSpan read_span("serve.read_next", trace, parent_span);
+    batch = session->ReadNext(max_elements);
+  });
   if (!batch.ok()) {
     response.status = batch.status();
     return response;

@@ -62,6 +62,22 @@ struct ServeConfig {
   /// Read options for session element streams; `pool` is overridden
   /// with the server's I/O pool.
   StreamReadOptions read_options;
+
+  /// SLO deadline for a READ request (request receipt through response
+  /// send), in microseconds. 0 derives the deadline from the session's
+  /// booked rate: a batch of B bytes on a session booked at R bytes/s
+  /// must leave within B/R seconds, or the session is falling behind
+  /// real time. Misses increment the per-QoS deadline-miss counter and
+  /// land in the session's flight recorder.
+  uint64_t read_deadline_us = 0;
+
+  /// Element reads slower than this are flight-recorded (see
+  /// Session::Config::slow_read_us). 0 disables.
+  uint64_t slow_read_us = 10'000;
+
+  /// Most recent flight-recorder dumps the server retains (from
+  /// evicted sessions and sessions that completed with skips).
+  size_t flight_dump_cap = 32;
 };
 
 /// Aggregate counters of a server's lifetime.
@@ -148,6 +164,11 @@ class MediaServer {
   ServerStatsSnapshot stats() const;
   const ServeConfig& config() const { return config_; }
 
+  /// Flight-recorder dumps of sessions that ended badly (evicted, or
+  /// completed with skipped elements), newest last, capped at
+  /// `flight_dump_cap`. Empty in TBM_OBS_DISABLED builds.
+  std::vector<std::string> flight_dumps() const;
+
  private:
   struct Connection;
 
@@ -155,6 +176,10 @@ class MediaServer {
   Response HandleRequest(Connection* connection, const Request& request);
   Response DoOpen(Connection* connection, const Request& request);
   Response DoRead(Connection* connection, const Request& request);
+
+  /// Retains `dump` (dropping the oldest past the cap); empty dumps —
+  /// the TBM_OBS_DISABLED case — are ignored.
+  void StoreFlightDump(std::string dump);
 
   /// Paces `bytes` through the byte budget, degrading the session
   /// under pressure rather than stalling indefinitely.
@@ -184,6 +209,9 @@ class MediaServer {
   mutable std::mutex mu_;  ///< Guards connections_ and stopping_.
   std::vector<std::unique_ptr<Connection>> connections_;
   bool stopping_ = false;
+
+  mutable std::mutex flight_mu_;  ///< Guards flight_dumps_.
+  std::vector<std::string> flight_dumps_;
 
   std::atomic<uint64_t> next_session_id_{1};
   std::atomic<uint64_t> stat_admitted_{0};

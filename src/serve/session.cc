@@ -1,10 +1,12 @@
 #include "serve/session.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <utility>
 
 #include "base/macros.h"
 #include "blob/read_policy.h"
+#include "obs/metrics.h"
 
 namespace tbm::serve {
 
@@ -40,28 +42,61 @@ Session::Session(uint64_t id, std::string object_name, const BlobStore* store,
       config_(config),
       stride_(config.stride),
       degraded_(config.stride > 1),
-      booked_(config.booked_bytes_per_second) {}
+      booked_(config.booked_bytes_per_second) {
+  flight_.set_label("session " + std::to_string(id_) + " " + object_name_);
+  flight_.Record(obs::FlightEventType::kAdmit,
+                 degraded_ ? "admitted degraded" : "admitted", stride_,
+                 static_cast<uint64_t>(booked_));
+}
+
+void Session::AdoptTrace(uint64_t trace_id) {
+  if (trace_id == 0) return;
+  trace_id_ = trace_id;
+  flight_.Record(obs::FlightEventType::kNote, "adopted client trace",
+                 trace_id);
+}
 
 Result<Bytes> Session::ReadElementBytes(uint64_t index) {
+  // In TBM_OBS_DISABLED builds NowTicksNs() is inline 0 and Record()
+  // a no-op, so this timing folds away entirely.
+  int64_t start_ns = obs::NowTicksNs();
+  auto finish_timing = [&](bool ok) {
+    uint64_t elapsed_us =
+        static_cast<uint64_t>(
+            std::max<int64_t>(0, obs::NowTicksNs() - start_ns)) /
+        1000;
+    if (!ok) {
+      flight_.Record(obs::FlightEventType::kFault,
+                     "element read failed after retries", index, elapsed_us);
+    } else if (config_.slow_read_us != 0 && elapsed_us > config_.slow_read_us) {
+      flight_.Record(obs::FlightEventType::kSlowRead,
+                     "element read over threshold", index, elapsed_us);
+    }
+  };
   // The element stream delivers strictly sequentially; use it while we
   // are aligned with it (stride-1 sessions that never sought).
   if (stream_ != nullptr && stream_->position() == index) {
-    TBM_ASSIGN_OR_RETURN(StreamElement element, stream_->Next());
-    return Bytes(element.data.begin(), element.data.end());
+    auto element = stream_->Next();
+    finish_timing(element.ok());
+    if (!element.ok()) return element.status();
+    return Bytes(element->data.begin(), element->data.end());
   }
   const ElementPlacement& placement =
       object_.elements[static_cast<size_t>(index)];
-  TBM_ASSIGN_OR_RETURN(
-      BufferSlice slice,
-      ReadWithPolicy(*store_, blob_, placement.placement,
-                     config_.read_options.policy));
-  return Bytes(slice.begin(), slice.end());
+  auto slice = ReadWithPolicy(*store_, blob_, placement.placement,
+                              config_.read_options.policy);
+  finish_timing(slice.ok());
+  if (!slice.ok()) return slice.status();
+  return Bytes(slice->begin(), slice->end());
 }
 
 Result<ReadBatch> Session::ReadNext(uint64_t max_elements) {
   if (Terminal()) {
     return Status::FailedPrecondition(
         "session is " + std::string(SessionStateToString(state())));
+  }
+  if (state() != SessionState::kStreaming) {
+    flight_.Record(obs::FlightEventType::kState, "STREAMING", position_);
   }
   state_.store(SessionState::kStreaming, std::memory_order_release);
 
@@ -116,29 +151,52 @@ Result<uint64_t> Session::SeekTo(uint64_t element) {
   }
   position_ = element;
   stream_.reset();  // The chunk window is sequential; a seek leaves it.
+  flight_.Record(obs::FlightEventType::kSeek, "seek", element);
   state_.store(SessionState::kStreaming, std::memory_order_release);
   return position_;
 }
 
 void Session::Degrade() {
   if (Terminal()) return;
+  uint64_t old_stride = stride_;
   stride_ *= 2;
   degraded_ = true;
   stream_.reset();  // Strided delivery reads placements directly.
+  flight_.Record(obs::FlightEventType::kDegrade, "stride doubled", old_stride,
+                 stride_);
 }
 
-void Session::MarkEvicted() {
+void Session::MarkEvicted(const char* cause) {
+  flight_.Record(obs::FlightEventType::kEvict,
+                 cause != nullptr ? cause : "server-initiated eviction",
+                 position_);
   state_.store(SessionState::kEvicted, std::memory_order_release);
 }
 
 void Session::MarkClosed() {
   if (Terminal()) return;
+  flight_.Record(obs::FlightEventType::kNote, "client closed early",
+                 position_);
   Finish();
 }
 
 void Session::Finish() {
+  flight_.Record(obs::FlightEventType::kState,
+                 degraded_ ? "DEGRADED" : "DONE", delivered_, skipped_);
   state_.store(degraded_ ? SessionState::kDegraded : SessionState::kDone,
                std::memory_order_release);
+}
+
+std::string Session::DumpFlight(std::string_view cause) const {
+  char header[160];
+  std::snprintf(header, sizeof(header),
+                "session %llu object=%s state=%s stride=%u trace=0x%llx\n",
+                (unsigned long long)id_, object_name_.c_str(),
+                std::string(SessionStateToString(state())).c_str(), stride_,
+                (unsigned long long)trace_id_);
+  std::string dump = flight_.Dump(cause);
+  if (dump.empty()) return dump;  // TBM_OBS_DISABLED: nothing recorded.
+  return header + dump;
 }
 
 SessionStatsWire Session::StatsWire() const {

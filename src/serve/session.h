@@ -9,6 +9,7 @@
 #include "blob/blob_store.h"
 #include "interp/interpretation.h"
 #include "interp/streaming.h"
+#include "obs/flight.h"
 #include "serve/protocol.h"
 
 namespace tbm::serve {
@@ -33,7 +34,8 @@ namespace tbm::serve {
 /// An element read that still fails after retries is skipped, not
 /// fatal — the session completes with `elements_skipped` > 0 and ends
 /// DEGRADED instead of DONE. Sessions are driven by one server
-/// handler at a time; only `state()` is safe to read concurrently.
+/// handler at a time; only `state()`, `trace_id()` and the
+/// mutex-guarded flight recorder are safe to use concurrently.
 class Session {
  public:
   struct Config {
@@ -45,6 +47,9 @@ class Session {
     /// should be the server's I/O pool (not its worker pool — handler
     /// tasks block on reads, so sharing one pool would deadlock).
     StreamReadOptions read_options;
+    /// An element read slower than this lands in the flight recorder
+    /// as a SLOW_READ event (0 disables the check).
+    uint64_t slow_read_us = 10'000;
   };
 
   /// Opens a session on `interpretation`'s object `stream_name`.
@@ -68,6 +73,21 @@ class Session {
   uint64_t payload_bytes() const { return object_.PayloadBytes(); }
   const InterpretedObject& object() const { return object_; }
 
+  /// Adopts the client's trace id (from OPEN's trace context), so the
+  /// session's flight-recorder dumps can name the trace to pull up in
+  /// the merged timeline. 0 = no cross-boundary trace.
+  void AdoptTrace(uint64_t trace_id);
+  uint64_t trace_id() const { return trace_id_; }
+
+  /// The session's flight recorder: recent state transitions, faults,
+  /// degradations, slow reads. The server adds its own events (e.g.
+  /// deadline misses) through this.
+  obs::FlightRecorder* flight() { return &flight_; }
+
+  /// Flight-recorder dump for this session, headed by its identity
+  /// (id, object, state, stride, trace id) and `cause`.
+  std::string DumpFlight(std::string_view cause) const;
+
   /// Delivers up to `max_elements` next elements (also bounded by the
   /// response byte cap), advancing the session by its stride. Sets
   /// `end_of_stream` — and moves the session to its terminal DONE /
@@ -85,8 +105,9 @@ class Session {
   void Degrade();
 
   /// Terminal transition for server-initiated removal (slow client,
-  /// shutdown). Irreversible.
-  void MarkEvicted();
+  /// shutdown). Irreversible. `cause` must have static storage
+  /// duration (a literal); it lands in the flight recorder.
+  void MarkEvicted(const char* cause = "server-initiated eviction");
 
   /// Client closed before the stream ended: terminal DONE/DEGRADED at
   /// whatever position it reached. No-op if already terminal.
@@ -124,6 +145,8 @@ class Session {
   uint32_t stride_;
   bool degraded_ = false;
   double booked_ = 0.0;
+  uint64_t trace_id_ = 0;
+  obs::FlightRecorder flight_;
 
   /// Sequential chunked reader; non-null only while the session is at
   /// stride 1 and has not sought.

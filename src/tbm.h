@@ -38,6 +38,8 @@
 #include "base/thread_pool.h"
 
 // obs
+#include "obs/export.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 

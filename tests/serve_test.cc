@@ -562,7 +562,9 @@ TEST(MediaServerConcurrencyTest, SixteenSessionsWithFaultsAllComplete) {
   constexpr int kSessions = 16;
   std::vector<std::thread> threads;
   std::vector<SessionState> final_states(kSessions, SessionState::kOpen);
-  std::vector<bool> payloads_ok(kSessions, false);
+  // Not vector<bool>: each thread writes its own slot, and the packed
+  // bits of vector<bool> would make those writes share bytes.
+  std::vector<char> payloads_ok(kSessions, 0);
   std::atomic<int> failures{0};
 
   for (int i = 0; i < kSessions; ++i) {

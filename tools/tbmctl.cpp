@@ -1,5 +1,9 @@
 // tbmctl — command-line inspector for tbm database directories.
 //
+//   tbmctl mkdemo <dbdir>                 create (or populate) a demo
+//                                         database with one synthetic
+//                                         media object "clip", for
+//                                         trying serve/top/trace
 //   tbmctl ls     <dbdir>                 list the catalog
 //   tbmctl show   <dbdir> <name>          descriptor / entry details
 //   tbmctl export <dbdir> <name> <out>    materialize and export
@@ -18,11 +22,29 @@
 //                                         materialize under the tracer and
 //                                         write Chrome trace_event JSON
 //                                         (open in chrome://tracing)
-//   tbmctl serve  <dbdir> [sessions] [--object <name>]
+//   tbmctl serve  <dbdir> [sessions] [--object <name>] [--trace <out.json>]
 //                                         demo the media service: N
 //                                         loopback client sessions stream
 //                                         the catalog's media objects
-//                                         through admission control
+//                                         through admission control;
+//                                         flight-recorder dumps of
+//                                         sessions that ended badly go
+//                                         to stderr; --trace writes the
+//                                         merged client+server Chrome
+//                                         trace of the whole run
+//   tbmctl top    <dbdir> [--sessions N] [--object <name>]
+//                 [--interval ms] [--once] [--prom]
+//                                         live per-QoS SLO view: runs an
+//                                         in-process server under N
+//                                         looping loopback sessions and
+//                                         renders p50/p95/p99 READ
+//                                         latency, bytes, admits,
+//                                         degrades, evicts and deadline
+//                                         misses per QoS class from the
+//                                         TELEMETRY frame. --once prints
+//                                         a single snapshot; --prom
+//                                         prints Prometheus text instead
+//                                         of the table
 //   tbmctl blob stat <dbdir>              BLOB tier occupancy; for a
 //                                         content-addressed store also the
 //                                         dedup ratio and per-hash refcounts
@@ -33,6 +55,9 @@
 // cas/ledger.tbm) is detected automatically and opened over the CAS
 // store; everything else opens over the classic file store.
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -41,6 +66,8 @@
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include <unistd.h>
 
 #include "tbm.h"
 
@@ -55,7 +82,8 @@ int Fail(const Status& status) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: tbmctl ls <dbdir>\n"
+               "usage: tbmctl mkdemo <dbdir>\n"
+               "       tbmctl ls <dbdir>\n"
                "       tbmctl show <dbdir> <name>\n"
                "       tbmctl export <dbdir> <name> <out>\n"
                "       tbmctl play <dbdir> <name>\n"
@@ -64,6 +92,9 @@ int Usage() {
                "       tbmctl stats <dbdir>\n"
                "       tbmctl trace <dbdir> <name> [-o trace.json]\n"
                "       tbmctl serve <dbdir> [sessions] [--object <name>]\n"
+               "                  [--trace <out.json>]\n"
+               "       tbmctl top <dbdir> [--sessions N] [--object <name>]\n"
+               "                  [--interval ms] [--once] [--prom]\n"
                "       tbmctl blob stat <dbdir>\n"
                "       tbmctl blob gc <dbdir>\n");
   return 2;
@@ -295,8 +326,12 @@ int CmdEval(MediaDatabase* db, const std::string& name, int threads,
 // Streams every requested media object through the serve layer over
 // in-process loopback transports — a self-contained demonstration of
 // admission, degradation, and the wire protocol against a real
-// database directory.
-int CmdServe(MediaDatabase* db, int sessions, const std::string& object_name) {
+// database directory. With `trace_out` non-empty, the run happens
+// under the span tracer and the merged client+server timeline is
+// written as Chrome trace_event JSON (each session is one trace id).
+int CmdServe(MediaDatabase* db, int sessions, const std::string& object_name,
+             const std::string& trace_out) {
+  if (!trace_out.empty()) obs::Tracer::Global().Clear();
   std::vector<std::string> names;
   if (!object_name.empty()) {
     auto id = db->FindByName(object_name);
@@ -399,6 +434,179 @@ int CmdServe(MediaDatabase* db, int sessions, const std::string& object_name) {
       (unsigned long long)stats.sessions_evicted,
       (unsigned long long)stats.requests,
       HumanBytes(stats.response_bytes).c_str());
+  // Post-mortems of sessions that ended badly (evicted or lossy) go to
+  // stderr — stdout stays scriptable.
+  for (const std::string& dump : server.flight_dumps()) {
+    std::fprintf(stderr, "%s", dump.c_str());
+  }
+  if (!trace_out.empty()) {
+    std::vector<obs::SpanRecord> spans = obs::Tracer::Global().Collect();
+    if (Status s = obs::WriteChromeTrace(spans, trace_out); !s.ok()) {
+      return Fail(s);
+    }
+    std::printf("wrote %zu spans to %s (open in chrome://tracing; each "
+                "session's client+server spans share one trace id)\n",
+                spans.size(), trace_out.c_str());
+  }
+  return 0;
+}
+
+// Renders one telemetry snapshot as a per-QoS-class SLO table. Metric
+// families are the serve.* names from DESIGN.md §13; labeled variants
+// are stored as `name{qos=<class>}` and parsed back apart here.
+void RenderQosTable(const obs::MetricsSnapshot& snapshot) {
+  auto gauge = snapshot.gauges.find("serve.sessions");
+  std::printf("live sessions: %lld\n",
+              gauge != snapshot.gauges.end() ? (long long)gauge->second : 0);
+  std::printf("%-8s %10s %9s %9s %9s %12s %8s %9s %7s %7s\n", "qos", "reads",
+              "p50us", "p95us", "p99us", "bytes", "admits", "degrades",
+              "evicts", "misses");
+  const char* kClasses[] = {"s1", "s2", "s4", "s8", "s16plus"};
+  auto labeled_counter = [&](const char* base, const char* qos) -> uint64_t {
+    auto it = snapshot.counters.find(std::string(base) + "{qos=" + qos + "}");
+    return it != snapshot.counters.end() ? it->second : 0;
+  };
+  for (const char* qos : kClasses) {
+    auto hist = snapshot.histograms.find(std::string("serve.read_us{qos=") +
+                                         qos + "}");
+    uint64_t admits = labeled_counter("serve.admitted", qos);
+    if (hist == snapshot.histograms.end() && admits == 0) continue;
+    const obs::HistogramSnapshot empty;
+    const obs::HistogramSnapshot& h =
+        hist != snapshot.histograms.end() ? hist->second : empty;
+    std::printf("%-8s %10llu %9.0f %9.0f %9.0f %12s %8llu %9llu %7llu "
+                "%7llu\n",
+                qos, (unsigned long long)h.count, h.P50(), h.P95(), h.P99(),
+                HumanBytes(labeled_counter("serve.read_bytes", qos)).c_str(),
+                (unsigned long long)admits,
+                (unsigned long long)labeled_counter("serve.degraded", qos),
+                (unsigned long long)labeled_counter("serve.evicted", qos),
+                (unsigned long long)labeled_counter("serve.deadline_miss",
+                                                    qos));
+  }
+}
+
+// Live per-QoS SLO view: an in-process server, N looping loopback load
+// sessions, and a TELEMETRY scraper rendering each snapshot.
+int CmdTop(MediaDatabase* db, int sessions, const std::string& object_name,
+           int interval_ms, bool once, bool prom) {
+  std::vector<std::string> names;
+  if (!object_name.empty()) {
+    names.push_back(object_name);
+  } else {
+    for (ObjectId id : db->List()) {
+      auto entry = db->Get(id);
+      if (entry.ok() && (*entry)->kind == CatalogKind::kMediaObject) {
+        names.push_back((*entry)->name);
+      }
+    }
+  }
+  if (names.empty()) {
+    std::fprintf(stderr, "tbmctl: database has no media objects to serve\n");
+    return 2;
+  }
+  if (sessions <= 0) sessions = 4;
+  if (interval_ms <= 0) interval_ms = 1000;
+
+  serve::MediaServer server(db);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> load;
+  load.reserve(static_cast<size_t>(sessions));
+  for (int i = 0; i < sessions; ++i) {
+    const std::string& object = names[static_cast<size_t>(i) % names.size()];
+    load.emplace_back([&server, &stop, object] {
+      // Each load thread opens, streams to the end, closes, repeats —
+      // a steady request stream for the scraper to observe.
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto [client_end, server_end] = serve::CreateLoopbackPair();
+        if (!server.Serve(std::move(server_end)).ok()) return;
+        serve::MediaClient client(std::move(client_end));
+        if (!client.Open(object).ok()) return;
+        bool end_of_stream = false;
+        while (!end_of_stream && !stop.load(std::memory_order_relaxed)) {
+          auto batch = client.Read(8);
+          if (!batch.ok()) break;
+          end_of_stream = batch->end_of_stream;
+        }
+        (void)client.Close();
+      }
+    });
+  }
+
+  int exit_code = 0;
+  {
+    auto [client_end, server_end] = serve::CreateLoopbackPair();
+    if (Status adopted = server.Serve(std::move(server_end)); !adopted.ok()) {
+      exit_code = Fail(adopted);
+    } else {
+      serve::MediaClient scraper(std::move(client_end));
+      for (;;) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+        auto telemetry = scraper.Telemetry();
+        if (!telemetry.ok()) {
+          exit_code = Fail(telemetry.status());
+          break;
+        }
+        if (prom) {
+          std::fputs(obs::ToPrometheusText(*telemetry).c_str(), stdout);
+        } else {
+          if (!once) std::fputs("\x1b[2J\x1b[H", stdout);  // Clear screen.
+          RenderQosTable(*telemetry);
+        }
+        std::fflush(stdout);
+        if (once) break;
+      }
+    }
+  }
+
+  stop.store(true, std::memory_order_relaxed);
+  server.Stop();  // Unblocks any client parked in Recv.
+  for (std::thread& thread : load) thread.join();
+  for (const std::string& dump : server.flight_dumps()) {
+    std::fprintf(stderr, "%s", dump.c_str());
+  }
+  return exit_code;
+}
+
+// Synthesizes a demo database in place: one audio media object "clip"
+// (64 elements x 4000 bytes at 25 elements/s = 100 kB/s booked rate),
+// so the serve demos (`tbmctl serve`, `tbmctl top`) have something to
+// stream without ingesting real media first.
+int CmdMkdemo(MediaDatabase* db) {
+  if (db->FindByName("clip").ok()) {
+    std::fprintf(stderr, "tbmctl: database already has a 'clip' object\n");
+    return 0;  // Idempotent: re-running is not an error.
+  }
+  auto capture = CaptureSession::Begin(db->blob_store());
+  if (!capture.ok()) return Fail(capture.status());
+  MediaDescriptor descriptor;
+  descriptor.type_name = "audio/pcm-block";
+  descriptor.kind = MediaKind::kAudio;
+  auto handle = capture->DeclareObject("clip", descriptor, TimeSystem(25));
+  if (!handle.ok()) return Fail(handle.status());
+  constexpr int kDemoElements = 64;
+  constexpr int kDemoElementBytes = 4000;
+  Bytes element(kDemoElementBytes);
+  for (int i = 0; i < kDemoElements; ++i) {
+    for (int j = 0; j < kDemoElementBytes; ++j) {
+      element[static_cast<size_t>(j)] =
+          static_cast<uint8_t>(i * 131 + j * 7 + 3);
+    }
+    if (Status s = capture->CaptureContiguous(*handle, element, 1); !s.ok()) {
+      return Fail(s);
+    }
+  }
+  auto interpretation = capture->Finish();
+  if (!interpretation.ok()) return Fail(interpretation.status());
+  auto interp_id = db->AddInterpretation("clip_interp", *interpretation);
+  if (!interp_id.ok()) return Fail(interp_id.status());
+  if (auto obj = db->AddMediaObject("clip", *interp_id, "clip"); !obj.ok()) {
+    return Fail(obj.status());
+  }
+  if (Status s = db->Save(); !s.ok()) return Fail(s);
+  std::printf("created media object \"clip\": %d elements, %d bytes each, "
+              "%d elements/s\n",
+              kDemoElements, kDemoElementBytes, 25);
   return 0;
 }
 
@@ -531,9 +739,25 @@ int CmdBlobGc(MediaDatabase* db) {
   return 0;
 }
 
+// On a fatal signal, dump every live session's flight recorder to
+// stderr before dying: the crash post-mortem this tool exists to
+// demonstrate. Best-effort — the process is already doomed, so the
+// non-async-signal-safe string work is an acceptable gamble.
+extern "C" void FlightCrashHandler(int sig) {
+  std::string dumps = tbm::obs::DumpAllFlightRecorders("fatal signal");
+  if (!dumps.empty()) {
+    ssize_t ignored = write(2, dumps.data(), dumps.size());
+    (void)ignored;
+  }
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::signal(SIGSEGV, &FlightCrashHandler);
+  std::signal(SIGABRT, &FlightCrashHandler);
   if (argc < 3) return Usage();
   std::string command = argv[1];
   std::string blob_subcommand;
@@ -563,6 +787,7 @@ int main(int argc, char** argv) {
     return Usage();
   }
 
+  if (command == "mkdemo") return CmdMkdemo(db->get());
   if (command == "ls") return CmdLs(db->get());
   if (command == "stats") return CmdStats(db->get(), dir);
   if (command == "show" && argc >= 4) return CmdShow(db->get(), argv[3]);
@@ -589,15 +814,41 @@ int main(int argc, char** argv) {
   if (command == "serve") {
     int sessions = 0;
     std::string object_name;
+    std::string trace_out;
     for (int i = 3; i < argc; ++i) {
       if (std::strcmp(argv[i], "--object") == 0 && i + 1 < argc) {
         object_name = argv[++i];
+      } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+        trace_out = argv[++i];
       } else {
         sessions = std::atoi(argv[i]);
         if (sessions <= 0) return Usage();
       }
     }
-    return CmdServe(db->get(), sessions, object_name);
+    return CmdServe(db->get(), sessions, object_name, trace_out);
+  }
+  if (command == "top") {
+    int sessions = 0;
+    int interval_ms = 0;
+    bool once = false;
+    bool prom = false;
+    std::string object_name;
+    for (int i = 3; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--object") == 0 && i + 1 < argc) {
+        object_name = argv[++i];
+      } else if (std::strcmp(argv[i], "--sessions") == 0 && i + 1 < argc) {
+        sessions = std::atoi(argv[++i]);
+      } else if (std::strcmp(argv[i], "--interval") == 0 && i + 1 < argc) {
+        interval_ms = std::atoi(argv[++i]);
+      } else if (std::strcmp(argv[i], "--once") == 0) {
+        once = true;
+      } else if (std::strcmp(argv[i], "--prom") == 0) {
+        prom = true;
+      } else {
+        return Usage();
+      }
+    }
+    return CmdTop(db->get(), sessions, object_name, interval_ms, once, prom);
   }
   if (command == "trace" && argc >= 4) {
     std::string out = "trace.json";
