@@ -33,16 +33,18 @@ void PrintAblation() {
       "is a performance issue and not directly relevant to data\n"
       "modeling\") — same interface, different physics");
 
-  // Fragmentation demonstration: two writers interleaving appends on a
+  // Fragmentation demonstration: two pushes interleaving writes on a
   // paged store.
   PagedBlobStore store(std::make_unique<MemoryPageDevice>(4096));
-  BlobId a = ValueOrDie(store.Create(), "a");
-  BlobId b = ValueOrDie(store.Create(), "b");
+  auto push_a = ValueOrDie(store.StartPush(), "a");
+  auto push_b = ValueOrDie(store.StartPush(), "b");
   Bytes chunk = Payload(6000);
   for (int i = 0; i < 100; ++i) {
-    CheckOk(store.Append(a, chunk), "append a");
-    CheckOk(store.Append(b, chunk), "append b");
+    CheckOk(push_a->Push(chunk), "push a");
+    CheckOk(push_b->Push(chunk), "push b");
   }
+  BlobId a = ValueOrDie(push_a->Finish(), "finish a");
+  ValueOrDie(push_b->Finish(), "finish b");
   std::printf("Interleaved writers on 4 KiB pages:\n");
   std::printf("  blob A fragmentation: %.2f (0 = contiguous pages)\n",
               ValueOrDie(store.Fragmentation(a), "frag"));
@@ -54,13 +56,14 @@ void PrintAblation() {
                   stats.logical_bytes);
 
   PagedBlobStore solo(std::make_unique<MemoryPageDevice>(4096));
-  BlobId c = ValueOrDie(solo.Create(), "c");
-  for (int i = 0; i < 100; ++i) CheckOk(solo.Append(c, chunk), "append c");
+  auto push_c = ValueOrDie(solo.StartPush(), "c");
+  for (int i = 0; i < 100; ++i) CheckOk(push_c->Push(chunk), "push c");
+  BlobId c = ValueOrDie(push_c->Finish(), "finish c");
   std::printf("  single writer fragmentation: %.2f\n",
               ValueOrDie(solo.Fragmentation(c), "frag"));
 }
 
-// --- Append throughput ------------------------------------------------------
+// --- Push throughput --------------------------------------------------------
 
 template <typename MakeStore>
 void AppendBench(benchmark::State& state, MakeStore make_store) {
@@ -68,10 +71,11 @@ void AppendBench(benchmark::State& state, MakeStore make_store) {
   Bytes chunk = Payload(chunk_size);
   for (auto _ : state) {
     auto store = make_store();
-    BlobId id = ValueOrDie(store->Create(), "create");
+    auto push = ValueOrDie(store->StartPush(), "start push");
     for (int i = 0; i < 64; ++i) {
-      CheckOk(store->Append(id, chunk), "append");
+      CheckOk(push->Push(chunk), "push");
     }
+    BlobId id = ValueOrDie(push->Finish(), "finish");
     benchmark::DoNotOptimize(store->Size(id));
   }
   state.SetBytesProcessed(state.iterations() * 64 * chunk_size);
@@ -107,9 +111,7 @@ BENCHMARK(BM_Append_File)->Arg(65536);
 
 void BM_Read_Contiguous(benchmark::State& state) {
   PagedBlobStore store(std::make_unique<MemoryPageDevice>(4096));
-  BlobId id = ValueOrDie(store.Create(), "create");
-  Bytes chunk = Payload(1 << 20);
-  CheckOk(store.Append(id, chunk), "append");
+  BlobId id = ValueOrDie(store.PushAll(Payload(1 << 20)), "push");
   for (auto _ : state) {
     auto data = store.Read(id, ByteRange{0, 1 << 20});
     CheckOk(data.status(), "read");
@@ -122,13 +124,15 @@ BENCHMARK(BM_Read_Contiguous);
 void BM_Read_Fragmented(benchmark::State& state) {
   // Same logical content, but pages interleaved with a second blob.
   PagedBlobStore store(std::make_unique<MemoryPageDevice>(4096));
-  BlobId id = ValueOrDie(store.Create(), "create");
-  BlobId other = ValueOrDie(store.Create(), "other");
+  auto push = ValueOrDie(store.StartPush(), "push");
+  auto push_other = ValueOrDie(store.StartPush(), "push other");
   Bytes piece = Payload(4088);  // One page payload.
   for (int i = 0; i < 257; ++i) {
-    CheckOk(store.Append(id, piece), "append");
-    CheckOk(store.Append(other, piece), "append other");
+    CheckOk(push->Push(piece), "push");
+    CheckOk(push_other->Push(piece), "push other");
   }
+  BlobId id = ValueOrDie(push->Finish(), "finish");
+  ValueOrDie(push_other->Finish(), "finish other");
   const uint64_t span = 1 << 20;
   for (auto _ : state) {
     auto data = store.Read(id, ByteRange{0, span});
@@ -141,8 +145,7 @@ BENCHMARK(BM_Read_Fragmented);
 
 void BM_Read_MemoryBaseline(benchmark::State& state) {
   MemoryBlobStore store;
-  BlobId id = ValueOrDie(store.Create(), "create");
-  CheckOk(store.Append(id, Payload(1 << 20)), "append");
+  BlobId id = ValueOrDie(store.PushAll(Payload(1 << 20)), "push");
   for (auto _ : state) {
     auto data = store.Read(id, ByteRange{0, 1 << 20});
     CheckOk(data.status(), "read");
@@ -156,8 +159,7 @@ BENCHMARK(BM_Read_MemoryBaseline);
 
 void BM_RandomElementReads(benchmark::State& state) {
   PagedBlobStore store(std::make_unique<MemoryPageDevice>(4096));
-  BlobId id = ValueOrDie(store.Create(), "create");
-  CheckOk(store.Append(id, Payload(4 << 20)), "append");
+  BlobId id = ValueOrDie(store.PushAll(Payload(4 << 20)), "push");
   uint64_t offset = 0;
   const uint64_t element = static_cast<uint64_t>(state.range(0));
   for (auto _ : state) {

@@ -80,17 +80,16 @@ class PushHandle {
 ///
 /// Writes go through the streaming push API (`StartPush` →
 /// `PushHandle`): ingest is a stream of spans and the BLOB id is
-/// assigned at `Finish()`. The historical two-phase `Create()` +
-/// `Append()` surface remains as a thin deprecated shim for the
-/// mutable stores (and is how capture used to interleave writes), but
-/// new code should push; the content-addressed store is push-only and
-/// fails both shims with FailedPrecondition.
+/// assigned at `Finish()`. This is the only write surface — the
+/// historical two-phase `Create()` + `Append()` shim is gone, which
+/// is what lets the content-addressed store exist at all (an id
+/// derived from content cannot precede the content).
 ///
 /// Thread-safety contract: const methods (Read, Size, Exists, List,
 /// OpenChunkReader) may be called from multiple threads concurrently —
 /// the AsyncPrefetcher depends on this to overlap chunk fetches —
 /// provided no thread is concurrently mutating the store (an open
-/// push handle, Create, Append, Delete). Mixing readers with a writer
+/// push handle, Delete). Mixing readers with a writer
 /// requires external synchronization, as with standard containers.
 /// CasBlobStore strengthens this to full internal synchronization.
 class BlobStore {
@@ -103,16 +102,6 @@ class BlobStore {
 
   /// Convenience: pushes `data` as one complete BLOB.
   Result<BlobId> PushAll(ByteSpan data);
-
-  /// DEPRECATED two-phase write shim: creates a new empty BLOB and
-  /// returns its id. Prefer StartPush(); push-only stores
-  /// (CasBlobStore) reject this with FailedPrecondition.
-  virtual Result<BlobId> Create() = 0;
-
-  /// DEPRECATED two-phase write shim: appends `data` to the end of
-  /// BLOB `id`. Prefer StartPush(); push-only stores reject this with
-  /// FailedPrecondition.
-  virtual Status Append(BlobId id, ByteSpan data) = 0;
 
   /// Reads the byte range `range` of BLOB `id`. The full range must be
   /// inside the BLOB; returns OutOfRange otherwise.

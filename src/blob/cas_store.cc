@@ -37,13 +37,6 @@ Status NoSuchBlob(BlobId id) {
   return Status::NotFound("no such BLOB: " + std::to_string(id));
 }
 
-Status PushOnly(const char* op) {
-  return Status::FailedPrecondition(
-      std::string("content-addressed store is push-only: ") + op +
-      " cannot allocate an id before the content (and so the hash) is "
-      "known — use StartPush()");
-}
-
 uint64_t ElapsedUs(std::chrono::steady_clock::time_point since) {
   return static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
@@ -379,14 +372,6 @@ Result<BlobId> CasBlobStore::FinishPush(const std::string& temp_path,
   metrics.logical_bytes->Add(static_cast<int64_t>(size));
   metrics.stored_bytes->Add(static_cast<int64_t>(size));
   return id;
-}
-
-Result<BlobId> CasBlobStore::Create() { return PushOnly("Create()"); }
-
-Status CasBlobStore::Append(BlobId id, ByteSpan data) {
-  (void)id;
-  (void)data;
-  return PushOnly("Append()");
 }
 
 // ---------------------------------------------------------------------------

@@ -62,9 +62,8 @@ struct CasStoreStats {
 /// incremental SHA-256 and the id materializes at `Finish()` — a
 /// duplicate push lands on the existing entry (refcount + 1, temp
 /// file discarded) and returns the *same* id the first pusher got.
-/// The two-phase Create()/Append() shims are rejected with
-/// FailedPrecondition: an id keyed by content cannot exist before the
-/// content does.
+/// Push is the only write surface — an id keyed by content cannot
+/// exist before the content does.
 ///
 /// Reads are mmap-backed and zero-copy: the shard file is mapped once
 /// and every Read/ReadChunk hands out BufferSlice views of the
@@ -93,11 +92,6 @@ class CasBlobStore final : public BlobStore {
 
   /// Streaming, deduplicating push (see class comment).
   Result<std::unique_ptr<PushHandle>> StartPush() override;
-
-  /// Push-only store: always FailedPrecondition. Use StartPush().
-  Result<BlobId> Create() override;
-  /// Push-only store: always FailedPrecondition. Use StartPush().
-  Status Append(BlobId id, ByteSpan data) override;
 
   /// Zero-copy read of the mmapped shard file.
   Result<BufferSlice> Read(BlobId id, ByteRange range) const override;

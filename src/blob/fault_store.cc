@@ -92,16 +92,6 @@ Result<std::unique_ptr<PushHandle>> FaultInjectingStore::StartPush() {
       [this] { return MakeFault("push"); }, &append_faults_));
 }
 
-Result<BlobId> FaultInjectingStore::Create() { return inner_->Create(); }
-
-Status FaultInjectingStore::Append(BlobId id, ByteSpan data) {
-  if (DrawFault(config_.append_fault_rate)) {
-    append_faults_.fetch_add(1);
-    return MakeFault("append");
-  }
-  return inner_->Append(id, data);
-}
-
 Result<BufferSlice> FaultInjectingStore::Read(BlobId id, ByteRange range) const {
   reads_seen_.fetch_add(1);
   int forced = forced_read_faults_.load();

@@ -16,7 +16,7 @@ struct FaultConfig {
   /// Draws are deterministic: a hash of (seed, call index).
   double read_fault_rate = 0.0;
 
-  /// Probability that an Append fails with `code`, per call.
+  /// Probability that a push handle Push fails with `code`, per call.
   double append_fault_rate = 0.0;
 
   /// Seed of the deterministic fault sequence.
@@ -78,8 +78,6 @@ class FaultInjectingStore final : public BlobStore {
   /// Total Read calls observed (failed or not).
   uint64_t reads_seen() const { return reads_seen_.load(); }
 
-  Result<BlobId> Create() override;
-  Status Append(BlobId id, ByteSpan data) override;
   Result<BufferSlice> Read(BlobId id, ByteRange range) const override;
   Result<uint64_t> Size(BlobId id) const override;
   Status Delete(BlobId id) override;

@@ -140,39 +140,6 @@ Result<BlobId> FileBlobStore::PublishPushedFile(const std::string& temp_path,
   return id;
 }
 
-Result<BlobId> FileBlobStore::Create() {
-  BlobId id = next_id_++;
-  std::FILE* f = std::fopen(PathFor(id).c_str(), "wb");
-  if (f == nullptr) {
-    return Status::IOError("cannot create blob file: " + PathFor(id));
-  }
-  std::fclose(f);
-  sizes_[id] = 0;
-  return id;
-}
-
-Status FileBlobStore::Append(BlobId id, ByteSpan data) {
-  obs::ScopedSpan span("blob.append");
-  const auto& metrics = blob_internal::StoreMetrics::Get();
-  obs::ScopedTimerUs timer(metrics.append_us);
-  metrics.appends->Add();
-  metrics.bytes_written->Add(data.size());
-  auto it = sizes_.find(id);
-  if (it == sizes_.end()) return NoSuchBlob(id);
-  std::FILE* f = std::fopen(PathFor(id).c_str(), "ab");
-  if (f == nullptr) {
-    return Status::IOError("cannot open blob file: " + PathFor(id));
-  }
-  size_t written =
-      data.empty() ? 0 : std::fwrite(data.data(), 1, data.size(), f);
-  int rc = std::fclose(f);
-  if (written != data.size() || rc != 0) {
-    return Status::IOError("short append to " + PathFor(id));
-  }
-  it->second += data.size();
-  return Status::OK();
-}
-
 Result<BufferSlice> FileBlobStore::Read(BlobId id, ByteRange range) const {
   obs::ScopedSpan span("blob.read");
   const auto& metrics = blob_internal::StoreMetrics::Get();

@@ -78,41 +78,6 @@ BlobId MemoryBlobStore::Publish(BufferRef buffer, uint64_t size) {
   return id;
 }
 
-Result<BlobId> MemoryBlobStore::Create() {
-  BlobId id = next_id_++;
-  blobs_.emplace(id, Blob{});
-  return id;
-}
-
-Status MemoryBlobStore::Append(BlobId id, ByteSpan data) {
-  const auto& metrics = blob_internal::StoreMetrics::Get();
-  metrics.appends->Add();
-  metrics.bytes_written->Add(data.size());
-  auto it = blobs_.find(id);
-  if (it == blobs_.end()) return NoSuchBlob(id);
-  Blob& blob = it->second;
-  const uint64_t capacity = blob.buffer ? blob.buffer->size() : 0;
-  if (blob.size + data.size() > capacity) {
-    // Grow into a fresh buffer (doubling, so appends stay amortized
-    // O(1)). The old buffer is left intact for outstanding read
-    // slices; only our reference is dropped.
-    uint64_t grown = std::max<uint64_t>(capacity * 2, 64);
-    grown = std::max<uint64_t>(grown, blob.size + data.size());
-    BufferRef fresh = Buffer::Allocate(grown);
-    if (blob.size > 0) {
-      std::memcpy(fresh->mutable_data(), blob.buffer->data(), blob.size);
-    }
-    blob.buffer = std::move(fresh);
-  }
-  // Published bytes below blob.size are never rewritten; this fills
-  // spare capacity only, so concurrent readers of earlier slices are
-  // untouched (writes still require the store's single-writer rule).
-  std::memcpy(blob.buffer->mutable_data() + blob.size, data.data(),
-              data.size());
-  blob.size += data.size();
-  return Status::OK();
-}
-
 Result<BufferSlice> MemoryBlobStore::Read(BlobId id, ByteRange range) const {
   const auto& metrics = blob_internal::StoreMetrics::Get();
   metrics.reads->Add();

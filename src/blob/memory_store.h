@@ -29,8 +29,6 @@ class MemoryBlobStore : public BlobStore {
   /// until then, and an aborted push leaves the store untouched.
   Result<std::unique_ptr<PushHandle>> StartPush() override;
 
-  Result<BlobId> Create() override;
-  Status Append(BlobId id, ByteSpan data) override;
   Result<BufferSlice> Read(BlobId id, ByteRange range) const override;
   Result<uint64_t> Size(BlobId id) const override;
   Status Delete(BlobId id) override;

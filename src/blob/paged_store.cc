@@ -271,12 +271,6 @@ Result<uint64_t> PagedBlobStore::AcquirePage() {
   return device_->GrowOnePage();
 }
 
-Result<BlobId> PagedBlobStore::Create() {
-  BlobId id = next_id_++;
-  blobs_.emplace(id, BlobMeta{});
-  return id;
-}
-
 /// Push handle of PagedBlobStore: buffers at most one partial page in
 /// memory, writes whole pages to the device as they fill, and links
 /// the chain into the store's BLOB table only at Finish. Pages staged
@@ -367,51 +361,6 @@ BlobId PagedBlobStore::PublishPushed(BlobMeta meta) {
 void PagedBlobStore::ReleaseStagedPages(const std::vector<uint64_t>& pages) {
   for (uint64_t page : pages) CacheInvalidate(page);
   free_pages_.insert(free_pages_.end(), pages.begin(), pages.end());
-}
-
-Status PagedBlobStore::Append(BlobId id, ByteSpan data) {
-  obs::ScopedSpan span("blob.append");
-  const auto& metrics = blob_internal::StoreMetrics::Get();
-  obs::ScopedTimerUs timer(metrics.append_us);
-  metrics.appends->Add();
-  metrics.bytes_written->Add(data.size());
-  auto it = blobs_.find(id);
-  if (it == blobs_.end()) return NoSuchBlob(id);
-  BlobMeta& meta = it->second;
-
-  size_t pos = 0;
-  // Fill the trailing partial page first.
-  uint32_t tail_used = static_cast<uint32_t>(meta.size % payload_size_);
-  if (tail_used != 0 && !data.empty()) {
-    uint64_t tail_page = meta.pages.back();
-    TBM_ASSIGN_OR_RETURN(BufferSlice tail, ReadPagePayload(tail_page));
-    // Read-modify-write of the tail page: copy-on-write, so cached
-    // slices of the old payload (and readers holding them) are
-    // untouched; the rewritten page invalidates the cache entry.
-    Bytes payload = tail.MutableCopy();
-    size_t take = std::min<size_t>(payload_size_ - tail_used, data.size());
-    payload.insert(payload.end(), data.begin(), data.begin() + take);
-    TBM_RETURN_IF_ERROR(WritePagePayload(tail_page, payload));
-    pos = take;
-    meta.size += take;
-  }
-  // Then whole new pages.
-  while (pos < data.size()) {
-    size_t take = std::min<size_t>(payload_size_, data.size() - pos);
-    TBM_ASSIGN_OR_RETURN(uint64_t page, AcquirePage());
-    if (Status write = WritePagePayload(page, data.subspan(pos, take));
-        !write.ok()) {
-      // Return the acquired page so a faulted append (e.g. a transient
-      // device fault) doesn't leak it; the BLOB keeps the prefix that
-      // already landed.
-      free_pages_.push_back(page);
-      return write;
-    }
-    meta.pages.push_back(page);
-    meta.size += take;
-    pos += take;
-  }
-  return Status::OK();
 }
 
 Result<BufferSlice> PagedBlobStore::Read(BlobId id, ByteRange range) const {

@@ -114,8 +114,6 @@ class PagedBlobStore : public BlobStore {
   /// free list.
   Result<std::unique_ptr<PushHandle>> StartPush() override;
 
-  Result<BlobId> Create() override;
-  Status Append(BlobId id, ByteSpan data) override;
   Result<BufferSlice> Read(BlobId id, ByteRange range) const override;
   Result<uint64_t> Size(BlobId id) const override;
   Status Delete(BlobId id) override;

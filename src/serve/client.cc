@@ -6,104 +6,44 @@
 
 namespace tbm::serve {
 
-namespace {
-
-const char* ClientSpanName(RequestType type) {
-  switch (type) {
-    case RequestType::kOpen:
-      return "client.open";
-    case RequestType::kRead:
-      return "client.read";
-    case RequestType::kSeek:
-      return "client.seek";
-    case RequestType::kStats:
-      return "client.stats";
-    case RequestType::kClose:
-      return "client.close";
-    case RequestType::kTelemetry:
-      return "client.telemetry";
-  }
-  return "client.request";
-}
-
-}  // namespace
-
-Result<Response> MediaClient::RoundTrip(Request request) {
-  // The round-trip span covers encode + wire + server work + decode —
-  // the client's view of request latency. Its id rides along as the
-  // server's parent, so the server span nests inside it on the merged
-  // timeline. Capture the current span first: passing it explicitly
-  // keeps the span a child of whatever client code is running, while
-  // the trace id pins it to this client's trace.
-  uint64_t enclosing = obs::Tracer::CurrentSpanId();
-  obs::ScopedSpan span(ClientSpanName(request.type), trace_id_, enclosing);
-  if (span.span_id() != 0 && trace_id_ != 0) {
-    request.trace.trace_id = trace_id_;
-    request.trace.parent_span_id = span.span_id();
-  }
-  TBM_RETURN_IF_ERROR(WriteFrame(*transport_, EncodeRequest(request)));
-  TBM_ASSIGN_OR_RETURN(Bytes frame, ReadFrame(*transport_, kMaxFrameBytes));
-  TBM_ASSIGN_OR_RETURN(Response response, DecodeResponse(frame));
-  if (!response.status.ok()) return response.status;
-  if (response.type != request.type) {
-    return Status::Corruption(
-        "response type " +
-        std::string(RequestTypeToString(response.type)) +
-        " does not match request " +
-        std::string(RequestTypeToString(request.type)));
-  }
-  return response;
-}
-
 Result<OpenInfo> MediaClient::Open(const std::string& object_name) {
-  Request request;
-  request.type = RequestType::kOpen;
-  request.object_name = object_name;
-  TBM_ASSIGN_OR_RETURN(Response response, RoundTrip(request));
-  session_id_ = response.open.session_id;
-  return response.open;
+  if (stream_ != nullptr) {
+    return Status::FailedPrecondition("client already has a session");
+  }
+  TBM_ASSIGN_OR_RETURN(stream_, connection_->OpenStream(object_name));
+  return stream_->info();
 }
 
 Result<ReadBatch> MediaClient::Read(uint64_t max_elements) {
-  Request request;
-  request.type = RequestType::kRead;
-  request.session_id = session_id_;
-  request.max_elements = max_elements;
-  TBM_ASSIGN_OR_RETURN(Response response, RoundTrip(request));
-  return std::move(response.read);
+  if (stream_ == nullptr) {
+    return Status::FailedPrecondition("no open session");
+  }
+  return stream_->Read(max_elements);
 }
 
 Result<uint64_t> MediaClient::Seek(uint64_t element) {
-  Request request;
-  request.type = RequestType::kSeek;
-  request.session_id = session_id_;
-  request.target_element = element;
-  TBM_ASSIGN_OR_RETURN(Response response, RoundTrip(request));
-  return response.seek_position;
+  if (stream_ == nullptr) {
+    return Status::FailedPrecondition("no open session");
+  }
+  return stream_->Seek(element);
 }
 
 Result<SessionStatsWire> MediaClient::Stats() {
-  Request request;
-  request.type = RequestType::kStats;
-  request.session_id = session_id_;
-  TBM_ASSIGN_OR_RETURN(Response response, RoundTrip(request));
-  return response.stats;
+  if (stream_ == nullptr) {
+    return Status::FailedPrecondition("no open session");
+  }
+  return stream_->Stats();
 }
 
 Status MediaClient::Close() {
-  Request request;
-  request.type = RequestType::kClose;
-  request.session_id = session_id_;
-  auto response = RoundTrip(request);
-  if (!response.ok()) return response.status();
-  return Status::OK();
+  if (stream_ == nullptr) return Status::OK();  // Closing unopened: no-op.
+  Status status = stream_->Close();
+  stream_.reset();
+  return status;
 }
 
 Result<obs::MetricsSnapshot> MediaClient::Telemetry() {
-  Request request;
-  request.type = RequestType::kTelemetry;
-  TBM_ASSIGN_OR_RETURN(Response response, RoundTrip(request));
-  return std::move(response.telemetry);
+  return connection_->Telemetry();
 }
 
 }  // namespace tbm::serve

@@ -5,25 +5,24 @@
 #include <string>
 
 #include "obs/trace.h"
+#include "serve/connection.h"
 #include "serve/protocol.h"
 #include "serve/transport.h"
 
 namespace tbm::serve {
 
-/// Client half of the serve protocol: encodes requests, frames them
-/// over a Transport, and decodes the matching responses. Synchronous
-/// and single-threaded by design — a media session is an ordered
-/// pipeline, and one outstanding request per connection keeps it so.
+/// Single-stream compatibility shim over the multiplexed client.
 ///
-/// Every client mints one trace id at construction; each round trip
-/// records a client-side span in that trace and ships the (trace id,
-/// span id) pair as request trace context, so server-side spans
-/// parent into the client's timeline. In TBM_OBS_DISABLED builds the
-/// trace id is 0 and no context goes on the wire.
+/// DEPRECATED: new code should use Connect() + Connection::OpenStream
+/// (serve/connection.h), which multiplexes many streams over one
+/// connection with per-stream QoS and flow control. This wrapper
+/// keeps the PR 5 one-session-per-connection surface for callers that
+/// want exactly one stream: it opens a Connection, drives a single
+/// StreamHandle, and forwards every call.
 class MediaClient {
  public:
   explicit MediaClient(std::unique_ptr<Transport> transport)
-      : transport_(std::move(transport)), trace_id_(obs::NewTraceId()) {}
+      : connection_(Connect(std::move(transport))) {}
 
   /// Opens a session on the named catalog media object. The server's
   /// admission decision comes back in `OpenInfo::stride` (> 1 means
@@ -40,8 +39,7 @@ class MediaClient {
   /// Session counters and state as the server sees them.
   Result<SessionStatsWire> Stats();
 
-  /// Ends the session. The transport stays usable for nothing — the
-  /// server hangs up after acknowledging.
+  /// Ends the session.
   Status Close();
 
   /// Point-in-time copy of the server's metrics registry (counters,
@@ -49,21 +47,19 @@ class MediaClient {
   /// no open session.
   Result<obs::MetricsSnapshot> Telemetry();
 
-  uint64_t session_id() const { return session_id_; }
+  uint64_t session_id() const {
+    return stream_ != nullptr ? stream_->session_id() : 0;
+  }
   /// The trace id this client's round-trip spans record into (0 in
   /// TBM_OBS_DISABLED builds).
-  uint64_t trace_id() const { return trace_id_; }
-  Transport* transport() { return transport_.get(); }
+  uint64_t trace_id() const { return connection_->trace_id(); }
+  /// The underlying multiplexed connection (shared with any streams
+  /// this shim opened).
+  Connection* connection() { return connection_.get(); }
 
  private:
-  /// Sends `request` and receives its response, checking the echoed
-  /// type and wire status. Wraps the round trip in a client-side span
-  /// and attaches trace context to the outbound request.
-  Result<Response> RoundTrip(Request request);
-
-  std::unique_ptr<Transport> transport_;
-  uint64_t session_id_ = 0;
-  uint64_t trace_id_ = 0;
+  std::unique_ptr<Connection> connection_;
+  std::unique_ptr<StreamHandle> stream_;
 };
 
 }  // namespace tbm::serve

@@ -9,13 +9,16 @@ namespace tbm::serve {
 namespace {
 
 constexpr uint8_t kMaxRequestType =
-    static_cast<uint8_t>(RequestType::kTelemetry);
+    static_cast<uint8_t>(RequestType::kWindow);
 constexpr uint8_t kMaxStatusCode = static_cast<uint8_t>(StatusCode::kInternal);
 constexpr uint8_t kMaxSessionState =
     static_cast<uint8_t>(SessionState::kEvicted);
 
 /// Request extension-block tags (see Request doc comment).
 constexpr uint8_t kExtTagTrace = 1;
+constexpr uint8_t kExtTagQos = 2;
+
+constexpr uint8_t kMaxQosPriority = 7;
 
 /// A hostile TELEMETRY frame could claim an absurd per-histogram
 /// bucket count; anything past this is corrupt, not just future.
@@ -36,6 +39,14 @@ void EncodeRequestExtensions(BinaryWriter* writer, const Request& request) {
     writer->WriteU8(kExtTagTrace);
     writer->WriteBytes(body.buffer());
   }
+  if (request.type == RequestType::kOpen && request.qos.present()) {
+    BinaryWriter body;
+    body.WriteU8(request.qos.priority);
+    body.WriteVarU64(request.qos.max_stride);
+    body.WriteVarU64(request.qos.window_bytes);
+    writer->WriteU8(kExtTagQos);
+    writer->WriteBytes(body.buffer());
+  }
 }
 
 /// Consumes the rest of the payload as an extension block. Unknown
@@ -53,6 +64,26 @@ Status DecodeRequestExtensions(BinaryReader* reader, Request* request) {
                            body_reader.ReadVarU64());
       if (!body_reader.AtEnd()) {
         return Status::Corruption("trace extension has " +
+                                  std::to_string(body_reader.remaining()) +
+                                  " trailing bytes");
+      }
+    } else if (tag == kExtTagQos) {
+      BinaryReader body_reader(body);
+      TBM_ASSIGN_OR_RETURN(request->qos.priority, body_reader.ReadU8());
+      if (request->qos.priority > kMaxQosPriority) {
+        return Status::InvalidArgument(
+            "qos priority " + std::to_string(request->qos.priority) +
+            " out of range");
+      }
+      TBM_ASSIGN_OR_RETURN(uint64_t max_stride, body_reader.ReadVarU64());
+      if (max_stride > UINT32_MAX) {
+        return Status::Corruption("qos max_stride overflows u32");
+      }
+      request->qos.max_stride = static_cast<uint32_t>(max_stride);
+      TBM_ASSIGN_OR_RETURN(request->qos.window_bytes,
+                           body_reader.ReadVarU64());
+      if (!body_reader.AtEnd()) {
+        return Status::Corruption("qos extension has " +
                                   std::to_string(body_reader.remaining()) +
                                   " trailing bytes");
       }
@@ -157,6 +188,8 @@ std::string_view RequestTypeToString(RequestType type) {
       return "CLOSE";
     case RequestType::kTelemetry:
       return "TELEMETRY";
+    case RequestType::kWindow:
+      return "WINDOW";
   }
   return "?";
 }
@@ -193,6 +226,9 @@ Bytes EncodeRequest(const Request& request) {
     case RequestType::kSeek:
       writer.WriteVarU64(request.target_element);
       break;
+    case RequestType::kWindow:
+      writer.WriteVarU64(request.window_delta);
+      break;
     case RequestType::kStats:
     case RequestType::kClose:
     case RequestType::kTelemetry:
@@ -223,6 +259,10 @@ Result<Request> DecodeRequest(ByteSpan payload) {
     }
     case RequestType::kSeek: {
       TBM_ASSIGN_OR_RETURN(request.target_element, reader.ReadVarU64());
+      break;
+    }
+    case RequestType::kWindow: {
+      TBM_ASSIGN_OR_RETURN(request.window_delta, reader.ReadVarU64());
       break;
     }
     case RequestType::kStats:
@@ -271,6 +311,7 @@ Bytes EncodeResponse(const Response& response) {
       writer.WriteU32(response.stats.stride);
       break;
     case RequestType::kClose:
+    case RequestType::kWindow:  // WINDOW has no response; empty body.
       break;
     case RequestType::kTelemetry:
       EncodeTelemetry(&writer, response.telemetry);
@@ -352,6 +393,7 @@ Result<Response> DecodeResponse(ByteSpan payload) {
       break;
     }
     case RequestType::kClose:
+    case RequestType::kWindow:
       break;
     case RequestType::kTelemetry: {
       TBM_RETURN_IF_ERROR(DecodeTelemetry(&reader, &response.telemetry));

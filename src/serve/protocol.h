@@ -36,6 +36,12 @@ enum class RequestType : uint8_t {
   kStats = 4,  ///< Session counters and state.
   kClose = 5,  ///< End the session.
   kTelemetry = 6,  ///< Server-wide metrics snapshot (no session needed).
+  /// One-way flow-control credit (v2 multiplexed connections only):
+  /// grants the server `window_delta` more bytes of READ data on this
+  /// stream. The server never responds to WINDOW — it is pure credit,
+  /// not an RPC — so it rides alongside the one-outstanding-request-
+  /// per-stream discipline rather than inside it.
+  kWindow = 7,
 };
 
 std::string_view RequestTypeToString(RequestType type);
@@ -51,20 +57,45 @@ struct TraceContext {
   bool present() const { return trace_id != 0; }
 };
 
+/// Per-stream quality-of-service parameters, carried on OPEN as
+/// extension tag 2. Everything here defaults to "server decides":
+/// a v1 client that never heard of QoS gets priority 4, the server's
+/// stride ladder, and no flow-control window (the v1 contract).
+struct StreamQos {
+  /// Write-scheduling priority, 0 (most urgent) .. 7 (background).
+  /// The server's priority write scheduler drains all sendable frames
+  /// of priority p before any of p+1, round-robin within a level.
+  uint8_t priority = 4;
+  /// Deepest stride the client will accept before it would rather be
+  /// denied. 0 = server's configured ladder (ServeConfig::max_stride).
+  uint32_t max_stride = 0;
+  /// Initial flow-control window, bytes of READ payload the server
+  /// may have in flight before it must wait for WINDOW credits.
+  /// 0 = no flow control (v1 semantics).
+  uint64_t window_bytes = 0;
+
+  bool present() const {
+    return priority != 4 || max_stride != 0 || window_bytes != 0;
+  }
+};
+
 /// One client request. Only the fields for `type` are meaningful.
 ///
 /// After the per-type fields, a request payload may carry an
 /// *extension block*: repeated `u8 tag | length-prefixed body` pairs.
 /// Decoders skip unknown tags (forward compatibility: an old server
 /// ignores extensions a new client sends), and reject tag 0 and
-/// truncated bodies as corruption. Tag 1 is the trace context.
+/// truncated bodies as corruption. Tag 1 is the trace context, tag 2
+/// the per-stream QoS parameters on OPEN.
 struct Request {
   RequestType type = RequestType::kStats;
   uint64_t session_id = 0;   ///< 0 until OPEN assigns one.
   std::string object_name;   ///< kOpen: catalog name of the media object.
   uint64_t max_elements = 1; ///< kRead: batch size cap.
   uint64_t target_element = 0;  ///< kSeek: element number to resume at.
+  uint64_t window_delta = 0;    ///< kWindow: flow-control credit, bytes.
   TraceContext trace;        ///< Extension tag 1; encoded only if present().
+  StreamQos qos;             ///< Extension tag 2; encoded only if present().
 };
 
 /// Session lifecycle (the serve state machine). OPEN connections

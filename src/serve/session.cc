@@ -43,7 +43,13 @@ Session::Session(uint64_t id, std::string object_name, const BlobStore* store,
       stride_(config.stride),
       degraded_(config.stride > 1),
       booked_(config.booked_bytes_per_second) {
-  flight_.set_label("session " + std::to_string(id_) + " " + object_name_);
+  if (config_.stream_id != 0 || config_.connection_id != 0) {
+    flight_.set_label("conn " + std::to_string(config_.connection_id) +
+                      " stream " + std::to_string(config_.stream_id) +
+                      " session " + std::to_string(id_) + " " + object_name_);
+  } else {
+    flight_.set_label("session " + std::to_string(id_) + " " + object_name_);
+  }
   flight_.Record(obs::FlightEventType::kAdmit,
                  degraded_ ? "admitted degraded" : "admitted", stride_,
                  static_cast<uint64_t>(booked_));
@@ -188,10 +194,13 @@ void Session::Finish() {
 }
 
 std::string Session::DumpFlight(std::string_view cause) const {
-  char header[160];
+  char header[224];
   std::snprintf(header, sizeof(header),
-                "session %llu object=%s state=%s stride=%u trace=0x%llx\n",
-                (unsigned long long)id_, object_name_.c_str(),
+                "session %llu conn=%llu stream=%llu object=%s state=%s "
+                "stride=%u trace=0x%llx\n",
+                (unsigned long long)id_,
+                (unsigned long long)config_.connection_id,
+                (unsigned long long)config_.stream_id, object_name_.c_str(),
                 std::string(SessionStateToString(state())).c_str(), stride_,
                 (unsigned long long)trace_id_);
   std::string dump = flight_.Dump(cause);

@@ -41,6 +41,13 @@ class Session {
   struct Config {
     uint32_t stride = 1;
     double booked_bytes_per_second = 0.0;
+    /// Identity of the multiplexed stream this session serves: the
+    /// server connection and the stream id within it. Flight-recorder
+    /// labels and dumps are keyed by these, so an eviction post-mortem
+    /// names the stream, not just the socket. 0/0 = standalone (tests
+    /// that drive a Session directly).
+    uint64_t connection_id = 0;
+    uint64_t stream_id = 0;
     /// Byte cap per READ batch (bounds frame size and send latency).
     uint64_t response_byte_cap = 4ull << 20;
     /// Read options for the element stream / direct reads. `pool`
@@ -60,6 +67,8 @@ class Session {
       Config config);
 
   uint64_t id() const { return id_; }
+  uint64_t connection_id() const { return config_.connection_id; }
+  uint64_t stream_id() const { return config_.stream_id; }
   const std::string& object_name() const { return object_name_; }
   SessionState state() const {
     return state_.load(std::memory_order_acquire);

@@ -3,8 +3,10 @@
 #ifdef TBM_SERVE_TCP
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -21,11 +23,9 @@ Status Errno(const char* op) {
   return Status::IOError(std::string(op) + ": " + std::strerror(errno));
 }
 
-void SetSendTimeout(int fd, std::chrono::milliseconds timeout) {
-  timeval tv;
-  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
-  tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
-  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+void SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
 }
 
 class TcpTransport final : public Transport {
@@ -33,39 +33,54 @@ class TcpTransport final : public Transport {
   explicit TcpTransport(int fd) : fd_(fd) {}
   ~TcpTransport() override { Close(); }
 
-  Status Send(ByteSpan data) override {
-    size_t sent = 0;
-    while (sent < data.size()) {
-      ssize_t n = ::send(fd_.load(), data.data() + sent, data.size() - sent,
-                         MSG_NOSIGNAL);
-      if (n > 0) {
-        sent += static_cast<size_t>(n);
-        continue;
-      }
-      if (n < 0 && errno == EINTR) continue;
-      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-        return Status::ResourceExhausted(
-            "send timed out: socket buffer full — slow consumer");
-      }
-      return Errno("send");
-    }
-    return Status::OK();
-  }
-
-  Status Recv(uint8_t* out, size_t n) override {
-    size_t got = 0;
-    while (got < n) {
-      ssize_t r = ::recv(fd_.load(), out + got, n - got, 0);
-      if (r > 0) {
-        got += static_cast<size_t>(r);
-        continue;
-      }
+  Result<size_t> ReadSome(uint8_t* out, size_t n) override {
+    int fd = fd_.load();
+    if (fd < 0) return Status::IOError("transport closed");
+    for (;;) {
+      ssize_t r = ::recv(fd, out, n, 0);
+      if (r > 0) return static_cast<size_t>(r);
       if (r == 0) return Status::IOError("transport closed");
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return size_t{0};
       return Errno("recv");
     }
-    return Status::OK();
   }
+
+  Result<size_t> WriteSome(ByteSpan data) override {
+    int fd = fd_.load();
+    if (fd < 0) return Status::IOError("transport closed");
+    if (data.empty()) return size_t{0};
+    for (;;) {
+      ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+      if (n >= 0) return static_cast<size_t>(n);
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return size_t{0};
+      return Errno("send");
+    }
+  }
+
+  uint32_t Poll() const override {
+    int fd = fd_.load();
+    if (fd < 0) return kTransportClosed | kTransportReadable;
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN | POLLOUT;
+    int rc = ::poll(&pfd, 1, 0);
+    if (rc < 0) return 0;
+    uint32_t ready = 0;
+    if (pfd.revents & (POLLIN | POLLHUP | POLLERR)) ready |= kTransportReadable;
+    if (pfd.revents & POLLOUT) ready |= kTransportWritable;
+    if (pfd.revents & (POLLHUP | POLLERR)) ready |= kTransportClosed;
+    return ready;
+  }
+
+  void SetWaker(std::function<void()> waker) override {
+    // fd-backed: readiness comes from the kernel via fd(); the
+    // reactor polls/epolls it and never needs the waker.
+    (void)waker;
+  }
+
+  int fd() const override { return fd_.load(); }
 
   void Close() override {
     int fd = fd_.exchange(-1);
@@ -82,8 +97,7 @@ class TcpTransport final : public Transport {
 }  // namespace
 
 Result<std::unique_ptr<Transport>> TcpConnect(const std::string& host,
-                                              uint16_t port,
-                                              const TcpOptions& options) {
+                                              uint16_t port) {
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return Errno("socket");
   sockaddr_in addr{};
@@ -93,6 +107,8 @@ Result<std::unique_ptr<Transport>> TcpConnect(const std::string& host,
     ::close(fd);
     return Status::InvalidArgument("not an IPv4 address: " + host);
   }
+  // Connect while still blocking (simple), then flip to non-blocking
+  // for the transport's readiness-driven I/O.
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     Status status = Errno("connect");
     ::close(fd);
@@ -100,14 +116,13 @@ Result<std::unique_ptr<Transport>> TcpConnect(const std::string& host,
   }
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  SetSendTimeout(fd, options.send_timeout);
+  SetNonBlocking(fd);
   return std::unique_ptr<Transport>(new TcpTransport(fd));
 }
 
 TcpListener::~TcpListener() { Close(); }
 
-Result<std::unique_ptr<TcpListener>> TcpListener::Listen(
-    uint16_t port, const TcpOptions& options) {
+Result<std::unique_ptr<TcpListener>> TcpListener::Listen(uint16_t port) {
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return Errno("socket");
   int one = 1;
@@ -121,7 +136,7 @@ Result<std::unique_ptr<TcpListener>> TcpListener::Listen(
     ::close(fd);
     return status;
   }
-  if (::listen(fd, 64) != 0) {
+  if (::listen(fd, 256) != 0) {
     Status status = Errno("listen");
     ::close(fd);
     return status;
@@ -133,7 +148,7 @@ Result<std::unique_ptr<TcpListener>> TcpListener::Listen(
     return status;
   }
   return std::unique_ptr<TcpListener>(
-      new TcpListener(fd, ntohs(addr.sin_port), options));
+      new TcpListener(fd, ntohs(addr.sin_port)));
 }
 
 Result<std::unique_ptr<Transport>> TcpListener::Accept() {
@@ -142,7 +157,7 @@ Result<std::unique_ptr<Transport>> TcpListener::Accept() {
     if (fd >= 0) {
       int one = 1;
       ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-      SetSendTimeout(fd, options_.send_timeout);
+      SetNonBlocking(fd);
       return std::unique_ptr<Transport>(new TcpTransport(fd));
     }
     if (errno == EINTR) continue;

@@ -3,14 +3,20 @@
 
 /// TCP transport for the serve protocol, compiled only when the
 /// TBM_SERVE_TCP cmake option is ON (the default). Everything in the
-/// serve layer — protocol, sessions, server — is transport-agnostic;
-/// this file is the only place that touches sockets, so platforms
-/// without POSIX networking just switch the option off and keep the
-/// loopback transport.
+/// serve layer — protocol, sessions, server, reactor — is
+/// transport-agnostic; this file is the only place that touches
+/// sockets, so platforms without POSIX networking just switch the
+/// option off and keep the loopback transport.
+///
+/// Sockets are non-blocking (O_NONBLOCK): ReadSome/WriteSome map
+/// EAGAIN to "would block" (0), readiness comes from the kernel via
+/// fd() — the reactor registers it with epoll/poll — and the blocking
+/// helpers in serve/transport.h layer timeouts on top for tools and
+/// tests. There are no socket-level send timeouts anymore; slow-client
+/// detection is the server's stall timer.
 
 #ifdef TBM_SERVE_TCP
 
-#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -20,42 +26,34 @@
 
 namespace tbm::serve {
 
-struct TcpOptions {
-  /// SO_SNDTIMEO: how long a send may block on a full socket buffer
-  /// before failing ResourceExhausted (the slow-client signal).
-  std::chrono::milliseconds send_timeout{1000};
-};
-
-/// Connects to `host:port`. Blocking sockets with a send timeout.
+/// Connects to `host:port` (IPv4 dotted quad). The returned transport
+/// is non-blocking.
 Result<std::unique_ptr<Transport>> TcpConnect(const std::string& host,
-                                              uint16_t port,
-                                              const TcpOptions& options = {});
+                                              uint16_t port);
 
 /// A listening IPv4 socket on 127.0.0.1.
 class TcpListener {
  public:
   /// Binds and listens. `port` 0 picks an ephemeral port (see port()).
-  static Result<std::unique_ptr<TcpListener>> Listen(
-      uint16_t port, const TcpOptions& options = {});
+  static Result<std::unique_ptr<TcpListener>> Listen(uint16_t port);
 
   ~TcpListener();
 
   /// The bound port.
   uint16_t port() const { return port_; }
 
-  /// Blocks for the next connection. IOError once Close()d.
+  /// Blocks for the next connection; the accepted transport is
+  /// non-blocking. IOError once Close()d.
   Result<std::unique_ptr<Transport>> Accept();
 
   /// Closes the listening socket, unblocking Accept.
   void Close();
 
  private:
-  TcpListener(int fd, uint16_t port, TcpOptions options)
-      : fd_(fd), port_(port), options_(options) {}
+  TcpListener(int fd, uint16_t port) : fd_(fd), port_(port) {}
 
   int fd_;
   uint16_t port_;
-  TcpOptions options_;
 };
 
 }  // namespace tbm::serve

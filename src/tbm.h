@@ -125,7 +125,10 @@
 
 // serve
 #include "serve/client.h"
+#include "serve/connection.h"
+#include "serve/framing.h"
 #include "serve/protocol.h"
+#include "serve/reactor.h"
 #include "serve/server.h"
 #include "serve/session.h"
 #include "serve/tcp_transport.h"

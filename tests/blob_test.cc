@@ -22,7 +22,9 @@ Bytes Pattern(size_t n, uint8_t seed = 0) {
 }
 
 // ---------------------------------------------------------------------------
-// Contract suite run against every BlobStore implementation.
+// Contract suite run against every BlobStore implementation. The
+// streaming push API is the only write surface, so the whole contract
+// — including the content-addressed store — runs through it.
 
 enum class StoreKind { kMemory, kPagedMemory, kPagedSmallPages, kFile, kCas };
 
@@ -72,24 +74,23 @@ class BlobStoreContract : public ::testing::TestWithParam<StoreKind> {
 
 int BlobStoreContract::counter_ = 0;
 
-TEST_P(BlobStoreContract, CreateAppendRead) {
-  auto id = store_->Create();
-  ASSERT_TRUE(id.ok());
-  EXPECT_EQ(*store_->Size(*id), 0u);
-
+TEST_P(BlobStoreContract, PushRead) {
   Bytes data = Pattern(1000);
-  ASSERT_TRUE(store_->Append(*id, data).ok());
+  auto id = store_->PushAll(data);
+  ASSERT_TRUE(id.ok()) << id.status();
   EXPECT_EQ(*store_->Size(*id), 1000u);
   EXPECT_EQ(*store_->ReadAll(*id), data);
 }
 
-TEST_P(BlobStoreContract, AppendAccumulates) {
-  auto id = store_->Create();
-  ASSERT_TRUE(id.ok());
+TEST_P(BlobStoreContract, ChunkedPushAccumulates) {
   Bytes a = Pattern(300, 1), b = Pattern(500, 2), c = Pattern(7, 3);
-  ASSERT_TRUE(store_->Append(*id, a).ok());
-  ASSERT_TRUE(store_->Append(*id, b).ok());
-  ASSERT_TRUE(store_->Append(*id, c).ok());
+  auto push = store_->StartPush();
+  ASSERT_TRUE(push.ok());
+  ASSERT_TRUE((*push)->Push(a).ok());
+  ASSERT_TRUE((*push)->Push(b).ok());
+  ASSERT_TRUE((*push)->Push(c).ok());
+  auto id = (*push)->Finish();
+  ASSERT_TRUE(id.ok());
   Bytes expected = a;
   expected.insert(expected.end(), b.begin(), b.end());
   expected.insert(expected.end(), c.begin(), c.end());
@@ -97,10 +98,9 @@ TEST_P(BlobStoreContract, AppendAccumulates) {
 }
 
 TEST_P(BlobStoreContract, RangedReads) {
-  auto id = store_->Create();
-  ASSERT_TRUE(id.ok());
   Bytes data = Pattern(5000);
-  ASSERT_TRUE(store_->Append(*id, data).ok());
+  auto id = store_->PushAll(data);
+  ASSERT_TRUE(id.ok());
   // Various offsets including page-straddling ones.
   for (auto [offset, length] : std::vector<std::pair<uint64_t, uint64_t>>{
            {0, 1}, {0, 5000}, {4999, 1}, {100, 200}, {50, 70}, {4000, 1000}}) {
@@ -112,18 +112,16 @@ TEST_P(BlobStoreContract, RangedReads) {
 }
 
 TEST_P(BlobStoreContract, EmptyRead) {
-  auto id = store_->Create();
+  auto id = store_->PushAll(Pattern(10));
   ASSERT_TRUE(id.ok());
-  ASSERT_TRUE(store_->Append(*id, Pattern(10)).ok());
   auto read = store_->Read(*id, ByteRange{5, 0});
   ASSERT_TRUE(read.ok());
   EXPECT_TRUE(read->empty());
 }
 
 TEST_P(BlobStoreContract, ReadPastEndIsOutOfRange) {
-  auto id = store_->Create();
+  auto id = store_->PushAll(Pattern(100));
   ASSERT_TRUE(id.ok());
-  ASSERT_TRUE(store_->Append(*id, Pattern(100)).ok());
   EXPECT_TRUE(store_->Read(*id, ByteRange{50, 51}).status().IsOutOfRange());
   EXPECT_TRUE(store_->Read(*id, ByteRange{101, 1}).status().IsOutOfRange());
 }
@@ -131,36 +129,36 @@ TEST_P(BlobStoreContract, ReadPastEndIsOutOfRange) {
 TEST_P(BlobStoreContract, MissingBlobIsNotFound) {
   EXPECT_TRUE(store_->Read(999, ByteRange{0, 1}).status().IsNotFound());
   EXPECT_TRUE(store_->Size(999).status().IsNotFound());
-  EXPECT_TRUE(store_->Append(999, Pattern(1)).IsNotFound());
   EXPECT_TRUE(store_->Delete(999).IsNotFound());
   EXPECT_FALSE(store_->Exists(999));
 }
 
 TEST_P(BlobStoreContract, DeleteRemoves) {
-  auto id = store_->Create();
+  auto id = store_->PushAll(Pattern(100));
   ASSERT_TRUE(id.ok());
-  ASSERT_TRUE(store_->Append(*id, Pattern(100)).ok());
   ASSERT_TRUE(store_->Delete(*id).ok());
   EXPECT_FALSE(store_->Exists(*id));
   EXPECT_TRUE(store_->ReadAll(*id).status().IsNotFound());
 }
 
 TEST_P(BlobStoreContract, ListIsAscendingLiveIds) {
-  auto a = store_->Create();
-  auto b = store_->Create();
-  auto c = store_->Create();
+  // Distinct content so the content-addressed store assigns three
+  // distinct ids too.
+  auto a = store_->PushAll(Pattern(32, 1));
+  auto b = store_->PushAll(Pattern(32, 2));
+  auto c = store_->PushAll(Pattern(32, 3));
   ASSERT_TRUE(a.ok() && b.ok() && c.ok());
   ASSERT_TRUE(store_->Delete(*b).ok());
   std::vector<BlobId> expected = {*a, *c};
+  std::sort(expected.begin(), expected.end());
   EXPECT_EQ(store_->List(), expected);
 }
 
 TEST_P(BlobStoreContract, ManyBlobsIndependent) {
   std::vector<BlobId> ids;
   for (int i = 0; i < 20; ++i) {
-    auto id = store_->Create();
+    auto id = store_->PushAll(Pattern(100 + i * 13, i));
     ASSERT_TRUE(id.ok());
-    ASSERT_TRUE(store_->Append(*id, Pattern(100 + i * 13, i)).ok());
     ids.push_back(*id);
   }
   for (int i = 0; i < 20; ++i) {
@@ -168,39 +166,7 @@ TEST_P(BlobStoreContract, ManyBlobsIndependent) {
   }
 }
 
-// The Create/Append shims are deprecated but still part of the
-// contract for the mutable stores; the push-only CAS store rejects
-// them (covered in cas_test.cc) and is deliberately absent here.
-INSTANTIATE_TEST_SUITE_P(AllStores, BlobStoreContract,
-                         ::testing::Values(StoreKind::kMemory,
-                                           StoreKind::kPagedMemory,
-                                           StoreKind::kPagedSmallPages,
-                                           StoreKind::kFile));
-
-// ---------------------------------------------------------------------------
-// Streaming-push contract, run against EVERY store — including the
-// push-only content-addressed one. This is the write surface new code
-// should use; Create/Append above survives as a shim.
-
-class PushContract : public ::testing::TestWithParam<StoreKind> {
- protected:
-  void SetUp() override {
-    scratch_ = ::testing::TempDir() + "/pushstore_" +
-               std::to_string(static_cast<long>(::getpid())) + "_" +
-               std::to_string(static_cast<int>(GetParam())) + "_" +
-               std::to_string(counter_++);
-    std::filesystem::remove_all(scratch_);
-    store_ = MakeStore(GetParam(), scratch_);
-  }
-
-  static int counter_;
-  std::string scratch_;
-  std::unique_ptr<BlobStore> store_;
-};
-
-int PushContract::counter_ = 0;
-
-TEST_P(PushContract, StreamingPushRoundTrip) {
+TEST_P(BlobStoreContract, StreamingPushRoundTrip) {
   Bytes data = Pattern(10'000, 1);
   auto push = store_->StartPush();
   ASSERT_TRUE(push.ok()) << push.status();
@@ -221,7 +187,7 @@ TEST_P(PushContract, StreamingPushRoundTrip) {
   EXPECT_EQ(*store_->ReadAll(*id), data);
 }
 
-TEST_P(PushContract, EmptyPush) {
+TEST_P(BlobStoreContract, EmptyPush) {
   auto push = store_->StartPush();
   ASSERT_TRUE(push.ok());
   auto id = (*push)->Finish();
@@ -229,14 +195,7 @@ TEST_P(PushContract, EmptyPush) {
   EXPECT_EQ(*store_->Size(*id), 0u);
 }
 
-TEST_P(PushContract, PushAllConvenience) {
-  Bytes data = Pattern(2048, 2);
-  auto id = store_->PushAll(data);
-  ASSERT_TRUE(id.ok()) << id.status();
-  EXPECT_EQ(*store_->ReadAll(*id), data);
-}
-
-TEST_P(PushContract, BlobInvisibleUntilFinish) {
+TEST_P(BlobStoreContract, BlobInvisibleUntilFinish) {
   auto push = store_->StartPush();
   ASSERT_TRUE(push.ok());
   ASSERT_TRUE((*push)->Push(Pattern(500, 3)).ok());
@@ -247,7 +206,7 @@ TEST_P(PushContract, BlobInvisibleUntilFinish) {
   EXPECT_EQ(store_->List(), std::vector<BlobId>{*id});
 }
 
-TEST_P(PushContract, AbortLeavesNoTrace) {
+TEST_P(BlobStoreContract, AbortLeavesNoTrace) {
   auto anchor = store_->PushAll(Pattern(100, 4));
   ASSERT_TRUE(anchor.ok());
   auto before = store_->List();
@@ -268,7 +227,7 @@ TEST_P(PushContract, AbortLeavesNoTrace) {
   EXPECT_EQ(store_->List(), before);
 }
 
-TEST_P(PushContract, HandleStateMachine) {
+TEST_P(BlobStoreContract, HandleStateMachine) {
   auto push = store_->StartPush();
   ASSERT_TRUE(push.ok());
   ASSERT_TRUE((*push)->Push(Pattern(10)).ok());
@@ -283,7 +242,7 @@ TEST_P(PushContract, HandleStateMachine) {
   EXPECT_TRUE((*aborted)->Finish().status().IsFailedPrecondition());
 }
 
-TEST_P(PushContract, ListIsAscendingAfterPushAndDelete) {
+TEST_P(BlobStoreContract, ListIsAscendingAfterPushAndDelete) {
   // List() returns live ids in ascending order for every store; the
   // conformance test pushes distinct content so the CAS store assigns
   // distinct ids too.
@@ -304,7 +263,7 @@ TEST_P(PushContract, ListIsAscendingAfterPushAndDelete) {
                                  std::greater_equal<BlobId>()) == ids.end());
 }
 
-INSTANTIATE_TEST_SUITE_P(AllStores, PushContract,
+INSTANTIATE_TEST_SUITE_P(AllStores, BlobStoreContract,
                          ::testing::Values(StoreKind::kMemory,
                                            StoreKind::kPagedMemory,
                                            StoreKind::kPagedSmallPages,
@@ -316,43 +275,44 @@ INSTANTIATE_TEST_SUITE_P(AllStores, PushContract,
 
 TEST(PagedStoreTest, ReusesFreedPages) {
   PagedBlobStore store(std::make_unique<MemoryPageDevice>(256));
-  auto a = store.Create();
+  auto a = store.PushAll(Pattern(2000));
   ASSERT_TRUE(a.ok());
-  ASSERT_TRUE(store.Append(*a, Pattern(2000)).ok());
   uint64_t pages_before = store.Stats().physical_bytes;
   ASSERT_TRUE(store.Delete(*a).ok());
-  auto b = store.Create();
+  auto b = store.PushAll(Pattern(2000));
   ASSERT_TRUE(b.ok());
-  ASSERT_TRUE(store.Append(*b, Pattern(2000)).ok());
   // No growth: freed pages were reused.
   EXPECT_EQ(store.Stats().physical_bytes, pages_before);
   EXPECT_EQ(*store.ReadAll(*b), Pattern(2000));
 }
 
-TEST(PagedStoreTest, InterleavedAppendsFragment) {
+TEST(PagedStoreTest, InterleavedPushesFragment) {
   PagedBlobStore store(std::make_unique<MemoryPageDevice>(128));
-  auto a = store.Create();
-  auto b = store.Create();
+  // Two pushes in flight at once: pages are staged as each fills, so
+  // alternating full-page chunks interleave the blobs' page chains.
+  auto a = store.StartPush();
+  auto b = store.StartPush();
   ASSERT_TRUE(a.ok() && b.ok());
-  // Alternate appends so pages interleave.
   for (int i = 0; i < 50; ++i) {
-    ASSERT_TRUE(store.Append(*a, Pattern(120, 1)).ok());
-    ASSERT_TRUE(store.Append(*b, Pattern(120, 2)).ok());
+    ASSERT_TRUE((*a)->Push(Pattern(120, 1)).ok());
+    ASSERT_TRUE((*b)->Push(Pattern(120, 2)).ok());
   }
-  auto frag_a = store.Fragmentation(*a);
+  auto id_a = (*a)->Finish();
+  auto id_b = (*b)->Finish();
+  ASSERT_TRUE(id_a.ok() && id_b.ok());
+  auto frag_a = store.Fragmentation(*id_a);
   ASSERT_TRUE(frag_a.ok());
   EXPECT_GT(*frag_a, 0.5);  // Heavily fragmented.
   // Data still correct despite fragmentation.
-  auto all_a = store.ReadAll(*a);
+  auto all_a = store.ReadAll(*id_a);
   ASSERT_TRUE(all_a.ok());
   EXPECT_EQ(all_a->size(), 50u * 120u);
 }
 
 TEST(PagedStoreTest, SingleBlobIsContiguous) {
   PagedBlobStore store(std::make_unique<MemoryPageDevice>(128));
-  auto a = store.Create();
+  auto a = store.PushAll(Pattern(5000));
   ASSERT_TRUE(a.ok());
-  ASSERT_TRUE(store.Append(*a, Pattern(5000)).ok());
   EXPECT_EQ(*store.Fragmentation(*a), 0.0);
 }
 
@@ -360,9 +320,8 @@ TEST(PagedStoreTest, DetectsCorruptedPage) {
   auto device = std::make_unique<MemoryPageDevice>(256);
   MemoryPageDevice* raw_device = device.get();
   PagedBlobStore store(std::move(device));
-  auto id = store.Create();
+  auto id = store.PushAll(Pattern(1000));
   ASSERT_TRUE(id.ok());
-  ASSERT_TRUE(store.Append(*id, Pattern(1000)).ok());
 
   // Flip a byte in page 1's payload behind the store's back.
   Bytes page(256);
@@ -377,9 +336,8 @@ TEST(PagedStoreTest, DetectsCorruptedPage) {
 
 TEST(PagedStoreTest, StatsAccounting) {
   PagedBlobStore store(std::make_unique<MemoryPageDevice>(4096));
-  auto id = store.Create();
+  auto id = store.PushAll(Pattern(10000));
   ASSERT_TRUE(id.ok());
-  ASSERT_TRUE(store.Append(*id, Pattern(10000)).ok());
   BlobStoreStats stats = store.Stats();
   EXPECT_EQ(stats.blob_count, 1u);
   EXPECT_EQ(stats.logical_bytes, 10000u);
@@ -388,24 +346,26 @@ TEST(PagedStoreTest, StatsAccounting) {
 
 TEST(PagedStoreTest, DefragmentRestoresContiguity) {
   PagedBlobStore store(std::make_unique<MemoryPageDevice>(128));
-  auto a = store.Create();
-  auto b = store.Create();
+  auto a = store.StartPush();
+  auto b = store.StartPush();
   ASSERT_TRUE(a.ok() && b.ok());
   for (int i = 0; i < 40; ++i) {
-    ASSERT_TRUE(store.Append(*a, Pattern(120, 1)).ok());
-    ASSERT_TRUE(store.Append(*b, Pattern(120, 2)).ok());
+    ASSERT_TRUE((*a)->Push(Pattern(120, 1)).ok());
+    ASSERT_TRUE((*b)->Push(Pattern(120, 2)).ok());
   }
-  Bytes before = store.ReadAll(*a)->MutableCopy();
-  ASSERT_GT(*store.Fragmentation(*a), 0.5);
-  ASSERT_TRUE(store.Defragment(*a).ok());
-  EXPECT_EQ(*store.Fragmentation(*a), 0.0);
+  auto id_a = (*a)->Finish();
+  auto id_b = (*b)->Finish();
+  ASSERT_TRUE(id_a.ok() && id_b.ok());
+  Bytes before = store.ReadAll(*id_a)->MutableCopy();
+  ASSERT_GT(*store.Fragmentation(*id_a), 0.5);
+  ASSERT_TRUE(store.Defragment(*id_a).ok());
+  EXPECT_EQ(*store.Fragmentation(*id_a), 0.0);
   // Content identical; id unchanged.
-  EXPECT_EQ(*store.ReadAll(*a), before);
+  EXPECT_EQ(*store.ReadAll(*id_a), before);
   // Freed pages are reusable.
-  auto c = store.Create();
-  ASSERT_TRUE(c.ok());
   uint64_t pages_before = store.Stats().physical_bytes;
-  ASSERT_TRUE(store.Append(*c, Pattern(120 * 20)).ok());
+  auto c = store.PushAll(Pattern(120 * 20));
+  ASSERT_TRUE(c.ok());
   EXPECT_EQ(store.Stats().physical_bytes, pages_before);
   EXPECT_TRUE(store.Defragment(999).IsNotFound());
 }
@@ -420,9 +380,8 @@ TEST(FilePageDeviceTest, PersistsPages) {
     auto device = FilePageDevice::Open(path, 512);
     ASSERT_TRUE(device.ok());
     PagedBlobStore store(std::move(*device));
-    auto id = store.Create();
+    auto id = store.PushAll(Pattern(2000));
     ASSERT_TRUE(id.ok());
-    ASSERT_TRUE(store.Append(*id, Pattern(2000)).ok());
     EXPECT_EQ(*store.ReadAll(*id), Pattern(2000));
   }
   // Raw pages survive on disk (metadata is store-level, but the device
@@ -442,17 +401,16 @@ TEST(FileStoreTest, SurvivesReopen) {
   {
     auto store = FileBlobStore::Open(dir);
     ASSERT_TRUE(store.ok());
-    auto created = (*store)->Create();
-    ASSERT_TRUE(created.ok());
-    id = *created;
-    ASSERT_TRUE((*store)->Append(id, Pattern(777)).ok());
+    auto pushed = (*store)->PushAll(Pattern(777));
+    ASSERT_TRUE(pushed.ok());
+    id = *pushed;
   }
   auto store = FileBlobStore::Open(dir);
   ASSERT_TRUE(store.ok());
   EXPECT_TRUE((*store)->Exists(id));
   EXPECT_EQ(*(*store)->ReadAll(id), Pattern(777));
   // New ids don't collide with recovered ones.
-  auto fresh = (*store)->Create();
+  auto fresh = (*store)->PushAll(Pattern(5));
   ASSERT_TRUE(fresh.ok());
   EXPECT_GT(*fresh, id);
 }

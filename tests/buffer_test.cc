@@ -112,10 +112,8 @@ TEST(BufferSliceTest, SliceOutlivesStoreAndBlob) {
   BufferSlice slice;
   {
     MemoryBlobStore store;
-    auto id = store.Create();
+    auto id = store.PushAll(ByteSpan(payload.data(), payload.size()));
     ASSERT_TRUE(id.ok());
-    ASSERT_TRUE(store.Append(*id, ByteSpan(payload.data(), payload.size()))
-                    .ok());
     auto read = store.Read(*id, ByteRange{100, 200});
     ASSERT_TRUE(read.ok());
     slice = *read;
@@ -127,11 +125,9 @@ TEST(BufferSliceTest, SliceOutlivesStoreAndBlob) {
 
 TEST(BufferSliceTest, MemoryStoreReadsAreViewsNotCopies) {
   MemoryBlobStore store;
-  auto id = store.Create();
-  ASSERT_TRUE(id.ok());
   Bytes payload = Pattern(512);
-  ASSERT_TRUE(
-      store.Append(*id, ByteSpan(payload.data(), payload.size())).ok());
+  auto id = store.PushAll(ByteSpan(payload.data(), payload.size()));
+  ASSERT_TRUE(id.ok());
   auto a = store.Read(*id, ByteRange{0, 512});
   auto b = store.Read(*id, ByteRange{128, 64});
   ASSERT_TRUE(a.ok() && b.ok());

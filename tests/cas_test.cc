@@ -203,11 +203,6 @@ TEST_F(CasStoreTest, PushHandleStateMachine) {
   EXPECT_EQ(staged, 0u);
 }
 
-TEST_F(CasStoreTest, TwoPhaseWritesRejected) {
-  EXPECT_TRUE(store_->Create().status().IsFailedPrecondition());
-  EXPECT_TRUE(store_->Append(1, Pattern(10)).IsFailedPrecondition());
-}
-
 TEST_F(CasStoreTest, ListIsAscending) {
   std::vector<BlobId> ids;
   for (int i = 0; i < 10; ++i) {

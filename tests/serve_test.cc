@@ -1,8 +1,10 @@
 // Tests of the serve layer: wire protocol round-trips and malformed
-// frames, loopback transport semantics (backpressure, close), the
-// session state machine, and the server end-to-end over loopback —
-// including degrade-before-deny admission, slow-client eviction, and
-// a 16-session concurrent run with injected read faults.
+// frames, loopback transport semantics (non-blocking readiness,
+// backpressure, close), the session state machine, and the server
+// end-to-end over loopback — including degrade-before-deny admission,
+// slow-client eviction, and a 16-session concurrent run with injected
+// read faults. Multi-stream multiplexing is covered separately in
+// multiplex_test.cc.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -11,11 +13,13 @@
 #include <thread>
 #include <vector>
 
+#include "base/macros.h"
 #include "blob/fault_store.h"
 #include "blob/memory_store.h"
 #include "db/database.h"
 #include "interp/capture.h"
 #include "serve/client.h"
+#include "serve/framing.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
 #include "serve/session.h"
@@ -68,6 +72,16 @@ std::unique_ptr<MediaDatabase> BuildServeDb(double read_fault_rate = 0.0) {
   return db;
 }
 
+// One v1 request/response exchange over a raw transport: the
+// single-stream compat path a pre-multiplexing client would use.
+Result<Response> RawRoundTrip(Transport& transport, const Request& request) {
+  TBM_RETURN_IF_ERROR(WriteFrame(transport, EncodeRequest(request)));
+  TBM_ASSIGN_OR_RETURN(Bytes body, ReadFrame(transport, kMaxFrameBytes));
+  TBM_ASSIGN_OR_RETURN(Frame frame, DecodeFrameBody(body));
+  EXPECT_EQ(frame.header.version, 1);  // v1 in, v1 out.
+  return DecodeResponse(frame.payload);
+}
+
 // ---------------------------------------------------------------------------
 // Protocol encode/decode
 
@@ -89,8 +103,12 @@ TEST(ServeProtocolTest, RequestRoundTripsAllTypes) {
   Request close;
   close.type = RequestType::kClose;
   close.session_id = 7;
+  Request window;
+  window.type = RequestType::kWindow;
+  window.session_id = 7;
+  window.window_delta = 65536;
 
-  for (const Request& request : {open, read, seek, stats, close}) {
+  for (const Request& request : {open, read, seek, stats, close, window}) {
     auto decoded = DecodeRequest(EncodeRequest(request));
     ASSERT_TRUE(decoded.ok()) << decoded.status().message();
     EXPECT_EQ(decoded->type, request.type);
@@ -102,7 +120,24 @@ TEST(ServeProtocolTest, RequestRoundTripsAllTypes) {
     if (request.type == RequestType::kSeek) {
       EXPECT_EQ(decoded->target_element, request.target_element);
     }
+    if (request.type == RequestType::kWindow) {
+      EXPECT_EQ(decoded->window_delta, request.window_delta);
+    }
   }
+}
+
+TEST(ServeProtocolTest, QosExtensionRoundTrips) {
+  Request open;
+  open.type = RequestType::kOpen;
+  open.object_name = "clip";
+  open.qos.priority = 6;
+  open.qos.max_stride = 4;
+  open.qos.window_bytes = 1 << 16;
+  auto decoded = DecodeRequest(EncodeRequest(open));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().message();
+  EXPECT_EQ(decoded->qos.priority, 6u);
+  EXPECT_EQ(decoded->qos.max_stride, 4u);
+  EXPECT_EQ(decoded->qos.window_bytes, uint64_t{1} << 16);
 }
 
 TEST(ServeProtocolTest, ResponseRoundTripsBodies) {
@@ -222,7 +257,7 @@ TEST(ServeProtocolTest, ElementCountBeyondFrameIsCorruption) {
 }
 
 // ---------------------------------------------------------------------------
-// Loopback transport
+// Loopback transport (non-blocking readiness interface)
 
 TEST(LoopbackTransportTest, FramesRoundTrip) {
   auto [a, b] = CreateLoopbackPair();
@@ -242,21 +277,66 @@ TEST(LoopbackTransportTest, FramesRoundTrip) {
 TEST(LoopbackTransportTest, OversizedLengthPrefixRejected) {
   auto [a, b] = CreateLoopbackPair();
   uint8_t prefix[4] = {0xFF, 0xFF, 0xFF, 0x7F};
-  ASSERT_TRUE(a->Send(ByteSpan(prefix, 4)).ok());
+  ASSERT_TRUE(BlockingSend(*a, ByteSpan(prefix, 4),
+                           std::chrono::milliseconds(1000))
+                  .ok());
   auto frame = ReadFrame(*b, /*max_frame=*/1 << 20);
   ASSERT_FALSE(frame.ok());
   EXPECT_EQ(frame.status().code(), StatusCode::kCorruption);
 }
 
-TEST(LoopbackTransportTest, SlowConsumerBackpressuresSender) {
+TEST(LoopbackTransportTest, WriteSomeReportsWouldBlockWhenFull) {
   LoopbackOptions options;
   options.buffer_bytes = 64;
-  options.send_timeout = std::chrono::milliseconds(30);
   auto [a, b] = CreateLoopbackPair(options);
   Bytes big(1024, 0x5A);
-  Status sent = a->Send(big);
-  ASSERT_FALSE(sent.ok());
-  EXPECT_EQ(sent.code(), StatusCode::kResourceExhausted);
+
+  // The buffer takes the first 64 bytes, then would-block (0).
+  auto first = a->WriteSome(big);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(*first, 64u);
+  auto blocked = a->WriteSome(ByteSpan(big.data() + 64, big.size() - 64));
+  ASSERT_TRUE(blocked.ok());
+  EXPECT_EQ(*blocked, 0u);
+  EXPECT_EQ(a->Poll() & kTransportWritable, 0u);
+
+  // A bounded blocking send on the clogged pipe gives up with
+  // ResourceExhausted rather than hanging.
+  Status timed_out =
+      BlockingSend(*a, big, std::chrono::milliseconds(30));
+  ASSERT_FALSE(timed_out.ok());
+  EXPECT_EQ(timed_out.code(), StatusCode::kResourceExhausted);
+
+  // Draining the consumer side restores writability and wakes the
+  // waker.
+  std::atomic<int> wakes{0};
+  a->SetWaker([&] { wakes.fetch_add(1); });
+  Bytes sink(64);
+  auto drained = b->ReadSome(sink.data(), sink.size());
+  ASSERT_TRUE(drained.ok());
+  EXPECT_EQ(*drained, 64u);
+  EXPECT_NE(a->Poll() & kTransportWritable, 0u);
+  EXPECT_GT(wakes.load(), 0);
+}
+
+TEST(LoopbackTransportTest, ReadSomeReportsWouldBlockWhenEmpty) {
+  auto [a, b] = CreateLoopbackPair();
+  uint8_t byte;
+  auto empty = b->ReadSome(&byte, 1);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(*empty, 0u);
+  EXPECT_EQ(b->Poll() & kTransportReadable, 0u);
+
+  std::atomic<int> wakes{0};
+  b->SetWaker([&] { wakes.fetch_add(1); });
+  Bytes data = {9};
+  ASSERT_TRUE(BlockingSend(*a, data, std::chrono::milliseconds(100)).ok());
+  EXPECT_NE(b->Poll() & kTransportReadable, 0u);
+  EXPECT_GT(wakes.load(), 0);
+  auto got = b->ReadSome(&byte, 1);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, 1u);
+  EXPECT_EQ(byte, 9);
 }
 
 TEST(LoopbackTransportTest, CloseUnblocksRecvAndFailsSend) {
@@ -264,7 +344,8 @@ TEST(LoopbackTransportTest, CloseUnblocksRecvAndFailsSend) {
   std::atomic<bool> failed{false};
   std::thread receiver([&] {
     uint8_t byte;
-    Status status = b->Recv(&byte, 1);
+    Status status =
+        BlockingRecv(*b, &byte, 1, std::chrono::milliseconds(5000));
     failed.store(!status.ok());
   });
   std::this_thread::sleep_for(std::chrono::milliseconds(10));
@@ -272,7 +353,10 @@ TEST(LoopbackTransportTest, CloseUnblocksRecvAndFailsSend) {
   receiver.join();
   EXPECT_TRUE(failed.load());
   Bytes data = {1, 2, 3};
-  EXPECT_EQ(a->Send(data).code(), StatusCode::kIOError);
+  EXPECT_EQ(
+      BlockingSend(*a, data, std::chrono::milliseconds(100)).code(),
+      StatusCode::kIOError);
+  EXPECT_NE(a->Poll() & kTransportClosed, 0u);
 }
 
 // ---------------------------------------------------------------------------
@@ -406,48 +490,73 @@ TEST(MediaServerTest, SeekResumesFromTarget) {
 }
 
 TEST(MediaServerTest, ErrorsAreWireStatusesNotDisconnects) {
+  // Driven entirely over raw v1 frames: this is the compat surface a
+  // pre-multiplexing client speaks, mapped to the implicit stream 0.
   auto db = BuildServeDb();
   MediaServer server(db.get());
   auto [client_end, server_end] = CreateLoopbackPair();
   ASSERT_TRUE(server.Serve(std::move(server_end)).ok());
-  MediaClient client(std::move(client_end));
 
   // READ before OPEN.
-  auto early = client.Read(1);
-  ASSERT_FALSE(early.ok());
-  EXPECT_EQ(early.status().code(), StatusCode::kFailedPrecondition);
+  Request read;
+  read.type = RequestType::kRead;
+  read.max_elements = 1;
+  auto early = RawRoundTrip(*client_end, read);
+  ASSERT_TRUE(early.ok()) << early.status().message();
+  EXPECT_EQ(early->status.code(), StatusCode::kFailedPrecondition);
 
   // OPEN of a name that is not in the catalog.
-  auto missing = client.Open("nope");
-  ASSERT_FALSE(missing.ok());
-  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+  Request missing;
+  missing.type = RequestType::kOpen;
+  missing.object_name = "nope";
+  auto not_found = RawRoundTrip(*client_end, missing);
+  ASSERT_TRUE(not_found.ok());
+  EXPECT_EQ(not_found->status.code(), StatusCode::kNotFound);
 
   // A malformed payload inside a well-formed frame draws an error
   // response and leaves the connection usable.
-  Bytes garbage = {0x00, 0xDE, 0xAD};
-  ASSERT_TRUE(WriteFrame(*client.transport(), garbage).ok());
-  auto raw = ReadFrame(*client.transport(), kMaxFrameBytes);
+  Bytes garbage = {0x01, 0xDE, 0xAD};
+  ASSERT_TRUE(WriteFrame(*client_end, garbage).ok());
+  auto raw = ReadFrame(*client_end, kMaxFrameBytes);
   ASSERT_TRUE(raw.ok());
-  auto decoded = DecodeResponse(*raw);
+  auto frame = DecodeFrameBody(*raw);
+  ASSERT_TRUE(frame.ok());
+  auto decoded = DecodeResponse(frame->payload);
   ASSERT_TRUE(decoded.ok());
   EXPECT_FALSE(decoded->status.ok());
 
   // The connection still works: a real OPEN succeeds.
-  auto open = client.Open("clip");
-  ASSERT_TRUE(open.ok()) << open.status().message();
+  Request open;
+  open.type = RequestType::kOpen;
+  open.object_name = "clip";
+  auto opened = RawRoundTrip(*client_end, open);
+  ASSERT_TRUE(opened.ok()) << opened.status().message();
+  ASSERT_TRUE(opened->status.ok()) << opened->status.message();
+  uint64_t session_id = opened->open.session_id;
+
+  // A second OPEN on the same (v1, single-stream) connection is
+  // refused with the PR 5 wording.
+  auto second = RawRoundTrip(*client_end, open);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(second->status.message().find("already has a session"),
+            std::string::npos);
 
   // A request addressing a different session id is refused.
-  Request request;
-  request.type = RequestType::kRead;
-  request.session_id = open->session_id + 99;
-  ASSERT_TRUE(WriteFrame(*client.transport(), EncodeRequest(request)).ok());
-  auto mismatch_raw = ReadFrame(*client.transport(), kMaxFrameBytes);
-  ASSERT_TRUE(mismatch_raw.ok());
-  auto mismatch = DecodeResponse(*mismatch_raw);
-  ASSERT_TRUE(mismatch.ok());
-  EXPECT_EQ(mismatch->status.code(), StatusCode::kInvalidArgument);
+  Request mismatch;
+  mismatch.type = RequestType::kRead;
+  mismatch.session_id = session_id + 99;
+  mismatch.max_elements = 1;
+  auto refused = RawRoundTrip(*client_end, mismatch);
+  ASSERT_TRUE(refused.ok());
+  EXPECT_EQ(refused->status.code(), StatusCode::kInvalidArgument);
 
-  EXPECT_TRUE(client.Close().ok());
+  Request close;
+  close.type = RequestType::kClose;
+  close.session_id = session_id;
+  auto closed = RawRoundTrip(*client_end, close);
+  ASSERT_TRUE(closed.ok());
+  EXPECT_TRUE(closed->status.ok());
 }
 
 TEST(MediaServerTest, AdmissionDegradesBeforeDenying) {
@@ -500,22 +609,29 @@ TEST(MediaServerTest, AdmissionDegradesBeforeDenying) {
 
 TEST(MediaServerTest, SlowClientIsEvicted) {
   auto db = BuildServeDb();
-  MediaServer server(db.get());
+  ServeConfig config;
+  config.stall_timeout = std::chrono::milliseconds(100);
+  MediaServer server(db.get(), config);
   LoopbackOptions options;
   options.buffer_bytes = 128;  // Smaller than one element payload.
-  options.send_timeout = std::chrono::milliseconds(40);
   auto [client_end, server_end] = CreateLoopbackPair(options);
   ASSERT_TRUE(server.Serve(std::move(server_end)).ok());
-  MediaClient client(std::move(client_end));
-  ASSERT_TRUE(client.Open("clip").ok());
+
+  Request open;
+  open.type = RequestType::kOpen;
+  open.object_name = "clip";
+  auto opened = RawRoundTrip(*client_end, open);
+  ASSERT_TRUE(opened.ok());
+  ASSERT_TRUE(opened->status.ok()) << opened->status.message();
 
   // Ask for a batch far larger than the transport buffer and never
-  // drain it: the server's send times out and the session is evicted.
+  // drain it: the server's writes stall past the timeout and the
+  // connection is torn down, evicting the stream.
   Request request;
   request.type = RequestType::kRead;
-  request.session_id = client.session_id();
+  request.session_id = opened->open.session_id;
   request.max_elements = 16;
-  ASSERT_TRUE(WriteFrame(*client.transport(), EncodeRequest(request)).ok());
+  ASSERT_TRUE(WriteFrame(*client_end, EncodeRequest(request)).ok());
 
   auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
   while (server.stats().sessions_evicted == 0 &&
@@ -524,17 +640,20 @@ TEST(MediaServerTest, SlowClientIsEvicted) {
   }
   EXPECT_EQ(server.stats().sessions_evicted, 1u);
 
-  // The server hung up; the client's next read of the stream fails.
+  // The server hung up; once the buffered bytes drain, reads fail.
   Bytes sink(1u << 16);
   Status gone = Status::OK();
-  while (gone.ok()) gone = client.transport()->Recv(sink.data(), sink.size());
+  while (gone.ok()) {
+    gone = BlockingRecv(*client_end, sink.data(), sink.size(),
+                        std::chrono::milliseconds(1000));
+  }
   EXPECT_FALSE(gone.ok());
 }
 
-TEST(MediaServerTest, SessionTableCapacityIsEnforced) {
+TEST(MediaServerTest, ConnectionTableCapacityIsEnforced) {
   auto db = BuildServeDb();
   ServeConfig config;
-  config.max_sessions = 2;
+  config.max_sessions = 2;  // max_connections defaults to this too.
   MediaServer server(db.get(), config);
   auto [c1, s1] = CreateLoopbackPair();
   auto [c2, s2] = CreateLoopbackPair();

@@ -203,9 +203,8 @@ TEST(CasStreamingTest, ConcurrentPullsShareOneMapping) {
 
 TEST(ChunkReaderTest, PagedStoreAlignsChunksToPagePayloads) {
   PagedBlobStore store(std::make_unique<MemoryPageDevice>(64));
-  auto id = store.Create();
+  auto id = store.PushAll(Pattern(1000));
   ASSERT_TRUE(id.ok());
-  ASSERT_TRUE(store.Append(*id, Pattern(1000)).ok());
   ChunkReaderOptions options;
   options.chunk_size = 100;  // Not a multiple of the 56-byte payload.
   auto reader = store.OpenChunkReader(*id, options);
@@ -228,10 +227,9 @@ ReadPolicy FastRetryPolicy(int retries) {
 TEST(ReadPolicyTest, RetriesRecoverFromTransientFaults) {
   auto fault =
       std::make_unique<FaultInjectingStore>(std::make_unique<MemoryBlobStore>());
-  auto id = fault->Create();
-  ASSERT_TRUE(id.ok());
   Bytes data = Pattern(300);
-  ASSERT_TRUE(fault->Append(*id, data).ok());
+  auto id = fault->PushAll(data);
+  ASSERT_TRUE(id.ok());
 
   fault->FailNextReads(2);
   auto read = ReadWithPolicy(*fault, *id, ByteRange{0, 300},
@@ -245,9 +243,8 @@ TEST(ReadPolicyTest, RetriesRecoverFromTransientFaults) {
 TEST(ReadPolicyTest, GivesUpWhenRetriesExhausted) {
   auto fault =
       std::make_unique<FaultInjectingStore>(std::make_unique<MemoryBlobStore>());
-  auto id = fault->Create();
+  auto id = fault->PushAll(Pattern(10));
   ASSERT_TRUE(id.ok());
-  ASSERT_TRUE(fault->Append(*id, Pattern(10)).ok());
 
   fault->FailNextReads(5);
   auto read = ReadWithPolicy(*fault, *id, ByteRange{0, 10},
@@ -272,9 +269,8 @@ TEST(ReadPolicyTest, CorruptionRetriedOnlyWhenOpted) {
   config.code = StatusCode::kCorruption;
   auto fault = std::make_unique<FaultInjectingStore>(
       std::make_unique<MemoryBlobStore>(), config);
-  auto id = fault->Create();
+  auto id = fault->PushAll(Pattern(10));
   ASSERT_TRUE(id.ok());
-  ASSERT_TRUE(fault->Append(*id, Pattern(10)).ok());
 
   fault->FailNextReads(1);
   auto read =
@@ -293,9 +289,8 @@ TEST(ReadPolicyTest, TimeoutBoundsTotalRetryBudget) {
   config.read_fault_rate = 1.0;  // Every read fails.
   auto fault = std::make_unique<FaultInjectingStore>(
       std::make_unique<MemoryBlobStore>(), config);
-  auto id = fault->Create();
+  auto id = fault->inner()->PushAll(Pattern(10));
   ASSERT_TRUE(id.ok());
-  ASSERT_TRUE(fault->inner()->Append(*id, Pattern(10)).ok());
 
   ReadPolicy policy;
   policy.max_retries = 1'000'000;
@@ -316,10 +311,9 @@ class PrefetcherTest : public ::testing::Test {};
 
 TEST(PrefetcherTest, DeliversIdenticalBytesAcrossDepths) {
   MemoryBlobStore store;
-  auto id = store.Create();
-  ASSERT_TRUE(id.ok());
   Bytes data = Pattern(40'000, 3);
-  ASSERT_TRUE(store.Append(*id, data).ok());
+  auto id = store.PushAll(data);
+  ASSERT_TRUE(id.ok());
 
   ThreadPool pool(4);
   for (int depth : {0, 1, 4, 16}) {
@@ -348,10 +342,9 @@ TEST(PrefetcherTest, DeliversIdenticalBytesAcrossDepths) {
 
 TEST(PrefetcherTest, TightByteBudgetStillCompletes) {
   MemoryBlobStore store;
-  auto id = store.Create();
-  ASSERT_TRUE(id.ok());
   Bytes data = Pattern(10'000, 9);
-  ASSERT_TRUE(store.Append(*id, data).ok());
+  auto id = store.PushAll(data);
+  ASSERT_TRUE(id.ok());
 
   ThreadPool pool(4);
   ChunkReaderOptions reader_options;
@@ -374,9 +367,8 @@ TEST(PrefetcherTest, TightByteBudgetStillCompletes) {
 TEST(PrefetcherTest, ReadErrorsSurfacePerChunk) {
   auto fault =
       std::make_unique<FaultInjectingStore>(std::make_unique<MemoryBlobStore>());
-  auto id = fault->Create();
+  auto id = fault->PushAll(Pattern(4096));
   ASSERT_TRUE(id.ok());
-  ASSERT_TRUE(fault->Append(*id, Pattern(4096)).ok());
 
   ChunkReaderOptions reader_options;
   reader_options.chunk_size = 1024;  // 4 chunks, no retries.
@@ -408,10 +400,9 @@ TEST(ConcurrentChunkTest, PagedEvictionUnderConcurrentReaders) {
   PagedBlobStore store(std::move(*device));
   store.set_page_cache_capacity(4);  // Far fewer than the blob's pages.
 
-  auto id = store.Create();
-  ASSERT_TRUE(id.ok());
   Bytes data = Pattern(30'000, 11);
-  ASSERT_TRUE(store.Append(*id, data).ok());
+  auto id = store.PushAll(data);
+  ASSERT_TRUE(id.ok());
 
   constexpr int kReaders = 4;
   std::vector<std::thread> threads;
@@ -448,12 +439,11 @@ TEST(ConcurrentChunkTest, PagedEvictionUnderConcurrentReaders) {
   EXPECT_GT(stats.misses, 0u);
 }
 
-TEST(PageCacheTest, HitsAndWriteInvalidation) {
+TEST(PageCacheTest, HitsAndReuseInvalidation) {
   PagedBlobStore store(std::make_unique<MemoryPageDevice>(64));
   store.set_page_cache_capacity(64);
-  auto id = store.Create();
+  auto id = store.PushAll(Pattern(500, 1));
   ASSERT_TRUE(id.ok());
-  ASSERT_TRUE(store.Append(*id, Pattern(500, 1)).ok());
 
   ASSERT_TRUE(store.Read(*id, ByteRange{0, 500}).ok());
   uint64_t misses_after_first = store.page_cache_stats().misses;
@@ -462,19 +452,18 @@ TEST(PageCacheTest, HitsAndWriteInvalidation) {
   EXPECT_EQ(stats.misses, misses_after_first);  // Second pass all hits.
   EXPECT_GT(stats.hits, 0u);
 
-  // Appending rewrites the partial tail page; the cached copy must not
-  // serve stale bytes.
-  Bytes more = Pattern(300, 2);
-  ASSERT_TRUE(store.Append(*id, more).ok());
-  auto all = store.ReadAll(*id);
+  // Deleting and re-pushing reuses the freed pages; the cached copies
+  // must not serve the deleted BLOB's bytes.
+  ASSERT_TRUE(store.Delete(*id).ok());
+  auto fresh = store.PushAll(Pattern(500, 2));
+  ASSERT_TRUE(fresh.ok());
+  auto all = store.ReadAll(*fresh);
   ASSERT_TRUE(all.ok());
-  Bytes expected = Pattern(500, 1);
-  expected.insert(expected.end(), more.begin(), more.end());
-  EXPECT_EQ(*all, expected);
+  EXPECT_EQ(*all, Pattern(500, 2));
 
   store.set_page_cache_capacity(0);  // Disable and drop.
   EXPECT_EQ(store.page_cache_stats().resident_pages, 0u);
-  EXPECT_TRUE(store.Read(*id, ByteRange{0, 100}).ok());
+  EXPECT_TRUE(store.Read(*fresh, ByteRange{0, 100}).ok());
 }
 
 // ---------------------------------------------------------------------------
@@ -490,10 +479,9 @@ TEST(PageCacheFaultTest, FaultedRefillLeavesNothingResident) {
   PagedBlobStore store(std::move(device));
   store.set_page_cache_capacity(16);
 
-  auto id = store.Create();
-  ASSERT_TRUE(id.ok());
   Bytes data = Pattern(300, 3);  // ~6 pages of 56-byte payloads.
-  ASSERT_TRUE(store.Append(*id, data).ok());
+  auto id = store.PushAll(data);
+  ASSERT_TRUE(id.ok());
 
   // Fail the second page's refill: page 0 caches legitimately, page 1
   // faults mid-read. The failed refill must not leave any entry for
@@ -531,9 +519,8 @@ TEST(PageCacheFaultTest, DeletePurgesResidentPages) {
   PagedBlobStore store(std::make_unique<MemoryPageDevice>(64));
   store.set_page_cache_capacity(32);
 
-  auto id = store.Create();
+  auto id = store.PushAll(Pattern(400, 5));
   ASSERT_TRUE(id.ok());
-  ASSERT_TRUE(store.Append(*id, Pattern(400, 5)).ok());
   ASSERT_TRUE(store.Read(*id, ByteRange{0, 400}).ok());
   ASSERT_GT(store.page_cache_stats().resident_pages, 0u);
 
@@ -544,10 +531,9 @@ TEST(PageCacheFaultTest, DeletePurgesResidentPages) {
 
   // The freed pages are reused by the next BLOB; reads see the new
   // bytes, never the deleted BLOB's cached payloads.
-  auto next = store.Create();
-  ASSERT_TRUE(next.ok());
   Bytes fresh = Pattern(400, 9);
-  ASSERT_TRUE(store.Append(*next, fresh).ok());
+  auto next = store.PushAll(fresh);
+  ASSERT_TRUE(next.ok());
   auto read = store.Read(*next, ByteRange{0, 400});
   ASSERT_TRUE(read.ok());
   EXPECT_TRUE(std::equal(read->begin(), read->end(), fresh.begin()));
@@ -557,15 +543,20 @@ TEST(PageCacheFaultTest, DefragmentPurgesOldPagesFromCache) {
   PagedBlobStore store(std::make_unique<MemoryPageDevice>(64));
   store.set_page_cache_capacity(64);
 
-  // Interleave two BLOBs so the survivor is fragmented.
-  auto a = store.Create();
-  auto b = store.Create();
+  // Interleave two in-flight pushes so the survivor is fragmented.
+  auto push_a = store.StartPush();
+  auto push_b = store.StartPush();
+  ASSERT_TRUE(push_a.ok());
+  ASSERT_TRUE(push_b.ok());
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE((*push_a)->Push(Pattern(56, static_cast<uint8_t>(i))).ok());
+    ASSERT_TRUE(
+        (*push_b)->Push(Pattern(56, static_cast<uint8_t>(100 + i))).ok());
+  }
+  auto a = (*push_a)->Finish();
+  auto b = (*push_b)->Finish();
   ASSERT_TRUE(a.ok());
   ASSERT_TRUE(b.ok());
-  for (int i = 0; i < 6; ++i) {
-    ASSERT_TRUE(store.Append(*a, Pattern(56, static_cast<uint8_t>(i))).ok());
-    ASSERT_TRUE(store.Append(*b, Pattern(56, static_cast<uint8_t>(100 + i))).ok());
-  }
   ASSERT_TRUE(store.Delete(*b).ok());
   auto frag = store.Fragmentation(*a);
   ASSERT_TRUE(frag.ok());
@@ -594,26 +585,26 @@ TEST(PageCacheFaultTest, DefragmentPurgesOldPagesFromCache) {
   EXPECT_EQ(*frag, 0.0);
 }
 
-TEST(PageCacheFaultTest, FaultedAppendDoesNotLeakPages) {
+TEST(PageCacheFaultTest, FaultedPushDoesNotLeakPages) {
   FaultConfig config;
   config.append_fault_rate = 1.0;  // Every WritePage faults.
   auto faulty = std::make_unique<FaultInjectingPageDevice>(
       std::make_unique<MemoryPageDevice>(64), config);
   PagedBlobStore store(std::move(faulty));
 
-  auto id = store.Create();
-  ASSERT_TRUE(id.ok());
-  Status append = store.Append(*id, Pattern(200));
-  ASSERT_FALSE(append.ok());
-  auto size = store.Size(*id);
-  ASSERT_TRUE(size.ok());
-  EXPECT_EQ(*size, 0u);
+  auto push = store.StartPush();
+  ASSERT_TRUE(push.ok());
+  ASSERT_FALSE((*push)->Push(Pattern(200)).ok());
+  ASSERT_TRUE((*push)->Abort().ok());
+  EXPECT_TRUE(store.List().empty());  // Nothing published.
 
-  // The faulted append must not strand its freshly acquired page: the
-  // page returns to the free list, so repeating the faulting append
+  // The faulted push must not strand its freshly acquired page: the
+  // page returns to the free list, so repeating the faulting push
   // never grows the device further (physical_bytes stays flat).
   uint64_t physical_after_fault = store.Stats().physical_bytes;
-  ASSERT_FALSE(store.Append(*id, Pattern(200)).ok());
+  auto again = store.StartPush();
+  ASSERT_TRUE(again.ok());
+  ASSERT_FALSE((*again)->Push(Pattern(200)).ok());
   EXPECT_EQ(store.Stats().physical_bytes, physical_after_fault);
 }
 
@@ -623,9 +614,8 @@ TEST(PageCacheFaultTest, FaultedAppendDoesNotLeakPages) {
 
 Interpretation ContiguousInterp(BlobStore* store, int elements,
                                 size_t element_bytes, BlobId* blob_out) {
-  auto id = store->Create();
-  EXPECT_TRUE(id.ok());
-  Interpretation interp(*id);
+  auto push = store->StartPush();
+  EXPECT_TRUE(push.ok());
   InterpretedObject object;
   object.name = "v";
   object.descriptor.type_name = "application/test";
@@ -633,10 +623,13 @@ Interpretation ContiguousInterp(BlobStore* store, int elements,
   object.time_system = TimeSystem(25);
   for (int i = 0; i < elements; ++i) {
     Bytes data = Pattern(element_bytes, static_cast<uint8_t>(i));
-    EXPECT_TRUE(store->Append(*id, data).ok());
+    EXPECT_TRUE((*push)->Push(data).ok());
     object.elements.push_back(
         {i, i, 1, ByteRange{i * element_bytes, element_bytes}, {}});
   }
+  auto id = (*push)->Finish();
+  EXPECT_TRUE(id.ok());
+  Interpretation interp(*id);
   EXPECT_TRUE(interp.AddObject(std::move(object)).ok());
   if (blob_out != nullptr) *blob_out = *id;
   return interp;
@@ -670,12 +663,14 @@ TEST(StreamingFaultTest, OutOfOrderPlacementsStream) {
   // Key-first layout: element 0's bytes live at the END of the BLOB
   // (paper §4.2's out-of-order placement freedom).
   MemoryBlobStore store;
-  auto id = store.Create();
-  ASSERT_TRUE(id.ok());
   Bytes body = Pattern(9000, 5);
   Bytes key = Pattern(1000, 6);
-  ASSERT_TRUE(store.Append(*id, body).ok());
-  ASSERT_TRUE(store.Append(*id, key).ok());
+  auto push = store.StartPush();
+  ASSERT_TRUE(push.ok());
+  ASSERT_TRUE((*push)->Push(body).ok());
+  ASSERT_TRUE((*push)->Push(key).ok());
+  auto id = (*push)->Finish();
+  ASSERT_TRUE(id.ok());
 
   Interpretation interp(*id);
   InterpretedObject object;

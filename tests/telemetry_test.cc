@@ -21,6 +21,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/client.h"
+#include "serve/framing.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
 #include "serve/transport.h"
@@ -519,22 +520,41 @@ TEST(QosMetricsTest, DeadlineMissCounted) {
 
 TEST(FlightDumpTest, EvictedSessionLeavesDumpNamingCause) {
   auto db = BuildTelemetryDb();
-  MediaServer server(db.get());
+  ServeConfig config;
+  config.stall_timeout = std::chrono::milliseconds(100);
+  MediaServer server(db.get(), config);
   LoopbackOptions options;
   options.buffer_bytes = 128;  // Smaller than one element payload.
-  options.send_timeout = std::chrono::milliseconds(40);
   auto [client_end, server_end] = CreateLoopbackPair(options);
   ASSERT_TRUE(server.Serve(std::move(server_end)).ok());
-  MediaClient client(std::move(client_end));
-  ASSERT_TRUE(client.Open("clip").ok());
+
+  // Speak raw v1 frames so the transport is never drained by a client
+  // pump thread — the point is to wedge the server's writes.
+  constexpr uint64_t kTraceId = 0xFEEDFACEu;
+  Request open;
+  open.type = RequestType::kOpen;
+  open.object_name = "clip";
+  open.trace.trace_id = kTraceId;
+  open.trace.parent_span_id = 1;
+  ASSERT_TRUE(WriteFrame(*client_end, EncodeRequest(open)).ok());
+  auto open_body = ReadFrame(*client_end, kMaxFrameBytes);
+  ASSERT_TRUE(open_body.ok());
+  auto open_frame = DecodeFrameBody(*open_body);
+  ASSERT_TRUE(open_frame.ok());
+  auto opened = DecodeResponse(open_frame->payload);
+  ASSERT_TRUE(opened.ok());
+  ASSERT_TRUE(opened->status.ok()) << opened->status.message();
 
   // Request a batch far larger than the transport buffer and never
-  // drain it: the send times out and the session is evicted.
+  // drain it: the server's writes stall past the timeout and the
+  // session is evicted.
   Request request;
   request.type = RequestType::kRead;
-  request.session_id = client.session_id();
+  request.session_id = opened->open.session_id;
   request.max_elements = 16;
-  ASSERT_TRUE(WriteFrame(*client.transport(), EncodeRequest(request)).ok());
+  request.trace.trace_id = kTraceId;
+  request.trace.parent_span_id = 2;
+  ASSERT_TRUE(WriteFrame(*client_end, EncodeRequest(request)).ok());
 
   auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
   while (server.stats().sessions_evicted == 0 &&
@@ -552,9 +572,11 @@ TEST(FlightDumpTest, EvictedSessionLeavesDumpNamingCause) {
 
   std::vector<std::string> dumps = server.flight_dumps();
   ASSERT_EQ(dumps.size(), 1u);
-  // The dump names the session, the eviction cause, and the trace.
-  EXPECT_NE(dumps[0].find("session 1 object=clip state=EVICTED"),
-            std::string::npos)
+  // The dump names the session, its connection and stream, the
+  // eviction cause, and the trace.
+  EXPECT_NE(
+      dumps[0].find("session 1 conn=1 stream=0 object=clip state=EVICTED"),
+      std::string::npos)
       << dumps[0];
   EXPECT_NE(dumps[0].find("send stalled past timeout (slow client)"),
             std::string::npos);
@@ -562,7 +584,7 @@ TEST(FlightDumpTest, EvictedSessionLeavesDumpNamingCause) {
   EXPECT_NE(dumps[0].find("ADMIT"), std::string::npos);
   char trace_hex[32];
   std::snprintf(trace_hex, sizeof(trace_hex), "trace=0x%llx",
-                (unsigned long long)client.trace_id());
+                (unsigned long long)kTraceId);
   EXPECT_NE(dumps[0].find(trace_hex), std::string::npos) << dumps[0];
 }
 

@@ -62,6 +62,26 @@ for file in "$root"/src/*/*.h; do
   fi
 done
 
+# Event-loop discipline: the server core runs entirely on the reactor
+# and must never park a thread in the blocking transport helpers —
+# those exist for clients, tools, and tests. A blocking call slipped
+# into the serve core stalls every connection on that loop. The client
+# pump (connection.cc) and the helpers' own definitions (transport.*)
+# are the only legitimate users inside src/serve/.
+for file in "$root"/src/serve/server.cc "$root"/src/serve/reactor.cc \
+            "$root"/src/serve/session.cc; do
+  [ -e "$file" ] || continue
+  bad=$(grep -nE \
+        '(BlockingSend|BlockingRecv|WaitReadable|WaitWritable|ReadFrame|WriteFrame)[[:space:]]*\(' \
+        "$file" || true)
+  if [ -n "$bad" ]; then
+    echo "ERROR: $file calls a blocking transport helper:" >&2
+    echo "$bad" >&2
+    echo "  (the server core is non-blocking; use the Reactor)" >&2
+    fail=1
+  fi
+done
+
 if [ "$fail" -ne 0 ]; then
   echo "" >&2
   echo "Application code must include only \"tbm.h\"; library code" >&2
@@ -70,4 +90,5 @@ if [ "$fail" -ne 0 ]; then
   exit 1
 fi
 echo "include lint OK: examples/ and tools/ use only \"tbm.h\";" \
-     "src/ modules never do; umbrella covers all public headers"
+     "src/ modules never do; umbrella covers all public headers;" \
+     "serve core stays non-blocking"

@@ -323,12 +323,13 @@ int CmdEval(MediaDatabase* db, const std::string& name, int threads,
   return 0;
 }
 
-// Streams every requested media object through the serve layer over
-// in-process loopback transports — a self-contained demonstration of
-// admission, degradation, and the wire protocol against a real
-// database directory. With `trace_out` non-empty, the run happens
-// under the span tracer and the merged client+server timeline is
-// written as Chrome trace_event JSON (each session is one trace id).
+// Streams every requested media object through the serve layer as
+// multiplexed streams over in-process loopback connections — a
+// self-contained demonstration of admission, degradation, and the v2
+// wire protocol against a real database directory. With `trace_out`
+// non-empty, the run happens under the span tracer and the merged
+// client+server timeline is written as Chrome trace_event JSON (each
+// connection is one trace id; its streams are spans within it).
 int CmdServe(MediaDatabase* db, int sessions, const std::string& object_name,
              const std::string& trace_out) {
   if (!trace_out.empty()) obs::Tracer::Global().Clear();
@@ -368,42 +369,60 @@ int CmdServe(MediaDatabase* db, int sessions, const std::string& object_name,
   std::vector<Outcome> outcomes(static_cast<size_t>(sessions));
   std::vector<std::thread> threads;
   threads.reserve(static_cast<size_t>(sessions));
+
+  // Sessions are multiplexed streams now: one loopback connection
+  // carries up to max_streams_per_connection of them, so open only as
+  // many connections as the session count requires.
+  const int per_connection =
+      static_cast<int>(serve::ServeConfig{}.max_streams_per_connection);
+  const int connection_count =
+      (sessions + per_connection - 1) / per_connection;
+  std::vector<std::unique_ptr<serve::Connection>> connections;
+  std::vector<Status> adoption;
+  for (int c = 0; c < connection_count; ++c) {
+    auto [client_end, server_end] = serve::CreateLoopbackPair();
+    Status adopted = server.Serve(std::move(server_end));
+    adoption.push_back(adopted);
+    connections.push_back(
+        adopted.ok() ? serve::Connect(std::move(client_end)) : nullptr);
+  }
+
   for (int i = 0; i < sessions; ++i) {
     Outcome& outcome = outcomes[static_cast<size_t>(i)];
     outcome.object = names[static_cast<size_t>(i) % names.size()];
-    auto [client_end, server_end] = serve::CreateLoopbackPair();
-    if (Status adopted = server.Serve(std::move(server_end)); !adopted.ok()) {
-      outcome.status = adopted;
+    const size_t slot = static_cast<size_t>(i / per_connection);
+    serve::Connection* connection = connections[slot].get();
+    if (connection == nullptr) {
+      outcome.status = adoption[slot];
       continue;
     }
-    threads.emplace_back([&outcome,
-                          endpoint = std::move(client_end)]() mutable {
-      serve::MediaClient client(std::move(endpoint));
-      auto open = client.Open(outcome.object);
-      if (!open.ok()) {
-        outcome.status = open.status();
+    threads.emplace_back([&outcome, connection] {
+      auto stream = connection->OpenStream(outcome.object);
+      if (!stream.ok()) {
+        outcome.status = stream.status();
         return;
       }
-      outcome.admitted_stride = open->stride;
+      outcome.admitted_stride = (*stream)->info().stride;
       bool end_of_stream = false;
       while (!end_of_stream) {
-        auto batch = client.Read(16);
+        auto batch = (*stream)->Read(16);
         if (!batch.ok()) {
           outcome.status = batch.status();
           return;
         }
         end_of_stream = batch->end_of_stream;
       }
-      auto stats = client.Stats();
+      auto stats = (*stream)->Stats();
       if (!stats.ok()) {
         outcome.status = stats.status();
         return;
       }
       outcome.stats = *stats;
-      (void)client.Close();
+      (void)(*stream)->Close();
     });
   }
   for (std::thread& thread : threads) thread.join();
+  connections.clear();
   server.Stop();
 
   std::printf("%-4s %-24s %-10s %-7s %10s %8s %12s\n", "#", "object", "state",
@@ -445,7 +464,7 @@ int CmdServe(MediaDatabase* db, int sessions, const std::string& object_name,
       return Fail(s);
     }
     std::printf("wrote %zu spans to %s (open in chrome://tracing; each "
-                "session's client+server spans share one trace id)\n",
+                "connection's client+server spans share one trace id)\n",
                 spans.size(), trace_out.c_str());
   }
   return 0;
@@ -515,20 +534,22 @@ int CmdTop(MediaDatabase* db, int sessions, const std::string& object_name,
   for (int i = 0; i < sessions; ++i) {
     const std::string& object = names[static_cast<size_t>(i) % names.size()];
     load.emplace_back([&server, &stop, object] {
-      // Each load thread opens, streams to the end, closes, repeats —
-      // a steady request stream for the scraper to observe.
+      // Each load thread holds one connection and repeatedly opens a
+      // stream, reads it to the end, and closes it — a steady request
+      // stream for the scraper to observe.
+      auto [client_end, server_end] = serve::CreateLoopbackPair();
+      if (!server.Serve(std::move(server_end)).ok()) return;
+      auto connection = serve::Connect(std::move(client_end));
       while (!stop.load(std::memory_order_relaxed)) {
-        auto [client_end, server_end] = serve::CreateLoopbackPair();
-        if (!server.Serve(std::move(server_end)).ok()) return;
-        serve::MediaClient client(std::move(client_end));
-        if (!client.Open(object).ok()) return;
+        auto stream = connection->OpenStream(object);
+        if (!stream.ok()) return;
         bool end_of_stream = false;
         while (!end_of_stream && !stop.load(std::memory_order_relaxed)) {
-          auto batch = client.Read(8);
+          auto batch = (*stream)->Read(8);
           if (!batch.ok()) break;
           end_of_stream = batch->end_of_stream;
         }
-        (void)client.Close();
+        (void)(*stream)->Close();
       }
     });
   }
@@ -539,10 +560,10 @@ int CmdTop(MediaDatabase* db, int sessions, const std::string& object_name,
     if (Status adopted = server.Serve(std::move(server_end)); !adopted.ok()) {
       exit_code = Fail(adopted);
     } else {
-      serve::MediaClient scraper(std::move(client_end));
+      auto scraper = serve::Connect(std::move(client_end));
       for (;;) {
         std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
-        auto telemetry = scraper.Telemetry();
+        auto telemetry = scraper->Telemetry();
         if (!telemetry.ok()) {
           exit_code = Fail(telemetry.status());
           break;
