@@ -1,0 +1,253 @@
+// Derivation-fusion ablation: the acceptance check for the plan
+// compiler (derive/plan.h). A deep chain of per-pixel content ops is
+// evaluated two ways over a 640x480 RGB still:
+//
+//  - node-at-a-time:  EvalOptions{fuse = false}, the pre-compiler
+//                     path — every op materializes (and caches) a full
+//                     intermediate Image;
+//  - fused:           the default path, where the compiler collapses
+//                     the chain into one stage that streams 64 KiB
+//                     tiles through the composed element kernels and
+//                     materializes only the tail.
+//
+// The same comparison runs for an audio chain (gain/fade), and the
+// per-kernel SIMD dispatch (base/simd.h) is measured in isolation as
+// cycles per byte against a plain scalar loop.
+//
+// Outputs are compared byte-for-byte: fusion must be bit-exact, and
+// the fused chain must be at least 2x faster. Prints a JSON object;
+// `-o <file>` also writes it to a file (the committed
+// BENCH_fusion.json at the repo root is one such run).
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "base/simd.h"
+#include "bench/bench_util.h"
+#include "codec/pcm.h"
+#include "codec/synthetic.h"
+#include "derive/graph.h"
+#include "derive/scheduler.h"
+
+#if defined(__x86_64__)
+#include <x86intrin.h>
+#endif
+
+namespace tbm {
+namespace {
+
+using bench::ValueOrDie;
+
+constexpr int kWidth = 640;
+constexpr int kHeight = 480;
+constexpr int kImageChainOps = 8;
+constexpr int64_t kAudioFrames = 1 << 20;  // ~24 s of 44.1 kHz stereo
+constexpr int kAudioChainOps = 6;
+constexpr int kRepetitions = 7;
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+uint64_t Cycles() {
+#if defined(__x86_64__)
+  return __rdtsc();
+#else
+  return static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+#endif
+}
+
+// Alternating invert / threshold chain: every link has an element
+// kernel, so the whole chain compiles into one composed run.
+NodeId BuildImageChain(DerivationGraph* graph) {
+  NodeId node =
+      graph->AddLeaf(MediaValue(videogen::Still(kWidth, kHeight, 11)), "src");
+  for (int i = 0; i < kImageChainOps; ++i) {
+    AttrMap params;
+    if (i % 2 == 0) {
+      params.SetString("kind", "invert");
+    } else {
+      params.SetString("kind", "threshold");
+      params.SetInt("threshold", 90 + 10 * i);
+    }
+    node = ValueOrDie(graph->AddDerived("image filter", {node}, params),
+                      "add image filter");
+  }
+  return node;
+}
+
+NodeId BuildAudioChain(DerivationGraph* graph) {
+  AudioBuffer tone = audiogen::Sine(44100, 2, 440, 0.6,
+                                    static_cast<double>(kAudioFrames) / 44100);
+  NodeId node = graph->AddLeaf(MediaValue(std::move(tone)), "tone");
+  for (int i = 0; i < kAudioChainOps; ++i) {
+    AttrMap params;
+    const char* op = "audio gain";
+    if (i % 3 == 2) {
+      op = "audio fade";
+      params.SetInt("fade in frames", 4096);
+      params.SetInt("fade out frames", 4096);
+    } else {
+      params.SetDouble("gain", i % 2 == 0 ? 0.8 : 1.2);
+    }
+    node = ValueOrDie(graph->AddDerived(op, {node}, params), "add audio op");
+  }
+  return node;
+}
+
+struct ChainResult {
+  double ms = 0.0;
+  ValueRef value;
+  EvalStats stats;
+};
+
+ChainResult MeasureChain(NodeId (*build)(DerivationGraph*), bool fuse) {
+  DerivationGraph graph;
+  NodeId root = build(&graph);
+  EvalOptions options;
+  options.fuse = fuse;
+  DerivationEngine engine(&graph, options);
+  ChainResult result;
+  result.ms = 1e300;
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    engine.InvalidateAll();  // every rep re-derives the whole chain
+    double start = NowMs();
+    result.value = ValueOrDie(engine.Evaluate(root), "evaluate chain");
+    result.ms = std::min(result.ms, NowMs() - start);
+  }
+  result.stats = engine.stats();
+  // The engine's counters are cumulative; report one evaluation's worth.
+  result.stats.fused_nodes /= kRepetitions;
+  result.stats.elided_bytes /= kRepetitions;
+  return result;
+}
+
+bool BitIdentical(const ValueRef& a, const ValueRef& b) {
+  if (const Image* ia = std::get_if<Image>(a.get())) {
+    const Image& ib = std::get<Image>(*b);
+    return ia->width == ib.width && ia->height == ib.height &&
+           ia->model == ib.model && ia->data.size() == ib.data.size() &&
+           std::memcmp(ia->data.data(), ib.data.data(), ib.data.size()) == 0;
+  }
+  const AudioBuffer& aa = std::get<AudioBuffer>(*a);
+  const AudioBuffer& ab = std::get<AudioBuffer>(*b);
+  return aa.sample_rate == ab.sample_rate && aa.channels == ab.channels &&
+         aa.samples.size() == ab.samples.size() &&
+         std::memcmp(aa.samples.data(), ab.samples.data(),
+                     ab.samples.size() * sizeof(int16_t)) == 0;
+}
+
+// Cycles per byte of one pixel kernel, best of kRepetitions.
+template <typename Fn>
+double KernelCyclesPerByte(const Bytes& src, Bytes* dst, Fn&& fn) {
+  double best = 1e300;
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    uint64_t t0 = Cycles();
+    fn(src.data(), dst->data(), src.size());
+    uint64_t t1 = Cycles();
+    best = std::min(best, static_cast<double>(t1 - t0) / src.size());
+  }
+  return best;
+}
+
+int Run(int argc, char** argv) {
+  const char* out_path = nullptr;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "-o") == 0) out_path = argv[i + 1];
+  }
+
+  ChainResult image_unfused = MeasureChain(BuildImageChain, /*fuse=*/false);
+  ChainResult image_fused = MeasureChain(BuildImageChain, /*fuse=*/true);
+  ChainResult audio_unfused = MeasureChain(BuildAudioChain, /*fuse=*/false);
+  ChainResult audio_fused = MeasureChain(BuildAudioChain, /*fuse=*/true);
+
+  bool image_exact = BitIdentical(image_fused.value, image_unfused.value);
+  bool audio_exact = BitIdentical(audio_fused.value, audio_unfused.value);
+  double image_speedup =
+      image_fused.ms > 0 ? image_unfused.ms / image_fused.ms : 0.0;
+  double audio_speedup =
+      audio_fused.ms > 0 ? audio_unfused.ms / audio_fused.ms : 0.0;
+
+  // Isolated pixel-kernel dispatch: SIMD vs a plain scalar loop.
+  Bytes src(static_cast<size_t>(kWidth) * kHeight * 3, 0);
+  for (size_t i = 0; i < src.size(); ++i) src[i] = static_cast<uint8_t>(i);
+  Bytes dst(src.size(), 0);
+  double invert_scalar = KernelCyclesPerByte(
+      src, &dst, [](const uint8_t* in, uint8_t* out, size_t n) {
+        for (size_t i = 0; i < n; ++i) out[i] = static_cast<uint8_t>(~in[i]);
+      });
+  double invert_simd = KernelCyclesPerByte(
+      src, &dst, [](const uint8_t* in, uint8_t* out, size_t n) {
+        simd::InvertBytes(in, out, n);
+      });
+  double threshold_scalar = KernelCyclesPerByte(
+      src, &dst, [](const uint8_t* in, uint8_t* out, size_t n) {
+        for (size_t i = 0; i < n; ++i) out[i] = in[i] >= 128 ? 255 : 0;
+      });
+  double threshold_simd = KernelCyclesPerByte(
+      src, &dst, [](const uint8_t* in, uint8_t* out, size_t n) {
+        simd::ThresholdBytes(in, out, n, 128);
+      });
+
+  char json[2048];
+  std::snprintf(
+      json, sizeof(json),
+      "{\"bench\": \"ablation_fusion\",\n"
+      " \"image_workload\": \"%dx%d RGB, %d-op invert/threshold chain\",\n"
+      " \"image_unfused_ms\": %.3f,\n"
+      " \"image_fused_ms\": %.3f,\n"
+      " \"image_speedup\": %.2f,\n"
+      " \"image_bit_exact\": %s,\n"
+      " \"image_fused_nodes\": %llu,\n"
+      " \"image_elided_bytes\": %llu,\n"
+      " \"audio_workload\": \"%lld frames 44.1kHz stereo, %d-op "
+      "gain/fade chain\",\n"
+      " \"audio_unfused_ms\": %.3f,\n"
+      " \"audio_fused_ms\": %.3f,\n"
+      " \"audio_speedup\": %.2f,\n"
+      " \"audio_bit_exact\": %s,\n"
+      " \"simd_isa\": \"%s\",\n"
+      " \"invert_scalar_cycles_per_byte\": %.3f,\n"
+      " \"invert_simd_cycles_per_byte\": %.3f,\n"
+      " \"threshold_scalar_cycles_per_byte\": %.3f,\n"
+      " \"threshold_simd_cycles_per_byte\": %.3f}\n",
+      kWidth, kHeight, kImageChainOps, image_unfused.ms, image_fused.ms,
+      image_speedup, image_exact ? "true" : "false",
+      (unsigned long long)image_fused.stats.fused_nodes,
+      (unsigned long long)image_fused.stats.elided_bytes,
+      (long long)kAudioFrames, kAudioChainOps, audio_unfused.ms,
+      audio_fused.ms, audio_speedup, audio_exact ? "true" : "false",
+      simd::IsaName(), invert_scalar, invert_simd, threshold_scalar,
+      threshold_simd);
+  std::printf("%s", json);
+
+  if (!image_exact || !audio_exact) {
+    std::fprintf(stderr, "ACCEPTANCE FAILURE: fused output not bit-exact\n");
+    return 1;
+  }
+  if (image_speedup < 2.0) {
+    std::fprintf(stderr, "ACCEPTANCE FAILURE: image speedup %.2fx < 2x\n",
+                 image_speedup);
+    return 1;
+  }
+  if (out_path != nullptr) {
+    std::FILE* f = std::fopen(out_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", out_path);
+      return 1;
+    }
+    std::fputs(json, f);
+    std::fclose(f);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace tbm
+
+int main(int argc, char** argv) { return tbm::Run(argc, argv); }

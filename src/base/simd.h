@@ -1,0 +1,267 @@
+#ifndef TBM_BASE_SIMD_H_
+#define TBM_BASE_SIMD_H_
+
+/// Portable SIMD layer for the pixel/sample kernels that dominate the
+/// codec and derivation hot paths (TJPEG DCT/quantize, RGB↔YUV, image
+/// filters, level shifts).
+///
+/// Kernels are written once against the wrapper types below; the
+/// backend is selected at compile time:
+///
+///   - TBM_SIMD_DISABLED (cmake -DTBM_SIMD_DISABLED=ON)  → scalar
+///   - __SSE2__ / x86-64                                 → SSE2
+///   - __ARM_NEON                                        → NEON
+///   - anything else                                     → scalar
+///
+/// Determinism contract: every operation exposed here is either exact
+/// integer arithmetic or an IEEE-754 single-precision operation
+/// (+, -, *, /, min, max, round-to-nearest-even) applied per lane in a
+/// fixed order, with no FMA contraction (the build sets
+/// -ffp-contract=off). All three backends therefore produce
+/// bit-identical results — the scalar-fallback CI job runs the full
+/// test suite against the same expectations as the vector builds.
+/// Float rounding uses round-to-nearest-even (SSE2 cvtps, NEON vcvtn,
+/// scalar nearbyintf under the default rounding mode).
+
+#if !defined(TBM_SIMD_DISABLED)
+#if defined(__SSE2__) || defined(_M_X64) || \
+    (defined(_M_IX86_FP) && _M_IX86_FP >= 2)
+#define TBM_SIMD_SSE2 1
+#elif defined(__ARM_NEON) || defined(__ARM_NEON__)
+#define TBM_SIMD_NEON 1
+#endif
+#endif
+
+#if defined(TBM_SIMD_SSE2)
+#include <emmintrin.h>
+#elif defined(TBM_SIMD_NEON)
+#include <arm_neon.h>
+#endif
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace tbm::simd {
+
+/// Name of the active backend, for bench and stats output.
+constexpr const char* IsaName() {
+#if defined(TBM_SIMD_SSE2)
+  return "sse2";
+#elif defined(TBM_SIMD_NEON)
+  return "neon";
+#else
+  return "scalar";
+#endif
+}
+
+constexpr bool Enabled() {
+#if defined(TBM_SIMD_SSE2) || defined(TBM_SIMD_NEON)
+  return true;
+#else
+  return false;
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// F32x4: four packed single-precision floats
+
+#if defined(TBM_SIMD_SSE2)
+
+struct F32x4 {
+  __m128 v;
+
+  static F32x4 Zero() { return {_mm_setzero_ps()}; }
+  static F32x4 Splat(float x) { return {_mm_set1_ps(x)}; }
+  static F32x4 Load(const float* p) { return {_mm_loadu_ps(p)}; }
+  static F32x4 FromI32(const int32_t* p) {
+    return {_mm_cvtepi32_ps(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p)))};
+  }
+  void Store(float* p) const { _mm_storeu_ps(p, v); }
+  /// Rounds each lane to the nearest integer (ties to even) and stores
+  /// four int32 lanes.
+  void RoundStoreI32(int32_t* p) const {
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(p), _mm_cvtps_epi32(v));
+  }
+  friend F32x4 operator+(F32x4 a, F32x4 b) { return {_mm_add_ps(a.v, b.v)}; }
+  friend F32x4 operator-(F32x4 a, F32x4 b) { return {_mm_sub_ps(a.v, b.v)}; }
+  friend F32x4 operator*(F32x4 a, F32x4 b) { return {_mm_mul_ps(a.v, b.v)}; }
+  friend F32x4 operator/(F32x4 a, F32x4 b) { return {_mm_div_ps(a.v, b.v)}; }
+  static F32x4 Min(F32x4 a, F32x4 b) { return {_mm_min_ps(a.v, b.v)}; }
+  static F32x4 Max(F32x4 a, F32x4 b) { return {_mm_max_ps(a.v, b.v)}; }
+};
+
+#elif defined(TBM_SIMD_NEON)
+
+struct F32x4 {
+  float32x4_t v;
+
+  static F32x4 Zero() { return {vdupq_n_f32(0.0f)}; }
+  static F32x4 Splat(float x) { return {vdupq_n_f32(x)}; }
+  static F32x4 Load(const float* p) { return {vld1q_f32(p)}; }
+  static F32x4 FromI32(const int32_t* p) {
+    return {vcvtq_f32_s32(vld1q_s32(p))};
+  }
+  void Store(float* p) const { vst1q_f32(p, v); }
+  void RoundStoreI32(int32_t* p) const { vst1q_s32(p, vcvtnq_s32_f32(v)); }
+  friend F32x4 operator+(F32x4 a, F32x4 b) { return {vaddq_f32(a.v, b.v)}; }
+  friend F32x4 operator-(F32x4 a, F32x4 b) { return {vsubq_f32(a.v, b.v)}; }
+  friend F32x4 operator*(F32x4 a, F32x4 b) { return {vmulq_f32(a.v, b.v)}; }
+  friend F32x4 operator/(F32x4 a, F32x4 b) { return {vdivq_f32(a.v, b.v)}; }
+  static F32x4 Min(F32x4 a, F32x4 b) { return {vminq_f32(a.v, b.v)}; }
+  static F32x4 Max(F32x4 a, F32x4 b) { return {vmaxq_f32(a.v, b.v)}; }
+};
+
+#else  // scalar fallback
+
+struct F32x4 {
+  float v[4];
+
+  static F32x4 Zero() { return {{0.0f, 0.0f, 0.0f, 0.0f}}; }
+  static F32x4 Splat(float x) { return {{x, x, x, x}}; }
+  static F32x4 Load(const float* p) { return {{p[0], p[1], p[2], p[3]}}; }
+  static F32x4 FromI32(const int32_t* p) {
+    return {{static_cast<float>(p[0]), static_cast<float>(p[1]),
+             static_cast<float>(p[2]), static_cast<float>(p[3])}};
+  }
+  void Store(float* p) const { std::memcpy(p, v, sizeof(v)); }
+  void RoundStoreI32(int32_t* p) const {
+    for (int i = 0; i < 4; ++i) {
+      p[i] = static_cast<int32_t>(std::nearbyintf(v[i]));
+    }
+  }
+  friend F32x4 operator+(F32x4 a, F32x4 b) {
+    return {{a.v[0] + b.v[0], a.v[1] + b.v[1], a.v[2] + b.v[2],
+             a.v[3] + b.v[3]}};
+  }
+  friend F32x4 operator-(F32x4 a, F32x4 b) {
+    return {{a.v[0] - b.v[0], a.v[1] - b.v[1], a.v[2] - b.v[2],
+             a.v[3] - b.v[3]}};
+  }
+  friend F32x4 operator*(F32x4 a, F32x4 b) {
+    return {{a.v[0] * b.v[0], a.v[1] * b.v[1], a.v[2] * b.v[2],
+             a.v[3] * b.v[3]}};
+  }
+  friend F32x4 operator/(F32x4 a, F32x4 b) {
+    return {{a.v[0] / b.v[0], a.v[1] / b.v[1], a.v[2] / b.v[2],
+             a.v[3] / b.v[3]}};
+  }
+  static F32x4 Min(F32x4 a, F32x4 b) {
+    return {{a.v[0] < b.v[0] ? a.v[0] : b.v[0],
+             a.v[1] < b.v[1] ? a.v[1] : b.v[1],
+             a.v[2] < b.v[2] ? a.v[2] : b.v[2],
+             a.v[3] < b.v[3] ? a.v[3] : b.v[3]}};
+  }
+  static F32x4 Max(F32x4 a, F32x4 b) {
+    return {{a.v[0] > b.v[0] ? a.v[0] : b.v[0],
+             a.v[1] > b.v[1] ? a.v[1] : b.v[1],
+             a.v[2] > b.v[2] ? a.v[2] : b.v[2],
+             a.v[3] > b.v[3] ? a.v[3] : b.v[3]}};
+  }
+};
+
+#endif
+
+// ---------------------------------------------------------------------------
+// Byte-array kernels (exact integer semantics on every backend)
+
+/// out[i] = 255 - in[i]. In-place safe (out may equal in).
+inline void InvertBytes(const uint8_t* in, uint8_t* out, size_t n) {
+  size_t i = 0;
+#if defined(TBM_SIMD_SSE2)
+  const __m128i ones = _mm_set1_epi8(static_cast<char>(0xFF));
+  for (; i + 16 <= n; i += 16) {
+    __m128i b = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i),
+                     _mm_xor_si128(b, ones));
+  }
+#elif defined(TBM_SIMD_NEON)
+  for (; i + 16 <= n; i += 16) {
+    vst1q_u8(out + i, vmvnq_u8(vld1q_u8(in + i)));
+  }
+#endif
+  for (; i < n; ++i) out[i] = static_cast<uint8_t>(255 - in[i]);
+}
+
+/// out[i] = in[i] >= threshold ? 255 : 0. In-place safe.
+inline void ThresholdBytes(const uint8_t* in, uint8_t* out, size_t n,
+                           uint8_t threshold) {
+  size_t i = 0;
+#if defined(TBM_SIMD_SSE2)
+  const __m128i t = _mm_set1_epi8(static_cast<char>(threshold));
+  for (; i + 16 <= n; i += 16) {
+    __m128i b = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + i));
+    // max(b, t) == b  ⇔  b >= t (unsigned); the compare mask is the
+    // output value itself (0xFF / 0x00).
+    __m128i mask = _mm_cmpeq_epi8(_mm_max_epu8(b, t), b);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i), mask);
+  }
+#elif defined(TBM_SIMD_NEON)
+  const uint8x16_t t = vdupq_n_u8(threshold);
+  for (; i + 16 <= n; i += 16) {
+    vst1q_u8(out + i, vcgeq_u8(vld1q_u8(in + i), t));
+  }
+#endif
+  for (; i < n; ++i) out[i] = in[i] >= threshold ? 255 : 0;
+}
+
+/// out[i] = int16(in[i]) - 128 (the TJPEG level shift).
+inline void LevelShiftBytes(const uint8_t* in, int16_t* out, size_t n) {
+  size_t i = 0;
+#if defined(TBM_SIMD_SSE2)
+  const __m128i zero = _mm_setzero_si128();
+  const __m128i bias = _mm_set1_epi16(128);
+  for (; i + 16 <= n; i += 16) {
+    __m128i b = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + i));
+    __m128i lo = _mm_sub_epi16(_mm_unpacklo_epi8(b, zero), bias);
+    __m128i hi = _mm_sub_epi16(_mm_unpackhi_epi8(b, zero), bias);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i), lo);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i + 8), hi);
+  }
+#elif defined(TBM_SIMD_NEON)
+  const int16x8_t bias = vdupq_n_s16(128);
+  for (; i + 16 <= n; i += 16) {
+    uint8x16_t b = vld1q_u8(in + i);
+    vst1q_s16(out + i,
+              vsubq_s16(vreinterpretq_s16_u16(vmovl_u8(vget_low_u8(b))),
+                        bias));
+    vst1q_s16(out + i + 8,
+              vsubq_s16(vreinterpretq_s16_u16(vmovl_u8(vget_high_u8(b))),
+                        bias));
+  }
+#endif
+  for (; i < n; ++i) out[i] = static_cast<int16_t>(in[i]) - 128;
+}
+
+/// out[i] = clamp(in[i] + 128, 0, 255) (the TJPEG level unshift).
+inline void LevelUnshiftBytes(const int16_t* in, uint8_t* out, size_t n) {
+  size_t i = 0;
+#if defined(TBM_SIMD_SSE2)
+  const __m128i bias = _mm_set1_epi16(128);
+  for (; i + 16 <= n; i += 16) {
+    __m128i lo = _mm_add_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + i)), bias);
+    __m128i hi = _mm_add_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + i + 8)), bias);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i),
+                     _mm_packus_epi16(lo, hi));
+  }
+#elif defined(TBM_SIMD_NEON)
+  const int16x8_t bias = vdupq_n_s16(128);
+  for (; i + 16 <= n; i += 16) {
+    uint8x8_t lo = vqmovun_s16(vaddq_s16(vld1q_s16(in + i), bias));
+    uint8x8_t hi = vqmovun_s16(vaddq_s16(vld1q_s16(in + i + 8), bias));
+    vst1q_u8(out + i, vcombine_u8(lo, hi));
+  }
+#endif
+  for (; i < n; ++i) {
+    int v = static_cast<int>(in[i]) + 128;
+    out[i] = static_cast<uint8_t>(v < 0 ? 0 : (v > 255 ? 255 : v));
+  }
+}
+
+}  // namespace tbm::simd
+
+#endif  // TBM_BASE_SIMD_H_

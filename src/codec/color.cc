@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "base/macros.h"
+#include "base/simd.h"
 
 namespace tbm {
 
@@ -13,21 +14,57 @@ uint8_t ClampByte(double v) {
   return static_cast<uint8_t>(std::lround(std::clamp(v, 0.0, 255.0)));
 }
 
-// BT.601 full-range luma/chroma.
-void RgbPixelToYuv(uint8_t r, uint8_t g, uint8_t b, double* y, double* u,
-                   double* v) {
-  *y = 0.299 * r + 0.587 * g + 0.114 * b;
-  *u = -0.168736 * r - 0.331264 * g + 0.5 * b + 128.0;
-  *v = 0.5 * r - 0.418688 * g - 0.081312 * b + 128.0;
+// Scalar companion to the vector clamp+round below: identical
+// semantics (clamp to [0,255], round to nearest even) so per-cell
+// chroma averaging matches the per-pixel vector path's rounding rule.
+uint8_t ClampRoundByteF(float v) {
+  v = std::min(255.0f, std::max(0.0f, v));
+  return static_cast<uint8_t>(std::nearbyintf(v));
 }
 
-void YuvPixelToRgb(double y, double u, double v, uint8_t* r, uint8_t* g,
-                   uint8_t* b) {
-  u -= 128.0;
-  v -= 128.0;
-  *r = ClampByte(y + 1.402 * v);
-  *g = ClampByte(y - 0.344136 * u - 0.714136 * v);
-  *b = ClampByte(y + 1.772 * u);
+// BT.601 full-range luma/chroma for a group of up to four pixels.
+// Interleaved RGB is gathered into float lanes (padding lanes are
+// zero and ignored by the caller); Y is clamped and rounded to
+// nearest-even, U/V are returned unclamped for chroma-cell averaging.
+// All arithmetic runs through simd::F32x4 in a fixed order, so every
+// backend (SSE2/NEON/scalar) produces identical bytes.
+void RgbGroupToYuv(const uint8_t* px, int n, int32_t y_out[4], float u_out[4],
+                   float v_out[4]) {
+  using simd::F32x4;
+  float rf[4] = {0, 0, 0, 0}, gf[4] = {0, 0, 0, 0}, bf[4] = {0, 0, 0, 0};
+  for (int i = 0; i < n; ++i) {
+    rf[i] = px[3 * i + 0];
+    gf[i] = px[3 * i + 1];
+    bf[i] = px[3 * i + 2];
+  }
+  F32x4 r = F32x4::Load(rf), g = F32x4::Load(gf), b = F32x4::Load(bf);
+  F32x4 y = F32x4::Splat(0.299f) * r + F32x4::Splat(0.587f) * g +
+            F32x4::Splat(0.114f) * b;
+  F32x4 u = F32x4::Splat(128.0f) - F32x4::Splat(0.168736f) * r -
+            F32x4::Splat(0.331264f) * g + F32x4::Splat(0.5f) * b;
+  F32x4 v = F32x4::Splat(128.0f) + F32x4::Splat(0.5f) * r -
+            F32x4::Splat(0.418688f) * g - F32x4::Splat(0.081312f) * b;
+  F32x4::Min(F32x4::Splat(255.0f), F32x4::Max(F32x4::Zero(), y))
+      .RoundStoreI32(y_out);
+  u.Store(u_out);
+  v.Store(v_out);
+}
+
+// Inverse transform for a group of up to four pixels; Y/U/V lanes in,
+// clamped rounded RGB int lanes out.
+void YuvGroupToRgb(const float yf[4], const float uf[4], const float vf[4],
+                   int32_t r_out[4], int32_t g_out[4], int32_t b_out[4]) {
+  using simd::F32x4;
+  F32x4 y = F32x4::Load(yf);
+  F32x4 u = F32x4::Load(uf) - F32x4::Splat(128.0f);
+  F32x4 v = F32x4::Load(vf) - F32x4::Splat(128.0f);
+  F32x4 r = y + F32x4::Splat(1.402f) * v;
+  F32x4 g = y - F32x4::Splat(0.344136f) * u - F32x4::Splat(0.714136f) * v;
+  F32x4 b = y + F32x4::Splat(1.772f) * u;
+  const F32x4 lo = F32x4::Zero(), hi = F32x4::Splat(255.0f);
+  F32x4::Min(hi, F32x4::Max(lo, r)).RoundStoreI32(r_out);
+  F32x4::Min(hi, F32x4::Max(lo, g)).RoundStoreI32(g_out);
+  F32x4::Min(hi, F32x4::Max(lo, b)).RoundStoreI32(b_out);
 }
 
 }  // namespace
@@ -52,27 +89,34 @@ Result<Image> RgbToYuv(const Image& rgb, ColorModel target) {
   uint8_t* v_plane = u_plane + static_cast<size_t>(cw) * ch;
 
   // Accumulators for chroma averaging over each subsampling cell.
-  std::vector<double> u_acc(static_cast<size_t>(cw) * ch, 0.0);
-  std::vector<double> v_acc(static_cast<size_t>(cw) * ch, 0.0);
+  std::vector<float> u_acc(static_cast<size_t>(cw) * ch, 0.0f);
+  std::vector<float> v_acc(static_cast<size_t>(cw) * ch, 0.0f);
   std::vector<int> count(static_cast<size_t>(cw) * ch, 0);
   const int x_shift = (target == ColorModel::kYuv444) ? 0 : 1;
   const int y_shift = (target == ColorModel::kYuv420) ? 1 : 0;
 
   for (int32_t row = 0; row < h; ++row) {
-    for (int32_t col = 0; col < w; ++col) {
-      const uint8_t* px = rgb.data.data() + 3 * (static_cast<size_t>(row) * w + col);
-      double y, u, v;
-      RgbPixelToYuv(px[0], px[1], px[2], &y, &u, &v);
-      y_plane[static_cast<size_t>(row) * w + col] = ClampByte(y);
-      size_t ci = static_cast<size_t>(row >> y_shift) * cw + (col >> x_shift);
-      u_acc[ci] += u;
-      v_acc[ci] += v;
-      ++count[ci];
+    for (int32_t col = 0; col < w; col += 4) {
+      const int n = std::min<int32_t>(4, w - col);
+      const uint8_t* px =
+          rgb.data.data() + 3 * (static_cast<size_t>(row) * w + col);
+      int32_t y4[4];
+      float u4[4], v4[4];
+      RgbGroupToYuv(px, n, y4, u4, v4);
+      for (int i = 0; i < n; ++i) {
+        y_plane[static_cast<size_t>(row) * w + col + i] =
+            static_cast<uint8_t>(y4[i]);
+        size_t ci =
+            static_cast<size_t>(row >> y_shift) * cw + ((col + i) >> x_shift);
+        u_acc[ci] += u4[i];
+        v_acc[ci] += v4[i];
+        ++count[ci];
+      }
     }
   }
   for (size_t i = 0; i < u_acc.size(); ++i) {
-    u_plane[i] = ClampByte(u_acc[i] / count[i]);
-    v_plane[i] = ClampByte(v_acc[i] / count[i]);
+    u_plane[i] = ClampRoundByteF(u_acc[i] / static_cast<float>(count[i]));
+    v_plane[i] = ClampRoundByteF(v_acc[i] / static_cast<float>(count[i]));
   }
   out.data = std::move(pixels_out);
   return out;
@@ -97,15 +141,48 @@ Result<Image> YuvToRgb(const Image& yuv) {
   Image out = Image::Zero(w, h, ColorModel::kRgb24);
   Bytes pixels_out(out.data.size(), 0);
   for (int32_t row = 0; row < h; ++row) {
-    for (int32_t col = 0; col < w; ++col) {
-      size_t ci = static_cast<size_t>(row >> y_shift) * cw + (col >> x_shift);
-      uint8_t* px = pixels_out.data() + 3 * (static_cast<size_t>(row) * w + col);
-      YuvPixelToRgb(y_plane[static_cast<size_t>(row) * w + col], u_plane[ci],
-                    v_plane[ci], &px[0], &px[1], &px[2]);
+    for (int32_t col = 0; col < w; col += 4) {
+      const int n = std::min<int32_t>(4, w - col);
+      float y4[4] = {0, 0, 0, 0}, u4[4] = {0, 0, 0, 0}, v4[4] = {0, 0, 0, 0};
+      for (int i = 0; i < n; ++i) {
+        size_t ci = static_cast<size_t>(row >> y_shift) * cw +
+                    ((col + i) >> x_shift);
+        y4[i] = y_plane[static_cast<size_t>(row) * w + col + i];
+        u4[i] = u_plane[ci];
+        v4[i] = v_plane[ci];
+      }
+      int32_t r4[4], g4[4], b4[4];
+      YuvGroupToRgb(y4, u4, v4, r4, g4, b4);
+      for (int i = 0; i < n; ++i) {
+        uint8_t* px =
+            pixels_out.data() + 3 * (static_cast<size_t>(row) * w + col + i);
+        px[0] = static_cast<uint8_t>(r4[i]);
+        px[1] = static_cast<uint8_t>(g4[i]);
+        px[2] = static_cast<uint8_t>(b4[i]);
+      }
     }
   }
   out.data = std::move(pixels_out);
   return out;
+}
+
+void RgbToCmykPixels(const uint8_t* rgb, uint8_t* cmyk, size_t n,
+                     const SeparationParams& params) {
+  for (size_t i = 0; i < n; ++i) {
+    double c = 1.0 - rgb[3 * i + 0] / 255.0;
+    double m = 1.0 - rgb[3 * i + 1] / 255.0;
+    double y = 1.0 - rgb[3 * i + 2] / 255.0;
+    double gray = std::min({c, m, y});
+    double k = params.black_generation * gray;
+    double removal = params.under_color_removal * k;
+    c -= removal;
+    m -= removal;
+    y -= removal;
+    cmyk[4 * i + 0] = ClampByte(c * 255.0);
+    cmyk[4 * i + 1] = ClampByte(m * 255.0);
+    cmyk[4 * i + 2] = ClampByte(y * 255.0);
+    cmyk[4 * i + 3] = ClampByte(k * 255.0);
+  }
 }
 
 Result<Image> RgbToCmyk(const Image& rgb, const SeparationParams& params) {
@@ -119,22 +196,8 @@ Result<Image> RgbToCmyk(const Image& rgb, const SeparationParams& params) {
   }
   Image out = Image::Zero(rgb.width, rgb.height, ColorModel::kCmyk32);
   Bytes pixels_out(out.data.size(), 0);
-  const size_t pixels = rgb.PixelCount();
-  for (size_t i = 0; i < pixels; ++i) {
-    double c = 1.0 - rgb.data[3 * i + 0] / 255.0;
-    double m = 1.0 - rgb.data[3 * i + 1] / 255.0;
-    double y = 1.0 - rgb.data[3 * i + 2] / 255.0;
-    double gray = std::min({c, m, y});
-    double k = params.black_generation * gray;
-    double removal = params.under_color_removal * k;
-    c -= removal;
-    m -= removal;
-    y -= removal;
-    pixels_out[4 * i + 0] = ClampByte(c * 255.0);
-    pixels_out[4 * i + 1] = ClampByte(m * 255.0);
-    pixels_out[4 * i + 2] = ClampByte(y * 255.0);
-    pixels_out[4 * i + 3] = ClampByte(k * 255.0);
-  }
+  RgbToCmykPixels(rgb.data.data(), pixels_out.data(), rgb.PixelCount(),
+                  params);
   out.data = std::move(pixels_out);
   return out;
 }

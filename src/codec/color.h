@@ -33,6 +33,14 @@ struct SeparationParams {
 /// "color separation", category: change of content).
 Result<Image> RgbToCmyk(const Image& rgb, const SeparationParams& params);
 
+/// Raw per-pixel kernel behind RgbToCmyk: converts `n` interleaved RGB
+/// pixels into `n` interleaved CMYK pixels. Exposed so the derivation
+/// plan compiler can run the separation inside a fused element loop
+/// without materializing an intermediate Image. `params` must already
+/// be validated to [0,1].
+void RgbToCmykPixels(const uint8_t* rgb, uint8_t* cmyk, size_t n,
+                     const SeparationParams& params);
+
 /// CMYK → RGB (for round-trip verification of separations).
 Result<Image> CmykToRgb(const Image& cmyk);
 

@@ -3,14 +3,19 @@
 #include <algorithm>
 #include <cmath>
 
+#include "base/simd.h"
+
 namespace tbm {
 
 namespace {
 
 // Precomputed cosine basis: kCos[u][x] = c(u) * cos((2x+1)uπ/16) where
-// c(0) = sqrt(1/8), c(u>0) = sqrt(2/8).
+// c(0) = sqrt(1/8), c(u>0) = sqrt(2/8). cos_t is the transpose
+// (cos_t[x][u] = cos_table[u][x]) so the vector passes can load four
+// consecutive outputs' coefficients at once.
 struct Basis {
   float cos_table[8][8];
+  float cos_t[8][8];
   Basis() {
     for (int u = 0; u < 8; ++u) {
       float c = (u == 0) ? std::sqrt(1.0f / 8.0f) : std::sqrt(2.0f / 8.0f);
@@ -19,6 +24,9 @@ struct Basis {
             c * std::cos((2.0f * x + 1.0f) * u * static_cast<float>(M_PI) /
                          16.0f);
       }
+    }
+    for (int u = 0; u < 8; ++u) {
+      for (int x = 0; x < 8; ++x) cos_t[x][u] = cos_table[u][x];
     }
   }
 };
@@ -30,44 +38,61 @@ const Basis& GetBasis() {
 
 }  // namespace
 
+// Both passes accumulate four outputs per vector register while keeping
+// the exact per-output summation order of the scalar reference (operands
+// added in ascending index order, no FMA), so vector and scalar builds
+// are bit-identical.
+
 void ForwardDct8x8(const float in[64], float out[64]) {
-  const auto& b = GetBasis().cos_table;
+  using simd::F32x4;
+  const auto& basis = GetBasis();
+  const auto& b = basis.cos_table;
+  const auto& bt = basis.cos_t;
   float tmp[64];
-  // Rows.
+  // Rows: tmp[y*8+u] = Σ_x in[y*8+x] * b[u][x], four u at a time.
   for (int y = 0; y < 8; ++y) {
-    for (int u = 0; u < 8; ++u) {
-      float acc = 0.0f;
-      for (int x = 0; x < 8; ++x) acc += in[y * 8 + x] * b[u][x];
-      tmp[y * 8 + u] = acc;
+    for (int u0 = 0; u0 < 8; u0 += 4) {
+      F32x4 acc = F32x4::Zero();
+      for (int x = 0; x < 8; ++x) {
+        acc = acc + F32x4::Splat(in[y * 8 + x]) * F32x4::Load(&bt[x][u0]);
+      }
+      acc.Store(&tmp[y * 8 + u0]);
     }
   }
-  // Columns.
-  for (int u = 0; u < 8; ++u) {
-    for (int v = 0; v < 8; ++v) {
-      float acc = 0.0f;
-      for (int y = 0; y < 8; ++y) acc += tmp[y * 8 + u] * b[v][y];
-      out[v * 8 + u] = acc;
+  // Columns: out[v*8+u] = Σ_y tmp[y*8+u] * b[v][y], four u at a time.
+  for (int v = 0; v < 8; ++v) {
+    for (int u0 = 0; u0 < 8; u0 += 4) {
+      F32x4 acc = F32x4::Zero();
+      for (int y = 0; y < 8; ++y) {
+        acc = acc + F32x4::Load(&tmp[y * 8 + u0]) * F32x4::Splat(b[v][y]);
+      }
+      acc.Store(&out[v * 8 + u0]);
     }
   }
 }
 
 void InverseDct8x8(const float in[64], float out[64]) {
+  using simd::F32x4;
   const auto& b = GetBasis().cos_table;
   float tmp[64];
-  // Columns.
-  for (int u = 0; u < 8; ++u) {
-    for (int y = 0; y < 8; ++y) {
-      float acc = 0.0f;
-      for (int v = 0; v < 8; ++v) acc += in[v * 8 + u] * b[v][y];
-      tmp[y * 8 + u] = acc;
+  // Columns: tmp[y*8+u] = Σ_v in[v*8+u] * b[v][y], four u at a time.
+  for (int y = 0; y < 8; ++y) {
+    for (int u0 = 0; u0 < 8; u0 += 4) {
+      F32x4 acc = F32x4::Zero();
+      for (int v = 0; v < 8; ++v) {
+        acc = acc + F32x4::Load(&in[v * 8 + u0]) * F32x4::Splat(b[v][y]);
+      }
+      acc.Store(&tmp[y * 8 + u0]);
     }
   }
-  // Rows.
+  // Rows: out[y*8+x] = Σ_u tmp[y*8+u] * b[u][x], four x at a time.
   for (int y = 0; y < 8; ++y) {
-    for (int x = 0; x < 8; ++x) {
-      float acc = 0.0f;
-      for (int u = 0; u < 8; ++u) acc += tmp[y * 8 + u] * b[u][x];
-      out[y * 8 + x] = acc;
+    for (int x0 = 0; x0 < 8; x0 += 4) {
+      F32x4 acc = F32x4::Zero();
+      for (int u = 0; u < 8; ++u) {
+        acc = acc + F32x4::Splat(tmp[y * 8 + u]) * F32x4::Load(&b[u][x0]);
+      }
+      acc.Store(&out[y * 8 + x0]);
     }
   }
 }

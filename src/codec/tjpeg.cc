@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "base/macros.h"
+#include "base/simd.h"
 #include "codec/codec_metrics.h"
 #include "codec/color.h"
 #include "obs/trace.h"
@@ -44,14 +45,19 @@ void StoreBlock(const float in[64], int32_t w, int32_t h, int32_t bx,
 void EncodePlane(const int16_t* plane, int32_t w, int32_t h,
                  const std::array<uint16_t, 64>& quant, BinaryWriter* writer) {
   float block[64], coeffs[64];
+  float qf[64];
+  for (int i = 0; i < 64; ++i) qf[i] = static_cast<float>(quant[i]);
   int32_t prev_dc = 0;
   for (int32_t by = 0; by < h; by += 8) {
     for (int32_t bx = 0; bx < w; bx += 8) {
       ExtractBlock(plane, w, h, bx, by, block);
       ForwardDct8x8(block, coeffs);
+      // Quantize four coefficients per step; rounds to nearest even on
+      // every backend.
       int32_t q[64];
-      for (int i = 0; i < 64; ++i) {
-        q[i] = static_cast<int32_t>(std::lround(coeffs[i] / quant[i]));
+      for (int i = 0; i < 64; i += 4) {
+        (simd::F32x4::Load(&coeffs[i]) / simd::F32x4::Load(&qf[i]))
+            .RoundStoreI32(&q[i]);
       }
       // DC: delta from previous block.
       writer->WriteVarI64(q[0] - prev_dc);
@@ -76,6 +82,8 @@ void EncodePlane(const int16_t* plane, int32_t w, int32_t h,
 Status DecodePlane(BinaryReader* reader, int32_t w, int32_t h,
                    const std::array<uint16_t, 64>& quant, int16_t* plane) {
   float coeffs[64], block[64];
+  float qf[64];
+  for (int i = 0; i < 64; ++i) qf[i] = static_cast<float>(quant[i]);
   int32_t prev_dc = 0;
   for (int32_t by = 0; by < h; by += 8) {
     for (int32_t bx = 0; bx < w; bx += 8) {
@@ -100,8 +108,9 @@ Status DecodePlane(BinaryReader* reader, int32_t w, int32_t h,
           return Status::Corruption("TJPEG: missing end-of-block");
         }
       }
-      for (int i = 0; i < 64; ++i) {
-        coeffs[i] = static_cast<float>(q[i]) * quant[i];
+      for (int i = 0; i < 64; i += 4) {
+        (simd::F32x4::FromI32(&q[i]) * simd::F32x4::Load(&qf[i]))
+            .Store(&coeffs[i]);
       }
       InverseDct8x8(coeffs, block);
       StoreBlock(block, w, h, bx, by, plane);
@@ -118,17 +127,12 @@ constexpr uint32_t kTjpegMagic = 0x4745'504Au;  // "JPEG" reversed-ish tag.
 
 std::vector<int16_t> LevelShift(const uint8_t* plane, size_t n) {
   std::vector<int16_t> out(n);
-  for (size_t i = 0; i < n; ++i) {
-    out[i] = static_cast<int16_t>(plane[i]) - 128;
-  }
+  simd::LevelShiftBytes(plane, out.data(), n);
   return out;
 }
 
 void LevelUnshift(const std::vector<int16_t>& plane, uint8_t* out) {
-  for (size_t i = 0; i < plane.size(); ++i) {
-    out[i] = static_cast<uint8_t>(
-        std::clamp<int>(plane[i] + 128, 0, 255));
-  }
+  simd::LevelUnshiftBytes(plane.data(), out, plane.size());
 }
 
 }  // namespace

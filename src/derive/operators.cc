@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "base/macros.h"
+#include "base/simd.h"
 #include "codec/color.h"
 #include "codec/tjpeg.h"
 #include "midi/synth.h"
@@ -19,6 +21,41 @@ std::string_view DerivationCategoryToString(DerivationCategory category) {
     case DerivationCategory::kType: return "change of type";
   }
   return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// Element shapes
+
+size_t ElementShape::PayloadBytes() const {
+  switch (kind) {
+    case MediaKind::kImage:
+      return static_cast<size_t>(Image::ExpectedBytes(width, height, model));
+    case MediaKind::kAudio:
+      return static_cast<size_t>(frames) * channels * sizeof(int16_t);
+    default:
+      return 0;
+  }
+}
+
+Result<ElementShape> ShapeOfValue(const MediaValue& value) {
+  ElementShape shape;
+  if (const Image* image = std::get_if<Image>(&value)) {
+    TBM_RETURN_IF_ERROR(image->Validate());
+    shape.kind = MediaKind::kImage;
+    shape.width = image->width;
+    shape.height = image->height;
+    shape.model = image->model;
+    return shape;
+  }
+  if (const AudioBuffer* audio = std::get_if<AudioBuffer>(&value)) {
+    TBM_RETURN_IF_ERROR(audio->Validate());
+    shape.kind = MediaKind::kAudio;
+    shape.sample_rate = audio->sample_rate;
+    shape.channels = audio->channels;
+    shape.frames = audio->FrameCount();
+    return shape;
+  }
+  return Status::Unsupported("value kind has no element shape");
 }
 
 namespace {
@@ -41,31 +78,133 @@ Result<const T*> ArgAs(const std::vector<const MediaValue*>& args, size_t i,
   return value;
 }
 
+// Mutable access for stage functions, which receive the single argument
+// by value. Mirrors the ArgAs error text.
+template <typename T>
+Result<T*> StageAs(MediaValue* value, const char* what) {
+  T* typed = std::get_if<T>(value);
+  if (typed == nullptr) {
+    return Status::InvalidArgument(std::string(what) +
+                                   ": argument 0 has wrong kind");
+  }
+  return typed;
+}
+
+// Canonical parameter keys contain spaces ("target peak"); the
+// underscore alias ("target_peak") is accepted everywhere. The
+// canonical spelling wins when both are present.
+std::string UnderscoreAlias(std::string_view name) {
+  std::string alias(name);
+  for (char& c : alias) {
+    if (c == ' ') c = '_';
+  }
+  return alias;
+}
+
 int64_t ParamInt(const AttrMap& params, std::string_view name,
                  int64_t fallback) {
   auto v = params.GetInt(name);
-  return v.ok() ? *v : fallback;
+  if (v.ok()) return *v;
+  std::string alias = UnderscoreAlias(name);
+  if (alias != name) {
+    auto a = params.GetInt(alias);
+    if (a.ok()) return *a;
+  }
+  return fallback;
 }
 
 double ParamDouble(const AttrMap& params, std::string_view name,
                    double fallback) {
   auto v = params.GetDouble(name);
-  return v.ok() ? *v : fallback;
+  if (v.ok()) return *v;
+  std::string alias = UnderscoreAlias(name);
+  if (alias != name) {
+    auto a = params.GetDouble(alias);
+    if (a.ok()) return *a;
+  }
+  return fallback;
 }
 
 std::string ParamString(const AttrMap& params, std::string_view name,
                         std::string fallback) {
   auto v = params.GetString(name);
-  return v.ok() ? *v : fallback;
+  if (v.ok()) return *v;
+  std::string alias = UnderscoreAlias(name);
+  if (alias != name) {
+    auto a = params.GetString(alias);
+    if (a.ok()) return *a;
+  }
+  return fallback;
+}
+
+// ---------------------------------------------------------------------------
+// Shared scalar/SIMD kernels. Stage functions and element kernels both
+// route through these, so the fused and node-at-a-time paths are
+// bit-identical by construction.
+
+void ThresholdSpan(const uint8_t* in, uint8_t* out, size_t n, int64_t t) {
+  if (t <= 0) {
+    std::memset(out, 255, n);
+  } else if (t > 255) {
+    std::memset(out, 0, n);
+  } else {
+    simd::ThresholdBytes(in, out, n, static_cast<uint8_t>(t));
+  }
+}
+
+void GainSamples(const int16_t* in, int16_t* out, size_t n, double gain) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<int16_t>(
+        std::clamp(std::lround(in[i] * gain), -32768L, 32767L));
+  }
+}
+
+// Fade envelope over frames [first, first + n) of a `frames`-frame
+// buffer. Absolute frame indices keep the math identical no matter how
+// the range is tiled.
+void FadeFrames(const int16_t* in, int16_t* out, size_t first, size_t n,
+                int32_t channels, int64_t frames, int64_t fade_in,
+                int64_t fade_out) {
+  for (size_t f = 0; f < n; ++f) {
+    const int64_t frame = static_cast<int64_t>(first + f);
+    double g = 1.0;
+    bool scaled = false;
+    if (frame < fade_in) {
+      g = static_cast<double>(frame) / fade_in;
+      scaled = true;
+    } else if (frame >= frames - fade_out) {
+      g = static_cast<double>(frames - 1 - frame) / fade_out;
+      scaled = true;
+    }
+    const size_t base = f * channels;
+    if (scaled) {
+      for (int32_t c = 0; c < channels; ++c) {
+        out[base + c] = static_cast<int16_t>(std::lround(in[base + c] * g));
+      }
+    } else if (in != out) {
+      std::memcpy(out + base, in + base, channels * sizeof(int16_t));
+    }
+  }
+}
+
+// Interleaved fixed-bytes-per-pixel models have pixel elements; planar
+// YUV models fall back to byte elements (returns 0).
+size_t InterleavedBpp(ColorModel model) {
+  switch (model) {
+    case ColorModel::kGray8: return 1;
+    case ColorModel::kRgb24: return 3;
+    case ColorModel::kCmyk32: return 4;
+    default: return 0;
+  }
 }
 
 // ---------------------------------------------------------------------------
 // Image derivations
 
-Result<MediaValue> OpColorSeparation(
-    const std::vector<const MediaValue*>& args, const AttrMap& params) {
-  TBM_ASSIGN_OR_RETURN(const Image* image,
-                       ArgAs<Image>(args, 0, "color separation"));
+Result<MediaValue> ColorSeparationStage(MediaValue value,
+                                        const AttrMap& params) {
+  TBM_ASSIGN_OR_RETURN(Image * image,
+                       StageAs<Image>(&value, "color separation"));
   SeparationParams sep;
   sep.black_generation = ParamDouble(params, "black generation", 1.0);
   sep.under_color_removal = ParamDouble(params, "under color removal", 1.0);
@@ -73,22 +212,49 @@ Result<MediaValue> OpColorSeparation(
   return MediaValue(std::move(cmyk));
 }
 
-Result<MediaValue> OpImageFilter(const std::vector<const MediaValue*>& args,
-                                 const AttrMap& params) {
+Result<ElementKernel> ColorSeparationKernel(const ElementShape& in,
+                                            const AttrMap& params) {
+  ElementKernel kernel;
+  if (in.kind != MediaKind::kImage || in.model != ColorModel::kRgb24) {
+    return kernel;
+  }
+  SeparationParams sep;
+  sep.black_generation = ParamDouble(params, "black generation", 1.0);
+  sep.under_color_removal = ParamDouble(params, "under color removal", 1.0);
+  if (sep.black_generation < 0.0 || sep.black_generation > 1.0 ||
+      sep.under_color_removal < 0.0 || sep.under_color_removal > 1.0) {
+    return kernel;  // Whole-value path reports the parameter error.
+  }
+  kernel.in_bytes = 3;
+  kernel.out_bytes = 4;
+  kernel.count = static_cast<size_t>(in.width) * in.height;
+  kernel.out_shape = in;
+  kernel.out_shape.model = ColorModel::kCmyk32;
+  kernel.run = [sep](const uint8_t* src, uint8_t* dst, size_t /*first*/,
+                     size_t n) { RgbToCmykPixels(src, dst, n, sep); };
+  return kernel;
+}
+
+Result<MediaValue> OpColorSeparation(
+    const std::vector<const MediaValue*>& args, const AttrMap& params) {
   TBM_ASSIGN_OR_RETURN(const Image* image,
-                       ArgAs<Image>(args, 0, "image filter"));
+                       ArgAs<Image>(args, 0, "color separation"));
+  return ColorSeparationStage(MediaValue(*image), params);
+}
+
+Result<MediaValue> ImageFilterStage(MediaValue value, const AttrMap& params) {
+  TBM_ASSIGN_OR_RETURN(Image * image, StageAs<Image>(&value, "image filter"));
   TBM_RETURN_IF_ERROR(image->Validate());
   std::string kind = ParamString(params, "kind", "invert");
-  Image out = *image;
   if (kind == "invert") {
     Bytes pixels = image->data.MutableCopy();
-    for (uint8_t& b : pixels) b = static_cast<uint8_t>(255 - b);
-    out.data = std::move(pixels);
+    simd::InvertBytes(pixels.data(), pixels.data(), pixels.size());
+    image->data = std::move(pixels);
   } else if (kind == "threshold") {
     int64_t threshold = ParamInt(params, "threshold", 128);
     Bytes pixels = image->data.MutableCopy();
-    for (uint8_t& b : pixels) b = b >= threshold ? 255 : 0;
-    out.data = std::move(pixels);
+    ThresholdSpan(pixels.data(), pixels.data(), pixels.size(), threshold);
+    image->data = std::move(pixels);
   } else if (kind == "box blur") {
     if (image->model != ColorModel::kRgb24) {
       return Status::InvalidArgument("box blur expects RGB input");
@@ -113,17 +279,51 @@ Result<MediaValue> OpImageFilter(const std::vector<const MediaValue*>& args,
         }
       }
     }
-    out.data = std::move(pixels_out);
+    image->data = std::move(pixels_out);
   } else {
     return Status::InvalidArgument("unknown image filter \"" + kind + "\"");
   }
-  return MediaValue(std::move(out));
+  return value;
 }
 
-Result<MediaValue> OpImageReencode(const std::vector<const MediaValue*>& args,
-                                   const AttrMap& params) {
+Result<ElementKernel> ImageFilterKernel(const ElementShape& in,
+                                        const AttrMap& params) {
+  ElementKernel kernel;
+  if (in.kind != MediaKind::kImage) return kernel;
+  const size_t bpp = InterleavedBpp(in.model);
+  const size_t stride = bpp > 0 ? bpp : 1;
+  kernel.in_bytes = stride;
+  kernel.out_bytes = stride;
+  kernel.count = bpp > 0 ? static_cast<size_t>(in.width) * in.height
+                         : in.PayloadBytes();
+  kernel.out_shape = in;
+  std::string kind = ParamString(params, "kind", "invert");
+  if (kind == "invert") {
+    kernel.run = [stride](const uint8_t* src, uint8_t* dst, size_t /*first*/,
+                          size_t n) { simd::InvertBytes(src, dst, n * stride); };
+  } else if (kind == "threshold") {
+    int64_t threshold = ParamInt(params, "threshold", 128);
+    kernel.run = [stride, threshold](const uint8_t* src, uint8_t* dst,
+                                     size_t /*first*/, size_t n) {
+      ThresholdSpan(src, dst, n * stride, threshold);
+    };
+  }
+  // box blur (neighborhood gather) and unknown kinds: run stays null so
+  // the executor falls back to the whole-value path.
+  return kernel;
+}
+
+Result<MediaValue> OpImageFilter(const std::vector<const MediaValue*>& args,
+                                 const AttrMap& params) {
   TBM_ASSIGN_OR_RETURN(const Image* image,
-                       ArgAs<Image>(args, 0, "image reencode"));
+                       ArgAs<Image>(args, 0, "image filter"));
+  return ImageFilterStage(MediaValue(*image), params);
+}
+
+Result<MediaValue> ImageReencodeStage(MediaValue value,
+                                      const AttrMap& params) {
+  TBM_ASSIGN_OR_RETURN(Image * image,
+                       StageAs<Image>(&value, "image reencode"));
   int64_t quality = ParamInt(params, "quality", 50);
   TBM_ASSIGN_OR_RETURN(Bytes encoded,
                        TjpegEncode(*image, static_cast<int>(quality)));
@@ -131,13 +331,20 @@ Result<MediaValue> OpImageReencode(const std::vector<const MediaValue*>& args,
   return MediaValue(std::move(decoded));
 }
 
+Result<MediaValue> OpImageReencode(const std::vector<const MediaValue*>& args,
+                                   const AttrMap& params) {
+  TBM_ASSIGN_OR_RETURN(const Image* image,
+                       ArgAs<Image>(args, 0, "image reencode"));
+  return ImageReencodeStage(MediaValue(*image), params);
+}
+
 // ---------------------------------------------------------------------------
 // Audio derivations
 
-Result<MediaValue> OpAudioNormalize(const std::vector<const MediaValue*>& args,
-                                    const AttrMap& params) {
-  TBM_ASSIGN_OR_RETURN(const AudioBuffer* audio,
-                       ArgAs<AudioBuffer>(args, 0, "audio normalization"));
+Result<MediaValue> AudioNormalizeStage(MediaValue value,
+                                       const AttrMap& params) {
+  TBM_ASSIGN_OR_RETURN(AudioBuffer * audio,
+                       StageAs<AudioBuffer>(&value, "audio normalization"));
   TBM_RETURN_IF_ERROR(audio->Validate());
   double target = ParamDouble(params, "target peak", 0.95);
   if (target <= 0.0 || target > 1.0) {
@@ -158,8 +365,7 @@ Result<MediaValue> OpAudioNormalize(const std::vector<const MediaValue*>& args,
                                 audio->samples[f * audio->channels + c])));
     }
   }
-  AudioBuffer out = *audio;
-  if (peak == 0) return MediaValue(std::move(out));  // Silence stays silent.
+  if (peak == 0) return value;  // Silence stays silent.
   double scale = target * 32767.0 / peak;
   std::vector<int16_t> samples = audio->samples.MutableCopy();
   for (int64_t f = start; f < end; ++f) {
@@ -169,23 +375,52 @@ Result<MediaValue> OpAudioNormalize(const std::vector<const MediaValue*>& args,
           std::lround(audio->samples[i] * scale), -32768L, 32767L));
     }
   }
-  out.samples = std::move(samples);
-  return MediaValue(std::move(out));
+  audio->samples = std::move(samples);
+  return value;
+}
+
+Result<MediaValue> OpAudioNormalize(const std::vector<const MediaValue*>& args,
+                                    const AttrMap& params) {
+  TBM_ASSIGN_OR_RETURN(const AudioBuffer* audio,
+                       ArgAs<AudioBuffer>(args, 0, "audio normalization"));
+  return AudioNormalizeStage(MediaValue(*audio), params);
+}
+
+Result<MediaValue> AudioGainStage(MediaValue value, const AttrMap& params) {
+  TBM_ASSIGN_OR_RETURN(AudioBuffer * audio,
+                       StageAs<AudioBuffer>(&value, "audio gain"));
+  double gain = ParamDouble(params, "gain", 1.0);
+  std::vector<int16_t> samples = audio->samples.MutableCopy();
+  GainSamples(samples.data(), samples.data(), samples.size(), gain);
+  audio->samples = std::move(samples);
+  return value;
+}
+
+Result<ElementKernel> AudioGainKernel(const ElementShape& in,
+                                      const AttrMap& params) {
+  ElementKernel kernel;
+  if (in.kind != MediaKind::kAudio || in.channels <= 0) return kernel;
+  const int32_t channels = in.channels;
+  const size_t stride = static_cast<size_t>(channels) * sizeof(int16_t);
+  kernel.in_bytes = stride;
+  kernel.out_bytes = stride;
+  kernel.count = static_cast<size_t>(in.frames);
+  kernel.out_shape = in;
+  double gain = ParamDouble(params, "gain", 1.0);
+  kernel.run = [channels, gain](const uint8_t* src, uint8_t* dst,
+                                size_t /*first*/, size_t n) {
+    GainSamples(reinterpret_cast<const int16_t*>(src),
+                reinterpret_cast<int16_t*>(dst),
+                n * static_cast<size_t>(channels), gain);
+  };
+  return kernel;
 }
 
 Result<MediaValue> OpAudioGain(const std::vector<const MediaValue*>& args,
                                const AttrMap& params) {
   TBM_ASSIGN_OR_RETURN(const AudioBuffer* audio,
                        ArgAs<AudioBuffer>(args, 0, "audio gain"));
-  double gain = ParamDouble(params, "gain", 1.0);
-  AudioBuffer out = *audio;
-  std::vector<int16_t> samples = audio->samples.MutableCopy();
-  for (int16_t& s : samples) {
-    s = static_cast<int16_t>(
-        std::clamp(std::lround(s * gain), -32768L, 32767L));
-  }
-  out.samples = std::move(samples);
-  return MediaValue(std::move(out));
+  return AudioGainStage(MediaValue(*audio), params);
 }
 
 Result<MediaValue> OpAudioMix(const std::vector<const MediaValue*>& args,
@@ -265,13 +500,13 @@ Result<MediaValue> OpAudioConcat(const std::vector<const MediaValue*>& args,
   return MediaValue(std::move(out));
 }
 
-Result<MediaValue> OpAudioResample(const std::vector<const MediaValue*>& args,
-                                   const AttrMap& params) {
-  TBM_ASSIGN_OR_RETURN(const AudioBuffer* audio,
-                       ArgAs<AudioBuffer>(args, 0, "audio resample"));
+Result<MediaValue> AudioResampleStage(MediaValue value,
+                                      const AttrMap& params) {
+  TBM_ASSIGN_OR_RETURN(AudioBuffer * audio,
+                       StageAs<AudioBuffer>(&value, "audio resample"));
   int64_t target = ParamInt(params, "target rate", 44100);
   if (target <= 0) return Status::InvalidArgument("bad target rate");
-  if (target == audio->sample_rate) return MediaValue(*audio);
+  if (target == audio->sample_rate) return value;
   AudioBuffer out;
   out.sample_rate = target;
   out.channels = audio->channels;
@@ -291,6 +526,13 @@ Result<MediaValue> OpAudioResample(const std::vector<const MediaValue*>& args,
   }
   out.samples = std::move(samples);
   return MediaValue(std::move(out));
+}
+
+Result<MediaValue> OpAudioResample(const std::vector<const MediaValue*>& args,
+                                   const AttrMap& params) {
+  TBM_ASSIGN_OR_RETURN(const AudioBuffer* audio,
+                       ArgAs<AudioBuffer>(args, 0, "audio resample"));
+  return AudioResampleStage(MediaValue(*audio), params);
 }
 
 // ---------------------------------------------------------------------------
@@ -477,10 +719,9 @@ Result<MediaValue> OpVideoSpeed(const std::vector<const MediaValue*>& args,
   return MediaValue(std::move(out));
 }
 
-Result<MediaValue> OpAudioFade(const std::vector<const MediaValue*>& args,
-                               const AttrMap& params) {
-  TBM_ASSIGN_OR_RETURN(const AudioBuffer* audio,
-                       ArgAs<AudioBuffer>(args, 0, "audio fade"));
+Result<MediaValue> AudioFadeStage(MediaValue value, const AttrMap& params) {
+  TBM_ASSIGN_OR_RETURN(AudioBuffer * audio,
+                       StageAs<AudioBuffer>(&value, "audio fade"));
   TBM_RETURN_IF_ERROR(audio->Validate());
   int64_t fade_in = ParamInt(params, "fade in frames", 0);
   int64_t fade_out = ParamInt(params, "fade out frames", 0);
@@ -488,32 +729,48 @@ Result<MediaValue> OpAudioFade(const std::vector<const MediaValue*>& args,
   if (fade_in < 0 || fade_out < 0 || fade_in + fade_out > frames) {
     return Status::OutOfRange("fade spans exceed the audio length");
   }
-  AudioBuffer out = *audio;
   std::vector<int16_t> samples = audio->samples.MutableCopy();
-  for (int64_t f = 0; f < fade_in; ++f) {
-    double g = static_cast<double>(f) / fade_in;
-    for (int32_t c = 0; c < out.channels; ++c) {
-      size_t i = f * out.channels + c;
-      samples[i] = static_cast<int16_t>(std::lround(samples[i] * g));
-    }
-  }
-  // Symmetric with fade-in: the outermost sample has zero gain.
-  for (int64_t f = 0; f < fade_out; ++f) {
-    double g = static_cast<double>(f) / fade_out;
-    int64_t frame = frames - 1 - f;
-    for (int32_t c = 0; c < out.channels; ++c) {
-      size_t i = frame * out.channels + c;
-      samples[i] = static_cast<int16_t>(std::lround(samples[i] * g));
-    }
-  }
-  out.samples = std::move(samples);
-  return MediaValue(std::move(out));
+  FadeFrames(samples.data(), samples.data(), 0,
+             static_cast<size_t>(frames), audio->channels, frames, fade_in,
+             fade_out);
+  audio->samples = std::move(samples);
+  return value;
 }
 
-Result<MediaValue> OpImageCrop(const std::vector<const MediaValue*>& args,
+Result<ElementKernel> AudioFadeKernel(const ElementShape& in,
+                                      const AttrMap& params) {
+  ElementKernel kernel;
+  if (in.kind != MediaKind::kAudio || in.channels <= 0) return kernel;
+  int64_t fade_in = ParamInt(params, "fade in frames", 0);
+  int64_t fade_out = ParamInt(params, "fade out frames", 0);
+  const int64_t frames = in.frames;
+  if (fade_in < 0 || fade_out < 0 || fade_in + fade_out > frames) {
+    return kernel;  // Whole-value path reports the range error.
+  }
+  const int32_t channels = in.channels;
+  const size_t stride = static_cast<size_t>(channels) * sizeof(int16_t);
+  kernel.in_bytes = stride;
+  kernel.out_bytes = stride;
+  kernel.count = static_cast<size_t>(frames);
+  kernel.out_shape = in;
+  kernel.run = [channels, frames, fade_in, fade_out](
+                   const uint8_t* src, uint8_t* dst, size_t first, size_t n) {
+    FadeFrames(reinterpret_cast<const int16_t*>(src),
+               reinterpret_cast<int16_t*>(dst), first, n, channels, frames,
+               fade_in, fade_out);
+  };
+  return kernel;
+}
+
+Result<MediaValue> OpAudioFade(const std::vector<const MediaValue*>& args,
                                const AttrMap& params) {
-  TBM_ASSIGN_OR_RETURN(const Image* image,
-                       ArgAs<Image>(args, 0, "image crop"));
+  TBM_ASSIGN_OR_RETURN(const AudioBuffer* audio,
+                       ArgAs<AudioBuffer>(args, 0, "audio fade"));
+  return AudioFadeStage(MediaValue(*audio), params);
+}
+
+Result<MediaValue> ImageCropStage(MediaValue value, const AttrMap& params) {
+  TBM_ASSIGN_OR_RETURN(Image * image, StageAs<Image>(&value, "image crop"));
   TBM_RETURN_IF_ERROR(image->Validate());
   if (image->model != ColorModel::kRgb24 &&
       image->model != ColorModel::kGray8) {
@@ -541,10 +798,15 @@ Result<MediaValue> OpImageCrop(const std::vector<const MediaValue*>& args,
   return MediaValue(std::move(out));
 }
 
-Result<MediaValue> OpImageScale(const std::vector<const MediaValue*>& args,
-                                const AttrMap& params) {
+Result<MediaValue> OpImageCrop(const std::vector<const MediaValue*>& args,
+                               const AttrMap& params) {
   TBM_ASSIGN_OR_RETURN(const Image* image,
-                       ArgAs<Image>(args, 0, "image scale"));
+                       ArgAs<Image>(args, 0, "image crop"));
+  return ImageCropStage(MediaValue(*image), params);
+}
+
+Result<MediaValue> ImageScaleStage(MediaValue value, const AttrMap& params) {
+  TBM_ASSIGN_OR_RETURN(Image * image, StageAs<Image>(&value, "image scale"));
   TBM_RETURN_IF_ERROR(image->Validate());
   if (image->model != ColorModel::kRgb24 &&
       image->model != ColorModel::kGray8) {
@@ -559,24 +821,33 @@ Result<MediaValue> OpImageScale(const std::vector<const MediaValue*>& args,
   Image out = Image::Zero(static_cast<int32_t>(w), static_cast<int32_t>(h),
                           image->model);
   Bytes pixels_out(out.data.size(), 0);
-  // Bilinear resampling.
+  // Bilinear resampling. Horizontal sample positions are independent of
+  // the output row, so precompute the per-column taps once.
+  std::vector<int64_t> x0s(w), x1s(w);
+  std::vector<double> fxs(w);
+  for (int64_t ox = 0; ox < w; ++ox) {
+    double sx = (ox + 0.5) * image->width / w - 0.5;
+    x0s[ox] = std::clamp<int64_t>(static_cast<int64_t>(std::floor(sx)), 0,
+                                  image->width - 1);
+    x1s[ox] = std::min<int64_t>(x0s[ox] + 1, image->width - 1);
+    fxs[ox] = std::clamp(sx - x0s[ox], 0.0, 1.0);
+  }
   for (int64_t oy = 0; oy < h; ++oy) {
     double sy = (oy + 0.5) * image->height / h - 0.5;
     int64_t y0 = std::clamp<int64_t>(static_cast<int64_t>(std::floor(sy)), 0,
                                      image->height - 1);
     int64_t y1 = std::min<int64_t>(y0 + 1, image->height - 1);
     double fy = std::clamp(sy - y0, 0.0, 1.0);
+    const uint8_t* row0 = image->data.data() + bpp * y0 * image->width;
+    const uint8_t* row1 = image->data.data() + bpp * y1 * image->width;
     for (int64_t ox = 0; ox < w; ++ox) {
-      double sx = (ox + 0.5) * image->width / w - 0.5;
-      int64_t x0 = std::clamp<int64_t>(static_cast<int64_t>(std::floor(sx)),
-                                       0, image->width - 1);
-      int64_t x1 = std::min<int64_t>(x0 + 1, image->width - 1);
-      double fx = std::clamp(sx - x0, 0.0, 1.0);
+      const int64_t x0 = x0s[ox], x1 = x1s[ox];
+      const double fx = fxs[ox];
       for (int c = 0; c < bpp; ++c) {
-        double v00 = image->data[bpp * (y0 * image->width + x0) + c];
-        double v01 = image->data[bpp * (y0 * image->width + x1) + c];
-        double v10 = image->data[bpp * (y1 * image->width + x0) + c];
-        double v11 = image->data[bpp * (y1 * image->width + x1) + c];
+        double v00 = row0[bpp * x0 + c];
+        double v01 = row0[bpp * x1 + c];
+        double v10 = row1[bpp * x0 + c];
+        double v11 = row1[bpp * x1 + c];
         double v = (1 - fy) * ((1 - fx) * v00 + fx * v01) +
                    fy * ((1 - fx) * v10 + fx * v11);
         pixels_out[bpp * (oy * w + ox) + c] =
@@ -586,6 +857,13 @@ Result<MediaValue> OpImageScale(const std::vector<const MediaValue*>& args,
   }
   out.data = std::move(pixels_out);
   return MediaValue(std::move(out));
+}
+
+Result<MediaValue> OpImageScale(const std::vector<const MediaValue*>& args,
+                                const AttrMap& params) {
+  TBM_ASSIGN_OR_RETURN(const Image* image,
+                       ArgAs<Image>(args, 0, "image scale"));
+  return ImageScaleStage(MediaValue(*image), params);
 }
 
 // ---------------------------------------------------------------------------
@@ -739,10 +1017,16 @@ Result<MediaValue> DerivationRegistry::Apply(
     const std::string& name, const std::vector<const MediaValue*>& args,
     const AttrMap& params) const {
   TBM_ASSIGN_OR_RETURN(const DerivationOp* op, Find(name));
-  if (args.size() != op->arg_kinds.size()) {
+  return ApplyOp(*op, args, params);
+}
+
+Result<MediaValue> DerivationRegistry::ApplyOp(
+    const DerivationOp& op, const std::vector<const MediaValue*>& args,
+    const AttrMap& params) const {
+  if (args.size() != op.arg_kinds.size()) {
     return Status::InvalidArgument(
-        "derivation \"" + name + "\" takes " +
-        std::to_string(op->arg_kinds.size()) + " argument(s), got " +
+        "derivation \"" + op.name + "\" takes " +
+        std::to_string(op.arg_kinds.size()) + " argument(s), got " +
         std::to_string(args.size()));
   }
   // The paper (§4.2): "The types of media objects participating in
@@ -753,23 +1037,23 @@ Result<MediaValue> DerivationRegistry::Apply(
     if (args[i] == nullptr) {
       return Status::InvalidArgument("null argument " + std::to_string(i));
     }
-    if (op->stream_generic) {
+    if (op.stream_generic) {
       if (!std::holds_alternative<TimedStream>(*args[i])) {
         return Status::InvalidArgument(
-            "generic timing derivation \"" + name +
+            "generic timing derivation \"" + op.name +
             "\" requires a timed-stream argument");
       }
       continue;
     }
     MediaKind kind = KindOfValue(*args[i]);
-    if (kind != op->arg_kinds[i]) {
+    if (kind != op.arg_kinds[i]) {
       return Status::InvalidArgument(
-          "derivation \"" + name + "\" argument " + std::to_string(i) +
-          " must be " + std::string(MediaKindToString(op->arg_kinds[i])) +
+          "derivation \"" + op.name + "\" argument " + std::to_string(i) +
+          " must be " + std::string(MediaKindToString(op.arg_kinds[i])) +
           ", got " + std::string(MediaKindToString(kind)));
     }
   }
-  return op->fn(args, params);
+  return op.fn(args, params);
 }
 
 const DerivationRegistry& DerivationRegistry::Builtin() {
@@ -781,6 +1065,15 @@ const DerivationRegistry& DerivationRegistry::Builtin() {
       (void)reg->Register(DerivationOp{std::move(name), std::move(args),
                                        result, category,
                                        std::move(description), std::move(fn)});
+    };
+    // Marks a unary content op as fusable: the plan compiler may place
+    // it inside a fused stage via its whole-value stage form and
+    // (optionally) run it inside a fused element loop.
+    auto set_fused = [reg](const std::string& name, StageFn stage,
+                           ElementKernelFn element) {
+      DerivationOp& op = reg->ops_.at(name);
+      op.stage_fn = std::move(stage);
+      op.element_fn = std::move(element);
     };
     using MK = MediaKind;
     using DC = DerivationCategory;
@@ -832,6 +1125,15 @@ const DerivationRegistry& DerivationRegistry::Builtin() {
         "extract one frame as a still image", OpVideoPoster);
     add("caption burn-in", {MK::kVideo, MK::kText}, MK::kVideo, DC::kContent,
         "rasterize a caption track onto video frames", OpCaptionBurnIn);
+    set_fused("color separation", ColorSeparationStage, ColorSeparationKernel);
+    set_fused("image filter", ImageFilterStage, ImageFilterKernel);
+    set_fused("image reencode", ImageReencodeStage, nullptr);
+    set_fused("image crop", ImageCropStage, nullptr);
+    set_fused("image scale", ImageScaleStage, nullptr);
+    set_fused("audio normalization", AudioNormalizeStage, nullptr);
+    set_fused("audio gain", AudioGainStage, AudioGainKernel);
+    set_fused("audio fade", AudioFadeStage, AudioFadeKernel);
+    set_fused("audio resample", AudioResampleStage, nullptr);
     auto add_generic = [reg](std::string name, std::string description,
                              DerivationFn fn) {
       (void)reg->Register(DerivationOp{

@@ -26,6 +26,65 @@ std::string_view DerivationCategoryToString(DerivationCategory category);
 using DerivationFn = std::function<Result<MediaValue>(
     const std::vector<const MediaValue*>& args, const AttrMap& params)>;
 
+/// Whole-value form of a unary derivation for the plan compiler: takes
+/// the single argument by value (so an exclusively owned payload may be
+/// transformed in place) and returns the derived value. Must compute
+/// exactly what the op's DerivationFn computes.
+using StageFn =
+    std::function<Result<MediaValue>(MediaValue value, const AttrMap& params)>;
+
+/// Shape of a media value: enough metadata to size, chain and validate
+/// per-element kernels without materializing the value itself. Only
+/// images and audio have element shapes today.
+struct ElementShape {
+  MediaKind kind = MediaKind::kImage;
+  /// Image geometry (valid when kind == kImage).
+  int32_t width = 0;
+  int32_t height = 0;
+  ColorModel model = ColorModel::kGray8;
+  /// Audio geometry (valid when kind == kAudio).
+  int64_t sample_rate = 0;
+  int32_t channels = 0;
+  int64_t frames = 0;
+
+  /// Total payload size in bytes for this shape.
+  size_t PayloadBytes() const;
+};
+
+/// The element shape of a value, or Unsupported for kinds that have no
+/// per-element representation (video, MIDI, animation, streams).
+Result<ElementShape> ShapeOfValue(const MediaValue& value);
+
+/// A compiled per-element kernel: one derivation specialized to a
+/// concrete input shape and parameter set. The plan compiler chains
+/// kernels whose element granularity lines up (kernel B consumes
+/// exactly the `out_bytes` kernel A produces per element, over the same
+/// `count`) and runs whole chains through one tiled loop with no
+/// intermediate MediaValue.
+///
+/// `run(in, out, first, n)` transforms elements `[first, first + n)`;
+/// `in`/`out` point at the first element of the tile and `first` is the
+/// absolute element index (for index-dependent math such as fades).
+/// `in` and `out` may alias only when in_bytes == out_bytes.
+///
+/// A null `run` means "not element-wise for these params/this shape" —
+/// the executor then falls back to the whole-value path, which also
+/// surfaces any parameter/shape error with the op's usual message. A
+/// factory must return a runnable kernel ONLY when the whole-value path
+/// would succeed and must produce bit-identical bytes.
+struct ElementKernel {
+  size_t in_bytes = 0;   ///< Bytes consumed per element.
+  size_t out_bytes = 0;  ///< Bytes produced per element.
+  size_t count = 0;      ///< Number of elements.
+  ElementShape out_shape;
+  std::function<void(const uint8_t* in, uint8_t* out, size_t first, size_t n)>
+      run;
+};
+
+/// Factory for an op's element kernel given the input shape and params.
+using ElementKernelFn = std::function<Result<ElementKernel>(
+    const ElementShape& in, const AttrMap& params)>;
+
 /// Registry entry: signature and category metadata (the columns of
 /// Table 1) plus the evaluator.
 struct DerivationOp {
@@ -40,6 +99,13 @@ struct DerivationOp {
   /// time-based media"): when true, the single argument may be a timed
   /// stream of any media kind and the result has the same kind.
   bool stream_generic = false;
+  /// Whole-value single-argument form, set for content ops the plan
+  /// compiler may place inside a fused stage. Null for multi-argument,
+  /// timing-alias and stream-generic ops.
+  StageFn stage_fn;
+  /// Per-element kernel factory, set for ops that can run inside a
+  /// fused element loop (see ElementKernel). Null otherwise.
+  ElementKernelFn element_fn;
 };
 
 /// Registry of derivation operators. `Builtin()` carries every
@@ -64,6 +130,13 @@ struct DerivationOp {
 /// | animation render     | animation     | video  | type     |
 /// | temporal translate   | any stream    | same   | timing   |
 /// | temporal scale       | any stream    | same   | timing   |
+///
+/// Parameter naming: canonical parameter keys use spaces, matching the
+/// paper's prose — e.g. "target peak", "scale num", "under color
+/// removal". Every lookup also accepts the underscore alias
+/// ("target_peak", "scale_num", "under_color_removal") for callers
+/// whose key syntax cannot carry spaces; when both spellings are
+/// present the canonical (spaced) key wins.
 class DerivationRegistry {
  public:
   Status Register(DerivationOp op);
@@ -74,6 +147,11 @@ class DerivationRegistry {
   Result<MediaValue> Apply(const std::string& name,
                            const std::vector<const MediaValue*>& args,
                            const AttrMap& params) const;
+
+  /// Applies an already resolved operator (same checks as Apply).
+  Result<MediaValue> ApplyOp(const DerivationOp& op,
+                             const std::vector<const MediaValue*>& args,
+                             const AttrMap& params) const;
 
   static const DerivationRegistry& Builtin();
 

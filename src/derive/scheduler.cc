@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "base/macros.h"
+#include "derive/plan.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -24,6 +25,8 @@ namespace {
 struct EngineMetrics {
   obs::Counter* evaluations;
   obs::Counter* nodes_evaluated;
+  obs::Counter* fused_nodes;
+  obs::Counter* elided_bytes;
   obs::Histogram* evaluate_us;
   obs::Histogram* node_us;
   obs::Histogram* queue_wait_us;
@@ -33,6 +36,8 @@ struct EngineMetrics {
       auto& registry = obs::Registry::Global();
       return EngineMetrics{registry.counter("derive.evaluations"),
                            registry.counter("derive.nodes_evaluated"),
+                           registry.counter("derive.fused_nodes"),
+                           registry.counter("derive.elided_bytes"),
                            registry.histogram("derive.evaluate_us"),
                            registry.histogram("derive.node_us"),
                            registry.histogram("derive.queue_wait_us")};
@@ -92,6 +97,10 @@ std::string EvalStats::ToString() const {
                 HumanByteCount(logical_bytes).c_str(),
                 HumanByteCount(resident_bytes).c_str());
   out += line;
+  std::snprintf(line, sizeof(line), "fusion: %llu nodes fused, %s elided\n",
+                (unsigned long long)fused_nodes,
+                HumanByteCount(elided_bytes).c_str());
+  out += line;
   if (!per_op.empty()) {
     out += "per-op wall time:\n";
     for (const auto& [name, op] : per_op) {
@@ -109,16 +118,21 @@ std::string EvalStats::ToString() const {
 /// the dependency bookkeeping the parallel executor consumes.
 struct DerivationEngine::Plan {
   NodeId root = 0;
-  /// Resolved values: leaves, cache hits, then computed nodes. Holding
-  /// the ValueRefs here pins them for the duration of the run, so later
-  /// nodes can safely use raw pointers into them even if the cache
-  /// evicts concurrently.
+  /// Resolved values: leaves, cache hits, then computed stage outputs.
+  /// Holding the ValueRefs here pins them for the duration of the run,
+  /// so later stages can safely use raw pointers into them even if the
+  /// cache evicts concurrently. Fusion-elided interiors never appear.
   std::unordered_map<NodeId, ValueRef> values;
   /// Derived nodes to execute, topologically ordered.
   std::vector<NodeId> order;
-  /// Unresolved-input counts and reverse edges, restricted to `order`.
-  std::unordered_map<NodeId, int> remaining;
-  std::unordered_map<NodeId, std::vector<NodeId>> dependents;
+  /// `order` compiled into stages (derive/plan.h): chains of
+  /// single-consumer content ops become one fused stage; with
+  /// EvalOptions::fuse off, exactly one stage per node.
+  CompiledPlan compiled;
+  /// Unresolved-input counts per stage, and which stages each pending
+  /// value releases (one entry per argument occurrence).
+  std::vector<int> remaining;
+  std::unordered_map<NodeId, std::vector<size_t>> dependents;
 };
 
 DerivationEngine::DerivationEngine(DerivationGraph* graph, EvalOptions options)
@@ -221,17 +235,55 @@ Result<ValueRef> DerivationEngine::ApplyNode(
   return ref;
 }
 
+Result<ValueRef> DerivationEngine::ApplyStage(
+    const Plan& plan, size_t stage_index,
+    const std::vector<const MediaValue*>& args) {
+  const PlanStage& stage = plan.compiled.stages[stage_index];
+  if (!stage.fused()) {
+    return ApplyNode(stage.nodes.front().id, args);
+  }
+  uint64_t parent = obs::Tracer::CurrentSpanId();
+  if (parent == 0) parent = eval_span_id_;
+  obs::ScopedSpan span("derive.fused_stage", parent);
+  auto start = std::chrono::steady_clock::now();
+  FusedStageStats fused;
+  Result<MediaValue> result =
+      ExecuteFusedStage(*graph_->registry_, stage, args, &fused);
+  double seconds = SecondsSince(start);
+  EngineMetrics::Get().nodes_evaluated->Add(fused.nodes_run);
+  EngineMetrics::Get().fused_nodes->Add(fused.nodes_run);
+  EngineMetrics::Get().elided_bytes->Add(fused.elided_bytes);
+  EngineMetrics::Get().node_us->Record(
+      static_cast<uint64_t>(seconds * 1e6));
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    for (size_t k = 0; k < fused.nodes_run; ++k) {
+      OpStats& op = per_op_[stage.nodes[k].op_name];
+      ++op.invocations;
+      op.seconds += fused.node_seconds[k];
+    }
+    nodes_evaluated_ += fused.nodes_run;
+    fused_nodes_ += fused.nodes_run;
+    elided_bytes_ += fused.elided_bytes;
+  }
+  if (!result.ok()) return result.status();
+  ValueRef ref = std::make_shared<const MediaValue>(std::move(*result));
+  // Only the stage output is cacheable; its recompute cost is the whole
+  // chain's, which is what the cost-aware LRU should weigh.
+  cache_.Insert(stage.output(), ref, ExpandedBytes(*ref), seconds);
+  return ref;
+}
+
 Result<ValueRef> DerivationEngine::ExecuteInline(Plan* plan) {
-  for (NodeId id : plan->order) {
-    const DerivationGraph::Node& node =
-        graph_->nodes_[static_cast<size_t>(id)];
+  for (size_t s = 0; s < plan->compiled.stages.size(); ++s) {
+    const PlanStage& stage = plan->compiled.stages[s];
     std::vector<const MediaValue*> args;
-    args.reserve(node.inputs.size());
-    for (NodeId input : node.inputs) {
+    args.reserve(stage.inputs().size());
+    for (NodeId input : stage.inputs()) {
       args.push_back(plan->values.at(input).get());
     }
-    TBM_ASSIGN_OR_RETURN(ValueRef value, ApplyNode(id, args));
-    plan->values.emplace(id, std::move(value));
+    TBM_ASSIGN_OR_RETURN(ValueRef value, ApplyStage(*plan, s, args));
+    plan->values.emplace(stage.output(), std::move(value));
   }
   return plan->values.at(plan->root);
 }
@@ -240,34 +292,33 @@ Result<ValueRef> DerivationEngine::ExecuteParallel(Plan* plan) {
   struct Run {
     std::mutex mu;
     std::condition_variable cv;
-    std::vector<NodeId> ready;
+    std::vector<size_t> ready;  // Stage indices.
     int inflight = 0;
     Status error;      // First failure in completion order.
     bool stop = false; // fail_fast tripped: schedule nothing further.
   };
   Run run;
 
-  // exec(id) evaluates one node and, under the run lock, releases any
-  // dependents whose inputs are now all resolved. Newly ready nodes are
-  // submitted outside the lock. The driver below joins on
+  // exec(s) evaluates one stage and, under the run lock, releases any
+  // dependent stages whose inputs are now all resolved. Newly ready
+  // stages are submitted outside the lock. The driver below joins on
   // inflight == 0 && ready.empty(), so `run`, `plan` and `exec` outlive
   // every task that references them.
-  std::function<void(NodeId)> exec = [&](NodeId id) {
-    const DerivationGraph::Node& node =
-        graph_->nodes_[static_cast<size_t>(id)];
+  std::function<void(size_t)> exec = [&](size_t s) {
+    const PlanStage& stage = plan->compiled.stages[s];
     std::vector<const MediaValue*> args;
-    args.reserve(node.inputs.size());
+    args.reserve(stage.inputs().size());
     {
       // Values are appended concurrently; the pointed-to MediaValues
       // themselves are heap-allocated and pinned by the map's refs, so
       // raw pointers stay valid across rehashes.
       std::lock_guard<std::mutex> lock(run.mu);
-      for (NodeId input : node.inputs) {
+      for (NodeId input : stage.inputs()) {
         args.push_back(plan->values.at(input).get());
       }
     }
-    Result<ValueRef> result = ApplyNode(id, args);
-    std::vector<NodeId> to_submit;
+    Result<ValueRef> result = ApplyStage(*plan, s, args);
+    std::vector<size_t> to_submit;
     {
       std::lock_guard<std::mutex> lock(run.mu);
       --run.inflight;
@@ -277,21 +328,21 @@ Result<ValueRef> DerivationEngine::ExecuteParallel(Plan* plan) {
           run.stop = true;
           run.ready.clear();
         }
-        // Without fail_fast, dependents of the failed node simply never
-        // become ready; independent branches keep going.
+        // Without fail_fast, dependents of the failed stage simply
+        // never become ready; independent branches keep going.
       } else if (!run.stop) {
-        plan->values.emplace(id, std::move(*result));
-        for (NodeId dep : plan->dependents[id]) {
+        plan->values.emplace(stage.output(), std::move(*result));
+        for (size_t dep : plan->dependents[stage.output()]) {
           if (--plan->remaining[dep] == 0) run.ready.push_back(dep);
         }
       } else {
-        plan->values.emplace(id, std::move(*result));
+        plan->values.emplace(stage.output(), std::move(*result));
       }
       to_submit.swap(run.ready);
       run.inflight += static_cast<int>(to_submit.size());
       if (run.inflight == 0) run.cv.notify_all();
     }
-    for (NodeId next : to_submit) {
+    for (size_t next : to_submit) {
       int64_t submitted = obs::NowTicksNs();
       pool_->Submit([&exec, next, submitted] {
         EngineMetrics::Get().queue_wait_us->Record(static_cast<uint64_t>(
@@ -303,22 +354,22 @@ Result<ValueRef> DerivationEngine::ExecuteParallel(Plan* plan) {
 
   {
     std::lock_guard<std::mutex> lock(run.mu);
-    for (NodeId id : plan->order) {
-      if (plan->remaining[id] == 0) run.ready.push_back(id);
+    for (size_t s = 0; s < plan->compiled.stages.size(); ++s) {
+      if (plan->remaining[s] == 0) run.ready.push_back(s);
     }
     run.inflight = static_cast<int>(run.ready.size());
   }
-  std::vector<NodeId> seeds;
+  std::vector<size_t> seeds;
   {
     std::lock_guard<std::mutex> lock(run.mu);
     seeds.swap(run.ready);
   }
-  for (NodeId id : seeds) {
+  for (size_t s : seeds) {
     int64_t submitted = obs::NowTicksNs();
-    pool_->Submit([&exec, id, submitted] {
+    pool_->Submit([&exec, s, submitted] {
       EngineMetrics::Get().queue_wait_us->Record(static_cast<uint64_t>(
           std::max<int64_t>(0, obs::NowTicksNs() - submitted) / 1000));
-      exec(id);
+      exec(s);
     });
   }
   {
@@ -395,23 +446,45 @@ Result<ValueRef> DerivationEngine::Evaluate(NodeId id) {
         if (visited.count(input) == 0) stack.emplace_back(input, false);
       }
     }
+    // Compile the topo order into stages: chains of single-consumer
+    // content ops fuse into one stage (derive/plan.h); everything else
+    // stays node-at-a-time. Consumer counts are graph-wide, so a value
+    // some *other* evaluation could still want is never elided.
+    std::vector<PlanNodeSpec> specs;
+    specs.reserve(plan.order.size());
     for (NodeId nid : plan.order) {
       const DerivationGraph::Node& node =
           graph_->nodes_[static_cast<size_t>(nid)];
-      int unresolved = 0;
-      for (NodeId input : node.inputs) {
+      PlanNodeSpec spec;
+      spec.id = nid;
+      Result<const DerivationOp*> op = graph_->registry_->Find(node.op);
+      spec.op = op.ok() ? *op : nullptr;
+      spec.params = &node.params;
+      spec.inputs = node.inputs;
+      spec.op_name = node.op;
+      spec.label = node.name.empty() ? node.op : node.name;
+      specs.push_back(std::move(spec));
+    }
+    std::unordered_map<NodeId, int> consumers;
+    for (const DerivationGraph::Node& node : graph_->nodes_) {
+      for (NodeId input : node.inputs) ++consumers[input];
+    }
+    plan.compiled = CompilePlan(std::move(specs), consumers,
+                                PlanOptions{options_.fuse});
+    plan.remaining.assign(plan.compiled.stages.size(), 0);
+    for (size_t s = 0; s < plan.compiled.stages.size(); ++s) {
+      for (NodeId input : plan.compiled.stages[s].inputs()) {
         if (plan.values.count(input) == 0) {
-          ++unresolved;
-          plan.dependents[input].push_back(nid);
+          ++plan.remaining[s];
+          plan.dependents[input].push_back(s);
         }
       }
-      plan.remaining[nid] = unresolved;
     }
   }
 
   Result<ValueRef> result = [&]() -> Result<ValueRef> {
-    if (plan.order.empty()) return plan.values.at(plan.root);
-    if (threads_ <= 1 || plan.order.size() == 1) {
+    if (plan.compiled.stages.empty()) return plan.values.at(plan.root);
+    if (threads_ <= 1 || plan.compiled.stages.size() == 1) {
       return ExecuteInline(&plan);
     }
     if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(threads_);
@@ -441,6 +514,8 @@ EvalStats DerivationEngine::stats() const {
   out.nodes_evaluated = nodes_evaluated_;
   out.evaluations = evaluations_;
   out.wall_seconds = wall_seconds_;
+  out.fused_nodes = fused_nodes_;
+  out.elided_bytes = elided_bytes_;
   out.per_op = per_op_;
   return out;
 }

@@ -36,6 +36,15 @@ struct EvalOptions {
   /// one branch is broken). The reported error is the first failure in
   /// completion order either way.
   bool fail_fast = true;
+
+  /// When true (default), the engine compiles each evaluation through
+  /// the plan compiler (derive/plan.h): maximal chains of
+  /// single-consumer content ops execute as one fused stage with no
+  /// intermediate MediaValue, bit-identical to node-at-a-time
+  /// evaluation. False forces one stage per node (`tbmctl eval
+  /// --no-fuse`). Note that fusion-elided interiors are not inserted
+  /// into the expansion cache — only stage outputs are cacheable.
+  bool fuse = true;
 };
 
 /// Per-operator timing breakdown.
@@ -63,6 +72,11 @@ struct EvalStats {
   uint64_t entries_invalidated = 0;
   uint64_t evaluations = 0;        ///< Top-level Evaluate calls.
   double wall_seconds = 0.0;       ///< Summed Evaluate wall time.
+  /// Nodes executed inside fused plan stages (chains compiled by
+  /// derive/plan.h). Interior nodes still count in nodes_evaluated.
+  uint64_t fused_nodes = 0;
+  /// Bytes of fusion-elided intermediates that were never materialized.
+  uint64_t elided_bytes = 0;
   std::map<std::string, OpStats> per_op;
 
   /// Multi-line human-readable rendering (tbmctl `eval` prints this).
@@ -131,6 +145,10 @@ class DerivationEngine {
   /// timing, cache insertion and node counts.
   Result<ValueRef> ApplyNode(NodeId id,
                              const std::vector<const MediaValue*>& args);
+  /// Executes one compiled stage: singletons through ApplyNode, fused
+  /// chains through the plan executor. Caches only the stage output.
+  Result<ValueRef> ApplyStage(const Plan& plan, size_t stage_index,
+                              const std::vector<const MediaValue*>& args);
   /// Interned "derive:<op>" span name for the tracer (stable storage;
   /// returns "" in TBM_OBS_DISABLED builds).
   const char* SpanNameForOp(const std::string& op);
@@ -154,6 +172,8 @@ class DerivationEngine {
   uint64_t nodes_evaluated_ = 0;
   uint64_t evaluations_ = 0;
   double wall_seconds_ = 0.0;
+  uint64_t fused_nodes_ = 0;
+  uint64_t elided_bytes_ = 0;
   std::map<std::string, OpStats> per_op_;
 };
 

@@ -34,6 +34,7 @@
 #include "base/macros.h"
 #include "base/result.h"
 #include "base/sha256.h"
+#include "base/simd.h"
 #include "base/status.h"
 #include "base/thread_pool.h"
 
@@ -104,6 +105,7 @@
 #include "derive/cache.h"
 #include "derive/graph.h"
 #include "derive/operators.h"
+#include "derive/plan.h"
 #include "derive/scheduler.h"
 #include "derive/value.h"
 

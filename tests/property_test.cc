@@ -10,6 +10,9 @@
 #include "codec/pcm.h"
 #include "codec/synthetic.h"
 #include "codec/tjpeg.h"
+#include "derive/graph.h"
+#include "derive/operators.h"
+#include "derive/scheduler.h"
 #include "interp/index.h"
 #include "interp/interpretation.h"
 #include "media/attr.h"
@@ -273,6 +276,196 @@ TEST_P(SeededProperty, AdpcmRoundTripSnrAcrossSignals) {
   ASSERT_TRUE(decoded.ok());
   EXPECT_GT(*AudioSnr(audio, *decoded), 10.0)
       << "freq=" << freq << " amp=" << amplitude;
+}
+
+// --- Fusion: compiled plans are bit-exact against node-at-a-time -----------
+
+// One link of a random derivation chain.
+struct ChainStep {
+  std::string op;
+  AttrMap params;
+};
+
+// Random chain of image content ops, tracking the value's shape so
+// every step is valid. Covers each fusable image op: filter (all
+// kinds), color separation, reencode, crop, scale.
+std::vector<ChainStep> RandomImageChain(Rng* rng, int depth, int64_t* w,
+                                        int64_t* h) {
+  std::vector<ChainStep> steps;
+  bool cmyk = false;
+  for (int i = 0; i < depth; ++i) {
+    ChainStep step;
+    // After color separation only the byte-wise filters still apply.
+    int pick = cmyk ? static_cast<int>(rng->Range(0, 2))
+                    : static_cast<int>(rng->Range(0, 7));
+    switch (pick) {
+      case 0:
+        step.op = "image filter";
+        step.params.SetString("kind", "invert");
+        break;
+      case 1:
+        step.op = "image filter";
+        step.params.SetString("kind", "threshold");
+        step.params.SetInt("threshold", rng->Range(1, 255));
+        break;
+      case 2:
+        step.op = "image filter";
+        step.params.SetString("kind", "box blur");
+        step.params.SetInt("radius", rng->Range(1, 3));
+        break;
+      case 3:
+        step.op = "image reencode";
+        step.params.SetInt("quality", rng->Range(30, 90));
+        break;
+      case 4: {
+        if (*w < 9 || *h < 9) {  // too small to crop an 8-px window from
+          step.op = "image filter";
+          step.params.SetString("kind", "invert");
+          break;
+        }
+        step.op = "image crop";
+        int64_t x = rng->Range(0, *w - 8);
+        int64_t y = rng->Range(0, *h - 8);
+        int64_t cw = rng->Range(8, *w - x + 1);
+        int64_t ch = rng->Range(8, *h - y + 1);
+        step.params.SetInt("x", x);
+        step.params.SetInt("y", y);
+        step.params.SetInt("width", cw);
+        step.params.SetInt("height", ch);
+        *w = cw;
+        *h = ch;
+        break;
+      }
+      case 5:
+        step.op = "image scale";
+        *w = rng->Range(8, 64);
+        *h = rng->Range(8, 64);
+        step.params.SetInt("width", *w);
+        step.params.SetInt("height", *h);
+        break;
+      default:
+        step.op = "color separation";
+        step.params.SetDouble("black generation", rng->Range(0, 101) / 100.0);
+        step.params.SetDouble("under color removal",
+                              rng->Range(0, 101) / 100.0);
+        cmyk = true;
+        break;
+    }
+    steps.push_back(std::move(step));
+  }
+  return steps;
+}
+
+// Random chain of audio content ops, tracking rate and frame count.
+// Covers each fusable audio op: gain, normalization, fade, resample.
+std::vector<ChainStep> RandomAudioChain(Rng* rng, int depth, int64_t rate,
+                                        int64_t frames) {
+  std::vector<ChainStep> steps;
+  for (int i = 0; i < depth; ++i) {
+    ChainStep step;
+    switch (rng->Range(0, 4)) {
+      case 0:
+        step.op = "audio gain";
+        step.params.SetDouble("gain", rng->Range(1, 20) / 10.0);
+        break;
+      case 1:
+        step.op = "audio normalization";
+        step.params.SetDouble("target peak", rng->Range(50, 96) / 100.0);
+        break;
+      case 2:
+        step.op = "audio fade";
+        step.params.SetInt("fade in frames",
+                           rng->Range(0, std::max<int64_t>(2, frames / 2)));
+        step.params.SetInt("fade out frames",
+                           rng->Range(0, std::max<int64_t>(2, frames / 2)));
+        break;
+      default: {
+        step.op = "audio resample";
+        int64_t target = rng->Range(4000, 16000);
+        step.params.SetInt("target rate", target);
+        if (target != rate) {
+          frames = frames * target / rate;  // mirrors AudioResampleStage
+          rate = target;
+        }
+        break;
+      }
+    }
+    steps.push_back(std::move(step));
+  }
+  return steps;
+}
+
+NodeId BuildChain(DerivationGraph* graph, const MediaValue& leaf_value,
+                  const std::vector<ChainStep>& steps) {
+  NodeId node = graph->AddLeaf(leaf_value, "leaf");
+  for (const ChainStep& step : steps) {
+    auto next = graph->AddDerived(step.op, {node}, step.params);
+    EXPECT_TRUE(next.ok()) << step.op << ": " << next.status();
+    node = *next;
+  }
+  return node;
+}
+
+void ExpectBitIdentical(const MediaValue& a, const MediaValue& b) {
+  ASSERT_EQ(a.index(), b.index());
+  if (const Image* ia = std::get_if<Image>(&a)) {
+    const Image& ib = std::get<Image>(b);
+    ASSERT_EQ(ia->width, ib.width);
+    ASSERT_EQ(ia->height, ib.height);
+    ASSERT_EQ(ia->model, ib.model);
+    ASSERT_EQ(ia->data.size(), ib.data.size());
+    EXPECT_EQ(std::memcmp(ia->data.data(), ib.data.data(), ib.data.size()), 0);
+  } else if (const AudioBuffer* aa = std::get_if<AudioBuffer>(&a)) {
+    const AudioBuffer& ab = std::get<AudioBuffer>(b);
+    ASSERT_EQ(aa->sample_rate, ab.sample_rate);
+    ASSERT_EQ(aa->channels, ab.channels);
+    ASSERT_EQ(aa->samples.size(), ab.samples.size());
+    EXPECT_EQ(std::memcmp(aa->samples.data(), ab.samples.data(),
+                          ab.samples.size() * sizeof(int16_t)),
+              0);
+  } else {
+    FAIL() << "unexpected value kind";
+  }
+}
+
+TEST_P(SeededProperty, FusedChainsBitExactAgainstUnfused) {
+  Rng rng(GetParam() * 60493 + 17);
+  for (int depth : {2, 5, 9}) {
+    for (int trial = 0; trial < 3; ++trial) {
+      MediaValue leaf;
+      std::vector<ChainStep> steps;
+      if (rng.Chance(50)) {
+        int64_t w = rng.Range(24, 64), h = rng.Range(24, 64);
+        leaf = videogen::Still(static_cast<int32_t>(w),
+                               static_cast<int32_t>(h),
+                               static_cast<uint32_t>(rng.Range(0, 100)));
+        steps = RandomImageChain(&rng, depth, &w, &h);
+      } else {
+        int64_t rate = 8000;
+        AudioBuffer tone =
+            audiogen::Sine(static_cast<int32_t>(rate),
+                           rng.Chance(50) ? 1 : 2, 440, 0.6, 0.25);
+        int64_t frames = tone.FrameCount();
+        leaf = std::move(tone);
+        steps = RandomAudioChain(&rng, depth, rate, frames);
+      }
+
+      DerivationGraph fused_graph, plain_graph;
+      NodeId fused_root = BuildChain(&fused_graph, leaf, steps);
+      NodeId plain_root = BuildChain(&plain_graph, leaf, steps);
+
+      DerivationEngine fused(&fused_graph);  // plan compiler on
+      EvalOptions off;
+      off.fuse = false;
+      DerivationEngine plain(&plain_graph, off);
+
+      auto a = fused.Evaluate(fused_root);
+      auto b = plain.Evaluate(plain_root);
+      ASSERT_TRUE(a.ok()) << "depth " << depth << ": " << a.status();
+      ASSERT_TRUE(b.ok()) << "depth " << depth << ": " << b.status();
+      ExpectBitIdentical(**a, **b);
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty,

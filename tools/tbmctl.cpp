@@ -11,12 +11,14 @@
 //                                          video -> <out>_NNNN.ppm frames)
 //   tbmctl play   <dbdir> <name>          simulate presentation timing
 //   tbmctl eval   <dbdir> <name> [threads] [--quiet] [--prefetch N]
-//                 [--stats]               materialize; engine statistics
+//                 [--stats] [--no-fuse]   materialize; engine statistics
 //                                         go to stderr (--quiet omits them).
 //                                         --prefetch N streams BLOB reads
 //                                         with N chunks of readahead;
 //                                         --stats dumps the metrics
-//                                         registry after evaluation
+//                                         registry after evaluation;
+//                                         --no-fuse disables the plan
+//                                         compiler (node-at-a-time)
 //   tbmctl stats  <dbdir>                 storage + metrics statistics
 //   tbmctl trace  <dbdir> <name> [-o trace.json]
 //                                         materialize under the tracer and
@@ -88,7 +90,7 @@ int Usage() {
                "       tbmctl export <dbdir> <name> <out>\n"
                "       tbmctl play <dbdir> <name>\n"
                "       tbmctl eval <dbdir> <name> [threads] [--quiet] "
-               "[--prefetch N] [--stats]\n"
+               "[--prefetch N] [--stats] [--no-fuse]\n"
                "       tbmctl stats <dbdir>\n"
                "       tbmctl trace <dbdir> <name> [-o trace.json]\n"
                "       tbmctl serve <dbdir> [sessions] [--object <name>]\n"
@@ -284,11 +286,12 @@ int CmdPlay(MediaDatabase* db, const std::string& name) {
 }
 
 int CmdEval(MediaDatabase* db, const std::string& name, int threads,
-            bool quiet, int prefetch, bool dump_metrics) {
+            bool quiet, int prefetch, bool dump_metrics, bool fuse) {
   auto id = db->FindByName(name);
   if (!id.ok()) return Fail(id.status());
   EvalOptions options;
   options.threads = threads;
+  options.fuse = fuse;
   db->set_eval_options(options);
   if (prefetch > 0) {
     StreamReadOptions read_options;
@@ -818,11 +821,14 @@ int main(int argc, char** argv) {
     bool quiet = false;
     int prefetch = 0;
     bool dump_metrics = false;
+    bool fuse = true;
     for (int i = 4; i < argc; ++i) {
       if (std::strcmp(argv[i], "--quiet") == 0) {
         quiet = true;
       } else if (std::strcmp(argv[i], "--stats") == 0) {
         dump_metrics = true;
+      } else if (std::strcmp(argv[i], "--no-fuse") == 0) {
+        fuse = false;
       } else if (std::strcmp(argv[i], "--prefetch") == 0 && i + 1 < argc) {
         prefetch = std::atoi(argv[++i]);
       } else {
@@ -830,7 +836,8 @@ int main(int argc, char** argv) {
       }
     }
     if (threads < 0 || prefetch < 0) return Usage();
-    return CmdEval(db->get(), argv[3], threads, quiet, prefetch, dump_metrics);
+    return CmdEval(db->get(), argv[3], threads, quiet, prefetch, dump_metrics,
+                   fuse);
   }
   if (command == "serve") {
     int sessions = 0;
