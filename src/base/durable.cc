@@ -1,0 +1,163 @@
+#include "base/durable.h"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace tbm {
+
+namespace {
+
+std::string Errno(const std::string& what, const std::string& path) {
+  return what + " " + path + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// AppendOnlyFile
+
+Result<std::unique_ptr<AppendOnlyFile>> AppendOnlyFile::Open(
+    const std::string& path) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) {
+    return Status::IOError(Errno("cannot open for append:", path));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IOError(Errno("cannot stat:", path));
+  }
+  return std::unique_ptr<AppendOnlyFile>(
+      new AppendOnlyFile(fd, path, static_cast<uint64_t>(st.st_size)));
+}
+
+AppendOnlyFile::~AppendOnlyFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status AppendOnlyFile::Append(ByteSpan data) {
+  const uint8_t* p = data.data();
+  size_t left = data.size();
+  while (left > 0) {
+    ssize_t n = ::write(fd_, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(Errno("write failed:", path_));
+    }
+    p += n;
+    left -= static_cast<size_t>(n);
+  }
+  size_ += data.size();
+  return Status::OK();
+}
+
+Status AppendOnlyFile::Sync() {
+  if (::fsync(fd_) != 0) {
+    return Status::IOError(Errno("fsync failed:", path_));
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// AtomicWriteFile
+
+Status AtomicWriteFile(const std::string& path, ByteSpan data) {
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IOError(Errno("cannot open for write:", tmp));
+  }
+  const uint8_t* p = data.data();
+  size_t left = data.size();
+  while (left > 0) {
+    ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return Status::IOError(Errno("write failed:", tmp));
+    }
+    p += n;
+    left -= static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return Status::IOError(Errno("fsync failed:", tmp));
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::IOError(Errno("close failed:", tmp));
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::IOError(Errno("rename failed:", path));
+  }
+  // Persist the rename: fsync the containing directory.
+  auto slash = path.find_last_of('/');
+  std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  return FsyncDir(dir);
+}
+
+Status FsyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::IOError(Errno("cannot open directory:", dir));
+  }
+  int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Status::IOError(Errno("fsync failed on directory:", dir));
+  }
+  return Status::OK();
+}
+
+Status TruncateFile(const std::string& path, uint64_t size) {
+  int fd = ::open(path.c_str(), O_WRONLY);
+  if (fd < 0) {
+    return Status::IOError(Errno("cannot open for truncate:", path));
+  }
+  if (::ftruncate(fd, static_cast<off_t>(size)) != 0) {
+    ::close(fd);
+    return Status::IOError(Errno("truncate failed:", path));
+  }
+  int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Status::IOError(Errno("fsync failed:", path));
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// FileLock
+
+Result<std::unique_ptr<FileLock>> FileLock::Acquire(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    return Status::IOError(Errno("cannot open lock file:", path));
+  }
+  if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+    ::close(fd);
+    if (errno == EWOULDBLOCK || errno == EAGAIN) {
+      return Status::FailedPrecondition("database is locked by another "
+                                        "process (lock file " + path + ")");
+    }
+    return Status::IOError(Errno("flock failed:", path));
+  }
+  return std::unique_ptr<FileLock>(new FileLock(fd, path));
+}
+
+FileLock::~FileLock() {
+  if (fd_ >= 0) {
+    ::flock(fd_, LOCK_UN);
+    ::close(fd_);
+  }
+}
+
+}  // namespace tbm

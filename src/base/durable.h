@@ -1,0 +1,107 @@
+#ifndef TBM_BASE_DURABLE_H_
+#define TBM_BASE_DURABLE_H_
+
+/// Durability primitives for crash-safe persistence (DESIGN.md §16).
+///
+/// `WriteFile` in base/io.h is fire-and-forget: a crash mid-write can
+/// leave a half-written file, and nothing forces the bytes out of the
+/// OS page cache. The write-ahead log and checkpoint writer need three
+/// stronger guarantees, provided here:
+///
+///  - `AppendOnlyFile`: an append-only handle with an explicit
+///    durability barrier (`Sync` = flush + fsync). The WAL appends
+///    records and fsyncs once per group commit.
+///  - `AtomicWriteFile`: publish a whole file atomically — write to a
+///    `.tmp` sibling, fsync it, rename over the target, fsync the
+///    directory so the rename itself survives a crash. A reader sees
+///    either the old file or the new one, never a torn mix.
+///  - `FileLock`: an advisory `flock` so a second process opening the
+///    same database directory fails fast instead of silently racing
+///    the writer.
+///
+/// All functions are POSIX-backed; this library targets Linux.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "base/bytes.h"
+#include "base/result.h"
+#include "base/status.h"
+
+namespace tbm {
+
+/// Append-only file handle with an explicit durability barrier.
+///
+/// `Append` hands bytes to the OS immediately (no user-space
+/// buffering); `Sync` makes everything appended so far durable. The
+/// distinction matters for group commit: many appends, one fsync.
+/// Not thread-safe — callers serialize (the WAL leader owns the file).
+class AppendOnlyFile {
+ public:
+  /// Opens `path` for appending, creating it if absent.
+  static Result<std::unique_ptr<AppendOnlyFile>> Open(const std::string& path);
+
+  ~AppendOnlyFile();
+  AppendOnlyFile(const AppendOnlyFile&) = delete;
+  AppendOnlyFile& operator=(const AppendOnlyFile&) = delete;
+
+  /// Appends `data` at the end of the file. Durable only after Sync().
+  Status Append(ByteSpan data);
+
+  /// Durability barrier: fsyncs everything appended so far.
+  Status Sync();
+
+  /// File size in bytes (includes un-synced appends).
+  uint64_t size() const { return size_; }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  AppendOnlyFile(int fd, std::string path, uint64_t size)
+      : fd_(fd), path_(std::move(path)), size_(size) {}
+
+  int fd_;
+  std::string path_;
+  uint64_t size_;
+};
+
+/// Writes `data` to `path` atomically: temp sibling + fsync + rename +
+/// directory fsync. On any failure the target is untouched and the
+/// temp file is removed (best effort).
+Status AtomicWriteFile(const std::string& path, ByteSpan data);
+
+/// Fsyncs the directory itself so recent renames/creates/unlinks in it
+/// survive a crash.
+Status FsyncDir(const std::string& dir);
+
+/// Truncates `path` to exactly `size` bytes and fsyncs it. WAL recovery
+/// uses this to physically discard a torn tail so the file can be
+/// appended to again.
+Status TruncateFile(const std::string& path, uint64_t size);
+
+/// Advisory exclusive lock on `path` (created if absent) via flock.
+///
+/// Acquire is non-blocking: if another process (or another open handle
+/// in this process) holds the lock, it fails with FailedPrecondition.
+/// The lock is released when the object is destroyed.
+class FileLock {
+ public:
+  static Result<std::unique_ptr<FileLock>> Acquire(const std::string& path);
+
+  ~FileLock();
+  FileLock(const FileLock&) = delete;
+  FileLock& operator=(const FileLock&) = delete;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  FileLock(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+
+  int fd_;
+  std::string path_;
+};
+
+}  // namespace tbm
+
+#endif  // TBM_BASE_DURABLE_H_

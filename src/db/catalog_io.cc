@@ -1,0 +1,105 @@
+#include "db/catalog_io.h"
+
+#include "base/macros.h"
+
+namespace tbm {
+
+void SerializeCatalogEntry(const CatalogEntry& entry, BinaryWriter* writer) {
+  writer->WriteU64(entry.id);
+  writer->WriteU8(static_cast<uint8_t>(entry.kind));
+  writer->WriteString(entry.name);
+  entry.attrs.Serialize(writer);
+  switch (entry.kind) {
+    case CatalogKind::kEntity:
+      break;
+    case CatalogKind::kInterpretation:
+      entry.interpretation.Serialize(writer);
+      break;
+    case CatalogKind::kMediaObject:
+      writer->WriteU64(entry.interpretation_ref);
+      writer->WriteString(entry.stream_name);
+      break;
+    case CatalogKind::kDerivedObject:
+      writer->WriteString(entry.op);
+      writer->WriteVarU64(entry.inputs.size());
+      for (ObjectId input : entry.inputs) writer->WriteU64(input);
+      entry.params.Serialize(writer);
+      break;
+    case CatalogKind::kMultimediaObject:
+      writer->WriteVarU64(entry.components.size());
+      for (const StoredComponent& component : entry.components) {
+        writer->WriteString(component.name);
+        writer->WriteU64(component.media);
+        writer->WriteVarI64(component.start_seconds.num());
+        writer->WriteVarI64(component.start_seconds.den());
+        writer->WriteU8(component.spatial.has_value() ? 1 : 0);
+        if (component.spatial.has_value()) {
+          writer->WriteI32(component.spatial->x);
+          writer->WriteI32(component.spatial->y);
+          writer->WriteI32(component.spatial->layer);
+        }
+      }
+      break;
+  }
+}
+
+Result<CatalogEntry> DeserializeCatalogEntry(BinaryReader* reader) {
+  CatalogEntry entry;
+  TBM_ASSIGN_OR_RETURN(entry.id, reader->ReadU64());
+  TBM_ASSIGN_OR_RETURN(uint8_t kind, reader->ReadU8());
+  if (kind > static_cast<uint8_t>(CatalogKind::kMultimediaObject)) {
+    return Status::Corruption("bad catalog kind");
+  }
+  entry.kind = static_cast<CatalogKind>(kind);
+  TBM_ASSIGN_OR_RETURN(entry.name, reader->ReadString());
+  TBM_ASSIGN_OR_RETURN(entry.attrs, AttrMap::Deserialize(reader));
+  switch (entry.kind) {
+    case CatalogKind::kEntity:
+      break;
+    case CatalogKind::kInterpretation: {
+      TBM_ASSIGN_OR_RETURN(entry.interpretation,
+                           Interpretation::Deserialize(reader));
+      break;
+    }
+    case CatalogKind::kMediaObject: {
+      TBM_ASSIGN_OR_RETURN(entry.interpretation_ref, reader->ReadU64());
+      TBM_ASSIGN_OR_RETURN(entry.stream_name, reader->ReadString());
+      break;
+    }
+    case CatalogKind::kDerivedObject: {
+      TBM_ASSIGN_OR_RETURN(entry.op, reader->ReadString());
+      TBM_ASSIGN_OR_RETURN(uint64_t count, reader->ReadVarU64());
+      for (uint64_t i = 0; i < count; ++i) {
+        TBM_ASSIGN_OR_RETURN(ObjectId input, reader->ReadU64());
+        entry.inputs.push_back(input);
+      }
+      TBM_ASSIGN_OR_RETURN(entry.params, AttrMap::Deserialize(reader));
+      break;
+    }
+    case CatalogKind::kMultimediaObject: {
+      TBM_ASSIGN_OR_RETURN(uint64_t count, reader->ReadVarU64());
+      for (uint64_t i = 0; i < count; ++i) {
+        StoredComponent component;
+        TBM_ASSIGN_OR_RETURN(component.name, reader->ReadString());
+        TBM_ASSIGN_OR_RETURN(component.media, reader->ReadU64());
+        TBM_ASSIGN_OR_RETURN(int64_t num, reader->ReadVarI64());
+        TBM_ASSIGN_OR_RETURN(int64_t den, reader->ReadVarI64());
+        if (den <= 0) return Status::Corruption("bad component start");
+        component.start_seconds = Rational(num, den);
+        TBM_ASSIGN_OR_RETURN(uint8_t has_spatial, reader->ReadU8());
+        if (has_spatial) {
+          SpatialPlacement spatial;
+          TBM_ASSIGN_OR_RETURN(spatial.x, reader->ReadI32());
+          TBM_ASSIGN_OR_RETURN(spatial.y, reader->ReadI32());
+          TBM_ASSIGN_OR_RETURN(spatial.layer, reader->ReadI32());
+          component.spatial = spatial;
+        }
+        entry.components.push_back(std::move(component));
+      }
+      break;
+    }
+  }
+  return entry;
+}
+
+}  // namespace tbm

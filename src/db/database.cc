@@ -9,6 +9,7 @@
 #include "blob/cas_store.h"
 #include "blob/file_store.h"
 #include "blob/memory_store.h"
+#include "db/catalog_io.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -16,7 +17,14 @@ namespace tbm {
 
 namespace {
 constexpr uint32_t kCatalogMagic = 0x544D'4244u;  // "TBMDB"-ish.
-constexpr uint32_t kCatalogVersion = 2;  // v2 appends the rights table.
+// v2 appends the rights table; v3 prepends the snapshot's applied LSN
+// (the durable-catalog handshake — see DESIGN.md §16).
+constexpr uint32_t kCatalogVersion = 3;
+
+// WAL record op codes. A payload is {u8 op, op-specific body}.
+constexpr uint8_t kOpUpsert = 1;  ///< Body: one full catalog entry.
+constexpr uint8_t kOpRemove = 2;  ///< Body: u64 object id.
+constexpr uint8_t kOpRights = 3;  ///< Body: the full rights table.
 }  // namespace
 
 std::string_view CatalogKindToString(CatalogKind kind) {
@@ -39,12 +47,27 @@ Result<std::unique_ptr<MediaDatabase>> MediaDatabase::Open(
 
 Result<std::unique_ptr<MediaDatabase>> MediaDatabase::Open(
     const std::string& dir, std::unique_ptr<BlobStore> store) {
+  return Open(dir, std::move(store), wal::WalOptions{});
+}
+
+Result<std::unique_ptr<MediaDatabase>> MediaDatabase::Open(
+    const std::string& dir, std::unique_ptr<BlobStore> store,
+    wal::WalOptions options) {
   if (store == nullptr) {
     return Status::InvalidArgument("blob store must not be null");
   }
+  if (dir.empty()) {
+    return Status::InvalidArgument("database directory must not be empty");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
   auto db = std::unique_ptr<MediaDatabase>(
       new MediaDatabase(std::move(store), dir));
-  TBM_RETURN_IF_ERROR(db->LoadCatalog());
+  // Single-writer guard first: a second process (or handle) fails fast
+  // with FailedPrecondition instead of racing the WAL.
+  TBM_ASSIGN_OR_RETURN(db->lock_, FileLock::Acquire(LockPath(dir)));
+  TBM_ASSIGN_OR_RETURN(db->wal_, wal::WalManager::Open(dir, options));
+  TBM_RETURN_IF_ERROR(db->Recover());
   return db;
 }
 
@@ -78,9 +101,110 @@ StreamReadOptions MediaDatabase::ResolvedReadOptions() const {
 }
 
 // ---------------------------------------------------------------------------
+// Transaction plumbing
+
+Result<uint64_t> MediaDatabase::LogUpsertLocked(const CatalogEntry& entry) {
+  if (wal_ == nullptr) return uint64_t{0};
+  BinaryWriter payload;
+  payload.WriteU8(kOpUpsert);
+  SerializeCatalogEntry(entry, &payload);
+  return wal_->Append(payload.buffer());
+}
+
+Result<uint64_t> MediaDatabase::LogRemoveLocked(ObjectId id) {
+  if (wal_ == nullptr) return uint64_t{0};
+  BinaryWriter payload;
+  payload.WriteU8(kOpRemove);
+  payload.WriteU64(id);
+  return wal_->Append(payload.buffer());
+}
+
+Result<uint64_t> MediaDatabase::LogRightsLocked() {
+  if (wal_ == nullptr) return uint64_t{0};
+  BinaryWriter payload;
+  payload.WriteU8(kOpRights);
+  rights_.Serialize(&payload);
+  return wal_->Append(payload.buffer());
+}
+
+Status MediaDatabase::FinishCommit(uint64_t lsn) {
+  if (wal_ == nullptr || lsn == 0) return Status::OK();
+  static obs::Histogram* const commit_us =
+      obs::Registry::Global().histogram("wal.commit_us");
+  static obs::Counter* const txns =
+      obs::Registry::Global().counter("db.txns");
+  {
+    obs::ScopedTimerUs timer(commit_us);
+    TBM_RETURN_IF_ERROR(wal_->WaitDurable(lsn));
+  }
+  txns->Add();
+  MaybeAutoCheckpoint();
+  return Status::OK();
+}
+
+void MediaDatabase::MaybeAutoCheckpoint() const {
+  if (wal_ == nullptr) return;
+  uint64_t threshold = wal_->options().checkpoint_threshold_bytes;
+  if (threshold == 0) return;
+  if (wal_->bytes_since_checkpoint() < threshold) return;
+  std::unique_lock<std::mutex> lk(checkpoint_mu_, std::try_to_lock);
+  if (!lk.owns_lock()) return;  // A checkpoint is already running.
+  if (wal_->bytes_since_checkpoint() < threshold) return;
+  // Best effort: a failed checkpoint freezes the WAL and surfaces on
+  // the next mutation; the commit that triggered us is already durable.
+  (void)CheckpointLocked();
+}
+
+void MediaDatabase::ApplyUpsertLocked(
+    std::shared_ptr<const CatalogEntry> entry) {
+  auto it = catalog_.find(entry->id);
+  if (it != catalog_.end()) {
+    IndexRemove(*it->second);
+    by_name_.erase(it->second->name);
+  }
+  by_name_[entry->name] = entry->id;
+  IndexInsert(*entry);
+  if (entry->id >= next_id_) next_id_ = entry->id + 1;
+  catalog_[entry->id] = std::move(entry);
+}
+
+void MediaDatabase::ApplyRemoveLocked(ObjectId id) {
+  auto it = catalog_.find(id);
+  if (it == catalog_.end()) return;
+  by_name_.erase(it->second->name);
+  IndexRemove(*it->second);
+  catalog_.erase(it);
+}
+
+Status MediaDatabase::ApplyWalRecord(const wal::WalRecord& record) {
+  BinaryReader reader(record.payload);
+  TBM_ASSIGN_OR_RETURN(uint8_t op, reader.ReadU8());
+  switch (op) {
+    case kOpUpsert: {
+      TBM_ASSIGN_OR_RETURN(CatalogEntry entry,
+                           DeserializeCatalogEntry(&reader));
+      ApplyUpsertLocked(std::make_shared<const CatalogEntry>(std::move(entry)));
+      return Status::OK();
+    }
+    case kOpRemove: {
+      TBM_ASSIGN_OR_RETURN(ObjectId id, reader.ReadU64());
+      ApplyRemoveLocked(id);
+      return Status::OK();
+    }
+    case kOpRights: {
+      TBM_ASSIGN_OR_RETURN(rights_, RightsManager::Deserialize(&reader));
+      return Status::OK();
+    }
+    default:
+      return Status::Corruption("unknown WAL op " + std::to_string(op) +
+                                " at LSN " + std::to_string(record.lsn));
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Catalog writes
 
-Status MediaDatabase::CheckNameFree(const std::string& name) const {
+Status MediaDatabase::CheckNameFreeLocked(const std::string& name) const {
   if (name.empty()) {
     return Status::InvalidArgument("object name must not be empty");
   }
@@ -121,12 +245,18 @@ void MediaDatabase::IndexRemove(const CatalogEntry& entry) {
 }
 
 Result<ObjectId> MediaDatabase::Insert(CatalogEntry entry) {
-  TBM_RETURN_IF_ERROR(CheckNameFree(entry.name));
-  entry.id = next_id_++;
-  ObjectId id = entry.id;
-  by_name_.emplace(entry.name, id);
-  IndexInsert(entry);
-  catalog_.emplace(id, std::move(entry));
+  uint64_t lsn = 0;
+  ObjectId id = kInvalidObjectId;
+  {
+    std::lock_guard<std::mutex> lock(catalog_mu_);
+    TBM_RETURN_IF_ERROR(CheckNameFreeLocked(entry.name));
+    entry.id = next_id_;
+    id = entry.id;
+    auto shared = std::make_shared<const CatalogEntry>(std::move(entry));
+    TBM_ASSIGN_OR_RETURN(lsn, LogUpsertLocked(*shared));
+    ApplyUpsertLocked(std::move(shared));
+  }
+  TBM_RETURN_IF_ERROR(FinishCommit(lsn));
   return id;
 }
 
@@ -228,14 +358,22 @@ Result<ObjectId> MediaDatabase::AddMultimediaObject(
 
 Status MediaDatabase::SetAttr(ObjectId id, const std::string& name,
                               AttrValue value) {
-  auto it = catalog_.find(id);
-  if (it == catalog_.end()) {
-    return Status::NotFound("no catalog object " + std::to_string(id));
+  uint64_t lsn = 0;
+  {
+    std::lock_guard<std::mutex> lock(catalog_mu_);
+    auto it = catalog_.find(id);
+    if (it == catalog_.end()) {
+      return Status::NotFound("no catalog object " + std::to_string(id));
+    }
+    // Copy-on-write: a concurrent checkpoint's copied map keeps the old
+    // row; readers see old-or-new, never a half-mutated entry.
+    CatalogEntry updated = *it->second;
+    updated.attrs.Set(name, std::move(value));
+    auto shared = std::make_shared<const CatalogEntry>(std::move(updated));
+    TBM_ASSIGN_OR_RETURN(lsn, LogUpsertLocked(*shared));
+    ApplyUpsertLocked(std::move(shared));
   }
-  IndexRemove(it->second);
-  it->second.attrs.Set(name, std::move(value));
-  IndexInsert(it->second);
-  return Status::OK();
+  return FinishCommit(lsn);
 }
 
 Status MediaDatabase::SetMediaAttr(ObjectId entity, const std::string& attr,
@@ -261,35 +399,59 @@ Result<ObjectId> MediaDatabase::GetMediaAttr(ObjectId entity,
   return static_cast<ObjectId>(ref);
 }
 
+Status MediaDatabase::UpdateDerivedParams(ObjectId id, AttrMap params) {
+  uint64_t lsn = 0;
+  {
+    std::lock_guard<std::mutex> lock(catalog_mu_);
+    auto it = catalog_.find(id);
+    if (it == catalog_.end()) {
+      return Status::NotFound("no catalog object " + std::to_string(id));
+    }
+    if (it->second->kind != CatalogKind::kDerivedObject) {
+      return Status::InvalidArgument("object " + std::to_string(id) +
+                                     " is not a derived object");
+    }
+    CatalogEntry updated = *it->second;
+    updated.params = std::move(params);
+    auto shared = std::make_shared<const CatalogEntry>(std::move(updated));
+    TBM_ASSIGN_OR_RETURN(lsn, LogUpsertLocked(*shared));
+    ApplyUpsertLocked(std::move(shared));
+  }
+  return FinishCommit(lsn);
+}
+
 Status MediaDatabase::Remove(ObjectId id) {
-  auto it = catalog_.find(id);
-  if (it == catalog_.end()) {
-    return Status::NotFound("no catalog object " + std::to_string(id));
-  }
-  // Refuse to remove objects something else references.
-  for (const auto& [other_id, entry] : catalog_) {
-    if (other_id == id) continue;
-    if (entry.interpretation_ref == id) {
-      return Status::FailedPrecondition("object is referenced by \"" +
-                                        entry.name + "\"");
+  uint64_t lsn = 0;
+  {
+    std::lock_guard<std::mutex> lock(catalog_mu_);
+    auto it = catalog_.find(id);
+    if (it == catalog_.end()) {
+      return Status::NotFound("no catalog object " + std::to_string(id));
     }
-    for (ObjectId input : entry.inputs) {
-      if (input == id) {
+    // Refuse to remove objects something else references.
+    for (const auto& [other_id, entry] : catalog_) {
+      if (other_id == id) continue;
+      if (entry->interpretation_ref == id) {
         return Status::FailedPrecondition("object is referenced by \"" +
-                                          entry.name + "\"");
+                                          entry->name + "\"");
+      }
+      for (ObjectId input : entry->inputs) {
+        if (input == id) {
+          return Status::FailedPrecondition("object is referenced by \"" +
+                                            entry->name + "\"");
+        }
+      }
+      for (const StoredComponent& component : entry->components) {
+        if (component.media == id) {
+          return Status::FailedPrecondition("object is referenced by \"" +
+                                            entry->name + "\"");
+        }
       }
     }
-    for (const StoredComponent& component : entry.components) {
-      if (component.media == id) {
-        return Status::FailedPrecondition("object is referenced by \"" +
-                                          entry.name + "\"");
-      }
-    }
+    TBM_ASSIGN_OR_RETURN(lsn, LogRemoveLocked(id));
+    ApplyRemoveLocked(id);
   }
-  by_name_.erase(it->second.name);
-  IndexRemove(it->second);
-  catalog_.erase(it);
-  return Status::OK();
+  return FinishCommit(lsn);
 }
 
 Result<size_t> MediaDatabase::VacuumBlobs() {
@@ -301,8 +463,8 @@ Result<MediaDatabase::BlobGcStats> MediaDatabase::CollectBlobGarbage() {
   // Mark: every blob a live interpretation places into.
   std::set<BlobId> referenced;
   for (const auto& [id, entry] : catalog_) {
-    if (entry.kind == CatalogKind::kInterpretation) {
-      referenced.insert(entry.interpretation.blob());
+    if (entry->kind == CatalogKind::kInterpretation) {
+      referenced.insert(entry->interpretation.blob());
     }
   }
   BlobGcStats stats;
@@ -339,7 +501,7 @@ Result<const CatalogEntry*> MediaDatabase::Get(ObjectId id) const {
   if (it == catalog_.end()) {
     return Status::NotFound("no catalog object " + std::to_string(id));
   }
-  return &it->second;
+  return it->second.get();
 }
 
 Result<ObjectId> MediaDatabase::FindByName(const std::string& name) const {
@@ -361,7 +523,7 @@ std::vector<ObjectId> MediaDatabase::Filter(
     const std::function<bool(const CatalogEntry&)>& predicate) const {
   std::vector<ObjectId> ids;
   for (const auto& [id, entry] : catalog_) {
-    if (predicate(entry)) ids.push_back(id);
+    if (predicate(*entry)) ids.push_back(id);
   }
   return ids;
 }
@@ -389,7 +551,7 @@ Status MediaDatabase::CreateAttrIndex(const std::string& attr) {
   std::multimap<std::string, ObjectId>& index = attr_indexes_[attr];
   index.clear();
   for (const auto& [id, entry] : catalog_) {
-    auto value = entry.attrs.Get(attr);
+    auto value = entry->attrs.Get(attr);
     if (value.ok()) index.emplace(IndexKey(*value), id);
   }
   return Status::OK();
@@ -479,6 +641,40 @@ Result<ObjectId> MediaDatabase::AddDerivedObjectFor(
   }
   return AddDerivedObject(name, op, std::move(inputs), std::move(params),
                           std::move(attrs));
+}
+
+Status MediaDatabase::ProtectObject(ObjectId object, const std::string& owner,
+                                    const std::string& copyright_notice) {
+  uint64_t lsn = 0;
+  {
+    std::lock_guard<std::mutex> lock(catalog_mu_);
+    TBM_RETURN_IF_ERROR(rights_.Protect(object, owner, copyright_notice));
+    TBM_ASSIGN_OR_RETURN(lsn, LogRightsLocked());
+  }
+  return FinishCommit(lsn);
+}
+
+Status MediaDatabase::GrantRights(ObjectId object,
+                                  const std::string& principal,
+                                  OperationMask operations) {
+  uint64_t lsn = 0;
+  {
+    std::lock_guard<std::mutex> lock(catalog_mu_);
+    TBM_RETURN_IF_ERROR(rights_.Grant(object, principal, operations));
+    TBM_ASSIGN_OR_RETURN(lsn, LogRightsLocked());
+  }
+  return FinishCommit(lsn);
+}
+
+Status MediaDatabase::RevokeRights(ObjectId object,
+                                   const std::string& principal) {
+  uint64_t lsn = 0;
+  {
+    std::lock_guard<std::mutex> lock(catalog_mu_);
+    TBM_RETURN_IF_ERROR(rights_.Revoke(object, principal));
+    TBM_ASSIGN_OR_RETURN(lsn, LogRightsLocked());
+  }
+  return FinishCommit(lsn);
 }
 
 // ---------------------------------------------------------------------------
@@ -623,137 +819,93 @@ Result<ObjectId> MediaDatabase::ExpandAndStore(ObjectId derived_id,
 }
 
 // ---------------------------------------------------------------------------
-// Persistence
+// Durability
 
 std::string MediaDatabase::CatalogPath(const std::string& dir) {
   return dir + "/catalog.tbm";
 }
 
-namespace {
-
-void SerializeEntry(const CatalogEntry& entry, BinaryWriter* writer) {
-  writer->WriteU64(entry.id);
-  writer->WriteU8(static_cast<uint8_t>(entry.kind));
-  writer->WriteString(entry.name);
-  entry.attrs.Serialize(writer);
-  switch (entry.kind) {
-    case CatalogKind::kEntity:
-      break;
-    case CatalogKind::kInterpretation:
-      entry.interpretation.Serialize(writer);
-      break;
-    case CatalogKind::kMediaObject:
-      writer->WriteU64(entry.interpretation_ref);
-      writer->WriteString(entry.stream_name);
-      break;
-    case CatalogKind::kDerivedObject:
-      writer->WriteString(entry.op);
-      writer->WriteVarU64(entry.inputs.size());
-      for (ObjectId input : entry.inputs) writer->WriteU64(input);
-      entry.params.Serialize(writer);
-      break;
-    case CatalogKind::kMultimediaObject:
-      writer->WriteVarU64(entry.components.size());
-      for (const StoredComponent& component : entry.components) {
-        writer->WriteString(component.name);
-        writer->WriteU64(component.media);
-        writer->WriteVarI64(component.start_seconds.num());
-        writer->WriteVarI64(component.start_seconds.den());
-        writer->WriteU8(component.spatial.has_value() ? 1 : 0);
-        if (component.spatial.has_value()) {
-          writer->WriteI32(component.spatial->x);
-          writer->WriteI32(component.spatial->y);
-          writer->WriteI32(component.spatial->layer);
-        }
-      }
-      break;
-  }
+std::string MediaDatabase::LockPath(const std::string& dir) {
+  return dir + "/LOCK";
 }
 
-Result<CatalogEntry> DeserializeEntry(BinaryReader* reader) {
-  CatalogEntry entry;
-  TBM_ASSIGN_OR_RETURN(entry.id, reader->ReadU64());
-  TBM_ASSIGN_OR_RETURN(uint8_t kind, reader->ReadU8());
-  if (kind > static_cast<uint8_t>(CatalogKind::kMultimediaObject)) {
-    return Status::Corruption("bad catalog kind");
+Bytes MediaDatabase::SerializeSnapshot(
+    uint64_t applied_lsn, uint64_t next_id,
+    const std::map<ObjectId, std::shared_ptr<const CatalogEntry>>& catalog,
+    const RightsManager& rights) {
+  BinaryWriter body;
+  body.WriteU64(applied_lsn);
+  body.WriteU64(next_id);
+  body.WriteVarU64(catalog.size());
+  for (const auto& [id, entry] : catalog) {
+    SerializeCatalogEntry(*entry, &body);
   }
-  entry.kind = static_cast<CatalogKind>(kind);
-  TBM_ASSIGN_OR_RETURN(entry.name, reader->ReadString());
-  TBM_ASSIGN_OR_RETURN(entry.attrs, AttrMap::Deserialize(reader));
-  switch (entry.kind) {
-    case CatalogKind::kEntity:
-      break;
-    case CatalogKind::kInterpretation: {
-      TBM_ASSIGN_OR_RETURN(entry.interpretation,
-                           Interpretation::Deserialize(reader));
-      break;
-    }
-    case CatalogKind::kMediaObject: {
-      TBM_ASSIGN_OR_RETURN(entry.interpretation_ref, reader->ReadU64());
-      TBM_ASSIGN_OR_RETURN(entry.stream_name, reader->ReadString());
-      break;
-    }
-    case CatalogKind::kDerivedObject: {
-      TBM_ASSIGN_OR_RETURN(entry.op, reader->ReadString());
-      TBM_ASSIGN_OR_RETURN(uint64_t count, reader->ReadVarU64());
-      for (uint64_t i = 0; i < count; ++i) {
-        TBM_ASSIGN_OR_RETURN(ObjectId input, reader->ReadU64());
-        entry.inputs.push_back(input);
-      }
-      TBM_ASSIGN_OR_RETURN(entry.params, AttrMap::Deserialize(reader));
-      break;
-    }
-    case CatalogKind::kMultimediaObject: {
-      TBM_ASSIGN_OR_RETURN(uint64_t count, reader->ReadVarU64());
-      for (uint64_t i = 0; i < count; ++i) {
-        StoredComponent component;
-        TBM_ASSIGN_OR_RETURN(component.name, reader->ReadString());
-        TBM_ASSIGN_OR_RETURN(component.media, reader->ReadU64());
-        TBM_ASSIGN_OR_RETURN(int64_t num, reader->ReadVarI64());
-        TBM_ASSIGN_OR_RETURN(int64_t den, reader->ReadVarI64());
-        if (den <= 0) return Status::Corruption("bad component start");
-        component.start_seconds = Rational(num, den);
-        TBM_ASSIGN_OR_RETURN(uint8_t has_spatial, reader->ReadU8());
-        if (has_spatial) {
-          SpatialPlacement spatial;
-          TBM_ASSIGN_OR_RETURN(spatial.x, reader->ReadI32());
-          TBM_ASSIGN_OR_RETURN(spatial.y, reader->ReadI32());
-          TBM_ASSIGN_OR_RETURN(spatial.layer, reader->ReadI32());
-          component.spatial = spatial;
-        }
-        entry.components.push_back(std::move(component));
-      }
-      break;
-    }
-  }
-  return entry;
+  rights.Serialize(&body);
+  BinaryWriter file;
+  file.WriteU32(kCatalogMagic);
+  file.WriteU32(kCatalogVersion);
+  file.WriteU32(Crc32(body.buffer()));
+  file.WriteRaw(body.buffer());
+  return file.TakeBuffer();
 }
 
-}  // namespace
+Status MediaDatabase::Checkpoint() const {
+  if (wal_ == nullptr) {
+    return Status::FailedPrecondition(
+        "in-memory databases cannot be saved; open with a directory");
+  }
+  std::lock_guard<std::mutex> lock(checkpoint_mu_);
+  return CheckpointLocked();
+}
+
+Status MediaDatabase::CheckpointLocked() const {
+  uint64_t checkpoint_lsn = 0;
+  std::map<ObjectId, std::shared_ptr<const CatalogEntry>> catalog_copy;
+  RightsManager rights_copy;
+  uint64_t next_id = 0;
+  {
+    // Rotation and the state copy are one atomic step against
+    // mutators: the snapshot covers exactly the LSNs up to rotation.
+    std::lock_guard<std::mutex> lock(catalog_mu_);
+    TBM_ASSIGN_OR_RETURN(checkpoint_lsn, wal_->RotateForCheckpoint());
+    catalog_copy = catalog_;  // shared_ptr copies — cheap, and COW
+                              // keeps them stable while we serialize.
+    rights_copy = rights_;
+    next_id = next_id_;
+  }
+  Bytes snapshot =
+      SerializeSnapshot(checkpoint_lsn, next_id, catalog_copy, rights_copy);
+  return wal_->InstallCheckpoint(CatalogPath(dir_), snapshot, checkpoint_lsn);
+}
 
 Status MediaDatabase::Save() const {
   if (dir_.empty()) {
     return Status::FailedPrecondition(
         "in-memory databases cannot be saved; open with a directory");
   }
-  BinaryWriter body;
-  body.WriteU64(next_id_);
-  body.WriteVarU64(catalog_.size());
-  for (const auto& [id, entry] : catalog_) {
-    SerializeEntry(entry, &body);
-  }
-  rights_.Serialize(&body);
-  BinaryWriter file;
-  file.WriteU32(kCatalogMagic);
-  file.WriteU32(kCatalogVersion);
-  file.WriteU32(Crc32(body.buffer()));
-  file.WriteRaw(body.buffer());
-  return WriteFile(CatalogPath(dir_), file.buffer());
+  return Checkpoint();
 }
 
-Status MediaDatabase::LoadCatalog() {
+wal::WalStatus MediaDatabase::wal_status() const {
+  if (wal_ == nullptr) return wal::WalStatus{};
+  return wal_->GetStatus();
+}
+
+wal::RecoveryStats MediaDatabase::recovery_stats() const {
+  if (wal_ == nullptr) return wal::RecoveryStats{};
+  return wal_->recovery_stats();
+}
+
+Result<uint64_t> MediaDatabase::LoadCatalog() {
   std::string path = CatalogPath(dir_);
-  if (!std::filesystem::exists(path)) return Status::OK();  // Fresh database.
+  bool has_super = wal_ != nullptr && wal_->has_superblock();
+  if (!std::filesystem::exists(path)) {
+    if (has_super && wal_->superblock().checkpoint_lsn > 0) {
+      return Status::Corruption(
+          "superblock present but catalog snapshot missing: " + path);
+    }
+    return uint64_t{0};  // Fresh database.
+  }
   TBM_ASSIGN_OR_RETURN(Bytes bytes, ReadFileBytes(path));
   BinaryReader header(bytes);
   TBM_ASSIGN_OR_RETURN(uint32_t magic, header.ReadU32());
@@ -771,16 +923,57 @@ Status MediaDatabase::LoadCatalog() {
     return Status::Corruption("catalog checksum mismatch: " + path);
   }
   BinaryReader reader(body);
+  uint64_t applied_lsn = 0;
+  if (version >= 3) {
+    TBM_ASSIGN_OR_RETURN(applied_lsn, reader.ReadU64());
+  }
   TBM_ASSIGN_OR_RETURN(next_id_, reader.ReadU64());
   TBM_ASSIGN_OR_RETURN(uint64_t count, reader.ReadVarU64());
   for (uint64_t i = 0; i < count; ++i) {
-    TBM_ASSIGN_OR_RETURN(CatalogEntry entry, DeserializeEntry(&reader));
+    TBM_ASSIGN_OR_RETURN(CatalogEntry entry, DeserializeCatalogEntry(&reader));
     by_name_.emplace(entry.name, entry.id);
-    catalog_.emplace(entry.id, std::move(entry));
+    catalog_.emplace(entry.id,
+                     std::make_shared<const CatalogEntry>(std::move(entry)));
   }
   if (version >= 2) {
     TBM_ASSIGN_OR_RETURN(rights_, RightsManager::Deserialize(&reader));
   }
+  if (has_super) {
+    const wal::Superblock& super = wal_->superblock();
+    if (applied_lsn < super.checkpoint_lsn) {
+      return Status::Corruption(
+          "catalog snapshot (LSN " + std::to_string(applied_lsn) +
+          ") is older than the superblock checkpoint (LSN " +
+          std::to_string(super.checkpoint_lsn) + ")");
+    }
+    // The stored checksum binds only when this is the exact snapshot
+    // the superblock published; a newer one (crash between the
+    // snapshot rename and the superblock publish) is self-checksummed
+    // and legitimately differs.
+    if (applied_lsn == super.checkpoint_lsn &&
+        Crc32(bytes) != super.snapshot_crc) {
+      return Status::Corruption(
+          "catalog snapshot does not match superblock checksum: " + path);
+    }
+  }
+  return applied_lsn;
+}
+
+Status MediaDatabase::Recover() {
+  TBM_ASSIGN_OR_RETURN(uint64_t applied_lsn, LoadCatalog());
+  uint64_t replayed = 0;
+  uint64_t skipped = 0;
+  for (const wal::WalRecord& record : wal_->recovered_records()) {
+    if (record.lsn <= applied_lsn) {
+      // Already folded into the snapshot (a checkpoint whose segment
+      // deletion the crash interrupted).
+      ++skipped;
+      continue;
+    }
+    TBM_RETURN_IF_ERROR(ApplyWalRecord(record));
+    ++replayed;
+  }
+  wal_->FinishRecovery(applied_lsn, replayed, skipped);
   return Status::OK();
 }
 

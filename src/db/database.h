@@ -9,11 +9,13 @@
 #include <string>
 #include <vector>
 
+#include "base/durable.h"
 #include "base/thread_pool.h"
 #include "blob/blob_store.h"
 #include "compose/multimedia.h"
 #include "db/codec_bridge.h"
 #include "db/rights.h"
+#include "db/wal/wal.h"
 #include "derive/graph.h"
 #include "derive/scheduler.h"
 #include "interp/interpretation.h"
@@ -79,10 +81,28 @@ struct ComposedView {
 /// multimedia objects and domain entities — the full Figure 5 stack
 /// behind one API.
 ///
-/// A database opened with `Open(dir)` persists BLOBs as files and the
-/// catalog as a checksummed snapshot (`catalog.tbm`) in `dir`;
+/// A database opened with `Open(dir)` is durable and transactional
+/// (DESIGN.md §16): every catalog mutation is appended to a
+/// write-ahead log and fsynced before the call returns, so an
+/// acknowledged mutation survives a crash with no explicit Save().
+/// Concurrent writers share one fsync (group commit). A checkpoint —
+/// taken automatically when the log grows past
+/// `WalOptions::checkpoint_threshold_bytes`, or explicitly via
+/// Checkpoint()/Save() — folds the log into the snapshot
+/// (`catalog.tbm`, atomically replaced) and truncates it. Opening the
+/// directory replays any log records past the snapshot, stopping
+/// cleanly at a torn tail. A `LOCK` file makes the directory
+/// single-writer: a second Open fails with FailedPrecondition.
+///
 /// `CreateInMemory()` keeps everything in RAM for tests and scratch
-/// work.
+/// work; it has no log and Save() fails.
+///
+/// Thread model (unchanged from pre-WAL behavior for readers):
+/// mutators are serialized by an internal lock and may run concurrently
+/// with each other; readers take no lock, so the caller must not read
+/// an object while another thread mutates that same object. Entry
+/// pointers from Get() are copy-on-write: valid until the next mutation
+/// of that object.
 class MediaDatabase {
  public:
   /// Opens (creating if needed) a file-backed database. Convenience
@@ -95,6 +115,12 @@ class MediaDatabase {
   /// the database knowing. The catalog still persists in `dir`.
   static Result<std::unique_ptr<MediaDatabase>> Open(
       const std::string& dir, std::unique_ptr<BlobStore> store);
+
+  /// Full-control open: WAL sync mode, checkpoint threshold, and the
+  /// crash-injection schedule (tests) come from `options`.
+  static Result<std::unique_ptr<MediaDatabase>> Open(
+      const std::string& dir, std::unique_ptr<BlobStore> store,
+      wal::WalOptions options);
 
   /// Creates a volatile in-memory database. Convenience for
   /// `CreateWithStore(std::make_unique<MemoryBlobStore>())`.
@@ -109,7 +135,8 @@ class MediaDatabase {
   const BlobStore* blob_store() const { return store_.get(); }
 
   // -------------------------------------------------------------------------
-  // Catalog writes
+  // Catalog writes (each is one durable transaction on file-backed
+  // databases: logged, fsynced, then acknowledged)
 
   /// Adds a domain entity (a VideoClip-style record). Media-valued
   /// attributes are references to media objects: use SetMediaAttr.
@@ -148,6 +175,10 @@ class MediaDatabase {
                       ObjectId media_object);
   Result<ObjectId> GetMediaAttr(ObjectId entity,
                                 const std::string& attr) const;
+
+  /// Replaces the parameters of a derived object (e.g. re-tuning a
+  /// scale factor); the derivation op and inputs are immutable.
+  Status UpdateDerivedParams(ObjectId id, AttrMap params);
 
   Status Remove(ObjectId id);
 
@@ -288,8 +319,20 @@ class MediaDatabase {
   // Authorization (paper §6 future work)
 
   /// Rights records for catalog objects; persisted with the catalog.
+  /// Prefer the logged mutators below on file-backed databases —
+  /// changes made directly through this reference are durable only
+  /// from the next checkpoint, not from the call.
   RightsManager& rights() { return rights_; }
   const RightsManager& rights() const { return rights_; }
+
+  /// Logged rights mutators: like rights().Protect/Grant/Revoke but
+  /// written to the WAL, so the change is durable when the call
+  /// returns.
+  Status ProtectObject(ObjectId object, const std::string& owner,
+                       const std::string& copyright_notice = "");
+  Status GrantRights(ObjectId object, const std::string& principal,
+                     OperationMask operations);
+  Status RevokeRights(ObjectId object, const std::string& principal);
 
   /// Materialize with access control: checks kRead on the object and
   /// every transitive derivation input for `principal`.
@@ -307,23 +350,72 @@ class MediaDatabase {
                                        AttrMap params, AttrMap attrs = {});
 
   // -------------------------------------------------------------------------
-  // Persistence
+  // Durability
 
-  /// Writes the catalog snapshot. No-op requirement: file-backed only.
+  /// Takes a checkpoint now: serializes the catalog (copy-on-write —
+  /// concurrent readers and writers keep working during the
+  /// serialization), publishes it atomically over `catalog.tbm`,
+  /// records the checkpoint LSN in the superblock, and truncates the
+  /// WAL. FailedPrecondition on in-memory databases.
+  Status Checkpoint() const;
+
+  /// Writes the catalog snapshot; on a WAL-backed database this is
+  /// Checkpoint(). Kept for compatibility — mutations are already
+  /// durable without it. FailedPrecondition on in-memory databases.
   Status Save() const;
 
-  /// Path of the catalog file for a database directory.
+  /// Durability counters: LSNs, segment count, log size. `enabled` is
+  /// false for in-memory databases.
+  wal::WalStatus wal_status() const;
+
+  /// What recovery did when this database was opened (zeros for
+  /// in-memory databases and clean non-replaying opens).
+  wal::RecoveryStats recovery_stats() const;
+
+  /// Path of the catalog snapshot for a database directory.
   static std::string CatalogPath(const std::string& dir);
+
+  /// Path of the single-writer lock file for a database directory.
+  static std::string LockPath(const std::string& dir);
 
  private:
   MediaDatabase(std::unique_ptr<BlobStore> store, std::string dir)
       : store_(std::move(store)), dir_(std::move(dir)) {}
 
   Result<ObjectId> Insert(CatalogEntry entry);
-  Status CheckNameFree(const std::string& name) const;
+  Status CheckNameFreeLocked(const std::string& name) const;
   Result<NodeId> BuildGraphNode(ObjectId id, DerivationGraph* graph,
                                 std::map<ObjectId, NodeId>* built) const;
-  Status LoadCatalog();
+
+  /// Loads the snapshot (verifying it against the superblock when one
+  /// exists) and returns its applied LSN — 0 for fresh directories and
+  /// pre-WAL snapshots.
+  Result<uint64_t> LoadCatalog();
+  /// Replays WAL records past the snapshot and reports to the WAL.
+  Status Recover();
+  Status ApplyWalRecord(const wal::WalRecord& record);
+
+  // Transaction plumbing. The Log* helpers serialize one operation,
+  // append it to the WAL and return the LSN to await (0 when there is
+  // no WAL); callers hold catalog_mu_. FinishCommit waits for
+  // durability and runs the threshold checkpoint; called unlocked.
+  Result<uint64_t> LogUpsertLocked(const CatalogEntry& entry);
+  Result<uint64_t> LogRemoveLocked(ObjectId id);
+  Result<uint64_t> LogRightsLocked();
+  Status FinishCommit(uint64_t lsn);
+  void MaybeAutoCheckpoint() const;
+  Status CheckpointLocked() const;
+
+  // In-memory apply, shared by mutators and replay.
+  void ApplyUpsertLocked(std::shared_ptr<const CatalogEntry> entry);
+  void ApplyRemoveLocked(ObjectId id);
+
+  /// Serializes a full snapshot file image (magic, version, checksum,
+  /// body) from copied state.
+  static Bytes SerializeSnapshot(
+      uint64_t applied_lsn, uint64_t next_id,
+      const std::map<ObjectId, std::shared_ptr<const CatalogEntry>>& catalog,
+      const RightsManager& rights);
 
   Status CheckReadRecursive(ObjectId id, const std::string& principal) const;
   void IndexInsert(const CatalogEntry& entry);
@@ -337,7 +429,18 @@ class MediaDatabase {
 
   std::unique_ptr<BlobStore> store_;
   std::string dir_;  ///< Empty for in-memory databases.
-  std::map<ObjectId, CatalogEntry> catalog_;
+
+  /// Orders mutators (and the checkpoint's state copy) against each
+  /// other. Readers take no lock — see the class comment.
+  mutable std::mutex catalog_mu_;
+  /// Serializes whole checkpoints (rotate + serialize + install).
+  /// Ordering: checkpoint_mu_ before catalog_mu_.
+  mutable std::mutex checkpoint_mu_;
+
+  /// Copy-on-write rows: mutators replace the shared_ptr, so a
+  /// checkpoint's copied map keeps serializing the consistent old
+  /// state while writers proceed.
+  std::map<ObjectId, std::shared_ptr<const CatalogEntry>> catalog_;
   std::map<std::string, ObjectId> by_name_;
   /// attr name -> (canonical value key -> ids).
   std::map<std::string, std::multimap<std::string, ObjectId>> attr_indexes_;
@@ -346,6 +449,9 @@ class MediaDatabase {
   EvalOptions eval_options_;
   mutable std::mutex eval_stats_mu_;  ///< Guards last_eval_stats_.
   mutable EvalStats last_eval_stats_;
+
+  std::unique_ptr<FileLock> lock_;        ///< Null for in-memory.
+  std::unique_ptr<wal::WalManager> wal_;  ///< Null for in-memory.
 
   std::optional<StreamReadOptions> read_options_;
   mutable std::mutex io_pool_mu_;  ///< Guards io_pool_ creation.

@@ -1,0 +1,61 @@
+#include "db/wal/crash_point.h"
+
+namespace tbm::wal {
+
+void CrashSchedule::ArmAtHit(uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_hit_ = n;
+}
+
+void CrashSchedule::ArmAtPoint(std::string point, uint64_t nth) {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_point_ = std::move(point);
+  armed_point_nth_ = nth == 0 ? 1 : nth;
+  point_hits_ = 0;
+}
+
+bool CrashSchedule::ShouldCrash(const char* point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return true;  // Stay down once killed.
+  ++hits_;
+  trace_.emplace_back(point);
+  if (armed_hit_ != 0 && hits_ == armed_hit_) {
+    crashed_ = true;
+    return true;
+  }
+  if (!armed_point_.empty() && armed_point_ == point) {
+    if (++point_hits_ == armed_point_nth_) {
+      crashed_ = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool CrashSchedule::crashed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_;
+}
+
+uint64_t CrashSchedule::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::vector<std::string> CrashSchedule::trace() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trace_;
+}
+
+void CrashSchedule::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  hits_ = 0;
+  armed_hit_ = 0;
+  armed_point_.clear();
+  armed_point_nth_ = 0;
+  point_hits_ = 0;
+  crashed_ = false;
+  trace_.clear();
+}
+
+}  // namespace tbm::wal

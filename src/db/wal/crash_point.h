@@ -1,0 +1,83 @@
+#ifndef TBM_DB_WAL_CRASH_POINT_H_
+#define TBM_DB_WAL_CRASH_POINT_H_
+
+/// Crash-point fault injection for the durability subsystem.
+///
+/// The WAL and checkpoint writers call `ShouldCrash("point")` at every
+/// durability boundary — after buffering a record, before and after
+/// each fsync, around the snapshot rename, after the superblock write.
+/// A test arms a CrashSchedule at the k-th boundary (or the n-th hit
+/// of a named point); when the armed boundary is crossed, ShouldCrash
+/// returns true and the WalManager freezes: it discards un-synced
+/// state and fails every further operation, exactly as if the process
+/// had been killed at that instant. The test then reopens the
+/// directory and asserts recovery lands on a consistent catalog.
+///
+/// This is the durability analogue of blob/fault_store.h's
+/// FaultInjectingStore: deterministic (a counter, not a clock),
+/// thread-safe, and scriptable. A dry run with nothing armed counts
+/// the boundaries and records their names, which is how the crash
+/// matrix test enumerates every kill site without hard-coding them.
+///
+/// Points currently emitted (see wal.cc):
+///   wal.append         record buffered, nothing written yet
+///   wal.sync_begin     pending batch about to be written (a crash
+///                      here tears the batch: half its bytes reach the
+///                      file, unsynced — the torn-tail case)
+///   wal.sync_end       batch written and fsynced (durable, unacked)
+///   wal.rotate         segment rotated at checkpoint start
+///   ckpt.temp_written  snapshot temp file written + fsynced
+///   ckpt.renamed       snapshot renamed over catalog.tbm
+///   ckpt.super_written superblock published
+///   ckpt.done          old WAL segments deleted
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tbm::wal {
+
+class CrashSchedule {
+ public:
+  CrashSchedule() = default;
+
+  /// Arms the schedule to crash at the `n`-th boundary crossing
+  /// overall (1-based), whatever its name.
+  void ArmAtHit(uint64_t n);
+
+  /// Arms the schedule to crash at the `nth` crossing of the named
+  /// point (1-based).
+  void ArmAtPoint(std::string point, uint64_t nth = 1);
+
+  /// Called by the WAL at each boundary. Returns true exactly once,
+  /// when the armed boundary is crossed; the caller then freezes.
+  /// With nothing armed it only counts (dry-run mode). Thread-safe.
+  bool ShouldCrash(const char* point);
+
+  /// True once an armed boundary fired.
+  bool crashed() const;
+
+  /// Boundaries crossed so far.
+  uint64_t hits() const;
+
+  /// Names of the boundaries crossed, in order — the dry run's output.
+  std::vector<std::string> trace() const;
+
+  /// Clears counters, trace and arming.
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  uint64_t hits_ = 0;
+  uint64_t armed_hit_ = 0;       ///< 0 = not armed by index.
+  std::string armed_point_;      ///< Empty = not armed by name.
+  uint64_t armed_point_nth_ = 0;
+  uint64_t point_hits_ = 0;      ///< Crossings of armed_point_ so far.
+  bool crashed_ = false;
+  std::vector<std::string> trace_;
+};
+
+}  // namespace tbm::wal
+
+#endif  // TBM_DB_WAL_CRASH_POINT_H_

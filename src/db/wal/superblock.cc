@@ -1,0 +1,66 @@
+#include "db/wal/superblock.h"
+
+#include <filesystem>
+
+#include "base/crc32.h"
+#include "base/durable.h"
+#include "base/io.h"
+#include "base/macros.h"
+
+namespace tbm::wal {
+
+namespace {
+constexpr uint32_t kSuperMagic = 0x5442'5342u;  // "TBSB".
+constexpr uint32_t kSuperVersion = 1;
+}  // namespace
+
+std::string SuperblockPath(const std::string& dir) {
+  return dir + "/super.tbm";
+}
+
+Status StoreSuperblock(const std::string& dir, const Superblock& super) {
+  BinaryWriter body;
+  body.WriteU64(super.checkpoint_lsn);
+  body.WriteU32(super.snapshot_crc);
+  body.WriteU64(super.snapshot_bytes);
+  body.WriteU64(super.checkpoint_count);
+  BinaryWriter file;
+  file.WriteU32(kSuperMagic);
+  file.WriteU32(kSuperVersion);
+  file.WriteU32(Crc32(body.buffer()));
+  file.WriteRaw(body.buffer());
+  return AtomicWriteFile(SuperblockPath(dir), file.buffer());
+}
+
+Result<Superblock> LoadSuperblock(const std::string& dir) {
+  std::string path = SuperblockPath(dir);
+  if (!std::filesystem::exists(path)) {
+    return Status::NotFound("no superblock: " + path);
+  }
+  TBM_ASSIGN_OR_RETURN(Bytes bytes, ReadFileBytes(path));
+  BinaryReader header(bytes);
+  TBM_ASSIGN_OR_RETURN(uint32_t magic, header.ReadU32());
+  if (magic != kSuperMagic) {
+    return Status::Corruption("not a superblock: " + path);
+  }
+  TBM_ASSIGN_OR_RETURN(uint32_t version, header.ReadU32());
+  if (version == 0 || version > kSuperVersion) {
+    return Status::Unsupported("superblock version " +
+                               std::to_string(version));
+  }
+  TBM_ASSIGN_OR_RETURN(uint32_t crc, header.ReadU32());
+  ByteSpan body(bytes.data() + header.position(),
+                bytes.size() - header.position());
+  if (Crc32(body) != crc) {
+    return Status::Corruption("superblock checksum mismatch: " + path);
+  }
+  BinaryReader reader(body);
+  Superblock super;
+  TBM_ASSIGN_OR_RETURN(super.checkpoint_lsn, reader.ReadU64());
+  TBM_ASSIGN_OR_RETURN(super.snapshot_crc, reader.ReadU32());
+  TBM_ASSIGN_OR_RETURN(super.snapshot_bytes, reader.ReadU64());
+  TBM_ASSIGN_OR_RETURN(super.checkpoint_count, reader.ReadU64());
+  return super;
+}
+
+}  // namespace tbm::wal

@@ -1,0 +1,51 @@
+#ifndef TBM_DB_WAL_SUPERBLOCK_H_
+#define TBM_DB_WAL_SUPERBLOCK_H_
+
+/// The durability superblock (`super.tbm`): a tiny, self-checksummed,
+/// atomically-replaced file recording where the last checkpoint left
+/// off. It is the commit point of a checkpoint — the snapshot rename
+/// happens first, the superblock publish second, so on recovery the
+/// superblock's LSN is always <= the snapshot's own applied LSN and
+/// replay trusts the snapshot (see DESIGN.md §16 for the protocol).
+
+#include <cstdint>
+#include <string>
+
+#include "base/result.h"
+#include "base/status.h"
+
+namespace tbm::wal {
+
+struct Superblock {
+  /// Every catalog mutation with LSN <= checkpoint_lsn is contained in
+  /// the snapshot this superblock points at; replay starts after it.
+  uint64_t checkpoint_lsn = 0;
+
+  /// CRC32 of the snapshot file as written by the checkpoint. Only
+  /// binding when the snapshot's applied LSN equals checkpoint_lsn —
+  /// a newer snapshot (crash between rename and superblock publish)
+  /// legitimately differs.
+  uint32_t snapshot_crc = 0;
+
+  /// Size in bytes of that snapshot file (diagnostic, shown by
+  /// `tbmctl db status`).
+  uint64_t snapshot_bytes = 0;
+
+  /// Monotonic count of checkpoints taken over this database's life.
+  uint64_t checkpoint_count = 0;
+};
+
+/// Path of the superblock inside a database directory.
+std::string SuperblockPath(const std::string& dir);
+
+/// Atomically publishes `super` (temp + fsync + rename + dir fsync).
+Status StoreSuperblock(const std::string& dir, const Superblock& super);
+
+/// Loads and verifies the superblock. NotFound when the file does not
+/// exist (fresh or pre-WAL database), Corruption when magic or
+/// checksum fail.
+Result<Superblock> LoadSuperblock(const std::string& dir);
+
+}  // namespace tbm::wal
+
+#endif  // TBM_DB_WAL_SUPERBLOCK_H_

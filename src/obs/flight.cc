@@ -24,6 +24,10 @@ const char* FlightEventTypeName(FlightEventType type) {
       return "EVICT";
     case FlightEventType::kNote:
       return "NOTE";
+    case FlightEventType::kCheckpoint:
+      return "CHECKPOINT";
+    case FlightEventType::kRecovery:
+      return "RECOVERY";
   }
   return "?";
 }

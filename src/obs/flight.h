@@ -35,6 +35,10 @@ enum class FlightEventType : uint8_t {
   kSlowRead = 5, ///< Element read over threshold; a = element, b = micros.
   kEvict = 6,    ///< Forced teardown; `what` is the cause.
   kNote = 7,     ///< Free-form marker.
+  kCheckpoint = 8,  ///< Durable-catalog checkpoint; a = checkpoint LSN,
+                    ///< b = WAL bytes truncated.
+  kRecovery = 9,    ///< Crash recovery on open; a = records replayed,
+                    ///< b = bytes discarded from a torn tail.
 };
 
 /// One recorded event. `what` must be a string with static storage

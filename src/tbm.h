@@ -30,6 +30,7 @@
 #include "base/buffer.h"
 #include "base/bytes.h"
 #include "base/crc32.h"
+#include "base/durable.h"
 #include "base/io.h"
 #include "base/macros.h"
 #include "base/result.h"
@@ -120,10 +121,14 @@
 #include "playback/streaming.h"
 
 // db
+#include "db/catalog_io.h"
 #include "db/codec_bridge.h"
 #include "db/database.h"
 #include "db/edit_list.h"
 #include "db/rights.h"
+#include "db/wal/crash_point.h"
+#include "db/wal/superblock.h"
+#include "db/wal/wal.h"
 
 // serve
 #include "serve/client.h"

@@ -28,7 +28,8 @@ done
 # must name their exact dependencies, never the umbrella — including
 # "tbm.h" from inside the library would hide layering violations and
 # make every module depend on all of them.
-for file in "$root"/src/*/*.h "$root"/src/*/*.cc; do
+for file in "$root"/src/*/*.h "$root"/src/*/*.cc \
+            "$root"/src/*/*/*.h "$root"/src/*/*/*.cc; do
   [ -e "$file" ] || continue
   bad=$(grep -nE '^[[:space:]]*#[[:space:]]*include[[:space:]]*"tbm\.h"' \
         "$file" || true)
@@ -45,7 +46,7 @@ done
 # like) are excluded explicitly so additions to the list are reviewed.
 internal_headers="blob/store_metrics.h codec/codec_metrics.h"
 
-for file in "$root"/src/*/*.h; do
+for file in "$root"/src/*/*.h "$root"/src/*/*/*.h; do
   [ -e "$file" ] || continue
   rel=${file#"$root"/src/}
   skip=0

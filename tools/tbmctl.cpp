@@ -52,6 +52,13 @@
 //                                         dedup ratio and per-hash refcounts
 //   tbmctl blob gc <dbdir>                mark-and-sweep collection of
 //                                         BLOBs no interpretation references
+//   tbmctl db status <dbdir>              durability state: WAL LSNs,
+//                                         segment/log sizes, checkpoint
+//                                         position, and what recovery did
+//                                         on this open
+//   tbmctl db checkpoint <dbdir>          take a checkpoint now (fold the
+//                                         WAL into the snapshot and
+//                                         truncate it)
 //
 // A database directory whose BLOB tier is content-addressed (it has a
 // cas/ledger.tbm) is detected automatically and opened over the CAS
@@ -98,7 +105,9 @@ int Usage() {
                "       tbmctl top <dbdir> [--sessions N] [--object <name>]\n"
                "                  [--interval ms] [--once] [--prom]\n"
                "       tbmctl blob stat <dbdir>\n"
-               "       tbmctl blob gc <dbdir>\n");
+               "       tbmctl blob gc <dbdir>\n"
+               "       tbmctl db status <dbdir>\n"
+               "       tbmctl db checkpoint <dbdir>\n");
   return 2;
 }
 
@@ -751,6 +760,54 @@ int CmdBlobStat(MediaDatabase* db) {
   return 0;
 }
 
+int CmdDbStatus(MediaDatabase* db, const std::string& dir) {
+  wal::WalStatus status = db->wal_status();
+  if (!status.enabled) {
+    std::printf("database: %s (no WAL — in-memory?)\n", dir.c_str());
+    return 0;
+  }
+  std::printf("database:         %s\n", dir.c_str());
+  std::printf("catalog objects:  %zu\n", db->size());
+  std::printf("last LSN:         %llu\n",
+              (unsigned long long)status.last_lsn);
+  std::printf("durable LSN:      %llu\n",
+              (unsigned long long)status.durable_lsn);
+  std::printf("checkpoint LSN:   %llu (%llu checkpoint%s taken)\n",
+              (unsigned long long)status.checkpoint_lsn,
+              (unsigned long long)status.checkpoint_count,
+              status.checkpoint_count == 1 ? "" : "s");
+  std::printf("log:              %zu segment%s, %s\n", status.segments,
+              status.segments == 1 ? "" : "s",
+              HumanBytes(status.wal_bytes).c_str());
+  wal::RecoveryStats recovery = db->recovery_stats();
+  if (recovery.replayed > 0 || recovery.torn_tail ||
+      recovery.discarded_bytes > 0) {
+    std::printf("recovery (this open): snapshot LSN %llu, replayed %llu, "
+                "skipped %llu, discarded %s%s, %llu us\n",
+                (unsigned long long)recovery.snapshot_lsn,
+                (unsigned long long)recovery.replayed,
+                (unsigned long long)recovery.skipped,
+                HumanBytes(recovery.discarded_bytes).c_str(),
+                recovery.torn_tail ? " (torn tail)" : "",
+                (unsigned long long)recovery.recovery_us);
+  } else {
+    std::printf("recovery (this open): clean, nothing to replay\n");
+  }
+  return 0;
+}
+
+int CmdDbCheckpoint(MediaDatabase* db) {
+  wal::WalStatus before = db->wal_status();
+  if (Status s = db->Checkpoint(); !s.ok()) return Fail(s);
+  wal::WalStatus after = db->wal_status();
+  std::printf("checkpoint %llu at LSN %llu: log %s -> %s\n",
+              (unsigned long long)after.checkpoint_count,
+              (unsigned long long)after.checkpoint_lsn,
+              HumanBytes(before.wal_bytes).c_str(),
+              HumanBytes(after.wal_bytes).c_str());
+  return 0;
+}
+
 int CmdBlobGc(MediaDatabase* db) {
   auto stats = db->CollectBlobGarbage();
   if (!stats.ok()) return Fail(stats.status());
@@ -784,11 +841,11 @@ int main(int argc, char** argv) {
   std::signal(SIGABRT, &FlightCrashHandler);
   if (argc < 3) return Usage();
   std::string command = argv[1];
-  std::string blob_subcommand;
+  std::string subcommand;
   int dir_arg = 2;
-  if (command == "blob") {
+  if (command == "blob" || command == "db") {
     if (argc < 4) return Usage();
-    blob_subcommand = argv[2];
+    subcommand = argv[2];
     dir_arg = 3;
   }
   std::string dir = argv[dir_arg];
@@ -806,8 +863,13 @@ int main(int argc, char** argv) {
   if (!db.ok()) return Fail(db.status());
 
   if (command == "blob") {
-    if (blob_subcommand == "stat") return CmdBlobStat(db->get());
-    if (blob_subcommand == "gc") return CmdBlobGc(db->get());
+    if (subcommand == "stat") return CmdBlobStat(db->get());
+    if (subcommand == "gc") return CmdBlobGc(db->get());
+    return Usage();
+  }
+  if (command == "db") {
+    if (subcommand == "status") return CmdDbStatus(db->get(), dir);
+    if (subcommand == "checkpoint") return CmdDbCheckpoint(db->get());
     return Usage();
   }
 
