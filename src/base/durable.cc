@@ -22,8 +22,10 @@ std::string Errno(const std::string& what, const std::string& path) {
 // AppendOnlyFile
 
 Result<std::unique_ptr<AppendOnlyFile>> AppendOnlyFile::Open(
-    const std::string& path) {
-  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    const std::string& path, bool truncate) {
+  int flags = O_WRONLY | O_CREAT | O_APPEND;
+  if (truncate) flags |= O_TRUNC;
+  int fd = ::open(path.c_str(), flags, 0644);
   if (fd < 0) {
     return Status::IOError(Errno("cannot open for append:", path));
   }

@@ -39,8 +39,12 @@ namespace tbm {
 /// Not thread-safe — callers serialize (the WAL leader owns the file).
 class AppendOnlyFile {
  public:
-  /// Opens `path` for appending, creating it if absent.
-  static Result<std::unique_ptr<AppendOnlyFile>> Open(const std::string& path);
+  /// Opens `path` for appending, creating it if absent. With
+  /// `truncate` set, any existing contents are discarded first — for
+  /// writers (e.g. the checkpoint temp file) that must never append
+  /// after bytes a crashed predecessor left behind.
+  static Result<std::unique_ptr<AppendOnlyFile>> Open(const std::string& path,
+                                                      bool truncate = false);
 
   ~AppendOnlyFile();
   AppendOnlyFile(const AppendOnlyFile&) = delete;

@@ -142,6 +142,51 @@ Status MediaDatabase::FinishCommit(uint64_t lsn) {
   return Status::OK();
 }
 
+Status MediaDatabase::FinishCommitOrRollback(
+    uint64_t lsn, ObjectId id, std::shared_ptr<const CatalogEntry> prior) {
+  Status durable = FinishCommit(lsn);
+  if (durable.ok()) return durable;
+  // The WAL rejected the commit: the caller gets an error, so readers
+  // of this handle must not keep seeing the change. The record may
+  // still have reached disk (durable but unacknowledged); the frozen
+  // WAL blocks every further mutation, and reopening the directory
+  // resolves the ambiguity (see the class comment).
+  std::lock_guard<std::mutex> lock(catalog_mu_);
+  if (prior != nullptr) {
+    ApplyUpsertLocked(std::move(prior));
+  } else {
+    ApplyRemoveLocked(id);
+  }
+  return durable;
+}
+
+Status MediaDatabase::CommitRightsChange(
+    const std::function<Status(RightsManager&)>& mutate) {
+  uint64_t lsn = 0;
+  RightsManager prior;
+  {
+    std::lock_guard<std::mutex> lock(catalog_mu_);
+    prior = rights_;
+    Status mutated = mutate(rights_);
+    if (!mutated.ok()) {
+      rights_ = std::move(prior);
+      return mutated;
+    }
+    auto logged = LogRightsLocked();
+    if (!logged.ok()) {
+      rights_ = std::move(prior);
+      return logged.status();
+    }
+    lsn = *logged;
+  }
+  Status durable = FinishCommit(lsn);
+  if (!durable.ok()) {
+    std::lock_guard<std::mutex> lock(catalog_mu_);
+    rights_ = std::move(prior);
+  }
+  return durable;
+}
+
 void MediaDatabase::MaybeAutoCheckpoint() const {
   if (wal_ == nullptr) return;
   uint64_t threshold = wal_->options().checkpoint_threshold_bytes;
@@ -256,7 +301,7 @@ Result<ObjectId> MediaDatabase::Insert(CatalogEntry entry) {
     TBM_ASSIGN_OR_RETURN(lsn, LogUpsertLocked(*shared));
     ApplyUpsertLocked(std::move(shared));
   }
-  TBM_RETURN_IF_ERROR(FinishCommit(lsn));
+  TBM_RETURN_IF_ERROR(FinishCommitOrRollback(lsn, id, nullptr));
   return id;
 }
 
@@ -359,6 +404,7 @@ Result<ObjectId> MediaDatabase::AddMultimediaObject(
 Status MediaDatabase::SetAttr(ObjectId id, const std::string& name,
                               AttrValue value) {
   uint64_t lsn = 0;
+  std::shared_ptr<const CatalogEntry> prior;
   {
     std::lock_guard<std::mutex> lock(catalog_mu_);
     auto it = catalog_.find(id);
@@ -367,13 +413,14 @@ Status MediaDatabase::SetAttr(ObjectId id, const std::string& name,
     }
     // Copy-on-write: a concurrent checkpoint's copied map keeps the old
     // row; readers see old-or-new, never a half-mutated entry.
+    prior = it->second;
     CatalogEntry updated = *it->second;
     updated.attrs.Set(name, std::move(value));
     auto shared = std::make_shared<const CatalogEntry>(std::move(updated));
     TBM_ASSIGN_OR_RETURN(lsn, LogUpsertLocked(*shared));
     ApplyUpsertLocked(std::move(shared));
   }
-  return FinishCommit(lsn);
+  return FinishCommitOrRollback(lsn, id, std::move(prior));
 }
 
 Status MediaDatabase::SetMediaAttr(ObjectId entity, const std::string& attr,
@@ -401,6 +448,7 @@ Result<ObjectId> MediaDatabase::GetMediaAttr(ObjectId entity,
 
 Status MediaDatabase::UpdateDerivedParams(ObjectId id, AttrMap params) {
   uint64_t lsn = 0;
+  std::shared_ptr<const CatalogEntry> prior;
   {
     std::lock_guard<std::mutex> lock(catalog_mu_);
     auto it = catalog_.find(id);
@@ -411,17 +459,19 @@ Status MediaDatabase::UpdateDerivedParams(ObjectId id, AttrMap params) {
       return Status::InvalidArgument("object " + std::to_string(id) +
                                      " is not a derived object");
     }
+    prior = it->second;
     CatalogEntry updated = *it->second;
     updated.params = std::move(params);
     auto shared = std::make_shared<const CatalogEntry>(std::move(updated));
     TBM_ASSIGN_OR_RETURN(lsn, LogUpsertLocked(*shared));
     ApplyUpsertLocked(std::move(shared));
   }
-  return FinishCommit(lsn);
+  return FinishCommitOrRollback(lsn, id, std::move(prior));
 }
 
 Status MediaDatabase::Remove(ObjectId id) {
   uint64_t lsn = 0;
+  std::shared_ptr<const CatalogEntry> prior;
   {
     std::lock_guard<std::mutex> lock(catalog_mu_);
     auto it = catalog_.find(id);
@@ -449,9 +499,10 @@ Status MediaDatabase::Remove(ObjectId id) {
       }
     }
     TBM_ASSIGN_OR_RETURN(lsn, LogRemoveLocked(id));
+    prior = it->second;
     ApplyRemoveLocked(id);
   }
-  return FinishCommit(lsn);
+  return FinishCommitOrRollback(lsn, id, std::move(prior));
 }
 
 Result<size_t> MediaDatabase::VacuumBlobs() {
@@ -645,36 +696,24 @@ Result<ObjectId> MediaDatabase::AddDerivedObjectFor(
 
 Status MediaDatabase::ProtectObject(ObjectId object, const std::string& owner,
                                     const std::string& copyright_notice) {
-  uint64_t lsn = 0;
-  {
-    std::lock_guard<std::mutex> lock(catalog_mu_);
-    TBM_RETURN_IF_ERROR(rights_.Protect(object, owner, copyright_notice));
-    TBM_ASSIGN_OR_RETURN(lsn, LogRightsLocked());
-  }
-  return FinishCommit(lsn);
+  return CommitRightsChange([&](RightsManager& rights) {
+    return rights.Protect(object, owner, copyright_notice);
+  });
 }
 
 Status MediaDatabase::GrantRights(ObjectId object,
                                   const std::string& principal,
                                   OperationMask operations) {
-  uint64_t lsn = 0;
-  {
-    std::lock_guard<std::mutex> lock(catalog_mu_);
-    TBM_RETURN_IF_ERROR(rights_.Grant(object, principal, operations));
-    TBM_ASSIGN_OR_RETURN(lsn, LogRightsLocked());
-  }
-  return FinishCommit(lsn);
+  return CommitRightsChange([&](RightsManager& rights) {
+    return rights.Grant(object, principal, operations);
+  });
 }
 
 Status MediaDatabase::RevokeRights(ObjectId object,
                                    const std::string& principal) {
-  uint64_t lsn = 0;
-  {
-    std::lock_guard<std::mutex> lock(catalog_mu_);
-    TBM_RETURN_IF_ERROR(rights_.Revoke(object, principal));
-    TBM_ASSIGN_OR_RETURN(lsn, LogRightsLocked());
-  }
-  return FinishCommit(lsn);
+  return CommitRightsChange([&](RightsManager& rights) {
+    return rights.Revoke(object, principal);
+  });
 }
 
 // ---------------------------------------------------------------------------

@@ -94,6 +94,14 @@ struct ComposedView {
 /// cleanly at a torn tail. A `LOCK` file makes the directory
 /// single-writer: a second Open fails with FailedPrecondition.
 ///
+/// A mutator that returns an error leaves no visible change in this
+/// handle: the in-memory apply is rolled back. After a WAL I/O error
+/// the handle is frozen (every further mutation fails with the same
+/// status) and should be reopened; a failed commit whose record had in
+/// fact reached disk before the error (durable but unacknowledged) is
+/// replayed by that reopen, so it may legitimately reappear — the same
+/// ambiguity as any client whose commit request times out.
+///
 /// `CreateInMemory()` keeps everything in RAM for tests and scratch
 /// work; it has no log and Save() fails.
 ///
@@ -403,6 +411,16 @@ class MediaDatabase {
   Result<uint64_t> LogRemoveLocked(ObjectId id);
   Result<uint64_t> LogRightsLocked();
   Status FinishCommit(uint64_t lsn);
+  /// FinishCommit, restoring the row's pre-image on failure so a
+  /// commit the caller was told failed never stays visible to this
+  /// handle's readers. `prior` is the row's previous value (null when
+  /// the transaction created `id`). Called unlocked.
+  Status FinishCommitOrRollback(uint64_t lsn, ObjectId id,
+                                std::shared_ptr<const CatalogEntry> prior);
+  /// One durable rights transaction: snapshots the rights table,
+  /// applies `mutate`, logs the new table, and waits for durability —
+  /// restoring the snapshot if any step fails.
+  Status CommitRightsChange(const std::function<Status(RightsManager&)>& mutate);
   void MaybeAutoCheckpoint() const;
   Status CheckpointLocked() const;
 

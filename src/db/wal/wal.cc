@@ -106,9 +106,16 @@ Status WalManager::ScanSegments() {
   namespace fs = std::filesystem;
   // Collect wal-<16 hex>.tbm files, ordered by their start LSN.
   std::vector<Segment> found;
+  std::vector<std::string> stale_ckpts;
   std::error_code ec;
   for (const auto& entry : fs::directory_iterator(dir_, ec)) {
     const std::string name = entry.path().filename().string();
+    if (name.size() > 5 && name.compare(name.size() - 5, 5, ".ckpt") == 0) {
+      // Temp snapshot of a checkpoint that crashed before its rename;
+      // never authoritative (the commit point is the superblock).
+      stale_ckpts.push_back(entry.path().string());
+      continue;
+    }
     if (name.size() != 24 || name.rfind("wal-", 0) != 0 ||
         name.substr(20) != ".tbm") {
       continue;
@@ -125,6 +132,7 @@ Status WalManager::ScanSegments() {
     if (!hex) continue;
     found.push_back({start, entry.path().string(), 0});
   }
+  for (const std::string& path : stale_ckpts) std::remove(path.c_str());
   std::sort(found.begin(), found.end(),
             [](const Segment& a, const Segment& b) {
               return a.start_lsn < b.start_lsn;
@@ -211,7 +219,11 @@ Status WalManager::ScanSegments() {
       TBM_RETURN_IF_ERROR(TruncateFile(segment.path, tear_at));
       segment.bytes = tear_at;
     }
-    expected_lsn = lsn_cursor;
+    // max(): a segment that overlaps its predecessor but holds fewer
+    // records must not move the cursor backwards — that would
+    // misclassify the next legitimate segment as a sequence gap and
+    // delete its valid records.
+    expected_lsn = std::max(expected_lsn, lsn_cursor);
     segments_.push_back(segment);
   }
 
@@ -398,11 +410,14 @@ Status WalManager::InstallCheckpoint(const std::string& snapshot_path,
     std::lock_guard<std::mutex> lock(mu_);
     if (frozen_) return sticky_;
   }
-  // 1. Snapshot to a temp sibling, fsynced.
+  // 1. Snapshot to a temp sibling, fsynced. Truncate on open: a
+  // checkpoint that crashed after writing this file leaves it behind,
+  // and appending after those stale bytes would publish a
+  // concatenation whose CRC never matches the superblock's.
   const std::string tmp = snapshot_path + ".ckpt";
   {
     TBM_ASSIGN_OR_RETURN(std::unique_ptr<AppendOnlyFile> file,
-                         AppendOnlyFile::Open(tmp));
+                         AppendOnlyFile::Open(tmp, /*truncate=*/true));
     TBM_RETURN_IF_ERROR(file->Append(snapshot));
     TBM_RETURN_IF_ERROR(file->Sync());
   }
@@ -435,24 +450,26 @@ Status WalManager::InstallCheckpoint(const std::string& snapshot_path,
     if (CrashHereLocked("ckpt.super_written")) return sticky_;
   }
   // 4. Truncate the log: every segment the snapshot superseded goes.
+  // Partition entirely under mu_ — a concurrent committer can grow
+  // segments_ (invalidating iterators) the moment the lock drops — and
+  // only unlink the collected paths once it is released.
   uint64_t truncated = 0;
+  std::vector<std::string> doomed;
   {
-    std::unique_lock<std::mutex> lk(mu_);
+    std::lock_guard<std::mutex> lock(mu_);
     std::vector<Segment> keep;
     for (Segment& segment : segments_) {
       bool is_live = live_ != nullptr && segment.start_lsn == live_start_lsn_;
       if (!is_live && segment.start_lsn <= checkpoint_lsn) {
         truncated += segment.bytes;
-        std::string path = segment.path;
-        lk.unlock();
-        std::remove(path.c_str());
-        lk.lock();
+        doomed.push_back(std::move(segment.path));
       } else {
-        keep.push_back(segment);
+        keep.push_back(std::move(segment));
       }
     }
     segments_ = std::move(keep);
   }
+  for (const std::string& path : doomed) std::remove(path.c_str());
   TBM_RETURN_IF_ERROR(FsyncDir(dir_));
   {
     std::lock_guard<std::mutex> lock(mu_);

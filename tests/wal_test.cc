@@ -330,6 +330,54 @@ TEST(WalTest, LegacyV2SnapshotLoads) {
   EXPECT_TRUE((*reopened)->FindByName("upgraded").ok());
 }
 
+// Handcrafts a WAL segment file: header {magic, version, start_lsn}
+// followed by kOpRemove records (of ids that never exist, so replaying
+// them is a no-op) for the given LSNs.
+void WriteTestSegment(const std::string& dir, uint64_t start_lsn,
+                      const std::vector<uint64_t>& lsns) {
+  BinaryWriter file;
+  file.WriteU32(0x5442'574Cu);  // segment magic "TBWL"
+  file.WriteU32(1);             // segment version
+  file.WriteU64(start_lsn);
+  for (uint64_t lsn : lsns) {
+    BinaryWriter payload;
+    payload.WriteU8(2);            // kOpRemove
+    payload.WriteU64(900 + lsn);   // an id the catalog never holds
+    BinaryWriter checked;
+    checked.WriteU64(lsn);
+    checked.WriteRaw(payload.buffer());
+    file.WriteU32(static_cast<uint32_t>(payload.size()));
+    file.WriteU32(Crc32(checked.buffer()));
+    file.WriteRaw(checked.buffer());
+  }
+  ASSERT_TRUE(WriteFile(wal::WalManager::SegmentPath(dir, start_lsn),
+                        file.buffer())
+                  .ok());
+}
+
+// A segment overlapping its predecessor with fewer records must not
+// drag the scan cursor backwards — that would misread the following
+// legitimate segment as a sequence gap and delete its valid records.
+TEST(WalTest, OverlappingSegmentsDoNotCreateFalseGap) {
+  std::string dir = FreshDir("wal_overlap");
+  fs::create_directories(dir);
+  WriteTestSegment(dir, 1, {1, 2, 3});
+  WriteTestSegment(dir, 2, {2});  // Overlapping, shorter.
+  WriteTestSegment(dir, 4, {4});  // Legitimate successor.
+  {
+    auto db = OpenDb(dir);
+    ASSERT_TRUE(db.ok()) << db.status();
+    wal::RecoveryStats stats = (*db)->recovery_stats();
+    EXPECT_EQ(stats.replayed, 4u);  // LSNs 1-4; the duplicate is skipped.
+    EXPECT_FALSE(stats.torn_tail);
+    EXPECT_TRUE(fs::exists(wal::WalManager::SegmentPath(dir, 4)));
+    ASSERT_TRUE((*db)->AddEntity("after", {}).ok());
+  }
+  auto db = OpenDb(dir);
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_TRUE((*db)->FindByName("after").ok());
+}
+
 // ---------------------------------------------------------------------------
 // Injected crashes
 
@@ -351,6 +399,98 @@ TEST(WalTest, CrashFreezesFurtherMutations) {
   EXPECT_TRUE((*db)->FindByName("before").ok());
   EXPECT_TRUE((*db)->FindByName("torn").status().IsNotFound());
   EXPECT_TRUE((*db)->AddEntity("after", {}).ok());
+}
+
+// A checkpoint that crashes after writing catalog.tbm.ckpt leaves the
+// temp file behind. It must not poison the next checkpoint: recovery
+// sweeps it, and the temp writer truncates rather than appends, so the
+// published snapshot is never a stale-new concatenation whose CRC
+// cannot match the superblock.
+TEST(WalTest, StaleCheckpointTempIsHarmless) {
+  std::string dir = FreshDir("wal_stale_ckpt");
+  wal::CrashSchedule crash;
+  {
+    auto db = OpenDb(dir, {.crash = &crash});
+    ASSERT_TRUE(db.ok()) << db.status();
+    ASSERT_TRUE((*db)->AddEntity("a", {}).ok());
+    crash.ArmAtPoint("ckpt.temp_written");
+    EXPECT_FALSE((*db)->Checkpoint().ok());
+  }
+  ASSERT_TRUE(fs::exists(MediaDatabase::CatalogPath(dir) + ".ckpt"));
+  {
+    auto db = OpenDb(dir);
+    ASSERT_TRUE(db.ok()) << db.status();
+    EXPECT_FALSE(fs::exists(MediaDatabase::CatalogPath(dir) + ".ckpt"));
+    ASSERT_TRUE((*db)->AddEntity("b", {}).ok());
+    ASSERT_TRUE((*db)->Checkpoint().ok());
+  }
+  auto db = OpenDb(dir);
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_EQ((*db)->recovery_stats().snapshot_lsn, 2u);
+  EXPECT_TRUE((*db)->FindByName("a").ok());
+  EXPECT_TRUE((*db)->FindByName("b").ok());
+}
+
+// A commit the caller was told failed must not stay visible to readers
+// of this handle: the in-memory apply is rolled back.
+TEST(WalTest, FailedCommitIsNotVisibleInProcess) {
+  std::string dir = FreshDir("wal_rollback");
+  wal::CrashSchedule crash;
+  auto db = OpenDb(dir, {.crash = &crash});
+  ASSERT_TRUE(db.ok()) << db.status();
+  auto keep = (*db)->AddEntity("keep", {});
+  ASSERT_TRUE(keep.ok());
+
+  // Crash during the phantom insert's write+fsync.
+  crash.ArmAtPoint("wal.sync_begin");
+  EXPECT_FALSE((*db)->AddEntity("phantom", {}).ok());
+  EXPECT_TRUE((*db)->FindByName("phantom").status().IsNotFound());
+  EXPECT_TRUE((*db)->FindByName("keep").ok());
+
+  // Against the frozen WAL every later mutator fails — and leaves no
+  // trace, whether it failed before its apply (catalog ops log first)
+  // or after (rights ops restore their pre-image).
+  EXPECT_FALSE((*db)->SetAttr(*keep, "rating", int64_t{5}).ok());
+  auto entry = (*db)->Get(*keep);
+  ASSERT_TRUE(entry.ok());
+  EXPECT_FALSE((*entry)->attrs.GetInt("rating").ok());
+  EXPECT_FALSE((*db)->ProtectObject(*keep, "alice").ok());
+  EXPECT_FALSE((*db)->rights().IsProtected(*keep));
+  EXPECT_FALSE((*db)->Remove(*keep).ok());
+  EXPECT_TRUE((*db)->FindByName("keep").ok());
+}
+
+// The same rollback contract for updates: the prior row (not an empty
+// one) comes back.
+TEST(WalTest, FailedUpdateRestoresPriorRow) {
+  std::string dir = FreshDir("wal_rollback_update");
+  wal::CrashSchedule crash;
+  auto db = OpenDb(dir, {.crash = &crash});
+  ASSERT_TRUE(db.ok()) << db.status();
+  auto id = (*db)->AddEntity("e", {});
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE((*db)->SetAttr(*id, "rating", int64_t{1}).ok());
+  crash.ArmAtPoint("wal.sync_begin");
+  EXPECT_FALSE((*db)->SetAttr(*id, "rating", int64_t{2}).ok());
+  auto entry = (*db)->Get(*id);
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(*(*entry)->attrs.GetInt("rating"), 1);
+}
+
+TEST(WalTest, FailedRightsCommitRestoresTable) {
+  std::string dir = FreshDir("wal_rollback_rights");
+  wal::CrashSchedule crash;
+  auto db = OpenDb(dir, {.crash = &crash});
+  ASSERT_TRUE(db.ok()) << db.status();
+  auto id = (*db)->AddEntity("guarded", {});
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE((*db)->ProtectObject(*id, "alice").ok());
+  crash.ArmAtPoint("wal.sync_begin");
+  EXPECT_FALSE(
+      (*db)->GrantRights(*id, "bob", MaskOf(MediaOperation::kRead)).ok());
+  // The failed grant is gone; the earlier protection survives.
+  EXPECT_TRUE((*db)->rights().IsProtected(*id));
+  EXPECT_FALSE((*db)->rights().Check(*id, "bob", MediaOperation::kRead).ok());
 }
 
 // The crash-matrix workload: a fixed single-threaded transaction
